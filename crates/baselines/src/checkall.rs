@@ -1,0 +1,208 @@
+//! The CheckAll baseline (§IV-D).
+//!
+//! CheckAll estimates per-event power (Step 1) and then reports the
+//! events around **all** power transition points — no ranking, no
+//! normalization, no percentage filtering. Because raw power differs
+//! between events by functionality alone (the paper's Checkmail
+//! example), CheckAll's windows blanket much more code: the paper
+//! reports 1 205 lines to read on average versus EnergyDx's 168.
+
+use energydx::amplitude::variation_amplitudes;
+use energydx::report::RankedEvent;
+use energydx::DiagnosisInput;
+use energydx_stats::TukeyFences;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The CheckAll analyzer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckAll {
+    /// Fence multiplier for calling a raw amplitude a transition
+    /// point. CheckAll is deliberately lenient (conventional Tukey
+    /// 1.5, not the outer 3.0): it flags every visible transition.
+    pub fence_k: f64,
+    /// Window half-width around each transition point (same as
+    /// EnergyDx for a fair comparison).
+    pub window: usize,
+}
+
+impl Default for CheckAll {
+    fn default() -> Self {
+        CheckAll {
+            fence_k: 1.5,
+            window: 5,
+        }
+    }
+}
+
+impl CheckAll {
+    /// Creates the baseline with default parameters.
+    pub fn new() -> Self {
+        CheckAll::default()
+    }
+
+    /// Reports every event appearing in a window around any raw power
+    /// transition point, with the fraction of traces it impacted
+    /// (reported for symmetry with EnergyDx — CheckAll itself does no
+    /// filtering on it).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use energydx_baselines::CheckAll;
+    /// # use energydx::DiagnosisInput;
+    /// # use energydx_trace::event::EventInstance;
+    /// # use energydx_trace::join::PoweredInstance;
+    /// let mk = |e: &str, i: u64, mw: f64| PoweredInstance {
+    ///     instance: EventInstance::new(e, i * 1000, i * 1000 + 10),
+    ///     power_mw: mw,
+    /// };
+    /// // A flat trace with one big spike: CheckAll reports around it.
+    /// let mut t: Vec<_> = (0..20).map(|i| mk("quiet", i, 100.0)).collect();
+    /// t[10] = mk("spike", 10, 900.0);
+    /// let report = CheckAll::new().report(&DiagnosisInput::new(vec![t]));
+    /// assert!(report.iter().any(|e| e.event == "spike"));
+    /// ```
+    pub fn report(&self, input: &DiagnosisInput) -> Vec<RankedEvent> {
+        let total = input.len();
+        if total == 0 {
+            return Vec::new();
+        }
+        let mut impacted: BTreeMap<String, usize> = BTreeMap::new();
+        for trace in input.traces() {
+            let raw: Vec<f64> = trace.iter().map(|p| p.power_mw).collect();
+            let amplitudes = variation_amplitudes(&raw);
+            if amplitudes.len() < 4 {
+                continue;
+            }
+            let fences = TukeyFences::from_data(&amplitudes, self.fence_k)
+                .expect("amplitudes are non-empty and finite");
+            // Raw power both rises and falls at a transition; CheckAll
+            // flags both directions (it has no notion of "manifestation").
+            let centers: Vec<usize> = amplitudes
+                .iter()
+                .enumerate()
+                .filter(|(_, &v)| fences.is_upper_outlier(v) || fences.is_lower_outlier(v))
+                .map(|(i, _)| i)
+                .collect();
+            let mut events: BTreeSet<&str> = BTreeSet::new();
+            for center in centers {
+                let lo = center.saturating_sub(self.window);
+                let hi = (center + self.window).min(trace.len() - 1);
+                for p in &trace[lo..=hi] {
+                    events.insert(p.instance.event.as_str());
+                }
+            }
+            for e in events {
+                *impacted.entry(e.to_string()).or_default() += 1;
+            }
+        }
+        let mut out: Vec<RankedEvent> = impacted
+            .into_iter()
+            .map(|(event, count)| RankedEvent {
+                event,
+                impacted_fraction: count as f64 / total as f64,
+                // CheckAll has no manifestation point to measure from.
+                proximity: 0,
+            })
+            .collect();
+        out.sort_by(|a, b| {
+            b.impacted_fraction
+                .partial_cmp(&a.impacted_fraction)
+                .expect("fractions are finite")
+                .then_with(|| a.event.cmp(&b.event))
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use energydx_trace::event::EventInstance;
+    use energydx_trace::join::PoweredInstance;
+
+    fn mk(e: &str, i: u64, mw: f64) -> PoweredInstance {
+        PoweredInstance {
+            instance: EventInstance::new(e, i * 1000, i * 1000 + 10),
+            power_mw: mw,
+        }
+    }
+
+    /// A trace with functional power differences (periodic expensive
+    /// "checkmail") plus one real ABD.
+    fn mixed_trace() -> Vec<PoweredInstance> {
+        (0..40)
+            .map(|i| {
+                if i % 10 == 4 {
+                    mk("checkmail", i, 450.0)
+                } else if i >= 30 {
+                    mk("cheap", i, 520.0) // the ABD region
+                } else {
+                    mk("cheap", i, 100.0)
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn checkall_reports_normal_functional_transitions_too() {
+        let input = DiagnosisInput::new(vec![mixed_trace()]);
+        let report = CheckAll::new().report(&input);
+        let names: Vec<&str> = report.iter().map(|e| e.event.as_str()).collect();
+        // CheckAll cannot distinguish the checkmail spikes from the ABD.
+        assert!(names.contains(&"checkmail"));
+        assert!(names.contains(&"cheap"));
+    }
+
+    #[test]
+    fn energydx_reports_fewer_events_than_checkall() {
+        // Three clean traces plus the faulty one: EnergyDx normalizes
+        // the checkmail spikes away, CheckAll keeps flagging them.
+        let clean: Vec<PoweredInstance> = (0..40)
+            .map(|i| {
+                if i % 10 == 4 {
+                    mk("checkmail", i, 450.0)
+                } else {
+                    mk("cheap", i, 100.0)
+                }
+            })
+            .collect();
+        let input = DiagnosisInput::new(vec![
+            clean.clone(),
+            mixed_trace(),
+            clean.clone(),
+            clean,
+        ]);
+        let checkall = CheckAll::new().report(&input);
+        let energydx = energydx::EnergyDx::default().diagnose(&input);
+        // CheckAll windows every trace (the checkmail transitions);
+        // EnergyDx only windows the faulty trace.
+        let checkall_impacted: f64 = checkall
+            .iter()
+            .map(|e| e.impacted_fraction)
+            .fold(0.0, f64::max);
+        assert_eq!(checkall_impacted, 1.0, "checkall flags all traces");
+        assert_eq!(energydx.impacted_traces(), vec![1]);
+    }
+
+    #[test]
+    fn flat_traces_produce_no_report() {
+        let flat: Vec<PoweredInstance> = (0..30).map(|i| mk("e", i, 200.0)).collect();
+        let report = CheckAll::new().report(&DiagnosisInput::new(vec![flat]));
+        assert!(report.is_empty());
+    }
+
+    #[test]
+    fn empty_input_is_empty_report() {
+        assert!(CheckAll::new().report(&DiagnosisInput::default()).is_empty());
+    }
+
+    #[test]
+    fn report_is_sorted_by_fraction_descending() {
+        let input = DiagnosisInput::new(vec![mixed_trace(), mixed_trace()]);
+        let report = CheckAll::new().report(&input);
+        for w in report.windows(2) {
+            assert!(w[0].impacted_fraction >= w[1].impacted_fraction);
+        }
+    }
+}

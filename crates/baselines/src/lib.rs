@@ -1,0 +1,26 @@
+//! Baselines for the EnergyDx evaluation (§IV-B, §IV-D):
+//!
+//! - [`checkall`] — **CheckAll**: performs Step 1 (per-event power)
+//!   but skips the normalization/differentiation steps and simply
+//!   reports the events around *every* raw power transition point.
+//!   The Fig.-16 comparison quantifies how much of EnergyDx's code
+//!   reduction comes from distinguishing real manifestation points.
+//! - [`nosleep`] — **No-sleep Detection** (Pathak et al. \[9\]): static
+//!   dataflow analysis over the app bytecode finding resources
+//!   acquired on some path but never released on the teardown path.
+//!   Detects only the no-sleep ABD class, and only leaks visible in
+//!   bytecode.
+//! - [`edelta`] — **eDelta** (Li et al. \[10\]): flags events whose
+//!   energy deviates strongly from their own baseline; misses ABDs
+//!   whose deviation is small but long-lasting.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checkall;
+pub mod edelta;
+pub mod nosleep;
+
+pub use checkall::CheckAll;
+pub use edelta::{EDelta, EDeltaFinding};
+pub use nosleep::{detect_no_sleep, NoSleepBug};

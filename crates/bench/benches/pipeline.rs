@@ -1,0 +1,59 @@
+//! Criterion micro-benchmarks of the 5-step analysis pipeline:
+//! throughput of each step and of the full diagnosis as trace length
+//! and trace count grow.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use energydx::pipeline::{step2_rank, step3_normalize, step4_detect, EventGroups};
+use energydx::{AnalysisConfig, DiagnosisInput, EnergyDx};
+use energydx_trace::event::EventInstance;
+use energydx_trace::join::PoweredInstance;
+
+/// Synthetic input: `traces` user traces of `len` instances over 12
+/// event kinds, one trace carrying an ABD level shift.
+fn synthetic_input(traces: usize, len: usize) -> DiagnosisInput {
+    let mk = |t: usize, i: usize| {
+        let event = format!("LA;->cb{}", (i * 7 + t) % 12);
+        let base = 100.0 + ((i * 13 + t * 31) % 40) as f64;
+        let power = if t == 0 && i > len / 2 { base * 5.0 } else { base };
+        PoweredInstance {
+            instance: EventInstance::new(event, (i * 1000) as u64, (i * 1000 + 10) as u64),
+            power_mw: power,
+        }
+    };
+    DiagnosisInput::new(
+        (0..traces)
+            .map(|t| (0..len).map(|i| mk(t, i)).collect())
+            .collect(),
+    )
+}
+
+fn bench_full_diagnosis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("diagnose");
+    for &len in &[100usize, 400, 1600] {
+        let input = synthetic_input(12, len);
+        group.throughput(Throughput::Elements((12 * len) as u64));
+        group.bench_with_input(BenchmarkId::new("instances", len), &input, |b, input| {
+            let analyzer = EnergyDx::default();
+            b.iter(|| analyzer.diagnose(input));
+        });
+    }
+    group.finish();
+}
+
+fn bench_steps(c: &mut Criterion) {
+    let input = synthetic_input(12, 400);
+    let config = AnalysisConfig::default();
+    let groups = EventGroups::collect(&input);
+    let normalized = step3_normalize(&input, &groups, &config);
+
+    c.bench_function("step2_rank", |b| b.iter(|| step2_rank(&groups)));
+    c.bench_function("step3_normalize", |b| {
+        b.iter(|| step3_normalize(&input, &groups, &config))
+    });
+    c.bench_function("step4_detect", |b| {
+        b.iter(|| step4_detect(&normalized, &config))
+    });
+}
+
+criterion_group!(benches, bench_full_diagnosis, bench_steps);
+criterion_main!(benches);

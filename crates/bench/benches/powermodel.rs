@@ -1,0 +1,59 @@
+//! Criterion micro-benchmarks of the power model: sampling the
+//! hardware timeline, estimating power, and cross-device scaling —
+//! the per-trace server-side cost before the analysis proper.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use energydx_droidsim::Timeline;
+use energydx_powermodel::{scale_trace, DeviceProfile, PowerModel, UtilizationSampler};
+use energydx_trace::util::Component;
+
+/// A busy one-hour timeline: bursts on every lane.
+fn busy_timeline() -> Timeline {
+    let mut t = Timeline::new();
+    for i in 0..3_600u64 {
+        let start = i * 1_000_000;
+        t.add(Component::Cpu, start, start + 300_000, 0.5);
+        if i % 3 == 0 {
+            t.add(Component::Wifi, start, start + 400_000, 0.8);
+        }
+        if i % 5 == 0 {
+            t.add(Component::Gps, start, start + 900_000, 1.0);
+        }
+    }
+    t
+}
+
+fn bench_sampler(c: &mut Criterion) {
+    let timeline = busy_timeline();
+    let mut group = c.benchmark_group("sampler");
+    for &duration_s in &[60u64, 600] {
+        group.throughput(Throughput::Elements(duration_s * 2));
+        group.bench_with_input(
+            BenchmarkId::new("duration_s", duration_s),
+            &duration_s,
+            |b, &secs| {
+                let sampler = UtilizationSampler::default();
+                b.iter(|| sampler.sample(&timeline, secs * 1000));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_estimate_and_scale(c: &mut Criterion) {
+    let timeline = busy_timeline();
+    let utilization = UtilizationSampler::default().sample(&timeline, 600_000);
+    let model = PowerModel::new(DeviceProfile::nexus5(), 7);
+    c.bench_function("estimate_trace_10min", |b| {
+        b.iter(|| model.estimate_trace(&utilization))
+    });
+    let power = model.estimate_trace(&utilization);
+    let from = DeviceProfile::nexus5();
+    let to = DeviceProfile::nexus6();
+    c.bench_function("scale_trace_10min", |b| {
+        b.iter(|| scale_trace(&power, &from, &to))
+    });
+}
+
+criterion_group!(benches, bench_sampler, bench_estimate_and_scale);
+criterion_main!(benches);

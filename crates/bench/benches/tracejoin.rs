@@ -1,0 +1,62 @@
+//! Criterion micro-benchmarks of trace mechanics: event pairing, the
+//! Step-1 timestamp join, and the wire format.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use energydx_trace::event::{Direction, EventRecord, EventTrace};
+use energydx_trace::join_power;
+use energydx_trace::power::{PowerSample, PowerTrace};
+use energydx_trace::store::TraceBundle;
+use energydx_trace::util::Component;
+use energydx_trace::wire;
+
+fn event_trace(n: usize) -> EventTrace {
+    let mut t = EventTrace::new();
+    for i in 0..n as u64 {
+        let event = format!("Lcom/example/A{};->cb{}", i % 7, i % 13);
+        t.push(EventRecord::new(i * 200, Direction::Enter, event.clone()));
+        t.push(EventRecord::new(i * 200 + 5, Direction::Exit, event));
+    }
+    t
+}
+
+fn power_trace(duration_ms: u64) -> PowerTrace {
+    (1..=duration_ms / 500)
+        .map(|i| {
+            let mut s = PowerSample::new(i * 500);
+            s.set_component(Component::Cpu, 100.0 + (i % 50) as f64);
+            s
+        })
+        .collect()
+}
+
+fn bench_pairing_and_join(c: &mut Criterion) {
+    let mut group = c.benchmark_group("join");
+    for &n in &[1_000usize, 10_000] {
+        let events = event_trace(n);
+        let power = power_trace((n as u64) * 200 + 2_000);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("pair_instances", n), &events, |b, e| {
+            b.iter(|| e.pair_instances())
+        });
+        let instances = events.pair_instances();
+        group.bench_with_input(
+            BenchmarkId::new("join_power", n),
+            &(instances, power),
+            |b, (instances, power)| b.iter(|| join_power(instances, power)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let mut bundle = TraceBundle::new("bench-user", 1, "nexus6");
+    bundle.events = event_trace(5_000);
+    let bytes = wire::encode(&bundle);
+    c.bench_function("wire_encode_10k_records", |b| b.iter(|| wire::encode(&bundle)));
+    c.bench_function("wire_decode_10k_records", |b| {
+        b.iter(|| wire::decode(&bytes).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_pairing_and_join, bench_wire);
+criterion_main!(benches);

@@ -1,0 +1,199 @@
+//! Ablations over the analysis parameters (DESIGN.md §4b).
+//!
+//! The paper states its parameters were "decided through experiments";
+//! this harness is those experiments. Each configuration runs over a
+//! fleet slice with known ground truth (which user sessions contained
+//! the fault trigger), measuring:
+//!
+//! - **precision / recall** of per-trace ABD detection (a trace counts
+//!   as detected when it has at least one manifestation point),
+//! - the **event distance** from the injected root cause,
+//! - the **code reduction** of the final report.
+
+use energydx::distance::event_distance;
+use energydx::{AnalysisConfig, EnergyDx};
+use energydx_workload::scenario::Variant;
+use energydx_workload::{fleet, FleetApp};
+
+/// One ablation configuration with a display name.
+#[derive(Debug, Clone)]
+pub struct AblationConfig {
+    /// Short label for the results table.
+    pub name: String,
+    /// The analysis configuration to evaluate.
+    pub config: AnalysisConfig,
+}
+
+/// Aggregate quality of one configuration over the evaluation slice.
+#[derive(Debug, Clone)]
+pub struct AblationResult {
+    /// The configuration label.
+    pub name: String,
+    /// Detection precision over traces (TP / (TP + FP)).
+    pub precision: f64,
+    /// Detection recall over traces (TP / (TP + FN)).
+    pub recall: f64,
+    /// Mean event distance over apps where it was measurable.
+    pub mean_distance: f64,
+    /// Apps with a measurable distance.
+    pub distance_measured: usize,
+    /// Mean code reduction.
+    pub mean_reduction: f64,
+}
+
+/// The default ablation grid: each paper/design choice toggled in
+/// isolation around the defaults.
+pub fn grid() -> Vec<AblationConfig> {
+    let base = AnalysisConfig::default();
+    let named = |name: &str, config: AnalysisConfig| AblationConfig {
+        name: name.to_string(),
+        config,
+    };
+    vec![
+        named("default", base.clone()),
+        // Step-4 detection amplitude: the paper's raw run-difference
+        // formula vs the sustained (windowed-median) variant.
+        named("paper-amplitude (sustained off)", {
+            let mut c = base.clone();
+            c.sustained_window = 0;
+            c
+        }),
+        named("sustained w=1", {
+            let mut c = base.clone();
+            c.sustained_window = 1;
+            c
+        }),
+        named("sustained w=5", {
+            let mut c = base.clone();
+            c.sustained_window = 5;
+            c
+        }),
+        // Step-3 base: the paper's raw 10th percentile vs the guarded
+        // base, and coarser percentiles.
+        named("no base guard", {
+            let mut c = base.clone();
+            c.base_guard_fraction = 0.0;
+            c
+        }),
+        named("base percentile 25", base.clone().with_base_percentile(25.0)),
+        named("base percentile 50", base.clone().with_base_percentile(50.0)),
+        // Step-4 fence: conventional Tukey 1.5 vs the paper's outer 3.
+        named("fence k=1.5", base.clone().with_fence_k(1.5)),
+        named("no fence excess", {
+            let mut c = base.clone();
+            c.min_fence_excess = 0.0;
+            c
+        }),
+        // Step-5 window size.
+        named("window 2", base.clone().with_window(2)),
+        named("window 10", base.with_window(10)),
+    ]
+}
+
+/// The fleet slice ablations run on: every fourth app plus the three
+/// bespoke case studies — 13 apps covering all fault classes and both
+/// intensities.
+pub fn evaluation_slice() -> Vec<FleetApp> {
+    fleet()
+        .into_iter()
+        .filter(|a| a.id % 4 == 0 || [3, 18, 28].contains(&a.id))
+        .collect()
+}
+
+/// Evaluates one configuration over the slice.
+pub fn evaluate(config: &AblationConfig, apps: &[FleetApp]) -> AblationResult {
+    let mut tp = 0usize;
+    let mut fp = 0usize;
+    let mut fn_ = 0usize;
+    let mut distances = Vec::new();
+    let mut reductions = Vec::new();
+
+    for app in apps {
+        let scenario = app.scenario();
+        let collected = scenario
+            .collect(Variant::Faulty)
+            .expect("fleet scripts are legal");
+        let input = collected.diagnosis_input();
+        let analysis_config = config
+            .config
+            .clone()
+            .with_developer_fraction(scenario.developer_fraction());
+        let report = EnergyDx::new(analysis_config).diagnose(&input);
+
+        let impacted_users =
+            (scenario.impacted_fraction * scenario.n_users as f64).round() as usize;
+        let detected: std::collections::BTreeSet<usize> =
+            report.impacted_traces().into_iter().collect();
+        for trace in 0..scenario.n_users {
+            let truly_impacted = trace < impacted_users;
+            match (truly_impacted, detected.contains(&trace)) {
+                (true, true) => tp += 1,
+                (true, false) => fn_ += 1,
+                (false, true) => fp += 1,
+                (false, false) => {}
+            }
+        }
+        if let Some(d) = event_distance(&report, &scenario.root_cause_event()) {
+            distances.push(d as f64);
+        }
+        reductions.push(
+            scenario
+                .code_index()
+                .code_reduction(report.reported_events()),
+        );
+    }
+
+    AblationResult {
+        name: config.name.clone(),
+        precision: if tp + fp == 0 {
+            1.0
+        } else {
+            tp as f64 / (tp + fp) as f64
+        },
+        recall: if tp + fn_ == 0 {
+            0.0
+        } else {
+            tp as f64 / (tp + fn_) as f64
+        },
+        mean_distance: if distances.is_empty() {
+            f64::NAN
+        } else {
+            distances.iter().sum::<f64>() / distances.len() as f64
+        },
+        distance_measured: distances.len(),
+        mean_reduction: reductions.iter().sum::<f64>() / reductions.len() as f64,
+    }
+}
+
+/// Runs the whole grid over the slice.
+pub fn run_grid() -> Vec<AblationResult> {
+    let apps = evaluation_slice();
+    grid().iter().map(|c| evaluate(c, &apps)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slice_covers_all_fault_classes() {
+        use energydx_workload::FaultClass;
+        let slice = evaluation_slice();
+        for class in [FaultClass::NoSleep, FaultClass::Loop, FaultClass::Configuration] {
+            assert!(slice.iter().any(|a| a.cause == class), "{class} missing");
+        }
+        assert!(slice.len() >= 10);
+    }
+
+    #[test]
+    fn default_config_dominates_on_one_app() {
+        // Spot check: the default beats the no-guard variant on
+        // precision for a single weak app (the full grid runs in the
+        // `ablations` binary).
+        let apps: Vec<FleetApp> = fleet().into_iter().filter(|a| a.id == 4).collect();
+        let grid = grid();
+        let default = evaluate(&grid[0], &apps);
+        assert!(default.recall > 0.99, "recall {}", default.recall);
+        assert!(default.precision > 0.99, "precision {}", default.precision);
+    }
+}

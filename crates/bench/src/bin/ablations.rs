@@ -1,0 +1,34 @@
+//! Ablation sweep over the analysis parameters — the "parameters are
+//! decided through experiments" experiments (DESIGN.md §4b).
+
+use energydx_bench::ablation;
+use energydx_bench::render::{pct, table};
+
+fn main() {
+    let results = ablation::run_grid();
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.clone(),
+                pct(r.precision),
+                pct(r.recall),
+                if r.mean_distance.is_nan() {
+                    "n/a".to_string()
+                } else {
+                    format!("{:.1}", r.mean_distance)
+                },
+                format!("{}/13", r.distance_measured),
+                pct(r.mean_reduction),
+            ]
+        })
+        .collect();
+    println!("Ablations over a 13-app fleet slice (per-trace detection)");
+    println!(
+        "{}",
+        table(
+            &["Configuration", "Precision", "Recall", "Distance", "Measured", "Reduction"],
+            &rows
+        )
+    );
+}

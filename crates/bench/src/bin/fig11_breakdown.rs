@@ -1,0 +1,25 @@
+//! Regenerates Figs. 11 and 14: per-component power breakdown while
+//! the ABD manifests (OpenGPS: GPS dominates with display off;
+//! Wallabag: CPU/WiFi dominate).
+
+use energydx_bench::casestudy;
+use energydx_bench::render::table;
+use energydx_workload::Scenario;
+
+fn main() {
+    for scenario in [Scenario::opengps(), Scenario::wallabag()] {
+        let cs = casestudy::measure(scenario);
+        println!(
+            "Power breakdown while the ABD manifests — {} (backgrounded tail)",
+            cs.name
+        );
+        let rows: Vec<Vec<String>> = cs
+            .abd_breakdown
+            .iter()
+            .map(|(c, mw)| vec![c.to_string(), format!("{mw:.1} mW")])
+            .collect();
+        println!("{}", table(&["Component", "Power"], &rows));
+        println!("dominant component: {}", cs.dominant_component());
+        println!();
+    }
+}

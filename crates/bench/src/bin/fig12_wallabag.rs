@@ -1,0 +1,44 @@
+//! Regenerates Figs. 12/13 and Table V: the Wallabag case study
+//! (deleting an already-deleted article makes the sync retry forever).
+
+use energydx_bench::casestudy;
+use energydx_bench::render::{pct, series, table};
+use energydx_workload::Scenario;
+
+fn main() {
+    let cs = casestudy::measure(Scenario::wallabag());
+    let trace = &cs.run.report.traces[cs.plotted_trace];
+
+    println!("Fig. 12a — raw event power (impacted trace)");
+    println!("{}", series("raw (mW)", &trace.raw_power_mw));
+    println!("Fig. 12b — normalized event power");
+    println!("{}", series("normalized", &trace.normalized_power));
+    println!("Fig. 12c — variation amplitude");
+    println!("{}", series("amplitude", &trace.amplitudes));
+
+    println!("Fig. 13 — manifestation point detection");
+    if let Some(fence) = trace.upper_fence {
+        println!("  fence (Q3 + 3*IQR): {fence:.2}");
+    }
+    for p in &trace.manifestation_points {
+        println!(
+            "  manifestation point at instance {} ({}), amplitude {:.2}",
+            p.instance_index, p.event, p.amplitude
+        );
+    }
+    println!();
+
+    println!("Table V — events reported to developers (Wallabag)");
+    let rows: Vec<Vec<String>> = cs
+        .event_table()
+        .into_iter()
+        .enumerate()
+        .map(|(i, (event, fraction))| vec![(i + 1).to_string(), event, pct(fraction)])
+        .collect();
+    println!("{}", table(&["Order", "Event", "%"], &rows));
+    println!(
+        "code search space: {} of {} lines (paper: 306 of 21424)",
+        cs.run.diagnosis_lines(),
+        cs.run.code_index.total_lines
+    );
+}

@@ -1,0 +1,39 @@
+//! Regenerates Fig. 15 and Table VI: the Tinfoil case study (the news
+//! feed keeps syncing after the app is backgrounded).
+
+use energydx_bench::casestudy;
+use energydx_bench::render::{pct, series, table};
+use energydx_workload::Scenario;
+
+fn main() {
+    let cs = casestudy::measure(Scenario::tinfoil());
+    let trace = &cs.run.report.traces[cs.plotted_trace];
+
+    println!("Fig. 15 — manifestation point identification (Tinfoil)");
+    println!("{}", series("normalized", &trace.normalized_power));
+    println!("{}", series("amplitude", &trace.amplitudes));
+    if let Some(fence) = trace.upper_fence {
+        println!("  fence (Q3 + 3*IQR): {fence:.2}");
+    }
+    for p in &trace.manifestation_points {
+        println!(
+            "  manifestation point at instance {} ({}), amplitude {:.2}",
+            p.instance_index, p.event, p.amplitude
+        );
+    }
+    println!();
+
+    println!("Table VI — events reported to developers (Tinfoil)");
+    let rows: Vec<Vec<String>> = cs
+        .event_table()
+        .into_iter()
+        .enumerate()
+        .map(|(i, (event, fraction))| vec![(i + 1).to_string(), event, pct(fraction)])
+        .collect();
+    println!("{}", table(&["Order", "Event", "%"], &rows));
+    println!(
+        "code search space: {} of {} lines (paper: 236 of 4226)",
+        cs.run.diagnosis_lines(),
+        cs.run.code_index.total_lines
+    );
+}

@@ -1,0 +1,50 @@
+//! Regenerates Fig. 16: per-app code reduction, EnergyDx vs the
+//! CheckAll baseline (paper: 93 % vs 67 %; 168 vs 1 205 lines).
+
+use energydx_bench::comparison;
+use energydx_bench::render::{pct, table};
+
+fn main() {
+    let result = comparison::measure();
+    let rows: Vec<Vec<String>> = result
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.id.to_string(),
+                r.name.clone(),
+                pct(r.energydx),
+                pct(r.checkall),
+                r.energydx_lines.to_string(),
+                r.checkall_lines.to_string(),
+            ]
+        })
+        .collect();
+    println!("Fig. 16 — code reduction: EnergyDx vs CheckAll");
+    println!(
+        "{}",
+        table(
+            &["ID", "App", "EnergyDx", "CheckAll", "EDx lines", "CA lines"],
+            &rows
+        )
+    );
+    let mean_edx_lines: f64 = result
+        .rows
+        .iter()
+        .map(|r| r.energydx_lines as f64)
+        .sum::<f64>()
+        / result.rows.len() as f64;
+    let mean_ca_lines: f64 = result
+        .rows
+        .iter()
+        .map(|r| r.checkall_lines as f64)
+        .sum::<f64>()
+        / result.rows.len() as f64;
+    println!(
+        "averages: EnergyDx {} / {:.0} lines (paper 93% / 168), CheckAll {} / {:.0} lines (paper 67% / 1205)",
+        pct(result.mean_energydx()),
+        mean_edx_lines,
+        pct(result.mean_checkall()),
+        mean_ca_lines,
+    );
+}

@@ -1,0 +1,48 @@
+//! Regenerates Fig. 17: average app power before and after fixing the
+//! ABD (paper: −27.2 % on average).
+
+use energydx_bench::fig17;
+use energydx_bench::render::{pct, table};
+
+fn main() {
+    let result = fig17::measure();
+    let rows: Vec<Vec<String>> = result
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.id.to_string(),
+                r.name.clone(),
+                format!("{:.0}", r.before_mw),
+                format!("{:.0}", r.after_mw),
+                pct(r.reduction()),
+            ]
+        })
+        .collect();
+    println!("Fig. 17 — average app power before/after the fix (mW)");
+    println!(
+        "{}",
+        table(&["ID", "App", "Before", "After", "Reduction"], &rows)
+    );
+    println!(
+        "average power reduction: {} (paper: 27.2%)",
+        pct(result.mean_reduction())
+    );
+
+    // The user-visible consequence (§I motivation): hours of battery
+    // the average ABD costs, assuming the phone otherwise draws a
+    // typical in-use load.
+    let battery = energydx_powermodel::Battery::nexus6();
+    let baseline = energydx_bench::overhead::TYPICAL_PHONE_POWER_MW;
+    let mean_before: f64 =
+        result.rows.iter().map(|r| r.before_mw).sum::<f64>() / result.rows.len() as f64;
+    let mean_after: f64 =
+        result.rows.iter().map(|r| r.after_mw).sum::<f64>() / result.rows.len() as f64;
+    let lost = battery.lifetime_lost_hours(baseline + mean_after, mean_before - mean_after);
+    println!(
+        "battery life: {:.1} h with the ABDs vs {:.1} h fixed ({:.1} h recovered per charge)",
+        battery.lifetime_hours(baseline + mean_before),
+        battery.lifetime_hours(baseline + mean_after),
+        lost
+    );
+}

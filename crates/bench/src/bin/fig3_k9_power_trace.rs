@@ -1,0 +1,32 @@
+//! Regenerates Fig. 3: the K-9 Mail power trace — normal-usage spikes
+//! while the user interacts, then a sustained abnormal level once the
+//! ABD manifests (visible whenever the phone should be at rest).
+
+use energydx_bench::k9;
+use energydx_bench::render::series;
+
+fn main() {
+    let result = k9::measure();
+    println!("Fig. 3 — K-9 Mail app power over time (impacted session)");
+    println!(
+        "{}",
+        series("app power (mW, one sample per 500 ms)", &result.power_samples())
+    );
+    let bg = result.background_power();
+    println!(
+        "background power before the manifestation point: {:8.1} mW (phone at rest)",
+        bg.before_mw
+    );
+    println!(
+        "background power after the manifestation point : {:8.1} mW (connection retries)",
+        bg.after_mw
+    );
+    println!(
+        "ratio: {:.1}x — the paper's normal(low) -> abnormal(high) transition",
+        if bg.before_mw > 0.0 {
+            bg.after_mw / bg.before_mw
+        } else {
+            f64::INFINITY
+        }
+    );
+}

@@ -1,0 +1,44 @@
+//! Regenerates Figs. 9/10 and Table IV: the OpenGPS case study
+//! (GPS not released when LoggerMap goes to the background).
+
+use energydx_bench::casestudy;
+use energydx_bench::render::{pct, series, table};
+use energydx_workload::Scenario;
+
+fn main() {
+    let cs = casestudy::measure(Scenario::opengps());
+    let trace = &cs.run.report.traces[cs.plotted_trace];
+
+    println!("Fig. 9a — raw event power (impacted trace)");
+    println!("{}", series("raw (mW)", &trace.raw_power_mw));
+    println!("Fig. 9b — normalized event power");
+    println!("{}", series("normalized", &trace.normalized_power));
+    println!("Fig. 9c — variation amplitude");
+    println!("{}", series("amplitude", &trace.amplitudes));
+
+    println!("Fig. 10 — manifestation point detection");
+    if let Some(fence) = trace.upper_fence {
+        println!("  fence (Q3 + 3*IQR): {fence:.2}");
+    }
+    for p in &trace.manifestation_points {
+        println!(
+            "  manifestation point at instance {} ({}), amplitude {:.2}",
+            p.instance_index, p.event, p.amplitude
+        );
+    }
+    println!();
+
+    println!("Table IV — events reported to developers (OpenGPS)");
+    let rows: Vec<Vec<String>> = cs
+        .event_table()
+        .into_iter()
+        .enumerate()
+        .map(|(i, (event, fraction))| vec![(i + 1).to_string(), event, pct(fraction)])
+        .collect();
+    println!("{}", table(&["Order", "Event", "%"], &rows));
+    println!(
+        "code search space: {} of {} lines (paper: 569 of 5060)",
+        cs.run.diagnosis_lines(),
+        cs.run.code_index.total_lines
+    );
+}

@@ -1,0 +1,40 @@
+//! Regenerates the §IV-F overhead numbers: instrumentation latency
+//! (paper: +8.3 %, < 9.38 ms average) and sampler power (paper: 32 mW
+//! ≈ 4.5 % of phone power).
+
+use energydx_bench::overhead;
+use energydx_bench::render::{pct, table};
+
+fn main() {
+    let result = overhead::measure();
+    let rows: Vec<Vec<String>> = result
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.clone(),
+                format!("{:.2}", r.base_latency_ms),
+                format!("{:.2}", r.instrumented_latency_ms),
+                pct(r.latency_overhead()),
+            ]
+        })
+        .collect();
+    println!("§IV-F — instrumentation latency per app (ms)");
+    println!(
+        "{}",
+        table(&["App", "Original", "Instrumented", "Overhead"], &rows)
+    );
+    println!(
+        "mean latency overhead: {} (paper: 8.3%)",
+        pct(result.mean_latency_overhead())
+    );
+    println!(
+        "mean instrumented event latency: {:.2} ms (paper: < 9.38 ms)",
+        result.mean_instrumented_latency_ms()
+    );
+    println!(
+        "sampler power: {:.0} mW = {} of typical phone power (paper: 32 mW / 4.5%)",
+        result.sampler_mw,
+        pct(result.sampler_fraction)
+    );
+}

@@ -1,0 +1,45 @@
+//! Regenerates Table II and Figs. 7/8: the K-9 Mail diagnosis
+//! walk-through and the top reported events.
+
+use energydx_bench::k9;
+use energydx_bench::render::{pct, series, table};
+
+fn main() {
+    let result = k9::measure();
+
+    println!("Fig. 7a — raw event power (impacted trace)");
+    println!("{}", series("raw (mW)", result.raw_series()));
+    println!("Fig. 7b — normalized event power");
+    println!("{}", series("normalized", result.normalized_series()));
+    println!("Fig. 7c — variation amplitude");
+    println!("{}", series("amplitude", result.amplitude_series()));
+
+    if let Some(fence) = result.upper_fence() {
+        println!("Fig. 8 — detection fence (Q3 + 3*IQR): {fence:.2}");
+    }
+    let points = &result.run.report.traces[result.plotted_trace].manifestation_points;
+    for p in points {
+        println!(
+            "  manifestation point at instance {} ({}), amplitude {:.2}",
+            p.instance_index, p.event, p.amplitude
+        );
+    }
+    println!();
+
+    println!("Table II — top K-9 Mail events reported by EnergyDx");
+    let rows: Vec<Vec<String>> = result
+        .table2()
+        .into_iter()
+        .enumerate()
+        .map(|(i, (event, fraction))| {
+            vec![(i + 1).to_string(), event, pct(fraction)]
+        })
+        .collect();
+    println!("{}", table(&["Order", "Event", "%"], &rows));
+    println!(
+        "code search space: {} of {} lines (reduction {})",
+        result.run.diagnosis_lines(),
+        result.run.code_index.total_lines,
+        pct(result.run.code_reduction()),
+    );
+}

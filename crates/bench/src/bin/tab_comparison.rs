@@ -1,0 +1,42 @@
+//! Regenerates the §IV-B comparison: EnergyDx vs No-sleep Detection
+//! vs eDelta (paper: 93 % vs 52.5 % vs 65 %).
+
+use energydx_bench::comparison;
+use energydx_bench::render::{pct, table};
+
+fn main() {
+    let result = comparison::measure();
+    let rows: Vec<Vec<String>> = result
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.id.to_string(),
+                r.name.clone(),
+                r.cause.to_string(),
+                pct(r.energydx),
+                pct(r.nosleep),
+                pct(r.edelta),
+            ]
+        })
+        .collect();
+    println!("§IV-B — code reduction per tool");
+    println!(
+        "{}",
+        table(
+            &["ID", "App", "Cause", "EnergyDx", "No-sleep", "eDelta"],
+            &rows
+        )
+    );
+    println!(
+        "averages: EnergyDx {} (paper 93%), No-sleep {} (paper 52.5%), eDelta {} (paper 65%)",
+        pct(result.mean_energydx()),
+        pct(result.mean_nosleep()),
+        pct(result.mean_edelta()),
+    );
+    println!(
+        "detections: No-sleep {}/40 (paper 21), eDelta {}/40 (paper 26)",
+        result.nosleep_detected(),
+        result.edelta_detected(),
+    );
+}

@@ -1,0 +1,32 @@
+//! Extension experiment: diagnosis quality vs. number of volunteer
+//! users, over the four case studies (the paper fixes this at 30+).
+
+use energydx_bench::render::{pct, table};
+use energydx_bench::scaling;
+
+fn main() {
+    let cells = scaling::sweep();
+    let rows: Vec<Vec<String>> = cells
+        .iter()
+        .map(|c| {
+            vec![
+                c.app.clone(),
+                c.users.to_string(),
+                pct(c.precision),
+                pct(c.recall),
+                c.distance
+                    .map(|d| d.to_string())
+                    .unwrap_or_else(|| "n/a".to_string()),
+                pct(c.reduction),
+            ]
+        })
+        .collect();
+    println!("Diagnosis quality vs. number of volunteers");
+    println!(
+        "{}",
+        table(
+            &["App", "Users", "Precision", "Recall", "Distance", "Reduction"],
+            &rows
+        )
+    );
+}

@@ -1,0 +1,133 @@
+//! The baseline comparisons: §IV-B (No-sleep Detection, eDelta) and
+//! Fig. 16 (CheckAll).
+//!
+//! Scoring follows the paper. No-sleep Detection and eDelta are
+//! *detection* tools: when they detect the right root cause their code
+//! reduction counts as 100 %, otherwise 0 % (§IV-B: "if they cannot
+//! detect the right root cause ... their code reduction would be 0%").
+//! CheckAll, like EnergyDx, is a *diagnosis* scheme scored by the
+//! lines behind the events it reports.
+
+use crate::run::{run_fleet, ScenarioRun};
+use energydx_baselines::{detect_no_sleep, CheckAll, EDelta};
+use energydx_workload::{FaultClass, FleetApp};
+
+/// Per-app comparison row.
+#[derive(Debug, Clone)]
+pub struct ComparisonRow {
+    /// App id.
+    pub id: u32,
+    /// App name.
+    pub name: String,
+    /// Root cause.
+    pub cause: FaultClass,
+    /// EnergyDx code reduction.
+    pub energydx: f64,
+    /// CheckAll code reduction (Fig. 16).
+    pub checkall: f64,
+    /// No-sleep Detection code reduction (100 % or 0 %).
+    pub nosleep: f64,
+    /// eDelta code reduction (100 % or 0 %).
+    pub edelta: f64,
+    /// Lines to read with EnergyDx / CheckAll (Fig. 16's 168 vs 1205).
+    pub energydx_lines: u64,
+    /// Lines to read with CheckAll.
+    pub checkall_lines: u64,
+}
+
+/// The assembled comparison.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// Rows in Table-III order.
+    pub rows: Vec<ComparisonRow>,
+}
+
+impl Comparison {
+    fn mean(&self, f: impl Fn(&ComparisonRow) -> f64) -> f64 {
+        self.rows.iter().map(f).sum::<f64>() / self.rows.len() as f64
+    }
+
+    /// Mean EnergyDx reduction (paper: 93 %).
+    pub fn mean_energydx(&self) -> f64 {
+        self.mean(|r| r.energydx)
+    }
+
+    /// Mean CheckAll reduction (paper: 67 %).
+    pub fn mean_checkall(&self) -> f64 {
+        self.mean(|r| r.checkall)
+    }
+
+    /// Mean No-sleep Detection reduction (paper: 52.5 %).
+    pub fn mean_nosleep(&self) -> f64 {
+        self.mean(|r| r.nosleep)
+    }
+
+    /// Mean eDelta reduction (paper: 65 %).
+    pub fn mean_edelta(&self) -> f64 {
+        self.mean(|r| r.edelta)
+    }
+
+    /// Apps detected by eDelta (paper: 26).
+    pub fn edelta_detected(&self) -> usize {
+        self.rows.iter().filter(|r| r.edelta > 0.0).count()
+    }
+
+    /// Apps detected by No-sleep Detection (paper: 21).
+    pub fn nosleep_detected(&self) -> usize {
+        self.rows.iter().filter(|r| r.nosleep > 0.0).count()
+    }
+}
+
+/// Scores one app against all baselines.
+pub fn score_app(app: &FleetApp, run: &ScenarioRun) -> ComparisonRow {
+    let scenario = app.scenario();
+
+    // No-sleep Detection: static analysis on the faulty build.
+    let nosleep_findings =
+        detect_no_sleep(&scenario.faulty_module()).expect("fleet modules are valid");
+    let nosleep_correct =
+        app.cause == FaultClass::NoSleep && !nosleep_findings.is_empty();
+    let nosleep = if nosleep_correct { 1.0 } else { 0.0 };
+
+    // eDelta: comparative deviation detection — the developer's
+    // reference runs (fixed build, same scripts) against the field
+    // traces EnergyDx used.
+    let reference = scenario
+        .collect(energydx_workload::scenario::Variant::Fixed)
+        .expect("fleet scripts are legal")
+        .diagnosis_input();
+    let edelta = if EDelta::new().detects(&reference, &run.input) {
+        1.0
+    } else {
+        0.0
+    };
+
+    // CheckAll: diagnosis lines behind every reported event.
+    let checkall_events = CheckAll::new().report(&run.input);
+    let checkall_lines = run.code_index.diagnosis_lines(&checkall_events);
+    let checkall = run.code_index.code_reduction(&checkall_events);
+
+    ComparisonRow {
+        id: app.id,
+        name: app.name.to_string(),
+        cause: app.cause,
+        energydx: run.code_reduction(),
+        checkall,
+        nosleep,
+        edelta,
+        energydx_lines: run.diagnosis_lines(),
+        checkall_lines,
+    }
+}
+
+/// Runs the full comparison over the fleet.
+pub fn measure() -> Comparison {
+    measure_from(&run_fleet())
+}
+
+/// Builds the comparison from pre-computed runs.
+pub fn measure_from(runs: &[(FleetApp, ScenarioRun)]) -> Comparison {
+    Comparison {
+        rows: runs.iter().map(|(app, run)| score_app(app, run)).collect(),
+    }
+}

@@ -1,0 +1,69 @@
+//! Fig. 1 — distribution of event distance over the 40 ABD cases.
+//!
+//! For every fleet app we diagnose the faulty build and measure the
+//! event distance between the injected root-cause event and the
+//! detected manifestation point closest to it. The paper's headline:
+//! the 90th percentile is 3 or shorter.
+
+use crate::run::{run_fleet, ScenarioRun};
+use energydx::distance::event_distance;
+use energydx_stats::Ecdf;
+use energydx_workload::FleetApp;
+
+/// One app's measured event distance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistanceSample {
+    /// Table-III app id.
+    pub id: u32,
+    /// App name.
+    pub name: String,
+    /// Event distance, when the diagnosis found a manifestation point
+    /// near the root cause.
+    pub distance: Option<usize>,
+}
+
+/// The Fig.-1 result: per-app distances plus the ECDF.
+#[derive(Debug, Clone)]
+pub struct Fig1 {
+    /// Per-app distances, in Table-III order.
+    pub samples: Vec<DistanceSample>,
+    /// ECDF over the measured distances.
+    pub ecdf: Ecdf,
+}
+
+impl Fig1 {
+    /// The 90th-percentile event distance (the paper's headline is ≤ 3).
+    pub fn p90(&self) -> f64 {
+        self.ecdf.quantile(90.0).expect("90 is a valid percentile")
+    }
+}
+
+/// Computes the event distance for one completed run.
+pub fn distance_of(run: &ScenarioRun) -> Option<usize> {
+    event_distance(&run.report, &run.root_cause)
+}
+
+/// Runs the whole experiment over the fleet.
+pub fn measure() -> Fig1 {
+    measure_from(&run_fleet())
+}
+
+/// Builds the result from pre-computed runs (shared with other
+/// experiment binaries).
+pub fn measure_from(runs: &[(FleetApp, ScenarioRun)]) -> Fig1 {
+    let samples: Vec<DistanceSample> = runs
+        .iter()
+        .map(|(app, run)| DistanceSample {
+            id: app.id,
+            name: app.name.to_string(),
+            distance: distance_of(run),
+        })
+        .collect();
+    let measured: Vec<f64> = samples
+        .iter()
+        .filter_map(|s| s.distance)
+        .map(|d| d as f64)
+        .collect();
+    let ecdf = Ecdf::new(&measured).expect("fleet yields at least one distance");
+    Fig1 { samples, ecdf }
+}

@@ -1,0 +1,92 @@
+//! Fig. 17 — average app power before and after fixing the ABD.
+//!
+//! Each app runs the same user scripts against the faulty and the
+//! fixed build; the paper reports a 27.2 % average power reduction,
+//! varying per app with the hardware component the fault overuses.
+
+use energydx_workload::scenario::Variant;
+use energydx_workload::{fleet, FleetApp};
+
+/// One app's before/after powers.
+#[derive(Debug, Clone)]
+pub struct Fig17Row {
+    /// App id.
+    pub id: u32,
+    /// App name.
+    pub name: String,
+    /// Mean session power of the faulty build (mW).
+    pub before_mw: f64,
+    /// Mean session power of the fixed build (mW).
+    pub after_mw: f64,
+}
+
+impl Fig17Row {
+    /// The per-app power reduction fraction.
+    pub fn reduction(&self) -> f64 {
+        if self.before_mw <= 0.0 {
+            0.0
+        } else {
+            (self.before_mw - self.after_mw) / self.before_mw
+        }
+    }
+}
+
+/// The assembled figure.
+#[derive(Debug, Clone)]
+pub struct Fig17 {
+    /// Rows in Table-III order.
+    pub rows: Vec<Fig17Row>,
+}
+
+impl Fig17 {
+    /// Mean power reduction across apps (paper: 27.2 %).
+    pub fn mean_reduction(&self) -> f64 {
+        self.rows.iter().map(Fig17Row::reduction).sum::<f64>() / self.rows.len() as f64
+    }
+}
+
+/// Measures one app.
+pub fn measure_app(app: &FleetApp) -> Fig17Row {
+    let scenario = app.scenario();
+    let before = scenario
+        .collect(Variant::Faulty)
+        .expect("scenario scripts are legal");
+    let after = scenario
+        .collect(Variant::Fixed)
+        .expect("scenario scripts are legal");
+    Fig17Row {
+        id: app.id,
+        name: app.name.to_string(),
+        before_mw: before.mean_power_mw(),
+        after_mw: after.mean_power_mw(),
+    }
+}
+
+/// Runs the whole fleet (each app twice).
+pub fn measure() -> Fig17 {
+    Fig17 {
+        rows: fleet().iter().map(measure_app).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixing_an_app_reduces_its_power() {
+        // Spot-check one strong app per fault class; the full fleet is
+        // exercised by the figure binary.
+        let fleet = fleet();
+        for id in [1usize, 33, 32] {
+            let row = measure_app(&fleet[id - 1]);
+            assert!(
+                row.reduction() > 0.03,
+                "{}: before {:.0} after {:.0}",
+                row.name,
+                row.before_mw,
+                row.after_mw
+            );
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Plain-text rendering helpers for the experiment binaries.
+
+/// Renders a table with a header row and aligned columns.
+///
+/// # Examples
+///
+/// ```
+/// # use energydx_bench::render::table;
+/// let out = table(
+///     &["App", "Reduction"],
+///     &[vec!["K-9 Mail".to_string(), "99%".to_string()]],
+/// );
+/// assert!(out.contains("K-9 Mail"));
+/// ```
+pub fn table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            line.push_str(&format!("{:<width$}  ", cell, width = widths[i]));
+        }
+        line.trim_end().to_string()
+    };
+    let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * cols));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders an ASCII sparkline-style series (for figure binaries):
+/// one `(x, y)` pair per line plus a proportional bar.
+pub fn series(name: &str, values: &[f64]) -> String {
+    let max = values.iter().cloned().fold(f64::MIN, f64::max).max(1e-9);
+    let mut out = format!("# {name} (n = {}, max = {max:.1})\n", values.len());
+    for (i, v) in values.iter().enumerate() {
+        let bar_len = ((v / max) * 50.0).max(0.0).round() as usize;
+        out.push_str(&format!("{i:>5}  {v:>10.2}  {}\n", "#".repeat(bar_len)));
+    }
+    out
+}
+
+/// Formats a fraction as a percentage with one decimal.
+pub fn pct(fraction: f64) -> String {
+    format!("{:.1}%", fraction * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let out = table(
+            &["A", "Bee"],
+            &[
+                vec!["x".into(), "1".into()],
+                vec!["long-cell".into(), "2".into()],
+            ],
+        );
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("A"));
+        assert!(lines[2].starts_with("x"));
+    }
+
+    #[test]
+    fn series_scales_bars() {
+        let out = series("test", &[0.0, 5.0, 10.0]);
+        assert!(out.contains("# test"));
+        let bars: Vec<usize> = out
+            .lines()
+            .skip(1)
+            .map(|l| l.chars().filter(|&c| c == '#').count())
+            .collect();
+        assert!(bars[2] > bars[1]);
+        assert_eq!(bars[0], 0);
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.934), "93.4%");
+    }
+}

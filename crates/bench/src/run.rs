@@ -1,0 +1,83 @@
+//! Shared experiment runner: scenario → traces → diagnosis.
+
+use energydx::report::CodeIndex;
+use energydx::{AnalysisConfig, DiagnosisInput, DiagnosisReport, EnergyDx};
+use energydx_workload::scenario::Variant;
+use energydx_workload::{CollectedTraces, FleetApp, Scenario};
+
+/// Everything one diagnosed scenario produces.
+#[derive(Debug, Clone)]
+pub struct ScenarioRun {
+    /// Scenario name.
+    pub name: String,
+    /// The collected faulty-build traces.
+    pub collected: CollectedTraces,
+    /// The Step-1 input.
+    pub input: DiagnosisInput,
+    /// The EnergyDx report.
+    pub report: DiagnosisReport,
+    /// Source-line index for the code-reduction metric.
+    pub code_index: CodeIndex,
+    /// The injected root-cause event.
+    pub root_cause: String,
+}
+
+impl ScenarioRun {
+    /// EnergyDx's code reduction for this app (§IV-B metric over the
+    /// top-k reported events).
+    pub fn code_reduction(&self) -> f64 {
+        self.code_index.code_reduction(self.report.reported_events())
+    }
+
+    /// Lines the developer must read with EnergyDx's report.
+    pub fn diagnosis_lines(&self) -> u64 {
+        self.code_index.diagnosis_lines(self.report.reported_events())
+    }
+}
+
+/// Collects and diagnoses the faulty build of one scenario.
+pub fn run_scenario(scenario: &Scenario) -> ScenarioRun {
+    let collected = scenario
+        .collect(Variant::Faulty)
+        .expect("scenario scripts are legal");
+    let input = collected.diagnosis_input();
+    let config =
+        AnalysisConfig::default().with_developer_fraction(scenario.developer_fraction());
+    let report = EnergyDx::new(config).diagnose(&input);
+    ScenarioRun {
+        name: scenario.name.clone(),
+        collected,
+        input,
+        report,
+        code_index: scenario.code_index(),
+        root_cause: scenario.root_cause_event(),
+    }
+}
+
+/// Runs the whole 40-app fleet (expensive: ~400 simulated sessions).
+pub fn run_fleet() -> Vec<(FleetApp, ScenarioRun)> {
+    energydx_workload::fleet()
+        .into_iter()
+        .map(|app| {
+            let run = run_scenario(&app.scenario());
+            (app, run)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_scenario_produces_consistent_artifacts() {
+        let mut s = Scenario::tinfoil();
+        s.n_users = 4;
+        let run = run_scenario(&s);
+        assert_eq!(run.input.len(), 4);
+        assert_eq!(run.report.traces.len(), 4);
+        assert!(run.code_index.total_lines > 0);
+        assert!(run.code_reduction() <= 1.0);
+        assert!(run.root_cause.contains("menu_item_newsfeed"));
+    }
+}

@@ -1,0 +1,339 @@
+//! The `energydx` command-line driver.
+//!
+//! Mirrors the paper's workflow on the simulated substrate:
+//!
+//! ```text
+//! energydx instrument <app.smali> [-o out.smali]   # §II-C instrumenter
+//! energydx simulate --app <name> [--users N] --out <dir>
+//!                                                  # collect field traces
+//! energydx analyze --dir <dir> [--fraction F]     # 5-step diagnosis
+//! energydx demo --app <name>                      # simulate + analyze
+//! energydx apps                                   # list scenarios
+//! ```
+//!
+//! `simulate` writes one `user-N.events` (Fig.-5 text log) and one
+//! `user-N.power` (CSV `timestamp_ms,total_mw`) per user; `analyze`
+//! reads them back, so the two halves can run on different machines —
+//! like the paper's phone-side collection and server-side analysis.
+
+use energydx::{AnalysisConfig, DiagnosisInput, EnergyDx};
+use energydx_dexir::instrument::{EventPool, Instrumenter};
+use energydx_dexir::text::{assemble_module, parse_module};
+use energydx_dexir::MethodKey;
+use energydx_trace::event::EventTrace;
+use energydx_trace::power::{PowerSample, PowerTrace};
+use energydx_trace::util::Component;
+use energydx_workload::scenario::Variant;
+use energydx_workload::Scenario;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("instrument") => cmd_instrument(&args[1..]),
+        Some("verify") => cmd_verify(&args[1..]),
+        Some("simulate") => cmd_simulate(&args[1..]),
+        Some("analyze") => cmd_analyze(&args[1..]),
+        Some("demo") => cmd_demo(&args[1..]),
+        Some("apps") => cmd_apps(),
+        Some("help") | Some("--help") | Some("-h") | None => {
+            print_usage();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}` (try `energydx help`)")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("energydx: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    println!(
+        "EnergyDx — diagnosing energy anomalies by identifying the manifestation point
+
+USAGE:
+  energydx instrument <app.smali> [-o <out.smali>]
+  energydx verify <app.smali>
+  energydx simulate --app <name> [--users <n>] [--fixed] --out <dir>
+  energydx analyze --dir <dir> [--fraction <0..1>] [--top <k>] [--explain]
+  energydx demo --app <name>
+  energydx apps
+
+Scenario names: k9mail, opengps, wallabag, tinfoil, or a Table-III id (1-40)."
+    );
+}
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn scenario_by_name(name: &str) -> Result<Scenario, String> {
+    match name {
+        "k9mail" | "k9" => Ok(Scenario::k9mail()),
+        "opengps" => Ok(Scenario::opengps()),
+        "wallabag" => Ok(Scenario::wallabag()),
+        "tinfoil" => Ok(Scenario::tinfoil()),
+        id => {
+            let idx: usize = id
+                .parse()
+                .map_err(|_| format!("unknown scenario `{id}` (try `energydx apps`)"))?;
+            if !(1..=40).contains(&idx) {
+                return Err(format!("Table III ids are 1-40, got {idx}"));
+            }
+            Ok(energydx_workload::fleet()[idx - 1].scenario())
+        }
+    }
+}
+
+fn cmd_apps() -> Result<(), String> {
+    println!("case studies: k9mail opengps wallabag tinfoil");
+    println!("Table III fleet:");
+    for app in energydx_workload::fleet() {
+        println!(
+            "  {:>2}  {:<18} {:<7} {}",
+            app.id, app.name, app.downloads, app.cause
+        );
+    }
+    Ok(())
+}
+
+fn cmd_instrument(args: &[String]) -> Result<(), String> {
+    let input = args
+        .first()
+        .filter(|a| !a.starts_with('-'))
+        .ok_or("instrument needs an input .smali file")?;
+    let source = std::fs::read_to_string(input)
+        .map_err(|e| format!("cannot read {input}: {e}"))?;
+    let module = parse_module(&source).map_err(|e| e.to_string())?;
+    let report = Instrumenter::new(EventPool::standard())
+        .instrument(&module)
+        .map_err(|e| e.to_string())?;
+    let out = flag_value(args, "-o")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from(format!("{input}.instrumented")));
+    std::fs::write(&out, assemble_module(&report.module))
+        .map_err(|e| format!("cannot write {}: {e}", out.display()))?;
+    println!(
+        "instrumented {} callbacks (+{} instructions, latency overhead {:.1}%) -> {}",
+        report.instrumented_methods,
+        report.added_instructions,
+        report.latency_overhead() * 100.0,
+        out.display()
+    );
+    Ok(())
+}
+
+fn cmd_verify(args: &[String]) -> Result<(), String> {
+    let input = args
+        .first()
+        .filter(|a| !a.starts_with('-'))
+        .ok_or("verify needs an input .smali file")?;
+    let source = std::fs::read_to_string(input)
+        .map_err(|e| format!("cannot read {input}: {e}"))?;
+    let module = parse_module(&source).map_err(|e| e.to_string())?;
+    let findings =
+        energydx_dexir::verify::verify_module(&module).map_err(|e| e.to_string())?;
+    if findings.is_empty() {
+        println!(
+            "{}: {} classes, {} lines — verifies clean",
+            input,
+            module.classes.len(),
+            module.total_source_lines()
+        );
+        Ok(())
+    } else {
+        for finding in &findings {
+            eprintln!("{finding}");
+        }
+        Err(format!("{} verifier finding(s)", findings.len()))
+    }
+}
+
+fn cmd_simulate(args: &[String]) -> Result<(), String> {
+    let name = flag_value(args, "--app").ok_or("simulate needs --app <name>")?;
+    let out_dir = PathBuf::from(flag_value(args, "--out").ok_or("simulate needs --out <dir>")?);
+    let mut scenario = scenario_by_name(name)?;
+    if let Some(users) = flag_value(args, "--users") {
+        scenario.n_users = users
+            .parse()
+            .map_err(|_| format!("invalid --users `{users}`"))?;
+    }
+    let variant = if args.iter().any(|a| a == "--fixed") {
+        Variant::Fixed
+    } else {
+        Variant::Faulty
+    };
+    let collected = scenario.collect(variant).map_err(|e| e.to_string())?;
+    std::fs::create_dir_all(&out_dir)
+        .map_err(|e| format!("cannot create {}: {e}", out_dir.display()))?;
+    for (i, (events, power)) in collected.pairs.iter().enumerate() {
+        let events_path = out_dir.join(format!("user-{i}.events"));
+        std::fs::write(&events_path, events.to_log())
+            .map_err(|e| format!("cannot write {}: {e}", events_path.display()))?;
+        let power_path = out_dir.join(format!("user-{i}.power"));
+        std::fs::write(&power_path, power_to_csv(power))
+            .map_err(|e| format!("cannot write {}: {e}", power_path.display()))?;
+    }
+    println!(
+        "collected {} user sessions of {} into {} (mean app power {:.0} mW)",
+        collected.pairs.len(),
+        scenario.name,
+        out_dir.display(),
+        collected.mean_power_mw()
+    );
+    println!(
+        "hint: analyze with `energydx analyze --dir {} --fraction {}`",
+        out_dir.display(),
+        scenario.developer_fraction()
+    );
+    Ok(())
+}
+
+fn cmd_analyze(args: &[String]) -> Result<(), String> {
+    let dir = PathBuf::from(flag_value(args, "--dir").ok_or("analyze needs --dir <dir>")?);
+    let fraction: f64 = flag_value(args, "--fraction")
+        .map(|f| f.parse().map_err(|_| format!("invalid --fraction `{f}`")))
+        .transpose()?
+        .unwrap_or(0.15);
+    let top_k: usize = flag_value(args, "--top")
+        .map(|t| t.parse().map_err(|_| format!("invalid --top `{t}`")))
+        .transpose()?
+        .unwrap_or(6);
+
+    let pairs = load_trace_dir(&dir)?;
+    if pairs.is_empty() {
+        return Err(format!("no user-*.events files in {}", dir.display()));
+    }
+    let input = DiagnosisInput::from_traces(&pairs);
+    let mut config = AnalysisConfig::default().with_developer_fraction(fraction);
+    config.top_k = top_k;
+    let report = EnergyDx::new(config.clone()).diagnose(&input);
+
+    if args.iter().any(|a| a == "--explain") {
+        print!("{}", energydx::explain::explain(&report, &config, None));
+        return Ok(());
+    }
+    println!(
+        "analyzed {} traces, {} manifestation points in {} impacted traces",
+        input.len(),
+        report.manifestation_point_count(),
+        report.impacted_traces().len()
+    );
+    println!(
+        "events reported to the developer (closest to {:.0}% impacted):",
+        fraction * 100.0
+    );
+    for (i, event) in report.reported_events().iter().enumerate() {
+        let short = MethodKey::parse(&event.event)
+            .map(|k| k.short())
+            .unwrap_or_else(|| event.event.clone());
+        println!(
+            "  {}. {:<50} {:>5.1}%",
+            i + 1,
+            short,
+            event.impacted_fraction * 100.0
+        );
+    }
+    Ok(())
+}
+
+fn cmd_demo(args: &[String]) -> Result<(), String> {
+    let name = flag_value(args, "--app").ok_or("demo needs --app <name>")?;
+    let scenario = scenario_by_name(name)?;
+    let collected = scenario
+        .collect(Variant::Faulty)
+        .map_err(|e| e.to_string())?;
+    let input = collected.diagnosis_input();
+    let config =
+        AnalysisConfig::default().with_developer_fraction(scenario.developer_fraction());
+    let report = EnergyDx::new(config).diagnose(&input);
+    let code_index = scenario.code_index();
+
+    println!("== {} ==", scenario.name);
+    println!(
+        "{} traces collected; ABD detected in {} of them",
+        input.len(),
+        report.impacted_traces().len()
+    );
+    println!("reported events:");
+    for (i, event) in report.reported_events().iter().enumerate() {
+        let short = MethodKey::parse(&event.event)
+            .map(|k| k.short())
+            .unwrap_or_else(|| event.event.clone());
+        println!(
+            "  {}. {:<50} {:>5.1}%",
+            i + 1,
+            short,
+            event.impacted_fraction * 100.0
+        );
+    }
+    println!(
+        "code search space: {} of {} lines (reduction {:.1}%)",
+        code_index.diagnosis_lines(report.reported_events()),
+        code_index.total_lines,
+        code_index.code_reduction(report.reported_events()) * 100.0
+    );
+    println!("injected root cause: {}", scenario.root_cause_event());
+    Ok(())
+}
+
+fn power_to_csv(power: &PowerTrace) -> String {
+    let mut out = String::from("timestamp_ms,total_mw\n");
+    for s in power.samples() {
+        out.push_str(&format!("{},{:.3}\n", s.timestamp_ms, s.total_mw));
+    }
+    out
+}
+
+fn power_from_csv(csv: &str) -> Result<PowerTrace, String> {
+    let mut trace = PowerTrace::new();
+    for (i, line) in csv.lines().enumerate().skip(1) {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (ts, mw) = line
+            .split_once(',')
+            .ok_or_else(|| format!("power csv line {} malformed", i + 1))?;
+        let ts: u64 = ts
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad timestamp on line {}", i + 1))?;
+        let mw: f64 = mw
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad power on line {}", i + 1))?;
+        let mut sample = PowerSample::new(ts);
+        sample.set_component(Component::Cpu, mw);
+        trace.push(sample);
+    }
+    Ok(trace)
+}
+
+fn load_trace_dir(dir: &Path) -> Result<Vec<(EventTrace, PowerTrace)>, String> {
+    let mut pairs = Vec::new();
+    let mut user = 0usize;
+    loop {
+        let events_path = dir.join(format!("user-{user}.events"));
+        if !events_path.exists() {
+            break;
+        }
+        let events_text = std::fs::read_to_string(&events_path)
+            .map_err(|e| format!("cannot read {}: {e}", events_path.display()))?;
+        let events = EventTrace::from_log(&events_text).map_err(|e| e.to_string())?;
+        let power_path = dir.join(format!("user-{user}.power"));
+        let power_text = std::fs::read_to_string(&power_path)
+            .map_err(|e| format!("cannot read {}: {e}", power_path.display()))?;
+        let power = power_from_csv(&power_text)?;
+        pairs.push((events, power));
+        user += 1;
+    }
+    Ok(pairs)
+}

@@ -1,0 +1,203 @@
+//! Integration tests for the `energydx` binary: every subcommand,
+//! driven through the filesystem like a user would.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn energydx() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_energydx"))
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("energydx-cli-test-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn help_lists_all_subcommands() {
+    let out = energydx().arg("help").output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for cmd in ["instrument", "simulate", "analyze", "demo", "apps"] {
+        assert!(text.contains(cmd), "help missing {cmd}");
+    }
+}
+
+#[test]
+fn unknown_command_fails_with_message() {
+    let out = energydx().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn apps_lists_the_table_iii_fleet() {
+    let out = energydx().arg("apps").output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("K-9 Mail"));
+    assert!(text.contains("Fitdice"));
+    assert!(text.lines().count() > 40);
+}
+
+#[test]
+fn instrument_rewrites_a_smali_file() {
+    let dir = temp_dir("instrument");
+    let input = dir.join("app.smali");
+    std::fs::write(
+        &input,
+        "\
+.package com.cli.test
+.class Lcom/cli/test/Main;
+.super Landroid/app/Activity;
+.activity
+.method onResume()V
+  .registers 2
+  .lines 9
+  return-void
+.end method
+.end class
+",
+    )
+    .unwrap();
+    let out_path = dir.join("app.instrumented.smali");
+    let out = energydx()
+        .args(["instrument", input.to_str().unwrap(), "-o", out_path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let rewritten = std::fs::read_to_string(&out_path).unwrap();
+    assert!(rewritten.contains("log-enter Lcom/cli/test/Main;->onResume"));
+    assert!(rewritten.contains("log-exit"));
+}
+
+#[test]
+fn verify_passes_clean_and_flags_broken_modules() {
+    let dir = temp_dir("verify");
+    let clean = dir.join("clean.smali");
+    std::fs::write(
+        &clean,
+        "\
+.package com.cli.test
+.class Lcom/cli/test/Main;
+.super Landroid/app/Activity;
+.activity
+.method onResume()V
+  .registers 2
+  .lines 9
+  const v0, 1
+  return-void
+.end method
+.end class
+",
+    )
+    .unwrap();
+    let out = energydx().args(["verify", clean.to_str().unwrap()]).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("verifies clean"));
+
+    let broken = dir.join("broken.smali");
+    std::fs::write(
+        &broken,
+        "\
+.package com.cli.test
+.class Lcom/cli/test/Main;
+.super Landroid/app/Activity;
+.activity
+.method onResume()V
+  .registers 2
+  .lines 9
+  const v9, 1
+  return-void
+.end method
+.end class
+",
+    )
+    .unwrap();
+    let out = energydx().args(["verify", broken.to_str().unwrap()]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("register v9"));
+}
+
+#[test]
+fn instrument_rejects_malformed_input() {
+    let dir = temp_dir("badsmali");
+    let input = dir.join("bad.smali");
+    std::fs::write(&input, "this is not smali\n").unwrap();
+    let out = energydx()
+        .args(["instrument", input.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("parse error"));
+}
+
+#[test]
+fn simulate_then_analyze_round_trip() {
+    let dir = temp_dir("roundtrip");
+    let out = energydx()
+        .args([
+            "simulate",
+            "--app",
+            "opengps",
+            "--users",
+            "5",
+            "--out",
+            dir.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    // One .events and one .power file per user.
+    for user in 0..5 {
+        assert!(dir.join(format!("user-{user}.events")).exists());
+        assert!(dir.join(format!("user-{user}.power")).exists());
+    }
+
+    let out = energydx()
+        .args(["analyze", "--dir", dir.to_str().unwrap(), "--fraction", "0.3"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("analyzed 5 traces"));
+    assert!(
+        text.contains("LoggerMap") || text.contains("ControlTracking") || text.contains("Idle"),
+        "analysis output: {text}"
+    );
+}
+
+#[test]
+fn analyze_fails_cleanly_on_empty_dir() {
+    let dir = temp_dir("empty");
+    let out = energydx()
+        .args(["analyze", "--dir", dir.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("no user-"));
+}
+
+#[test]
+fn demo_reports_the_root_cause() {
+    let out = energydx().args(["demo", "--app", "tinfoil"]).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("menu_item_newsfeed"), "demo output: {text}");
+    assert!(text.contains("code search space"));
+}
+
+#[test]
+fn demo_accepts_table_iii_ids() {
+    let out = energydx().args(["demo", "--app", "5"]).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("Open Camera"));
+}
+
+#[test]
+fn demo_rejects_out_of_range_ids() {
+    let out = energydx().args(["demo", "--app", "41"]).output().unwrap();
+    assert!(!out.status.success());
+}

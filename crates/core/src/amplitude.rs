@@ -1,0 +1,186 @@
+//! Variation amplitude (Step 4's metric).
+//!
+//! For a trace of normalized powers `p[0..n]`, the variation amplitude
+//! of instance `i` is `p[i+1] − p[i]`; when the normalized power "keeps
+//! increasing from the i-th instance until the (i+n)-th instance", the
+//! amplitude is instead `p[i+n] − p[i]` — the whole rise is attributed
+//! to the instance where it begins, because real ABDs often ramp power
+//! up across several events rather than in one jump.
+
+/// Computes the variation amplitude of every instance. The last
+/// instance has amplitude 0 (nothing follows it).
+///
+/// # Examples
+///
+/// ```
+/// # use energydx::amplitude::variation_amplitudes;
+/// // A two-step ramp: the whole rise (1→5) lands on index 1.
+/// let v = variation_amplitudes(&[1.0, 1.0, 3.0, 5.0, 5.0]);
+/// assert_eq!(v, vec![0.0, 4.0, 2.0, 0.0, 0.0]);
+/// ```
+pub fn variation_amplitudes(normalized: &[f64]) -> Vec<f64> {
+    let n = normalized.len();
+    let mut out = vec![0.0; n];
+    for i in 0..n.saturating_sub(1) {
+        if normalized[i + 1] > normalized[i] {
+            // Extend across the maximal strictly increasing run.
+            let mut j = i + 1;
+            while j + 1 < n && normalized[j + 1] > normalized[j] {
+                j += 1;
+            }
+            out[i] = normalized[j] - normalized[i];
+        } else {
+            out[i] = normalized[i + 1] - normalized[i];
+        }
+    }
+    out
+}
+
+/// Robust (sustained) variation amplitude: the median normalized power
+/// of the `w` instances after `i` minus the median of the `w`
+/// instances up to and including `i`.
+///
+/// The paper's adjacent-difference amplitude reacts to any single
+/// high-power instance; on traces with occasional aberrant-context
+/// instances this produces spurious spikes that rise and immediately
+/// fall. A real manifestation is a *level shift* — power rises and
+/// stays (Fig. 3) — which this windowed-median variant isolates: one
+/// outlying instance cannot move either median, while a sustained rise
+/// moves the entire after-window.
+///
+/// # Examples
+///
+/// ```
+/// # use energydx::amplitude::sustained_amplitudes;
+/// // A one-instance glitch is suppressed...
+/// let glitch = [1.0, 1.0, 9.0, 1.0, 1.0, 1.0, 1.0];
+/// let v = sustained_amplitudes(&glitch, 3);
+/// assert!(v.iter().all(|&a| a.abs() < 1e-9));
+/// // ...while a level shift is attributed to its onset.
+/// let shift = [1.0, 1.0, 1.0, 6.0, 6.0, 6.0, 6.0];
+/// let v = sustained_amplitudes(&shift, 3);
+/// assert_eq!(v[2], 5.0);
+/// ```
+pub fn sustained_amplitudes(normalized: &[f64], w: usize) -> Vec<f64> {
+    let n = normalized.len();
+    let w = w.max(1);
+    let mut out = vec![0.0; n];
+    if n < 2 {
+        return out;
+    }
+    for i in 0..n - 1 {
+        let before_lo = i.saturating_sub(w - 1);
+        let after_hi = (i + w).min(n - 1);
+        let before = median_of(&normalized[before_lo..=i]);
+        let after = median_of(&normalized[i + 1..=after_hi]);
+        out[i] = after - before;
+    }
+    out
+}
+
+fn median_of(values: &[f64]) -> f64 {
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("normalized power is finite"));
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        (v[n / 2 - 1] + v[n / 2]) / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_trace_has_zero_amplitudes() {
+        assert_eq!(variation_amplitudes(&[2.0; 5]), vec![0.0; 5]);
+    }
+
+    #[test]
+    fn single_jump_is_attributed_to_its_start() {
+        let v = variation_amplitudes(&[1.0, 1.0, 6.0, 6.0]);
+        assert_eq!(v, vec![0.0, 5.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn gradual_rise_accumulates_on_the_first_instance() {
+        // The paper's rationale: "the power consumption of the app
+        // gradually increases after the ABD is triggered".
+        let v = variation_amplitudes(&[1.0, 2.0, 3.0, 4.0, 4.0]);
+        assert_eq!(v[0], 3.0);
+        // Instances inside the run still see their own remaining rise.
+        assert_eq!(v[1], 2.0);
+        assert_eq!(v[2], 1.0);
+        assert_eq!(v[3], 0.0);
+    }
+
+    #[test]
+    fn drops_produce_negative_amplitudes() {
+        let v = variation_amplitudes(&[5.0, 1.0]);
+        assert_eq!(v, vec![-4.0, 0.0]);
+    }
+
+    #[test]
+    fn run_sum_property_holds() {
+        // Over a strictly monotone run, the amplitude at the start
+        // equals the endpoint delta.
+        let data = [0.5, 1.0, 2.5, 7.0];
+        let v = variation_amplitudes(&data);
+        assert_eq!(v[0], 7.0 - 0.5);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        assert!(variation_amplitudes(&[]).is_empty());
+        assert_eq!(variation_amplitudes(&[3.0]), vec![0.0]);
+    }
+
+    #[test]
+    fn valley_then_rise() {
+        let v = variation_amplitudes(&[3.0, 1.0, 4.0]);
+        assert_eq!(v, vec![-2.0, 3.0, 0.0]);
+    }
+
+    #[test]
+    fn sustained_flat_trace_is_zero() {
+        assert_eq!(sustained_amplitudes(&[2.0; 8], 3), vec![0.0; 8]);
+    }
+
+    #[test]
+    fn sustained_suppresses_alternating_context_noise() {
+        // Oscillation between two context modes must not register.
+        let data = [1.0, 2.0, 1.0, 2.0, 1.0, 2.0, 1.0, 2.0];
+        let v = sustained_amplitudes(&data, 3);
+        let max = v.iter().cloned().fold(0.0, f64::max);
+        assert!(max <= 1.0, "oscillation amp {max}");
+    }
+
+    #[test]
+    fn sustained_detects_level_shift_above_oscillation() {
+        let mut data = vec![1.0, 2.0, 1.0, 2.0, 1.0, 2.0];
+        data.extend([8.0, 9.0, 8.0, 9.0, 8.0]);
+        let v = sustained_amplitudes(&data, 3);
+        let (argmax, &max) = v
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap();
+        assert!(max > 5.0);
+        assert!((4..=6).contains(&argmax), "shift onset at {argmax}");
+    }
+
+    #[test]
+    fn sustained_handles_short_inputs() {
+        assert!(sustained_amplitudes(&[], 3).is_empty());
+        assert_eq!(sustained_amplitudes(&[1.0], 3), vec![0.0]);
+        assert_eq!(sustained_amplitudes(&[1.0, 4.0], 3), vec![3.0, 0.0]);
+    }
+
+    #[test]
+    fn sustained_window_one_is_adjacent_difference() {
+        let data = [1.0, 3.0, 2.0];
+        assert_eq!(sustained_amplitudes(&data, 1), vec![2.0, -1.0, 0.0]);
+    }
+}

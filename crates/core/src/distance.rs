@@ -1,0 +1,131 @@
+//! Event distance (the Fig.-1 metric).
+//!
+//! "Event distance is defined as the number of events (user interaction
+//! or activity lifecycle) invoked between (exclusive) the real
+//! triggering event (i.e., root cause) and the event that is closest to
+//! the manifestation point" (§II-A). The paper's headline statistic:
+//! over 40 real ABD cases the 90th percentile of event distances is ≤ 3.
+
+use crate::report::DiagnosisReport;
+
+/// Event distance between the *last* occurrence of the root-cause
+/// event at or before a manifestation point and that point, within one
+/// analyzed trace. Returns `None` when the trace has no detection or
+/// the root cause never occurs before one.
+///
+/// # Examples
+///
+/// ```
+/// # use energydx::distance::event_distance_in_trace;
+/// let events = ["A", "B", "C", "D", "E"];
+/// // Root cause at index 0, manifestation at index 4 → 3 events between.
+/// assert_eq!(event_distance_in_trace(&events, "A", 4), Some(3));
+/// assert_eq!(event_distance_in_trace(&events, "E", 4), Some(0));
+/// assert_eq!(event_distance_in_trace(&events, "Z", 4), None);
+/// ```
+pub fn event_distance_in_trace<S: AsRef<str>>(
+    events: &[S],
+    root_cause: &str,
+    manifestation_index: usize,
+) -> Option<usize> {
+    let idx = events[..=manifestation_index.min(events.len().saturating_sub(1))]
+        .iter()
+        .rposition(|e| e.as_ref() == root_cause)?;
+    Some(manifestation_index - idx - usize::from(idx != manifestation_index))
+}
+
+/// The minimum event distance between the root cause and any detected
+/// manifestation point, across all traces of a report. `None` when
+/// nothing was detected near the root cause.
+pub fn event_distance(report: &DiagnosisReport, root_cause: &str) -> Option<usize> {
+    report
+        .traces
+        .iter()
+        .flat_map(|t| {
+            t.manifestation_points
+                .iter()
+                .filter_map(|p| event_distance_in_trace(&t.events, root_cause, p.instance_index))
+        })
+        .min()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::{ManifestationPoint, TraceAnalysis};
+
+    #[test]
+    fn k9_example_distance_is_three() {
+        // Fig. 2: AccountSettings:onResume (root cause) then three
+        // events, then the manifestation point.
+        let events = [
+            "Lcom/fsck/k9/activity/setup/AccountSettings;->onResume",
+            "Lcom/fsck/k9/service/MailService;->onCreate",
+            "Lcom/fsck/k9/activity/MessageList;->onResume",
+            "Lcom/fsck/k9/K9Activity;->onResume",
+            "Ljava/net/Socket;->connect",
+        ];
+        assert_eq!(
+            event_distance_in_trace(
+                &events,
+                "Lcom/fsck/k9/activity/setup/AccountSettings;->onResume",
+                4
+            ),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn unlogged_manifestation_uses_nearest_event() {
+        // If the 5th event were not logged, the 4th would be the
+        // manifestation point and the distance shrinks to 2.
+        let events = [
+            "AccountSettings;->onResume",
+            "MailService;->onCreate",
+            "MessageList;->onResume",
+            "K9Activity;->onResume",
+        ];
+        assert_eq!(
+            event_distance_in_trace(&events, "AccountSettings;->onResume", 3),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn root_cause_at_the_point_has_distance_zero() {
+        assert_eq!(event_distance_in_trace(&["X", "Y"], "Y", 1), Some(0));
+    }
+
+    #[test]
+    fn root_cause_after_the_point_is_not_found() {
+        let events = ["A", "B", "C"];
+        assert_eq!(event_distance_in_trace(&events, "C", 1), None);
+    }
+
+    #[test]
+    fn report_level_distance_takes_the_minimum() {
+        let mk = |events: Vec<&str>, idx: usize| TraceAnalysis {
+            raw_power_mw: vec![],
+            events: events.into_iter().map(String::from).collect(),
+            normalized_power: vec![],
+            amplitudes: vec![],
+            upper_fence: None,
+            manifestation_points: vec![ManifestationPoint {
+                instance_index: idx,
+                event: "M".into(),
+                amplitude: 1.0,
+            }],
+        };
+        let report = DiagnosisReport {
+            traces: vec![
+                mk(vec!["R", "x", "x", "x", "M"], 4), // distance 3
+                mk(vec!["R", "M"], 1),                // distance 0
+            ],
+            events: vec![],
+            rankings: Default::default(),
+            top_k: 6,
+        };
+        assert_eq!(event_distance(&report, "R"), Some(0));
+        assert_eq!(event_distance(&report, "ZZZ"), None);
+    }
+}

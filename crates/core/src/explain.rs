@@ -1,0 +1,200 @@
+//! Human-readable diagnosis reports.
+//!
+//! EnergyDx's output is ultimately read by an app developer hunting a
+//! bug. This module renders a [`DiagnosisReport`] into the narrative
+//! the paper's workflow implies: how many users are affected, where
+//! the power transits from normal to abnormal, which events to start
+//! from, and how much code that leaves to read.
+
+use crate::config::AnalysisConfig;
+use crate::report::{CodeIndex, DiagnosisReport};
+use std::fmt::Write as _;
+
+/// Renders the full developer-facing report.
+///
+/// # Examples
+///
+/// ```
+/// use energydx::{AnalysisConfig, DiagnosisInput, EnergyDx};
+/// use energydx::explain::explain;
+/// use energydx::report::CodeIndex;
+/// # use energydx_trace::event::EventInstance;
+/// # use energydx_trace::join::PoweredInstance;
+/// # let mk = |mw: f64, i: u64| PoweredInstance {
+/// #     instance: EventInstance::new("LA;->onResume", i * 1000, i * 1000 + 10),
+/// #     power_mw: mw,
+/// # };
+/// # let quiet: Vec<_> = (0..20).map(|i| mk(100.0, i)).collect();
+/// # let mut hot = quiet.clone();
+/// # for p in hot.iter_mut().skip(10) { p.power_mw = 900.0; }
+/// let input = DiagnosisInput::new(vec![quiet, hot]);
+/// let config = AnalysisConfig::default().with_developer_fraction(0.5);
+/// let report = EnergyDx::new(config.clone()).diagnose(&input);
+/// let text = explain(&report, &config, Some(&CodeIndex::new(1_000)));
+/// assert!(text.contains("manifestation point"));
+/// ```
+pub fn explain(
+    report: &DiagnosisReport,
+    config: &AnalysisConfig,
+    code: Option<&CodeIndex>,
+) -> String {
+    let mut out = String::new();
+    let impacted = report.impacted_traces();
+    let total = report.traces.len();
+
+    if impacted.is_empty() {
+        let _ = writeln!(
+            out,
+            "No abnormal battery drain detected across {total} collected trace(s): \
+             every trace's normalized power stays flat after event normalization."
+        );
+        return out;
+    }
+
+    let _ = writeln!(
+        out,
+        "Abnormal battery drain detected in {} of {} collected trace(s) \
+         ({} manifestation point(s) total).",
+        impacted.len(),
+        total,
+        report.manifestation_point_count()
+    );
+    let _ = writeln!(
+        out,
+        "You estimated {:.0}% of users are affected; the events below impacted \
+         the closest-matching fraction of traces.",
+        config.developer_fraction * 100.0
+    );
+    out.push('\n');
+
+    let _ = writeln!(out, "Start your search from these events:");
+    for (i, event) in report.reported_events().iter().enumerate() {
+        let lines = code
+            .and_then(|c| c.lines_by_event.get(&event.event))
+            .copied();
+        let location = match lines {
+            Some(n) => format!(" ({n} lines)"),
+            None => String::new(),
+        };
+        let _ = writeln!(
+            out,
+            "  {}. {}{location} — impacted {:.0}% of traces, {} event(s) from a \
+             manifestation point",
+            i + 1,
+            event.event,
+            event.impacted_fraction * 100.0,
+            event.proximity
+        );
+    }
+    out.push('\n');
+
+    let _ = writeln!(out, "Where the power transits from normal to abnormal:");
+    for &t in impacted.iter().take(5) {
+        let analysis = &report.traces[t];
+        for point in analysis.manifestation_points.iter().take(2) {
+            let before = analysis.normalized_power[..point.instance_index]
+                .last()
+                .copied()
+                .unwrap_or(1.0);
+            let after = analysis
+                .normalized_power
+                .get(point.instance_index + 1)
+                .copied()
+                .unwrap_or(before);
+            let _ = writeln!(
+                out,
+                "  trace {t}: at instance {} ({}), normalized power {:.1} -> {:.1}",
+                point.instance_index, point.event, before, after
+            );
+        }
+    }
+    if impacted.len() > 5 {
+        let _ = writeln!(out, "  ... and {} more trace(s)", impacted.len() - 5);
+    }
+
+    if let Some(code) = code {
+        let diag = code.diagnosis_lines(report.reported_events());
+        let _ = writeln!(
+            out,
+            "\nSearch space: {} of {} lines ({:.1}% reduction).",
+            diag,
+            code.total_lines,
+            code.code_reduction(report.reported_events()) * 100.0
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DiagnosisInput, EnergyDx};
+    use energydx_trace::event::EventInstance;
+    use energydx_trace::join::PoweredInstance;
+
+    fn mk(event: &str, i: u64, mw: f64) -> PoweredInstance {
+        PoweredInstance {
+            instance: EventInstance::new(event, i * 1000, i * 1000 + 10),
+            power_mw: mw,
+        }
+    }
+
+    fn faulty_report() -> (DiagnosisReport, AnalysisConfig) {
+        let quiet: Vec<_> = (0..24).map(|i| mk("LA;->cb", i, 100.0)).collect();
+        let mut hot = quiet.clone();
+        for p in hot.iter_mut().skip(12) {
+            p.power_mw = 1_200.0;
+        }
+        let config = AnalysisConfig::default().with_developer_fraction(0.5);
+        let report =
+            EnergyDx::new(config.clone()).diagnose(&DiagnosisInput::new(vec![quiet, hot]));
+        (report, config)
+    }
+
+    #[test]
+    fn detected_report_mentions_counts_events_and_transition() {
+        let (report, config) = faulty_report();
+        let mut code = CodeIndex::new(2_000);
+        code.insert("LA;->cb", 40);
+        let text = explain(&report, &config, Some(&code));
+        assert!(text.contains("detected in 1 of 2"));
+        assert!(text.contains("LA;->cb (40 lines)"));
+        assert!(text.contains("normalized power"));
+        assert!(text.contains("Search space: 40 of 2000 lines"));
+    }
+
+    #[test]
+    fn clean_report_says_so() {
+        let quiet: Vec<_> = (0..24).map(|i| mk("LA;->cb", i, 100.0)).collect();
+        let config = AnalysisConfig::default();
+        let report = EnergyDx::new(config.clone())
+            .diagnose(&DiagnosisInput::new(vec![quiet.clone(), quiet]));
+        let text = explain(&report, &config, None);
+        assert!(text.contains("No abnormal battery drain detected"));
+    }
+
+    #[test]
+    fn works_without_a_code_index() {
+        let (report, config) = faulty_report();
+        let text = explain(&report, &config, None);
+        assert!(!text.contains("Search space"));
+        assert!(text.contains("Start your search"));
+    }
+
+    #[test]
+    fn many_impacted_traces_are_truncated() {
+        let quiet: Vec<_> = (0..24).map(|i| mk("LA;->cb", i, 100.0)).collect();
+        let mut traces = vec![quiet.clone(); 4];
+        for _ in 0..8 {
+            let mut hot = quiet.clone();
+            for p in hot.iter_mut().skip(12) {
+                p.power_mw = 1_200.0;
+            }
+            traces.push(hot);
+        }
+        let config = AnalysisConfig::default().with_developer_fraction(8.0 / 12.0);
+        let report = EnergyDx::new(config.clone()).diagnose(&DiagnosisInput::new(traces));
+        let text = explain(&report, &config, None);
+        assert!(text.contains("more trace(s)"), "{text}");
+    }
+}

@@ -1,0 +1,481 @@
+//! The 5-step manifestation analysis pipeline.
+//!
+//! Each step is a standalone public function (C-INTERMEDIATE: callers
+//! — the figures-regeneration benches in particular — need the
+//! intermediate series, not just the final report); [`EnergyDx`] is the
+//! façade chaining them.
+
+use crate::amplitude::{sustained_amplitudes, variation_amplitudes};
+use crate::config::AnalysisConfig;
+use crate::input::DiagnosisInput;
+use crate::report::{DiagnosisReport, ManifestationPoint, RankedEvent, TraceAnalysis};
+use energydx_stats::outlier::TukeyFences;
+use energydx_stats::{average_ranks, percentile};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Per-event-group power statistics shared by Steps 2 and 3.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventGroups {
+    /// Event key → power of every instance of that event, across all
+    /// traces, in trace order.
+    pub powers: BTreeMap<String, Vec<f64>>,
+}
+
+impl EventGroups {
+    /// Collects per-event power populations from the input.
+    pub fn collect(input: &DiagnosisInput) -> Self {
+        let mut powers: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+        for trace in input.traces() {
+            for p in trace {
+                powers
+                    .entry(p.instance.event.clone())
+                    .or_default()
+                    .push(p.power_mw);
+            }
+        }
+        EventGroups { powers }
+    }
+}
+
+/// Step 2: ranks all instances of each event across all traces by
+/// power (average ranks on ties). Returned in the same grouping as
+/// [`EventGroups::collect`].
+///
+/// # Examples
+///
+/// ```
+/// # use energydx::pipeline::{step2_rank, EventGroups};
+/// # use energydx::DiagnosisInput;
+/// # use energydx_trace::event::EventInstance;
+/// # use energydx_trace::join::PoweredInstance;
+/// let mk = |mw: f64| PoweredInstance {
+///     instance: EventInstance::new("E", 0, 1),
+///     power_mw: mw,
+/// };
+/// let input = DiagnosisInput::new(vec![vec![mk(10.0), mk(30.0), mk(20.0)]]);
+/// let ranks = step2_rank(&EventGroups::collect(&input));
+/// assert_eq!(ranks["E"], vec![1.0, 3.0, 2.0]);
+/// ```
+pub fn step2_rank(groups: &EventGroups) -> BTreeMap<String, Vec<f64>> {
+    groups
+        .powers
+        .iter()
+        .map(|(event, powers)| {
+            let ranks = average_ranks(powers).expect("groups are non-empty by construction");
+            (event.clone(), ranks)
+        })
+        .collect()
+}
+
+/// Step 3: normalizes every instance to the configured percentile
+/// (default 10th) of its event group. Returns one normalized-power
+/// series per trace, parallel to the input.
+pub fn step3_normalize(
+    input: &DiagnosisInput,
+    groups: &EventGroups,
+    config: &AnalysisConfig,
+) -> Vec<Vec<f64>> {
+    let bases: BTreeMap<&str, f64> = groups
+        .powers
+        .iter()
+        .map(|(event, powers)| {
+            let p = percentile(powers, config.base_percentile)
+                .expect("groups are non-empty by construction");
+            let median = percentile(powers, 50.0).expect("non-empty");
+            let base = p
+                .max(median * config.base_guard_fraction)
+                .max(config.min_base_mw);
+            (event.as_str(), base)
+        })
+        .collect();
+    input
+        .traces()
+        .iter()
+        .map(|trace| {
+            trace
+                .iter()
+                .map(|p| p.power_mw / bases[p.instance.event.as_str()])
+                .collect()
+        })
+        .collect()
+}
+
+/// Step 4: variation amplitudes and Tukey-fence outlier detection.
+/// Returns, per trace, `(amplitudes, fence, outlier indices)`; traces
+/// with fewer than 4 instances cannot produce meaningful quartiles and
+/// yield no detections. Detection runs on the sustained amplitude when
+/// `config.sustained_window > 0`, and on the paper's raw run-difference
+/// amplitude otherwise.
+pub fn step4_detect(
+    normalized: &[Vec<f64>],
+    config: &AnalysisConfig,
+) -> Vec<(Vec<f64>, Option<TukeyFences>, Vec<usize>)> {
+    normalized
+        .iter()
+        .map(|series| {
+            let amplitudes = if config.sustained_window > 0 {
+                sustained_amplitudes(series, config.sustained_window)
+            } else {
+                variation_amplitudes(series)
+            };
+            if amplitudes.len() < 4 {
+                return (amplitudes, None, Vec::new());
+            }
+            let fences = TukeyFences::from_data(&amplitudes, config.fence_k)
+                .expect("amplitudes are non-empty and NaN-free");
+            let raw_outliers: Vec<usize> = amplitudes
+                .iter()
+                .enumerate()
+                .filter(|(_, &v)| v > fences.upper + config.min_fence_excess)
+                .map(|(i, _)| i)
+                .collect();
+            // One level shift makes several adjacent instances cross
+            // the fence (the windowed median moves over the onset);
+            // collapse each consecutive run to its strongest instance
+            // so one transition is one manifestation point.
+            let mut outliers: Vec<usize> = Vec::new();
+            let mut run: Vec<usize> = Vec::new();
+            for &idx in &raw_outliers {
+                if run.last().is_some_and(|&last| idx > last + 1) {
+                    outliers.push(argmax_of(&run, &amplitudes));
+                    run.clear();
+                }
+                run.push(idx);
+            }
+            if !run.is_empty() {
+                outliers.push(argmax_of(&run, &amplitudes));
+            }
+            (amplitudes, Some(fences), outliers)
+        })
+        .collect()
+}
+
+/// The index (from `candidates`) with the largest amplitude.
+fn argmax_of(candidates: &[usize], amplitudes: &[f64]) -> usize {
+    *candidates
+        .iter()
+        .max_by(|&&a, &&b| {
+            amplitudes[a]
+                .partial_cmp(&amplitudes[b])
+                .expect("amplitudes are finite")
+        })
+        .expect("runs are non-empty")
+}
+
+/// Step 5: gathers the events inside each manifestation window,
+/// computes per-event impacted-trace fractions, and sorts by distance
+/// to the developer-reported fraction.
+pub fn step5_report(
+    input: &DiagnosisInput,
+    detections: &[(Vec<f64>, Option<TukeyFences>, Vec<usize>)],
+    config: &AnalysisConfig,
+) -> Vec<RankedEvent> {
+    let total = input.len();
+    if total == 0 {
+        return Vec::new();
+    }
+    // Per trace: the set of events whose instances fall inside any
+    // manifestation window, with their distance to the nearest point.
+    let mut impacted_by: BTreeMap<String, usize> = BTreeMap::new();
+    let mut proximity: BTreeMap<String, usize> = BTreeMap::new();
+    for (trace, (_, _, outliers)) in input.traces().iter().zip(detections) {
+        let mut events_in_windows: BTreeSet<&str> = BTreeSet::new();
+        for &center in outliers {
+            let lo = center.saturating_sub(config.window);
+            let hi = (center + config.window).min(trace.len().saturating_sub(1));
+            for (i, p) in trace[lo..=hi].iter().enumerate() {
+                let event = p.instance.event.as_str();
+                events_in_windows.insert(event);
+                let distance = (lo + i).abs_diff(center);
+                proximity
+                    .entry(event.to_string())
+                    .and_modify(|d| *d = (*d).min(distance))
+                    .or_insert(distance);
+            }
+        }
+        for event in events_in_windows {
+            *impacted_by.entry(event.to_string()).or_default() += 1;
+        }
+    }
+
+    let mut ranked: Vec<RankedEvent> = impacted_by
+        .into_iter()
+        .map(|(event, count)| {
+            let proximity = proximity.get(&event).copied().unwrap_or(usize::MAX);
+            RankedEvent {
+                event,
+                impacted_fraction: count as f64 / total as f64,
+                proximity,
+            }
+        })
+        .collect();
+    ranked.sort_by(|a, b| {
+        let da = (a.impacted_fraction - config.developer_fraction).abs();
+        let db = (b.impacted_fraction - config.developer_fraction).abs();
+        da.partial_cmp(&db)
+            .expect("fractions are finite")
+            .then_with(|| {
+                b.impacted_fraction
+                    .partial_cmp(&a.impacted_fraction)
+                    .expect("fractions are finite")
+            })
+            .then_with(|| a.proximity.cmp(&b.proximity))
+            .then_with(|| a.event.cmp(&b.event))
+    });
+    ranked
+}
+
+/// The EnergyDx analyzer: configuration plus the chained pipeline.
+#[derive(Debug, Clone, Default)]
+pub struct EnergyDx {
+    config: AnalysisConfig,
+}
+
+impl EnergyDx {
+    /// Creates an analyzer with the given configuration.
+    pub fn new(config: AnalysisConfig) -> Self {
+        EnergyDx { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &AnalysisConfig {
+        &self.config
+    }
+
+    /// Runs Steps 2–5 over joined traces (Step 1 happens when the
+    /// input is constructed) and assembles the full report, including
+    /// the per-trace intermediate series needed to regenerate
+    /// Figs. 7–10, 12, 13, and 15.
+    pub fn diagnose(&self, input: &DiagnosisInput) -> DiagnosisReport {
+        let groups = EventGroups::collect(input);
+        let rankings = step2_rank(&groups);
+        let normalized = step3_normalize(input, &groups, &self.config);
+        let detections = step4_detect(&normalized, &self.config);
+        let ranked_events = step5_report(input, &detections, &self.config);
+
+        let traces: Vec<TraceAnalysis> = input
+            .traces()
+            .iter()
+            .zip(normalized.iter())
+            .zip(detections.iter())
+            .map(|((trace, norm), (amplitudes, fences, outliers))| {
+                let manifestation_points = outliers
+                    .iter()
+                    .map(|&idx| ManifestationPoint {
+                        instance_index: idx,
+                        event: trace[idx].instance.event.clone(),
+                        amplitude: amplitudes[idx],
+                    })
+                    .collect();
+                TraceAnalysis {
+                    raw_power_mw: trace.iter().map(|p| p.power_mw).collect(),
+                    events: trace.iter().map(|p| p.instance.event.clone()).collect(),
+                    normalized_power: norm.clone(),
+                    amplitudes: amplitudes.clone(),
+                    upper_fence: fences.map(|f| f.upper),
+                    manifestation_points,
+                }
+            })
+            .collect();
+
+        DiagnosisReport {
+            traces,
+            events: ranked_events,
+            rankings,
+            top_k: self.config.top_k,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use energydx_trace::event::EventInstance;
+    use energydx_trace::join::PoweredInstance;
+
+    fn instance(event: &str, start: u64, mw: f64) -> PoweredInstance {
+        PoweredInstance {
+            instance: EventInstance::new(event, start, start + 10),
+            power_mw: mw,
+        }
+    }
+
+    /// One normal trace: mostly cheap "circle" events with an
+    /// occasional expensive "square" (the paper's Checkmail-style
+    /// high-power-by-functionality event).
+    fn normal_trace(seed: u64) -> Vec<PoweredInstance> {
+        (0..24)
+            .map(|i| {
+                if i == 11 {
+                    instance("square", i * 1000, 400.0 + ((i + seed) % 3) as f64)
+                } else {
+                    instance("circle", i * 1000, 100.0 + ((i + seed) % 3) as f64)
+                }
+            })
+            .collect()
+    }
+
+    /// The paper's running scenario (Fig. 6): two event kinds with
+    /// different raw power; one trace is hit by an ABD after a
+    /// "triangle" trigger event and stays high.
+    fn fig6_input() -> DiagnosisInput {
+        let mut faulty = normal_trace(0);
+        // The trigger at instance 12, after which everything runs hot.
+        faulty[12] = instance("triangle", 12_000, 120.0);
+        for p in faulty.iter_mut().skip(13) {
+            p.power_mw *= 5.0;
+        }
+        DiagnosisInput::new(vec![normal_trace(0), faulty, normal_trace(1), normal_trace(0)])
+    }
+
+    #[test]
+    fn normalization_flattens_raw_power_differences() {
+        let input = fig6_input();
+        let groups = EventGroups::collect(&input);
+        let config = AnalysisConfig::default();
+        let normalized = step3_normalize(&input, &groups, &config);
+        // Normal traces (0, 2, 3) are now flat: every value near 1.
+        for t in [0usize, 2, 3] {
+            for &v in &normalized[t] {
+                assert!((0.9..=1.2).contains(&v), "trace {t} value {v} not flat");
+            }
+        }
+        // The faulty trace still shows the jump.
+        let max = normalized[1].iter().cloned().fold(0.0, f64::max);
+        assert!(max > 3.0, "ABD must survive normalization, max {max}");
+    }
+
+    #[test]
+    fn detection_finds_the_abd_and_only_the_abd() {
+        let input = fig6_input();
+        let report = EnergyDx::default().diagnose(&input);
+        assert!(report.traces[0].manifestation_points.is_empty());
+        assert!(report.traces[2].manifestation_points.is_empty());
+        assert!(report.traces[3].manifestation_points.is_empty());
+        let points = &report.traces[1].manifestation_points;
+        assert_eq!(points.len(), 1, "exactly one manifestation point");
+        // The rise begins at the trigger (index 12) or the instance
+        // right after it.
+        assert!(
+            (12..=13).contains(&points[0].instance_index),
+            "detected at {}",
+            points[0].instance_index
+        );
+    }
+
+    #[test]
+    fn raw_transition_points_would_be_misdetected_without_normalization() {
+        // Sanity check of the paper's motivation: running Step 4
+        // directly on RAW power finds outliers even in normal traces
+        // (circle→square transitions), which normalization removes.
+        // Uses the paper's raw run-difference amplitude (sustained
+        // smoothing off) and no degenerate-IQR guard, as the paper's
+        // Step 4 would.
+        let input = fig6_input();
+        let mut config = AnalysisConfig::default();
+        config.sustained_window = 0;
+        config.min_fence_excess = 0.0;
+        let raw: Vec<Vec<f64>> = input
+            .traces()
+            .iter()
+            .map(|t| t.iter().map(|p| p.power_mw).collect())
+            .collect();
+        let raw_detections = step4_detect(&raw, &config);
+        let normal_raw_outliers: usize = [0usize, 2, 3]
+            .iter()
+            .map(|&t| raw_detections[t].2.len())
+            .sum();
+        assert!(
+            normal_raw_outliers > 0,
+            "raw power must show misleading transitions"
+        );
+    }
+
+    #[test]
+    fn step5_fraction_matches_impacted_traces() {
+        // Besides the ABD trace, give one normal trace a sustained
+        // user spike (several hot circle instances — e.g. the user
+        // recorded a video). Its window also contains circles and
+        // squares, so those events impact 50 % of the windowed traces
+        // while the trigger impacts only 25 % — and the
+        // developer-reported 25 % sorts the trigger first, exactly the
+        // Step-5 filtering story.
+        let mut traces = fig6_input().traces().to_vec();
+        for i in 7..=11 {
+            traces[2][i].power_mw = 520.0;
+        }
+        let input = DiagnosisInput::new(traces);
+        let config = AnalysisConfig::default().with_developer_fraction(0.25);
+        let report = EnergyDx::new(config).diagnose(&input);
+        let triangle = report
+            .events
+            .iter()
+            .find(|e| e.event == "triangle")
+            .expect("trigger event reported");
+        // Exactly 1 of 4 traces is impacted — the paper's 25 % example.
+        assert_eq!(triangle.impacted_fraction, 0.25);
+        let circle = report
+            .events
+            .iter()
+            .find(|e| e.event == "circle")
+            .expect("normal event also windowed");
+        assert_eq!(circle.impacted_fraction, 0.5);
+        // With developer_fraction = 0.25 the trigger sorts first.
+        assert_eq!(report.events[0].event, "triangle");
+    }
+
+    #[test]
+    fn rankings_expose_the_anomalous_instances() {
+        let input = fig6_input();
+        let groups = EventGroups::collect(&input);
+        let ranks = step2_rank(&groups);
+        // The faulty trace's post-trigger circle instances (running at
+        // 5× power) occupy the top ranks of the circle population —
+        // the "7th instance ranked much higher" observation of Fig. 6.
+        let circles = &ranks["circle"];
+        let n = circles.len() as f64;
+        let hot = circles.iter().filter(|&&r| r > n * 0.75).count();
+        assert!(hot >= 10, "expected the 11 hot circles on top, got {hot}");
+    }
+
+    #[test]
+    fn short_traces_yield_no_detections() {
+        let input = DiagnosisInput::new(vec![vec![
+            instance("A", 0, 1.0),
+            instance("B", 10, 100.0),
+        ]]);
+        let report = EnergyDx::default().diagnose(&input);
+        assert!(report.traces[0].manifestation_points.is_empty());
+        assert!(report.traces[0].upper_fence.is_none());
+    }
+
+    #[test]
+    fn empty_input_yields_empty_report() {
+        let report = EnergyDx::default().diagnose(&DiagnosisInput::default());
+        assert!(report.traces.is_empty());
+        assert!(report.events.is_empty());
+    }
+
+    #[test]
+    fn flat_traces_never_alarm() {
+        let input = DiagnosisInput::new(vec![(0..50)
+            .map(|i| instance("E", i * 500, 150.0))
+            .collect()]);
+        let report = EnergyDx::default().diagnose(&input);
+        assert!(report.traces[0].manifestation_points.is_empty());
+    }
+
+    #[test]
+    fn window_bounds_are_clamped_at_trace_edges() {
+        // ABD at the very last instances: window must not index past
+        // the end.
+        let mut trace: Vec<PoweredInstance> =
+            (0..20).map(|i| instance("E", i * 500, 100.0)).collect();
+        let n = trace.len();
+        trace[n - 1].power_mw = 900.0;
+        let input = DiagnosisInput::new(vec![trace]);
+        let report = EnergyDx::default().diagnose(&input);
+        // Must not panic; the event is reported.
+        assert!(report.events.iter().any(|e| e.event == "E"));
+    }
+}

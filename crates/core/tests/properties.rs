@@ -1,0 +1,183 @@
+//! Property tests for the 5-step analysis (DESIGN.md §6).
+
+use energydx::pipeline::{step3_normalize, EventGroups};
+use energydx::{AnalysisConfig, DiagnosisInput, EnergyDx};
+use energydx_trace::event::EventInstance;
+use energydx_trace::join::PoweredInstance;
+use proptest::prelude::*;
+
+fn instance(event: u8, start: u64, mw: f64) -> PoweredInstance {
+    PoweredInstance {
+        instance: EventInstance::new(format!("LE{};->cb", event % 5), start, start + 10),
+        power_mw: mw,
+    }
+}
+
+fn input() -> impl Strategy<Value = DiagnosisInput> {
+    prop::collection::vec(
+        prop::collection::vec((0u8..5, 1.0f64..2_000.0), 4..60),
+        1..8,
+    )
+    .prop_map(|traces| {
+        DiagnosisInput::new(
+            traces
+                .into_iter()
+                .map(|t| {
+                    t.into_iter()
+                        .enumerate()
+                        .map(|(i, (e, mw))| instance(e, i as u64 * 500, mw))
+                        .collect()
+                })
+                .collect(),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Normalization is scale-invariant: multiplying every power by a
+    /// positive constant leaves the normalized series unchanged.
+    #[test]
+    fn normalization_is_scale_invariant(input in input(), scale in 0.1f64..50.0) {
+        let mut config = AnalysisConfig::default();
+        config.min_base_mw = 0.0; // the absolute floor breaks scale invariance by design
+        let groups = EventGroups::collect(&input);
+        let normalized = step3_normalize(&input, &groups, &config);
+
+        let scaled_traces: Vec<Vec<PoweredInstance>> = input
+            .traces()
+            .iter()
+            .map(|t| {
+                t.iter()
+                    .map(|p| PoweredInstance {
+                        instance: p.instance.clone(),
+                        power_mw: p.power_mw * scale,
+                    })
+                    .collect()
+            })
+            .collect();
+        let scaled_input = DiagnosisInput::new(scaled_traces);
+        let scaled_groups = EventGroups::collect(&scaled_input);
+        let scaled_normalized = step3_normalize(&scaled_input, &scaled_groups, &config);
+
+        for (a, b) in normalized.iter().flatten().zip(scaled_normalized.iter().flatten()) {
+            prop_assert!((a - b).abs() < 1e-6_f64.max(a.abs() * 1e-9), "{a} vs {b}");
+        }
+    }
+
+    /// Normalized power is non-negative and finite.
+    #[test]
+    fn normalized_power_is_well_formed(input in input()) {
+        let config = AnalysisConfig::default();
+        let groups = EventGroups::collect(&input);
+        for series in step3_normalize(&input, &groups, &config) {
+            for v in series {
+                prop_assert!(v.is_finite() && v >= 0.0);
+            }
+        }
+    }
+
+    /// Constant-power traces never alarm, whatever the constant.
+    #[test]
+    fn flat_traces_never_alarm(level in 1.0f64..2_000.0, n in 8usize..60, traces in 1usize..6) {
+        let input = DiagnosisInput::new(
+            (0..traces)
+                .map(|_| (0..n).map(|i| instance(i as u8, i as u64 * 500, level)).collect())
+                .collect(),
+        );
+        let report = EnergyDx::default().diagnose(&input);
+        prop_assert_eq!(report.manifestation_point_count(), 0);
+    }
+
+    /// Report shape invariants: fractions in (0, 1], proximity within
+    /// the window, reported events bounded by top_k, and manifestation
+    /// indices in range.
+    #[test]
+    fn report_shape_invariants(input in input()) {
+        let config = AnalysisConfig::default();
+        let window = config.window;
+        let top_k = config.top_k;
+        let report = EnergyDx::new(config).diagnose(&input);
+        prop_assert!(report.reported_events().len() <= top_k);
+        for e in &report.events {
+            prop_assert!(e.impacted_fraction > 0.0 && e.impacted_fraction <= 1.0);
+            prop_assert!(e.proximity <= window);
+        }
+        for (trace, analysis) in input.traces().iter().zip(&report.traces) {
+            prop_assert_eq!(trace.len(), analysis.raw_power_mw.len());
+            prop_assert_eq!(trace.len(), analysis.normalized_power.len());
+            prop_assert_eq!(trace.len(), analysis.amplitudes.len());
+            for p in &analysis.manifestation_points {
+                prop_assert!(p.instance_index < trace.len());
+            }
+        }
+    }
+
+    /// Permuting the order of traces permutes the per-trace analyses
+    /// but leaves the reported event set and fractions unchanged.
+    #[test]
+    fn trace_order_does_not_change_the_verdict(input in input()) {
+        let report = EnergyDx::default().diagnose(&input);
+        let mut reversed_traces = input.traces().to_vec();
+        reversed_traces.reverse();
+        let reversed = EnergyDx::default().diagnose(&DiagnosisInput::new(reversed_traces));
+
+        let mut a: Vec<(String, String)> = report
+            .events
+            .iter()
+            .map(|e| (e.event.clone(), format!("{:.9}", e.impacted_fraction)))
+            .collect();
+        let mut b: Vec<(String, String)> = reversed
+            .events
+            .iter()
+            .map(|e| (e.event.clone(), format!("{:.9}", e.impacted_fraction)))
+            .collect();
+        a.sort();
+        b.sort();
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(
+            report.manifestation_point_count(),
+            reversed.manifestation_point_count()
+        );
+    }
+
+    /// A strong sustained level shift injected into one trace of an
+    /// otherwise-quiet population is always detected, at the shift
+    /// onset, in that trace only. (With arbitrary per-group baselines
+    /// detection is not guaranteed — the anomaly must be a minority of
+    /// its event groups, which is the paper's many-users setting.)
+    #[test]
+    fn injected_level_shift_is_detected(
+        traces in 3usize..8,
+        n in 16usize..60,
+        shift_at_fraction in 0.3f64..0.8,
+        factor in 8.0f64..40.0,
+    ) {
+        let shift_at = ((n as f64 * shift_at_fraction) as usize).clamp(2, n - 4);
+        let victim = 0usize;
+        let input = DiagnosisInput::new(
+            (0..traces)
+                .map(|t| {
+                    (0..n)
+                        .map(|i| {
+                            let mw = if t == victim && i >= shift_at {
+                                100.0 * factor
+                            } else {
+                                100.0
+                            };
+                            instance(i as u8, i as u64 * 500, mw)
+                        })
+                        .collect()
+                })
+                .collect(),
+        );
+        let report = EnergyDx::default().diagnose(&input);
+        prop_assert_eq!(report.impacted_traces(), vec![victim]);
+        let points = &report.traces[victim].manifestation_points;
+        prop_assert!(
+            points.iter().any(|p| p.instance_index.abs_diff(shift_at) <= 2),
+            "shift at {shift_at} not found; points {points:?}"
+        );
+    }
+}

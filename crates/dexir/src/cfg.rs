@@ -1,0 +1,313 @@
+//! Basic-block control-flow graphs over method bodies.
+//!
+//! The No-sleep Detection baseline ([Pathak et al., MobiSys'12]) is a
+//! path-sensitive dataflow analysis over app code; this module gives it
+//! (and any future static analysis) a conventional CFG: leaders at
+//! labels, branch targets, and instructions following a branch.
+
+use crate::error::DexError;
+use crate::instr::Instruction;
+use crate::module::Method;
+use std::collections::BTreeMap;
+
+/// Identifier of a basic block within one method's CFG.
+pub type BlockId = usize;
+
+/// A basic block: a maximal straight-line instruction range.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BasicBlock {
+    /// Index of this block.
+    pub id: BlockId,
+    /// Range of instruction indices `[start, end)` in the method body.
+    pub range: std::ops::Range<usize>,
+    /// Successor block ids.
+    pub successors: Vec<BlockId>,
+}
+
+/// The control-flow graph of one method.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cfg {
+    blocks: Vec<BasicBlock>,
+}
+
+impl Cfg {
+    /// Builds the CFG of a method.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DexError::UndefinedLabel`] / [`DexError::DuplicateLabel`]
+    /// if the method body is malformed (same conditions as
+    /// [`Method::validate`]).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use energydx_dexir::cfg::Cfg;
+    /// # use energydx_dexir::module::Method;
+    /// # use energydx_dexir::instr::Instruction;
+    /// let mut m = Method::new("m", "()V");
+    /// m.body = vec![Instruction::Nop, Instruction::ReturnVoid];
+    /// let cfg = Cfg::build(&m)?;
+    /// assert_eq!(cfg.blocks().len(), 1);
+    /// # Ok::<(), energydx_dexir::DexError>(())
+    /// ```
+    pub fn build(method: &Method) -> Result<Self, DexError> {
+        method.validate()?;
+        let body = &method.body;
+        if body.is_empty() {
+            return Ok(Cfg { blocks: Vec::new() });
+        }
+
+        // Label name -> instruction index.
+        let mut label_at: BTreeMap<&str, usize> = BTreeMap::new();
+        for (i, instr) in body.iter().enumerate() {
+            if let Instruction::Label { name } = instr {
+                label_at.insert(name, i);
+            }
+        }
+
+        // Leader detection.
+        let mut leaders = vec![false; body.len()];
+        leaders[0] = true;
+        for (i, instr) in body.iter().enumerate() {
+            if let Some(target) = instr.branch_target() {
+                leaders[label_at[target]] = true;
+                if i + 1 < body.len() {
+                    leaders[i + 1] = true;
+                }
+            }
+            if instr.is_return() && i + 1 < body.len() {
+                leaders[i + 1] = true;
+            }
+        }
+
+        // Cut into blocks.
+        let mut starts: Vec<usize> = leaders
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| l)
+            .map(|(i, _)| i)
+            .collect();
+        starts.push(body.len());
+        let mut blocks: Vec<BasicBlock> = Vec::with_capacity(starts.len() - 1);
+        let mut block_of_instr = vec![0usize; body.len()];
+        for (id, win) in starts.windows(2).enumerate() {
+            let range = win[0]..win[1];
+            for i in range.clone() {
+                block_of_instr[i] = id;
+            }
+            blocks.push(BasicBlock {
+                id,
+                range,
+                successors: Vec::new(),
+            });
+        }
+
+        // Wire successors.
+        for b in 0..blocks.len() {
+            let last_idx = blocks[b].range.end - 1;
+            let last = &body[last_idx];
+            let mut succ = Vec::new();
+            match last {
+                Instruction::Goto { target } => {
+                    succ.push(block_of_instr[label_at[target.as_str()]]);
+                }
+                Instruction::IfZero { target, .. } => {
+                    succ.push(block_of_instr[label_at[target.as_str()]]);
+                    if blocks[b].range.end < body.len() {
+                        succ.push(b + 1);
+                    }
+                }
+                i if i.is_return() => {}
+                _ => {
+                    if blocks[b].range.end < body.len() {
+                        succ.push(b + 1);
+                    }
+                }
+            }
+            succ.sort_unstable();
+            succ.dedup();
+            blocks[b].successors = succ;
+        }
+
+        Ok(Cfg { blocks })
+    }
+
+    /// The blocks in index order (block 0 is the entry).
+    pub fn blocks(&self) -> &[BasicBlock] {
+        &self.blocks
+    }
+
+    /// Ids of blocks ending in a return (the method's exits).
+    pub fn exit_blocks(&self) -> Vec<BlockId> {
+        self.blocks
+            .iter()
+            .filter(|b| b.successors.is_empty())
+            .map(|b| b.id)
+            .collect()
+    }
+
+    /// Predecessor lists, computed from successor lists.
+    pub fn predecessors(&self) -> Vec<Vec<BlockId>> {
+        let mut preds = vec![Vec::new(); self.blocks.len()];
+        for b in &self.blocks {
+            for &s in &b.successors {
+                preds[s].push(b.id);
+            }
+        }
+        preds
+    }
+
+    /// Blocks reachable from the entry, in BFS order.
+    pub fn reachable(&self) -> Vec<BlockId> {
+        if self.blocks.is_empty() {
+            return Vec::new();
+        }
+        let mut seen = vec![false; self.blocks.len()];
+        let mut queue = std::collections::VecDeque::from([0usize]);
+        let mut order = Vec::new();
+        seen[0] = true;
+        while let Some(b) = queue.pop_front() {
+            order.push(b);
+            for &s in &self.blocks[b].successors {
+                if !seen[s] {
+                    seen[s] = true;
+                    queue.push_back(s);
+                }
+            }
+        }
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::{Instruction, Reg};
+
+    fn method_with(body: Vec<Instruction>) -> Method {
+        let mut m = Method::new("m", "()V");
+        m.body = body;
+        m
+    }
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let m = method_with(vec![
+            Instruction::Nop,
+            Instruction::ConstInt {
+                dst: Reg(0),
+                value: 1,
+            },
+            Instruction::ReturnVoid,
+        ]);
+        let cfg = Cfg::build(&m).unwrap();
+        assert_eq!(cfg.blocks().len(), 1);
+        assert_eq!(cfg.exit_blocks(), vec![0]);
+    }
+
+    #[test]
+    fn diamond_has_four_blocks() {
+        // if-zero v0 -> :else ; then: nop ; goto :join ; :else nop ; :join return
+        let m = method_with(vec![
+            Instruction::IfZero {
+                src: Reg(0),
+                target: "else".into(),
+            },
+            Instruction::Nop,
+            Instruction::Goto {
+                target: "join".into(),
+            },
+            Instruction::Label {
+                name: "else".into(),
+            },
+            Instruction::Nop,
+            Instruction::Label {
+                name: "join".into(),
+            },
+            Instruction::ReturnVoid,
+        ]);
+        let cfg = Cfg::build(&m).unwrap();
+        assert_eq!(cfg.blocks().len(), 4);
+        // Entry branches to both the then-block and the else-block.
+        assert_eq!(cfg.blocks()[0].successors.len(), 2);
+        // Exactly one exit.
+        assert_eq!(cfg.exit_blocks().len(), 1);
+        // All blocks reachable.
+        assert_eq!(cfg.reachable().len(), 4);
+    }
+
+    #[test]
+    fn loop_back_edge_is_wired() {
+        let m = method_with(vec![
+            Instruction::Label {
+                name: "loop".into(),
+            },
+            Instruction::Nop,
+            Instruction::IfZero {
+                src: Reg(0),
+                target: "loop".into(),
+            },
+            Instruction::ReturnVoid,
+        ]);
+        let cfg = Cfg::build(&m).unwrap();
+        // The block ending in if-zero must have the loop head among its
+        // successors.
+        let branch_block = cfg
+            .blocks()
+            .iter()
+            .find(|b| b.successors.contains(&0))
+            .expect("back edge missing");
+        assert!(branch_block.successors.len() == 2);
+    }
+
+    #[test]
+    fn code_after_return_forms_unreachable_block() {
+        let m = method_with(vec![
+            Instruction::ReturnVoid,
+            Instruction::Label {
+                name: "dead".into(),
+            },
+            Instruction::ReturnVoid,
+        ]);
+        let cfg = Cfg::build(&m).unwrap();
+        assert_eq!(cfg.blocks().len(), 2);
+        assert_eq!(cfg.reachable(), vec![0]);
+    }
+
+    #[test]
+    fn empty_method_has_empty_cfg() {
+        let m = method_with(vec![]);
+        let cfg = Cfg::build(&m).unwrap();
+        assert!(cfg.blocks().is_empty());
+        assert!(cfg.reachable().is_empty());
+    }
+
+    #[test]
+    fn predecessors_invert_successors() {
+        let m = method_with(vec![
+            Instruction::IfZero {
+                src: Reg(0),
+                target: "end".into(),
+            },
+            Instruction::Nop,
+            Instruction::Label { name: "end".into() },
+            Instruction::ReturnVoid,
+        ]);
+        let cfg = Cfg::build(&m).unwrap();
+        let preds = cfg.predecessors();
+        for b in cfg.blocks() {
+            for &s in &b.successors {
+                assert!(preds[s].contains(&b.id));
+            }
+        }
+    }
+
+    #[test]
+    fn malformed_method_is_rejected() {
+        let m = method_with(vec![Instruction::Goto {
+            target: "nowhere".into(),
+        }]);
+        assert!(Cfg::build(&m).is_err());
+    }
+}

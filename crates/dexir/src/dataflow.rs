@@ -1,0 +1,460 @@
+//! A small forward dataflow framework over [`crate::cfg::Cfg`].
+//!
+//! The framework is a classic worklist solver over a join-semilattice.
+//! Its only in-tree client today is the No-sleep Detection baseline
+//! (`energydx-baselines`), which instantiates it with a "resources
+//! possibly held" lattice, but it is deliberately generic so further
+//! analyses (e.g. a wakelock-misuse checker in the spirit of \[17\]) can
+//! reuse it.
+
+use crate::cfg::{BlockId, Cfg};
+use crate::instr::Instruction;
+
+/// A dataflow fact: a join-semilattice element.
+pub trait Lattice: Clone + PartialEq {
+    /// The least element (associated with unvisited blocks).
+    fn bottom() -> Self;
+    /// Least upper bound; must be commutative, associative, idempotent.
+    fn join(&self, other: &Self) -> Self;
+}
+
+/// A forward transfer function over instructions.
+pub trait Transfer {
+    /// The lattice the analysis runs on.
+    type Fact: Lattice;
+    /// Applies the effect of one instruction to the incoming fact.
+    fn apply(&self, instr: &Instruction, fact: &Self::Fact) -> Self::Fact;
+}
+
+/// The fixpoint solution of a forward dataflow analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution<F> {
+    /// Fact at entry of each block.
+    pub entry: Vec<F>,
+    /// Fact at exit of each block.
+    pub exit: Vec<F>,
+}
+
+/// Runs a forward worklist analysis to fixpoint.
+///
+/// `boundary` is the fact at the method entry. Unreachable blocks keep
+/// [`Lattice::bottom`] at their entry.
+///
+/// # Examples
+///
+/// ```
+/// use energydx_dexir::cfg::Cfg;
+/// use energydx_dexir::dataflow::{forward, Lattice, Transfer};
+/// use energydx_dexir::instr::Instruction;
+/// use energydx_dexir::module::Method;
+///
+/// /// Counts the maximum number of `nop`s on any path (saturating).
+/// #[derive(Clone, PartialEq, Debug)]
+/// struct MaxNops(u32);
+/// impl Lattice for MaxNops {
+///     fn bottom() -> Self { MaxNops(0) }
+///     fn join(&self, o: &Self) -> Self { MaxNops(self.0.max(o.0)) }
+/// }
+/// struct CountNops;
+/// impl Transfer for CountNops {
+///     type Fact = MaxNops;
+///     fn apply(&self, i: &Instruction, f: &MaxNops) -> MaxNops {
+///         match i {
+///             Instruction::Nop => MaxNops(f.0 + 1),
+///             _ => f.clone(),
+///         }
+///     }
+/// }
+///
+/// let mut m = Method::new("m", "()V");
+/// m.body = vec![Instruction::Nop, Instruction::Nop, Instruction::ReturnVoid];
+/// let cfg = Cfg::build(&m)?;
+/// let sol = forward(&cfg, &m.body, &CountNops, MaxNops(0));
+/// assert_eq!(sol.exit[0], MaxNops(2));
+/// # Ok::<(), energydx_dexir::DexError>(())
+/// ```
+pub fn forward<T: Transfer>(
+    cfg: &Cfg,
+    body: &[Instruction],
+    transfer: &T,
+    boundary: T::Fact,
+) -> Solution<T::Fact> {
+    let n = cfg.blocks().len();
+    let mut entry: Vec<T::Fact> = vec![T::Fact::bottom(); n];
+    let mut exit: Vec<T::Fact> = vec![T::Fact::bottom(); n];
+    if n == 0 {
+        return Solution { entry, exit };
+    }
+    entry[0] = boundary;
+
+    let preds = cfg.predecessors();
+    let mut worklist: std::collections::VecDeque<BlockId> = (0..n).collect();
+    let mut queued = vec![true; n];
+
+    while let Some(b) = worklist.pop_front() {
+        queued[b] = false;
+        // Join over predecessors (entry block keeps its boundary fact).
+        if b != 0 {
+            let mut acc = T::Fact::bottom();
+            for &p in &preds[b] {
+                acc = acc.join(&exit[p]);
+            }
+            entry[b] = acc;
+        }
+        // Apply the block's instructions.
+        let mut fact = entry[b].clone();
+        for instr in &body[cfg.blocks()[b].range.clone()] {
+            fact = transfer.apply(instr, &fact);
+        }
+        if fact != exit[b] {
+            exit[b] = fact;
+            for &s in &cfg.blocks()[b].successors {
+                if !queued[s] {
+                    queued[s] = true;
+                    worklist.push_back(s);
+                }
+            }
+        }
+    }
+
+    Solution { entry, exit }
+}
+
+/// A ready-made lattice: a small bit set over [`crate::instr::ResourceKind`],
+/// tracking which resources *may* be held.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HeldResources(pub u8);
+
+impl HeldResources {
+    /// The empty set.
+    pub fn empty() -> Self {
+        HeldResources(0)
+    }
+
+    /// Set membership test.
+    pub fn contains(&self, kind: crate::instr::ResourceKind) -> bool {
+        self.0 & (1 << kind as u8) != 0
+    }
+
+    /// Adds a resource to the set.
+    pub fn insert(&mut self, kind: crate::instr::ResourceKind) {
+        self.0 |= 1 << kind as u8;
+    }
+
+    /// Removes a resource from the set.
+    pub fn remove(&mut self, kind: crate::instr::ResourceKind) {
+        self.0 &= !(1 << kind as u8);
+    }
+
+    /// Whether no resource is held.
+    pub fn is_empty(&self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterates over held resource kinds.
+    pub fn iter(&self) -> impl Iterator<Item = crate::instr::ResourceKind> + '_ {
+        crate::instr::ResourceKind::ALL
+            .into_iter()
+            .filter(|&k| self.contains(k))
+    }
+}
+
+impl Lattice for HeldResources {
+    fn bottom() -> Self {
+        HeldResources::empty()
+    }
+    fn join(&self, other: &Self) -> Self {
+        HeldResources(self.0 | other.0)
+    }
+}
+
+/// Transfer function for the may-hold-resources analysis.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ResourceTransfer;
+
+impl Transfer for ResourceTransfer {
+    type Fact = HeldResources;
+
+    fn apply(&self, instr: &Instruction, fact: &HeldResources) -> HeldResources {
+        let mut out = *fact;
+        match instr {
+            Instruction::AcquireResource { kind } => out.insert(*kind),
+            Instruction::ReleaseResource { kind } => out.remove(*kind),
+            _ => {}
+        }
+        out
+    }
+}
+
+/// Resources that may still be held at *some* exit of the method —
+/// the per-method core of the no-sleep check.
+///
+/// # Examples
+///
+/// ```
+/// use energydx_dexir::dataflow::leaked_at_exit;
+/// use energydx_dexir::instr::{Instruction, ResourceKind};
+/// use energydx_dexir::module::Method;
+///
+/// let mut m = Method::new("onStart", "()V");
+/// m.body = vec![
+///     Instruction::AcquireResource { kind: ResourceKind::Gps },
+///     Instruction::ReturnVoid,
+/// ];
+/// let leaked = leaked_at_exit(&m)?;
+/// assert!(leaked.contains(ResourceKind::Gps));
+/// # Ok::<(), energydx_dexir::DexError>(())
+/// ```
+///
+/// # Errors
+///
+/// Returns [`crate::DexError`] if the method body is malformed.
+pub fn leaked_at_exit(method: &crate::module::Method) -> Result<HeldResources, crate::DexError> {
+    let cfg = Cfg::build(method)?;
+    let sol = forward(&cfg, &method.body, &ResourceTransfer, HeldResources::empty());
+    let mut leaked = HeldResources::empty();
+    for b in cfg.exit_blocks() {
+        leaked = leaked.join(&sol.exit[b]);
+    }
+    Ok(leaked)
+}
+
+/// Instruction indices that may acquire a resource that is already
+/// held — the refcount-leak variant of the no-sleep bug family (a
+/// second acquire without an intervening release means one release too
+/// few later, cf. the wake-lock misuse patterns of \[17\]).
+///
+/// # Errors
+///
+/// Returns [`crate::DexError`] if the method body is malformed.
+///
+/// # Examples
+///
+/// ```
+/// use energydx_dexir::dataflow::double_acquires;
+/// use energydx_dexir::instr::{Instruction, ResourceKind};
+/// use energydx_dexir::module::Method;
+///
+/// let mut m = Method::new("onStart", "()V");
+/// m.body = vec![
+///     Instruction::AcquireResource { kind: ResourceKind::WakeLock },
+///     Instruction::AcquireResource { kind: ResourceKind::WakeLock },
+///     Instruction::ReturnVoid,
+/// ];
+/// assert_eq!(double_acquires(&m)?, vec![1]);
+/// # Ok::<(), energydx_dexir::DexError>(())
+/// ```
+pub fn double_acquires(method: &crate::module::Method) -> Result<Vec<usize>, crate::DexError> {
+    let cfg = Cfg::build(method)?;
+    let sol = forward(&cfg, &method.body, &ResourceTransfer, HeldResources::empty());
+    let mut findings = Vec::new();
+    for block in cfg.blocks() {
+        let mut fact = sol.entry[block.id];
+        for i in block.range.clone() {
+            if let Instruction::AcquireResource { kind } = &method.body[i] {
+                if fact.contains(*kind) {
+                    findings.push(i);
+                }
+            }
+            fact = ResourceTransfer.apply(&method.body[i], &fact);
+        }
+    }
+    findings.sort_unstable();
+    Ok(findings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::{Instruction, Reg, ResourceKind};
+    use crate::module::Method;
+
+    fn method_with(body: Vec<Instruction>) -> Method {
+        let mut m = Method::new("m", "()V");
+        m.body = body;
+        m
+    }
+
+    #[test]
+    fn acquire_then_release_does_not_leak() {
+        let m = method_with(vec![
+            Instruction::AcquireResource {
+                kind: ResourceKind::WakeLock,
+            },
+            Instruction::ReleaseResource {
+                kind: ResourceKind::WakeLock,
+            },
+            Instruction::ReturnVoid,
+        ]);
+        assert!(leaked_at_exit(&m).unwrap().is_empty());
+    }
+
+    #[test]
+    fn acquire_without_release_leaks() {
+        let m = method_with(vec![
+            Instruction::AcquireResource {
+                kind: ResourceKind::WakeLock,
+            },
+            Instruction::ReturnVoid,
+        ]);
+        let leaked = leaked_at_exit(&m).unwrap();
+        assert!(leaked.contains(ResourceKind::WakeLock));
+    }
+
+    #[test]
+    fn release_on_one_path_only_still_leaks() {
+        // The classic Pathak no-sleep pattern: release only on the
+        // early-exit path.
+        let m = method_with(vec![
+            Instruction::AcquireResource {
+                kind: ResourceKind::WakeLock,
+            },
+            Instruction::IfZero {
+                src: Reg(0),
+                target: "skip".into(),
+            },
+            Instruction::ReleaseResource {
+                kind: ResourceKind::WakeLock,
+            },
+            Instruction::Label {
+                name: "skip".into(),
+            },
+            Instruction::ReturnVoid,
+        ]);
+        let leaked = leaked_at_exit(&m).unwrap();
+        assert!(leaked.contains(ResourceKind::WakeLock));
+    }
+
+    #[test]
+    fn release_on_all_paths_does_not_leak() {
+        let m = method_with(vec![
+            Instruction::AcquireResource {
+                kind: ResourceKind::Gps,
+            },
+            Instruction::IfZero {
+                src: Reg(0),
+                target: "other".into(),
+            },
+            Instruction::ReleaseResource {
+                kind: ResourceKind::Gps,
+            },
+            Instruction::ReturnVoid,
+            Instruction::Label {
+                name: "other".into(),
+            },
+            Instruction::ReleaseResource {
+                kind: ResourceKind::Gps,
+            },
+            Instruction::ReturnVoid,
+        ]);
+        assert!(leaked_at_exit(&m).unwrap().is_empty());
+    }
+
+    #[test]
+    fn loop_with_acquire_converges_and_leaks() {
+        let m = method_with(vec![
+            Instruction::Label {
+                name: "loop".into(),
+            },
+            Instruction::AcquireResource {
+                kind: ResourceKind::Sensor,
+            },
+            Instruction::IfZero {
+                src: Reg(0),
+                target: "loop".into(),
+            },
+            Instruction::ReturnVoid,
+        ]);
+        let leaked = leaked_at_exit(&m).unwrap();
+        assert!(leaked.contains(ResourceKind::Sensor));
+    }
+
+    #[test]
+    fn held_resources_set_operations() {
+        let mut h = HeldResources::empty();
+        assert!(h.is_empty());
+        h.insert(ResourceKind::WifiLock);
+        h.insert(ResourceKind::Gps);
+        assert!(h.contains(ResourceKind::WifiLock));
+        h.remove(ResourceKind::WifiLock);
+        assert!(!h.contains(ResourceKind::WifiLock));
+        assert_eq!(h.iter().collect::<Vec<_>>(), vec![ResourceKind::Gps]);
+    }
+
+    #[test]
+    fn join_is_union() {
+        let mut a = HeldResources::empty();
+        a.insert(ResourceKind::Gps);
+        let mut b = HeldResources::empty();
+        b.insert(ResourceKind::Sensor);
+        let j = a.join(&b);
+        assert!(j.contains(ResourceKind::Gps) && j.contains(ResourceKind::Sensor));
+        // Idempotent and commutative.
+        assert_eq!(j.join(&j), j);
+        assert_eq!(a.join(&b), b.join(&a));
+    }
+
+    #[test]
+    fn double_acquire_on_one_path_is_flagged() {
+        // acquire; if (v0) { release } ; acquire  — the second acquire
+        // may run with the lock still held on the fallthrough path.
+        let m = method_with(vec![
+            Instruction::AcquireResource {
+                kind: ResourceKind::WakeLock,
+            },
+            Instruction::IfZero {
+                src: Reg(0),
+                target: "skip".into(),
+            },
+            Instruction::ReleaseResource {
+                kind: ResourceKind::WakeLock,
+            },
+            Instruction::Label {
+                name: "skip".into(),
+            },
+            Instruction::AcquireResource {
+                kind: ResourceKind::WakeLock,
+            },
+            Instruction::ReturnVoid,
+        ]);
+        assert_eq!(double_acquires(&m).unwrap(), vec![4]);
+    }
+
+    #[test]
+    fn acquire_release_acquire_is_clean() {
+        let m = method_with(vec![
+            Instruction::AcquireResource {
+                kind: ResourceKind::Gps,
+            },
+            Instruction::ReleaseResource {
+                kind: ResourceKind::Gps,
+            },
+            Instruction::AcquireResource {
+                kind: ResourceKind::Gps,
+            },
+            Instruction::ReturnVoid,
+        ]);
+        assert!(double_acquires(&m).unwrap().is_empty());
+    }
+
+    #[test]
+    fn acquires_of_different_resources_are_clean() {
+        let m = method_with(vec![
+            Instruction::AcquireResource {
+                kind: ResourceKind::Gps,
+            },
+            Instruction::AcquireResource {
+                kind: ResourceKind::WakeLock,
+            },
+            Instruction::ReturnVoid,
+        ]);
+        assert!(double_acquires(&m).unwrap().is_empty());
+    }
+
+    #[test]
+    fn empty_method_has_empty_solution() {
+        let m = method_with(vec![]);
+        let leaked = leaked_at_exit(&m).unwrap();
+        assert!(leaked.is_empty());
+    }
+}

@@ -1,0 +1,86 @@
+//! Errors produced by IR construction, parsing, and instrumentation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error type for the `energydx-dexir` crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DexError {
+    /// The smali-like source failed to parse.
+    Parse {
+        /// 1-based line number of the offending source line.
+        line: usize,
+        /// Explanation of what was expected.
+        message: String,
+    },
+    /// A branch referenced a label that is not defined in the method.
+    UndefinedLabel {
+        /// The method containing the dangling branch.
+        method: String,
+        /// The missing label name.
+        label: String,
+    },
+    /// A label was defined more than once in the same method.
+    DuplicateLabel {
+        /// The method containing the duplicate.
+        method: String,
+        /// The label name defined twice.
+        label: String,
+    },
+    /// A class was defined more than once in the same module.
+    DuplicateClass {
+        /// The class descriptor defined twice.
+        class: String,
+    },
+    /// A module was rejected by validation (e.g. instrumenting a module
+    /// that is already instrumented).
+    Invalid {
+        /// Explanation of the validation failure.
+        message: String,
+    },
+}
+
+impl fmt::Display for DexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DexError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            DexError::UndefinedLabel { method, label } => {
+                write!(f, "undefined label {label} in method {method}")
+            }
+            DexError::DuplicateLabel { method, label } => {
+                write!(f, "duplicate label {label} in method {method}")
+            }
+            DexError::DuplicateClass { class } => {
+                write!(f, "duplicate class {class}")
+            }
+            DexError::Invalid { message } => write!(f, "invalid module: {message}"),
+        }
+    }
+}
+
+impl Error for DexError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_context() {
+        let e = DexError::UndefinedLabel {
+            method: "onResume".into(),
+            label: ":loop".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("onResume") && s.contains(":loop"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn takes_error<E: Error>(_: E) {}
+        takes_error(DexError::DuplicateClass {
+            class: "LFoo;".into(),
+        });
+    }
+}

@@ -1,0 +1,542 @@
+//! The smali-like textual assembly format.
+//!
+//! The paper's instrumenter works on disassembled Dalvik bytecode in
+//! "assembly-like format" (§II-C). This module provides the equivalent:
+//! a line-oriented format with a parser ([`parse_module`]) and an
+//! assembler ([`assemble_module`]) that round-trip exactly.
+//!
+//! ```text
+//! .package com.fsck.k9
+//! .class Lcom/fsck/k9/activity/MessageList;
+//! .super Landroid/app/Activity;
+//! .activity
+//! .method onResume()V
+//!   .registers 4
+//!   .lines 23
+//!   const v0, 1
+//!   if-zero v0, :skip
+//!   invoke-virtual Lcom/fsck/k9/K9;->load()V, v0
+//!   :skip
+//!   return-void
+//! .end method
+//! .end class
+//! ```
+
+use crate::error::DexError;
+use crate::instr::{BinOp, Instruction, InvokeKind, MethodRef, Reg};
+use crate::module::{Class, ComponentKind, Method, Module};
+use std::fmt::Write as _;
+
+/// Renders a module in the textual assembly format.
+///
+/// The output parses back to an identical module (see
+/// [`parse_module`]); this round-trip is covered by property tests.
+///
+/// # Examples
+///
+/// ```
+/// # use energydx_dexir::module::{Module, Class, ComponentKind};
+/// # use energydx_dexir::text::{assemble_module, parse_module};
+/// let mut m = Module::new("com.example");
+/// m.add_class(Class::new("LFoo;", ComponentKind::Plain))?;
+/// let text = assemble_module(&m);
+/// assert_eq!(parse_module(&text)?, m);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn assemble_module(module: &Module) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, ".package {}", module.package);
+    for class in module.classes.values() {
+        let _ = writeln!(out, ".class {}", class.name);
+        let _ = writeln!(out, ".super {}", class.super_class);
+        match class.component {
+            ComponentKind::Activity => out.push_str(".activity\n"),
+            ComponentKind::Service => out.push_str(".service\n"),
+            ComponentKind::Plain => {}
+        }
+        for method in &class.methods {
+            let _ = writeln!(out, ".method {}{}", method.name, method.descriptor);
+            let _ = writeln!(out, "  .registers {}", method.registers);
+            let _ = writeln!(out, "  .lines {}", method.source_lines);
+            for instr in &method.body {
+                let _ = writeln!(out, "  {}", assemble_instruction(instr));
+            }
+            out.push_str(".end method\n");
+        }
+        out.push_str(".end class\n");
+    }
+    out
+}
+
+/// Renders one instruction in assembly syntax.
+pub fn assemble_instruction(instr: &Instruction) -> String {
+    match instr {
+        Instruction::Nop => "nop".to_string(),
+        Instruction::ConstInt { dst, value } => format!("const {dst}, {value}"),
+        Instruction::ConstString { dst, value } => {
+            format!("const-string {dst}, \"{}\"", escape(value))
+        }
+        Instruction::Move { dst, src } => format!("move {dst}, {src}"),
+        Instruction::BinOp { op, dst, a, b } => {
+            format!("{} {dst}, {a}, {b}", op.mnemonic())
+        }
+        Instruction::Invoke { kind, target, args } => {
+            let regs: Vec<String> = args.iter().map(|r| r.to_string()).collect();
+            if regs.is_empty() {
+                format!("{} {target}", kind.mnemonic())
+            } else {
+                format!("{} {target}, {}", kind.mnemonic(), regs.join(", "))
+            }
+        }
+        Instruction::MoveResult { dst } => format!("move-result {dst}"),
+        Instruction::AcquireResource { kind } => format!("acquire {}", kind.name()),
+        Instruction::ReleaseResource { kind } => format!("release {}", kind.name()),
+        Instruction::Label { name } => format!(":{name}"),
+        Instruction::Goto { target } => format!("goto :{target}"),
+        Instruction::IfZero { src, target } => format!("if-zero {src}, :{target}"),
+        Instruction::ReturnVoid => "return-void".to_string(),
+        Instruction::Return { src } => format!("return {src}"),
+        Instruction::LogEnter { event } => format!("log-enter {event}"),
+        Instruction::LogExit { event } => format!("log-exit {event}"),
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            if let Some(next) = chars.next() {
+                out.push(next);
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Parses a module from the textual assembly format.
+///
+/// # Errors
+///
+/// Returns [`DexError::Parse`] with the 1-based line number on any
+/// malformed line, and [`DexError::DuplicateClass`] /
+/// [`DexError::DuplicateLabel`] / [`DexError::UndefinedLabel`] when the
+/// parsed module fails validation.
+pub fn parse_module(source: &str) -> Result<Module, DexError> {
+    let mut module: Option<Module> = None;
+    let mut current_class: Option<Class> = None;
+    let mut current_method: Option<Method> = None;
+
+    for (idx, raw) in source.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let err = |message: &str| DexError::Parse {
+            line: lineno,
+            message: message.to_string(),
+        };
+
+        if let Some(rest) = line.strip_prefix(".package ") {
+            if module.is_some() {
+                return Err(err("duplicate .package directive"));
+            }
+            module = Some(Module::new(rest.trim()));
+        } else if let Some(rest) = line.strip_prefix(".class ") {
+            if current_class.is_some() {
+                return Err(err("nested .class"));
+            }
+            current_class = Some(Class {
+                name: rest.trim().to_string(),
+                super_class: "Ljava/lang/Object;".to_string(),
+                component: ComponentKind::Plain,
+                methods: Vec::new(),
+            });
+        } else if let Some(rest) = line.strip_prefix(".super ") {
+            current_class
+                .as_mut()
+                .ok_or_else(|| err(".super outside class"))?
+                .super_class = rest.trim().to_string();
+        } else if line == ".activity" {
+            current_class
+                .as_mut()
+                .ok_or_else(|| err(".activity outside class"))?
+                .component = ComponentKind::Activity;
+        } else if line == ".service" {
+            current_class
+                .as_mut()
+                .ok_or_else(|| err(".service outside class"))?
+                .component = ComponentKind::Service;
+        } else if let Some(rest) = line.strip_prefix(".method ") {
+            if current_method.is_some() {
+                return Err(err("nested .method"));
+            }
+            if current_class.is_none() {
+                return Err(err(".method outside class"));
+            }
+            let sig = rest.trim();
+            let open = sig.find('(').ok_or_else(|| err("method missing descriptor"))?;
+            current_method = Some(Method::new(&sig[..open], &sig[open..]));
+        } else if let Some(rest) = line.strip_prefix(".registers ") {
+            current_method
+                .as_mut()
+                .ok_or_else(|| err(".registers outside method"))?
+                .registers = rest
+                .trim()
+                .parse()
+                .map_err(|_| err("invalid register count"))?;
+        } else if let Some(rest) = line.strip_prefix(".lines ") {
+            current_method
+                .as_mut()
+                .ok_or_else(|| err(".lines outside method"))?
+                .source_lines = rest
+                .trim()
+                .parse()
+                .map_err(|_| err("invalid line count"))?;
+        } else if line == ".end method" {
+            let method = current_method
+                .take()
+                .ok_or_else(|| err(".end method without .method"))?;
+            current_class
+                .as_mut()
+                .ok_or_else(|| err(".end method outside class"))?
+                .methods
+                .push(method);
+        } else if line == ".end class" {
+            if current_method.is_some() {
+                return Err(err(".end class inside method"));
+            }
+            let class = current_class
+                .take()
+                .ok_or_else(|| err(".end class without .class"))?;
+            module
+                .as_mut()
+                .ok_or_else(|| err(".end class before .package"))?
+                .add_class(class)?;
+        } else {
+            let method = current_method
+                .as_mut()
+                .ok_or_else(|| err("instruction outside method"))?;
+            method.body.push(parse_instruction(line, lineno)?);
+        }
+    }
+
+    if current_method.is_some() {
+        return Err(DexError::Parse {
+            line: source.lines().count(),
+            message: "unterminated .method".to_string(),
+        });
+    }
+    if current_class.is_some() {
+        return Err(DexError::Parse {
+            line: source.lines().count(),
+            message: "unterminated .class".to_string(),
+        });
+    }
+    let module = module.ok_or(DexError::Parse {
+        line: 1,
+        message: "missing .package directive".to_string(),
+    })?;
+    module.validate()?;
+    Ok(module)
+}
+
+/// Parses a single instruction line.
+fn parse_instruction(line: &str, lineno: usize) -> Result<Instruction, DexError> {
+    let err = |message: String| DexError::Parse {
+        line: lineno,
+        message,
+    };
+
+    if let Some(label) = line.strip_prefix(':') {
+        return Ok(Instruction::Label {
+            name: label.to_string(),
+        });
+    }
+    let (mnemonic, rest) = match line.split_once(' ') {
+        Some((m, r)) => (m, r.trim()),
+        None => (line, ""),
+    };
+    let parse_reg = |s: &str| -> Result<Reg, DexError> {
+        s.trim()
+            .strip_prefix('v')
+            .and_then(|n| n.parse().ok())
+            .map(Reg)
+            .ok_or_else(|| err(format!("invalid register `{s}`")))
+    };
+
+    match mnemonic {
+        "nop" => Ok(Instruction::Nop),
+        "const" => {
+            let (dst, value) = rest
+                .split_once(',')
+                .ok_or_else(|| err("const needs `reg, value`".into()))?;
+            Ok(Instruction::ConstInt {
+                dst: parse_reg(dst)?,
+                value: value
+                    .trim()
+                    .parse()
+                    .map_err(|_| err(format!("invalid integer `{}`", value.trim())))?,
+            })
+        }
+        "const-string" => {
+            let (dst, value) = rest
+                .split_once(',')
+                .ok_or_else(|| err("const-string needs `reg, \"value\"`".into()))?;
+            let v = value.trim();
+            let inner = v
+                .strip_prefix('"')
+                .and_then(|s| s.strip_suffix('"'))
+                .ok_or_else(|| err("string literal must be double-quoted".into()))?;
+            Ok(Instruction::ConstString {
+                dst: parse_reg(dst)?,
+                value: unescape(inner),
+            })
+        }
+        "move" => {
+            let (dst, src) = rest
+                .split_once(',')
+                .ok_or_else(|| err("move needs `dst, src`".into()))?;
+            Ok(Instruction::Move {
+                dst: parse_reg(dst)?,
+                src: parse_reg(src)?,
+            })
+        }
+        "add-int" | "sub-int" | "mul-int" => {
+            let parts: Vec<&str> = rest.split(',').collect();
+            if parts.len() != 3 {
+                return Err(err(format!("{mnemonic} needs `dst, a, b`")));
+            }
+            Ok(Instruction::BinOp {
+                op: BinOp::from_mnemonic(mnemonic).expect("matched above"),
+                dst: parse_reg(parts[0])?,
+                a: parse_reg(parts[1])?,
+                b: parse_reg(parts[2])?,
+            })
+        }
+        "invoke-virtual" | "invoke-static" | "invoke-direct" => {
+            let kind = match mnemonic {
+                "invoke-virtual" => InvokeKind::Virtual,
+                "invoke-static" => InvokeKind::Static,
+                _ => InvokeKind::Direct,
+            };
+            let mut parts = rest.split(',');
+            let target_str = parts.next().unwrap_or("").trim();
+            let target = MethodRef::parse(target_str)
+                .ok_or_else(|| err(format!("invalid method reference `{target_str}`")))?;
+            let args: Result<Vec<Reg>, DexError> = parts.map(|p| parse_reg(p)).collect();
+            Ok(Instruction::Invoke {
+                kind,
+                target,
+                args: args?,
+            })
+        }
+        "move-result" => Ok(Instruction::MoveResult {
+            dst: parse_reg(rest)?,
+        }),
+        "acquire" | "release" => {
+            let kind = crate::instr::ResourceKind::from_name(rest)
+                .ok_or_else(|| err(format!("unknown resource `{rest}`")))?;
+            Ok(if mnemonic == "acquire" {
+                Instruction::AcquireResource { kind }
+            } else {
+                Instruction::ReleaseResource { kind }
+            })
+        }
+        "goto" => {
+            let target = rest
+                .strip_prefix(':')
+                .ok_or_else(|| err("goto target must start with `:`".into()))?;
+            Ok(Instruction::Goto {
+                target: target.to_string(),
+            })
+        }
+        "if-zero" => {
+            let (src, target) = rest
+                .split_once(',')
+                .ok_or_else(|| err("if-zero needs `reg, :label`".into()))?;
+            let target = target
+                .trim()
+                .strip_prefix(':')
+                .ok_or_else(|| err("branch target must start with `:`".into()))?;
+            Ok(Instruction::IfZero {
+                src: parse_reg(src)?,
+                target: target.to_string(),
+            })
+        }
+        "return-void" => Ok(Instruction::ReturnVoid),
+        "return" => Ok(Instruction::Return {
+            src: parse_reg(rest)?,
+        }),
+        "log-enter" => Ok(Instruction::LogEnter {
+            event: rest.to_string(),
+        }),
+        "log-exit" => Ok(Instruction::LogExit {
+            event: rest.to_string(),
+        }),
+        other => Err(err(format!("unknown mnemonic `{other}`"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::ResourceKind;
+
+    const K9_SAMPLE: &str = r#"
+.package com.fsck.k9
+.class Lcom/fsck/k9/activity/MessageList;
+.super Landroid/app/Activity;
+.activity
+.method onResume()V
+  .registers 4
+  .lines 23
+  const v0, 1
+  if-zero v0, :skip
+  invoke-virtual Lcom/fsck/k9/K9;->load()V, v0
+  :skip
+  return-void
+.end method
+.method onPause()V
+  .registers 2
+  .lines 7
+  release wakelock
+  return-void
+.end method
+.end class
+.class Lcom/fsck/k9/service/MailService;
+.super Landroid/app/Service;
+.service
+.method onCreate()V
+  .registers 3
+  .lines 15
+  acquire wakelock
+  const-string v1, "imap \"quoted\""
+  invoke-virtual Ljava/net/Socket;->connect()V, v1
+  return-void
+.end method
+.end class
+"#;
+
+    #[test]
+    fn parses_k9_sample() {
+        let m = parse_module(K9_SAMPLE).unwrap();
+        assert_eq!(m.package, "com.fsck.k9");
+        assert_eq!(m.classes.len(), 2);
+        let ml = &m.classes["Lcom/fsck/k9/activity/MessageList;"];
+        assert_eq!(ml.component, ComponentKind::Activity);
+        assert_eq!(ml.methods.len(), 2);
+        assert_eq!(ml.methods[0].source_lines, 23);
+        let svc = &m.classes["Lcom/fsck/k9/service/MailService;"];
+        assert_eq!(svc.component, ComponentKind::Service);
+        assert_eq!(
+            svc.methods[0].acquired_resources(),
+            vec![ResourceKind::WakeLock]
+        );
+    }
+
+    #[test]
+    fn round_trips_exactly() {
+        let m = parse_module(K9_SAMPLE).unwrap();
+        let text = assemble_module(&m);
+        let reparsed = parse_module(&text).unwrap();
+        assert_eq!(reparsed, m);
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let m = parse_module(K9_SAMPLE).unwrap();
+        let svc = &m.classes["Lcom/fsck/k9/service/MailService;"];
+        match &svc.methods[0].body[1] {
+            Instruction::ConstString { value, .. } => {
+                assert_eq!(value, "imap \"quoted\"");
+            }
+            other => panic!("expected const-string, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_error_carries_line_number() {
+        let src = ".package x\n.class LA;\n.method m()V\n  bogus-op v0\n.end method\n.end class\n";
+        match parse_module(src) {
+            Err(DexError::Parse { line, .. }) => assert_eq!(line, 4),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn undefined_branch_target_is_rejected_at_validation() {
+        let src = "\
+.package x
+.class LA;
+.method m()V
+  goto :nowhere
+.end method
+.end class
+";
+        assert!(matches!(
+            parse_module(src),
+            Err(DexError::UndefinedLabel { .. })
+        ));
+    }
+
+    #[test]
+    fn unterminated_method_is_rejected() {
+        let src = ".package x\n.class LA;\n.method m()V\n  nop\n";
+        assert!(matches!(parse_module(src), Err(DexError::Parse { .. })));
+    }
+
+    #[test]
+    fn missing_package_is_rejected() {
+        assert!(matches!(
+            parse_module(".class LA;\n.end class\n"),
+            Err(DexError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let src = "\
+# leading comment
+.package x
+
+.class LA;
+# inside class
+.end class
+";
+        assert!(parse_module(src).is_ok());
+    }
+
+    #[test]
+    fn instruction_outside_method_is_rejected() {
+        let src = ".package x\n.class LA;\n  nop\n.end class\n";
+        assert!(matches!(parse_module(src), Err(DexError::Parse { .. })));
+    }
+
+    #[test]
+    fn log_ops_round_trip() {
+        let i = Instruction::LogEnter {
+            event: "LA;->onResume".into(),
+        };
+        let text = assemble_instruction(&i);
+        assert_eq!(parse_instruction(&text, 1).unwrap(), i);
+    }
+
+    #[test]
+    fn invoke_without_args_round_trips() {
+        let i = Instruction::Invoke {
+            kind: InvokeKind::Static,
+            target: MethodRef::new("LA;", "f", "()V"),
+            args: vec![],
+        };
+        let text = assemble_instruction(&i);
+        assert_eq!(parse_instruction(&text, 1).unwrap(), i);
+    }
+}

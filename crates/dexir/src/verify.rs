@@ -1,0 +1,382 @@
+//! The bytecode verifier: structural checks beyond label validity.
+//!
+//! Dalvik verifies bytecode at install time; this module is the
+//! equivalent gate for the IR. The instrumenter refuses modules that
+//! fail label validation already (see [`crate::module::Method::validate`]);
+//! the verifier adds the register- and dataflow-shape checks a device
+//! would enforce before executing a package:
+//!
+//! - every register index is within the method's declared frame,
+//! - `move-result` only appears directly after an `invoke`,
+//! - every path ends in a return (no falling off the end of a body),
+//! - instrumentation ops are balanced per event within the body.
+
+use crate::error::DexError;
+use crate::instr::{Instruction, Reg};
+use crate::module::{Method, Module};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One verifier finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyError {
+    /// The method the finding is in (`Lcls;->name` form when produced
+    /// by [`verify_module`], bare method name from [`verify_method`]).
+    pub method: String,
+    /// Index of the offending instruction, when applicable.
+    pub instruction: Option<usize>,
+    /// What is wrong.
+    pub kind: VerifyErrorKind,
+}
+
+/// The verifier's finding kinds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyErrorKind {
+    /// A register index at or beyond the declared frame size.
+    RegisterOutOfRange {
+        /// The offending register.
+        register: Reg,
+        /// The declared frame size.
+        frame: u16,
+    },
+    /// `move-result` not immediately preceded by an invoke.
+    DanglingMoveResult,
+    /// The body can fall off its end without returning.
+    MissingReturn,
+    /// An event has `log-enter` ops without any `log-exit` (or the
+    /// reverse) — broken instrumentation. Counts are *not* required to
+    /// match: a body with several returns has one exit per return.
+    UnbalancedLogging {
+        /// The event identifier.
+        event: String,
+    },
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            VerifyErrorKind::RegisterOutOfRange { register, frame } => write!(
+                f,
+                "{}: register {register} outside frame of {frame}",
+                self.method
+            ),
+            VerifyErrorKind::DanglingMoveResult => {
+                write!(f, "{}: move-result without a preceding invoke", self.method)
+            }
+            VerifyErrorKind::MissingReturn => {
+                write!(f, "{}: control can fall off the end of the body", self.method)
+            }
+            VerifyErrorKind::UnbalancedLogging { event } => {
+                write!(f, "{}: unbalanced logging for {event}", self.method)
+            }
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Registers an instruction reads or writes.
+fn registers_of(instr: &Instruction) -> Vec<Reg> {
+    match instr {
+        Instruction::ConstInt { dst, .. }
+        | Instruction::ConstString { dst, .. }
+        | Instruction::MoveResult { dst } => vec![*dst],
+        Instruction::Move { dst, src } => vec![*dst, *src],
+        Instruction::BinOp { dst, a, b, .. } => vec![*dst, *a, *b],
+        Instruction::Invoke { args, .. } => args.clone(),
+        Instruction::IfZero { src, .. } | Instruction::Return { src } => vec![*src],
+        _ => Vec::new(),
+    }
+}
+
+/// Verifies one method.
+///
+/// # Errors
+///
+/// Propagates [`DexError`] for malformed labels (checked first, since
+/// the remaining checks assume a well-formed body).
+///
+/// # Examples
+///
+/// ```
+/// # use energydx_dexir::verify::verify_method;
+/// # use energydx_dexir::module::Method;
+/// # use energydx_dexir::instr::{Instruction, Reg};
+/// let mut m = Method::new("m", "()V");
+/// m.registers = 2;
+/// m.body = vec![
+///     Instruction::ConstInt { dst: Reg(5), value: 1 }, // v5 > frame
+///     Instruction::ReturnVoid,
+/// ];
+/// let findings = verify_method(&m)?;
+/// assert_eq!(findings.len(), 1);
+/// # Ok::<(), energydx_dexir::DexError>(())
+/// ```
+pub fn verify_method(method: &Method) -> Result<Vec<VerifyError>, DexError> {
+    method.validate()?;
+    let mut findings = Vec::new();
+    let err = |instruction: Option<usize>, kind: VerifyErrorKind| VerifyError {
+        method: method.name.clone(),
+        instruction,
+        kind,
+    };
+
+    // Register frame.
+    for (i, instr) in method.body.iter().enumerate() {
+        for register in registers_of(instr) {
+            if register.0 >= method.registers {
+                findings.push(err(
+                    Some(i),
+                    VerifyErrorKind::RegisterOutOfRange {
+                        register,
+                        frame: method.registers,
+                    },
+                ));
+            }
+        }
+    }
+
+    // move-result adjacency.
+    for (i, instr) in method.body.iter().enumerate() {
+        if matches!(instr, Instruction::MoveResult { .. }) {
+            let preceded_by_invoke = i > 0
+                && matches!(method.body[i - 1], Instruction::Invoke { .. });
+            if !preceded_by_invoke {
+                findings.push(err(Some(i), VerifyErrorKind::DanglingMoveResult));
+            }
+        }
+    }
+
+    // Falling off the end: the last *real* instruction on the
+    // fallthrough path must be a return or an unconditional goto.
+    if let Some(last) = method
+        .body
+        .iter()
+        .rev()
+        .find(|i| !matches!(i, Instruction::Label { .. }))
+    {
+        if !last.ends_block() {
+            findings.push(err(None, VerifyErrorKind::MissingReturn));
+        }
+    } else if method.body.iter().any(|i| matches!(i, Instruction::Label { .. })) {
+        findings.push(err(None, VerifyErrorKind::MissingReturn));
+    }
+
+    // Logging presence per event: enters and exits must co-occur.
+    let mut logging: BTreeMap<&str, (bool, bool)> = BTreeMap::new();
+    for instr in &method.body {
+        match instr {
+            Instruction::LogEnter { event } => logging.entry(event).or_default().0 = true,
+            Instruction::LogExit { event } => logging.entry(event).or_default().1 = true,
+            _ => {}
+        }
+    }
+    for (event, (has_enter, has_exit)) in logging {
+        if has_enter != has_exit {
+            findings.push(err(
+                None,
+                VerifyErrorKind::UnbalancedLogging {
+                    event: event.to_string(),
+                },
+            ));
+        }
+    }
+
+    Ok(findings)
+}
+
+/// Verifies every method of a module, returning all findings with
+/// fully-qualified method names.
+///
+/// # Errors
+///
+/// Propagates the first [`DexError`] (malformed labels).
+pub fn verify_module(module: &Module) -> Result<Vec<VerifyError>, DexError> {
+    let mut findings = Vec::new();
+    for class in module.classes.values() {
+        for method in &class.methods {
+            for mut finding in verify_method(method)? {
+                finding.method = format!("{}->{}", class.name, method.name);
+                findings.push(finding);
+            }
+        }
+    }
+    Ok(findings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::{InvokeKind, MethodRef};
+
+    fn method(registers: u16, body: Vec<Instruction>) -> Method {
+        let mut m = Method::new("m", "()V");
+        m.registers = registers;
+        m.body = body;
+        m
+    }
+
+    #[test]
+    fn clean_method_verifies() {
+        let m = method(
+            4,
+            vec![
+                Instruction::ConstInt {
+                    dst: Reg(0),
+                    value: 1,
+                },
+                Instruction::Invoke {
+                    kind: InvokeKind::Virtual,
+                    target: MethodRef::new("LA;", "f", "()I"),
+                    args: vec![Reg(0)],
+                },
+                Instruction::MoveResult { dst: Reg(1) },
+                Instruction::Return { src: Reg(1) },
+            ],
+        );
+        assert!(verify_method(&m).unwrap().is_empty());
+    }
+
+    #[test]
+    fn out_of_frame_register_is_reported() {
+        let m = method(
+            2,
+            vec![
+                Instruction::Move {
+                    dst: Reg(0),
+                    src: Reg(7),
+                },
+                Instruction::ReturnVoid,
+            ],
+        );
+        let findings = verify_method(&m).unwrap();
+        assert_eq!(findings.len(), 1);
+        assert!(matches!(
+            findings[0].kind,
+            VerifyErrorKind::RegisterOutOfRange {
+                register: Reg(7),
+                frame: 2
+            }
+        ));
+        assert_eq!(findings[0].instruction, Some(0));
+    }
+
+    #[test]
+    fn dangling_move_result_is_reported() {
+        let m = method(
+            4,
+            vec![
+                Instruction::MoveResult { dst: Reg(0) },
+                Instruction::ReturnVoid,
+            ],
+        );
+        let findings = verify_method(&m).unwrap();
+        assert!(findings
+            .iter()
+            .any(|f| f.kind == VerifyErrorKind::DanglingMoveResult));
+    }
+
+    #[test]
+    fn move_result_after_invoke_is_fine() {
+        let m = method(
+            4,
+            vec![
+                Instruction::Invoke {
+                    kind: InvokeKind::Static,
+                    target: MethodRef::new("LA;", "f", "()I"),
+                    args: vec![],
+                },
+                Instruction::MoveResult { dst: Reg(0) },
+                Instruction::ReturnVoid,
+            ],
+        );
+        assert!(verify_method(&m).unwrap().is_empty());
+    }
+
+    #[test]
+    fn falling_off_the_end_is_reported() {
+        let m = method(
+            4,
+            vec![Instruction::ConstInt {
+                dst: Reg(0),
+                value: 1,
+            }],
+        );
+        let findings = verify_method(&m).unwrap();
+        assert!(findings
+            .iter()
+            .any(|f| f.kind == VerifyErrorKind::MissingReturn));
+    }
+
+    #[test]
+    fn empty_body_is_allowed() {
+        // An empty body is a valid abstract callback (the device
+        // treats it as a no-op).
+        let m = method(4, vec![]);
+        assert!(verify_method(&m).unwrap().is_empty());
+    }
+
+    #[test]
+    fn unbalanced_logging_is_reported() {
+        let m = method(
+            4,
+            vec![
+                Instruction::LogEnter {
+                    event: "LA;->onResume".into(),
+                },
+                Instruction::ReturnVoid,
+            ],
+        );
+        let findings = verify_method(&m).unwrap();
+        assert!(matches!(
+            &findings[0].kind,
+            VerifyErrorKind::UnbalancedLogging { event } if event == "LA;->onResume"
+        ));
+    }
+
+    #[test]
+    fn instrumenter_output_always_verifies() {
+        use crate::instrument::{EventPool, Instrumenter};
+        use crate::module::{Class, ComponentKind};
+        let mut module = Module::new("x");
+        let mut class = Class::new("LA;", ComponentKind::Activity);
+        let mut cb = Method::new("onResume", "()V");
+        cb.registers = 4;
+        cb.body = vec![
+            Instruction::IfZero {
+                src: Reg(0),
+                target: "end".into(),
+            },
+            Instruction::ReturnVoid,
+            Instruction::Label { name: "end".into() },
+            Instruction::ReturnVoid,
+        ];
+        class.methods.push(cb);
+        module.add_class(class).unwrap();
+        let report = Instrumenter::new(EventPool::standard())
+            .instrument(&module)
+            .unwrap();
+        assert!(verify_module(&report.module).unwrap().is_empty());
+    }
+
+    #[test]
+    fn module_findings_carry_qualified_names() {
+        use crate::module::{Class, ComponentKind};
+        let mut module = Module::new("x");
+        let mut class = Class::new("LBad;", ComponentKind::Plain);
+        class.methods.push(method(
+            1,
+            vec![
+                Instruction::Move {
+                    dst: Reg(0),
+                    src: Reg(9),
+                },
+                Instruction::ReturnVoid,
+            ],
+        ));
+        module.add_class(class).unwrap();
+        let findings = verify_module(&module).unwrap();
+        assert_eq!(findings[0].method, "LBad;->m");
+        assert!(!findings[0].to_string().is_empty());
+    }
+}

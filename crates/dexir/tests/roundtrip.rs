@@ -1,0 +1,167 @@
+//! Property tests: the textual assembly round-trips arbitrary modules,
+//! and instrumentation preserves structure (DESIGN.md §6).
+
+use energydx_dexir::instr::{BinOp, Instruction, InvokeKind, MethodRef, Reg, ResourceKind};
+use energydx_dexir::instrument::{EventPool, Instrumenter};
+use energydx_dexir::module::{Class, ComponentKind, Method, Module};
+use energydx_dexir::text::{assemble_module, parse_module};
+use proptest::prelude::*;
+
+fn reg() -> impl Strategy<Value = Reg> {
+    (0u16..16).prop_map(Reg)
+}
+
+fn method_ref() -> impl Strategy<Value = MethodRef> {
+    ("[A-Za-z][A-Za-z0-9]{0,8}", "[a-z][A-Za-z0-9_]{0,10}").prop_map(|(cls, name)| {
+        MethodRef::new(format!("Lcom/gen/{cls};"), name, "()V")
+    })
+}
+
+fn resource() -> impl Strategy<Value = ResourceKind> {
+    prop_oneof![
+        Just(ResourceKind::WakeLock),
+        Just(ResourceKind::Gps),
+        Just(ResourceKind::WifiLock),
+        Just(ResourceKind::Sensor),
+    ]
+}
+
+/// Generates straight-line instructions (labels/branches are exercised
+/// separately so generated bodies always validate).
+fn instruction() -> impl Strategy<Value = Instruction> {
+    prop_oneof![
+        Just(Instruction::Nop),
+        (reg(), -1000i64..1000).prop_map(|(dst, value)| Instruction::ConstInt { dst, value }),
+        (reg(), "[ -~&&[^\"\\\\]]{0,12}")
+            .prop_map(|(dst, value)| Instruction::ConstString { dst, value }),
+        (reg(), reg()).prop_map(|(dst, src)| Instruction::Move { dst, src }),
+        (reg(), reg(), reg()).prop_map(|(dst, a, b)| Instruction::BinOp {
+            op: BinOp::Add,
+            dst,
+            a,
+            b
+        }),
+        (method_ref(), prop::collection::vec(reg(), 0..3)).prop_map(|(target, args)| {
+            Instruction::Invoke {
+                kind: InvokeKind::Virtual,
+                target,
+                args,
+            }
+        }),
+        reg().prop_map(|dst| Instruction::MoveResult { dst }),
+        resource().prop_map(|kind| Instruction::AcquireResource { kind }),
+        resource().prop_map(|kind| Instruction::ReleaseResource { kind }),
+    ]
+}
+
+fn method() -> impl Strategy<Value = Method> {
+    (
+        "[a-z][A-Za-z0-9_]{0,10}",
+        1u16..16,
+        1u32..500,
+        prop::collection::vec(instruction(), 0..12),
+    )
+        .prop_map(|(name, registers, lines, mut body)| {
+            let mut m = Method::new(name, "()V");
+            m.registers = registers;
+            m.source_lines = lines;
+            body.push(Instruction::ReturnVoid);
+            m.body = body;
+            m
+        })
+}
+
+fn component() -> impl Strategy<Value = ComponentKind> {
+    prop_oneof![
+        Just(ComponentKind::Activity),
+        Just(ComponentKind::Service),
+        Just(ComponentKind::Plain),
+    ]
+}
+
+prop_compose! {
+    fn class()(idx in 0u32..10000, comp in component(), methods in prop::collection::vec(method(), 0..5)) -> Class {
+        let mut c = Class::new(format!("Lcom/gen/C{idx};"), comp);
+        // Deduplicate method names within the class.
+        let mut seen = std::collections::BTreeSet::new();
+        for (i, mut m) in methods.into_iter().enumerate() {
+            if !seen.insert(m.name.clone()) {
+                m.name = format!("{}_{i}", m.name);
+                seen.insert(m.name.clone());
+            }
+            c.methods.push(m);
+        }
+        c
+    }
+}
+
+prop_compose! {
+    fn module()(pkg in "[a-z]{2,8}", classes in prop::collection::vec(class(), 0..4)) -> Module {
+        let mut m = Module::new(format!("com.gen.{pkg}"));
+        for c in classes {
+            // Duplicate descriptors are possible from the generator; skip them.
+            let _ = m.add_class(c);
+        }
+        m
+    }
+}
+
+proptest! {
+    #[test]
+    fn assembly_round_trips(m in module()) {
+        let text = assemble_module(&m);
+        let parsed = parse_module(&text).expect("generated module must parse");
+        prop_assert_eq!(parsed, m);
+    }
+
+    #[test]
+    fn instrumentation_adds_exactly_one_enter_per_callback(m in module()) {
+        let report = Instrumenter::new(EventPool::standard()).instrument(&m).unwrap();
+        for key in &report.events {
+            let body = &report.module.method(key).unwrap().body;
+            let enters = body.iter().filter(|i| matches!(i, Instruction::LogEnter { .. })).count();
+            let exits = body.iter().filter(|i| matches!(i, Instruction::LogExit { .. })).count();
+            let returns = body.iter().filter(|i| i.is_return()).count();
+            prop_assert_eq!(enters, 1);
+            prop_assert_eq!(exits, returns.max(1));
+        }
+    }
+
+    #[test]
+    fn instrumentation_never_touches_non_pool_methods(m in module()) {
+        let pool = EventPool::standard();
+        let report = Instrumenter::new(pool.clone()).instrument(&m).unwrap();
+        for class in m.classes.values() {
+            for method in &class.methods {
+                if !pool.selects(class.component, &method.name) {
+                    let after = report.module.classes[&class.name].method(&method.name).unwrap();
+                    prop_assert_eq!(after, method);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn instrumented_modules_still_round_trip(m in module()) {
+        let report = Instrumenter::new(EventPool::standard()).instrument(&m).unwrap();
+        let text = assemble_module(&report.module);
+        prop_assert_eq!(parse_module(&text).unwrap(), report.module);
+    }
+
+    #[test]
+    fn instrumentation_preserves_source_lines(m in module()) {
+        let report = Instrumenter::new(EventPool::standard()).instrument(&m).unwrap();
+        prop_assert_eq!(report.module.total_source_lines(), m.total_source_lines());
+    }
+
+    #[test]
+    fn overhead_counters_are_consistent(m in module()) {
+        let report = Instrumenter::new(EventPool::standard()).instrument(&m).unwrap();
+        prop_assert!(report.instrumented_cost >= report.original_cost);
+        prop_assert_eq!(
+            report.instrumented_cost - report.original_cost,
+            4 * report.added_instructions as u64
+        );
+        prop_assert!(report.events.len() == report.instrumented_methods);
+    }
+}

@@ -1,0 +1,955 @@
+//! The device simulator: virtual clock, lifecycle dispatch, background
+//! work, and trace emission.
+//!
+//! A [`Device`] loads one (typically instrumented) app package and is
+//! driven by user actions — launching activities, tapping widgets,
+//! pressing home/back, idling. It maintains the hardware timeline and
+//! the event trace as side effects, and hands both back as a
+//! [`Session`] for upload to the trace store.
+
+use crate::error::SimError;
+use crate::framework::{hold_effect, Burst, FrameworkEffects};
+use crate::hardware::Timeline;
+use crate::interp::{execute, EffectKind, DEFAULT_COST_US, DEFAULT_STEP_LIMIT};
+use crate::lifecycle::{LifecycleAudit, LifecycleEvent, LifecycleState};
+use energydx_dexir::instr::ResourceKind;
+use energydx_dexir::module::{ComponentKind, MethodKey, Module};
+use energydx_trace::event::{Direction, EventRecord, EventTrace};
+use energydx_trace::util::Component;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The synthetic event the background logger emits while the app idles
+/// with no display (cf. `Idle(No_Display)` in Tables IV and VI).
+pub const IDLE_EVENT: &str = "Idle(No_Display)";
+
+/// Maximum length of one logged `Idle(No_Display)` instance. The
+/// background logger heartbeats: a long background stretch produces a
+/// chain of idle instances, so a sustained background drain (the
+/// no-sleep/loop ABD signature) is visible across several events
+/// rather than collapsed into one.
+pub const IDLE_CHUNK_MS: u64 = 2_500;
+
+/// A periodic background work item: models polling services, sync-retry
+/// loops, and similar ABD-relevant behaviour.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PeriodicTask {
+    /// Unique task name (used to cancel).
+    pub name: String,
+    /// Fire period in milliseconds.
+    pub period_ms: u64,
+    /// Hardware bursts applied at each tick.
+    pub bursts: Vec<Burst>,
+    /// Optional callback dispatched at each tick (it is logged if the
+    /// app is instrumented — e.g. K9's periodic `checkMail`).
+    pub callback: Option<MethodKey>,
+    next_fire_us: u64,
+}
+
+impl PeriodicTask {
+    /// Creates a task that first fires one period from now.
+    pub fn new(name: impl Into<String>, period_ms: u64, bursts: Vec<Burst>) -> Self {
+        PeriodicTask {
+            name: name.into(),
+            period_ms: period_ms.max(1),
+            bursts,
+            callback: None,
+            next_fire_us: 0,
+        }
+    }
+
+    /// Attaches a callback dispatched at each tick.
+    pub fn with_callback(mut self, key: MethodKey) -> Self {
+        self.callback = Some(key);
+        self
+    }
+}
+
+/// The traces produced by one user session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Session {
+    /// The logged event trace (Fig. 5 records).
+    pub events: EventTrace,
+    /// The hardware utilization timeline the procfs sampler reads.
+    pub timeline: Timeline,
+    /// Session duration in milliseconds.
+    pub duration_ms: u64,
+}
+
+/// A simulated phone running one app.
+#[derive(Debug)]
+pub struct Device {
+    module: Module,
+    effects: FrameworkEffects,
+    clock_us: u64,
+    cost_us: u64,
+    step_limit: u64,
+    activities: BTreeMap<String, LifecycleState>,
+    audits: BTreeMap<String, LifecycleAudit>,
+    back_stack: Vec<String>,
+    services: BTreeSet<String>,
+    holds: BTreeMap<ResourceKind, (u32, u64)>,
+    tasks: BTreeMap<String, PeriodicTask>,
+    display_since: Option<u64>,
+    timeline: Timeline,
+    events: EventTrace,
+    dispatch_log: Vec<(u64, MethodKey)>,
+}
+
+impl Device {
+    /// Boots a device with the app installed, default framework-effects
+    /// table, and default timing parameters.
+    pub fn new(module: Module) -> Self {
+        Device::with_config(module, FrameworkEffects::standard(), DEFAULT_COST_US)
+    }
+
+    /// Boots a device with a custom effects table and cost scale.
+    pub fn with_config(module: Module, effects: FrameworkEffects, cost_us: u64) -> Self {
+        Device {
+            module,
+            effects,
+            clock_us: 0,
+            cost_us,
+            step_limit: DEFAULT_STEP_LIMIT,
+            activities: BTreeMap::new(),
+            audits: BTreeMap::new(),
+            back_stack: Vec::new(),
+            services: BTreeSet::new(),
+            holds: BTreeMap::new(),
+            tasks: BTreeMap::new(),
+            display_since: None,
+            timeline: Timeline::new(),
+            events: EventTrace::new(),
+            dispatch_log: Vec::new(),
+        }
+    }
+
+    /// Current virtual time in milliseconds.
+    pub fn now_ms(&self) -> u64 {
+        self.clock_us / 1000
+    }
+
+    /// Current virtual time in microseconds.
+    pub fn now_us(&self) -> u64 {
+        self.clock_us
+    }
+
+    /// The installed app package.
+    pub fn module(&self) -> &Module {
+        &self.module
+    }
+
+    /// The foreground (resumed) activity, if any.
+    pub fn foreground(&self) -> Option<&str> {
+        self.back_stack
+            .last()
+            .filter(|c| {
+                self.activities
+                    .get(*c)
+                    .is_some_and(LifecycleState::is_foreground)
+            })
+            .map(String::as_str)
+    }
+
+    /// Lifecycle state of an activity class.
+    pub fn activity_state(&self, class: &str) -> LifecycleState {
+        self.activities.get(class).copied().unwrap_or_default()
+    }
+
+    /// Lifecycle audit (callback counts) of an activity class.
+    pub fn audit(&self, class: &str) -> LifecycleAudit {
+        self.audits.get(class).cloned().unwrap_or_default()
+    }
+
+    /// Whether a resource is currently held.
+    pub fn holds(&self, kind: ResourceKind) -> bool {
+        self.holds.get(&kind).is_some_and(|(n, _)| *n > 0)
+    }
+
+    /// The event records logged so far (instrumented apps only).
+    pub fn events(&self) -> &EventTrace {
+        &self.events
+    }
+
+    /// Every callback dispatched so far, `(timestamp_us, key)`, whether
+    /// or not the app is instrumented. Session runners use this to
+    /// trigger behaviour hooks.
+    pub fn dispatches(&self) -> &[(u64, MethodKey)] {
+        &self.dispatch_log
+    }
+
+    // ----- user actions -------------------------------------------------
+
+    /// Launches an activity: the previous foreground activity (if any)
+    /// pauses, the target goes through create/start (or restart) and
+    /// resume, then the previous activity stops — the paper's
+    /// five-event switch sequence.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownClass`] /
+    /// [`SimError::WrongComponentKind`] for a bad target and
+    /// [`SimError::IllegalTransition`] if the lifecycle automaton
+    /// rejects a step (a bug in the driving script).
+    pub fn launch_activity(&mut self, class: &str) -> Result<(), SimError> {
+        self.require_kind(class, ComponentKind::Activity)?;
+        if self.foreground() == Some(class) {
+            return Ok(());
+        }
+        let prev = self.foreground().map(str::to_string);
+        if let Some(p) = &prev {
+            self.lifecycle(p.clone(), LifecycleEvent::Pause)?;
+        }
+        match self.activity_state(class) {
+            LifecycleState::NotCreated => {
+                self.lifecycle(class.to_string(), LifecycleEvent::Create)?;
+                self.lifecycle(class.to_string(), LifecycleEvent::Start)?;
+            }
+            LifecycleState::Stopped => {
+                self.lifecycle(class.to_string(), LifecycleEvent::Start)?;
+            }
+            LifecycleState::Paused => {}
+            state => {
+                return Err(SimError::IllegalTransition {
+                    class: class.to_string(),
+                    state,
+                    event: LifecycleEvent::Resume,
+                })
+            }
+        }
+        self.lifecycle(class.to_string(), LifecycleEvent::Resume)?;
+        if let Some(p) = prev {
+            self.lifecycle(p, LifecycleEvent::Stop)?;
+        }
+        self.back_stack.retain(|c| c != class);
+        self.back_stack.push(class.to_string());
+        Ok(())
+    }
+
+    /// Presses the home button: the foreground activity pauses and
+    /// stops; the app is now background (display off for the app).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::IllegalTransition`] if no activity is
+    /// resumed.
+    pub fn press_home(&mut self) -> Result<(), SimError> {
+        let Some(fg) = self.foreground().map(str::to_string) else {
+            return Ok(());
+        };
+        self.lifecycle(fg.clone(), LifecycleEvent::Pause)?;
+        self.lifecycle(fg, LifecycleEvent::Stop)?;
+        Ok(())
+    }
+
+    /// Returns to the app from the launcher: the back-stack top
+    /// restarts and resumes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::IllegalTransition`] when there is nothing to
+    /// resume.
+    pub fn resume_app(&mut self) -> Result<(), SimError> {
+        let Some(top) = self.back_stack.last().cloned() else {
+            return Ok(());
+        };
+        match self.activity_state(&top) {
+            LifecycleState::Stopped => {
+                self.lifecycle(top.clone(), LifecycleEvent::Start)?;
+                self.lifecycle(top, LifecycleEvent::Resume)?;
+            }
+            LifecycleState::Paused => {
+                self.lifecycle(top, LifecycleEvent::Resume)?;
+            }
+            LifecycleState::Resumed => {}
+            state => {
+                return Err(SimError::IllegalTransition {
+                    class: top,
+                    state,
+                    event: LifecycleEvent::Resume,
+                })
+            }
+        }
+        Ok(())
+    }
+
+    /// Presses the back button: finishes the foreground activity
+    /// (pause → previous resumes → stop → destroy).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::IllegalTransition`] on automaton violations.
+    pub fn press_back(&mut self) -> Result<(), SimError> {
+        let Some(cur) = self.back_stack.pop() else {
+            return Ok(());
+        };
+        if self.activity_state(&cur) == LifecycleState::Resumed {
+            self.lifecycle(cur.clone(), LifecycleEvent::Pause)?;
+        }
+        if let Some(prev) = self.back_stack.last().cloned() {
+            if self.activity_state(&prev) == LifecycleState::Stopped {
+                self.lifecycle(prev.clone(), LifecycleEvent::Start)?;
+            }
+            if self.activity_state(&prev) == LifecycleState::Started
+                || self.activity_state(&prev) == LifecycleState::Paused
+            {
+                self.lifecycle(prev, LifecycleEvent::Resume)?;
+            }
+        }
+        if self.activity_state(&cur) == LifecycleState::Paused {
+            self.lifecycle(cur.clone(), LifecycleEvent::Stop)?;
+        }
+        self.lifecycle(cur, LifecycleEvent::Destroy)?;
+        Ok(())
+    }
+
+    /// Dispatches a UI callback (tap, long-press, menu selection) on
+    /// the foreground activity or one of the app's listener classes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NotInForeground`] when the app is
+    /// backgrounded, [`SimError::UnknownClass`] for a bad class.
+    pub fn tap(&mut self, class: &str, callback: &str) -> Result<(), SimError> {
+        if !self.module.classes.contains_key(class) {
+            return Err(SimError::UnknownClass {
+                class: class.to_string(),
+            });
+        }
+        if self.foreground().is_none() {
+            return Err(SimError::NotInForeground {
+                class: class.to_string(),
+            });
+        }
+        self.dispatch_callback(class, callback);
+        Ok(())
+    }
+
+    /// Starts a service: `onCreate` (first start) then `onStartCommand`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownClass`] /
+    /// [`SimError::WrongComponentKind`].
+    pub fn start_service(&mut self, class: &str) -> Result<(), SimError> {
+        self.require_kind(class, ComponentKind::Service)?;
+        if self.services.insert(class.to_string()) {
+            self.dispatch_callback(class, "onCreate");
+        }
+        self.dispatch_callback(class, "onStartCommand");
+        Ok(())
+    }
+
+    /// Stops a running service (`onDestroy`). No-op when not running.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownClass`] /
+    /// [`SimError::WrongComponentKind`].
+    pub fn stop_service(&mut self, class: &str) -> Result<(), SimError> {
+        self.require_kind(class, ComponentKind::Service)?;
+        if self.services.remove(class) {
+            self.dispatch_callback(class, "onDestroy");
+        }
+        Ok(())
+    }
+
+    /// Whether a service is running.
+    pub fn service_running(&self, class: &str) -> bool {
+        self.services.contains(class)
+    }
+
+    /// Lets virtual time pass. Periodic tasks fire; when the app is
+    /// backgrounded the logger emits one `Idle(No_Display)` event pair
+    /// per [`IDLE_CHUNK_MS`] of idle time (heartbeat logging).
+    pub fn idle_ms(&mut self, ms: u64) {
+        if self.foreground().is_some() {
+            self.advance_to(self.clock_us + ms * 1000);
+            return;
+        }
+        let mut remaining = ms;
+        while remaining > 0 {
+            let chunk = remaining.min(IDLE_CHUNK_MS);
+            self.events.push(EventRecord::new(
+                self.now_ms(),
+                Direction::Enter,
+                IDLE_EVENT,
+            ));
+            self.advance_to(self.clock_us + chunk * 1000);
+            self.events
+                .push(EventRecord::new(self.now_ms(), Direction::Exit, IDLE_EVENT));
+            remaining -= chunk;
+        }
+    }
+
+    // ----- background work and resources --------------------------------
+
+    /// Registers a periodic task; first fires one period from now.
+    pub fn schedule_periodic(&mut self, mut task: PeriodicTask) {
+        task.next_fire_us = self.clock_us + task.period_ms * 1000;
+        self.tasks.insert(task.name.clone(), task);
+    }
+
+    /// Cancels a periodic task by name; returns whether it existed.
+    pub fn cancel_periodic(&mut self, name: &str) -> bool {
+        self.tasks.remove(name).is_some()
+    }
+
+    /// Acquires a resource from outside bytecode (used by workload
+    /// hooks); equivalent to executing an `acquire` instruction.
+    pub fn acquire(&mut self, kind: ResourceKind) {
+        self.apply_acquire(kind, self.clock_us);
+    }
+
+    /// Releases a resource from outside bytecode.
+    pub fn release(&mut self, kind: ResourceKind) {
+        self.apply_release(kind, self.clock_us);
+    }
+
+    // ----- session -------------------------------------------------------
+
+    /// Ends the session: open holds and the display lane are closed at
+    /// the current time, and both traces are handed back.
+    pub fn finish_session(mut self) -> Session {
+        let now = self.clock_us;
+        let holds: Vec<(ResourceKind, u64)> = self
+            .holds
+            .iter()
+            .filter(|(_, (n, _))| *n > 0)
+            .map(|(k, (_, since))| (*k, *since))
+            .collect();
+        for (kind, since) in holds {
+            let (component, level) = hold_effect(kind);
+            self.timeline.add(component, since, now, level);
+        }
+        if let Some(since) = self.display_since.take() {
+            self.timeline.add(Component::Display, since, now, 1.0);
+        }
+        Session {
+            duration_ms: self.now_ms(),
+            events: self.events,
+            timeline: self.timeline,
+        }
+    }
+
+    // ----- internals -----------------------------------------------------
+
+    fn require_kind(&self, class: &str, expected: ComponentKind) -> Result<(), SimError> {
+        let Some(c) = self.module.classes.get(class) else {
+            return Err(SimError::UnknownClass {
+                class: class.to_string(),
+            });
+        };
+        if c.component != expected {
+            return Err(SimError::WrongComponentKind {
+                class: class.to_string(),
+                expected: match expected {
+                    ComponentKind::Activity => "activity",
+                    ComponentKind::Service => "service",
+                    ComponentKind::Plain => "plain class",
+                },
+            });
+        }
+        Ok(())
+    }
+
+    /// Applies one lifecycle event: automaton step, display accounting,
+    /// then the callback dispatch.
+    fn lifecycle(&mut self, class: String, event: LifecycleEvent) -> Result<(), SimError> {
+        let state = self.activity_state(&class);
+        let next = state
+            .apply(event)
+            .ok_or_else(|| SimError::IllegalTransition {
+                class: class.clone(),
+                state,
+                event,
+            })?;
+        // Android inserts onRestart on the stopped→started path.
+        if state == LifecycleState::Stopped && event == LifecycleEvent::Start {
+            self.dispatch_callback(&class, "onRestart");
+        }
+        self.activities.insert(class.clone(), next);
+        self.audits.entry(class.clone()).or_default().record(event);
+
+        match event {
+            LifecycleEvent::Resume => {
+                if self.display_since.is_none() {
+                    self.display_since = Some(self.clock_us);
+                }
+            }
+            LifecycleEvent::Pause => {
+                if let Some(since) = self.display_since.take() {
+                    self.timeline
+                        .add(Component::Display, since, self.clock_us, 1.0);
+                }
+            }
+            _ => {}
+        }
+
+        self.dispatch_callback(&class, event.callback_name());
+        Ok(())
+    }
+
+    /// Runs one callback body (if the class declares it), translating
+    /// interpreter effects into absolute records/intervals. Missing
+    /// callbacks are silent — exactly the paper's "the manifestation
+    /// event is not logged in the trace" case.
+    fn dispatch_callback(&mut self, class: &str, name: &str) {
+        self.dispatch_log
+            .push((self.clock_us, MethodKey::new(class, name)));
+        let Some(method) = self
+            .module
+            .classes
+            .get(class)
+            .and_then(|c| c.method(name))
+            .cloned()
+        else {
+            return;
+        };
+        let start_us = self.clock_us;
+        let exec = match execute(&method, &self.effects, self.cost_us, self.step_limit) {
+            Ok(e) => e,
+            // Malformed bodies are rejected at instrumentation time;
+            // a failure here means the script drove an unvalidated
+            // module — treat the callback as a no-op.
+            Err(_) => return,
+        };
+
+        for effect in &exec.effects {
+            let at = start_us + effect.at_us;
+            match &effect.kind {
+                EffectKind::LogEnter(event) => {
+                    self.events
+                        .push(EventRecord::new(at / 1000, Direction::Enter, event.clone()));
+                }
+                EffectKind::LogExit(event) => {
+                    self.events
+                        .push(EventRecord::new(at / 1000, Direction::Exit, event.clone()));
+                }
+                EffectKind::Acquire(kind) => self.apply_acquire(*kind, at),
+                EffectKind::Release(kind) => self.apply_release(*kind, at),
+                EffectKind::Burst(burst) => {
+                    self.timeline.add(
+                        burst.component,
+                        at,
+                        at + burst.duration_us,
+                        burst.level,
+                    );
+                }
+            }
+        }
+        // The callback itself occupies the CPU.
+        self.timeline
+            .add(Component::Cpu, start_us, start_us + exec.elapsed_us, 0.5);
+        self.clock_us = start_us + exec.elapsed_us;
+    }
+
+    fn apply_acquire(&mut self, kind: ResourceKind, at_us: u64) {
+        let entry = self.holds.entry(kind).or_insert((0, at_us));
+        if entry.0 == 0 {
+            entry.1 = at_us;
+        }
+        entry.0 += 1;
+    }
+
+    fn apply_release(&mut self, kind: ResourceKind, at_us: u64) {
+        if let Some(entry) = self.holds.get_mut(&kind) {
+            if entry.0 == 0 {
+                return;
+            }
+            entry.0 -= 1;
+            if entry.0 == 0 {
+                let (component, level) = hold_effect(kind);
+                self.timeline.add(component, entry.1, at_us, level);
+            }
+        }
+    }
+
+    /// Advances the clock to `target_us`, firing periodic tasks in
+    /// timestamp order.
+    fn advance_to(&mut self, target_us: u64) {
+        loop {
+            let next = self
+                .tasks
+                .values()
+                .map(|t| (t.next_fire_us, t.name.clone()))
+                .filter(|(t, _)| *t <= target_us)
+                .min();
+            let Some((fire_us, name)) = next else { break };
+            self.clock_us = self.clock_us.max(fire_us);
+            let (bursts, callback, period_ms) = {
+                let task = self.tasks.get_mut(&name).expect("task exists");
+                task.next_fire_us = fire_us + task.period_ms * 1000;
+                (task.bursts.clone(), task.callback.clone(), task.period_ms)
+            };
+            debug_assert!(period_ms > 0);
+            for burst in bursts {
+                self.timeline.add(
+                    burst.component,
+                    self.clock_us,
+                    self.clock_us + burst.duration_us,
+                    burst.level,
+                );
+            }
+            if let Some(key) = callback {
+                self.dispatch_callback(&key.class, &key.name);
+            }
+        }
+        self.clock_us = self.clock_us.max(target_us);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use energydx_dexir::instr::Instruction;
+    use energydx_dexir::instrument::{EventPool, Instrumenter};
+    use energydx_dexir::module::{Class, Method};
+
+    /// A two-activity, one-service app with instrumentation.
+    fn instrumented_app() -> Module {
+        let mut module = Module::new("com.example");
+        for (name, kind) in [
+            ("Lcom/example/Main;", ComponentKind::Activity),
+            ("Lcom/example/Settings;", ComponentKind::Activity),
+        ] {
+            let mut class = Class::new(name, kind);
+            for cb in ["onCreate", "onStart", "onResume", "onPause", "onStop", "onDestroy"] {
+                let mut m = Method::new(cb, "()V");
+                m.body = vec![Instruction::ReturnVoid];
+                class.methods.push(m);
+            }
+            let mut click = Method::new("onClick", "()V");
+            click.body = vec![Instruction::ReturnVoid];
+            class.methods.push(click);
+            module.add_class(class).unwrap();
+        }
+        let mut svc = Class::new("Lcom/example/Sync;", ComponentKind::Service);
+        for cb in ["onCreate", "onStartCommand", "onDestroy"] {
+            let mut m = Method::new(cb, "()V");
+            m.body = vec![Instruction::ReturnVoid];
+            svc.methods.push(m);
+        }
+        module.add_class(svc).unwrap();
+        Instrumenter::new(EventPool::standard())
+            .instrument(&module)
+            .unwrap()
+            .module
+    }
+
+    #[test]
+    fn launch_logs_create_start_resume() {
+        let mut d = Device::new(instrumented_app());
+        d.launch_activity("Lcom/example/Main;").unwrap();
+        let events: Vec<&str> = d.events.records().iter().map(|r| r.event.as_str()).collect();
+        assert!(events.contains(&"Lcom/example/Main;->onCreate"));
+        assert!(events.contains(&"Lcom/example/Main;->onStart"));
+        assert!(events.contains(&"Lcom/example/Main;->onResume"));
+        assert_eq!(d.foreground(), Some("Lcom/example/Main;"));
+    }
+
+    #[test]
+    fn activity_switch_fires_five_lifecycle_events() {
+        let mut d = Device::new(instrumented_app());
+        d.launch_activity("Lcom/example/Main;").unwrap();
+        let before = d.events.len();
+        d.launch_activity("Lcom/example/Settings;").unwrap();
+        let new: Vec<String> = d.events.records()[before..]
+            .iter()
+            .filter(|r| r.direction == Direction::Enter)
+            .map(|r| r.event.clone())
+            .collect();
+        assert_eq!(
+            new,
+            vec![
+                "Lcom/example/Main;->onPause",
+                "Lcom/example/Settings;->onCreate",
+                "Lcom/example/Settings;->onStart",
+                "Lcom/example/Settings;->onResume",
+                "Lcom/example/Main;->onStop",
+            ],
+            "the paper's five-event activity switch"
+        );
+    }
+
+    #[test]
+    fn press_back_returns_and_destroys() {
+        let mut d = Device::new(instrumented_app());
+        d.launch_activity("Lcom/example/Main;").unwrap();
+        d.launch_activity("Lcom/example/Settings;").unwrap();
+        d.press_back().unwrap();
+        assert_eq!(d.foreground(), Some("Lcom/example/Main;"));
+        assert_eq!(
+            d.activity_state("Lcom/example/Settings;"),
+            LifecycleState::Destroyed
+        );
+        assert!(d.audit("Lcom/example/Settings;").is_balanced());
+    }
+
+    #[test]
+    fn home_then_resume_restarts_activity() {
+        let mut d = Device::new(instrumented_app());
+        d.launch_activity("Lcom/example/Main;").unwrap();
+        d.press_home().unwrap();
+        assert_eq!(d.foreground(), None);
+        assert_eq!(
+            d.activity_state("Lcom/example/Main;"),
+            LifecycleState::Stopped
+        );
+        d.resume_app().unwrap();
+        assert_eq!(d.foreground(), Some("Lcom/example/Main;"));
+    }
+
+    #[test]
+    fn tap_requires_foreground() {
+        let mut d = Device::new(instrumented_app());
+        assert!(matches!(
+            d.tap("Lcom/example/Main;", "onClick"),
+            Err(SimError::NotInForeground { .. })
+        ));
+        d.launch_activity("Lcom/example/Main;").unwrap();
+        d.tap("Lcom/example/Main;", "onClick").unwrap();
+        assert!(d
+            .events
+            .records()
+            .iter()
+            .any(|r| r.event.ends_with("onClick")));
+    }
+
+    #[test]
+    fn background_idle_logs_idle_event() {
+        let mut d = Device::new(instrumented_app());
+        d.launch_activity("Lcom/example/Main;").unwrap();
+        d.press_home().unwrap();
+        d.idle_ms(5_000);
+        let idles: Vec<&EventRecord> = d
+            .events
+            .records()
+            .iter()
+            .filter(|r| r.event == IDLE_EVENT)
+            .collect();
+        // 5 s of background idle → two heartbeat chunks of 2.5 s.
+        assert_eq!(idles.len(), 4);
+        assert_eq!(idles.last().unwrap().timestamp_ms - idles[0].timestamp_ms, 5_000);
+    }
+
+    #[test]
+    fn foreground_idle_does_not_log_idle_event() {
+        let mut d = Device::new(instrumented_app());
+        d.launch_activity("Lcom/example/Main;").unwrap();
+        d.idle_ms(5_000);
+        assert!(!d.events.records().iter().any(|r| r.event == IDLE_EVENT));
+    }
+
+    #[test]
+    fn display_lane_tracks_foreground_time() {
+        let mut d = Device::new(instrumented_app());
+        d.launch_activity("Lcom/example/Main;").unwrap();
+        d.idle_ms(10_000);
+        d.press_home().unwrap();
+        d.idle_ms(10_000);
+        let session = d.finish_session();
+        let fg = session
+            .timeline
+            .mean_utilization(Component::Display, 0, 10_000_000);
+        let bg = session.timeline.mean_utilization(
+            Component::Display,
+            11_000_000,
+            20_000_000,
+        );
+        assert!(fg > 0.9, "display on while foreground, got {fg}");
+        assert_eq!(bg, 0.0, "display off in background");
+    }
+
+    #[test]
+    fn leaked_hold_keeps_component_active_until_session_end() {
+        let mut d = Device::new(instrumented_app());
+        d.launch_activity("Lcom/example/Main;").unwrap();
+        d.acquire(ResourceKind::Gps);
+        d.press_home().unwrap();
+        d.idle_ms(20_000);
+        let session = d.finish_session();
+        let gps = session
+            .timeline
+            .mean_utilization(Component::Gps, 0, session.duration_ms * 1000);
+        assert!(gps > 0.9, "leaked GPS must stay on, got {gps}");
+    }
+
+    #[test]
+    fn released_hold_stops_consuming() {
+        let mut d = Device::new(instrumented_app());
+        d.launch_activity("Lcom/example/Main;").unwrap();
+        d.acquire(ResourceKind::Gps);
+        d.idle_ms(5_000);
+        d.release(ResourceKind::Gps);
+        d.idle_ms(5_000);
+        let session = d.finish_session();
+        let on = session.timeline.mean_utilization(Component::Gps, 0, 5_000_000);
+        let off = session
+            .timeline
+            .mean_utilization(Component::Gps, 5_500_000, 10_000_000);
+        assert!(on > 0.9);
+        assert_eq!(off, 0.0);
+    }
+
+    #[test]
+    fn nested_acquires_require_matching_releases() {
+        let mut d = Device::new(instrumented_app());
+        d.acquire(ResourceKind::WakeLock);
+        d.acquire(ResourceKind::WakeLock);
+        d.release(ResourceKind::WakeLock);
+        assert!(d.holds(ResourceKind::WakeLock));
+        d.release(ResourceKind::WakeLock);
+        assert!(!d.holds(ResourceKind::WakeLock));
+        // Over-release is a no-op.
+        d.release(ResourceKind::WakeLock);
+        assert!(!d.holds(ResourceKind::WakeLock));
+    }
+
+    #[test]
+    fn periodic_task_fires_at_period() {
+        let mut d = Device::new(instrumented_app());
+        d.schedule_periodic(PeriodicTask::new(
+            "poll",
+            1_000,
+            vec![Burst::new(Component::Wifi, 0.8, 200_000)],
+        ));
+        d.idle_ms(10_500);
+        let session = d.finish_session();
+        // 10 fires × 200 ms × 0.8 over 10.5 s ≈ 0.152.
+        let wifi = session
+            .timeline
+            .mean_utilization(Component::Wifi, 0, 10_500_000);
+        assert!((wifi - 0.152).abs() < 0.02, "got {wifi}");
+    }
+
+    #[test]
+    fn periodic_callback_logs_events() {
+        let mut d = Device::new(instrumented_app());
+        d.schedule_periodic(
+            PeriodicTask::new("mailcheck", 2_000, vec![]).with_callback(MethodKey::new(
+                "Lcom/example/Sync;",
+                "onStartCommand",
+            )),
+        );
+        d.launch_activity("Lcom/example/Main;").unwrap();
+        d.idle_ms(10_000);
+        let count = d
+            .events
+            .records()
+            .iter()
+            .filter(|r| {
+                r.event.ends_with("onStartCommand") && r.direction == Direction::Enter
+            })
+            .count();
+        assert_eq!(count, 5);
+    }
+
+    #[test]
+    fn cancel_periodic_stops_firing() {
+        let mut d = Device::new(instrumented_app());
+        d.schedule_periodic(PeriodicTask::new(
+            "poll",
+            1_000,
+            vec![Burst::new(Component::Wifi, 0.8, 100_000)],
+        ));
+        d.idle_ms(3_500);
+        assert!(d.cancel_periodic("poll"));
+        assert!(!d.cancel_periodic("poll"));
+        let before = d.timeline.span_count();
+        d.idle_ms(5_000);
+        assert_eq!(d.timeline.span_count(), before);
+    }
+
+    #[test]
+    fn service_start_stop_logs_lifecycle() {
+        let mut d = Device::new(instrumented_app());
+        d.start_service("Lcom/example/Sync;").unwrap();
+        assert!(d.service_running("Lcom/example/Sync;"));
+        // Second start: only onStartCommand, no second onCreate.
+        d.start_service("Lcom/example/Sync;").unwrap();
+        d.stop_service("Lcom/example/Sync;").unwrap();
+        assert!(!d.service_running("Lcom/example/Sync;"));
+        let creates = d
+            .events
+            .records()
+            .iter()
+            .filter(|r| r.event == "Lcom/example/Sync;->onCreate" && r.direction == Direction::Enter)
+            .count();
+        assert_eq!(creates, 1);
+    }
+
+    #[test]
+    fn wrong_component_kind_is_rejected() {
+        let mut d = Device::new(instrumented_app());
+        assert!(matches!(
+            d.launch_activity("Lcom/example/Sync;"),
+            Err(SimError::WrongComponentKind { .. })
+        ));
+        assert!(matches!(
+            d.start_service("Lcom/example/Main;"),
+            Err(SimError::WrongComponentKind { .. })
+        ));
+        assert!(matches!(
+            d.launch_activity("LNope;"),
+            Err(SimError::UnknownClass { .. })
+        ));
+    }
+
+    #[test]
+    fn session_event_trace_pairs_strictly_and_is_ordered() {
+        let mut d = Device::new(instrumented_app());
+        d.launch_activity("Lcom/example/Main;").unwrap();
+        d.tap("Lcom/example/Main;", "onClick").unwrap();
+        d.launch_activity("Lcom/example/Settings;").unwrap();
+        d.press_back().unwrap();
+        d.press_home().unwrap();
+        d.idle_ms(3_000);
+        d.resume_app().unwrap();
+        let session = d.finish_session();
+        session.events.validate().unwrap();
+        session.events.pair_instances_strict().unwrap();
+    }
+
+    #[test]
+    fn restart_path_dispatches_on_restart() {
+        let mut module = Module::new("com.example");
+        let mut act = Class::new("Lcom/example/R;", ComponentKind::Activity);
+        for cb in ["onCreate", "onStart", "onResume", "onPause", "onStop", "onRestart"] {
+            let mut m = Method::new(cb, "()V");
+            m.body = vec![Instruction::ReturnVoid];
+            act.methods.push(m);
+        }
+        module.add_class(act).unwrap();
+        let instrumented = Instrumenter::new(EventPool::standard())
+            .instrument(&module)
+            .unwrap()
+            .module;
+        let mut d = Device::new(instrumented);
+        d.launch_activity("Lcom/example/R;").unwrap();
+        let launches = d
+            .events
+            .records()
+            .iter()
+            .filter(|r| r.event.ends_with("onRestart"))
+            .count();
+        assert_eq!(launches, 0, "first launch has no onRestart");
+        d.press_home().unwrap();
+        d.resume_app().unwrap();
+        let restarts = d
+            .events
+            .records()
+            .iter()
+            .filter(|r| r.event.ends_with("onRestart") && r.direction == Direction::Enter)
+            .count();
+        assert_eq!(restarts, 1, "stopped -> started goes through onRestart");
+    }
+
+    #[test]
+    fn relaunching_foreground_activity_is_idempotent() {
+        let mut d = Device::new(instrumented_app());
+        d.launch_activity("Lcom/example/Main;").unwrap();
+        let n = d.events.len();
+        d.launch_activity("Lcom/example/Main;").unwrap();
+        assert_eq!(d.events.len(), n);
+    }
+}

@@ -1,0 +1,75 @@
+//! Errors produced by the device simulator.
+
+use crate::lifecycle::{LifecycleEvent, LifecycleState};
+use std::error::Error;
+use std::fmt;
+
+/// Error type for the `energydx-droidsim` crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A lifecycle callback was dispatched in a state that does not
+    /// permit it (e.g. `onResume` before `onCreate`).
+    IllegalTransition {
+        /// The activity class.
+        class: String,
+        /// The state the activity was in.
+        state: LifecycleState,
+        /// The callback that was attempted.
+        event: LifecycleEvent,
+    },
+    /// An activity or service class is not declared in the module.
+    UnknownClass {
+        /// The missing class descriptor.
+        class: String,
+    },
+    /// A UI callback was dispatched on an activity that is not resumed.
+    NotInForeground {
+        /// The activity class.
+        class: String,
+    },
+    /// A service operation targeted a class that is not a service, or
+    /// an activity operation targeted a non-activity.
+    WrongComponentKind {
+        /// The class descriptor.
+        class: String,
+        /// What the operation expected.
+        expected: &'static str,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::IllegalTransition {
+                class,
+                state,
+                event,
+            } => write!(
+                f,
+                "illegal lifecycle transition: {event} on {class} in state {state}"
+            ),
+            SimError::UnknownClass { class } => write!(f, "unknown class {class}"),
+            SimError::NotInForeground { class } => {
+                write!(f, "{class} is not the foreground activity")
+            }
+            SimError::WrongComponentKind { class, expected } => {
+                write!(f, "{class} is not a {expected}")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_class() {
+        let e = SimError::UnknownClass {
+            class: "LNope;".into(),
+        };
+        assert!(e.to_string().contains("LNope;"));
+    }
+}

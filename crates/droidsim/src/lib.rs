@@ -1,0 +1,63 @@
+//! A simulated Android runtime for the EnergyDx reproduction.
+//!
+//! The paper instruments real Android apps and collects traces from
+//! volunteers' phones. This crate is the substituted substrate (see
+//! DESIGN.md §2): a deterministic device simulator that
+//!
+//! - executes app packages ([`energydx_dexir::Module`]) with a small
+//!   bytecode interpreter (branches, loops, invokes),
+//! - enforces the **activity lifecycle** state machine ([`lifecycle`]),
+//!   dispatching the canonical callback sequences (launching an
+//!   activity over another one fires the paper's "five events"),
+//! - maintains **hardware state** ([`hardware`]): per-component
+//!   utilization intervals on a microsecond timeline, resource holds
+//!   (wakelock/GPS/WiFi-lock/sensor) and transient bursts from
+//!   framework calls such as `Ljava/net/Socket;->connect`,
+//! - runs **background work** ([`device`]): periodic tasks that model
+//!   polling services, sync-retry loops, and the other behaviours that
+//!   produce abnormal battery drain,
+//! - emits the two traces EnergyDx consumes: an event trace (from the
+//!   injected `log-enter`/`log-exit` ops) and the utilization timeline
+//!   the 500 ms procfs sampler reads.
+//!
+//! # Examples
+//!
+//! ```
+//! use energydx_dexir::{Class, ComponentKind, Module};
+//! use energydx_dexir::module::Method;
+//! use energydx_dexir::instr::Instruction;
+//! use energydx_dexir::instrument::{EventPool, Instrumenter};
+//! use energydx_droidsim::Device;
+//!
+//! let mut module = Module::new("com.example");
+//! let mut main = Class::new("Lcom/example/Main;", ComponentKind::Activity);
+//! let mut cb = Method::new("onResume", "()V");
+//! cb.body = vec![Instruction::ReturnVoid];
+//! main.methods.push(cb);
+//! module.add_class(main)?;
+//! let instrumented = Instrumenter::new(EventPool::standard())
+//!     .instrument(&module)?.module;
+//!
+//! let mut device = Device::new(instrumented);
+//! device.launch_activity("Lcom/example/Main;")?;
+//! device.idle_ms(2_000);
+//! let session = device.finish_session();
+//! assert!(session.events.records().iter().any(|r| r.event.ends_with("onResume")));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod device;
+pub mod error;
+pub mod framework;
+pub mod hardware;
+pub mod interp;
+pub mod lifecycle;
+
+pub use device::{Device, Session};
+pub use error::SimError;
+pub use framework::FrameworkEffects;
+pub use hardware::Timeline;
+pub use lifecycle::{LifecycleEvent, LifecycleState};

@@ -1,0 +1,152 @@
+//! Property tests for the device simulator (DESIGN.md §6): the
+//! lifecycle automaton never corrupts, and any legal action sequence
+//! produces well-formed traces.
+
+use energydx_dexir::instr::Instruction;
+use energydx_dexir::instrument::{EventPool, Instrumenter};
+use energydx_dexir::module::{Class, ComponentKind, Method, Module};
+use energydx_droidsim::{Device, LifecycleEvent, LifecycleState, Timeline};
+use energydx_trace::util::Component;
+use proptest::prelude::*;
+
+fn test_app() -> Module {
+    let mut module = Module::new("com.prop.app");
+    for name in ["LA;", "LB;", "LC;"] {
+        let mut class = Class::new(name, ComponentKind::Activity);
+        for cb in ["onCreate", "onStart", "onResume", "onPause", "onStop", "onDestroy"] {
+            let mut m = Method::new(cb, "()V");
+            m.body = vec![Instruction::ReturnVoid];
+            class.methods.push(m);
+        }
+        let mut click = Method::new("onClick", "()V");
+        click.body = vec![Instruction::ReturnVoid];
+        class.methods.push(click);
+        module.add_class(class).unwrap();
+    }
+    Instrumenter::new(EventPool::standard())
+        .instrument(&module)
+        .unwrap()
+        .module
+}
+
+/// A random user action the driver can always attempt (illegal ones
+/// are simply skipped, like a user mashing buttons).
+#[derive(Debug, Clone)]
+enum Act {
+    Launch(u8),
+    Back,
+    Home,
+    Resume,
+    Idle(u16),
+    Tap(u8),
+}
+
+fn act() -> impl Strategy<Value = Act> {
+    prop_oneof![
+        (0u8..3).prop_map(Act::Launch),
+        Just(Act::Back),
+        Just(Act::Home),
+        Just(Act::Resume),
+        (100u16..5_000).prop_map(Act::Idle),
+        (0u8..3).prop_map(Act::Tap),
+    ]
+}
+
+fn class_name(i: u8) -> &'static str {
+    ["LA;", "LB;", "LC;"][i as usize % 3]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random event sequences through the lifecycle automaton either
+    /// step legally or are rejected; a rejected step leaves the state
+    /// unchanged by construction.
+    #[test]
+    fn lifecycle_automaton_is_total_and_stable(events in prop::collection::vec(0usize..6, 0..40)) {
+        use LifecycleEvent as E;
+        let all = [E::Create, E::Start, E::Resume, E::Pause, E::Stop, E::Destroy];
+        let mut state = LifecycleState::NotCreated;
+        for &e in &events {
+            if let Some(next) = state.apply(all[e]) {
+                state = next;
+            }
+        }
+        // Reaching here without panic is the property; destroyed stays
+        // terminal.
+        if state == LifecycleState::Destroyed {
+            for e in all {
+                prop_assert_eq!(state.apply(e), None);
+            }
+        }
+    }
+
+    /// Any random mash of user actions keeps the device consistent:
+    /// the event trace is ordered and strictly paired, destroyed
+    /// activities have balanced callbacks, and at most one activity is
+    /// in the foreground.
+    #[test]
+    fn random_sessions_produce_valid_traces(actions in prop::collection::vec(act(), 1..40)) {
+        let mut device = Device::new(test_app());
+        for action in &actions {
+            // Errors model user actions that are impossible in the
+            // current UI state; they must not corrupt anything.
+            let _ = match action {
+                Act::Launch(i) => device.launch_activity(class_name(*i)),
+                Act::Back => device.press_back(),
+                Act::Home => device.press_home(),
+                Act::Resume => device.resume_app(),
+                Act::Idle(ms) => {
+                    device.idle_ms(*ms as u64);
+                    Ok(())
+                }
+                Act::Tap(i) => device.tap(class_name(*i), "onClick"),
+            };
+            let foregrounds = ["LA;", "LB;", "LC;"]
+                .iter()
+                .filter(|c| device.activity_state(c).is_foreground())
+                .count();
+            prop_assert!(foregrounds <= 1, "two foreground activities");
+        }
+        for class in ["LA;", "LB;", "LC;"] {
+            if device.activity_state(class) == LifecycleState::Destroyed {
+                prop_assert!(device.audit(class).is_balanced(), "{class} unbalanced");
+            }
+        }
+        let session = device.finish_session();
+        session.events.validate().unwrap();
+        session.events.pair_instances_strict().unwrap();
+    }
+
+    /// Timeline utilization is always within [0, 1] no matter how
+    /// intervals overlap.
+    #[test]
+    fn timeline_utilization_is_bounded(
+        spans in prop::collection::vec((0u64..100_000, 1u64..50_000, 0.0f64..2.0), 0..40),
+        window in (0u64..100_000, 1u64..100_000),
+    ) {
+        let mut t = Timeline::new();
+        for (start, len, level) in spans {
+            t.add(Component::Cpu, start, start + len, level);
+        }
+        let u = t.mean_utilization(Component::Cpu, window.0, window.0 + window.1);
+        prop_assert!((0.0..=1.0).contains(&u), "utilization {u}");
+    }
+
+    /// Adding activity never lowers mean utilization over a fixed
+    /// window (monotonicity of the integral).
+    #[test]
+    fn timeline_is_monotone_under_additions(
+        base in prop::collection::vec((0u64..50_000, 1u64..20_000, 0.05f64..1.0), 1..10),
+        extra in (0u64..50_000, 1u64..20_000, 0.05f64..1.0),
+    ) {
+        let mut t = Timeline::new();
+        for &(start, len, level) in &base {
+            t.add(Component::Wifi, start, start + len, level);
+        }
+        let before = t.mean_utilization(Component::Wifi, 0, 100_000);
+        t.add(Component::Wifi, extra.0, extra.0 + extra.1, extra.2);
+        let after = t.mean_utilization(Component::Wifi, 0, 100_000);
+        prop_assert!(after >= before - 1e-12);
+    }
+}

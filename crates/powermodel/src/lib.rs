@@ -1,0 +1,53 @@
+//! Component power model, utilization sampler, and power-model scaling.
+//!
+//! The paper estimates app power with the PowerTutor-style online model
+//! of Zhang et al. \[20\]: per-component linear coefficients applied to
+//! per-app utilization read from procfs every 500 ms, with a reported
+//! estimation error under 2.5 %. Traces from heterogeneous phones are
+//! made comparable through power-model scaling (Mittal et al. \[22\]).
+//! This crate reproduces all three pieces over the simulated hardware
+//! timeline of `energydx-droidsim`:
+//!
+//! - [`profile`] — per-device power coefficients (mW at full
+//!   utilization per component) for several phone models.
+//! - [`sampler`] — the 500 ms procfs sampler turning a
+//!   [`energydx_droidsim::Timeline`] into a
+//!   [`energydx_trace::UtilizationTrace`], with its own measurable
+//!   power overhead (§IV-F reports 32 mW).
+//! - [`model`] — utilization → power estimation with bounded
+//!   multiplicative noise (the ≤2.5 % estimation error).
+//! - [`scaling`] — cross-device power-trace normalization.
+//! - [`battery`] — battery lifetime estimation, the user-visible cost
+//!   of an ABD.
+//!
+//! # Examples
+//!
+//! ```
+//! use energydx_powermodel::{DeviceProfile, PowerModel, UtilizationSampler};
+//! use energydx_droidsim::Timeline;
+//! use energydx_trace::util::Component;
+//!
+//! let mut timeline = Timeline::new();
+//! timeline.add(Component::Gps, 0, 10_000_000, 1.0);
+//!
+//! let sampler = UtilizationSampler::default();
+//! let utilization = sampler.sample(&timeline, 10_000);
+//! let model = PowerModel::noiseless(DeviceProfile::nexus6());
+//! let power = model.estimate_trace(&utilization);
+//! assert!(power.mean_mw() > 300.0); // GPS fully on
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod battery;
+pub mod model;
+pub mod profile;
+pub mod sampler;
+pub mod scaling;
+
+pub use battery::Battery;
+pub use model::PowerModel;
+pub use profile::DeviceProfile;
+pub use sampler::UtilizationSampler;
+pub use scaling::scale_trace;

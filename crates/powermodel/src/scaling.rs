@@ -1,0 +1,150 @@
+//! Power-model scaling across heterogeneous devices.
+//!
+//! Traces come from "more than 30 different volunteer users with
+//! various smartphones"; the analysis compares power values across
+//! traces, so §III-A Step 1 performs "power model scaling \[22\] ... to
+//! make their power data comparable". With a linear component model the
+//! exact transformation is per-component: multiply each component's
+//! power by the ratio of the reference profile's coefficient to the
+//! source profile's coefficient.
+
+use crate::profile::DeviceProfile;
+use energydx_trace::power::{PowerSample, PowerTrace};
+use energydx_trace::util::Component;
+
+/// Rescales `trace` (measured under `from`) to what the `to` device
+/// would have drawn for the same utilization.
+///
+/// Components with a zero coefficient in `from` carry no information
+/// and are passed through unchanged.
+///
+/// # Examples
+///
+/// ```
+/// # use energydx_powermodel::{scale_trace, DeviceProfile, PowerModel, UtilizationSampler};
+/// # use energydx_droidsim::Timeline;
+/// # use energydx_trace::util::Component;
+/// let mut tl = Timeline::new();
+/// tl.add(Component::Gps, 0, 5_000_000, 1.0);
+/// let util = UtilizationSampler::default().sample(&tl, 5_000);
+///
+/// // Same workload measured on two phones...
+/// let on_n5 = PowerModel::noiseless(DeviceProfile::nexus5()).estimate_trace(&util);
+/// let on_n6 = PowerModel::noiseless(DeviceProfile::nexus6()).estimate_trace(&util);
+/// // ...scaled to the same reference, they agree.
+/// let scaled = scale_trace(&on_n5, &DeviceProfile::nexus5(), &DeviceProfile::nexus6());
+/// assert!((scaled.mean_mw() - on_n6.mean_mw()).abs() < 1.0);
+/// ```
+pub fn scale_trace(trace: &PowerTrace, from: &DeviceProfile, to: &DeviceProfile) -> PowerTrace {
+    trace
+        .samples()
+        .iter()
+        .map(|s| scale_sample(s, from, to))
+        .collect()
+}
+
+/// Rescales one sample; see [`scale_trace`].
+pub fn scale_sample(
+    sample: &PowerSample,
+    from: &DeviceProfile,
+    to: &DeviceProfile,
+) -> PowerSample {
+    let mut out = PowerSample::new(sample.timestamp_ms);
+    for c in Component::ALL {
+        let mw = sample.component(c);
+        let scaled = if c == Component::Cpu {
+            // The CPU lane carries base power: scale the base and the
+            // dynamic part separately.
+            let dynamic = (mw - from.base_mw).max(0.0);
+            to.base_mw + dynamic * ratio(from.coefficient(c), to.coefficient(c))
+        } else {
+            mw * ratio(from.coefficient(c), to.coefficient(c))
+        };
+        out.set_component(c, scaled);
+    }
+    out
+}
+
+fn ratio(from: f64, to: f64) -> f64 {
+    if from <= 0.0 {
+        1.0
+    } else {
+        to / from
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::PowerModel;
+    use energydx_trace::util::UtilizationSample;
+
+    fn power_of(profile: &DeviceProfile, c: Component, level: f64) -> PowerSample {
+        let model = PowerModel::noiseless(profile.clone());
+        let mut u = UtilizationSample::new(500);
+        u.set(c, level);
+        model.estimate(&u)
+    }
+
+    #[test]
+    fn scaling_to_self_is_identity() {
+        let p = DeviceProfile::nexus6();
+        let s = power_of(&p, Component::Wifi, 0.7);
+        let scaled = scale_sample(&s, &p, &p);
+        assert!((scaled.total_mw - s.total_mw).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scaling_recovers_reference_measurement_exactly() {
+        let from = DeviceProfile::galaxy_s5();
+        let to = DeviceProfile::nexus6();
+        for c in Component::ALL {
+            for level in [0.25, 0.5, 1.0] {
+                let measured = power_of(&from, c, level);
+                let expected = power_of(&to, c, level);
+                let scaled = scale_sample(&measured, &from, &to);
+                assert!(
+                    (scaled.total_mw - expected.total_mw).abs() < 1e-6,
+                    "{c} at {level}: {} vs {}",
+                    scaled.total_mw,
+                    expected.total_mw
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scaling_is_invertible() {
+        let a = DeviceProfile::nexus5();
+        let b = DeviceProfile::galaxy_s5();
+        let s = power_of(&a, Component::Cpu, 0.6);
+        let round = scale_sample(&scale_sample(&s, &a, &b), &b, &a);
+        assert!((round.total_mw - s.total_mw).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_coefficient_passes_through() {
+        let from = DeviceProfile::new("flat", 5.0);
+        let to = DeviceProfile::nexus6();
+        let mut s = PowerSample::new(0);
+        s.set_component(Component::Audio, 100.0);
+        let scaled = scale_sample(&s, &from, &to);
+        assert_eq!(scaled.component(Component::Audio), 100.0);
+    }
+
+    #[test]
+    fn trace_scaling_preserves_length() {
+        let from = DeviceProfile::nexus5();
+        let to = DeviceProfile::nexus6();
+        let trace: PowerTrace = (1..=5)
+            .map(|i| {
+                let mut s = PowerSample::new(i * 500);
+                s.set_component(Component::Cpu, 50.0 * i as f64);
+                s
+            })
+            .collect();
+        let scaled = scale_trace(&trace, &from, &to);
+        assert_eq!(scaled.len(), 5);
+        assert_eq!(scaled.samples()[4].timestamp_ms, 2500);
+    }
+}

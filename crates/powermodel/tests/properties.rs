@@ -1,0 +1,150 @@
+//! Property tests for the power model (DESIGN.md §6): monotonicity,
+//! noise bounds, sampler conservation, and scaling invertibility.
+
+use energydx_droidsim::Timeline;
+use energydx_powermodel::{scale_trace, DeviceProfile, PowerModel, UtilizationSampler};
+use energydx_trace::util::{Component, UtilizationSample};
+use proptest::prelude::*;
+
+fn component() -> impl Strategy<Value = Component> {
+    prop_oneof![
+        Just(Component::Cpu),
+        Just(Component::Display),
+        Just(Component::Wifi),
+        Just(Component::Gps),
+        Just(Component::Cellular),
+        Just(Component::Audio),
+    ]
+}
+
+fn profile() -> impl Strategy<Value = DeviceProfile> {
+    prop_oneof![
+        Just(DeviceProfile::nexus6()),
+        Just(DeviceProfile::nexus5()),
+        Just(DeviceProfile::galaxy_s5()),
+    ]
+}
+
+proptest! {
+    /// Estimated power grows monotonically with any component's
+    /// utilization.
+    #[test]
+    fn power_is_monotone_in_every_component(
+        p in profile(),
+        c in component(),
+        base in prop::array::uniform6(0.0f64..1.0),
+        lo in 0.0f64..1.0,
+        delta in 0.01f64..1.0,
+    ) {
+        let model = PowerModel::noiseless(p);
+        let mut s_lo = UtilizationSample::new(500);
+        let mut s_hi = UtilizationSample::new(500);
+        for (i, comp) in Component::ALL.into_iter().enumerate() {
+            s_lo.set(comp, base[i]);
+            s_hi.set(comp, base[i]);
+        }
+        s_lo.set(c, lo);
+        s_hi.set(c, (lo + delta).min(1.0));
+        prop_assert!(model.estimate(&s_hi).total_mw >= model.estimate(&s_lo).total_mw - 1e-9);
+    }
+
+    /// Noisy estimates stay within the configured fraction of the
+    /// exact value, component-wise and in total.
+    #[test]
+    fn noise_is_bounded(
+        p in profile(),
+        seed in any::<u64>(),
+        util in prop::array::uniform6(0.0f64..1.0),
+    ) {
+        let noisy = PowerModel::new(p.clone(), seed);
+        let exact = PowerModel::noiseless(p);
+        let mut s = UtilizationSample::new(500);
+        for (i, comp) in Component::ALL.into_iter().enumerate() {
+            s.set(comp, util[i]);
+        }
+        let a = noisy.estimate(&s);
+        let b = exact.estimate(&s);
+        prop_assert!((a.total_mw - b.total_mw).abs() <= b.total_mw * 0.025 + 1e-9);
+        for comp in Component::ALL {
+            prop_assert!(a.component(comp) >= 0.0);
+        }
+    }
+
+    /// Scaling a measured trace from A to B and back to A is the
+    /// identity, for any profile pair.
+    #[test]
+    fn scaling_round_trips(
+        from in profile(),
+        to in profile(),
+        util in prop::collection::vec(prop::array::uniform6(0.0f64..1.0), 1..20),
+    ) {
+        let model = PowerModel::noiseless(from.clone());
+        let trace = model.estimate_trace(
+            &util
+                .iter()
+                .enumerate()
+                .map(|(i, u)| {
+                    let mut s = UtilizationSample::new((i as u64 + 1) * 500);
+                    for (j, comp) in Component::ALL.into_iter().enumerate() {
+                        s.set(comp, u[j]);
+                    }
+                    s
+                })
+                .collect(),
+        );
+        let round = scale_trace(&scale_trace(&trace, &from, &to), &to, &from);
+        for (a, b) in trace.samples().iter().zip(round.samples()) {
+            prop_assert!((a.total_mw - b.total_mw).abs() < 1e-6);
+        }
+    }
+
+    /// The sampler's readings are bounded by the timeline's levels:
+    /// every sampled utilization is within [0, max level added].
+    #[test]
+    fn sampler_readings_are_bounded(
+        spans in prop::collection::vec((0u64..60_000, 1u64..20_000, 0.0f64..1.0), 0..25),
+        duration_s in 1u64..90,
+    ) {
+        let mut t = Timeline::new();
+        let mut level_sum = 0.0f64;
+        for &(start, len, level) in &spans {
+            t.add(Component::Cpu, start * 1000, (start + len) * 1000, level);
+            level_sum += level;
+        }
+        // Overlapping spans add (clamped to 1.0 per instant), so the
+        // tightest general bound is min(1, sum of levels).
+        let bound = level_sum.min(1.0);
+        let trace = UtilizationSampler::default().sample(&t, duration_s * 1000);
+        for s in trace.samples() {
+            let u = s.get(Component::Cpu);
+            prop_assert!(u >= 0.0 && u <= bound + 1e-9, "u {u} > bound {bound}");
+        }
+    }
+
+    /// A finer sampling period never loses energy: the utilization
+    /// integral (mean × duration) is period-independent up to boundary
+    /// effects of one period.
+    #[test]
+    fn sampling_conserves_energy_across_periods(
+        spans in prop::collection::vec((0u64..30_000, 500u64..10_000, 0.1f64..1.0), 1..10),
+    ) {
+        let mut t = Timeline::new();
+        let mut end = 0u64;
+        for &(start, len, level) in &spans {
+            t.add(Component::Wifi, start * 1000, (start + len) * 1000, level);
+            end = end.max(start + len);
+        }
+        // Round the horizon to a common multiple of both periods so
+        // neither sampler truncates a partial window.
+        let horizon = end.div_ceil(1_000) * 1_000 + 1_000;
+        let fine = UtilizationSampler::with_period(100).sample(&t, horizon);
+        let coarse = UtilizationSampler::with_period(1_000).sample(&t, horizon);
+        let fine_sum: f64 = fine.samples().iter().map(|s| s.get(Component::Wifi) * 100.0).sum();
+        let coarse_sum: f64 =
+            coarse.samples().iter().map(|s| s.get(Component::Wifi) * 1_000.0).sum();
+        prop_assert!(
+            (fine_sum - coarse_sum).abs() < 1.0,
+            "fine {fine_sum} vs coarse {coarse_sum}"
+        );
+    }
+}

@@ -1,0 +1,79 @@
+//! Error type shared by the statistics primitives.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by statistics functions on invalid input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StatsError {
+    /// The input slice was empty but the operation needs at least one value.
+    EmptyInput,
+    /// A percentile outside the closed interval `[0, 100]` was requested.
+    PercentileOutOfRange {
+        /// The offending percentile value, as requested by the caller.
+        requested: String,
+    },
+    /// The input contained a NaN, which has no defined ordering.
+    NanInInput,
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::EmptyInput => write!(f, "input data set is empty"),
+            StatsError::PercentileOutOfRange { requested } => {
+                write!(f, "percentile {requested} is outside [0, 100]")
+            }
+            StatsError::NanInInput => write!(f, "input data set contains NaN"),
+        }
+    }
+}
+
+impl Error for StatsError {}
+
+/// Validates that `data` is non-empty and NaN-free.
+pub(crate) fn validate(data: &[f64]) -> Result<(), StatsError> {
+    if data.is_empty() {
+        return Err(StatsError::EmptyInput);
+    }
+    if data.iter().any(|v| v.is_nan()) {
+        return Err(StatsError::NanInInput);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_without_trailing_punctuation() {
+        let messages = [
+            StatsError::EmptyInput.to_string(),
+            StatsError::PercentileOutOfRange {
+                requested: "101".to_string(),
+            }
+            .to_string(),
+            StatsError::NanInInput.to_string(),
+        ];
+        for m in messages {
+            assert!(!m.ends_with('.'), "message ends with period: {m}");
+            assert!(m.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn validate_rejects_empty() {
+        assert_eq!(validate(&[]), Err(StatsError::EmptyInput));
+    }
+
+    #[test]
+    fn validate_rejects_nan() {
+        assert_eq!(validate(&[1.0, f64::NAN]), Err(StatsError::NanInInput));
+    }
+
+    #[test]
+    fn validate_accepts_normal_data() {
+        assert!(validate(&[1.0, 2.0]).is_ok());
+    }
+}

@@ -1,0 +1,212 @@
+//! Percentiles and quartiles with R-7 (linear interpolation) semantics.
+//!
+//! EnergyDx Step 3 normalizes each event instance to the power value at
+//! the 10th percentile of all instances of the same event, and Step 4
+//! computes the quartiles `Q1`/`Q3` of the variation amplitudes. Both use
+//! the same estimator, the widely used "R-7" rule (the default of R's
+//! `quantile` and NumPy's `percentile`): for `n` sorted values and
+//! percentile `p`, the rank is `h = (n - 1) * p / 100` and the estimate
+//! linearly interpolates between `data[floor(h)]` and `data[ceil(h)]`.
+
+use crate::error::{validate, StatsError};
+
+/// Computes the `p`-th percentile (`0 <= p <= 100`) of `data` using R-7
+/// linear interpolation. The input does not need to be sorted.
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptyInput`] if `data` is empty,
+/// [`StatsError::NanInInput`] if it contains NaN, and
+/// [`StatsError::PercentileOutOfRange`] if `p` is outside `[0, 100]`.
+///
+/// # Examples
+///
+/// ```
+/// # use energydx_stats::percentile::percentile;
+/// let data = [15.0, 20.0, 35.0, 40.0, 50.0];
+/// assert_eq!(percentile(&data, 50.0).unwrap(), 35.0);
+/// assert_eq!(percentile(&data, 0.0).unwrap(), 15.0);
+/// assert_eq!(percentile(&data, 100.0).unwrap(), 50.0);
+/// ```
+pub fn percentile(data: &[f64], p: f64) -> Result<f64, StatsError> {
+    validate(data)?;
+    if !(0.0..=100.0).contains(&p) || p.is_nan() {
+        return Err(StatsError::PercentileOutOfRange {
+            requested: format!("{p}"),
+        });
+    }
+    let mut sorted = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN filtered by validate"));
+    Ok(percentile_of_sorted(&sorted, p))
+}
+
+/// Computes the `p`-th percentile of already-sorted data.
+///
+/// This is the allocation-free inner loop used when a caller computes
+/// many percentiles of the same data set (e.g. `Q1` and `Q3`).
+///
+/// # Panics
+///
+/// Panics in debug builds if `sorted` is empty. The caller is expected
+/// to have validated the input (e.g. via [`percentile`]).
+pub(crate) fn percentile_of_sorted(sorted: &[f64], p: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let h = (sorted.len() - 1) as f64 * p / 100.0;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    let frac = h - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+/// Computes the median (50th percentile) of `data`.
+///
+/// # Errors
+///
+/// Same conditions as [`percentile`].
+///
+/// # Examples
+///
+/// ```
+/// # use energydx_stats::percentile::median;
+/// assert_eq!(median(&[3.0, 1.0, 2.0]).unwrap(), 2.0);
+/// assert_eq!(median(&[1.0, 2.0, 3.0, 4.0]).unwrap(), 2.5);
+/// ```
+pub fn median(data: &[f64]) -> Result<f64, StatsError> {
+    percentile(data, 50.0)
+}
+
+/// The lower quartile, median, upper quartile, and interquartile range
+/// of a data set, as used by the Step-4 manifestation point detector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Quartiles {
+    /// 25th percentile (lower quartile).
+    pub q1: f64,
+    /// 50th percentile (median).
+    pub q2: f64,
+    /// 75th percentile (upper quartile).
+    pub q3: f64,
+}
+
+impl Quartiles {
+    /// The interquartile range `Q3 - Q1`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use energydx_stats::percentile::quartiles;
+    /// let q = quartiles(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+    /// assert_eq!(q.iqr(), q.q3 - q.q1);
+    /// ```
+    pub fn iqr(&self) -> f64 {
+        self.q3 - self.q1
+    }
+}
+
+/// Computes the three quartiles of `data` in a single sort.
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptyInput`] or [`StatsError::NanInInput`] on
+/// invalid input.
+///
+/// # Examples
+///
+/// ```
+/// # use energydx_stats::percentile::quartiles;
+/// let q = quartiles(&[2.0, 4.0, 6.0, 8.0]).unwrap();
+/// assert_eq!(q.q2, 5.0);
+/// ```
+pub fn quartiles(data: &[f64]) -> Result<Quartiles, StatsError> {
+    validate(data)?;
+    let mut sorted = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN filtered by validate"));
+    Ok(Quartiles {
+        q1: percentile_of_sorted(&sorted, 25.0),
+        q2: percentile_of_sorted(&sorted, 50.0),
+        q3: percentile_of_sorted(&sorted, 75.0),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_element_is_every_percentile() {
+        for p in [0.0, 10.0, 50.0, 99.0, 100.0] {
+            assert_eq!(percentile(&[7.5], p).unwrap(), 7.5);
+        }
+    }
+
+    #[test]
+    fn unsorted_input_is_handled() {
+        let data = [50.0, 15.0, 40.0, 20.0, 35.0];
+        assert_eq!(percentile(&data, 50.0).unwrap(), 35.0);
+    }
+
+    #[test]
+    fn interpolation_matches_r7() {
+        // R: quantile(c(1,2,3,4), 0.1) == 1.3
+        let v = percentile(&[1.0, 2.0, 3.0, 4.0], 10.0).unwrap();
+        assert!((v - 1.3).abs() < 1e-12, "got {v}");
+    }
+
+    #[test]
+    fn tenth_percentile_of_identical_values_is_that_value() {
+        let data = vec![4.2; 17];
+        assert_eq!(percentile(&data, 10.0).unwrap(), 4.2);
+    }
+
+    #[test]
+    fn out_of_range_percentile_is_rejected() {
+        assert!(matches!(
+            percentile(&[1.0], 100.5),
+            Err(StatsError::PercentileOutOfRange { .. })
+        ));
+        assert!(matches!(
+            percentile(&[1.0], -0.1),
+            Err(StatsError::PercentileOutOfRange { .. })
+        ));
+        assert!(matches!(
+            percentile(&[1.0], f64::NAN),
+            Err(StatsError::PercentileOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_input_is_rejected() {
+        assert_eq!(percentile(&[], 50.0), Err(StatsError::EmptyInput));
+        assert_eq!(quartiles(&[]).unwrap_err(), StatsError::EmptyInput);
+    }
+
+    #[test]
+    fn nan_input_is_rejected() {
+        assert_eq!(
+            percentile(&[1.0, f64::NAN], 50.0),
+            Err(StatsError::NanInInput)
+        );
+    }
+
+    #[test]
+    fn quartiles_of_odd_length_data() {
+        let q = quartiles(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(q.q1, 2.0);
+        assert_eq!(q.q2, 3.0);
+        assert_eq!(q.q3, 4.0);
+        assert_eq!(q.iqr(), 2.0);
+    }
+
+    #[test]
+    fn quartiles_iqr_of_constant_data_is_zero() {
+        let q = quartiles(&[3.0; 9]).unwrap();
+        assert_eq!(q.iqr(), 0.0);
+    }
+
+    #[test]
+    fn median_even_length_interpolates() {
+        assert_eq!(median(&[10.0, 20.0]).unwrap(), 15.0);
+    }
+}

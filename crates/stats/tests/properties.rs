@@ -1,0 +1,149 @@
+//! Property-based tests for the statistics primitives (DESIGN.md §6).
+
+use energydx_stats::{
+    average_ranks, dense_ranks, ordinal_ranks, outlier::upper_outlier_indices, percentile,
+    quartiles, Ecdf, Summary, TukeyFences,
+};
+use proptest::prelude::*;
+
+fn finite_vec(min_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e6f64..1e6, min_len..80)
+}
+
+proptest! {
+    #[test]
+    fn percentile_is_bounded_by_extrema(data in finite_vec(1), p in 0.0f64..=100.0) {
+        let v = percentile(&data, p).unwrap();
+        let min = data.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = data.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(v >= min - 1e-9 && v <= max + 1e-9);
+    }
+
+    #[test]
+    fn percentile_is_monotone_in_p(data in finite_vec(1), p1 in 0.0f64..=100.0, p2 in 0.0f64..=100.0) {
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        prop_assert!(percentile(&data, lo).unwrap() <= percentile(&data, hi).unwrap() + 1e-9);
+    }
+
+    #[test]
+    fn percentile_is_permutation_invariant(mut data in finite_vec(2), p in 0.0f64..=100.0, seed in any::<u64>()) {
+        let original = percentile(&data, p).unwrap();
+        // Deterministic shuffle driven by the seed.
+        let n = data.len();
+        let mut s = seed;
+        for i in (1..n).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (s >> 33) as usize % (i + 1);
+            data.swap(i, j);
+        }
+        prop_assert_eq!(original, percentile(&data, p).unwrap());
+    }
+
+    #[test]
+    fn quartiles_are_ordered(data in finite_vec(1)) {
+        let q = quartiles(&data).unwrap();
+        prop_assert!(q.q1 <= q.q2 + 1e-9);
+        prop_assert!(q.q2 <= q.q3 + 1e-9);
+        prop_assert!(q.iqr() >= -1e-9);
+    }
+
+    #[test]
+    fn average_ranks_sum_to_n_n_plus_1_over_2(data in finite_vec(1)) {
+        let ranks = average_ranks(&data).unwrap();
+        let n = data.len() as f64;
+        let sum: f64 = ranks.iter().sum();
+        prop_assert!((sum - n * (n + 1.0) / 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn average_ranks_respect_value_order(data in finite_vec(2)) {
+        let ranks = average_ranks(&data).unwrap();
+        for i in 0..data.len() {
+            for j in 0..data.len() {
+                if data[i] < data[j] {
+                    prop_assert!(ranks[i] < ranks[j]);
+                }
+                if data[i] == data[j] {
+                    prop_assert_eq!(ranks[i], ranks[j]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ordinal_ranks_are_a_permutation(data in finite_vec(1)) {
+        let mut ranks = ordinal_ranks(&data).unwrap();
+        ranks.sort_unstable();
+        let expected: Vec<usize> = (1..=data.len()).collect();
+        prop_assert_eq!(ranks, expected);
+    }
+
+    #[test]
+    fn dense_ranks_cover_prefix_of_naturals(data in finite_vec(1)) {
+        let ranks = dense_ranks(&data).unwrap();
+        let max = *ranks.iter().max().unwrap();
+        for r in 1..=max {
+            prop_assert!(ranks.contains(&r));
+        }
+    }
+
+    #[test]
+    fn injected_extreme_value_is_always_detected(mut data in finite_vec(8)) {
+        let max = data.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let q = quartiles(&data).unwrap();
+        // A value far above max and the fence must be reported.
+        let spike = max.abs().max(q.iqr()) * 100.0 + 1e7;
+        data.push(spike);
+        let idx = upper_outlier_indices(&data, 3.0, 0.0).unwrap();
+        prop_assert!(idx.contains(&(data.len() - 1)));
+    }
+
+    #[test]
+    fn fences_are_translation_covariant(data in finite_vec(4), shift in -1e5f64..1e5) {
+        let f0 = TukeyFences::from_data(&data, 3.0).unwrap();
+        let shifted: Vec<f64> = data.iter().map(|v| v + shift).collect();
+        let f1 = TukeyFences::from_data(&shifted, 3.0).unwrap();
+        prop_assert!((f1.upper - (f0.upper + shift)).abs() < 1e-6);
+        prop_assert!((f1.lower - (f0.lower + shift)).abs() < 1e-6);
+        prop_assert!((f1.iqr - f0.iqr).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ecdf_is_monotone_and_bounded(data in finite_vec(1), x1 in -1e6f64..1e6, x2 in -1e6f64..1e6) {
+        let e = Ecdf::new(&data).unwrap();
+        let (lo, hi) = if x1 <= x2 { (x1, x2) } else { (x2, x1) };
+        let a = e.eval(lo);
+        let b = e.eval(hi);
+        prop_assert!(a <= b);
+        prop_assert!((0.0..=1.0).contains(&a));
+        prop_assert!((0.0..=1.0).contains(&b));
+    }
+
+    #[test]
+    fn ecdf_quantile_then_eval_covers_p(data in finite_vec(1), p in 0.0f64..=100.0) {
+        let e = Ecdf::new(&data).unwrap();
+        let x = e.quantile(p).unwrap();
+        // With R-7 interpolation, floor((n-1)p/100)+1 sample points lie at
+        // or below the estimate, so eval(x) >= p/100 * (n-1)/n.
+        let n = data.len() as f64;
+        prop_assert!(e.eval(x) * 100.0 >= p * (n - 1.0) / n - 1e-6);
+    }
+
+    #[test]
+    fn summary_merge_is_associative_enough(data in finite_vec(3), split in 1usize..3) {
+        let cut = split.min(data.len() - 1);
+        let whole = Summary::from_data(&data).unwrap();
+        let mut merged = Summary::from_data(&data[..cut]).unwrap();
+        merged.merge(&Summary::from_data(&data[cut..]).unwrap());
+        prop_assert_eq!(merged.count(), whole.count());
+        prop_assert!((merged.mean() - whole.mean()).abs() < 1e-6_f64.max(whole.mean().abs() * 1e-9));
+        prop_assert!((merged.variance() - whole.variance()).abs() < 1e-3_f64.max(whole.variance() * 1e-6));
+    }
+
+    #[test]
+    fn summary_mean_is_bounded(data in finite_vec(1)) {
+        let s = Summary::from_data(&data).unwrap();
+        prop_assert!(s.mean() >= s.min() - 1e-9);
+        prop_assert!(s.mean() <= s.max() + 1e-9);
+    }
+}

@@ -1,0 +1,55 @@
+//! Trace types and infrastructure for EnergyDx.
+//!
+//! EnergyDx collects two runtime traces per user session (paper §II-C):
+//! an **event trace** — timestamped entry/exit records of instrumented
+//! callbacks (Fig. 5) — and a **utilization trace** — periodic samples
+//! of per-app hardware utilization. The power model turns the latter
+//! into a **power trace**. This crate provides:
+//!
+//! - [`event`] — event records, entry/exit pairing into event
+//!   *instances*, and the Fig.-5 text log format.
+//! - [`util`] — utilization samples over the simulated hardware
+//!   components.
+//! - [`power`] — power samples and per-component power breakdowns
+//!   (Figs. 11/14).
+//! - [`join`] — the timestamp join assigning app power to event
+//!   instances (the substrate of analysis Step 1).
+//! - [`anonymize`] — removal of user identifiers (phone numbers, IP
+//!   addresses, email addresses) before upload, per §II-B.
+//! - [`wire`] — a compact binary wire format for uploading trace
+//!   bundles.
+//! - [`store`] — the backend trace store that aggregates bundles from
+//!   many users (thread-safe; uploads happen "when the smartphone is
+//!   charging with WiFi").
+//!
+//! # Examples
+//!
+//! ```
+//! use energydx_trace::event::{Direction, EventRecord, EventTrace};
+//!
+//! let mut t = EventTrace::new();
+//! t.push(EventRecord::new(28223867, Direction::Enter, "Lcom/fsck/k9/service/MailService;->onDestroy"));
+//! t.push(EventRecord::new(28223899, Direction::Exit, "Lcom/fsck/k9/service/MailService;->onDestroy"));
+//! let instances = t.pair_instances();
+//! assert_eq!(instances.len(), 1);
+//! assert_eq!(instances[0].duration_ms(), 32);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod anonymize;
+pub mod error;
+pub mod event;
+pub mod join;
+pub mod power;
+pub mod store;
+pub mod util;
+pub mod wire;
+
+pub use error::TraceError;
+pub use event::{Direction, EventInstance, EventRecord, EventTrace};
+pub use join::join_power;
+pub use power::{PowerBreakdown, PowerSample, PowerTrace};
+pub use store::{PhoneState, TraceBundle, TraceStore, Uploader};
+pub use util::{UtilizationSample, UtilizationTrace};

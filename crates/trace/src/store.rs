@@ -1,0 +1,368 @@
+//! The backend trace store.
+//!
+//! After instrumented apps upload their bundles, the EnergyDx backend
+//! aggregates traces "collected from different users under various
+//! contexts" (§I) before running the manifestation analysis. The store
+//! is thread-safe: the collection server ingests bundles from many
+//! connections concurrently ([`TraceStore::ingest_concurrently`] models
+//! this with one thread per upload batch).
+
+use crate::anonymize;
+use crate::error::TraceError;
+use crate::event::EventTrace;
+use crate::util::UtilizationTrace;
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// One uploaded session: who, which session, which device, plus the
+/// two raw traces.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceBundle {
+    /// Pseudonymous user id (assigned at install; never a phone number).
+    pub user: String,
+    /// Per-user session counter.
+    pub session: u64,
+    /// Device profile name, used for power-model scaling.
+    pub device: String,
+    /// The event trace.
+    pub events: EventTrace,
+    /// The utilization trace.
+    pub utilization: UtilizationTrace,
+}
+
+impl TraceBundle {
+    /// Creates an empty bundle.
+    pub fn new(user: impl Into<String>, session: u64, device: impl Into<String>) -> Self {
+        TraceBundle {
+            user: user.into(),
+            session,
+            device: device.into(),
+            events: EventTrace::new(),
+            utilization: UtilizationTrace::new(),
+        }
+    }
+
+    /// Scrubs user identifiers from every string payload (§II-B
+    /// preprocessing). Event identifiers are class/method names and
+    /// survive unchanged; embedded IPs/emails/phone numbers do not.
+    pub fn anonymize(&mut self) {
+        self.user = anonymize::scrub(&self.user);
+        let records: Vec<_> = self
+            .events
+            .records()
+            .iter()
+            .map(|r| {
+                let mut r = r.clone();
+                r.event = anonymize::scrub(&r.event);
+                r
+            })
+            .collect();
+        self.events = records.into_iter().collect();
+    }
+
+    /// Validates internal consistency (timestamp ordering of the event
+    /// trace and strict enter/exit pairing).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TraceError::OutOfOrder`] /
+    /// [`TraceError::UnmatchedExit`].
+    pub fn validate(&self) -> Result<(), TraceError> {
+        self.events.validate()?;
+        self.events.pair_instances_strict()?;
+        Ok(())
+    }
+}
+
+/// Thread-safe collection of uploaded bundles.
+#[derive(Debug, Default)]
+pub struct TraceStore {
+    bundles: RwLock<Vec<TraceBundle>>,
+}
+
+impl TraceStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        TraceStore::default()
+    }
+
+    /// Ingests one bundle: anonymizes, validates, stores.
+    ///
+    /// # Errors
+    ///
+    /// Rejects bundles that fail [`TraceBundle::validate`]; rejected
+    /// bundles are not stored.
+    pub fn ingest(&self, mut bundle: TraceBundle) -> Result<(), TraceError> {
+        bundle.anonymize();
+        bundle.validate()?;
+        self.bundles.write().push(bundle);
+        Ok(())
+    }
+
+    /// Ingests many upload batches concurrently, one thread per batch,
+    /// as the collection server would. Returns the number of accepted
+    /// bundles.
+    pub fn ingest_concurrently(self: &Arc<Self>, batches: Vec<Vec<TraceBundle>>) -> usize {
+        let accepted = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        std::thread::scope(|scope| {
+            for batch in batches {
+                let store = Arc::clone(self);
+                let accepted = Arc::clone(&accepted);
+                scope.spawn(move || {
+                    for bundle in batch {
+                        if store.ingest(bundle).is_ok() {
+                            accepted.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        accepted.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Number of stored bundles.
+    pub fn len(&self) -> usize {
+        self.bundles.read().len()
+    }
+
+    /// Whether the store holds no bundles.
+    pub fn is_empty(&self) -> bool {
+        self.bundles.read().is_empty()
+    }
+
+    /// Snapshot of all bundles, sorted by `(user, session)` so analysis
+    /// input order is deterministic regardless of upload interleaving.
+    pub fn snapshot(&self) -> Vec<TraceBundle> {
+        let mut v = self.bundles.read().clone();
+        v.sort_by(|a, b| (&a.user, a.session).cmp(&(&b.user, b.session)));
+        v
+    }
+
+    /// Distinct users that have uploaded at least one bundle.
+    pub fn users(&self) -> Vec<String> {
+        let mut users: Vec<String> = self
+            .bundles
+            .read()
+            .iter()
+            .map(|b| b.user.clone())
+            .collect();
+        users.sort();
+        users.dedup();
+        users
+    }
+}
+
+/// The phone conditions the uploader gates on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PhoneState {
+    /// Whether the phone is charging.
+    pub charging: bool,
+    /// Whether the phone is on WiFi.
+    pub on_wifi: bool,
+}
+
+impl PhoneState {
+    /// The §II-B upload condition: "when the smartphone is in charge
+    /// with WiFi ... the transmission process does not impact the
+    /// normal usage of smartphone".
+    pub fn may_upload(&self) -> bool {
+        self.charging && self.on_wifi
+    }
+}
+
+/// The phone-side upload queue: bundles accumulate locally and drain
+/// to the backend only when the phone is charging on WiFi.
+#[derive(Debug, Default)]
+pub struct Uploader {
+    queue: Vec<TraceBundle>,
+}
+
+impl Uploader {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Uploader::default()
+    }
+
+    /// Queues a finished session's bundle for later upload.
+    pub fn enqueue(&mut self, bundle: TraceBundle) {
+        self.queue.push(bundle);
+    }
+
+    /// Bundles waiting on the phone.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Attempts to drain the queue into the store. Uploads happen only
+    /// when [`PhoneState::may_upload`]; bundles the store rejects
+    /// (failed validation) are dropped, matching a server that
+    /// discards corrupt uploads. Returns how many bundles the store
+    /// accepted.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use energydx_trace::store::{PhoneState, TraceBundle, TraceStore, Uploader};
+    /// let store = TraceStore::new();
+    /// let mut up = Uploader::new();
+    /// up.enqueue(TraceBundle::new("u", 0, "nexus6"));
+    /// // On battery: nothing moves.
+    /// assert_eq!(up.try_upload(PhoneState { charging: false, on_wifi: true }, &store), 0);
+    /// assert_eq!(up.pending(), 1);
+    /// // Plugged in on WiFi: the queue drains.
+    /// assert_eq!(up.try_upload(PhoneState { charging: true, on_wifi: true }, &store), 1);
+    /// assert_eq!(up.pending(), 0);
+    /// ```
+    pub fn try_upload(&mut self, state: PhoneState, store: &TraceStore) -> usize {
+        if !state.may_upload() {
+            return 0;
+        }
+        let mut accepted = 0;
+        for bundle in self.queue.drain(..) {
+            if store.ingest(bundle).is_ok() {
+                accepted += 1;
+            }
+        }
+        accepted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Direction, EventRecord};
+
+    fn bundle(user: &str, session: u64) -> TraceBundle {
+        let mut b = TraceBundle::new(user, session, "nexus6");
+        b.events
+            .push(EventRecord::new(10, Direction::Enter, "LA;->onResume"));
+        b.events
+            .push(EventRecord::new(20, Direction::Exit, "LA;->onResume"));
+        b
+    }
+
+    #[test]
+    fn ingest_accepts_valid_bundles() {
+        let store = TraceStore::new();
+        store.ingest(bundle("u1", 0)).unwrap();
+        store.ingest(bundle("u1", 1)).unwrap();
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.users(), vec!["u1".to_string()]);
+    }
+
+    #[test]
+    fn ingest_rejects_out_of_order_bundle() {
+        let store = TraceStore::new();
+        let mut b = bundle("u1", 0);
+        b.events.push(EventRecord::new(5, Direction::Enter, "LB;->onClick"));
+        assert!(store.ingest(b).is_err());
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn ingest_rejects_unmatched_exit() {
+        let store = TraceStore::new();
+        let mut b = TraceBundle::new("u1", 0, "nexus6");
+        b.events.push(EventRecord::new(5, Direction::Exit, "LB;->onClick"));
+        assert!(store.ingest(b).is_err());
+    }
+
+    #[test]
+    fn snapshot_is_deterministically_ordered() {
+        let store = TraceStore::new();
+        store.ingest(bundle("u2", 0)).unwrap();
+        store.ingest(bundle("u1", 1)).unwrap();
+        store.ingest(bundle("u1", 0)).unwrap();
+        let snap = store.snapshot();
+        let keys: Vec<(String, u64)> =
+            snap.iter().map(|b| (b.user.clone(), b.session)).collect();
+        assert_eq!(
+            keys,
+            vec![
+                ("u1".to_string(), 0),
+                ("u1".to_string(), 1),
+                ("u2".to_string(), 0)
+            ]
+        );
+    }
+
+    #[test]
+    fn ingest_anonymizes_payloads() {
+        let store = TraceStore::new();
+        let mut b = TraceBundle::new("u1", 0, "nexus6");
+        b.events.push(EventRecord::new(
+            10,
+            Direction::Enter,
+            "LA;->connect 192.168.0.9",
+        ));
+        b.events.push(EventRecord::new(
+            20,
+            Direction::Exit,
+            "LA;->connect 192.168.0.9",
+        ));
+        store.ingest(b).unwrap();
+        let snap = store.snapshot();
+        assert!(snap[0].events.records()[0].event.contains("<redacted>"));
+    }
+
+    #[test]
+    fn concurrent_ingest_accepts_all_valid_bundles() {
+        let store = Arc::new(TraceStore::new());
+        let batches: Vec<Vec<TraceBundle>> = (0..8)
+            .map(|u| (0..25).map(|s| bundle(&format!("user-{u}"), s)).collect())
+            .collect();
+        let accepted = store.ingest_concurrently(batches);
+        assert_eq!(accepted, 200);
+        assert_eq!(store.len(), 200);
+        assert_eq!(store.users().len(), 8);
+    }
+
+    #[test]
+    fn uploader_gates_on_charging_and_wifi() {
+        let store = TraceStore::new();
+        let mut up = Uploader::new();
+        up.enqueue(bundle("u1", 0));
+        up.enqueue(bundle("u1", 1));
+        for state in [
+            PhoneState { charging: false, on_wifi: false },
+            PhoneState { charging: true, on_wifi: false },
+            PhoneState { charging: false, on_wifi: true },
+        ] {
+            assert_eq!(up.try_upload(state, &store), 0);
+            assert_eq!(up.pending(), 2);
+        }
+        assert_eq!(
+            up.try_upload(PhoneState { charging: true, on_wifi: true }, &store),
+            2
+        );
+        assert_eq!(up.pending(), 0);
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn uploader_drops_invalid_bundles_on_drain() {
+        let store = TraceStore::new();
+        let mut up = Uploader::new();
+        let mut bad = TraceBundle::new("bad", 0, "nexus6");
+        bad.events.push(EventRecord::new(5, Direction::Exit, "LA;->x"));
+        up.enqueue(bad);
+        up.enqueue(bundle("ok", 0));
+        let accepted = up.try_upload(
+            PhoneState { charging: true, on_wifi: true },
+            &store,
+        );
+        assert_eq!(accepted, 1);
+        assert_eq!(up.pending(), 0);
+    }
+
+    #[test]
+    fn concurrent_ingest_counts_only_valid() {
+        let store = Arc::new(TraceStore::new());
+        let mut bad = TraceBundle::new("bad", 0, "nexus6");
+        bad.events.push(EventRecord::new(5, Direction::Exit, "LA;->x"));
+        let accepted = store.ingest_concurrently(vec![vec![bundle("ok", 0)], vec![bad]]);
+        assert_eq!(accepted, 1);
+        assert_eq!(store.len(), 1);
+    }
+}

@@ -1,0 +1,250 @@
+//! Binary wire format for uploading trace bundles.
+//!
+//! Phones upload `(event trace, utilization trace)` bundles to the
+//! backend "when the smartphone is in charge with WiFi" (§II-B). The
+//! format is a simple length-prefixed little-endian encoding:
+//!
+//! ```text
+//! magic "EDXT" | version u8 | user str | session u64 | device str
+//! | event count u32 | { ts u64, dir u8, event str }*
+//! | period u64 | sample count u32 | { ts u64, util f64 ×6 }*
+//! ```
+//!
+//! Strings are `u32` length + UTF-8 bytes.
+
+use crate::error::TraceError;
+use crate::event::{Direction, EventRecord, EventTrace};
+use crate::store::TraceBundle;
+use crate::util::{Component, UtilizationSample, UtilizationTrace};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+const MAGIC: &[u8; 4] = b"EDXT";
+const VERSION: u8 = 1;
+
+/// Encodes a bundle into its wire representation.
+///
+/// # Examples
+///
+/// ```
+/// # use energydx_trace::{TraceBundle, wire};
+/// let bundle = TraceBundle::new("user-1", 7, "nexus6");
+/// let bytes = wire::encode(&bundle);
+/// let decoded = wire::decode(&bytes)?;
+/// assert_eq!(decoded, bundle);
+/// # Ok::<(), energydx_trace::TraceError>(())
+/// ```
+pub fn encode(bundle: &TraceBundle) -> Bytes {
+    let mut buf = BytesMut::with_capacity(
+        64 + bundle.events.len() * 48 + bundle.utilization.len() * 56,
+    );
+    buf.put_slice(MAGIC);
+    buf.put_u8(VERSION);
+    put_str(&mut buf, &bundle.user);
+    buf.put_u64_le(bundle.session);
+    put_str(&mut buf, &bundle.device);
+
+    buf.put_u32_le(bundle.events.len() as u32);
+    for r in bundle.events.records() {
+        buf.put_u64_le(r.timestamp_ms);
+        buf.put_u8(match r.direction {
+            Direction::Enter => 0,
+            Direction::Exit => 1,
+        });
+        put_str(&mut buf, &r.event);
+    }
+
+    buf.put_u64_le(bundle.utilization.period_ms);
+    buf.put_u32_le(bundle.utilization.len() as u32);
+    for s in bundle.utilization.samples() {
+        buf.put_u64_le(s.timestamp_ms);
+        for c in Component::ALL {
+            buf.put_f64_le(s.get(c));
+        }
+    }
+    buf.freeze()
+}
+
+/// Decodes a bundle from its wire representation.
+///
+/// # Errors
+///
+/// Returns [`TraceError::Wire`] on truncated or corrupt payloads,
+/// wrong magic, or unsupported version.
+pub fn decode(mut data: &[u8]) -> Result<TraceBundle, TraceError> {
+    let err = |message: &str| TraceError::Wire {
+        message: message.to_string(),
+    };
+    if data.remaining() < 5 {
+        return Err(err("payload shorter than header"));
+    }
+    let mut magic = [0u8; 4];
+    data.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(err("bad magic"));
+    }
+    let version = data.get_u8();
+    if version != VERSION {
+        return Err(TraceError::Wire {
+            message: format!("unsupported version {version}"),
+        });
+    }
+    let user = get_str(&mut data)?;
+    if data.remaining() < 8 {
+        return Err(err("truncated session id"));
+    }
+    let session = data.get_u64_le();
+    let device = get_str(&mut data)?;
+
+    if data.remaining() < 4 {
+        return Err(err("truncated event count"));
+    }
+    let n_events = data.get_u32_le() as usize;
+    let mut events = EventTrace::new();
+    for _ in 0..n_events {
+        if data.remaining() < 9 {
+            return Err(err("truncated event record"));
+        }
+        let ts = data.get_u64_le();
+        let direction = match data.get_u8() {
+            0 => Direction::Enter,
+            1 => Direction::Exit,
+            d => {
+                return Err(TraceError::Wire {
+                    message: format!("invalid direction byte {d}"),
+                })
+            }
+        };
+        let event = get_str(&mut data)?;
+        events.push(EventRecord::new(ts, direction, event));
+    }
+
+    if data.remaining() < 12 {
+        return Err(err("truncated utilization header"));
+    }
+    let period_ms = data.get_u64_le();
+    let n_samples = data.get_u32_le() as usize;
+    let mut utilization = UtilizationTrace::with_period(period_ms);
+    for _ in 0..n_samples {
+        if data.remaining() < 8 + 6 * 8 {
+            return Err(err("truncated utilization sample"));
+        }
+        let mut s = UtilizationSample::new(data.get_u64_le());
+        for c in Component::ALL {
+            s.set(c, data.get_f64_le());
+        }
+        utilization.push(s);
+    }
+    if data.has_remaining() {
+        return Err(err("trailing bytes after bundle"));
+    }
+
+    let mut bundle = TraceBundle::new(user, session, device);
+    bundle.events = events;
+    bundle.utilization = utilization;
+    Ok(bundle)
+}
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_str(data: &mut &[u8]) -> Result<String, TraceError> {
+    if data.remaining() < 4 {
+        return Err(TraceError::Wire {
+            message: "truncated string length".to_string(),
+        });
+    }
+    let len = data.get_u32_le() as usize;
+    if data.remaining() < len {
+        return Err(TraceError::Wire {
+            message: "truncated string body".to_string(),
+        });
+    }
+    let bytes = data.copy_to_bytes(len);
+    String::from_utf8(bytes.to_vec()).map_err(|_| TraceError::Wire {
+        message: "string is not UTF-8".to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bundle() -> TraceBundle {
+        let mut bundle = TraceBundle::new("volunteer-03", 42, "nexus6");
+        bundle.events.push(EventRecord::new(
+            28223867,
+            Direction::Enter,
+            "Lcom/fsck/k9/service/MailService;->onDestroy",
+        ));
+        bundle.events.push(EventRecord::new(
+            28223867,
+            Direction::Exit,
+            "Lcom/fsck/k9/service/MailService;->onDestroy",
+        ));
+        let mut s = UtilizationSample::new(28223500);
+        s.set(Component::Cpu, 0.35);
+        s.set(Component::Wifi, 0.8);
+        bundle.utilization.push(s);
+        bundle
+    }
+
+    #[test]
+    fn round_trip() {
+        let bundle = sample_bundle();
+        let decoded = decode(&encode(&bundle)).unwrap();
+        assert_eq!(decoded, bundle);
+    }
+
+    #[test]
+    fn empty_bundle_round_trips() {
+        let bundle = TraceBundle::new("u", 0, "d");
+        assert_eq!(decode(&encode(&bundle)).unwrap(), bundle);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut bytes = encode(&sample_bundle()).to_vec();
+        bytes[0] = b'X';
+        assert!(matches!(decode(&bytes), Err(TraceError::Wire { .. })));
+    }
+
+    #[test]
+    fn bad_version_is_rejected() {
+        let mut bytes = encode(&sample_bundle()).to_vec();
+        bytes[4] = 99;
+        let err = decode(&bytes).unwrap_err();
+        assert!(err.to_string().contains("version"));
+    }
+
+    #[test]
+    fn truncation_anywhere_is_an_error_not_a_panic() {
+        let bytes = encode(&sample_bundle());
+        for cut in 0..bytes.len() {
+            assert!(
+                matches!(decode(&bytes[..cut]), Err(TraceError::Wire { .. })),
+                "truncation at {cut} must error"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut bytes = encode(&sample_bundle()).to_vec();
+        bytes.push(0);
+        assert!(matches!(decode(&bytes), Err(TraceError::Wire { .. })));
+    }
+
+    #[test]
+    fn invalid_direction_byte_is_rejected() {
+        let bundle = sample_bundle();
+        let bytes = encode(&bundle).to_vec();
+        // Find the first direction byte: after magic(4) + ver(1) +
+        // user(4+12) + session(8) + device(4+6) + count(4) + ts(8).
+        let offset = 4 + 1 + 4 + bundle.user.len() + 8 + 4 + bundle.device.len() + 4 + 8;
+        let mut corrupted = bytes.clone();
+        corrupted[offset] = 7;
+        assert!(matches!(decode(&corrupted), Err(TraceError::Wire { .. })));
+    }
+}

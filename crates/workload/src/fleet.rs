@@ -1,0 +1,365 @@
+//! The Table-III evaluation fleet: 40 apps with downloads and root
+//! cause, each expanded into a full [`Scenario`].
+//!
+//! Table III labels 24 apps *no-sleep*, 10 *configuration*, and 6
+//! *loop*. The paper's §IV-B text credits the static No-sleep Detection
+//! baseline with 21 detections; we reconcile the two numbers by making
+//! three of the no-sleep leaks *dynamic* (resource acquired through a
+//! runtime-registered listener — invisible to bytecode dataflow):
+//! Geohashdroid (15), Ulogger (26), and Tomahawk Player (29).
+//!
+//! Fault *intensity* varies per app: 26 apps have high-power faults
+//! (GPS leak, aggressive retry/loop) and 14 have low-amplitude but
+//! long-lasting ones (sensor leak, slow retry) — the kind §V notes
+//! eDelta misses because "the energy deviation is relatively small
+//! (but might last long)".
+
+use crate::appgen::{add_menu_callbacks, generate, AppSpec};
+use crate::fault::{Fault, FaultClass};
+use crate::hooks::TaskSpec;
+use crate::scenario::Scenario;
+use crate::users::{Action, ScriptGen};
+use energydx_dexir::instr::ResourceKind;
+use energydx_dexir::module::MethodKey;
+use energydx_droidsim::framework::Burst;
+use energydx_trace::util::Component;
+use serde::{Deserialize, Serialize};
+
+/// One row of Table III.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetApp {
+    /// Table III app id (1–40).
+    pub id: u32,
+    /// App name as printed in the paper.
+    pub name: &'static str,
+    /// Downloads column.
+    pub downloads: &'static str,
+    /// Root-cause class.
+    pub cause: FaultClass,
+    /// No-sleep only: the leak is dynamic (invisible to static
+    /// dataflow analysis).
+    pub dynamic_leak: bool,
+    /// Low-amplitude, long-lasting fault (below eDelta's deviation
+    /// threshold).
+    pub weak: bool,
+}
+
+/// The 40 rows of Table III, in paper order.
+pub fn fleet() -> Vec<FleetApp> {
+    use FaultClass::{Configuration as C, Loop as L, NoSleep as N};
+    let rows: [(u32, &'static str, &'static str, FaultClass); 40] = [
+        (1, "Facebook", "1B+", N),
+        (2, "Boston Bus Map", "100k+", L),
+        (3, "K-9 Mail", "5M+", C),
+        (4, "CommonsWare", "10M+", N),
+        (5, "Open Camera", "10M+", N),
+        (6, "Droid VNC", "1M+", N),
+        (7, "Binaural-Beats", "5M+", N),
+        (8, "Zmanim", "100K+", N),
+        (9, "MonTransit", "500K+", N),
+        (10, "Aripuca", "100K+", N),
+        (11, "Conversations", "10K+", C),
+        (12, "Ushahidi", "50K+", N),
+        (13, "Sofia Navigation", "50K+", C),
+        (14, "Osmdroid", "5K+", N),
+        (15, "Geohashdroid", "n/a", N),
+        (16, "BabbleSink", "50K+", N),
+        (17, "Traccar", "50K+", N),
+        (18, "Tinfoil", "n/a", L),
+        (19, "Pedometer", "100K+", C),
+        (20, "FBReader", "500K+", N),
+        (21, "Owncloud", "100K+", C),
+        (22, "Sensorium", "50M+", N),
+        (23, "Signal", "500K+", L),
+        (24, "Summit APK", "500+", N),
+        (25, "ValenBisi", "10M+", N),
+        (26, "Ulogger", "n/a", N),
+        (27, "AAT", "50K+", N),
+        (28, "Wallabag", "1M+", C),
+        (29, "Tomahawk Player", "n/a", N),
+        (30, "Call Meter", "n/a", N),
+        (31, "Simple Note", "50K+", C),
+        (32, "NextCloud", "50K+", C),
+        (33, "ArtWatch", "5M+", L),
+        (34, "WADB", "1M+", N),
+        (35, "MFacebook", "500K+", L),
+        (36, "Kryptonite", "500+", N),
+        (37, "Flybsca", "10K+", C),
+        (38, "Throughput", "n/a", L),
+        (39, "Piano", "n/a", N),
+        (40, "Fitdice", "n/a", C),
+    ];
+    const DYNAMIC_LEAKS: [u32; 3] = [15, 26, 29];
+    // 13 low-amplitude faults; together with Owncloud (21), whose
+    // impacted users' post-trigger foreground exposure is too brief to
+    // move any API's quantile, eDelta misses 14 of the 40 apps.
+    const WEAK: [u32; 13] = [4, 7, 8, 9, 10, 16, 24, 27, 30, 31, 36, 39, 40];
+    rows.into_iter()
+        .map(|(id, name, downloads, cause)| FleetApp {
+            id,
+            name,
+            downloads,
+            cause,
+            dynamic_leak: DYNAMIC_LEAKS.contains(&id),
+            weak: WEAK.contains(&id),
+        })
+        .collect()
+}
+
+impl FleetApp {
+    /// Java-package-safe identifier derived from the app name.
+    pub fn package(&self) -> String {
+        let slug: String = self
+            .name
+            .chars()
+            .filter(|c| c.is_ascii_alphanumeric())
+            .collect::<String>()
+            .to_lowercase();
+        format!("org.fdroid.{slug}")
+    }
+
+    /// Deterministic app size from the downloads tier (`N_All`).
+    pub fn total_loc(&self) -> u64 {
+        let base: u64 = match self.downloads {
+            "1B+" => 95_000,
+            "50M+" => 60_000,
+            "10M+" => 55_000,
+            "5M+" => 42_000,
+            "1M+" => 35_000,
+            "500K+" => 22_000,
+            "100K+" | "100k+" => 18_000,
+            "50K+" => 12_000,
+            "10K+" | "5K+" => 8_000,
+            _ => 5_500,
+        };
+        base + (self.id as u64 * 137) % 2_500
+    }
+
+    /// Expands the row into a full scenario. The three case-study apps
+    /// that also appear in Table III (K-9 Mail, Tinfoil, Wallabag) use
+    /// their bespoke scenarios so the case studies and the fleet agree.
+    pub fn scenario(&self) -> Scenario {
+        match self.id {
+            3 => return Scenario::k9mail(),
+            18 => return Scenario::tinfoil(),
+            28 => return Scenario::wallabag(),
+            _ => {}
+        }
+        let spec = AppSpec {
+            package: self.package(),
+            activities: vec![
+                "MainActivity".into(),
+                "FeatureActivity".into(),
+                "BrowseActivity".into(),
+                "DetailActivity".into(),
+                "SettingsActivity".into(),
+            ],
+            services: vec!["SyncService".into()],
+            total_loc: self.total_loc(),
+            seed: 0xf1ee7 + self.id as u64,
+        };
+        let main = spec.class_descriptor("MainActivity");
+        let feature = spec.class_descriptor("FeatureActivity");
+        let browse = spec.class_descriptor("BrowseActivity");
+        let detail = spec.class_descriptor("DetailActivity");
+        let settings = spec.class_descriptor("SettingsActivity");
+        let mut healthy = generate(&spec);
+        add_menu_callbacks(&mut healthy, &feature, &["menuRefresh"]);
+
+        let (fault, trigger) = match self.cause {
+            FaultClass::NoSleep => {
+                let resource = if self.weak {
+                    ResourceKind::Sensor
+                } else {
+                    ResourceKind::Gps
+                };
+                let trigger_key = MethodKey::new(settings.clone(), "onResume");
+                let teardown = MethodKey::new(settings.clone(), "onPause");
+                let fault = if self.dynamic_leak {
+                    Fault::DynamicNoSleep {
+                        trigger: trigger_key,
+                        teardown,
+                        resource,
+                    }
+                } else {
+                    Fault::StaticNoSleep {
+                        trigger: trigger_key,
+                        teardown,
+                        resource,
+                    }
+                };
+                let trigger = vec![
+                    Action::Launch(settings.clone()),
+                    Action::Idle(1_500),
+                    Action::Home,
+                    Action::Idle(8_000),
+                    Action::ResumeApp,
+                    Action::Launch(main.clone()),
+                    Action::Idle(2_000),
+                    Action::Home,
+                    Action::Idle(5_000),
+                    Action::ResumeApp,
+                ];
+                (fault, trigger)
+            }
+            FaultClass::Loop => {
+                let task = if self.weak {
+                    TaskSpec {
+                        name: "poll".into(),
+                        period_ms: 3_000,
+                        bursts: vec![Burst::new(Component::Cpu, 0.3, 700_000)],
+                        callback: None,
+                    }
+                } else {
+                    TaskSpec::cpu_loop("poll", 1_200)
+                };
+                let fault = Fault::Loop {
+                    trigger: MethodKey::new(feature.clone(), "menuRefresh"),
+                    teardown: MethodKey::new(feature.clone(), "onPause"),
+                    task,
+                };
+                let trigger = vec![
+                    Action::Launch(feature.clone()),
+                    Action::Tap(feature.clone(), "menuRefresh".into()),
+                    Action::Home,
+                    Action::Idle(8_000),
+                    Action::ResumeApp,
+                ];
+                (fault, trigger)
+            }
+            FaultClass::Configuration => {
+                let task = if self.weak {
+                    TaskSpec {
+                        name: "retry".into(),
+                        period_ms: 3_000,
+                        bursts: vec![
+                            Burst::new(Component::Wifi, 0.3, 500_000),
+                            Burst::new(Component::Cpu, 0.15, 500_000),
+                        ],
+                        callback: None,
+                    }
+                } else {
+                    TaskSpec::network_retry("retry", 1_500)
+                };
+                let fault = Fault::Configuration {
+                    trigger: MethodKey::new(settings.clone(), "onResume"),
+                    task,
+                };
+                let trigger = vec![
+                    Action::Launch(settings.clone()),
+                    Action::Idle(1_500),
+                    Action::Launch(main.clone()),
+                ];
+                (fault, trigger)
+            }
+        };
+
+        let impacted_fraction = [0.2, 0.3, 0.4][(self.id as usize * 7) % 3];
+        Scenario {
+            name: self.name.to_string(),
+            healthy,
+            fault,
+            script_gen: ScriptGen {
+                activities: vec![main, feature, browse, detail],
+                taps: vec![(
+                    spec.class_descriptor("MainActivity"),
+                    "onClick".into(),
+                )],
+                rounds: 10,
+                idle_range: (1_500, 4_000),
+                tail_idle_ms: 35_000,
+            },
+            trigger,
+            impacted_fraction,
+            n_users: 10,
+            seed: 0xab40 + self.id as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fleet_has_40_rows_matching_table_iii_counts() {
+        let fleet = fleet();
+        assert_eq!(fleet.len(), 40);
+        let count = |c: FaultClass| fleet.iter().filter(|a| a.cause == c).count();
+        assert_eq!(count(FaultClass::NoSleep), 24);
+        assert_eq!(count(FaultClass::Configuration), 10);
+        assert_eq!(count(FaultClass::Loop), 6);
+    }
+
+    #[test]
+    fn static_detector_sees_exactly_21_nosleep_apps() {
+        let fleet = fleet();
+        let static_nosleep = fleet
+            .iter()
+            .filter(|a| a.cause == FaultClass::NoSleep && !a.dynamic_leak)
+            .count();
+        assert_eq!(static_nosleep, 21, "matches the paper's §IV-B text");
+    }
+
+    #[test]
+    fn weak_apps_number_13() {
+        assert_eq!(fleet().iter().filter(|a| a.weak).count(), 13);
+        assert_eq!(fleet().iter().filter(|a| !a.weak).count(), 27);
+    }
+
+    #[test]
+    fn ids_are_1_to_40_in_order() {
+        let ids: Vec<u32> = fleet().iter().map(|a| a.id).collect();
+        assert_eq!(ids, (1..=40).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn case_study_rows_reuse_bespoke_scenarios() {
+        let fleet = fleet();
+        assert_eq!(fleet[2].scenario().name, "K-9 Mail");
+        assert_eq!(fleet[17].scenario().name, "Tinfoil");
+        assert_eq!(fleet[27].scenario().name, "Wallabag");
+    }
+
+    #[test]
+    fn generic_scenarios_build_and_validate() {
+        // Spot-check one app per class (full fleet runs live in the
+        // bench harness).
+        for id in [1usize, 2, 19] {
+            let app = &fleet()[id - 1];
+            let s = app.scenario();
+            s.healthy.validate().unwrap();
+            s.faulty_module().validate().unwrap();
+            assert_eq!(s.fault.class(), app.cause);
+            assert!(s.impacted_fraction > 0.0);
+        }
+    }
+
+    #[test]
+    fn loc_scales_with_downloads() {
+        let fleet = fleet();
+        let facebook = fleet.iter().find(|a| a.name == "Facebook").unwrap();
+        let summit = fleet.iter().find(|a| a.name == "Summit APK").unwrap();
+        assert!(facebook.total_loc() > 90_000);
+        assert!(summit.total_loc() < 10_000);
+    }
+
+    #[test]
+    fn packages_are_java_safe() {
+        for app in fleet() {
+            let pkg = app.package();
+            assert!(pkg
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '.'), "{pkg}");
+        }
+    }
+
+    #[test]
+    fn dynamic_leaks_are_invisible_to_static_analysis() {
+        for app in fleet().iter().filter(|a| a.dynamic_leak) {
+            let s = app.scenario();
+            assert!(!s.fault.statically_visible(), "{}", app.name);
+            assert_eq!(s.faulty_module(), s.healthy);
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! Behaviour hooks: dynamic app behaviour attached to callbacks.
+//!
+//! Real apps do far more at runtime than their bytecode shows
+//! statically: they schedule sync jobs, register listeners, and react
+//! to configuration. A [`HookSet`] attaches such behaviour to callback
+//! dispatches — "when `AccountSettings;->onResume` runs, start a
+//! 2-second connection-retry task". Faults of the *configuration* and
+//! *loop* classes are expressed as hook sets, which is also why the
+//! static No-sleep Detection baseline cannot see them.
+
+use energydx_dexir::instr::ResourceKind;
+use energydx_dexir::module::MethodKey;
+use energydx_droidsim::device::PeriodicTask;
+use energydx_droidsim::framework::Burst;
+use energydx_trace::util::Component;
+use std::collections::BTreeMap;
+
+/// Declarative description of a periodic background task.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskSpec {
+    /// Unique task name.
+    pub name: String,
+    /// Fire period in milliseconds.
+    pub period_ms: u64,
+    /// Hardware bursts per tick.
+    pub bursts: Vec<Burst>,
+    /// Optional callback dispatched per tick.
+    pub callback: Option<MethodKey>,
+}
+
+impl TaskSpec {
+    /// A network-retry task (WiFi + CPU per tick) — the configuration
+    /// ABD's signature behaviour.
+    pub fn network_retry(name: impl Into<String>, period_ms: u64) -> Self {
+        TaskSpec {
+            name: name.into(),
+            period_ms,
+            bursts: vec![
+                Burst::new(Component::Wifi, 0.9, 450_000),
+                Burst::new(Component::Cpu, 0.4, 450_000),
+            ],
+            callback: None,
+        }
+    }
+
+    /// A CPU-bound polling task — the loop ABD's signature behaviour.
+    pub fn cpu_loop(name: impl Into<String>, period_ms: u64) -> Self {
+        TaskSpec {
+            name: name.into(),
+            period_ms,
+            bursts: vec![Burst::new(Component::Cpu, 0.8, 600_000)],
+            callback: None,
+        }
+    }
+
+    /// Attaches a per-tick callback (so the task shows up in the event
+    /// trace, like K9's periodic mail check).
+    pub fn with_callback(mut self, key: MethodKey) -> Self {
+        self.callback = Some(key);
+        self
+    }
+
+    fn to_task(&self) -> PeriodicTask {
+        let mut t = PeriodicTask::new(self.name.clone(), self.period_ms, self.bursts.clone());
+        if let Some(cb) = &self.callback {
+            t = t.with_callback(cb.clone());
+        }
+        t
+    }
+}
+
+/// One action taken when a hooked callback fires.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HookAction {
+    /// Schedule a periodic task (idempotent per task name).
+    StartTask(TaskSpec),
+    /// Cancel a periodic task by name.
+    StopTask(String),
+    /// Acquire a resource (dynamic acquisition invisible to static
+    /// analysis).
+    Acquire(ResourceKind),
+    /// Release a resource.
+    Release(ResourceKind),
+}
+
+/// Callback → actions mapping applied by the session runner.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct HookSet {
+    hooks: BTreeMap<MethodKey, Vec<HookAction>>,
+}
+
+impl HookSet {
+    /// Creates an empty hook set.
+    pub fn new() -> Self {
+        HookSet::default()
+    }
+
+    /// Adds an action fired whenever `key` is dispatched.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use energydx_workload::{HookSet, HookAction, TaskSpec};
+    /// # use energydx_dexir::module::MethodKey;
+    /// let hooks = HookSet::new().on(
+    ///     MethodKey::new("LA;", "onResume"),
+    ///     HookAction::StartTask(TaskSpec::network_retry("retry", 2_000)),
+    /// );
+    /// assert_eq!(hooks.actions(&MethodKey::new("LA;", "onResume")).len(), 1);
+    /// ```
+    pub fn on(mut self, key: MethodKey, action: HookAction) -> Self {
+        self.hooks.entry(key).or_default().push(action);
+        self
+    }
+
+    /// The actions registered for a callback (empty slice when none).
+    pub fn actions(&self, key: &MethodKey) -> &[HookAction] {
+        self.hooks.get(key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of hooked callbacks.
+    pub fn len(&self) -> usize {
+        self.hooks.len()
+    }
+
+    /// Whether no hooks are registered.
+    pub fn is_empty(&self) -> bool {
+        self.hooks.is_empty()
+    }
+
+    /// Merges another hook set into this one (later actions append).
+    pub fn merge(mut self, other: HookSet) -> Self {
+        for (key, actions) in other.hooks {
+            self.hooks.entry(key).or_default().extend(actions);
+        }
+        self
+    }
+
+    /// Applies one callback's actions to a device.
+    pub(crate) fn apply(
+        &self,
+        key: &MethodKey,
+        device: &mut energydx_droidsim::Device,
+    ) {
+        for action in self.actions(key) {
+            match action {
+                HookAction::StartTask(spec) => device.schedule_periodic(spec.to_task()),
+                HookAction::StopTask(name) => {
+                    device.cancel_periodic(name);
+                }
+                HookAction::Acquire(kind) => device.acquire(*kind),
+                HookAction::Release(kind) => device.release(*kind),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn actions_accumulate_per_key() {
+        let key = MethodKey::new("LA;", "onPause");
+        let hooks = HookSet::new()
+            .on(key.clone(), HookAction::StopTask("sync".into()))
+            .on(key.clone(), HookAction::Release(ResourceKind::Gps));
+        assert_eq!(hooks.actions(&key).len(), 2);
+        assert_eq!(hooks.len(), 1);
+    }
+
+    #[test]
+    fn missing_key_has_no_actions() {
+        let hooks = HookSet::new();
+        assert!(hooks.actions(&MethodKey::new("LA;", "x")).is_empty());
+        assert!(hooks.is_empty());
+    }
+
+    #[test]
+    fn merge_appends_actions() {
+        let key = MethodKey::new("LA;", "onResume");
+        let a = HookSet::new().on(key.clone(), HookAction::Acquire(ResourceKind::Gps));
+        let b = HookSet::new().on(key.clone(), HookAction::Release(ResourceKind::Gps));
+        let merged = a.merge(b);
+        assert_eq!(merged.actions(&key).len(), 2);
+    }
+
+    #[test]
+    fn task_specs_have_signature_components() {
+        let net = TaskSpec::network_retry("r", 1000);
+        assert!(net.bursts.iter().any(|b| b.component == Component::Wifi));
+        let cpu = TaskSpec::cpu_loop("l", 1000);
+        assert!(cpu.bursts.iter().all(|b| b.component == Component::Cpu));
+    }
+
+    #[test]
+    fn with_callback_sets_key() {
+        let spec = TaskSpec::cpu_loop("l", 500).with_callback(MethodKey::new("LS;", "tick"));
+        assert_eq!(spec.callback.as_ref().unwrap().name, "tick");
+    }
+}

@@ -1,0 +1,481 @@
+//! End-to-end evaluation scenarios: app + fault + users → traces.
+//!
+//! A [`Scenario`] bundles everything one Table-III row needs: the
+//! healthy app package, the injected fault, the user-script generator,
+//! and the collection parameters. [`Scenario::collect`] runs the whole
+//! §II-B pipeline — instrument, run sessions on simulated phones of
+//! three device models, sample utilization at 500 ms, estimate power,
+//! scale to the reference device — and returns analysis-ready traces.
+//!
+//! The four case-study apps of the paper (§III-B, §IV-C) are provided
+//! with their published class names: [`Scenario::k9mail`],
+//! [`Scenario::opengps`], [`Scenario::wallabag`],
+//! [`Scenario::tinfoil`].
+
+use crate::appgen::{add_menu_callbacks, generate, AppSpec};
+use crate::fault::Fault;
+use crate::hooks::TaskSpec;
+use crate::session::SessionRunner;
+use crate::users::{Action, ScriptGen};
+use energydx::report::CodeIndex;
+use energydx::DiagnosisInput;
+use energydx_dexir::instr::ResourceKind;
+use energydx_dexir::instrument::{EventPool, Instrumenter};
+use energydx_dexir::module::{MethodKey, Module};
+use energydx_droidsim::framework::Burst;
+use energydx_droidsim::{Device, SimError};
+use energydx_powermodel::{scale_trace, DeviceProfile, PowerModel, UtilizationSampler};
+use energydx_trace::event::EventTrace;
+use energydx_trace::power::PowerTrace;
+use energydx_trace::util::Component;
+
+/// Which app build a collection run uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant {
+    /// The ABD build: fault injected, faulty hooks.
+    Faulty,
+    /// The repaired build: fix applied, fixed hooks. Same scripts, so
+    /// Fig.-17 power comparisons are usage-controlled.
+    Fixed,
+}
+
+/// The traces from one collection run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CollectedTraces {
+    /// Per-user `(event trace, power trace)` pairs, power already
+    /// scaled to the reference device.
+    pub pairs: Vec<(EventTrace, PowerTrace)>,
+    /// Mean app power per session (mW), for Fig. 17.
+    pub session_mean_mw: Vec<f64>,
+}
+
+impl CollectedTraces {
+    /// Mean power across all sessions (mW).
+    pub fn mean_power_mw(&self) -> f64 {
+        if self.session_mean_mw.is_empty() {
+            return 0.0;
+        }
+        self.session_mean_mw.iter().sum::<f64>() / self.session_mean_mw.len() as f64
+    }
+
+    /// Builds the Step-1 analysis input from the collected pairs.
+    pub fn diagnosis_input(&self) -> DiagnosisInput {
+        DiagnosisInput::from_traces(&self.pairs)
+    }
+}
+
+/// One complete evaluation scenario.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Scenario (app) name.
+    pub name: String,
+    /// The healthy app package (no fault).
+    pub healthy: Module,
+    /// The injected fault.
+    pub fault: Fault,
+    /// Random-usage generator for all users.
+    pub script_gen: ScriptGen,
+    /// Extra actions impacted users perform (the fault's trigger path).
+    pub trigger: Vec<Action>,
+    /// Fraction of users whose sessions include the trigger path.
+    pub impacted_fraction: f64,
+    /// Number of volunteer users.
+    pub n_users: usize,
+    /// Base seed for scripts and noise.
+    pub seed: u64,
+}
+
+impl Scenario {
+    /// The faulty app build.
+    pub fn faulty_module(&self) -> Module {
+        self.fault.inject(&self.healthy)
+    }
+
+    /// The repaired app build.
+    pub fn fixed_module(&self) -> Module {
+        self.fault.fix(&self.faulty_module())
+    }
+
+    /// Instruments a build with the standard event pool.
+    pub fn instrument(module: &Module) -> Module {
+        Instrumenter::new(EventPool::standard())
+            .instrument(module)
+            .expect("scenario modules are valid and uninstrumented")
+            .module
+    }
+
+    /// The developer-reported impacted-user fraction to feed Step 5.
+    pub fn developer_fraction(&self) -> f64 {
+        self.impacted_fraction
+    }
+
+    /// Runs the full collection pipeline for one variant.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`] if a script drives the device illegally
+    /// (a scenario-definition bug).
+    pub fn collect(&self, variant: Variant) -> Result<CollectedTraces, SimError> {
+        let module = match variant {
+            Variant::Faulty => Self::instrument(&self.faulty_module()),
+            Variant::Fixed => Self::instrument(&self.fixed_module()),
+        };
+        let hooks = match variant {
+            Variant::Faulty => self.fault.faulty_hooks(),
+            Variant::Fixed => self.fault.fixed_hooks(),
+        };
+        let reference = DeviceProfile::nexus6();
+        let profiles = DeviceProfile::builtin();
+        let sampler = UtilizationSampler::default();
+
+        let impacted_users =
+            (self.impacted_fraction * self.n_users as f64).round() as usize;
+        let mut pairs = Vec::with_capacity(self.n_users);
+        let mut session_mean_mw = Vec::with_capacity(self.n_users);
+
+        for user in 0..self.n_users {
+            let profile = &profiles[user % profiles.len()];
+            let impacted = user < impacted_users;
+            let script = self.script_gen.generate(
+                self.seed.wrapping_add(user as u64),
+                if impacted { &self.trigger } else { &[] },
+            );
+            let device = Device::new(module.clone());
+            let session = SessionRunner::new(device, hooks.clone()).run(&script)?;
+
+            let utilization = sampler.sample(&session.timeline, session.duration_ms);
+            let model = PowerModel::new(
+                profile.clone(),
+                self.seed.wrapping_add(user as u64).wrapping_mul(0x9e37),
+            );
+            let measured = model.estimate_trace(&utilization);
+            let power = scale_trace(&measured, profile, &reference);
+            session_mean_mw.push(power.mean_mw());
+            pairs.push((session.events, power));
+        }
+
+        Ok(CollectedTraces {
+            pairs,
+            session_mean_mw,
+        })
+    }
+
+    /// Builds the code index (`N_All` and per-event callback sizes) for
+    /// the code-reduction metric, over the faulty build.
+    pub fn code_index(&self) -> CodeIndex {
+        let module = self.faulty_module();
+        let mut index = CodeIndex::new(module.total_source_lines());
+        for key in module.method_keys() {
+            let lines = module.method(&key).map_or(0, |m| m.source_lines as u64);
+            index.insert(key.to_string(), lines);
+        }
+        index
+    }
+
+    /// The root-cause event identifier, in trace form.
+    pub fn root_cause_event(&self) -> String {
+        self.fault.root_cause().to_string()
+    }
+
+    // ----- the paper's case-study apps ----------------------------------
+
+    /// K-9 Mail (§III-B): a misconfigured IMAP connection limit makes
+    /// the app retry connections forever — a *configuration* ABD whose
+    /// root cause is `AccountSettings:onResume`.
+    pub fn k9mail() -> Self {
+        let spec = AppSpec {
+            package: "com.fsck.k9".into(),
+            activities: vec![
+                "activity/MessageList".into(),
+                "K9Activity".into(),
+                "activity/setup/AccountSettings".into(),
+            ],
+            services: vec!["service/MailService".into()],
+            total_loc: 98_532,
+            seed: 0x4b9,
+        };
+        let settings = spec.class_descriptor("activity/setup/AccountSettings");
+        let message_list = spec.class_descriptor("activity/MessageList");
+        let k9_activity = spec.class_descriptor("K9Activity");
+        let mail_service = spec.class_descriptor("service/MailService");
+        let healthy = generate(&spec);
+        Scenario {
+            name: "K-9 Mail".into(),
+            healthy,
+            fault: Fault::Configuration {
+                trigger: MethodKey::new(settings.clone(), "onResume"),
+                task: TaskSpec::network_retry("imap-retry", 2_000),
+            },
+            script_gen: ScriptGen {
+                activities: vec![message_list.clone(), k9_activity.clone()],
+                taps: vec![(message_list.clone(), "onItemClick".into())],
+                rounds: 10,
+                idle_range: (1_500, 4_000),
+                tail_idle_ms: 30_000,
+            },
+            trigger: vec![
+                Action::StopService(mail_service.clone()),
+                Action::Launch(settings),
+                Action::Idle(2_000),
+                Action::StartService(mail_service),
+                // The misconfigured account starts retrying; the user
+                // puts the phone down and the ABD manifests (Fig. 3).
+                Action::Home,
+                Action::Idle(8_000),
+                Action::ResumeApp,
+                Action::Launch(message_list),
+            ],
+            impacted_fraction: 0.15,
+            n_users: 13,
+            seed: 0x4b39,
+        }
+    }
+
+    /// OpenGPS (§IV-C): the location service is not released when the
+    /// LoggerMap activity goes to the background — a *no-sleep* ABD.
+    pub fn opengps() -> Self {
+        let spec = AppSpec {
+            package: "nl.sogeti.android.gpstracker".into(),
+            activities: vec!["LoggerMap".into(), "ControlTracking".into()],
+            services: vec!["GPSLoggerService".into()],
+            total_loc: 5_060,
+            seed: 0x675,
+        };
+        let logger_map = spec.class_descriptor("LoggerMap");
+        let control = spec.class_descriptor("ControlTracking");
+        let healthy = generate(&spec);
+        Scenario {
+            name: "OpenGPS".into(),
+            healthy,
+            fault: Fault::StaticNoSleep {
+                trigger: MethodKey::new(control.clone(), "onClick"),
+                teardown: MethodKey::new(logger_map.clone(), "onPause"),
+                resource: ResourceKind::Gps,
+            },
+            script_gen: ScriptGen {
+                activities: vec![logger_map.clone()],
+                taps: vec![(logger_map.clone(), "onItemClick".into())],
+                rounds: 8,
+                idle_range: (1_500, 4_000),
+                tail_idle_ms: 40_000,
+            },
+            trigger: vec![
+                Action::Launch(control.clone()),
+                Action::Tap(control, "onClick".into()),
+                Action::Launch(logger_map),
+                // Backgrounding with the GPS still held is the ABD
+                // (Table IV: LoggerMap:onPause, Idle(No_Display)).
+                Action::Home,
+                Action::Idle(8_000),
+                Action::ResumeApp,
+            ],
+            impacted_fraction: 0.3,
+            n_users: 10,
+            seed: 0x6750,
+        }
+    }
+
+    /// Wallabag (§IV-C): deleting an article that is already gone on
+    /// the server makes the client retry the sync forever — reported
+    /// via `ReadArticle:menuDeleted`.
+    pub fn wallabag() -> Self {
+        let spec = AppSpec {
+            package: "fr.gaulupeau.apps.Poche".into(),
+            activities: vec![
+                "ReadArticle".into(),
+                "LibsActivity".into(),
+                "BaseActionBarActivity".into(),
+            ],
+            services: vec!["SyncService".into()],
+            total_loc: 21_424,
+            seed: 0x3a11,
+        };
+        let read = spec.class_descriptor("ReadArticle");
+        let libs = spec.class_descriptor("LibsActivity");
+        let base = spec.class_descriptor("BaseActionBarActivity");
+        let mut healthy = generate(&spec);
+        add_menu_callbacks(&mut healthy, &read, &["menuDeleted"]);
+        Scenario {
+            name: "Wallabag".into(),
+            healthy,
+            fault: Fault::Configuration {
+                trigger: MethodKey::new(read.clone(), "menuDeleted"),
+                task: TaskSpec::network_retry("delete-sync-retry", 1_500),
+            },
+            script_gen: ScriptGen {
+                activities: vec![libs, base],
+                taps: vec![],
+                rounds: 8,
+                idle_range: (1_500, 4_000),
+                tail_idle_ms: 30_000,
+            },
+            trigger: vec![
+                Action::Launch(read.clone()),
+                Action::Tap(read, "menuDeleted".into()),
+                Action::Home,
+                Action::Idle(8_000),
+                Action::ResumeApp,
+            ],
+            impacted_fraction: 0.25,
+            n_users: 12,
+            seed: 0x3a110,
+        }
+    }
+
+    /// Tinfoil (§IV-C): the news-feed interface keeps syncing with the
+    /// server even after the app is backgrounded — a *loop* ABD.
+    pub fn tinfoil() -> Self {
+        let spec = AppSpec {
+            package: "com.danvelazco.fbwrapper".into(),
+            activities: vec!["FBWrapper".into(), "Preferences".into()],
+            services: vec![],
+            total_loc: 4_226,
+            seed: 0x71f,
+        };
+        let wrapper = spec.class_descriptor("FBWrapper");
+        let prefs = spec.class_descriptor("Preferences");
+        let mut healthy = generate(&spec);
+        add_menu_callbacks(&mut healthy, &wrapper, &["menu_item_newsfeed", "menu_about"]);
+        Scenario {
+            name: "Tinfoil".into(),
+            healthy,
+            fault: Fault::Loop {
+                trigger: MethodKey::new(wrapper.clone(), "menu_item_newsfeed"),
+                teardown: MethodKey::new(wrapper.clone(), "onPause"),
+                // The news feed re-fetches and re-renders aggressively.
+                task: TaskSpec {
+                    name: "newsfeed-sync".into(),
+                    period_ms: 1_200,
+                    bursts: vec![
+                        Burst::new(Component::Wifi, 0.95, 550_000),
+                        Burst::new(Component::Cpu, 0.6, 550_000),
+                    ],
+                    callback: None,
+                },
+            },
+            script_gen: ScriptGen {
+                activities: vec![wrapper.clone(), prefs],
+                taps: vec![(wrapper.clone(), "menu_about".into())],
+                rounds: 8,
+                idle_range: (1_500, 4_000),
+                tail_idle_ms: 40_000,
+            },
+            trigger: vec![
+                Action::Launch(wrapper.clone()),
+                Action::Tap(wrapper, "menu_item_newsfeed".into()),
+                // Backgrounding without leaving the news feed is what
+                // lets the sync loop burn power invisibly (§IV-C).
+                Action::Home,
+                Action::Idle(8_000),
+                Action::ResumeApp,
+            ],
+            impacted_fraction: 0.3,
+            n_users: 10,
+            seed: 0x71f0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use energydx::{AnalysisConfig, EnergyDx};
+
+    #[test]
+    fn case_study_scenarios_build_valid_modules() {
+        for scenario in [
+            Scenario::k9mail(),
+            Scenario::opengps(),
+            Scenario::wallabag(),
+            Scenario::tinfoil(),
+        ] {
+            scenario.healthy.validate().unwrap();
+            scenario.faulty_module().validate().unwrap();
+            scenario.fixed_module().validate().unwrap();
+            assert!(scenario.healthy.total_source_lines() > 1_000);
+        }
+    }
+
+    #[test]
+    fn k9_loc_matches_the_paper_scale() {
+        let k9 = Scenario::k9mail();
+        let total = k9.healthy.total_source_lines();
+        assert!(
+            (88_000..=98_532).contains(&total),
+            "K9 total LoC {total} out of range"
+        );
+    }
+
+    #[test]
+    fn collect_produces_one_pair_per_user() {
+        let mut s = Scenario::opengps();
+        s.n_users = 4;
+        let collected = s.collect(Variant::Faulty).unwrap();
+        assert_eq!(collected.pairs.len(), 4);
+        assert_eq!(collected.session_mean_mw.len(), 4);
+        for (events, power) in &collected.pairs {
+            events.validate().unwrap();
+            assert!(!power.is_empty());
+        }
+    }
+
+    #[test]
+    fn faulty_build_draws_more_power_than_fixed() {
+        let mut s = Scenario::tinfoil();
+        s.n_users = 4;
+        s.impacted_fraction = 1.0; // every session triggers
+        let faulty = s.collect(Variant::Faulty).unwrap();
+        let fixed = s.collect(Variant::Fixed).unwrap();
+        assert!(
+            faulty.mean_power_mw() > fixed.mean_power_mw() * 1.1,
+            "faulty {} vs fixed {}",
+            faulty.mean_power_mw(),
+            fixed.mean_power_mw()
+        );
+    }
+
+    #[test]
+    fn k9_diagnosis_reports_the_root_cause_region() {
+        let s = Scenario::k9mail();
+        let collected = s.collect(Variant::Faulty).unwrap();
+        let input = collected.diagnosis_input();
+        let config =
+            AnalysisConfig::default().with_developer_fraction(s.developer_fraction());
+        let report = EnergyDx::new(config).diagnose(&input);
+        assert!(
+            report.manifestation_point_count() > 0,
+            "K9 ABD must be detected"
+        );
+        let reported: Vec<&str> = report
+            .reported_events()
+            .iter()
+            .map(|e| e.event.as_str())
+            .collect();
+        assert!(
+            reported
+                .iter()
+                .any(|e| e.contains("AccountSettings") || e.contains("MessageList")
+                    || e.contains("MailService")),
+            "reported events {reported:?} miss the K9 story"
+        );
+    }
+
+    #[test]
+    fn code_index_covers_all_callbacks() {
+        let s = Scenario::opengps();
+        let idx = s.code_index();
+        assert_eq!(idx.total_lines, s.faulty_module().total_source_lines());
+        assert!(idx
+            .lines_by_event
+            .keys()
+            .any(|k| k.contains("LoggerMap") && k.contains("onPause")));
+    }
+
+    #[test]
+    fn tinfoil_menu_callbacks_exist() {
+        let t = Scenario::tinfoil();
+        let wrapper = &t.healthy.classes["Lcom/danvelazco/fbwrapper/FBWrapper;"];
+        assert!(wrapper.method("menu_item_newsfeed").is_some());
+        assert!(wrapper.method("menu_about").is_some());
+    }
+}

@@ -1,0 +1,208 @@
+//! The session runner: drives one device through one user script,
+//! applying behaviour hooks as callbacks fire.
+
+use crate::hooks::HookSet;
+use crate::users::{Action, UserScript};
+use energydx_droidsim::{Device, SimError};
+use energydx_droidsim::device::Session;
+
+/// Drives a [`Device`] through a [`UserScript`] while applying a
+/// [`HookSet`].
+///
+/// After each action the runner scans the device's dispatch log for
+/// callbacks that fired since the previous action and applies their
+/// hooks — the runtime behaviour (task scheduling, dynamic resource
+/// acquisition) the bytecode alone does not express.
+#[derive(Debug)]
+pub struct SessionRunner {
+    device: Device,
+    hooks: HookSet,
+    applied: usize,
+}
+
+impl SessionRunner {
+    /// Creates a runner over a freshly booted device.
+    pub fn new(device: Device, hooks: HookSet) -> Self {
+        SessionRunner {
+            device,
+            hooks,
+            applied: 0,
+        }
+    }
+
+    /// Access to the underlying device (assertions in tests).
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// Executes one action.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`] from the device. Script generators only
+    /// produce legal sequences, so an error indicates a hand-written
+    /// script bug.
+    pub fn step(&mut self, action: &Action) -> Result<(), SimError> {
+        match action {
+            Action::Launch(class) => self.device.launch_activity(class)?,
+            Action::Tap(class, cb) => self.device.tap(class, cb)?,
+            Action::Back => self.device.press_back()?,
+            Action::Home => self.device.press_home()?,
+            Action::ResumeApp => self.device.resume_app()?,
+            Action::Idle(ms) => self.device.idle_ms(*ms),
+            Action::StartService(class) => self.device.start_service(class)?,
+            Action::StopService(class) => self.device.stop_service(class)?,
+        }
+        self.apply_new_hooks();
+        Ok(())
+    }
+
+    /// Runs the whole script and finishes the session.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`SimError`].
+    pub fn run(mut self, script: &UserScript) -> Result<Session, SimError> {
+        for action in &script.actions {
+            self.step(action)?;
+        }
+        Ok(self.device.finish_session())
+    }
+
+    fn apply_new_hooks(&mut self) {
+        // Hooks may dispatch further callbacks (a started task with a
+        // callback), so loop until the log stops growing.
+        loop {
+            let log_len = self.device.dispatches().len();
+            if self.applied >= log_len {
+                break;
+            }
+            let pending: Vec<_> = self.device.dispatches()[self.applied..log_len].to_vec();
+            self.applied = log_len;
+            for (_, key) in &pending {
+                self.hooks.apply(key, &mut self.device);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::appgen::{generate, AppSpec};
+    use crate::hooks::{HookAction, TaskSpec};
+    use energydx_dexir::instr::ResourceKind;
+    use energydx_dexir::instrument::{EventPool, Instrumenter};
+    use energydx_dexir::module::MethodKey;
+    use energydx_trace::util::Component;
+
+    fn spec() -> AppSpec {
+        AppSpec::small("com.example.app", 21)
+    }
+
+    fn device(spec: &AppSpec) -> Device {
+        let module = Instrumenter::new(EventPool::standard())
+            .instrument(&generate(spec))
+            .unwrap()
+            .module;
+        Device::new(module)
+    }
+
+    #[test]
+    fn hooks_fire_on_matching_callbacks() {
+        let spec = spec();
+        let main = spec.class_descriptor("MainActivity");
+        let hooks = HookSet::new().on(
+            MethodKey::new(main.clone(), "onResume"),
+            HookAction::Acquire(ResourceKind::Gps),
+        );
+        let mut runner = SessionRunner::new(device(&spec), hooks);
+        runner.step(&Action::Launch(main)).unwrap();
+        assert!(runner.device().holds(ResourceKind::Gps));
+    }
+
+    #[test]
+    fn hooks_do_not_fire_without_the_callback() {
+        let spec = spec();
+        let hooks = HookSet::new().on(
+            MethodKey::new(spec.class_descriptor("SettingsActivity"), "onResume"),
+            HookAction::Acquire(ResourceKind::Gps),
+        );
+        let mut runner = SessionRunner::new(device(&spec), hooks);
+        runner
+            .step(&Action::Launch(spec.class_descriptor("MainActivity")))
+            .unwrap();
+        assert!(!runner.device().holds(ResourceKind::Gps));
+    }
+
+    #[test]
+    fn started_task_burns_power_during_idle() {
+        let spec = spec();
+        let main = spec.class_descriptor("MainActivity");
+        let hooks = HookSet::new().on(
+            MethodKey::new(main.clone(), "onResume"),
+            HookAction::StartTask(TaskSpec::network_retry("retry", 1_000)),
+        );
+        let runner = SessionRunner::new(device(&spec), hooks);
+        let script = UserScript::new()
+            .then(Action::Launch(main))
+            .then(Action::Home)
+            .then(Action::Idle(20_000));
+        let session = runner.run(&script).unwrap();
+        let wifi = session
+            .timeline
+            .mean_utilization(Component::Wifi, 0, session.duration_ms * 1000);
+        assert!(wifi > 0.2, "retry task must keep wifi busy, got {wifi}");
+    }
+
+    #[test]
+    fn stop_hook_cancels_the_task() {
+        let spec = spec();
+        let main = spec.class_descriptor("MainActivity");
+        let hooks = HookSet::new()
+            .on(
+                MethodKey::new(main.clone(), "onResume"),
+                HookAction::StartTask(TaskSpec::cpu_loop("poll", 500)),
+            )
+            .on(
+                MethodKey::new(main.clone(), "onPause"),
+                HookAction::StopTask("poll".into()),
+            );
+        let runner = SessionRunner::new(device(&spec), hooks);
+        let script = UserScript::new()
+            .then(Action::Launch(main))
+            .then(Action::Idle(5_000))
+            .then(Action::Home)
+            .then(Action::Idle(20_000));
+        let session = runner.run(&script).unwrap();
+        // After home (pause), the loop is cancelled: background CPU
+        // stays quiet.
+        let bg_cpu = session
+            .timeline
+            .mean_utilization(Component::Cpu, 10_000_000, session.duration_ms * 1000);
+        assert!(bg_cpu < 0.05, "cancelled task must not burn cpu, got {bg_cpu}");
+    }
+
+    #[test]
+    fn full_random_script_runs_clean() {
+        let spec = spec();
+        let gen = crate::users::ScriptGen {
+            activities: vec![
+                spec.class_descriptor("MainActivity"),
+                spec.class_descriptor("SettingsActivity"),
+            ],
+            taps: vec![(spec.class_descriptor("MainActivity"), "onClick".into())],
+            rounds: 12,
+            idle_range: (500, 2_000),
+            tail_idle_ms: 10_000,
+        };
+        for seed in 0..10 {
+            let script = gen.generate(seed, &[]);
+            let session = SessionRunner::new(device(&spec), HookSet::new())
+                .run(&script)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            session.events.validate().unwrap();
+            session.events.pair_instances_strict().unwrap();
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Property tests for the workload layer: generated apps are always
+//! valid, scripts are always legal, and fault injection/fixing is
+//! well-behaved.
+
+use energydx_dexir::instrument::{EventPool, Instrumenter};
+use energydx_droidsim::Device;
+use energydx_workload::appgen::{add_menu_callbacks, generate, AppSpec};
+use energydx_workload::users::ScriptGen;
+use energydx_workload::{fleet, HookSet, SessionRunner};
+use proptest::prelude::*;
+
+fn spec() -> impl Strategy<Value = AppSpec> {
+    (any::<u64>(), 2_000u64..40_000, 1usize..5, 0usize..3).prop_map(
+        |(seed, total_loc, n_act, n_svc)| AppSpec {
+            package: "com.prop.generated".into(),
+            activities: (0..n_act).map(|i| format!("Act{i}")).collect(),
+            services: (0..n_svc).map(|i| format!("Svc{i}")).collect(),
+            total_loc,
+            seed,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every generated app validates, instruments, and round-trips
+    /// through the text format.
+    #[test]
+    fn generated_apps_are_well_formed(spec in spec()) {
+        let module = generate(&spec);
+        module.validate().unwrap();
+        let report = Instrumenter::new(EventPool::standard()).instrument(&module).unwrap();
+        prop_assert!(report.instrumented_methods >= spec.activities.len() * 6);
+        let text = energydx_dexir::text::assemble_module(&report.module);
+        prop_assert_eq!(energydx_dexir::text::parse_module(&text).unwrap(), report.module);
+    }
+
+    /// Menu-callback injection is idempotent and preserves validity.
+    #[test]
+    fn menu_injection_is_idempotent(spec in spec()) {
+        let mut module = generate(&spec);
+        let class = spec.class_descriptor("Act0");
+        add_menu_callbacks(&mut module, &class, &["menuExtra", "menu_other"]);
+        let once = module.clone();
+        add_menu_callbacks(&mut module, &class, &["menuExtra", "menu_other"]);
+        prop_assert_eq!(module.clone(), once);
+        module.validate().unwrap();
+    }
+
+    /// Every stochastic script is legal on its app: sessions run to
+    /// completion with strictly-paired, ordered traces.
+    #[test]
+    fn generated_scripts_always_run(spec in spec(), seed in any::<u64>(), trigger_seed in any::<u64>()) {
+        let module = Instrumenter::new(EventPool::standard())
+            .instrument(&generate(&spec))
+            .unwrap()
+            .module;
+        let activities: Vec<String> =
+            spec.activities.iter().map(|a| spec.class_descriptor(a)).collect();
+        let script_gen = ScriptGen {
+            activities: activities.clone(),
+            taps: vec![(activities[0].clone(), "onClick".into())],
+            rounds: 8,
+            idle_range: (500, 3_000),
+            tail_idle_ms: 8_000,
+        };
+        // Both a plain script and one with a trigger path spliced in.
+        let trigger = vec![energydx_workload::Action::Launch(activities[0].clone())];
+        for script in [script_gen.generate(seed, &[]), script_gen.generate(trigger_seed, &trigger)] {
+            let session = SessionRunner::new(Device::new(module.clone()), HookSet::new())
+                .run(&script)
+                .unwrap();
+            session.events.validate().unwrap();
+            session.events.pair_instances_strict().unwrap();
+            prop_assert!(session.duration_ms >= script.idle_ms());
+        }
+    }
+}
+
+/// Deterministic (non-proptest) exhaustive check: every one of the 40
+/// fleet scenarios builds valid faulty and fixed modules, and fixing
+/// is idempotent at the module level.
+#[test]
+fn all_40_fleet_scenarios_are_well_formed() {
+    for app in fleet() {
+        let s = app.scenario();
+        s.healthy.validate().unwrap();
+        let faulty = s.faulty_module();
+        faulty.validate().unwrap();
+        let fixed = s.fixed_module();
+        fixed.validate().unwrap();
+        assert_eq!(s.fault.class(), app.cause, "{}", app.name);
+        // The root-cause callback exists in the faulty build, so the
+        // code-reduction metric can attribute lines to it.
+        assert!(
+            faulty.method(s.fault.root_cause()).is_some(),
+            "{}: root cause {} missing",
+            app.name,
+            s.fault.root_cause()
+        );
+        // Instrumentation covers the root cause (it is an interaction
+        // or lifecycle callback by construction).
+        let instrumented = energydx_workload::Scenario::instrument(&faulty);
+        assert!(
+            instrumented
+                .method(s.fault.root_cause())
+                .unwrap()
+                .is_instrumented(),
+            "{}: root cause not instrumented",
+            app.name
+        );
+    }
+}

@@ -1,0 +1,52 @@
+//! A miniature of the §IV evaluation: run a slice of the Table-III
+//! fleet end to end and print per-app diagnosis quality.
+//!
+//! The full 40-app sweep lives in the bench harness
+//! (`cargo run -p energydx-bench --bin tab3_fleet`); this example keeps
+//! a debug-build-friendly subset, one app per root-cause class.
+//!
+//! ```sh
+//! cargo run --release --example fleet_study
+//! ```
+
+use energydx_suite::energydx::distance::event_distance;
+use energydx_suite::energydx::{AnalysisConfig, EnergyDx};
+use energydx_suite::energydx_workload::fleet;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Facebook (no-sleep), Boston Bus Map (loop), NextCloud (configuration).
+    let picks = [1u32, 2, 32];
+    println!(
+        "{:<4}{:<18}{:<15}{:>10}{:>10}{:>10}",
+        "ID", "App", "Cause", "Reduction", "Lines", "Distance"
+    );
+    for app in fleet().iter().filter(|a| picks.contains(&a.id)) {
+        let scenario = app.scenario();
+        let collected = scenario
+            .collect(energydx_suite::energydx_workload::scenario::Variant::Faulty)?;
+        let input = collected.diagnosis_input();
+        let config =
+            AnalysisConfig::default().with_developer_fraction(scenario.developer_fraction());
+        let report = EnergyDx::new(config).diagnose(&input);
+        let code_index = scenario.code_index();
+        let reduction = code_index.code_reduction(report.reported_events());
+        let lines = code_index.diagnosis_lines(report.reported_events());
+        let distance = event_distance(&report, &scenario.root_cause_event());
+        println!(
+            "{:<4}{:<18}{:<15}{:>9.1}%{:>10}{:>10}",
+            app.id,
+            app.name,
+            app.cause.to_string(),
+            reduction * 100.0,
+            lines,
+            distance.map(|d| d.to_string()).unwrap_or_else(|| "n/a".into())
+        );
+        assert!(
+            report.manifestation_point_count() > 0,
+            "{} ABD must be detected",
+            app.name
+        );
+    }
+    println!("\n(the full Table III sweep: cargo run --release -p energydx-bench --bin tab3_fleet)");
+    Ok(())
+}

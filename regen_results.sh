@@ -1,0 +1,12 @@
+#!/bin/sh
+# Regenerates every table/figure output under results/.
+set -e
+cd "$(dirname "$0")"
+for b in fig1_event_distance fig3_k9_power_trace tab2_k9_events tab3_fleet \
+         tab_comparison fig9_opengps fig11_breakdown fig12_wallabag \
+         fig15_tinfoil fig16_code_reduction fig17_power_reduction overhead \
+         ablations user_scaling; do
+  echo "== $b"
+  cargo run -q --release -p energydx-bench --bin "$b" > "results/$b.txt"
+done
+echo "all results regenerated"

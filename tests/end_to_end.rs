@@ -1,0 +1,181 @@
+//! Cross-crate integration tests: the full paper pipeline from APK
+//! instrumentation through trace upload to diagnosis.
+
+use energydx_suite::energydx::{AnalysisConfig, DiagnosisInput, EnergyDx};
+use energydx_suite::energydx_baselines::{detect_no_sleep, CheckAll, EDelta};
+use energydx_suite::energydx_dexir::instrument::{EventPool, Instrumenter};
+use energydx_suite::energydx_dexir::text::{assemble_module, parse_module};
+use energydx_suite::energydx_powermodel::{DeviceProfile, PowerModel, UtilizationSampler};
+use energydx_suite::energydx_trace::store::{TraceBundle, TraceStore};
+use energydx_suite::energydx_trace::wire;
+use energydx_suite::energydx_workload::scenario::Variant;
+use energydx_suite::energydx_workload::{fleet, FaultClass, Scenario, SessionRunner};
+use std::sync::Arc;
+
+/// The complete §II-B workflow: instrument → run sessions on phones →
+/// encode bundles → upload to the store (concurrently) → decode →
+/// estimate power → diagnose. Every hop uses the public APIs.
+#[test]
+fn full_paper_workflow_through_the_wire_and_store() {
+    let mut scenario = Scenario::opengps();
+    scenario.n_users = 6;
+
+    // Phone side: instrument once, run six volunteers, upload bundles.
+    let module = Scenario::instrument(&scenario.faulty_module());
+    let hooks = scenario.fault.faulty_hooks();
+    let mut batches = Vec::new();
+    for user in 0..scenario.n_users {
+        let impacted = user < 2;
+        let script = scenario.script_gen.generate(
+            scenario.seed + user as u64,
+            if impacted { &scenario.trigger } else { &[] },
+        );
+        let device = energydx_suite::energydx_droidsim::Device::new(module.clone());
+        let session = SessionRunner::new(device, hooks.clone()).run(&script).unwrap();
+
+        let mut bundle = TraceBundle::new(format!("volunteer-{user}"), 0, "nexus5");
+        bundle.events = session.events;
+        bundle.utilization =
+            UtilizationSampler::default().sample(&session.timeline, session.duration_ms);
+        // Over the wire: encode → decode must be lossless.
+        let bytes = wire::encode(&bundle);
+        batches.push(vec![wire::decode(&bytes).unwrap()]);
+    }
+
+    let store = Arc::new(TraceStore::new());
+    let accepted = store.ingest_concurrently(batches);
+    assert_eq!(accepted, 6);
+
+    // Server side: power estimation + scaling per bundle, then the
+    // 5-step analysis.
+    let reference = DeviceProfile::nexus6();
+    let pairs: Vec<_> = store
+        .snapshot()
+        .into_iter()
+        .map(|bundle| {
+            let profile = DeviceProfile::by_name(&bundle.device);
+            let model = PowerModel::new(profile.clone(), 99);
+            let measured = model.estimate_trace(&bundle.utilization);
+            let power =
+                energydx_suite::energydx_powermodel::scale_trace(&measured, &profile, &reference);
+            (bundle.events, power)
+        })
+        .collect();
+    let input = DiagnosisInput::from_traces(&pairs);
+    let report = EnergyDx::new(AnalysisConfig::default().with_developer_fraction(2.0 / 6.0))
+        .diagnose(&input);
+
+    assert!(report.manifestation_point_count() > 0, "ABD must be found");
+    let reported: Vec<&str> = report
+        .reported_events()
+        .iter()
+        .map(|e| e.event.as_str())
+        .collect();
+    assert!(
+        reported
+            .iter()
+            .any(|e| e.contains("ControlTracking") || e.contains("LoggerMap")),
+        "reported {reported:?}"
+    );
+}
+
+/// The instrumented module survives the smali round trip and still
+/// drives a device to a strictly-paired event trace.
+#[test]
+fn instrumented_module_round_trips_and_runs() {
+    let scenario = Scenario::tinfoil();
+    let instrumented = Scenario::instrument(&scenario.faulty_module());
+    let text = assemble_module(&instrumented);
+    let reparsed = parse_module(&text).unwrap();
+    assert_eq!(reparsed, instrumented);
+
+    let mut device = energydx_suite::energydx_droidsim::Device::new(reparsed);
+    device
+        .launch_activity("Lcom/danvelazco/fbwrapper/FBWrapper;")
+        .unwrap();
+    device.tap("Lcom/danvelazco/fbwrapper/FBWrapper;", "menu_about").unwrap();
+    device.press_home().unwrap();
+    device.idle_ms(6_000);
+    let session = device.finish_session();
+    session.events.validate().unwrap();
+    session.events.pair_instances_strict().unwrap();
+}
+
+/// Double instrumentation must be rejected end to end.
+#[test]
+fn double_instrumentation_is_rejected() {
+    let scenario = Scenario::wallabag();
+    let instrumented = Scenario::instrument(&scenario.faulty_module());
+    assert!(Instrumenter::new(EventPool::standard())
+        .instrument(&instrumented)
+        .is_err());
+}
+
+/// All three tools agree on a static no-sleep app: the static analyzer
+/// names the leaking callback, EnergyDx's window contains events of
+/// the same class, and CheckAll reports a superset of lines.
+#[test]
+fn tools_agree_on_a_nosleep_app() {
+    let app = fleet()
+        .into_iter()
+        .find(|a| a.cause == FaultClass::NoSleep && !a.dynamic_leak && a.id != 3)
+        .unwrap();
+    let scenario = app.scenario();
+
+    let bugs = detect_no_sleep(&scenario.faulty_module()).unwrap();
+    assert!(!bugs.is_empty());
+    let leak_class = bugs[0].acquiring_method.class.clone();
+
+    let collected = scenario.collect(Variant::Faulty).unwrap();
+    let input = collected.diagnosis_input();
+    let config =
+        AnalysisConfig::default().with_developer_fraction(scenario.developer_fraction());
+    let report = EnergyDx::new(config).diagnose(&input);
+    assert!(report
+        .events
+        .iter()
+        .any(|e| e.event.starts_with(&leak_class)));
+
+    let code_index = scenario.code_index();
+    let energydx_lines = code_index.diagnosis_lines(report.reported_events());
+    let checkall_lines = code_index.diagnosis_lines(&CheckAll::new().report(&input));
+    assert!(
+        checkall_lines >= energydx_lines,
+        "CheckAll ({checkall_lines}) must not beat EnergyDx ({energydx_lines})"
+    );
+}
+
+/// eDelta's blind spot end to end: a weak fault is invisible to it but
+/// EnergyDx still diagnoses the app.
+#[test]
+fn edelta_misses_weak_fault_that_energydx_catches() {
+    let app = fleet().into_iter().find(|a| a.weak).unwrap();
+    let scenario = app.scenario();
+    let suspect = scenario.collect(Variant::Faulty).unwrap().diagnosis_input();
+    let reference = scenario.collect(Variant::Fixed).unwrap().diagnosis_input();
+
+    assert!(!EDelta::new().detects(&reference, &suspect), "{}", app.name);
+    let report = EnergyDx::new(
+        AnalysisConfig::default().with_developer_fraction(scenario.developer_fraction()),
+    )
+    .diagnose(&suspect);
+    assert!(report.manifestation_point_count() > 0, "{}", app.name);
+}
+
+/// The fixed build must not alarm: diagnosing fixed-build traces finds
+/// no impacted traces beyond noise.
+#[test]
+fn fixed_build_produces_clean_diagnosis() {
+    let mut scenario = Scenario::opengps();
+    scenario.n_users = 6;
+    let input = scenario.collect(Variant::Fixed).unwrap().diagnosis_input();
+    let report = EnergyDx::new(
+        AnalysisConfig::default().with_developer_fraction(scenario.developer_fraction()),
+    )
+    .diagnose(&input);
+    assert!(
+        report.impacted_traces().len() <= 1,
+        "fixed build flagged {:?}",
+        report.impacted_traces()
+    );
+}
