@@ -81,7 +81,9 @@ impl CheckAll {
             let centers: Vec<usize> = amplitudes
                 .iter()
                 .enumerate()
-                .filter(|(_, &v)| fences.is_upper_outlier(v) || fences.is_lower_outlier(v))
+                .filter(|(_, &v)| {
+                    fences.is_upper_outlier(v) || fences.is_lower_outlier(v)
+                })
                 .map(|(i, _)| i)
                 .collect();
             let mut events: BTreeSet<&str> = BTreeSet::new();
@@ -148,7 +150,8 @@ mod tests {
     fn checkall_reports_normal_functional_transitions_too() {
         let input = DiagnosisInput::new(vec![mixed_trace()]);
         let report = CheckAll::new().report(&input);
-        let names: Vec<&str> = report.iter().map(|e| e.event.as_str()).collect();
+        let names: Vec<&str> =
+            report.iter().map(|e| e.event.as_str()).collect();
         // CheckAll cannot distinguish the checkmail spikes from the ABD.
         assert!(names.contains(&"checkmail"));
         assert!(names.contains(&"cheap"));
@@ -187,14 +190,17 @@ mod tests {
 
     #[test]
     fn flat_traces_produce_no_report() {
-        let flat: Vec<PoweredInstance> = (0..30).map(|i| mk("e", i, 200.0)).collect();
+        let flat: Vec<PoweredInstance> =
+            (0..30).map(|i| mk("e", i, 200.0)).collect();
         let report = CheckAll::new().report(&DiagnosisInput::new(vec![flat]));
         assert!(report.is_empty());
     }
 
     #[test]
     fn empty_input_is_empty_report() {
-        assert!(CheckAll::new().report(&DiagnosisInput::default()).is_empty());
+        assert!(CheckAll::new()
+            .report(&DiagnosisInput::default())
+            .is_empty());
     }
 
     #[test]

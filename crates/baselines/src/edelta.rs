@@ -100,10 +100,10 @@ impl EDelta {
                 if reference_powers.len() < self.min_instances {
                     return None;
                 }
-                let ref_high =
-                    percentile(reference_powers, self.high_quantile).expect("non-empty");
-                let sus_high =
-                    percentile(suspect_powers, self.high_quantile).expect("non-empty");
+                let ref_high = percentile(reference_powers, self.high_quantile)
+                    .expect("non-empty");
+                let sus_high = percentile(suspect_powers, self.high_quantile)
+                    .expect("non-empty");
                 let deviation = if ref_high <= 0.0 {
                     if sus_high > 0.0 {
                         f64::INFINITY
@@ -130,7 +130,11 @@ impl EDelta {
 
     /// Whether the ABD is detected at all (the §IV-B scoring:
     /// detected apps count their reduction, undetected count 0).
-    pub fn detects(&self, reference: &DiagnosisInput, suspect: &DiagnosisInput) -> bool {
+    pub fn detects(
+        &self,
+        reference: &DiagnosisInput,
+        suspect: &DiagnosisInput,
+    ) -> bool {
         !self.detect(reference, suspect).is_empty()
     }
 }
@@ -143,7 +147,7 @@ mod tests {
 
     fn mk(e: &str, i: u64, mw: f64) -> PoweredInstance {
         PoweredInstance {
-            instance: EventInstance::new(e, i as u64 * 1000, i as u64 * 1000 + 10),
+            instance: EventInstance::new(e, i * 1000, i * 1000 + 10),
             power_mw: mw,
         }
     }
@@ -221,11 +225,15 @@ mod tests {
 
     #[test]
     fn findings_sorted_by_deviation() {
-        let mut ref_trace = input_of("LA;->mild", &[100.0; 20]).traces()[0].clone();
-        ref_trace.extend(input_of("LB;->wild", &[100.0; 20]).traces()[0].clone());
+        let mut ref_trace =
+            input_of("LA;->mild", &[100.0; 20]).traces()[0].clone();
+        ref_trace
+            .extend(input_of("LB;->wild", &[100.0; 20]).traces()[0].clone());
         let reference = DiagnosisInput::new(vec![ref_trace]);
-        let mut sus_trace = input_of("LA;->mild", &[250.0; 20]).traces()[0].clone();
-        sus_trace.extend(input_of("LB;->wild", &[900.0; 20]).traces()[0].clone());
+        let mut sus_trace =
+            input_of("LA;->mild", &[250.0; 20]).traces()[0].clone();
+        sus_trace
+            .extend(input_of("LB;->wild", &[900.0; 20]).traces()[0].clone());
         let suspect = DiagnosisInput::new(vec![sus_trace]);
         let findings = EDelta::new().detect(&reference, &suspect);
         assert_eq!(findings[0].event, "LB;->wild");

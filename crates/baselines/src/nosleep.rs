@@ -21,7 +21,8 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
 /// Teardown callbacks in which a release "counts" as correct cleanup.
-const TEARDOWN_CALLBACKS: [&str; 4] = ["onPause", "onStop", "onDestroy", "onUnbind"];
+const TEARDOWN_CALLBACKS: [&str; 4] =
+    ["onPause", "onStop", "onDestroy", "onUnbind"];
 
 /// One detected no-sleep bug.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -77,7 +78,10 @@ pub fn detect_no_sleep(module: &Module) -> Result<Vec<NoSleepBug>, DexError> {
             for resource in leaked.iter() {
                 if !released_in_teardown.contains(&resource) {
                     bugs.push(NoSleepBug {
-                        acquiring_method: MethodKey::new(class.name.clone(), method.name.clone()),
+                        acquiring_method: MethodKey::new(
+                            class.name.clone(),
+                            method.name.clone(),
+                        ),
                         resource,
                     });
                 }
@@ -101,7 +105,10 @@ mod tests {
         m
     }
 
-    fn app(resume_body: Vec<Instruction>, pause_body: Vec<Instruction>) -> Module {
+    fn app(
+        resume_body: Vec<Instruction>,
+        pause_body: Vec<Instruction>,
+    ) -> Module {
         let mut module = Module::new("x");
         let mut class = Class::new("LA;", ComponentKind::Activity);
         class.methods.push(method("onResume", resume_body));
@@ -185,7 +192,9 @@ mod tests {
     #[test]
     fn fleet_static_nosleep_apps_are_detected() {
         for fleet_app in fleet().iter().filter(|a| {
-            a.cause == FaultClass::NoSleep && !a.dynamic_leak && ![3, 18, 28].contains(&a.id)
+            a.cause == FaultClass::NoSleep
+                && !a.dynamic_leak
+                && ![3, 18, 28].contains(&a.id)
         }) {
             let s = fleet_app.scenario();
             let bugs = detect_no_sleep(&s.faulty_module()).unwrap();
@@ -210,10 +219,9 @@ mod tests {
 
     #[test]
     fn loop_and_configuration_apps_produce_no_findings() {
-        for fleet_app in fleet()
-            .iter()
-            .filter(|a| a.cause != FaultClass::NoSleep && ![3, 18, 28].contains(&a.id))
-        {
+        for fleet_app in fleet().iter().filter(|a| {
+            a.cause != FaultClass::NoSleep && ![3, 18, 28].contains(&a.id)
+        }) {
             let s = fleet_app.scenario();
             assert!(
                 detect_no_sleep(&s.faulty_module()).unwrap().is_empty(),

@@ -1,7 +1,9 @@
 //! Criterion micro-benchmarks of the instrumenter and the smali
 //! parser/assembler: the per-APK cost of the paper's §II-C tooling.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use criterion::{
+    criterion_group, criterion_main, BenchmarkId, Criterion, Throughput,
+};
 use energydx_dexir::instrument::{EventPool, Instrumenter};
 use energydx_dexir::text::{assemble_module, parse_module};
 use energydx_workload::appgen::{generate, AppSpec};
@@ -13,10 +15,14 @@ fn bench_instrument(c: &mut Criterion) {
         spec.total_loc = loc;
         let module = generate(&spec);
         group.throughput(Throughput::Elements(module.total_source_lines()));
-        group.bench_with_input(BenchmarkId::new("loc", loc), &module, |b, module| {
-            let instrumenter = Instrumenter::new(EventPool::standard());
-            b.iter(|| instrumenter.instrument(module).unwrap());
-        });
+        group.bench_with_input(
+            BenchmarkId::new("loc", loc),
+            &module,
+            |b, module| {
+                let instrumenter = Instrumenter::new(EventPool::standard());
+                b.iter(|| instrumenter.instrument(module).unwrap());
+            },
+        );
     }
     group.finish();
 }
@@ -27,8 +33,12 @@ fn bench_text_round_trip(c: &mut Criterion) {
     let module = generate(&spec);
     let text = assemble_module(&module);
 
-    c.bench_function("assemble_module_20k", |b| b.iter(|| assemble_module(&module)));
-    c.bench_function("parse_module_20k", |b| b.iter(|| parse_module(&text).unwrap()));
+    c.bench_function("assemble_module_20k", |b| {
+        b.iter(|| assemble_module(&module))
+    });
+    c.bench_function("parse_module_20k", |b| {
+        b.iter(|| parse_module(&text).unwrap())
+    });
 }
 
 criterion_group!(benches, bench_instrument, bench_text_round_trip);

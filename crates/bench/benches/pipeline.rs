@@ -2,8 +2,12 @@
 //! throughput of each step and of the full diagnosis as trace length
 //! and trace count grow.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use energydx::pipeline::{step2_rank, step3_normalize, step4_detect, EventGroups};
+use criterion::{
+    criterion_group, criterion_main, BenchmarkId, Criterion, Throughput,
+};
+use energydx::pipeline::{
+    step2_rank, step3_normalize, step4_detect, EventGroups,
+};
 use energydx::{AnalysisConfig, DiagnosisInput, EnergyDx};
 use energydx_trace::event::EventInstance;
 use energydx_trace::join::PoweredInstance;
@@ -14,9 +18,17 @@ fn synthetic_input(traces: usize, len: usize) -> DiagnosisInput {
     let mk = |t: usize, i: usize| {
         let event = format!("LA;->cb{}", (i * 7 + t) % 12);
         let base = 100.0 + ((i * 13 + t * 31) % 40) as f64;
-        let power = if t == 0 && i > len / 2 { base * 5.0 } else { base };
+        let power = if t == 0 && i > len / 2 {
+            base * 5.0
+        } else {
+            base
+        };
         PoweredInstance {
-            instance: EventInstance::new(event, (i * 1000) as u64, (i * 1000 + 10) as u64),
+            instance: EventInstance::new(
+                event,
+                (i * 1000) as u64,
+                (i * 1000 + 10) as u64,
+            ),
             power_mw: power,
         }
     };
@@ -32,10 +44,14 @@ fn bench_full_diagnosis(c: &mut Criterion) {
     for &len in &[100usize, 400, 1600] {
         let input = synthetic_input(12, len);
         group.throughput(Throughput::Elements((12 * len) as u64));
-        group.bench_with_input(BenchmarkId::new("instances", len), &input, |b, input| {
-            let analyzer = EnergyDx::default();
-            b.iter(|| analyzer.diagnose(input));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("instances", len),
+            &input,
+            |b, input| {
+                let analyzer = EnergyDx::default();
+                b.iter(|| analyzer.diagnose(input));
+            },
+        );
     }
     group.finish();
 }

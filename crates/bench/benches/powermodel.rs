@@ -2,9 +2,13 @@
 //! hardware timeline, estimating power, and cross-device scaling —
 //! the per-trace server-side cost before the analysis proper.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use criterion::{
+    criterion_group, criterion_main, BenchmarkId, Criterion, Throughput,
+};
 use energydx_droidsim::Timeline;
-use energydx_powermodel::{scale_trace, DeviceProfile, PowerModel, UtilizationSampler};
+use energydx_powermodel::{
+    scale_trace, DeviceProfile, PowerModel, UtilizationSampler,
+};
 use energydx_trace::util::Component;
 
 /// A busy one-hour timeline: bursts on every lane.

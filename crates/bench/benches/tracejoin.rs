@@ -1,7 +1,9 @@
 //! Criterion micro-benchmarks of trace mechanics: event pairing, the
 //! Step-1 timestamp join, and the wire format.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use criterion::{
+    criterion_group, criterion_main, BenchmarkId, Criterion, Throughput,
+};
 use energydx_trace::event::{Direction, EventRecord, EventTrace};
 use energydx_trace::join_power;
 use energydx_trace::power::{PowerSample, PowerTrace};
@@ -35,9 +37,11 @@ fn bench_pairing_and_join(c: &mut Criterion) {
         let events = event_trace(n);
         let power = power_trace((n as u64) * 200 + 2_000);
         group.throughput(Throughput::Elements(n as u64));
-        group.bench_with_input(BenchmarkId::new("pair_instances", n), &events, |b, e| {
-            b.iter(|| e.pair_instances())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("pair_instances", n),
+            &events,
+            |b, e| b.iter(|| e.pair_instances()),
+        );
         let instances = events.pair_instances();
         group.bench_with_input(
             BenchmarkId::new("join_power", n),
@@ -52,7 +56,9 @@ fn bench_wire(c: &mut Criterion) {
     let mut bundle = TraceBundle::new("bench-user", 1, "nexus6");
     bundle.events = event_trace(5_000);
     let bytes = wire::encode(&bundle);
-    c.bench_function("wire_encode_10k_records", |b| b.iter(|| wire::encode(&bundle)));
+    c.bench_function("wire_encode_10k_records", |b| {
+        b.iter(|| wire::encode(&bundle))
+    });
     c.bench_function("wire_decode_10k_records", |b| {
         b.iter(|| wire::decode(&bytes).unwrap())
     });

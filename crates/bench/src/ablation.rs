@@ -75,8 +75,14 @@ pub fn grid() -> Vec<AblationConfig> {
             c.base_guard_fraction = 0.0;
             c
         }),
-        named("base percentile 25", base.clone().with_base_percentile(25.0)),
-        named("base percentile 50", base.clone().with_base_percentile(50.0)),
+        named(
+            "base percentile 25",
+            base.clone().with_base_percentile(25.0),
+        ),
+        named(
+            "base percentile 50",
+            base.clone().with_base_percentile(50.0),
+        ),
         // Step-4 fence: conventional Tukey 1.5 vs the paper's outer 3.
         named("fence k=1.5", base.clone().with_fence_k(1.5)),
         named("no fence excess", {
@@ -120,8 +126,9 @@ pub fn evaluate(config: &AblationConfig, apps: &[FleetApp]) -> AblationResult {
             .with_developer_fraction(scenario.developer_fraction());
         let report = EnergyDx::new(analysis_config).diagnose(&input);
 
-        let impacted_users =
-            (scenario.impacted_fraction * scenario.n_users as f64).round() as usize;
+        let impacted_users = (scenario.impacted_fraction
+            * scenario.n_users as f64)
+            .round() as usize;
         let detected: std::collections::BTreeSet<usize> =
             report.impacted_traces().into_iter().collect();
         for trace in 0..scenario.n_users {
@@ -161,7 +168,8 @@ pub fn evaluate(config: &AblationConfig, apps: &[FleetApp]) -> AblationResult {
             distances.iter().sum::<f64>() / distances.len() as f64
         },
         distance_measured: distances.len(),
-        mean_reduction: reductions.iter().sum::<f64>() / reductions.len() as f64,
+        mean_reduction: reductions.iter().sum::<f64>()
+            / reductions.len() as f64,
     }
 }
 
@@ -179,7 +187,11 @@ mod tests {
     fn slice_covers_all_fault_classes() {
         use energydx_workload::FaultClass;
         let slice = evaluation_slice();
-        for class in [FaultClass::NoSleep, FaultClass::Loop, FaultClass::Configuration] {
+        for class in [
+            FaultClass::NoSleep,
+            FaultClass::Loop,
+            FaultClass::Configuration,
+        ] {
             assert!(slice.iter().any(|a| a.cause == class), "{class} missing");
         }
         assert!(slice.len() >= 10);
@@ -190,7 +202,8 @@ mod tests {
         // Spot check: the default beats the no-guard variant on
         // precision for a single weak app (the full grid runs in the
         // `ablations` binary).
-        let apps: Vec<FleetApp> = fleet().into_iter().filter(|a| a.id == 4).collect();
+        let apps: Vec<FleetApp> =
+            fleet().into_iter().filter(|a| a.id == 4).collect();
         let grid = grid();
         let default = evaluate(&grid[0], &apps);
         assert!(default.recall > 0.99, "recall {}", default.recall);

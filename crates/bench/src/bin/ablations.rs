@@ -27,7 +27,14 @@ fn main() {
     println!(
         "{}",
         table(
-            &["Configuration", "Precision", "Recall", "Distance", "Measured", "Reduction"],
+            &[
+                "Configuration",
+                "Precision",
+                "Recall",
+                "Distance",
+                "Measured",
+                "Reduction"
+            ],
             &rows
         )
     );

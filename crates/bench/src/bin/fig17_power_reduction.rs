@@ -34,11 +34,12 @@ fn main() {
     // typical in-use load.
     let battery = energydx_powermodel::Battery::nexus6();
     let baseline = energydx_bench::overhead::TYPICAL_PHONE_POWER_MW;
-    let mean_before: f64 =
-        result.rows.iter().map(|r| r.before_mw).sum::<f64>() / result.rows.len() as f64;
-    let mean_after: f64 =
-        result.rows.iter().map(|r| r.after_mw).sum::<f64>() / result.rows.len() as f64;
-    let lost = battery.lifetime_lost_hours(baseline + mean_after, mean_before - mean_after);
+    let mean_before: f64 = result.rows.iter().map(|r| r.before_mw).sum::<f64>()
+        / result.rows.len() as f64;
+    let mean_after: f64 = result.rows.iter().map(|r| r.after_mw).sum::<f64>()
+        / result.rows.len() as f64;
+    let lost = battery
+        .lifetime_lost_hours(baseline + mean_after, mean_before - mean_after);
     println!(
         "battery life: {:.1} h with the ABDs vs {:.1} h fixed ({:.1} h recovered per charge)",
         battery.lifetime_hours(baseline + mean_before),

@@ -10,7 +10,10 @@ fn main() {
     println!("Fig. 3 — K-9 Mail app power over time (impacted session)");
     println!(
         "{}",
-        series("app power (mW, one sample per 500 ms)", &result.power_samples())
+        series(
+            "app power (mW, one sample per 500 ms)",
+            &result.power_samples()
+        )
     );
     let bg = result.background_power();
     println!(

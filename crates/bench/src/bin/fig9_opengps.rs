@@ -33,7 +33,9 @@ fn main() {
         .event_table()
         .into_iter()
         .enumerate()
-        .map(|(i, (event, fraction))| vec![(i + 1).to_string(), event, pct(fraction)])
+        .map(|(i, (event, fraction))| {
+            vec![(i + 1).to_string(), event, pct(fraction)]
+        })
         .collect();
     println!("{}", table(&["Order", "Event", "%"], &rows));
     println!(

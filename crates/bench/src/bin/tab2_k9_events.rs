@@ -17,7 +17,8 @@ fn main() {
     if let Some(fence) = result.upper_fence() {
         println!("Fig. 8 — detection fence (Q3 + 3*IQR): {fence:.2}");
     }
-    let points = &result.run.report.traces[result.plotted_trace].manifestation_points;
+    let points =
+        &result.run.report.traces[result.plotted_trace].manifestation_points;
     for p in points {
         println!(
             "  manifestation point at instance {} ({}), amplitude {:.2}",

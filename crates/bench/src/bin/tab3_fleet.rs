@@ -25,7 +25,15 @@ fn main() {
     println!(
         "{}",
         table(
-            &["ID", "App", "Downloads", "Root Cause", "Code", "N_All", "N_Diag"],
+            &[
+                "ID",
+                "App",
+                "Downloads",
+                "Root Cause",
+                "Code",
+                "N_All",
+                "N_Diag"
+            ],
             &rows
         )
     );

@@ -25,7 +25,14 @@ fn main() {
     println!(
         "{}",
         table(
-            &["App", "Users", "Precision", "Recall", "Distance", "Reduction"],
+            &[
+                "App",
+                "Users",
+                "Precision",
+                "Recall",
+                "Distance",
+                "Reduction"
+            ],
             &rows
         )
     );

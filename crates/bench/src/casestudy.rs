@@ -49,7 +49,8 @@ impl CaseStudy {
 pub fn measure(scenario: Scenario) -> CaseStudy {
     let name = scenario.name.clone();
     let run = run_scenario(&scenario);
-    let plotted_trace = run.report.impacted_traces().first().copied().unwrap_or(0);
+    let plotted_trace =
+        run.report.impacted_traces().first().copied().unwrap_or(0);
 
     // Power breakdown of the manifestation window: re-run the plotted
     // user's session and average the component split over the final
@@ -58,11 +59,7 @@ pub fn measure(scenario: Scenario) -> CaseStudy {
         .collect(Variant::Faulty)
         .expect("scenario scripts are legal");
     let power = &collected.pairs[plotted_trace].1;
-    let end_ms = power
-        .samples()
-        .last()
-        .map(|s| s.timestamp_ms)
-        .unwrap_or(0);
+    let end_ms = power.samples().last().map(|s| s.timestamp_ms).unwrap_or(0);
     let start_ms = end_ms.saturating_sub(20_000);
     let breakdown = power.breakdown_between(start_ms, end_ms);
     let abd_breakdown = breakdown.ranked();
@@ -86,7 +83,8 @@ mod tests {
         // Fig. 11: GPS keeps consuming power in the background.
         assert_eq!(cs.dominant_component(), Component::Gps);
         // Table IV flavour: lifecycle/idle events around backgrounding.
-        let events: Vec<String> = cs.event_table().into_iter().map(|(n, _)| n).collect();
+        let events: Vec<String> =
+            cs.event_table().into_iter().map(|(n, _)| n).collect();
         assert!(
             events.iter().any(|e| e.contains("onPause")
                 || e.contains("Idle")
@@ -100,7 +98,8 @@ mod tests {
     fn wallabag_manifests_through_the_delete_path() {
         let cs = measure(Scenario::wallabag());
         assert!(cs.run.report.manifestation_point_count() > 0);
-        let events: Vec<String> = cs.event_table().into_iter().map(|(n, _)| n).collect();
+        let events: Vec<String> =
+            cs.event_table().into_iter().map(|(n, _)| n).collect();
         assert!(
             events.iter().any(|e| e.contains("ReadArticle")),
             "reported {events:?}"
@@ -113,7 +112,8 @@ mod tests {
     fn tinfoil_newsfeed_loop_is_diagnosed() {
         let cs = measure(Scenario::tinfoil());
         assert!(cs.run.report.manifestation_point_count() > 0);
-        let events: Vec<String> = cs.event_table().into_iter().map(|(n, _)| n).collect();
+        let events: Vec<String> =
+            cs.event_table().into_iter().map(|(n, _)| n).collect();
         assert!(
             events
                 .iter()

@@ -83,8 +83,8 @@ pub fn score_app(app: &FleetApp, run: &ScenarioRun) -> ComparisonRow {
     let scenario = app.scenario();
 
     // No-sleep Detection: static analysis on the faulty build.
-    let nosleep_findings =
-        detect_no_sleep(&scenario.faulty_module()).expect("fleet modules are valid");
+    let nosleep_findings = detect_no_sleep(&scenario.faulty_module())
+        .expect("fleet modules are valid");
     let nosleep_correct =
         app.cause == FaultClass::NoSleep && !nosleep_findings.is_empty();
     let nosleep = if nosleep_correct { 1.0 } else { 0.0 };

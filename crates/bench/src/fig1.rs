@@ -64,6 +64,7 @@ pub fn measure_from(runs: &[(FleetApp, ScenarioRun)]) -> Fig1 {
         .filter_map(|s| s.distance)
         .map(|d| d as f64)
         .collect();
-    let ecdf = Ecdf::new(&measured).expect("fleet yields at least one distance");
+    let ecdf =
+        Ecdf::new(&measured).expect("fleet yields at least one distance");
     Fig1 { samples, ecdf }
 }

@@ -41,7 +41,8 @@ pub struct Fig17 {
 impl Fig17 {
     /// Mean power reduction across apps (paper: 27.2 %).
     pub fn mean_reduction(&self) -> f64 {
-        self.rows.iter().map(Fig17Row::reduction).sum::<f64>() / self.rows.len() as f64
+        self.rows.iter().map(Fig17Row::reduction).sum::<f64>()
+            / self.rows.len() as f64
     }
 }
 

@@ -91,8 +91,16 @@ impl K9Result {
             }
         }
         BackgroundPower {
-            before_mw: if before.1 > 0 { before.0 / before.1 as f64 } else { 0.0 },
-            after_mw: if after.1 > 0 { after.0 / after.1 as f64 } else { 0.0 },
+            before_mw: if before.1 > 0 {
+                before.0 / before.1 as f64
+            } else {
+                0.0
+            },
+            after_mw: if after.1 > 0 {
+                after.0 / after.1 as f64
+            } else {
+                0.0
+            },
         }
     }
 
@@ -110,7 +118,8 @@ impl K9Result {
     /// The paper's Table-II claim: the K-9 story events are among the
     /// reported ones.
     pub fn story_events_reported(&self) -> bool {
-        let reported: Vec<String> = self.table2().into_iter().map(|(n, _)| n).collect();
+        let reported: Vec<String> =
+            self.table2().into_iter().map(|(n, _)| n).collect();
         reported.iter().any(|e| e.contains("AccountSettings"))
             || reported.iter().any(|e| e.contains("MailService"))
             || reported.iter().any(|e| e.contains("MessageList"))
@@ -127,7 +136,8 @@ pub fn short_name(event: &RankedEvent) -> String {
 /// Runs the K-9 Mail scenario end to end.
 pub fn measure() -> K9Result {
     let run = run_scenario(&Scenario::k9mail());
-    let plotted_trace = run.report.impacted_traces().first().copied().unwrap_or(0);
+    let plotted_trace =
+        run.report.impacted_traces().first().copied().unwrap_or(0);
     K9Result { run, plotted_trace }
 }
 

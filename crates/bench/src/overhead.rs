@@ -27,7 +27,8 @@ impl OverheadRow {
         if self.base_latency_ms <= 0.0 {
             0.0
         } else {
-            (self.instrumented_latency_ms - self.base_latency_ms) / self.base_latency_ms
+            (self.instrumented_latency_ms - self.base_latency_ms)
+                / self.base_latency_ms
         }
     }
 }
@@ -47,7 +48,10 @@ pub struct Overhead {
 impl Overhead {
     /// Mean latency overhead across apps (paper: 8.3 %).
     pub fn mean_latency_overhead(&self) -> f64 {
-        self.rows.iter().map(OverheadRow::latency_overhead).sum::<f64>()
+        self.rows
+            .iter()
+            .map(OverheadRow::latency_overhead)
+            .sum::<f64>()
             / self.rows.len() as f64
     }
 
@@ -82,12 +86,18 @@ pub fn measure_module(module: &energydx_dexir::Module) -> (f64, f64) {
             .module
             .method(key)
             .expect("instrumented module has the same keys");
-        base_total_us += execute(original, &effects, DEFAULT_COST_US, DEFAULT_STEP_LIMIT)
-            .expect("valid module")
-            .elapsed_us;
-        instr_total_us += execute(instrumented, &effects, DEFAULT_COST_US, DEFAULT_STEP_LIMIT)
-            .expect("valid module")
-            .elapsed_us;
+        base_total_us +=
+            execute(original, &effects, DEFAULT_COST_US, DEFAULT_STEP_LIMIT)
+                .expect("valid module")
+                .elapsed_us;
+        instr_total_us += execute(
+            instrumented,
+            &effects,
+            DEFAULT_COST_US,
+            DEFAULT_STEP_LIMIT,
+        )
+        .expect("valid module")
+        .elapsed_us;
         count += 1;
     }
     if count == 0 {

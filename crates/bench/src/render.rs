@@ -28,7 +28,8 @@ pub fn table(header: &[&str], rows: &[Vec<String>]) -> String {
         }
         line.trim_end().to_string()
     };
-    let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    let header_cells: Vec<String> =
+        header.iter().map(|s| s.to_string()).collect();
     out.push_str(&fmt_row(&header_cells, &widths));
     out.push('\n');
     out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * cols));

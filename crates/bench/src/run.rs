@@ -26,12 +26,14 @@ impl ScenarioRun {
     /// EnergyDx's code reduction for this app (§IV-B metric over the
     /// top-k reported events).
     pub fn code_reduction(&self) -> f64 {
-        self.code_index.code_reduction(self.report.reported_events())
+        self.code_index
+            .code_reduction(self.report.reported_events())
     }
 
     /// Lines the developer must read with EnergyDx's report.
     pub fn diagnosis_lines(&self) -> u64 {
-        self.code_index.diagnosis_lines(self.report.reported_events())
+        self.code_index
+            .diagnosis_lines(self.report.reported_events())
     }
 }
 
@@ -41,8 +43,8 @@ pub fn run_scenario(scenario: &Scenario) -> ScenarioRun {
         .collect(Variant::Faulty)
         .expect("scenario scripts are legal");
     let input = collected.diagnosis_input();
-    let config =
-        AnalysisConfig::default().with_developer_fraction(scenario.developer_fraction());
+    let config = AnalysisConfig::default()
+        .with_developer_fraction(scenario.developer_fraction());
     let report = EnergyDx::new(config).diagnose(&input);
     ScenarioRun {
         name: scenario.name.clone(),

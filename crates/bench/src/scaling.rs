@@ -37,11 +37,12 @@ pub fn measure_cell(base: &Scenario, users: usize) -> ScalingCell {
         .collect(Variant::Faulty)
         .expect("scenario scripts are legal");
     let input = collected.diagnosis_input();
-    let config =
-        AnalysisConfig::default().with_developer_fraction(scenario.developer_fraction());
+    let config = AnalysisConfig::default()
+        .with_developer_fraction(scenario.developer_fraction());
     let report = EnergyDx::new(config).diagnose(&input);
 
-    let impacted_users = (scenario.impacted_fraction * users as f64).round() as usize;
+    let impacted_users =
+        (scenario.impacted_fraction * users as f64).round() as usize;
     let detected: std::collections::BTreeSet<usize> =
         report.impacted_traces().into_iter().collect();
     let mut tp = 0usize;

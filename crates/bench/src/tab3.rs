@@ -32,7 +32,8 @@ pub struct Tab3 {
 impl Tab3 {
     /// Mean code reduction over the fleet (paper: 93 %).
     pub fn mean_reduction(&self) -> f64 {
-        self.rows.iter().map(|r| r.code_reduction).sum::<f64>() / self.rows.len() as f64
+        self.rows.iter().map(|r| r.code_reduction).sum::<f64>()
+            / self.rows.len() as f64
     }
 
     /// Mean lines-to-read (paper: 168 with EnergyDx).

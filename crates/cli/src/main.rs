@@ -41,7 +41,9 @@ fn main() -> ExitCode {
             print_usage();
             Ok(())
         }
-        Some(other) => Err(format!("unknown command `{other}` (try `energydx help`)")),
+        Some(other) => {
+            Err(format!("unknown command `{other}` (try `energydx help`)"))
+        }
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
@@ -82,9 +84,9 @@ fn scenario_by_name(name: &str) -> Result<Scenario, String> {
         "wallabag" => Ok(Scenario::wallabag()),
         "tinfoil" => Ok(Scenario::tinfoil()),
         id => {
-            let idx: usize = id
-                .parse()
-                .map_err(|_| format!("unknown scenario `{id}` (try `energydx apps`)"))?;
+            let idx: usize = id.parse().map_err(|_| {
+                format!("unknown scenario `{id}` (try `energydx apps`)")
+            })?;
             if !(1..=40).contains(&idx) {
                 return Err(format!("Table III ids are 1-40, got {idx}"));
             }
@@ -139,8 +141,8 @@ fn cmd_verify(args: &[String]) -> Result<(), String> {
     let source = std::fs::read_to_string(input)
         .map_err(|e| format!("cannot read {input}: {e}"))?;
     let module = parse_module(&source).map_err(|e| e.to_string())?;
-    let findings =
-        energydx_dexir::verify::verify_module(&module).map_err(|e| e.to_string())?;
+    let findings = energydx_dexir::verify::verify_module(&module)
+        .map_err(|e| e.to_string())?;
     if findings.is_empty() {
         println!(
             "{}: {} classes, {} lines — verifies clean",
@@ -158,8 +160,11 @@ fn cmd_verify(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_simulate(args: &[String]) -> Result<(), String> {
-    let name = flag_value(args, "--app").ok_or("simulate needs --app <name>")?;
-    let out_dir = PathBuf::from(flag_value(args, "--out").ok_or("simulate needs --out <dir>")?);
+    let name =
+        flag_value(args, "--app").ok_or("simulate needs --app <name>")?;
+    let out_dir = PathBuf::from(
+        flag_value(args, "--out").ok_or("simulate needs --out <dir>")?,
+    );
     let mut scenario = scenario_by_name(name)?;
     if let Some(users) = flag_value(args, "--users") {
         scenario.n_users = users
@@ -176,11 +181,13 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
         .map_err(|e| format!("cannot create {}: {e}", out_dir.display()))?;
     for (i, (events, power)) in collected.pairs.iter().enumerate() {
         let events_path = out_dir.join(format!("user-{i}.events"));
-        std::fs::write(&events_path, events.to_log())
-            .map_err(|e| format!("cannot write {}: {e}", events_path.display()))?;
+        std::fs::write(&events_path, events.to_log()).map_err(|e| {
+            format!("cannot write {}: {e}", events_path.display())
+        })?;
         let power_path = out_dir.join(format!("user-{i}.power"));
-        std::fs::write(&power_path, power_to_csv(power))
-            .map_err(|e| format!("cannot write {}: {e}", power_path.display()))?;
+        std::fs::write(&power_path, power_to_csv(power)).map_err(|e| {
+            format!("cannot write {}: {e}", power_path.display())
+        })?;
     }
     println!(
         "collected {} user sessions of {} into {} (mean app power {:.0} mW)",
@@ -198,7 +205,9 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_analyze(args: &[String]) -> Result<(), String> {
-    let dir = PathBuf::from(flag_value(args, "--dir").ok_or("analyze needs --dir <dir>")?);
+    let dir = PathBuf::from(
+        flag_value(args, "--dir").ok_or("analyze needs --dir <dir>")?,
+    );
     let fraction: f64 = flag_value(args, "--fraction")
         .map(|f| f.parse().map_err(|_| format!("invalid --fraction `{f}`")))
         .transpose()?
@@ -213,7 +222,8 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
         return Err(format!("no user-*.events files in {}", dir.display()));
     }
     let input = DiagnosisInput::from_traces(&pairs);
-    let mut config = AnalysisConfig::default().with_developer_fraction(fraction);
+    let mut config =
+        AnalysisConfig::default().with_developer_fraction(fraction);
     config.top_k = top_k;
     let report = EnergyDx::new(config.clone()).diagnose(&input);
 
@@ -222,11 +232,18 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
         return Ok(());
     }
     println!(
-        "analyzed {} traces, {} manifestation points in {} impacted traces",
-        input.len(),
+        "analyzed {} of {} traces, {} manifestation points in {} impacted traces",
+        report.stats.analyzed_traces,
+        report.stats.total_traces,
         report.manifestation_point_count(),
         report.impacted_traces().len()
     );
+    for skipped in &report.stats.skipped {
+        eprintln!(
+            "warning: trace {} (user-{}) skipped: {}",
+            skipped.index, skipped.index, skipped.reason
+        );
+    }
     println!(
         "events reported to the developer (closest to {:.0}% impacted):",
         fraction * 100.0
@@ -252,8 +269,8 @@ fn cmd_demo(args: &[String]) -> Result<(), String> {
         .collect(Variant::Faulty)
         .map_err(|e| e.to_string())?;
     let input = collected.diagnosis_input();
-    let config =
-        AnalysisConfig::default().with_developer_fraction(scenario.developer_fraction());
+    let config = AnalysisConfig::default()
+        .with_developer_fraction(scenario.developer_fraction());
     let report = EnergyDx::new(config).diagnose(&input);
     let code_index = scenario.code_index();
 
@@ -293,23 +310,26 @@ fn power_to_csv(power: &PowerTrace) -> String {
     out
 }
 
-fn power_from_csv(csv: &str) -> Result<PowerTrace, String> {
+fn power_from_csv(path: &Path, csv: &str) -> Result<PowerTrace, String> {
     let mut trace = PowerTrace::new();
     for (i, line) in csv.lines().enumerate().skip(1) {
         if line.trim().is_empty() {
             continue;
         }
-        let (ts, mw) = line
-            .split_once(',')
-            .ok_or_else(|| format!("power csv line {} malformed", i + 1))?;
-        let ts: u64 = ts
-            .trim()
-            .parse()
-            .map_err(|_| format!("bad timestamp on line {}", i + 1))?;
-        let mw: f64 = mw
-            .trim()
-            .parse()
-            .map_err(|_| format!("bad power on line {}", i + 1))?;
+        let at = |what: &str| {
+            format!("{}:{}: {what} in `{line}`", path.display(), i + 1)
+        };
+        let (ts, mw) = line.split_once(',').ok_or_else(|| {
+            at("malformed row (expected `timestamp_ms,total_mw`)")
+        })?;
+        let ts: u64 = ts.trim().parse().map_err(|_| at("bad timestamp"))?;
+        let mw: f64 = mw.trim().parse().map_err(|_| at("bad power"))?;
+        if !mw.is_finite() {
+            return Err(at("non-finite power"));
+        }
+        if mw < 0.0 {
+            return Err(at("negative power"));
+        }
         let mut sample = PowerSample::new(ts);
         sample.set_component(Component::Cpu, mw);
         trace.push(sample);
@@ -325,13 +345,17 @@ fn load_trace_dir(dir: &Path) -> Result<Vec<(EventTrace, PowerTrace)>, String> {
         if !events_path.exists() {
             break;
         }
-        let events_text = std::fs::read_to_string(&events_path)
-            .map_err(|e| format!("cannot read {}: {e}", events_path.display()))?;
-        let events = EventTrace::from_log(&events_text).map_err(|e| e.to_string())?;
+        let events_text =
+            std::fs::read_to_string(&events_path).map_err(|e| {
+                format!("cannot read {}: {e}", events_path.display())
+            })?;
+        let events =
+            EventTrace::from_log(&events_text).map_err(|e| e.to_string())?;
         let power_path = dir.join(format!("user-{user}.power"));
-        let power_text = std::fs::read_to_string(&power_path)
-            .map_err(|e| format!("cannot read {}: {e}", power_path.display()))?;
-        let power = power_from_csv(&power_text)?;
+        let power_text = std::fs::read_to_string(&power_path).map_err(|e| {
+            format!("cannot read {}: {e}", power_path.display())
+        })?;
+        let power = power_from_csv(&power_path, &power_text)?;
         pairs.push((events, power));
         user += 1;
     }

@@ -9,7 +9,8 @@ fn energydx() -> Command {
 }
 
 fn temp_dir(name: &str) -> PathBuf {
-    let dir = std::env::temp_dir().join(format!("energydx-cli-test-{name}-{}", std::process::id()));
+    let dir = std::env::temp_dir()
+        .join(format!("energydx-cli-test-{name}-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     std::fs::create_dir_all(&dir).unwrap();
     dir
@@ -64,10 +65,19 @@ fn instrument_rewrites_a_smali_file() {
     .unwrap();
     let out_path = dir.join("app.instrumented.smali");
     let out = energydx()
-        .args(["instrument", input.to_str().unwrap(), "-o", out_path.to_str().unwrap()])
+        .args([
+            "instrument",
+            input.to_str().unwrap(),
+            "-o",
+            out_path.to_str().unwrap(),
+        ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let rewritten = std::fs::read_to_string(&out_path).unwrap();
     assert!(rewritten.contains("log-enter Lcom/cli/test/Main;->onResume"));
     assert!(rewritten.contains("log-exit"));
@@ -94,8 +104,15 @@ fn verify_passes_clean_and_flags_broken_modules() {
 ",
     )
     .unwrap();
-    let out = energydx().args(["verify", clean.to_str().unwrap()]).output().unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = energydx()
+        .args(["verify", clean.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(String::from_utf8_lossy(&out.stdout).contains("verifies clean"));
 
     let broken = dir.join("broken.smali");
@@ -116,7 +133,10 @@ fn verify_passes_clean_and_flags_broken_modules() {
 ",
     )
     .unwrap();
-    let out = energydx().args(["verify", broken.to_str().unwrap()]).output().unwrap();
+    let out = energydx()
+        .args(["verify", broken.to_str().unwrap()])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("register v9"));
 }
@@ -149,7 +169,11 @@ fn simulate_then_analyze_round_trip() {
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     // One .events and one .power file per user.
     for user in 0..5 {
         assert!(dir.join(format!("user-{user}.events")).exists());
@@ -157,16 +181,72 @@ fn simulate_then_analyze_round_trip() {
     }
 
     let out = energydx()
-        .args(["analyze", "--dir", dir.to_str().unwrap(), "--fraction", "0.3"])
+        .args([
+            "analyze",
+            "--dir",
+            dir.to_str().unwrap(),
+            "--fraction",
+            "0.3",
+        ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
-    let text = String::from_utf8_lossy(&out.stdout);
-    assert!(text.contains("analyzed 5 traces"));
     assert!(
-        text.contains("LoggerMap") || text.contains("ControlTracking") || text.contains("Idle"),
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("analyzed 5 of 5 traces"));
+    assert!(
+        text.contains("LoggerMap")
+            || text.contains("ControlTracking")
+            || text.contains("Idle"),
         "analysis output: {text}"
     );
+}
+
+#[test]
+fn analyze_rejects_corrupt_power_csv_with_path_and_line() {
+    let dir = temp_dir("corrupt-power");
+    let out = energydx()
+        .args([
+            "simulate",
+            "--app",
+            "opengps",
+            "--users",
+            "1",
+            "--out",
+            dir.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let power = dir.join("user-0.power");
+    std::fs::write(&power, "timestamp_ms,total_mw\n0,100.0\n250,NaN\n")
+        .unwrap();
+    let out = energydx()
+        .args(["analyze", "--dir", dir.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("user-0.power:3"), "stderr: {err}");
+    assert!(err.contains("non-finite power"), "stderr: {err}");
+
+    std::fs::write(&power, "timestamp_ms,total_mw\n0,-5.0\n").unwrap();
+    let out = energydx()
+        .args(["analyze", "--dir", dir.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("user-0.power:2"), "stderr: {err}");
+    assert!(err.contains("negative power"), "stderr: {err}");
 }
 
 #[test]
@@ -182,8 +262,15 @@ fn analyze_fails_cleanly_on_empty_dir() {
 
 #[test]
 fn demo_reports_the_root_cause() {
-    let out = energydx().args(["demo", "--app", "tinfoil"]).output().unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = energydx()
+        .args(["demo", "--app", "tinfoil"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("menu_item_newsfeed"), "demo output: {text}");
     assert!(text.contains("code search space"));
@@ -192,7 +279,11 @@ fn demo_reports_the_root_cause() {
 #[test]
 fn demo_accepts_table_iii_ids() {
     let out = energydx().args(["demo", "--app", "5"]).output().unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(String::from_utf8_lossy(&out.stdout).contains("Open Camera"));
 }
 

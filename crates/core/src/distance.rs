@@ -28,7 +28,8 @@ pub fn event_distance_in_trace<S: AsRef<str>>(
     root_cause: &str,
     manifestation_index: usize,
 ) -> Option<usize> {
-    let idx = events[..=manifestation_index.min(events.len().saturating_sub(1))]
+    let idx = events
+        [..=manifestation_index.min(events.len().saturating_sub(1))]
         .iter()
         .rposition(|e| e.as_ref() == root_cause)?;
     Some(manifestation_index - idx - usize::from(idx != manifestation_index))
@@ -37,14 +38,17 @@ pub fn event_distance_in_trace<S: AsRef<str>>(
 /// The minimum event distance between the root cause and any detected
 /// manifestation point, across all traces of a report. `None` when
 /// nothing was detected near the root cause.
-pub fn event_distance(report: &DiagnosisReport, root_cause: &str) -> Option<usize> {
+pub fn event_distance(
+    report: &DiagnosisReport,
+    root_cause: &str,
+) -> Option<usize> {
     report
         .traces
         .iter()
         .flat_map(|t| {
-            t.manifestation_points
-                .iter()
-                .filter_map(|p| event_distance_in_trace(&t.events, root_cause, p.instance_index))
+            t.manifestation_points.iter().filter_map(|p| {
+                event_distance_in_trace(&t.events, root_cause, p.instance_index)
+            })
         })
         .min()
 }
@@ -124,6 +128,7 @@ mod tests {
             events: vec![],
             rankings: Default::default(),
             top_k: 6,
+            stats: Default::default(),
         };
         assert_eq!(event_distance(&report, "R"), Some(0));
         assert_eq!(event_distance(&report, "ZZZ"), None);

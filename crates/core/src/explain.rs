@@ -146,8 +146,8 @@ mod tests {
             p.power_mw = 1_200.0;
         }
         let config = AnalysisConfig::default().with_developer_fraction(0.5);
-        let report =
-            EnergyDx::new(config.clone()).diagnose(&DiagnosisInput::new(vec![quiet, hot]));
+        let report = EnergyDx::new(config.clone())
+            .diagnose(&DiagnosisInput::new(vec![quiet, hot]));
         (report, config)
     }
 
@@ -192,8 +192,10 @@ mod tests {
             }
             traces.push(hot);
         }
-        let config = AnalysisConfig::default().with_developer_fraction(8.0 / 12.0);
-        let report = EnergyDx::new(config.clone()).diagnose(&DiagnosisInput::new(traces));
+        let config =
+            AnalysisConfig::default().with_developer_fraction(8.0 / 12.0);
+        let report = EnergyDx::new(config.clone())
+            .diagnose(&DiagnosisInput::new(traces));
         let text = explain(&report, &config, None);
         assert!(text.contains("more trace(s)"), "{text}");
     }

@@ -79,6 +79,43 @@ impl DiagnosisInput {
         self.traces.iter().map(Vec::len).sum()
     }
 
+    /// Per-trace count of non-finite (`NaN`/infinite) power values.
+    /// Corrupt utilization samples — a bit-flipped float that survived
+    /// a v1 decode, say — surface here before they can poison the
+    /// group statistics.
+    pub fn non_finite_counts(&self) -> Vec<usize> {
+        self.traces
+            .iter()
+            .map(|trace| {
+                trace.iter().filter(|p| !p.power_mw.is_finite()).count()
+            })
+            .collect()
+    }
+
+    /// Returns a copy with every trace containing non-finite power
+    /// emptied out, plus `(index, non_finite_count)` for each such
+    /// trace. Emptied traces keep their slot so downstream results
+    /// stay parallel to the original input.
+    pub fn sanitized(&self) -> (DiagnosisInput, Vec<(usize, usize)>) {
+        let counts = self.non_finite_counts();
+        let skipped: Vec<(usize, usize)> = counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i, c))
+            .collect();
+        if skipped.is_empty() {
+            return (self.clone(), skipped);
+        }
+        let traces = self
+            .traces
+            .iter()
+            .zip(&counts)
+            .map(|(trace, &c)| if c > 0 { Vec::new() } else { trace.clone() })
+            .collect();
+        (DiagnosisInput { traces }, skipped)
+    }
+
     /// Distinct event identifiers across all traces, sorted.
     pub fn event_keys(&self) -> Vec<String> {
         let mut keys: Vec<String> = self

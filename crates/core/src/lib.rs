@@ -65,4 +65,7 @@ pub mod report;
 pub use config::AnalysisConfig;
 pub use input::DiagnosisInput;
 pub use pipeline::EnergyDx;
-pub use report::{CodeIndex, DiagnosisReport, RankedEvent, TraceAnalysis};
+pub use report::{
+    AnalysisStats, CodeIndex, DiagnosisReport, RankedEvent, SkippedTrace,
+    TraceAnalysis,
+};

@@ -8,7 +8,10 @@
 use crate::amplitude::{sustained_amplitudes, variation_amplitudes};
 use crate::config::AnalysisConfig;
 use crate::input::DiagnosisInput;
-use crate::report::{DiagnosisReport, ManifestationPoint, RankedEvent, TraceAnalysis};
+use crate::report::{
+    AnalysisStats, DiagnosisReport, ManifestationPoint, RankedEvent,
+    SkippedTrace, TraceAnalysis,
+};
 use energydx_stats::outlier::TukeyFences;
 use energydx_stats::{average_ranks, percentile};
 use std::collections::{BTreeMap, BTreeSet};
@@ -60,9 +63,12 @@ pub fn step2_rank(groups: &EventGroups) -> BTreeMap<String, Vec<f64>> {
     groups
         .powers
         .iter()
-        .map(|(event, powers)| {
-            let ranks = average_ranks(powers).expect("groups are non-empty by construction");
-            (event.clone(), ranks)
+        .filter_map(|(event, powers)| {
+            // Groups are non-empty and finite after input sanitation;
+            // a degenerate group (NaN smuggled past it) is dropped
+            // rather than panicking mid-analysis.
+            let ranks = average_ranks(powers).ok()?;
+            Some((event.clone(), ranks))
         })
         .collect()
 }
@@ -78,14 +84,13 @@ pub fn step3_normalize(
     let bases: BTreeMap<&str, f64> = groups
         .powers
         .iter()
-        .map(|(event, powers)| {
-            let p = percentile(powers, config.base_percentile)
-                .expect("groups are non-empty by construction");
-            let median = percentile(powers, 50.0).expect("non-empty");
+        .filter_map(|(event, powers)| {
+            let p = percentile(powers, config.base_percentile).ok()?;
+            let median = percentile(powers, 50.0).ok()?;
             let base = p
                 .max(median * config.base_guard_fraction)
                 .max(config.min_base_mw);
-            (event.as_str(), base)
+            (base.is_finite() && base > 0.0).then_some((event.as_str(), base))
         })
         .collect();
     input
@@ -94,7 +99,16 @@ pub fn step3_normalize(
         .map(|trace| {
             trace
                 .iter()
-                .map(|p| p.power_mw / bases[p.instance.event.as_str()])
+                .map(|p| {
+                    // An event missing its base (degenerate group, or
+                    // groups computed over different input) falls back
+                    // to the configured floor instead of panicking.
+                    let base = bases
+                        .get(p.instance.event.as_str())
+                        .copied()
+                        .unwrap_or(config.min_base_mw.max(f64::MIN_POSITIVE));
+                    p.power_mw / base
+                })
                 .collect()
         })
         .collect()
@@ -121,8 +135,14 @@ pub fn step4_detect(
             if amplitudes.len() < 4 {
                 return (amplitudes, None, Vec::new());
             }
-            let fences = TukeyFences::from_data(&amplitudes, config.fence_k)
-                .expect("amplitudes are non-empty and NaN-free");
+            // Degenerate amplitude data (possible only when a caller
+            // bypasses input sanitation) yields no detections rather
+            // than a panic.
+            let Ok(fences) =
+                TukeyFences::from_data(&amplitudes, config.fence_k)
+            else {
+                return (amplitudes, None, Vec::new());
+            };
             let raw_outliers: Vec<usize> = amplitudes
                 .iter()
                 .enumerate()
@@ -137,29 +157,25 @@ pub fn step4_detect(
             let mut run: Vec<usize> = Vec::new();
             for &idx in &raw_outliers {
                 if run.last().is_some_and(|&last| idx > last + 1) {
-                    outliers.push(argmax_of(&run, &amplitudes));
+                    outliers.extend(argmax_of(&run, &amplitudes));
                     run.clear();
                 }
                 run.push(idx);
             }
-            if !run.is_empty() {
-                outliers.push(argmax_of(&run, &amplitudes));
-            }
+            outliers.extend(argmax_of(&run, &amplitudes));
             (amplitudes, Some(fences), outliers)
         })
         .collect()
 }
 
-/// The index (from `candidates`) with the largest amplitude.
-fn argmax_of(candidates: &[usize], amplitudes: &[f64]) -> usize {
-    *candidates
+/// The index (from `candidates`) with the largest amplitude; `None`
+/// for an empty run. `total_cmp` keeps the comparison total even if a
+/// NaN slips through, so this can never panic.
+fn argmax_of(candidates: &[usize], amplitudes: &[f64]) -> Option<usize> {
+    candidates
         .iter()
-        .max_by(|&&a, &&b| {
-            amplitudes[a]
-                .partial_cmp(&amplitudes[b])
-                .expect("amplitudes are finite")
-        })
-        .expect("runs are non-empty")
+        .copied()
+        .max_by(|&a, &b| amplitudes[a].total_cmp(&amplitudes[b]))
 }
 
 /// Step 5: gathers the events inside each manifestation window,
@@ -182,7 +198,8 @@ pub fn step5_report(
         let mut events_in_windows: BTreeSet<&str> = BTreeSet::new();
         for &center in outliers {
             let lo = center.saturating_sub(config.window);
-            let hi = (center + config.window).min(trace.len().saturating_sub(1));
+            let hi =
+                (center + config.window).min(trace.len().saturating_sub(1));
             for (i, p) in trace[lo..=hi].iter().enumerate() {
                 let event = p.instance.event.as_str();
                 events_in_windows.insert(event);
@@ -201,7 +218,8 @@ pub fn step5_report(
     let mut ranked: Vec<RankedEvent> = impacted_by
         .into_iter()
         .map(|(event, count)| {
-            let proximity = proximity.get(&event).copied().unwrap_or(usize::MAX);
+            let proximity =
+                proximity.get(&event).copied().unwrap_or(usize::MAX);
             RankedEvent {
                 event,
                 impacted_fraction: count as f64 / total as f64,
@@ -212,13 +230,8 @@ pub fn step5_report(
     ranked.sort_by(|a, b| {
         let da = (a.impacted_fraction - config.developer_fraction).abs();
         let db = (b.impacted_fraction - config.developer_fraction).abs();
-        da.partial_cmp(&db)
-            .expect("fractions are finite")
-            .then_with(|| {
-                b.impacted_fraction
-                    .partial_cmp(&a.impacted_fraction)
-                    .expect("fractions are finite")
-            })
+        da.total_cmp(&db)
+            .then_with(|| b.impacted_fraction.total_cmp(&a.impacted_fraction))
             .then_with(|| a.proximity.cmp(&b.proximity))
             .then_with(|| a.event.cmp(&b.event))
     });
@@ -246,12 +259,32 @@ impl EnergyDx {
     /// input is constructed) and assembles the full report, including
     /// the per-trace intermediate series needed to regenerate
     /// Figs. 7–10, 12, 13, and 15.
+    ///
+    /// Diagnosis never panics on damaged input: traces carrying
+    /// non-finite power are excluded (their report slot stays, empty)
+    /// and accounted for in [`DiagnosisReport::stats`], so one corrupt
+    /// upload cannot take down the analysis of an entire fleet.
     pub fn diagnose(&self, input: &DiagnosisInput) -> DiagnosisReport {
+        let (input, skipped) = input.sanitized();
+        let input = &input;
         let groups = EventGroups::collect(input);
         let rankings = step2_rank(&groups);
         let normalized = step3_normalize(input, &groups, &self.config);
         let detections = step4_detect(&normalized, &self.config);
         let ranked_events = step5_report(input, &detections, &self.config);
+
+        let stats = AnalysisStats {
+            total_traces: input.len(),
+            analyzed_traces: input.len() - skipped.len(),
+            skipped: skipped
+                .into_iter()
+                .map(|(index, count)| SkippedTrace {
+                    index,
+                    reason: format!("{count} non-finite power value(s)"),
+                })
+                .collect(),
+            degenerate_groups: groups.powers.len() - rankings.len(),
+        };
 
         let traces: Vec<TraceAnalysis> = input
             .traces()
@@ -269,7 +302,10 @@ impl EnergyDx {
                     .collect();
                 TraceAnalysis {
                     raw_power_mw: trace.iter().map(|p| p.power_mw).collect(),
-                    events: trace.iter().map(|p| p.instance.event.clone()).collect(),
+                    events: trace
+                        .iter()
+                        .map(|p| p.instance.event.clone())
+                        .collect(),
                     normalized_power: norm.clone(),
                     amplitudes: amplitudes.clone(),
                     upper_fence: fences.map(|f| f.upper),
@@ -283,6 +319,7 @@ impl EnergyDx {
             events: ranked_events,
             rankings,
             top_k: self.config.top_k,
+            stats,
         }
     }
 }
@@ -307,9 +344,17 @@ mod tests {
         (0..24)
             .map(|i| {
                 if i == 11 {
-                    instance("square", i * 1000, 400.0 + ((i + seed) % 3) as f64)
+                    instance(
+                        "square",
+                        i * 1000,
+                        400.0 + ((i + seed) % 3) as f64,
+                    )
                 } else {
-                    instance("circle", i * 1000, 100.0 + ((i + seed) % 3) as f64)
+                    instance(
+                        "circle",
+                        i * 1000,
+                        100.0 + ((i + seed) % 3) as f64,
+                    )
                 }
             })
             .collect()
@@ -325,7 +370,12 @@ mod tests {
         for p in faulty.iter_mut().skip(13) {
             p.power_mw *= 5.0;
         }
-        DiagnosisInput::new(vec![normal_trace(0), faulty, normal_trace(1), normal_trace(0)])
+        DiagnosisInput::new(vec![
+            normal_trace(0),
+            faulty,
+            normal_trace(1),
+            normal_trace(0),
+        ])
     }
 
     #[test]
@@ -337,7 +387,10 @@ mod tests {
         // Normal traces (0, 2, 3) are now flat: every value near 1.
         for t in [0usize, 2, 3] {
             for &v in &normalized[t] {
-                assert!((0.9..=1.2).contains(&v), "trace {t} value {v} not flat");
+                assert!(
+                    (0.9..=1.2).contains(&v),
+                    "trace {t} value {v} not flat"
+                );
             }
         }
         // The faulty trace still shows the jump.
@@ -372,9 +425,11 @@ mod tests {
         // smoothing off) and no degenerate-IQR guard, as the paper's
         // Step 4 would.
         let input = fig6_input();
-        let mut config = AnalysisConfig::default();
-        config.sustained_window = 0;
-        config.min_fence_excess = 0.0;
+        let config = AnalysisConfig {
+            sustained_window: 0,
+            min_fence_excess: 0.0,
+            ..AnalysisConfig::default()
+        };
         let raw: Vec<Vec<f64>> = input
             .traces()
             .iter()
@@ -401,8 +456,8 @@ mod tests {
         // developer-reported 25 % sorts the trigger first, exactly the
         // Step-5 filtering story.
         let mut traces = fig6_input().traces().to_vec();
-        for i in 7..=11 {
-            traces[2][i].power_mw = 520.0;
+        for p in &mut traces[2][7..=11] {
+            p.power_mw = 520.0;
         }
         let input = DiagnosisInput::new(traces);
         let config = AnalysisConfig::default().with_developer_fraction(0.25);
@@ -463,6 +518,54 @@ mod tests {
             .collect()]);
         let report = EnergyDx::default().diagnose(&input);
         assert!(report.traces[0].manifestation_points.is_empty());
+    }
+
+    #[test]
+    fn corrupt_trace_is_isolated_not_fatal() {
+        // One trace carries NaN power (a corrupt float that survived a
+        // salvaged decode). Diagnosis must complete, skip that trace,
+        // and still find the ABD in the healthy ones.
+        let mut traces = fig6_input().traces().to_vec();
+        traces.push(vec![
+            instance("circle", 0, f64::NAN),
+            instance("circle", 1000, 100.0),
+        ]);
+        let report = EnergyDx::default().diagnose(&DiagnosisInput::new(traces));
+        assert_eq!(report.stats.total_traces, 5);
+        assert_eq!(report.stats.analyzed_traces, 4);
+        assert_eq!(report.stats.skipped.len(), 1);
+        assert_eq!(report.stats.skipped[0].index, 4);
+        assert!(report.stats.skipped[0].reason.contains("non-finite"));
+        // The skipped trace's slot stays, empty, so the report remains
+        // parallel to the input.
+        assert_eq!(report.traces.len(), 5);
+        assert!(report.traces[4].raw_power_mw.is_empty());
+        // The healthy traces still diagnose.
+        assert_eq!(report.impacted_traces(), vec![1]);
+    }
+
+    #[test]
+    fn all_nan_input_yields_empty_but_sound_report() {
+        let traces = vec![
+            (0..8).map(|i| instance("E", i * 100, f64::NAN)).collect(),
+            (0..8)
+                .map(|i| instance("E", i * 100, f64::INFINITY))
+                .collect::<Vec<_>>(),
+        ];
+        let report = EnergyDx::default().diagnose(&DiagnosisInput::new(traces));
+        assert_eq!(report.stats.analyzed_traces, 0);
+        assert_eq!(report.stats.skipped.len(), 2);
+        assert!(report.events.is_empty());
+        assert!(!report.stats.is_clean());
+    }
+
+    #[test]
+    fn clean_input_reports_clean_stats() {
+        let report = EnergyDx::default().diagnose(&fig6_input());
+        assert!(report.stats.is_clean());
+        assert_eq!(report.stats.total_traces, 4);
+        assert_eq!(report.stats.analyzed_traces, 4);
+        assert_eq!(report.stats.degenerate_groups, 0);
     }
 
     #[test]

@@ -49,6 +49,44 @@ pub struct TraceAnalysis {
     pub manifestation_points: Vec<ManifestationPoint>,
 }
 
+/// One trace the analysis excluded rather than crashed on.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SkippedTrace {
+    /// Index of the trace in the input.
+    pub index: usize,
+    /// Why it was excluded (e.g. non-finite power values).
+    pub reason: String,
+}
+
+/// How the analysis coped with its input: what ran, what was isolated.
+///
+/// Fleet traces pass through lossy radios and salvaged decodes before
+/// they reach analysis, so a damaged trace is an expected input, not a
+/// programming error — it is skipped and accounted for here instead of
+/// panicking the whole diagnosis.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct AnalysisStats {
+    /// Traces in the input.
+    pub total_traces: usize,
+    /// Traces that took part in the analysis.
+    pub analyzed_traces: usize,
+    /// Traces excluded, with reasons; their [`TraceAnalysis`] entries
+    /// are empty placeholders so the report stays parallel to the
+    /// input.
+    pub skipped: Vec<SkippedTrace>,
+    /// Event groups whose statistics were degenerate and dropped from
+    /// the rankings (zero with sane input; non-zero only if a caller
+    /// bypasses input sanitation).
+    pub degenerate_groups: usize,
+}
+
+impl AnalysisStats {
+    /// Whether every input trace was analyzed cleanly.
+    pub fn is_clean(&self) -> bool {
+        self.skipped.is_empty() && self.degenerate_groups == 0
+    }
+}
+
 /// The complete output of [`crate::EnergyDx::diagnose`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DiagnosisReport {
@@ -61,6 +99,8 @@ pub struct DiagnosisReport {
     pub rankings: BTreeMap<String, Vec<f64>>,
     /// How many events [`DiagnosisReport::reported_events`] returns.
     pub top_k: usize,
+    /// What the analysis skipped or isolated along the way.
+    pub stats: AnalysisStats,
 }
 
 impl DiagnosisReport {
@@ -172,6 +212,7 @@ mod tests {
             events: (0..10).map(|i| ranked(&format!("E{i}"))).collect(),
             rankings: BTreeMap::new(),
             top_k: 6,
+            stats: Default::default(),
         };
         assert_eq!(report.reported_events().len(), 6);
     }
@@ -183,6 +224,7 @@ mod tests {
             events: vec![ranked("A")],
             rankings: BTreeMap::new(),
             top_k: 6,
+            stats: Default::default(),
         };
         assert_eq!(report.reported_events().len(), 1);
     }
@@ -238,6 +280,7 @@ mod tests {
             events: vec![],
             rankings: BTreeMap::new(),
             top_k: 6,
+            stats: Default::default(),
         };
         assert_eq!(report.impacted_traces(), vec![1]);
         assert_eq!(report.manifestation_point_count(), 1);

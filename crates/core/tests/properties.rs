@@ -8,7 +8,11 @@ use proptest::prelude::*;
 
 fn instance(event: u8, start: u64, mw: f64) -> PoweredInstance {
     PoweredInstance {
-        instance: EventInstance::new(format!("LE{};->cb", event % 5), start, start + 10),
+        instance: EventInstance::new(
+            format!("LE{};->cb", event % 5),
+            start,
+            start + 10,
+        ),
         power_mw: mw,
     }
 }
@@ -40,8 +44,10 @@ proptest! {
     /// positive constant leaves the normalized series unchanged.
     #[test]
     fn normalization_is_scale_invariant(input in input(), scale in 0.1f64..50.0) {
-        let mut config = AnalysisConfig::default();
-        config.min_base_mw = 0.0; // the absolute floor breaks scale invariance by design
+        let config = AnalysisConfig {
+            min_base_mw: 0.0, // the absolute floor breaks scale invariance by design
+            ..AnalysisConfig::default()
+        };
         let groups = EventGroups::collect(&input);
         let normalized = step3_normalize(&input, &groups, &config);
 

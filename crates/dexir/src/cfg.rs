@@ -104,8 +104,8 @@ impl Cfg {
         }
 
         // Wire successors.
-        for b in 0..blocks.len() {
-            let last_idx = blocks[b].range.end - 1;
+        for (b, block) in blocks.iter_mut().enumerate() {
+            let last_idx = block.range.end - 1;
             let last = &body[last_idx];
             let mut succ = Vec::new();
             match last {
@@ -114,20 +114,20 @@ impl Cfg {
                 }
                 Instruction::IfZero { target, .. } => {
                     succ.push(block_of_instr[label_at[target.as_str()]]);
-                    if blocks[b].range.end < body.len() {
+                    if block.range.end < body.len() {
                         succ.push(b + 1);
                     }
                 }
                 i if i.is_return() => {}
                 _ => {
-                    if blocks[b].range.end < body.len() {
+                    if block.range.end < body.len() {
                         succ.push(b + 1);
                     }
                 }
             }
             succ.sort_unstable();
             succ.dedup();
-            blocks[b].successors = succ;
+            block.successors = succ;
         }
 
         Ok(Cfg { blocks })

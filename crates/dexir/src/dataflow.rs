@@ -152,7 +152,9 @@ impl HeldResources {
     }
 
     /// Iterates over held resource kinds.
-    pub fn iter(&self) -> impl Iterator<Item = crate::instr::ResourceKind> + '_ {
+    pub fn iter(
+        &self,
+    ) -> impl Iterator<Item = crate::instr::ResourceKind> + '_ {
         crate::instr::ResourceKind::ALL
             .into_iter()
             .filter(|&k| self.contains(k))
@@ -175,7 +177,11 @@ pub struct ResourceTransfer;
 impl Transfer for ResourceTransfer {
     type Fact = HeldResources;
 
-    fn apply(&self, instr: &Instruction, fact: &HeldResources) -> HeldResources {
+    fn apply(
+        &self,
+        instr: &Instruction,
+        fact: &HeldResources,
+    ) -> HeldResources {
         let mut out = *fact;
         match instr {
             Instruction::AcquireResource { kind } => out.insert(*kind),
@@ -209,9 +215,16 @@ impl Transfer for ResourceTransfer {
 /// # Errors
 ///
 /// Returns [`crate::DexError`] if the method body is malformed.
-pub fn leaked_at_exit(method: &crate::module::Method) -> Result<HeldResources, crate::DexError> {
+pub fn leaked_at_exit(
+    method: &crate::module::Method,
+) -> Result<HeldResources, crate::DexError> {
     let cfg = Cfg::build(method)?;
-    let sol = forward(&cfg, &method.body, &ResourceTransfer, HeldResources::empty());
+    let sol = forward(
+        &cfg,
+        &method.body,
+        &ResourceTransfer,
+        HeldResources::empty(),
+    );
     let mut leaked = HeldResources::empty();
     for b in cfg.exit_blocks() {
         leaked = leaked.join(&sol.exit[b]);
@@ -244,9 +257,16 @@ pub fn leaked_at_exit(method: &crate::module::Method) -> Result<HeldResources, c
 /// assert_eq!(double_acquires(&m)?, vec![1]);
 /// # Ok::<(), energydx_dexir::DexError>(())
 /// ```
-pub fn double_acquires(method: &crate::module::Method) -> Result<Vec<usize>, crate::DexError> {
+pub fn double_acquires(
+    method: &crate::module::Method,
+) -> Result<Vec<usize>, crate::DexError> {
     let cfg = Cfg::build(method)?;
-    let sol = forward(&cfg, &method.body, &ResourceTransfer, HeldResources::empty());
+    let sol = forward(
+        &cfg,
+        &method.body,
+        &ResourceTransfer,
+        HeldResources::empty(),
+    );
     let mut findings = Vec::new();
     for block in cfg.blocks() {
         let mut fact = sol.entry[block.id];
@@ -388,7 +408,9 @@ mod tests {
         let mut b = HeldResources::empty();
         b.insert(ResourceKind::Sensor);
         let j = a.join(&b);
-        assert!(j.contains(ResourceKind::Gps) && j.contains(ResourceKind::Sensor));
+        assert!(
+            j.contains(ResourceKind::Gps) && j.contains(ResourceKind::Sensor)
+        );
         // Idempotent and commutative.
         assert_eq!(j.join(&j), j);
         assert_eq!(a.join(&b), b.join(&a));

@@ -55,7 +55,9 @@ impl fmt::Display for DexError {
             DexError::DuplicateClass { class } => {
                 write!(f, "duplicate class {class}")
             }
-            DexError::Invalid { message } => write!(f, "invalid module: {message}"),
+            DexError::Invalid { message } => {
+                write!(f, "invalid module: {message}")
+            }
         }
     }
 }

@@ -12,7 +12,18 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A virtual register index (`v0`, `v1`, ...).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(
+    Debug,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Hash,
+    Serialize,
+    Deserialize,
+)]
 pub struct Reg(pub u16);
 
 impl fmt::Display for Reg {
@@ -93,7 +104,10 @@ impl MethodRef {
         let open = rest.find('(')?;
         let name = &rest[..open];
         let descriptor = &rest[open..];
-        if class.is_empty() || name.is_empty() || !class.starts_with('L') || !class.ends_with(';')
+        if class.is_empty()
+            || name.is_empty()
+            || !class.starts_with('L')
+            || !class.ends_with(';')
         {
             return None;
         }
@@ -112,7 +126,18 @@ impl fmt::Display for MethodRef {
 /// These correspond to the resource handles whose misuse produces the
 /// paper's *no-sleep* ABD class (wakelock/sensors "not properly
 /// released", §IV-B).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(
+    Debug,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    Hash,
+    PartialOrd,
+    Ord,
+    Serialize,
+    Deserialize,
+)]
 pub enum ResourceKind {
     /// `PowerManager$WakeLock` — keeps the CPU awake.
     WakeLock,
@@ -321,7 +346,8 @@ impl Instruction {
     /// Whether this instruction may branch to a label.
     pub fn branch_target(&self) -> Option<&str> {
         match self {
-            Instruction::Goto { target } | Instruction::IfZero { target, .. } => Some(target),
+            Instruction::Goto { target }
+            | Instruction::IfZero { target, .. } => Some(target),
             _ => None,
         }
     }
@@ -350,7 +376,8 @@ impl Instruction {
             Instruction::ReturnVoid | Instruction::Return { .. } => 1,
             // Invocations dominate callback latency.
             Instruction::Invoke { .. } => 20,
-            Instruction::AcquireResource { .. } | Instruction::ReleaseResource { .. } => 10,
+            Instruction::AcquireResource { .. }
+            | Instruction::ReleaseResource { .. } => 10,
             // Logging is a timestamp read plus an append to a lock-free
             // buffer; cheap but not free — this is what the 8.3 % §IV-F
             // latency overhead comes from.
@@ -365,7 +392,11 @@ mod tests {
 
     #[test]
     fn method_ref_round_trips_through_display() {
-        let m = MethodRef::new("Lcom/fsck/k9/service/MailService;", "onCreate", "()V");
+        let m = MethodRef::new(
+            "Lcom/fsck/k9/service/MailService;",
+            "onCreate",
+            "()V",
+        );
         let parsed = MethodRef::parse(&m.to_string()).unwrap();
         assert_eq!(parsed, m);
     }
@@ -423,12 +454,15 @@ mod tests {
             event: "LFoo;->onResume".into(),
         };
         assert!(enter.is_instrumentation());
-        assert!(enter.cost() < Instruction::Invoke {
-            kind: InvokeKind::Virtual,
-            target: MethodRef::new("LFoo;", "bar", "()V"),
-            args: vec![],
-        }
-        .cost());
+        assert!(
+            enter.cost()
+                < Instruction::Invoke {
+                    kind: InvokeKind::Virtual,
+                    target: MethodRef::new("LFoo;", "bar", "()V"),
+                    args: vec![],
+                }
+                .cost()
+        );
     }
 
     #[test]

@@ -44,8 +44,16 @@ impl EventPool {
     /// ```
     pub fn standard() -> Self {
         let lifecycle = [
-            "onCreate", "onStart", "onResume", "onPause", "onStop", "onDestroy", "onRestart",
-            "onStartCommand", "onBind", "onUnbind",
+            "onCreate",
+            "onStart",
+            "onResume",
+            "onPause",
+            "onStop",
+            "onDestroy",
+            "onRestart",
+            "onStartCommand",
+            "onBind",
+            "onUnbind",
         ];
         let ui = [
             "onClick",
@@ -95,7 +103,11 @@ impl EventPool {
 
     /// Whether `name` is a UI callback (exact or prefix match).
     pub fn is_ui(&self, name: &str) -> bool {
-        self.ui.contains(name) || self.ui_prefixes.iter().any(|p| name.starts_with(p.as_str()))
+        self.ui.contains(name)
+            || self
+                .ui_prefixes
+                .iter()
+                .any(|p| name.starts_with(p.as_str()))
     }
 
     /// Whether a method of a class with the given component kind should
@@ -191,7 +203,10 @@ impl Instrumenter {
     /// assert!(report.module.is_instrumented());
     /// # Ok::<(), energydx_dexir::DexError>(())
     /// ```
-    pub fn instrument(&self, module: &Module) -> Result<InstrumentationReport, DexError> {
+    pub fn instrument(
+        &self,
+        module: &Module,
+    ) -> Result<InstrumentationReport, DexError> {
         if module.is_instrumented() {
             return Err(DexError::Invalid {
                 message: "module is already instrumented".to_string(),
@@ -212,7 +227,8 @@ impl Instrumenter {
                 if !self.pool.selects(component, &method.name) {
                     continue;
                 }
-                let key = MethodKey::new(class.name.clone(), method.name.clone());
+                let key =
+                    MethodKey::new(class.name.clone(), method.name.clone());
                 let event = key.to_string();
                 original_cost += method.straight_line_cost();
 
@@ -279,7 +295,11 @@ mod tests {
             },
             Instruction::Invoke {
                 kind: crate::instr::InvokeKind::Virtual,
-                target: crate::instr::MethodRef::new("Lcom/example/Model;", "load", "()V"),
+                target: crate::instr::MethodRef::new(
+                    "Lcom/example/Model;",
+                    "load",
+                    "()V",
+                ),
                 args: vec![Reg(0)],
             },
             Instruction::IfZero {
@@ -302,12 +322,17 @@ mod tests {
         act.methods.push(helper);
         m.add_class(act).unwrap();
 
-        let mut plain = Class::new("Lcom/example/Listener;", ComponentKind::Plain);
+        let mut plain =
+            Class::new("Lcom/example/Listener;", ComponentKind::Plain);
         let mut on_click = Method::new("onClick", "()V");
         on_click.body = vec![
             Instruction::Invoke {
                 kind: crate::instr::InvokeKind::Virtual,
-                target: crate::instr::MethodRef::new("Lcom/example/Model;", "refresh", "()V"),
+                target: crate::instr::MethodRef::new(
+                    "Lcom/example/Model;",
+                    "refresh",
+                    "()V",
+                ),
                 args: vec![Reg(0)],
             },
             Instruction::ReturnVoid,
@@ -327,7 +352,8 @@ mod tests {
             .instrument(&app())
             .unwrap();
         assert_eq!(report.instrumented_methods, 2);
-        let names: Vec<String> = report.events.iter().map(|k| k.to_string()).collect();
+        let names: Vec<String> =
+            report.events.iter().map(|k| k.to_string()).collect();
         assert!(names.contains(&"Lcom/example/Main;->onResume".to_string()));
         assert!(names.contains(&"Lcom/example/Listener;->onClick".to_string()));
         // The helper and the plain-class onResume are untouched.
@@ -440,7 +466,8 @@ mod tests {
         let report = Instrumenter::new(EventPool::standard())
             .instrument(&m)
             .unwrap();
-        let body = &report.module.classes["LA;"].method("onPause").unwrap().body;
+        let body =
+            &report.module.classes["LA;"].method("onPause").unwrap().body;
         assert_eq!(body.len(), 2);
         assert!(matches!(body[0], Instruction::LogEnter { .. }));
         assert!(matches!(body[1], Instruction::LogExit { .. }));

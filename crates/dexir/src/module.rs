@@ -38,7 +38,9 @@ impl fmt::Display for ComponentKind {
 ///
 /// Event identifiers in traces are the display form of this key,
 /// e.g. `Lcom/fsck/k9/activity/MessageList;->onResume`.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
 pub struct MethodKey {
     /// Class descriptor (`Lcom/example/Foo;`).
     pub class: String,
@@ -83,10 +85,7 @@ impl MethodKey {
     /// assert_eq!(k.short(), "MessageList:onResume");
     /// ```
     pub fn short(&self) -> String {
-        let trimmed = self
-            .class
-            .trim_start_matches('L')
-            .trim_end_matches(';');
+        let trimmed = self.class.trim_start_matches('L').trim_end_matches(';');
         let simple = trimmed.rsplit('/').next().unwrap_or(trimmed);
         format!("{simple}:{}", self.name)
     }
@@ -381,7 +380,10 @@ mod tests {
 
     #[test]
     fn method_key_short_form_matches_paper_tables() {
-        let k = MethodKey::new("Lcom/fsck/k9/activity/setup/AccountSettings;", "onResume");
+        let k = MethodKey::new(
+            "Lcom/fsck/k9/activity/setup/AccountSettings;",
+            "onResume",
+        );
         assert_eq!(k.short(), "AccountSettings:onResume");
     }
 
@@ -394,10 +396,7 @@ mod tests {
     fn validate_rejects_undefined_label() {
         let mut m = sample_method();
         m.body.retain(|i| !matches!(i, Instruction::Label { .. }));
-        assert!(matches!(
-            m.validate(),
-            Err(DexError::UndefinedLabel { .. })
-        ));
+        assert!(matches!(m.validate(), Err(DexError::UndefinedLabel { .. })));
     }
 
     #[test]
@@ -406,10 +405,7 @@ mod tests {
         m.body.push(Instruction::Label {
             name: "skip".into(),
         });
-        assert!(matches!(
-            m.validate(),
-            Err(DexError::DuplicateLabel { .. })
-        ));
+        assert!(matches!(m.validate(), Err(DexError::DuplicateLabel { .. })));
     }
 
     #[test]

@@ -55,7 +55,8 @@ pub fn assemble_module(module: &Module) -> String {
             ComponentKind::Plain => {}
         }
         for method in &class.methods {
-            let _ = writeln!(out, ".method {}{}", method.name, method.descriptor);
+            let _ =
+                writeln!(out, ".method {}{}", method.name, method.descriptor);
             let _ = writeln!(out, "  .registers {}", method.registers);
             let _ = writeln!(out, "  .lines {}", method.source_lines);
             for instr in &method.body {
@@ -81,7 +82,8 @@ pub fn assemble_instruction(instr: &Instruction) -> String {
             format!("{} {dst}, {a}, {b}", op.mnemonic())
         }
         Instruction::Invoke { kind, target, args } => {
-            let regs: Vec<String> = args.iter().map(|r| r.to_string()).collect();
+            let regs: Vec<String> =
+                args.iter().map(|r| r.to_string()).collect();
             if regs.is_empty() {
                 format!("{} {target}", kind.mnemonic())
             } else {
@@ -89,11 +91,17 @@ pub fn assemble_instruction(instr: &Instruction) -> String {
             }
         }
         Instruction::MoveResult { dst } => format!("move-result {dst}"),
-        Instruction::AcquireResource { kind } => format!("acquire {}", kind.name()),
-        Instruction::ReleaseResource { kind } => format!("release {}", kind.name()),
+        Instruction::AcquireResource { kind } => {
+            format!("acquire {}", kind.name())
+        }
+        Instruction::ReleaseResource { kind } => {
+            format!("release {}", kind.name())
+        }
         Instruction::Label { name } => format!(":{name}"),
         Instruction::Goto { target } => format!("goto :{target}"),
-        Instruction::IfZero { src, target } => format!("if-zero {src}, :{target}"),
+        Instruction::IfZero { src, target } => {
+            format!("if-zero {src}, :{target}")
+        }
         Instruction::ReturnVoid => "return-void".to_string(),
         Instruction::Return { src } => format!("return {src}"),
         Instruction::LogEnter { event } => format!("log-enter {event}"),
@@ -182,7 +190,9 @@ pub fn parse_module(source: &str) -> Result<Module, DexError> {
                 return Err(err(".method outside class"));
             }
             let sig = rest.trim();
-            let open = sig.find('(').ok_or_else(|| err("method missing descriptor"))?;
+            let open = sig
+                .find('(')
+                .ok_or_else(|| err("method missing descriptor"))?;
             current_method = Some(Method::new(&sig[..open], &sig[open..]));
         } else if let Some(rest) = line.strip_prefix(".registers ") {
             current_method
@@ -196,10 +206,8 @@ pub fn parse_module(source: &str) -> Result<Module, DexError> {
             current_method
                 .as_mut()
                 .ok_or_else(|| err(".lines outside method"))?
-                .source_lines = rest
-                .trim()
-                .parse()
-                .map_err(|_| err("invalid line count"))?;
+                .source_lines =
+                rest.trim().parse().map_err(|_| err("invalid line count"))?;
         } else if line == ".end method" {
             let method = current_method
                 .take()
@@ -249,7 +257,10 @@ pub fn parse_module(source: &str) -> Result<Module, DexError> {
 }
 
 /// Parses a single instruction line.
-fn parse_instruction(line: &str, lineno: usize) -> Result<Instruction, DexError> {
+fn parse_instruction(
+    line: &str,
+    lineno: usize,
+) -> Result<Instruction, DexError> {
     let err = |message: String| DexError::Parse {
         line: lineno,
         message,
@@ -280,21 +291,22 @@ fn parse_instruction(line: &str, lineno: usize) -> Result<Instruction, DexError>
                 .ok_or_else(|| err("const needs `reg, value`".into()))?;
             Ok(Instruction::ConstInt {
                 dst: parse_reg(dst)?,
-                value: value
-                    .trim()
-                    .parse()
-                    .map_err(|_| err(format!("invalid integer `{}`", value.trim())))?,
+                value: value.trim().parse().map_err(|_| {
+                    err(format!("invalid integer `{}`", value.trim()))
+                })?,
             })
         }
         "const-string" => {
-            let (dst, value) = rest
-                .split_once(',')
-                .ok_or_else(|| err("const-string needs `reg, \"value\"`".into()))?;
+            let (dst, value) = rest.split_once(',').ok_or_else(|| {
+                err("const-string needs `reg, \"value\"`".into())
+            })?;
             let v = value.trim();
             let inner = v
                 .strip_prefix('"')
                 .and_then(|s| s.strip_suffix('"'))
-                .ok_or_else(|| err("string literal must be double-quoted".into()))?;
+                .ok_or_else(|| {
+                err("string literal must be double-quoted".into())
+            })?;
             Ok(Instruction::ConstString {
                 dst: parse_reg(dst)?,
                 value: unescape(inner),
@@ -329,9 +341,11 @@ fn parse_instruction(line: &str, lineno: usize) -> Result<Instruction, DexError>
             };
             let mut parts = rest.split(',');
             let target_str = parts.next().unwrap_or("").trim();
-            let target = MethodRef::parse(target_str)
-                .ok_or_else(|| err(format!("invalid method reference `{target_str}`")))?;
-            let args: Result<Vec<Reg>, DexError> = parts.map(|p| parse_reg(p)).collect();
+            let target = MethodRef::parse(target_str).ok_or_else(|| {
+                err(format!("invalid method reference `{target_str}`"))
+            })?;
+            let args: Result<Vec<Reg>, DexError> =
+                parts.map(parse_reg).collect();
             Ok(Instruction::Invoke {
                 kind,
                 target,
@@ -362,10 +376,9 @@ fn parse_instruction(line: &str, lineno: usize) -> Result<Instruction, DexError>
             let (src, target) = rest
                 .split_once(',')
                 .ok_or_else(|| err("if-zero needs `reg, :label`".into()))?;
-            let target = target
-                .trim()
-                .strip_prefix(':')
-                .ok_or_else(|| err("branch target must start with `:`".into()))?;
+            let target = target.trim().strip_prefix(':').ok_or_else(|| {
+                err("branch target must start with `:`".into())
+            })?;
             Ok(Instruction::IfZero {
                 src: parse_reg(src)?,
                 target: target.to_string(),

@@ -61,10 +61,18 @@ impl fmt::Display for VerifyError {
                 self.method
             ),
             VerifyErrorKind::DanglingMoveResult => {
-                write!(f, "{}: move-result without a preceding invoke", self.method)
+                write!(
+                    f,
+                    "{}: move-result without a preceding invoke",
+                    self.method
+                )
             }
             VerifyErrorKind::MissingReturn => {
-                write!(f, "{}: control can fall off the end of the body", self.method)
+                write!(
+                    f,
+                    "{}: control can fall off the end of the body",
+                    self.method
+                )
             }
             VerifyErrorKind::UnbalancedLogging { event } => {
                 write!(f, "{}: unbalanced logging for {event}", self.method)
@@ -84,7 +92,9 @@ fn registers_of(instr: &Instruction) -> Vec<Reg> {
         Instruction::Move { dst, src } => vec![*dst, *src],
         Instruction::BinOp { dst, a, b, .. } => vec![*dst, *a, *b],
         Instruction::Invoke { args, .. } => args.clone(),
-        Instruction::IfZero { src, .. } | Instruction::Return { src } => vec![*src],
+        Instruction::IfZero { src, .. } | Instruction::Return { src } => {
+            vec![*src]
+        }
         _ => Vec::new(),
     }
 }
@@ -142,7 +152,8 @@ pub fn verify_method(method: &Method) -> Result<Vec<VerifyError>, DexError> {
             let preceded_by_invoke = i > 0
                 && matches!(method.body[i - 1], Instruction::Invoke { .. });
             if !preceded_by_invoke {
-                findings.push(err(Some(i), VerifyErrorKind::DanglingMoveResult));
+                findings
+                    .push(err(Some(i), VerifyErrorKind::DanglingMoveResult));
             }
         }
     }
@@ -158,7 +169,11 @@ pub fn verify_method(method: &Method) -> Result<Vec<VerifyError>, DexError> {
         if !last.ends_block() {
             findings.push(err(None, VerifyErrorKind::MissingReturn));
         }
-    } else if method.body.iter().any(|i| matches!(i, Instruction::Label { .. })) {
+    } else if method
+        .body
+        .iter()
+        .any(|i| matches!(i, Instruction::Label { .. }))
+    {
         findings.push(err(None, VerifyErrorKind::MissingReturn));
     }
 
@@ -166,8 +181,12 @@ pub fn verify_method(method: &Method) -> Result<Vec<VerifyError>, DexError> {
     let mut logging: BTreeMap<&str, (bool, bool)> = BTreeMap::new();
     for instr in &method.body {
         match instr {
-            Instruction::LogEnter { event } => logging.entry(event).or_default().0 = true,
-            Instruction::LogExit { event } => logging.entry(event).or_default().1 = true,
+            Instruction::LogEnter { event } => {
+                logging.entry(event).or_default().0 = true
+            }
+            Instruction::LogExit { event } => {
+                logging.entry(event).or_default().1 = true
+            }
             _ => {}
         }
     }

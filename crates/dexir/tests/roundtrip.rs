@@ -1,7 +1,9 @@
 //! Property tests: the textual assembly round-trips arbitrary modules,
 //! and instrumentation preserves structure (DESIGN.md §6).
 
-use energydx_dexir::instr::{BinOp, Instruction, InvokeKind, MethodRef, Reg, ResourceKind};
+use energydx_dexir::instr::{
+    BinOp, Instruction, InvokeKind, MethodRef, Reg, ResourceKind,
+};
 use energydx_dexir::instrument::{EventPool, Instrumenter};
 use energydx_dexir::module::{Class, ComponentKind, Method, Module};
 use energydx_dexir::text::{assemble_module, parse_module};
@@ -12,9 +14,9 @@ fn reg() -> impl Strategy<Value = Reg> {
 }
 
 fn method_ref() -> impl Strategy<Value = MethodRef> {
-    ("[A-Za-z][A-Za-z0-9]{0,8}", "[a-z][A-Za-z0-9_]{0,10}").prop_map(|(cls, name)| {
-        MethodRef::new(format!("Lcom/gen/{cls};"), name, "()V")
-    })
+    ("[A-Za-z][A-Za-z0-9]{0,8}", "[a-z][A-Za-z0-9_]{0,10}").prop_map(
+        |(cls, name)| MethodRef::new(format!("Lcom/gen/{cls};"), name, "()V"),
+    )
 }
 
 fn resource() -> impl Strategy<Value = ResourceKind> {
@@ -31,7 +33,8 @@ fn resource() -> impl Strategy<Value = ResourceKind> {
 fn instruction() -> impl Strategy<Value = Instruction> {
     prop_oneof![
         Just(Instruction::Nop),
-        (reg(), -1000i64..1000).prop_map(|(dst, value)| Instruction::ConstInt { dst, value }),
+        (reg(), -1000i64..1000)
+            .prop_map(|(dst, value)| Instruction::ConstInt { dst, value }),
         (reg(), "[ -~&&[^\"\\\\]]{0,12}")
             .prop_map(|(dst, value)| Instruction::ConstString { dst, value }),
         (reg(), reg()).prop_map(|(dst, src)| Instruction::Move { dst, src }),
@@ -41,13 +44,15 @@ fn instruction() -> impl Strategy<Value = Instruction> {
             a,
             b
         }),
-        (method_ref(), prop::collection::vec(reg(), 0..3)).prop_map(|(target, args)| {
-            Instruction::Invoke {
-                kind: InvokeKind::Virtual,
-                target,
-                args,
+        (method_ref(), prop::collection::vec(reg(), 0..3)).prop_map(
+            |(target, args)| {
+                Instruction::Invoke {
+                    kind: InvokeKind::Virtual,
+                    target,
+                    args,
+                }
             }
-        }),
+        ),
         reg().prop_map(|dst| Instruction::MoveResult { dst }),
         resource().prop_map(|kind| Instruction::AcquireResource { kind }),
         resource().prop_map(|kind| Instruction::ReleaseResource { kind }),

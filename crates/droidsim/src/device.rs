@@ -47,7 +47,11 @@ pub struct PeriodicTask {
 
 impl PeriodicTask {
     /// Creates a task that first fires one period from now.
-    pub fn new(name: impl Into<String>, period_ms: u64, bursts: Vec<Burst>) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        period_ms: u64,
+        bursts: Vec<Burst>,
+    ) -> Self {
         PeriodicTask {
             name: name.into(),
             period_ms: period_ms.max(1),
@@ -99,11 +103,19 @@ impl Device {
     /// Boots a device with the app installed, default framework-effects
     /// table, and default timing parameters.
     pub fn new(module: Module) -> Self {
-        Device::with_config(module, FrameworkEffects::standard(), DEFAULT_COST_US)
+        Device::with_config(
+            module,
+            FrameworkEffects::standard(),
+            DEFAULT_COST_US,
+        )
     }
 
     /// Boots a device with a custom effects table and cost scale.
-    pub fn with_config(module: Module, effects: FrameworkEffects, cost_us: u64) -> Self {
+    pub fn with_config(
+        module: Module,
+        effects: FrameworkEffects,
+        cost_us: u64,
+    ) -> Self {
         Device {
             module,
             effects,
@@ -375,8 +387,11 @@ impl Device {
                 IDLE_EVENT,
             ));
             self.advance_to(self.clock_us + chunk * 1000);
-            self.events
-                .push(EventRecord::new(self.now_ms(), Direction::Exit, IDLE_EVENT));
+            self.events.push(EventRecord::new(
+                self.now_ms(),
+                Direction::Exit,
+                IDLE_EVENT,
+            ));
             remaining -= chunk;
         }
     }
@@ -433,7 +448,11 @@ impl Device {
 
     // ----- internals -----------------------------------------------------
 
-    fn require_kind(&self, class: &str, expected: ComponentKind) -> Result<(), SimError> {
+    fn require_kind(
+        &self,
+        class: &str,
+        expected: ComponentKind,
+    ) -> Result<(), SimError> {
         let Some(c) = self.module.classes.get(class) else {
             return Err(SimError::UnknownClass {
                 class: class.to_string(),
@@ -454,15 +473,20 @@ impl Device {
 
     /// Applies one lifecycle event: automaton step, display accounting,
     /// then the callback dispatch.
-    fn lifecycle(&mut self, class: String, event: LifecycleEvent) -> Result<(), SimError> {
+    fn lifecycle(
+        &mut self,
+        class: String,
+        event: LifecycleEvent,
+    ) -> Result<(), SimError> {
         let state = self.activity_state(&class);
-        let next = state
-            .apply(event)
-            .ok_or_else(|| SimError::IllegalTransition {
-                class: class.clone(),
-                state,
-                event,
-            })?;
+        let next =
+            state
+                .apply(event)
+                .ok_or_else(|| SimError::IllegalTransition {
+                    class: class.clone(),
+                    state,
+                    event,
+                })?;
         // Android inserts onRestart on the stopped→started path.
         if state == LifecycleState::Stopped && event == LifecycleEvent::Start {
             self.dispatch_callback(&class, "onRestart");
@@ -471,15 +495,17 @@ impl Device {
         self.audits.entry(class.clone()).or_default().record(event);
 
         match event {
-            LifecycleEvent::Resume => {
-                if self.display_since.is_none() {
-                    self.display_since = Some(self.clock_us);
-                }
+            LifecycleEvent::Resume if self.display_since.is_none() => {
+                self.display_since = Some(self.clock_us);
             }
             LifecycleEvent::Pause => {
                 if let Some(since) = self.display_since.take() {
-                    self.timeline
-                        .add(Component::Display, since, self.clock_us, 1.0);
+                    self.timeline.add(
+                        Component::Display,
+                        since,
+                        self.clock_us,
+                        1.0,
+                    );
                 }
             }
             _ => {}
@@ -506,7 +532,12 @@ impl Device {
             return;
         };
         let start_us = self.clock_us;
-        let exec = match execute(&method, &self.effects, self.cost_us, self.step_limit) {
+        let exec = match execute(
+            &method,
+            &self.effects,
+            self.cost_us,
+            self.step_limit,
+        ) {
             Ok(e) => e,
             // Malformed bodies are rejected at instrumentation time;
             // a failure here means the script drove an unvalidated
@@ -518,12 +549,18 @@ impl Device {
             let at = start_us + effect.at_us;
             match &effect.kind {
                 EffectKind::LogEnter(event) => {
-                    self.events
-                        .push(EventRecord::new(at / 1000, Direction::Enter, event.clone()));
+                    self.events.push(EventRecord::new(
+                        at / 1000,
+                        Direction::Enter,
+                        event.clone(),
+                    ));
                 }
                 EffectKind::LogExit(event) => {
-                    self.events
-                        .push(EventRecord::new(at / 1000, Direction::Exit, event.clone()));
+                    self.events.push(EventRecord::new(
+                        at / 1000,
+                        Direction::Exit,
+                        event.clone(),
+                    ));
                 }
                 EffectKind::Acquire(kind) => self.apply_acquire(*kind, at),
                 EffectKind::Release(kind) => self.apply_release(*kind, at),
@@ -538,8 +575,12 @@ impl Device {
             }
         }
         // The callback itself occupies the CPU.
-        self.timeline
-            .add(Component::Cpu, start_us, start_us + exec.elapsed_us, 0.5);
+        self.timeline.add(
+            Component::Cpu,
+            start_us,
+            start_us + exec.elapsed_us,
+            0.5,
+        );
         self.clock_us = start_us + exec.elapsed_us;
     }
 
@@ -613,7 +654,14 @@ mod tests {
             ("Lcom/example/Settings;", ComponentKind::Activity),
         ] {
             let mut class = Class::new(name, kind);
-            for cb in ["onCreate", "onStart", "onResume", "onPause", "onStop", "onDestroy"] {
+            for cb in [
+                "onCreate",
+                "onStart",
+                "onResume",
+                "onPause",
+                "onStop",
+                "onDestroy",
+            ] {
                 let mut m = Method::new(cb, "()V");
                 m.body = vec![Instruction::ReturnVoid];
                 class.methods.push(m);
@@ -640,7 +688,12 @@ mod tests {
     fn launch_logs_create_start_resume() {
         let mut d = Device::new(instrumented_app());
         d.launch_activity("Lcom/example/Main;").unwrap();
-        let events: Vec<&str> = d.events.records().iter().map(|r| r.event.as_str()).collect();
+        let events: Vec<&str> = d
+            .events
+            .records()
+            .iter()
+            .map(|r| r.event.as_str())
+            .collect();
         assert!(events.contains(&"Lcom/example/Main;->onCreate"));
         assert!(events.contains(&"Lcom/example/Main;->onStart"));
         assert!(events.contains(&"Lcom/example/Main;->onResume"));
@@ -729,7 +782,10 @@ mod tests {
             .collect();
         // 5 s of background idle → two heartbeat chunks of 2.5 s.
         assert_eq!(idles.len(), 4);
-        assert_eq!(idles.last().unwrap().timestamp_ms - idles[0].timestamp_ms, 5_000);
+        assert_eq!(
+            idles.last().unwrap().timestamp_ms - idles[0].timestamp_ms,
+            5_000
+        );
     }
 
     #[test]
@@ -748,9 +804,11 @@ mod tests {
         d.press_home().unwrap();
         d.idle_ms(10_000);
         let session = d.finish_session();
-        let fg = session
-            .timeline
-            .mean_utilization(Component::Display, 0, 10_000_000);
+        let fg = session.timeline.mean_utilization(
+            Component::Display,
+            0,
+            10_000_000,
+        );
         let bg = session.timeline.mean_utilization(
             Component::Display,
             11_000_000,
@@ -768,9 +826,11 @@ mod tests {
         d.press_home().unwrap();
         d.idle_ms(20_000);
         let session = d.finish_session();
-        let gps = session
-            .timeline
-            .mean_utilization(Component::Gps, 0, session.duration_ms * 1000);
+        let gps = session.timeline.mean_utilization(
+            Component::Gps,
+            0,
+            session.duration_ms * 1000,
+        );
         assert!(gps > 0.9, "leaked GPS must stay on, got {gps}");
     }
 
@@ -783,10 +843,15 @@ mod tests {
         d.release(ResourceKind::Gps);
         d.idle_ms(5_000);
         let session = d.finish_session();
-        let on = session.timeline.mean_utilization(Component::Gps, 0, 5_000_000);
-        let off = session
-            .timeline
-            .mean_utilization(Component::Gps, 5_500_000, 10_000_000);
+        let on =
+            session
+                .timeline
+                .mean_utilization(Component::Gps, 0, 5_000_000);
+        let off = session.timeline.mean_utilization(
+            Component::Gps,
+            5_500_000,
+            10_000_000,
+        );
         assert!(on > 0.9);
         assert_eq!(off, 0.0);
     }
@@ -816,9 +881,10 @@ mod tests {
         d.idle_ms(10_500);
         let session = d.finish_session();
         // 10 fires × 200 ms × 0.8 over 10.5 s ≈ 0.152.
-        let wifi = session
-            .timeline
-            .mean_utilization(Component::Wifi, 0, 10_500_000);
+        let wifi =
+            session
+                .timeline
+                .mean_utilization(Component::Wifi, 0, 10_500_000);
         assert!((wifi - 0.152).abs() < 0.02, "got {wifi}");
     }
 
@@ -826,10 +892,9 @@ mod tests {
     fn periodic_callback_logs_events() {
         let mut d = Device::new(instrumented_app());
         d.schedule_periodic(
-            PeriodicTask::new("mailcheck", 2_000, vec![]).with_callback(MethodKey::new(
-                "Lcom/example/Sync;",
-                "onStartCommand",
-            )),
+            PeriodicTask::new("mailcheck", 2_000, vec![]).with_callback(
+                MethodKey::new("Lcom/example/Sync;", "onStartCommand"),
+            ),
         );
         d.launch_activity("Lcom/example/Main;").unwrap();
         d.idle_ms(10_000);
@@ -838,7 +903,8 @@ mod tests {
             .records()
             .iter()
             .filter(|r| {
-                r.event.ends_with("onStartCommand") && r.direction == Direction::Enter
+                r.event.ends_with("onStartCommand")
+                    && r.direction == Direction::Enter
             })
             .count();
         assert_eq!(count, 5);
@@ -873,7 +939,10 @@ mod tests {
             .events
             .records()
             .iter()
-            .filter(|r| r.event == "Lcom/example/Sync;->onCreate" && r.direction == Direction::Enter)
+            .filter(|r| {
+                r.event == "Lcom/example/Sync;->onCreate"
+                    && r.direction == Direction::Enter
+            })
             .count();
         assert_eq!(creates, 1);
     }
@@ -914,7 +983,14 @@ mod tests {
     fn restart_path_dispatches_on_restart() {
         let mut module = Module::new("com.example");
         let mut act = Class::new("Lcom/example/R;", ComponentKind::Activity);
-        for cb in ["onCreate", "onStart", "onResume", "onPause", "onStop", "onRestart"] {
+        for cb in [
+            "onCreate",
+            "onStart",
+            "onResume",
+            "onPause",
+            "onStop",
+            "onRestart",
+        ] {
             let mut m = Method::new(cb, "()V");
             m.body = vec![Instruction::ReturnVoid];
             act.methods.push(m);
@@ -939,7 +1015,10 @@ mod tests {
             .events
             .records()
             .iter()
-            .filter(|r| r.event.ends_with("onRestart") && r.direction == Direction::Enter)
+            .filter(|r| {
+                r.event.ends_with("onRestart")
+                    && r.direction == Direction::Enter
+            })
             .count();
         assert_eq!(restarts, 1, "stopped -> started goes through onRestart");
     }

@@ -200,7 +200,11 @@ mod tests {
     #[test]
     fn socket_connect_drives_wifi() {
         let fx = FrameworkEffects::standard();
-        let bursts = fx.bursts_for(&MethodRef::new("Ljava/net/Socket;", "connect", "()V"));
+        let bursts = fx.bursts_for(&MethodRef::new(
+            "Ljava/net/Socket;",
+            "connect",
+            "()V",
+        ));
         assert!(bursts.iter().any(|b| b.component == Component::Wifi));
         assert!(bursts.iter().any(|b| b.component == Component::Cpu));
     }
@@ -239,7 +243,11 @@ mod tests {
     #[test]
     fn media_rule_drives_audio() {
         let fx = FrameworkEffects::standard();
-        let bursts = fx.bursts_for(&MethodRef::new("Landroid/media/MediaPlayer;", "start", "()V"));
+        let bursts = fx.bursts_for(&MethodRef::new(
+            "Landroid/media/MediaPlayer;",
+            "start",
+            "()V",
+        ));
         assert!(bursts.iter().any(|b| b.component == Component::Audio));
     }
 }

@@ -49,7 +49,13 @@ impl Timeline {
     /// assert_eq!(t.mean_utilization(Component::Gps, 0, 500_000), 1.0);
     /// assert_eq!(t.mean_utilization(Component::Gps, 1_000_000, 2_000_000), 0.0);
     /// ```
-    pub fn add(&mut self, component: Component, start_us: u64, end_us: u64, level: f64) {
+    pub fn add(
+        &mut self,
+        component: Component,
+        start_us: u64,
+        end_us: u64,
+        level: f64,
+    ) {
         let level = level.clamp(0.0, 1.0);
         if end_us <= start_us || level == 0.0 {
             return;
@@ -70,7 +76,12 @@ impl Timeline {
     /// Mean utilization of `component` over `[t0_us, t1_us)`, clamping
     /// overlapping contributions to 1.0 per instant. Returns 0 for an
     /// empty window or a lane with no activity.
-    pub fn mean_utilization(&self, component: Component, t0_us: u64, t1_us: u64) -> f64 {
+    pub fn mean_utilization(
+        &self,
+        component: Component,
+        t0_us: u64,
+        t1_us: u64,
+    ) -> f64 {
         if t1_us <= t0_us {
             return 0.0;
         }
@@ -115,7 +126,10 @@ impl Timeline {
     /// assembled from foreground and background recorders).
     pub fn merge(&mut self, other: &Timeline) {
         for (c, spans) in &other.lanes {
-            self.lanes.entry(*c).or_default().extend(spans.iter().copied());
+            self.lanes
+                .entry(*c)
+                .or_default()
+                .extend(spans.iter().copied());
         }
         self.end_us = self.end_us.max(other.end_us);
     }
@@ -137,7 +151,9 @@ mod tests {
         let mut t = Timeline::new();
         t.add(Component::Cpu, 0, 500, 1.0);
         // Half the [0,1000) window is active.
-        assert!((t.mean_utilization(Component::Cpu, 0, 1000) - 0.5).abs() < 1e-12);
+        assert!(
+            (t.mean_utilization(Component::Cpu, 0, 1000) - 0.5).abs() < 1e-12
+        );
     }
 
     #[test]

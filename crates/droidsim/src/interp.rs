@@ -128,11 +128,15 @@ pub fn execute(
 
         match instr {
             Instruction::Nop | Instruction::Label { .. } => {}
-            Instruction::ConstInt { dst, value } => regs[dst.0 as usize] = *value,
+            Instruction::ConstInt { dst, value } => {
+                regs[dst.0 as usize] = *value
+            }
             Instruction::ConstString { dst, value } => {
                 regs[dst.0 as usize] = value.len() as i64;
             }
-            Instruction::Move { dst, src } => regs[dst.0 as usize] = regs[src.0 as usize],
+            Instruction::Move { dst, src } => {
+                regs[dst.0 as usize] = regs[src.0 as usize]
+            }
             Instruction::BinOp { op, dst, a, b } => {
                 let (x, y) = (regs[a.0 as usize], regs[b.0 as usize]);
                 regs[dst.0 as usize] = match op {
@@ -173,7 +177,8 @@ pub fn execute(
                 });
             }
             Instruction::LogExit { event } => {
-                if let Some(pos) = open_events.iter().rposition(|e| e == event) {
+                if let Some(pos) = open_events.iter().rposition(|e| e == event)
+                {
                     open_events.remove(pos);
                 }
                 out.push(ExecEffect {
@@ -210,7 +215,8 @@ mod tests {
         let mut m = Method::new("m", "()V");
         m.registers = 8;
         m.body = body;
-        execute(&m, &FrameworkEffects::standard(), DEFAULT_COST_US, 10_000).unwrap()
+        execute(&m, &FrameworkEffects::standard(), DEFAULT_COST_US, 10_000)
+            .unwrap()
     }
 
     #[test]
@@ -372,13 +378,9 @@ mod tests {
     #[test]
     fn log_effects_are_in_order() {
         let body = vec![
-            Instruction::LogEnter {
-                event: "E".into(),
-            },
+            Instruction::LogEnter { event: "E".into() },
             Instruction::Nop,
-            Instruction::LogExit {
-                event: "E".into(),
-            },
+            Instruction::LogExit { event: "E".into() },
             Instruction::ReturnVoid,
         ];
         let exec = run(body);
@@ -426,10 +428,10 @@ mod tests {
             Instruction::ReturnVoid,
         ];
         let exec = run(body);
-        assert!(exec
-            .effects
-            .iter()
-            .any(|e| matches!(e.kind, EffectKind::Acquire(ResourceKind::WakeLock))));
+        assert!(exec.effects.iter().any(|e| matches!(
+            e.kind,
+            EffectKind::Acquire(ResourceKind::WakeLock)
+        )));
     }
 
     #[test]

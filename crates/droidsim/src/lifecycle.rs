@@ -59,7 +59,9 @@ impl fmt::Display for LifecycleEvent {
 }
 
 /// The state of one activity instance.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize,
+)]
 pub enum LifecycleState {
     /// Not yet created (or never launched).
     #[default]
@@ -166,9 +168,12 @@ impl LifecycleAudit {
 
     /// Whether the callback pairs balance (valid once destroyed).
     pub fn is_balanced(&self) -> bool {
-        self.count(LifecycleEvent::Create) == self.count(LifecycleEvent::Destroy)
-            && self.count(LifecycleEvent::Start) == self.count(LifecycleEvent::Stop)
-            && self.count(LifecycleEvent::Resume) == self.count(LifecycleEvent::Pause)
+        self.count(LifecycleEvent::Create)
+            == self.count(LifecycleEvent::Destroy)
+            && self.count(LifecycleEvent::Start)
+                == self.count(LifecycleEvent::Stop)
+            && self.count(LifecycleEvent::Resume)
+                == self.count(LifecycleEvent::Pause)
     }
 }
 
@@ -180,7 +185,14 @@ mod tests {
 
     #[test]
     fn happy_path_to_destroyed() {
-        let path = [E::Create, E::Start, E::Resume, E::Pause, E::Stop, E::Destroy];
+        let path = [
+            E::Create,
+            E::Start,
+            E::Resume,
+            E::Pause,
+            E::Stop,
+            E::Destroy,
+        ];
         let mut s = S::NotCreated;
         let mut audit = LifecycleAudit::new();
         for e in path {

@@ -13,7 +13,14 @@ fn test_app() -> Module {
     let mut module = Module::new("com.prop.app");
     for name in ["LA;", "LB;", "LC;"] {
         let mut class = Class::new(name, ComponentKind::Activity);
-        for cb in ["onCreate", "onStart", "onResume", "onPause", "onStop", "onDestroy"] {
+        for cb in [
+            "onCreate",
+            "onStart",
+            "onResume",
+            "onPause",
+            "onStop",
+            "onDestroy",
+        ] {
             let mut m = Method::new(cb, "()V");
             m.body = vec![Instruction::ReturnVoid];
             class.methods.push(m);

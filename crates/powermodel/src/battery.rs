@@ -68,7 +68,11 @@ impl Battery {
     /// let lost = b.lifetime_lost_hours(300.0, 400.0);
     /// assert!(lost > 20.0);
     /// ```
-    pub fn lifetime_lost_hours(&self, baseline_mw: f64, abd_extra_mw: f64) -> f64 {
+    pub fn lifetime_lost_hours(
+        &self,
+        baseline_mw: f64,
+        abd_extra_mw: f64,
+    ) -> f64 {
         let without = self.lifetime_hours(baseline_mw);
         let with = self.lifetime_hours(baseline_mw + abd_extra_mw.max(0.0));
         if without.is_infinite() {

@@ -76,14 +76,18 @@ impl PowerModel {
             if self.noise_fraction == 0.0 || mw == 0.0 {
                 mw
             } else {
-                let eps: f64 = rng.gen_range(-self.noise_fraction..=self.noise_fraction);
+                let eps: f64 =
+                    rng.gen_range(-self.noise_fraction..=self.noise_fraction);
                 mw * (1.0 + eps)
             }
         };
         // Base power rides on the CPU lane (the process exists ⇒ the
         // kernel schedules it occasionally).
         let mut cpu_mw = noisy(self.profile.base_mw);
-        cpu_mw += noisy(self.profile.coefficient(Component::Cpu) * sample.get(Component::Cpu));
+        cpu_mw += noisy(
+            self.profile.coefficient(Component::Cpu)
+                * sample.get(Component::Cpu),
+        );
         out.set_component(Component::Cpu, cpu_mw);
         for c in [
             Component::Display,
@@ -92,14 +96,21 @@ impl PowerModel {
             Component::Cellular,
             Component::Audio,
         ] {
-            out.set_component(c, noisy(self.profile.coefficient(c) * sample.get(c)));
+            out.set_component(
+                c,
+                noisy(self.profile.coefficient(c) * sample.get(c)),
+            );
         }
         out
     }
 
     /// Estimates a whole power trace from a utilization trace.
     pub fn estimate_trace(&self, utilization: &UtilizationTrace) -> PowerTrace {
-        utilization.samples().iter().map(|s| self.estimate(s)).collect()
+        utilization
+            .samples()
+            .iter()
+            .map(|s| self.estimate(s))
+            .collect()
     }
 }
 
@@ -188,7 +199,8 @@ mod tests {
 
     #[test]
     fn noise_fraction_is_clamped() {
-        let m = PowerModel::new(DeviceProfile::nexus6(), 0).with_noise_fraction(5.0);
+        let m = PowerModel::new(DeviceProfile::nexus6(), 0)
+            .with_noise_fraction(5.0);
         let s = sample_with(Component::Cpu, 1.0);
         // Even clamped to 1.0, power never goes negative.
         for _ in 0..100 {

@@ -118,7 +118,11 @@ mod tests {
     fn builtin_profiles_have_positive_coefficients() {
         for p in DeviceProfile::builtin() {
             for c in Component::ALL {
-                assert!(p.coefficient(c) > 0.0, "{} {c} must be positive", p.name);
+                assert!(
+                    p.coefficient(c) > 0.0,
+                    "{} {c} must be positive",
+                    p.name
+                );
             }
             assert!(p.base_mw > 0.0);
         }
@@ -133,7 +137,8 @@ mod tests {
 
     #[test]
     fn negative_inputs_are_clamped() {
-        let p = DeviceProfile::new("x", -5.0).with_coefficient(Component::Cpu, -1.0);
+        let p = DeviceProfile::new("x", -5.0)
+            .with_coefficient(Component::Cpu, -1.0);
         assert_eq!(p.base_mw, 0.0);
         assert_eq!(p.coefficient(Component::Cpu), 0.0);
     }

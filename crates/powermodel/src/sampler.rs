@@ -56,7 +56,11 @@ impl UtilizationSampler {
     /// assert_eq!(trace.samples()[0].get(Component::Cpu), 1.0);
     /// assert_eq!(trace.samples()[3].get(Component::Cpu), 0.0);
     /// ```
-    pub fn sample(&self, timeline: &Timeline, duration_ms: u64) -> UtilizationTrace {
+    pub fn sample(
+        &self,
+        timeline: &Timeline,
+        duration_ms: u64,
+    ) -> UtilizationTrace {
         let mut trace = UtilizationTrace::with_period(self.period_ms);
         let period_us = self.period_ms * 1000;
         let mut t = self.period_ms;
@@ -64,7 +68,10 @@ impl UtilizationSampler {
             let t_us = t * 1000;
             let mut sample = UtilizationSample::new(t);
             for c in Component::ALL {
-                sample.set(c, timeline.mean_utilization(c, t_us - period_us, t_us));
+                sample.set(
+                    c,
+                    timeline.mean_utilization(c, t_us - period_us, t_us),
+                );
             }
             trace.push(sample);
             t += self.period_ms;

@@ -35,7 +35,11 @@ use energydx_trace::util::Component;
 /// let scaled = scale_trace(&on_n5, &DeviceProfile::nexus5(), &DeviceProfile::nexus6());
 /// assert!((scaled.mean_mw() - on_n6.mean_mw()).abs() < 1.0);
 /// ```
-pub fn scale_trace(trace: &PowerTrace, from: &DeviceProfile, to: &DeviceProfile) -> PowerTrace {
+pub fn scale_trace(
+    trace: &PowerTrace,
+    from: &DeviceProfile,
+    to: &DeviceProfile,
+) -> PowerTrace {
     trace
         .samples()
         .iter()
@@ -79,7 +83,11 @@ mod tests {
     use crate::model::PowerModel;
     use energydx_trace::util::UtilizationSample;
 
-    fn power_of(profile: &DeviceProfile, c: Component, level: f64) -> PowerSample {
+    fn power_of(
+        profile: &DeviceProfile,
+        c: Component,
+        level: f64,
+    ) -> PowerSample {
         let model = PowerModel::noiseless(profile.clone());
         let mut u = UtilizationSample::new(500);
         u.set(c, level);

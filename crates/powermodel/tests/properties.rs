@@ -2,7 +2,9 @@
 //! noise bounds, sampler conservation, and scaling invertibility.
 
 use energydx_droidsim::Timeline;
-use energydx_powermodel::{scale_trace, DeviceProfile, PowerModel, UtilizationSampler};
+use energydx_powermodel::{
+    scale_trace, DeviceProfile, PowerModel, UtilizationSampler,
+};
 use energydx_trace::util::{Component, UtilizationSample};
 use proptest::prelude::*;
 

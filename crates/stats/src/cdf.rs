@@ -35,7 +35,9 @@ impl Ecdf {
     pub fn new(sample: &[f64]) -> Result<Self, StatsError> {
         validate(sample)?;
         let mut sorted = sample.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN filtered by validate"));
+        sorted.sort_by(|a, b| {
+            a.partial_cmp(b).expect("NaN filtered by validate")
+        });
         Ok(Ecdf { sorted })
     }
 

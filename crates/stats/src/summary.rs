@@ -128,7 +128,8 @@ impl Summary {
         let delta = other.mean - self.mean;
         self.mean += delta * other.count as f64 / total as f64;
         self.m2 += other.m2
-            + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+            + delta * delta * (self.count as f64 * other.count as f64)
+                / total as f64;
         self.count = total;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
@@ -141,7 +142,8 @@ mod tests {
 
     #[test]
     fn mean_and_stddev_match_closed_form() {
-        let s = Summary::from_data(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        let s = Summary::from_data(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0])
+            .unwrap();
         assert_eq!(s.mean(), 5.0);
         assert_eq!(s.stddev(), 2.0);
         assert_eq!(s.min(), 2.0);

@@ -1,8 +1,8 @@
 //! Property-based tests for the statistics primitives (DESIGN.md §6).
 
 use energydx_stats::{
-    average_ranks, dense_ranks, ordinal_ranks, outlier::upper_outlier_indices, percentile,
-    quartiles, Ecdf, Summary, TukeyFences,
+    average_ranks, dense_ranks, ordinal_ranks, outlier::upper_outlier_indices,
+    percentile, quartiles, Ecdf, Summary, TukeyFences,
 };
 use proptest::prelude::*;
 

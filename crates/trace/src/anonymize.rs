@@ -54,10 +54,13 @@ fn is_ipv4(token: &str) -> bool {
     let parts: Vec<&str> = token.split('.').collect();
     parts.len() == 4
         && parts.iter().all(|p| {
-            !p.is_empty() && p.len() <= 3 && p.chars().all(|c| c.is_ascii_digit()) && {
-                // Leading zeros allowed; value must fit an octet.
-                p.parse::<u16>().map(|v| v <= 255).unwrap_or(false)
-            }
+            !p.is_empty()
+                && p.len() <= 3
+                && p.chars().all(|c| c.is_ascii_digit())
+                && {
+                    // Leading zeros allowed; value must fit an octet.
+                    p.parse::<u16>().map(|v| v <= 255).unwrap_or(false)
+                }
         })
 }
 
@@ -74,9 +77,9 @@ fn is_email(token: &str) -> bool {
     !host.is_empty()
         && tld.len() >= 2
         && tld.chars().all(|c| c.is_ascii_alphabetic())
-        && local
-            .chars()
-            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-' | '+'))
+        && local.chars().all(|c| {
+            c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-' | '+')
+        })
 }
 
 fn is_phone(token: &str) -> bool {

@@ -30,6 +30,14 @@ pub enum TraceError {
         /// Index of the first out-of-order record.
         index: usize,
     },
+    /// A bundle for this `(user, session)` was already accepted — a
+    /// retrying client re-uploaded the same session.
+    DuplicateUpload {
+        /// The (anonymized) user id.
+        user: String,
+        /// The session id.
+        session: u64,
+    },
 }
 
 impl fmt::Display for TraceError {
@@ -41,10 +49,17 @@ impl fmt::Display for TraceError {
             TraceError::UnmatchedExit {
                 event,
                 timestamp_ms,
-            } => write!(f, "exit without enter for {event} at {timestamp_ms} ms"),
-            TraceError::Wire { message } => write!(f, "wire format error: {message}"),
+            } => {
+                write!(f, "exit without enter for {event} at {timestamp_ms} ms")
+            }
+            TraceError::Wire { message } => {
+                write!(f, "wire format error: {message}")
+            }
             TraceError::OutOfOrder { index } => {
                 write!(f, "record {index} is out of timestamp order")
+            }
+            TraceError::DuplicateUpload { user, session } => {
+                write!(f, "session {session} for user {user} already uploaded")
             }
         }
     }

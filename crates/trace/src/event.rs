@@ -49,7 +49,11 @@ pub struct EventRecord {
 
 impl EventRecord {
     /// Creates a record.
-    pub fn new(timestamp_ms: u64, direction: Direction, event: impl Into<String>) -> Self {
+    pub fn new(
+        timestamp_ms: u64,
+        direction: Direction,
+        event: impl Into<String>,
+    ) -> Self {
         EventRecord {
             timestamp_ms,
             direction,
@@ -193,7 +197,9 @@ impl EventTrace {
                     open.entry(record.event.as_str()).or_default().push(slot);
                 }
                 Direction::Exit => {
-                    if let Some(slot) = open.get_mut(record.event.as_str()).and_then(Vec::pop) {
+                    if let Some(slot) =
+                        open.get_mut(record.event.as_str()).and_then(Vec::pop)
+                    {
                         out[slot].end_ms = record.timestamp_ms;
                     }
                     // Unmatched exits are dropped: they come from
@@ -211,7 +217,9 @@ impl EventTrace {
     /// # Errors
     ///
     /// Returns [`TraceError::UnmatchedExit`] on the first stray exit.
-    pub fn pair_instances_strict(&self) -> Result<Vec<EventInstance>, TraceError> {
+    pub fn pair_instances_strict(
+        &self,
+    ) -> Result<Vec<EventInstance>, TraceError> {
         use std::collections::HashMap;
         let mut open: HashMap<&str, Vec<usize>> = HashMap::new();
         let mut out: Vec<EventInstance> = Vec::new();

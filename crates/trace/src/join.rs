@@ -94,7 +94,10 @@ pub struct PoweredInstance {
 /// // window after the callback, free of pre-event history.
 /// assert_eq!(joined[0].power_mw, 300.0);
 /// ```
-pub fn join_power(instances: &[EventInstance], power: &PowerTrace) -> Vec<PoweredInstance> {
+pub fn join_power(
+    instances: &[EventInstance],
+    power: &PowerTrace,
+) -> Vec<PoweredInstance> {
     join_power_with_horizon(instances, power, DEFAULT_HORIZON_MS)
 }
 
@@ -115,11 +118,15 @@ pub fn join_power_with_horizon(
                     .get(
                         power
                             .samples()
-                            .partition_point(|s| s.timestamp_ms <= instance.start_ms)
+                            .partition_point(|s| {
+                                s.timestamp_ms <= instance.start_ms
+                            })
                             .wrapping_sub(1),
                     )
                     .map(|s| s.total_mw)
-                    .or_else(|| power.nearest(instance.start_ms).map(|s| s.total_mw)),
+                    .or_else(|| {
+                        power.nearest(instance.start_ms).map(|s| s.total_mw)
+                    }),
                 // Samples are trailing-window aggregates: the sample
                 // at timestamp `t` covers `[t - period, t)`. The first
                 // sample after the event entry therefore still
@@ -132,10 +139,13 @@ pub fn join_power_with_horizon(
                 // cause.
                 Attribution::After => {
                     let lo = instance.start_ms + horizon_ms;
-                    let hi = instance.end_ms.max(instance.start_ms + 3 * horizon_ms);
-                    power
-                        .mean_between(lo + 1, hi)
-                        .or_else(|| power.nearest(instance.midpoint_ms()).map(|s| s.total_mw))
+                    let hi =
+                        instance.end_ms.max(instance.start_ms + 3 * horizon_ms);
+                    power.mean_between(lo + 1, hi).or_else(|| {
+                        power
+                            .nearest(instance.midpoint_ms())
+                            .map(|s| s.total_mw)
+                    })
                 }
             }
             .unwrap_or(0.0);
@@ -166,7 +176,8 @@ mod tests {
 
     #[test]
     fn long_instance_reads_its_interior() {
-        let p = trace(&[(0, 100.0), (500, 200.0), (1000, 600.0), (1500, 600.0)]);
+        let p =
+            trace(&[(0, 100.0), (500, 200.0), (1000, 600.0), (1500, 600.0)]);
         // A 1.5 s instance starting at 0: the first (boundary) sample
         // is skipped; interior samples at 1000 and 1500 count.
         let joined = join_power(&[EventInstance::new("E", 0, 1500)], &p);
@@ -175,7 +186,8 @@ mod tests {
 
     #[test]
     fn short_instance_reads_the_following_window() {
-        let p = trace(&[(0, 100.0), (500, 200.0), (1000, 600.0), (1500, 600.0)]);
+        let p =
+            trace(&[(0, 100.0), (500, 200.0), (1000, 600.0), (1500, 600.0)]);
         // A 60 ms callback at t = 120: the full windows after it are
         // the samples at t = 1000 and t = 1500.
         let joined = join_power(&[EventInstance::new("E", 120, 180)], &p);
@@ -191,8 +203,10 @@ mod tests {
         // Background (10 mW) then the user resumes the app at t = 1000
         // (400 mW foreground). onStart at t = 1000 must read 400, not
         // the quiet sample behind it.
-        let p = trace(&[(500, 10.0), (1000, 10.0), (1500, 400.0), (2000, 400.0)]);
-        let joined = join_power(&[EventInstance::new("LA;->onStart", 1000, 1002)], &p);
+        let p =
+            trace(&[(500, 10.0), (1000, 10.0), (1500, 400.0), (2000, 400.0)]);
+        let joined =
+            join_power(&[EventInstance::new("LA;->onStart", 1000, 1002)], &p);
         assert_eq!(joined[0].power_mw, 400.0);
     }
 
@@ -205,17 +219,16 @@ mod tests {
 
     #[test]
     fn empty_power_trace_yields_zero() {
-        let joined = join_power(&[EventInstance::new("E", 0, 10)], &PowerTrace::new());
+        let joined =
+            join_power(&[EventInstance::new("E", 0, 10)], &PowerTrace::new());
         assert_eq!(joined[0].power_mw, 0.0);
     }
 
     #[test]
     fn join_preserves_order_and_length() {
         let p = trace(&[(0, 50.0)]);
-        let inst = vec![
-            EventInstance::new("B", 5, 6),
-            EventInstance::new("A", 0, 1),
-        ];
+        let inst =
+            vec![EventInstance::new("B", 5, 6), EventInstance::new("A", 0, 1)];
         let joined = join_power(&inst, &p);
         assert_eq!(joined.len(), 2);
         assert_eq!(joined[0].instance.event, "B");
@@ -227,25 +240,47 @@ mod tests {
         // Foreground at 400 mW, then the app backgrounds at t = 2000
         // (10 mW after). onPause must read the pre-event foreground
         // regardless of what follows.
-        let p = trace(&[(500, 400.0), (1000, 400.0), (1500, 400.0), (2000, 400.0), (2500, 10.0), (3000, 10.0)]);
-        let joined = join_power(&[EventInstance::new("LA;->onPause", 2000, 2002)], &p);
+        let p = trace(&[
+            (500, 400.0),
+            (1000, 400.0),
+            (1500, 400.0),
+            (2000, 400.0),
+            (2500, 10.0),
+            (3000, 10.0),
+        ]);
+        let joined =
+            join_power(&[EventInstance::new("LA;->onPause", 2000, 2002)], &p);
         assert_eq!(joined[0].power_mw, 400.0);
         // An onPause mid-switch (foreground continues) reads the same.
-        let p2 = trace(&[(500, 400.0), (1000, 400.0), (1500, 400.0), (2000, 400.0), (2500, 400.0)]);
-        let joined2 = join_power(&[EventInstance::new("LA;->onPause", 2000, 2002)], &p2);
+        let p2 = trace(&[
+            (500, 400.0),
+            (1000, 400.0),
+            (1500, 400.0),
+            (2000, 400.0),
+            (2500, 400.0),
+        ]);
+        let joined2 =
+            join_power(&[EventInstance::new("LA;->onPause", 2000, 2002)], &p2);
         assert_eq!(joined2[0].power_mw, 400.0);
     }
 
     #[test]
     fn teardown_event_before_first_sample_falls_back_to_nearest() {
         let p = trace(&[(500, 50.0)]);
-        let joined = join_power(&[EventInstance::new("LA;->onStop", 100, 101)], &p);
+        let joined =
+            join_power(&[EventInstance::new("LA;->onStop", 100, 101)], &p);
         assert_eq!(joined[0].power_mw, 50.0);
     }
 
     #[test]
     fn custom_horizon_widens_the_window() {
-        let p = trace(&[(0, 100.0), (500, 200.0), (1000, 600.0), (1500, 800.0), (2000, 1000.0)]);
+        let p = trace(&[
+            (0, 100.0),
+            (500, 200.0),
+            (1000, 600.0),
+            (1500, 800.0),
+            (2000, 1000.0),
+        ]);
         let inst = [EventInstance::new("E", 0, 10)];
         let near = join_power_with_horizon(&inst, &p, 500);
         let wide = join_power_with_horizon(&inst, &p, 1000);

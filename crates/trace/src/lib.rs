@@ -17,10 +17,18 @@
 //! - [`anonymize`] — removal of user identifiers (phone numbers, IP
 //!   addresses, email addresses) before upload, per §II-B.
 //! - [`wire`] — a compact binary wire format for uploading trace
-//!   bundles.
+//!   bundles, with CRC32-framed v2 payloads and a salvaging decoder
+//!   for damaged ones.
 //! - [`store`] — the backend trace store that aggregates bundles from
 //!   many users (thread-safe; uploads happen "when the smartphone is
-//!   charging with WiFi").
+//!   charging with WiFi"), with a reject/repair/salvage ingest
+//!   taxonomy and a quarantine for what cannot be kept.
+//! - [`repair`] — bounded, conservative fixes for common upload
+//!   defects (logger races, clock steps, stray exits).
+//! - [`upload`] — the retrying phone-side upload path: exponential
+//!   backoff with seeded jitter over a virtual clock.
+//! - [`fault`] — seeded fault injection over wire payloads, for chaos
+//!   testing the whole ingest path.
 //!
 //! # Examples
 //!
@@ -41,15 +49,28 @@
 pub mod anonymize;
 pub mod error;
 pub mod event;
+pub mod fault;
 pub mod join;
 pub mod power;
+pub mod repair;
+mod rng;
 pub mod store;
+pub mod upload;
 pub mod util;
 pub mod wire;
 
 pub use error::TraceError;
 pub use event::{Direction, EventInstance, EventRecord, EventTrace};
+pub use fault::{FaultInjector, FaultKind, InjectionReport};
 pub use join::join_power;
 pub use power::{PowerBreakdown, PowerSample, PowerTrace};
-pub use store::{PhoneState, TraceBundle, TraceStore, Uploader};
+pub use repair::{RepairAction, RepairPolicy, RepairReject};
+pub use store::{
+    IngestOutcome, IngestReport, PhoneState, QuarantineEntry, RejectReason,
+    TraceBundle, TraceStore, Uploader,
+};
+pub use upload::{
+    FlakyBackend, RetryPolicy, StoreBackend, UploadBackend, UploadStats,
+};
 pub use util::{UtilizationSample, UtilizationTrace};
+pub use wire::{SalvageReport, Salvaged};

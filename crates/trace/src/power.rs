@@ -72,7 +72,7 @@ impl PowerTrace {
         debug_assert!(
             self.samples
                 .last()
-                .map_or(true, |l| sample.timestamp_ms >= l.timestamp_ms),
+                .is_none_or(|l| sample.timestamp_ms >= l.timestamp_ms),
             "power samples must be appended in timestamp order"
         );
         self.samples.push(sample);
@@ -98,7 +98,8 @@ impl PowerTrace {
         if self.samples.is_empty() {
             return 0.0;
         }
-        self.samples.iter().map(|s| s.total_mw).sum::<f64>() / self.samples.len() as f64
+        self.samples.iter().map(|s| s.total_mw).sum::<f64>()
+            / self.samples.len() as f64
     }
 
     /// Mean total power of the samples with `start_ms <= t <= end_ms`,
@@ -129,7 +130,11 @@ impl PowerTrace {
 
     /// Mean per-component breakdown of the samples with
     /// `start_ms <= t <= end_ms` (Figs. 11/14). Empty window → all-zero.
-    pub fn breakdown_between(&self, start_ms: u64, end_ms: u64) -> PowerBreakdown {
+    pub fn breakdown_between(
+        &self,
+        start_ms: u64,
+        end_ms: u64,
+    ) -> PowerBreakdown {
         let lo = self.samples.partition_point(|s| s.timestamp_ms < start_ms);
         let hi = self.samples.partition_point(|s| s.timestamp_ms <= end_ms);
         let mut out = PowerBreakdown::default();
@@ -138,8 +143,8 @@ impl PowerTrace {
         }
         let slice = &self.samples[lo..hi];
         for c in Component::ALL {
-            let mean =
-                slice.iter().map(|s| s.component(c)).sum::<f64>() / slice.len() as f64;
+            let mean = slice.iter().map(|s| s.component(c)).sum::<f64>()
+                / slice.len() as f64;
             out.set(c, mean);
         }
         out
@@ -181,8 +186,10 @@ impl PowerBreakdown {
     /// `(component, mW)` pairs sorted by descending power — the order
     /// a Fig.-11-style stacked chart would list them.
     pub fn ranked(&self) -> Vec<(Component, f64)> {
-        let mut v: Vec<(Component, f64)> =
-            Component::ALL.into_iter().map(|c| (c, self.get(c))).collect();
+        let mut v: Vec<(Component, f64)> = Component::ALL
+            .into_iter()
+            .map(|c| (c, self.get(c)))
+            .collect();
         v.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("power is never NaN"));
         v
     }
@@ -215,7 +222,9 @@ mod tests {
 
     #[test]
     fn mean_between_uses_inclusive_window() {
-        let t: PowerTrace = (0..5).map(|i| sample(i * 500, 100.0 * i as f64, 0.0)).collect();
+        let t: PowerTrace = (0..5)
+            .map(|i| sample(i * 500, 100.0 * i as f64, 0.0))
+            .collect();
         // Samples at 500 and 1000 → (100 + 200)/2.
         assert_eq!(t.mean_between(500, 1000), Some(150.0));
         assert_eq!(t.mean_between(501, 999), None);
@@ -235,9 +244,10 @@ mod tests {
 
     #[test]
     fn breakdown_between_averages_components() {
-        let t: PowerTrace = [sample(0, 100.0, 300.0), sample(500, 200.0, 300.0)]
-            .into_iter()
-            .collect();
+        let t: PowerTrace =
+            [sample(0, 100.0, 300.0), sample(500, 200.0, 300.0)]
+                .into_iter()
+                .collect();
         let b = t.breakdown_between(0, 500);
         assert_eq!(b.get(Component::Cpu), 150.0);
         assert_eq!(b.get(Component::Gps), 300.0);

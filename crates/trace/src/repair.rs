@@ -1,0 +1,329 @@
+//! Bundle repair: conservative fixes for common upload defects.
+//!
+//! Some damaged bundles are worth keeping. A racy logger flushing two
+//! records out of order, a clock stepped backwards by NTP, a stray
+//! exit from a callback begun before logging started — all leave the
+//! bulk of the session intact. The repair pass applies exactly the
+//! fixes whose effect we can bound, and refuses anything beyond that:
+//!
+//! 1. **Bounded out-of-order sort** — if no record is displaced more
+//!    than [`RepairPolicy::max_out_of_order_ms`] from timestamp order,
+//!    a stable sort restores ordering. Larger displacements mean the
+//!    trace's history cannot be trusted and the bundle is rejected.
+//! 2. **Stray exit removal** — exits with no matching enter are
+//!    dropped (begun-before-logging callbacks), but only up to
+//!    [`RepairPolicy::max_stray_exits`] of them; more than that means
+//!    the pairing structure itself is broken.
+//!
+//! Deduplication of retried `(user, session)` uploads happens in the
+//! store (it needs cross-bundle state); see
+//! [`crate::store::TraceStore`].
+
+use crate::event::{Direction, EventTrace};
+use crate::store::TraceBundle;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Bounds on what [`repair`] may change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RepairPolicy {
+    /// Largest backwards timestamp displacement (ms) the sort repair
+    /// will fix. Displacements beyond this are rejected.
+    pub max_out_of_order_ms: u64,
+    /// Most stray exits the pairing repair will drop per bundle.
+    pub max_stray_exits: usize,
+}
+
+impl Default for RepairPolicy {
+    fn default() -> Self {
+        RepairPolicy {
+            // Generous against logger races and NTP steps (typically
+            // tens of ms), far below anything that would reorder one
+            // user interaction past another.
+            max_out_of_order_ms: 5_000,
+            max_stray_exits: 8,
+        }
+    }
+}
+
+/// One fix applied by [`repair`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RepairAction {
+    /// Records were stably re-sorted into timestamp order.
+    SortedOutOfOrder {
+        /// Worst backwards displacement found, in milliseconds.
+        displacement_ms: u64,
+    },
+    /// Stray exit records (no matching enter) were removed.
+    DroppedStrayExits {
+        /// How many were removed.
+        count: usize,
+    },
+}
+
+impl fmt::Display for RepairAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RepairAction::SortedOutOfOrder { displacement_ms } => {
+                write!(
+                    f,
+                    "re-sorted records displaced up to {displacement_ms} ms"
+                )
+            }
+            RepairAction::DroppedStrayExits { count } => {
+                write!(f, "dropped {count} stray exit record(s)")
+            }
+        }
+    }
+}
+
+/// Why [`repair`] gave up on a bundle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RepairReject {
+    /// A record was displaced further than the policy allows.
+    OutOfOrderBeyondBound {
+        /// The displacement found, in milliseconds.
+        displacement_ms: u64,
+    },
+    /// More stray exits than the policy allows.
+    TooManyStrayExits {
+        /// How many stray exits were found.
+        count: usize,
+    },
+}
+
+impl fmt::Display for RepairReject {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RepairReject::OutOfOrderBeyondBound { displacement_ms } => {
+                write!(f, "records displaced {displacement_ms} ms, beyond the repair bound")
+            }
+            RepairReject::TooManyStrayExits { count } => {
+                write!(f, "{count} stray exits, beyond the repair bound")
+            }
+        }
+    }
+}
+
+/// Worst backwards displacement in the trace: how far (ms) the most
+/// out-of-place record sits below the running maximum timestamp.
+/// Zero means the trace is already in order.
+pub fn max_displacement_ms(events: &EventTrace) -> u64 {
+    let mut running_max = 0u64;
+    let mut worst = 0u64;
+    for r in events.records() {
+        if r.timestamp_ms < running_max {
+            worst = worst.max(running_max - r.timestamp_ms);
+        } else {
+            running_max = r.timestamp_ms;
+        }
+    }
+    worst
+}
+
+/// Repairs a bundle in place, within the policy's bounds.
+///
+/// Returns the actions applied (empty if the bundle was already
+/// clean). After a successful repair the bundle passes
+/// [`TraceBundle::validate`].
+///
+/// # Errors
+///
+/// Returns a [`RepairReject`] — and leaves the bundle untouched — if
+/// the damage exceeds what the policy allows.
+pub fn repair(
+    bundle: &mut TraceBundle,
+    policy: &RepairPolicy,
+) -> Result<Vec<RepairAction>, RepairReject> {
+    let mut actions = Vec::new();
+
+    // 1. Bounded out-of-order sort.
+    let displacement_ms = max_displacement_ms(&bundle.events);
+    if displacement_ms > policy.max_out_of_order_ms {
+        return Err(RepairReject::OutOfOrderBeyondBound { displacement_ms });
+    }
+    // 2. Count stray exits as they would pair after sorting, before
+    //    mutating anything, so a reject leaves the bundle untouched.
+    let mut records = bundle.events.records().to_vec();
+    if displacement_ms > 0 {
+        records.sort_by_key(|r| r.timestamp_ms);
+    }
+    let stray = stray_exit_indices(&records);
+    if stray.len() > policy.max_stray_exits {
+        return Err(RepairReject::TooManyStrayExits { count: stray.len() });
+    }
+
+    if displacement_ms > 0 {
+        actions.push(RepairAction::SortedOutOfOrder { displacement_ms });
+    }
+    if !stray.is_empty() {
+        let stray_set: std::collections::HashSet<usize> =
+            stray.iter().copied().collect();
+        records = records
+            .into_iter()
+            .enumerate()
+            .filter(|(i, _)| !stray_set.contains(i))
+            .map(|(_, r)| r)
+            .collect();
+        actions.push(RepairAction::DroppedStrayExits { count: stray.len() });
+    }
+    if !actions.is_empty() {
+        bundle.events = records.into_iter().collect();
+    }
+    Ok(actions)
+}
+
+/// Indices of exit records with no matching enter, under the same
+/// per-event stack discipline the pairers use.
+fn stray_exit_indices(records: &[crate::event::EventRecord]) -> Vec<usize> {
+    let mut open: HashMap<&str, usize> = HashMap::new();
+    let mut stray = Vec::new();
+    for (i, r) in records.iter().enumerate() {
+        match r.direction {
+            Direction::Enter => *open.entry(r.event.as_str()).or_insert(0) += 1,
+            Direction::Exit => match open.get_mut(r.event.as_str()) {
+                Some(n) if *n > 0 => *n -= 1,
+                _ => stray.push(i),
+            },
+        }
+    }
+    stray
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventRecord;
+
+    fn clean_bundle() -> TraceBundle {
+        let mut b = TraceBundle::new("u1", 0, "nexus6");
+        b.events
+            .push(EventRecord::new(10, Direction::Enter, "LA;->a"));
+        b.events
+            .push(EventRecord::new(20, Direction::Exit, "LA;->a"));
+        b.events
+            .push(EventRecord::new(30, Direction::Enter, "LB;->b"));
+        b.events
+            .push(EventRecord::new(45, Direction::Exit, "LB;->b"));
+        b
+    }
+
+    #[test]
+    fn clean_bundle_needs_no_repair() {
+        let mut b = clean_bundle();
+        let before = b.clone();
+        let actions = repair(&mut b, &RepairPolicy::default()).unwrap();
+        assert!(actions.is_empty());
+        assert_eq!(b, before);
+    }
+
+    #[test]
+    fn bounded_disorder_is_sorted() {
+        let mut b = TraceBundle::new("u1", 0, "nexus6");
+        b.events
+            .push(EventRecord::new(30, Direction::Enter, "LB;->b"));
+        b.events
+            .push(EventRecord::new(10, Direction::Enter, "LA;->a"));
+        b.events
+            .push(EventRecord::new(20, Direction::Exit, "LA;->a"));
+        b.events
+            .push(EventRecord::new(45, Direction::Exit, "LB;->b"));
+        let actions = repair(&mut b, &RepairPolicy::default()).unwrap();
+        assert_eq!(
+            actions,
+            vec![RepairAction::SortedOutOfOrder {
+                displacement_ms: 20
+            }]
+        );
+        assert!(b.validate().is_ok());
+        assert_eq!(b.events.records()[0].timestamp_ms, 10);
+    }
+
+    #[test]
+    fn disorder_beyond_bound_is_rejected_untouched() {
+        let mut b = TraceBundle::new("u1", 0, "nexus6");
+        b.events
+            .push(EventRecord::new(10_000, Direction::Enter, "LA;->a"));
+        b.events
+            .push(EventRecord::new(10, Direction::Exit, "LA;->a"));
+        let before = b.clone();
+        let err = repair(&mut b, &RepairPolicy::default()).unwrap_err();
+        assert_eq!(
+            err,
+            RepairReject::OutOfOrderBeyondBound {
+                displacement_ms: 9_990
+            }
+        );
+        assert_eq!(b, before);
+    }
+
+    #[test]
+    fn stray_exits_are_dropped() {
+        let mut b = TraceBundle::new("u1", 0, "nexus6");
+        // Session started mid-callback: its exit arrives unmatched.
+        b.events
+            .push(EventRecord::new(5, Direction::Exit, "LZ;->old"));
+        b.events
+            .push(EventRecord::new(10, Direction::Enter, "LA;->a"));
+        b.events
+            .push(EventRecord::new(20, Direction::Exit, "LA;->a"));
+        let actions = repair(&mut b, &RepairPolicy::default()).unwrap();
+        assert_eq!(actions, vec![RepairAction::DroppedStrayExits { count: 1 }]);
+        assert!(b.validate().is_ok());
+        assert_eq!(b.events.len(), 2);
+    }
+
+    #[test]
+    fn too_many_stray_exits_rejected() {
+        let mut b = TraceBundle::new("u1", 0, "nexus6");
+        for i in 0..10u64 {
+            b.events.push(EventRecord::new(
+                i,
+                Direction::Exit,
+                format!("LZ;->e{i}"),
+            ));
+        }
+        let err = repair(&mut b, &RepairPolicy::default()).unwrap_err();
+        assert_eq!(err, RepairReject::TooManyStrayExits { count: 10 });
+    }
+
+    #[test]
+    fn sort_and_stray_combine() {
+        let mut b = TraceBundle::new("u1", 0, "nexus6");
+        b.events
+            .push(EventRecord::new(20, Direction::Enter, "LA;->a"));
+        b.events
+            .push(EventRecord::new(5, Direction::Exit, "LZ;->old"));
+        b.events
+            .push(EventRecord::new(30, Direction::Exit, "LA;->a"));
+        let actions = repair(&mut b, &RepairPolicy::default()).unwrap();
+        assert_eq!(actions.len(), 2);
+        assert!(b.validate().is_ok());
+        assert_eq!(b.events.len(), 2);
+    }
+
+    #[test]
+    fn exit_counted_stray_only_after_sorting() {
+        // Out of log order, but in-order once sorted: the exit is NOT
+        // stray and must survive.
+        let mut b = TraceBundle::new("u1", 0, "nexus6");
+        b.events
+            .push(EventRecord::new(20, Direction::Exit, "LA;->a"));
+        b.events
+            .push(EventRecord::new(10, Direction::Enter, "LA;->a"));
+        let actions = repair(&mut b, &RepairPolicy::default()).unwrap();
+        assert_eq!(
+            actions,
+            vec![RepairAction::SortedOutOfOrder {
+                displacement_ms: 10
+            }]
+        );
+        assert_eq!(b.events.len(), 2);
+        assert!(b.validate().is_ok());
+    }
+
+    #[test]
+    fn displacement_of_ordered_trace_is_zero() {
+        assert_eq!(max_displacement_ms(&clean_bundle().events), 0);
+    }
+}

@@ -12,7 +12,18 @@ use serde::{Deserialize, Serialize};
 ///
 /// The set matches the components of the PowerTutor-style model the
 /// paper builds on (§II-C): CPU, display, WiFi, GPS, cellular, audio.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(
+    Debug,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    Hash,
+    PartialOrd,
+    Ord,
+    Serialize,
+    Deserialize,
+)]
 pub enum Component {
     /// CPU load attributed to the app (0..=1 per core-normalized).
     Cpu,
@@ -153,7 +164,8 @@ impl UtilizationTrace {
         if self.samples.is_empty() {
             return 0.0;
         }
-        self.samples.iter().map(|s| s.get(component)).sum::<f64>() / self.samples.len() as f64
+        self.samples.iter().map(|s| s.get(component)).sum::<f64>()
+            / self.samples.len() as f64
     }
 }
 

@@ -11,7 +11,8 @@ use proptest::prelude::*;
 
 fn event_name() -> impl Strategy<Value = String> {
     prop_oneof![
-        "[A-Za-z][A-Za-z0-9]{0,6}".prop_map(|s| format!("Lcom/p/{s};->onResume")),
+        "[A-Za-z][A-Za-z0-9]{0,6}"
+            .prop_map(|s| format!("Lcom/p/{s};->onResume")),
         Just("Idle(No_Display)".to_string()),
     ]
 }
@@ -19,17 +20,23 @@ fn event_name() -> impl Strategy<Value = String> {
 /// Well-formed traces: balanced enter/exit pairs at non-decreasing
 /// timestamps.
 fn balanced_trace() -> impl Strategy<Value = EventTrace> {
-    prop::collection::vec((event_name(), 1u64..2_000), 0..30).prop_map(|items| {
-        let mut trace = EventTrace::new();
-        let mut t = 0u64;
-        for (event, dur) in items {
-            trace.push(EventRecord::new(t, Direction::Enter, event.clone()));
-            t += dur;
-            trace.push(EventRecord::new(t, Direction::Exit, event));
-            t += 1;
-        }
-        trace
-    })
+    prop::collection::vec((event_name(), 1u64..2_000), 0..30).prop_map(
+        |items| {
+            let mut trace = EventTrace::new();
+            let mut t = 0u64;
+            for (event, dur) in items {
+                trace.push(EventRecord::new(
+                    t,
+                    Direction::Enter,
+                    event.clone(),
+                ));
+                t += dur;
+                trace.push(EventRecord::new(t, Direction::Exit, event));
+                t += 1;
+            }
+            trace
+        },
+    )
 }
 
 fn bundle() -> impl Strategy<Value = TraceBundle> {
@@ -38,7 +45,10 @@ fn bundle() -> impl Strategy<Value = TraceBundle> {
         any::<u64>(),
         prop_oneof![Just("nexus6"), Just("nexus5"), Just("galaxy_s5")],
         balanced_trace(),
-        prop::collection::vec((0u64..100_000, prop::array::uniform6(0.0f64..1.0)), 0..20),
+        prop::collection::vec(
+            (0u64..100_000, prop::array::uniform6(0.0f64..1.0)),
+            0..20,
+        ),
     )
         .prop_map(|(user, session, device, events, samples)| {
             let mut b = TraceBundle::new(user, session, device);
@@ -67,6 +77,75 @@ proptest! {
         let cut = (bytes.len() as f64 * cut_fraction) as usize;
         // Either a clean decode (cut == len) or an error; never a panic.
         let _ = wire::decode(&bytes[..cut.min(bytes.len())]);
+    }
+
+    #[test]
+    fn wire_v2_round_trips_any_bundle(b in bundle()) {
+        let bytes = wire::encode_v2(&b);
+        prop_assert_eq!(wire::decode(&bytes).unwrap(), b.clone());
+        // The salvage path agrees with the strict one on intact input.
+        let salvaged = wire::decode_salvage(&bytes).unwrap();
+        prop_assert!(salvaged.report.is_intact());
+        prop_assert_eq!(salvaged.report.lost_records(), 0);
+        prop_assert_eq!(salvaged.bundle, b);
+    }
+
+    #[test]
+    fn decode_never_panics_on_arbitrary_bytes(
+        bytes in prop::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let _ = wire::decode(&bytes);
+        let _ = wire::decode_salvage(&bytes);
+    }
+
+    #[test]
+    fn decode_never_panics_past_a_valid_magic(
+        version in 0u8..4,
+        bytes in prop::collection::vec(any::<u8>(), 0..256),
+    ) {
+        // Drive the parser deeper by handing it a plausible frame start.
+        let mut payload = b"EDXT".to_vec();
+        payload.push(version);
+        payload.extend_from_slice(&bytes);
+        let _ = wire::decode(&payload);
+        let _ = wire::decode_salvage(&payload);
+    }
+
+    #[test]
+    fn truncated_v2_salvage_never_fabricates_records(
+        b in bundle(),
+        cut_fraction in 0.0f64..1.0,
+    ) {
+        let bytes = wire::encode_v2(&b);
+        let cut = ((bytes.len() as f64 * cut_fraction) as usize).min(bytes.len());
+        if let Ok(salvaged) = wire::decode_salvage(&bytes[..cut]) {
+            prop_assert!(salvaged.bundle.events.len() <= b.events.len());
+            prop_assert!(salvaged.bundle.utilization.len() <= b.utilization.len());
+            let report = &salvaged.report;
+            prop_assert!(report.events_recovered <= b.events.len());
+            prop_assert!(report.samples_recovered <= b.utilization.len());
+        }
+    }
+
+    #[test]
+    fn bit_flips_never_panic_either_decoder(
+        b in bundle(),
+        byte_seed in any::<usize>(),
+        bit in 0u8..8,
+    ) {
+        let mut bytes = wire::encode_v2(&b).to_vec();
+        let idx = byte_seed % bytes.len();
+        bytes[idx] ^= 1 << bit;
+        let _ = wire::decode(&bytes);
+        if let Ok(salvaged) = wire::decode_salvage(&bytes) {
+            // A single bit flip is at most one section's damage: the
+            // salvage must never report more records than were encoded
+            // unless the flip hit a count field, which the CRC flags.
+            let report = salvaged.report;
+            if report.events_crc_ok == Some(true) {
+                prop_assert!(report.events_recovered <= b.events.len());
+            }
+        }
     }
 
     #[test]

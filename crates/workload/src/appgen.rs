@@ -54,7 +54,8 @@ impl AppSpec {
 }
 
 /// UI callback names the generator sprinkles over activities.
-const UI_CALLBACKS: &[&str] = &["onClick", "onItemClick", "onLongClick", "menuRefresh"];
+const UI_CALLBACKS: &[&str] =
+    &["onClick", "onItemClick", "onLongClick", "menuRefresh"];
 
 /// Invocation targets drawn for callback bodies: a mix of app-internal
 /// helpers and energy-relevant framework APIs.
@@ -63,7 +64,11 @@ fn invoke_pool(package_path: &str) -> Vec<MethodRef> {
         MethodRef::new(format!("L{package_path}/Model;"), "load", "()V"),
         MethodRef::new(format!("L{package_path}/Model;"), "save", "()V"),
         MethodRef::new(format!("L{package_path}/Util;"), "format", "()V"),
-        MethodRef::new("Landroid/database/sqlite/SQLiteDatabase;", "query", "()V"),
+        MethodRef::new(
+            "Landroid/database/sqlite/SQLiteDatabase;",
+            "query",
+            "()V",
+        ),
         MethodRef::new("Landroid/view/View;", "invalidate", "()V"),
         MethodRef::new("Ljava/io/File;", "read", "()V"),
         MethodRef::new("Landroid/graphics/Canvas;", "drawRect", "()V"),
@@ -79,8 +84,16 @@ pub fn generate(spec: &AppSpec) -> Module {
     let mut loc_used: u64 = 0;
 
     for name in &spec.activities {
-        let mut class = Class::new(spec.class_descriptor(name), ComponentKind::Activity);
-        for cb in ["onCreate", "onStart", "onResume", "onPause", "onStop", "onDestroy"] {
+        let mut class =
+            Class::new(spec.class_descriptor(name), ComponentKind::Activity);
+        for cb in [
+            "onCreate",
+            "onStart",
+            "onResume",
+            "onPause",
+            "onStop",
+            "onDestroy",
+        ] {
             let m = gen_callback(cb, &mut rng, &pool);
             loc_used += m.source_lines as u64;
             class.methods.push(m);
@@ -95,7 +108,8 @@ pub fn generate(spec: &AppSpec) -> Module {
     }
 
     for name in &spec.services {
-        let mut class = Class::new(spec.class_descriptor(name), ComponentKind::Service);
+        let mut class =
+            Class::new(spec.class_descriptor(name), ComponentKind::Service);
         for cb in ["onCreate", "onStartCommand", "onDestroy"] {
             let m = gen_callback(cb, &mut rng, &pool);
             loc_used += m.source_lines as u64;
@@ -117,7 +131,8 @@ pub fn generate(spec: &AppSpec) -> Module {
             if loc_used + 150 >= spec.total_loc {
                 break;
             }
-            let mut m = gen_callback(&format!("compute{m_idx}"), &mut rng, &pool);
+            let mut m =
+                gen_callback(&format!("compute{m_idx}"), &mut rng, &pool);
             m.source_lines = rng.gen_range(80..=260);
             loc_used += m.source_lines as u64;
             class.methods.push(m);
@@ -139,7 +154,11 @@ pub fn generate(spec: &AppSpec) -> Module {
 ///
 /// Panics if `class_descriptor` is not a class of `module` (a
 /// scenario-definition bug).
-pub fn add_menu_callbacks(module: &mut Module, class_descriptor: &str, names: &[&str]) {
+pub fn add_menu_callbacks(
+    module: &mut Module,
+    class_descriptor: &str,
+    names: &[&str],
+) {
     let template = {
         let class = module
             .classes
@@ -229,7 +248,8 @@ mod tests {
             let module = generate(&spec);
             let total = module.total_source_lines();
             assert!(
-                total as f64 >= target as f64 * 0.9 && total as f64 <= target as f64 * 1.05,
+                total as f64 >= target as f64 * 0.9
+                    && total as f64 <= target as f64 * 1.05,
                 "target {target}, got {total}"
             );
         }
@@ -248,7 +268,14 @@ mod tests {
         let spec = AppSpec::small("com.example.app", 9);
         let module = generate(&spec);
         let main = &module.classes[&spec.class_descriptor("MainActivity")];
-        for cb in ["onCreate", "onStart", "onResume", "onPause", "onStop", "onDestroy"] {
+        for cb in [
+            "onCreate",
+            "onStart",
+            "onResume",
+            "onPause",
+            "onStop",
+            "onDestroy",
+        ] {
             assert!(main.method(cb).is_some(), "missing {cb}");
         }
         assert_eq!(main.component, ComponentKind::Activity);

@@ -92,7 +92,9 @@ impl Fault {
     /// The fault's root-cause class.
     pub fn class(&self) -> FaultClass {
         match self {
-            Fault::StaticNoSleep { .. } | Fault::DynamicNoSleep { .. } => FaultClass::NoSleep,
+            Fault::StaticNoSleep { .. } | Fault::DynamicNoSleep { .. } => {
+                FaultClass::NoSleep
+            }
             Fault::Loop { .. } => FaultClass::Loop,
             Fault::Configuration { .. } => FaultClass::Configuration,
         }
@@ -162,13 +164,12 @@ impl Fault {
             Fault::StaticNoSleep { .. } => HookSet::new(),
             Fault::DynamicNoSleep {
                 trigger, resource, ..
-            } => HookSet::new().on(trigger.clone(), HookAction::Acquire(*resource)),
-            Fault::Loop { trigger, task, .. } => {
-                HookSet::new().on(trigger.clone(), HookAction::StartTask(task.clone()))
-            }
-            Fault::Configuration { trigger, task } => {
-                HookSet::new().on(trigger.clone(), HookAction::StartTask(task.clone()))
-            }
+            } => HookSet::new()
+                .on(trigger.clone(), HookAction::Acquire(*resource)),
+            Fault::Loop { trigger, task, .. } => HookSet::new()
+                .on(trigger.clone(), HookAction::StartTask(task.clone())),
+            Fault::Configuration { trigger, task } => HookSet::new()
+                .on(trigger.clone(), HookAction::StartTask(task.clone())),
         }
     }
 
@@ -209,8 +210,14 @@ mod tests {
 
     fn static_fault(spec: &AppSpec) -> Fault {
         Fault::StaticNoSleep {
-            trigger: MethodKey::new(spec.class_descriptor("MainActivity"), "onResume"),
-            teardown: MethodKey::new(spec.class_descriptor("MainActivity"), "onPause"),
+            trigger: MethodKey::new(
+                spec.class_descriptor("MainActivity"),
+                "onResume",
+            ),
+            teardown: MethodKey::new(
+                spec.class_descriptor("MainActivity"),
+                "onPause",
+            ),
             resource: ResourceKind::Gps,
         }
     }
@@ -250,8 +257,14 @@ mod tests {
         let spec = spec();
         let healthy = generate(&spec);
         let fault = Fault::DynamicNoSleep {
-            trigger: MethodKey::new(spec.class_descriptor("MainActivity"), "onResume"),
-            teardown: MethodKey::new(spec.class_descriptor("MainActivity"), "onPause"),
+            trigger: MethodKey::new(
+                spec.class_descriptor("MainActivity"),
+                "onResume",
+            ),
+            teardown: MethodKey::new(
+                spec.class_descriptor("MainActivity"),
+                "onPause",
+            ),
             resource: ResourceKind::WakeLock,
         };
         assert_eq!(fault.inject(&healthy), healthy);

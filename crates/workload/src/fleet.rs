@@ -285,7 +285,8 @@ mod tests {
     fn fleet_has_40_rows_matching_table_iii_counts() {
         let fleet = fleet();
         assert_eq!(fleet.len(), 40);
-        let count = |c: FaultClass| fleet.iter().filter(|a| a.cause == c).count();
+        let count =
+            |c: FaultClass| fleet.iter().filter(|a| a.cause == c).count();
         assert_eq!(count(FaultClass::NoSleep), 24);
         assert_eq!(count(FaultClass::Configuration), 10);
         assert_eq!(count(FaultClass::Loop), 6);
@@ -348,9 +349,10 @@ mod tests {
     fn packages_are_java_safe() {
         for app in fleet() {
             let pkg = app.package();
-            assert!(pkg
-                .chars()
-                .all(|c| c.is_ascii_alphanumeric() || c == '.'), "{pkg}");
+            assert!(
+                pkg.chars().all(|c| c.is_ascii_alphanumeric() || c == '.'),
+                "{pkg}"
+            );
         }
     }
 

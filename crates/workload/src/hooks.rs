@@ -61,7 +61,11 @@ impl TaskSpec {
     }
 
     fn to_task(&self) -> PeriodicTask {
-        let mut t = PeriodicTask::new(self.name.clone(), self.period_ms, self.bursts.clone());
+        let mut t = PeriodicTask::new(
+            self.name.clone(),
+            self.period_ms,
+            self.bursts.clone(),
+        );
         if let Some(cb) = &self.callback {
             t = t.with_callback(cb.clone());
         }
@@ -144,7 +148,9 @@ impl HookSet {
     ) {
         for action in self.actions(key) {
             match action {
-                HookAction::StartTask(spec) => device.schedule_periodic(spec.to_task()),
+                HookAction::StartTask(spec) => {
+                    device.schedule_periodic(spec.to_task())
+                }
                 HookAction::StopTask(name) => {
                     device.cancel_periodic(name);
                 }
@@ -179,8 +185,10 @@ mod tests {
     #[test]
     fn merge_appends_actions() {
         let key = MethodKey::new("LA;", "onResume");
-        let a = HookSet::new().on(key.clone(), HookAction::Acquire(ResourceKind::Gps));
-        let b = HookSet::new().on(key.clone(), HookAction::Release(ResourceKind::Gps));
+        let a = HookSet::new()
+            .on(key.clone(), HookAction::Acquire(ResourceKind::Gps));
+        let b = HookSet::new()
+            .on(key.clone(), HookAction::Release(ResourceKind::Gps));
         let merged = a.merge(b);
         assert_eq!(merged.actions(&key).len(), 2);
     }
@@ -195,7 +203,8 @@ mod tests {
 
     #[test]
     fn with_callback_sets_key() {
-        let spec = TaskSpec::cpu_loop("l", 500).with_callback(MethodKey::new("LS;", "tick"));
+        let spec = TaskSpec::cpu_loop("l", 500)
+            .with_callback(MethodKey::new("LS;", "tick"));
         assert_eq!(spec.callback.as_ref().unwrap().name, "tick");
     }
 }

@@ -24,7 +24,9 @@ use energydx_dexir::instrument::{EventPool, Instrumenter};
 use energydx_dexir::module::{MethodKey, Module};
 use energydx_droidsim::framework::Burst;
 use energydx_droidsim::{Device, SimError};
-use energydx_powermodel::{scale_trace, DeviceProfile, PowerModel, UtilizationSampler};
+use energydx_powermodel::{
+    scale_trace, DeviceProfile, PowerModel, UtilizationSampler,
+};
 use energydx_trace::event::EventTrace;
 use energydx_trace::power::PowerTrace;
 use energydx_trace::util::Component;
@@ -55,7 +57,8 @@ impl CollectedTraces {
         if self.session_mean_mw.is_empty() {
             return 0.0;
         }
-        self.session_mean_mw.iter().sum::<f64>() / self.session_mean_mw.len() as f64
+        self.session_mean_mw.iter().sum::<f64>()
+            / self.session_mean_mw.len() as f64
     }
 
     /// Builds the Step-1 analysis input from the collected pairs.
@@ -115,7 +118,10 @@ impl Scenario {
     ///
     /// Propagates [`SimError`] if a script drives the device illegally
     /// (a scenario-definition bug).
-    pub fn collect(&self, variant: Variant) -> Result<CollectedTraces, SimError> {
+    pub fn collect(
+        &self,
+        variant: Variant,
+    ) -> Result<CollectedTraces, SimError> {
         let module = match variant {
             Variant::Faulty => Self::instrument(&self.faulty_module()),
             Variant::Fixed => Self::instrument(&self.fixed_module()),
@@ -141,9 +147,11 @@ impl Scenario {
                 if impacted { &self.trigger } else { &[] },
             );
             let device = Device::new(module.clone());
-            let session = SessionRunner::new(device, hooks.clone()).run(&script)?;
+            let session =
+                SessionRunner::new(device, hooks.clone()).run(&script)?;
 
-            let utilization = sampler.sample(&session.timeline, session.duration_ms);
+            let utilization =
+                sampler.sample(&session.timeline, session.duration_ms);
             let model = PowerModel::new(
                 profile.clone(),
                 self.seed.wrapping_add(user as u64).wrapping_mul(0x9e37),
@@ -166,7 +174,8 @@ impl Scenario {
         let module = self.faulty_module();
         let mut index = CodeIndex::new(module.total_source_lines());
         for key in module.method_keys() {
-            let lines = module.method(&key).map_or(0, |m| m.source_lines as u64);
+            let lines =
+                module.method(&key).map_or(0, |m| m.source_lines as u64);
             index.insert(key.to_string(), lines);
         }
         index
@@ -335,7 +344,11 @@ impl Scenario {
         let wrapper = spec.class_descriptor("FBWrapper");
         let prefs = spec.class_descriptor("Preferences");
         let mut healthy = generate(&spec);
-        add_menu_callbacks(&mut healthy, &wrapper, &["menu_item_newsfeed", "menu_about"]);
+        add_menu_callbacks(
+            &mut healthy,
+            &wrapper,
+            &["menu_item_newsfeed", "menu_about"],
+        );
         Scenario {
             name: "Tinfoil".into(),
             healthy,
@@ -439,8 +452,8 @@ mod tests {
         let s = Scenario::k9mail();
         let collected = s.collect(Variant::Faulty).unwrap();
         let input = collected.diagnosis_input();
-        let config =
-            AnalysisConfig::default().with_developer_fraction(s.developer_fraction());
+        let config = AnalysisConfig::default()
+            .with_developer_fraction(s.developer_fraction());
         let report = EnergyDx::new(config).diagnose(&input);
         assert!(
             report.manifestation_point_count() > 0,
@@ -452,10 +465,9 @@ mod tests {
             .map(|e| e.event.as_str())
             .collect();
         assert!(
-            reported
-                .iter()
-                .any(|e| e.contains("AccountSettings") || e.contains("MessageList")
-                    || e.contains("MailService")),
+            reported.iter().any(|e| e.contains("AccountSettings")
+                || e.contains("MessageList")
+                || e.contains("MailService")),
             "reported events {reported:?} miss the K9 story"
         );
     }
@@ -474,7 +486,8 @@ mod tests {
     #[test]
     fn tinfoil_menu_callbacks_exist() {
         let t = Scenario::tinfoil();
-        let wrapper = &t.healthy.classes["Lcom/danvelazco/fbwrapper/FBWrapper;"];
+        let wrapper =
+            &t.healthy.classes["Lcom/danvelazco/fbwrapper/FBWrapper;"];
         assert!(wrapper.method("menu_item_newsfeed").is_some());
         assert!(wrapper.method("menu_about").is_some());
     }

@@ -3,8 +3,8 @@
 
 use crate::hooks::HookSet;
 use crate::users::{Action, UserScript};
-use energydx_droidsim::{Device, SimError};
 use energydx_droidsim::device::Session;
+use energydx_droidsim::{Device, SimError};
 
 /// Drives a [`Device`] through a [`UserScript`] while applying a
 /// [`HookSet`].
@@ -77,7 +77,8 @@ impl SessionRunner {
             if self.applied >= log_len {
                 break;
             }
-            let pending: Vec<_> = self.device.dispatches()[self.applied..log_len].to_vec();
+            let pending: Vec<_> =
+                self.device.dispatches()[self.applied..log_len].to_vec();
             self.applied = log_len;
             for (_, key) in &pending {
                 self.hooks.apply(key, &mut self.device);
@@ -125,7 +126,10 @@ mod tests {
     fn hooks_do_not_fire_without_the_callback() {
         let spec = spec();
         let hooks = HookSet::new().on(
-            MethodKey::new(spec.class_descriptor("SettingsActivity"), "onResume"),
+            MethodKey::new(
+                spec.class_descriptor("SettingsActivity"),
+                "onResume",
+            ),
             HookAction::Acquire(ResourceKind::Gps),
         );
         let mut runner = SessionRunner::new(device(&spec), hooks);
@@ -149,9 +153,11 @@ mod tests {
             .then(Action::Home)
             .then(Action::Idle(20_000));
         let session = runner.run(&script).unwrap();
-        let wifi = session
-            .timeline
-            .mean_utilization(Component::Wifi, 0, session.duration_ms * 1000);
+        let wifi = session.timeline.mean_utilization(
+            Component::Wifi,
+            0,
+            session.duration_ms * 1000,
+        );
         assert!(wifi > 0.2, "retry task must keep wifi busy, got {wifi}");
     }
 
@@ -177,10 +183,15 @@ mod tests {
         let session = runner.run(&script).unwrap();
         // After home (pause), the loop is cancelled: background CPU
         // stays quiet.
-        let bg_cpu = session
-            .timeline
-            .mean_utilization(Component::Cpu, 10_000_000, session.duration_ms * 1000);
-        assert!(bg_cpu < 0.05, "cancelled task must not burn cpu, got {bg_cpu}");
+        let bg_cpu = session.timeline.mean_utilization(
+            Component::Cpu,
+            10_000_000,
+            session.duration_ms * 1000,
+        );
+        assert!(
+            bg_cpu < 0.05,
+            "cancelled task must not burn cpu, got {bg_cpu}"
+        );
     }
 
     #[test]
@@ -191,7 +202,10 @@ mod tests {
                 spec.class_descriptor("MainActivity"),
                 spec.class_descriptor("SettingsActivity"),
             ],
-            taps: vec![(spec.class_descriptor("MainActivity"), "onClick".into())],
+            taps: vec![(
+                spec.class_descriptor("MainActivity"),
+                "onClick".into(),
+            )],
             rounds: 12,
             idle_range: (500, 2_000),
             tail_idle_ms: 10_000,

@@ -115,7 +115,9 @@ impl ScriptGen {
             rng.gen_range(self.rounds / 2..self.rounds.max(1))
         };
         for round in 0..self.rounds {
-            actions.push(Action::Idle(rng.gen_range(self.idle_range.0..=self.idle_range.1)));
+            actions.push(Action::Idle(
+                rng.gen_range(self.idle_range.0..=self.idle_range.1),
+            ));
             if round == trigger_round {
                 actions.extend(trigger.iter().cloned());
                 continue;
@@ -126,7 +128,8 @@ impl ScriptGen {
                     actions.push(Action::Launch(self.activities[idx].clone()));
                 }
                 1 if !self.taps.is_empty() => {
-                    let (class, cb) = self.taps[rng.gen_range(0..self.taps.len())].clone();
+                    let (class, cb) =
+                        self.taps[rng.gen_range(0..self.taps.len())].clone();
                     actions.push(Action::Tap(class, cb));
                 }
                 2 => {
@@ -202,7 +205,8 @@ mod tests {
 
     #[test]
     fn collect_builds_script() {
-        let s: UserScript = vec![Action::Back, Action::Home].into_iter().collect();
+        let s: UserScript =
+            vec![Action::Back, Action::Home].into_iter().collect();
         assert_eq!(s.actions.len(), 2);
     }
 }

@@ -22,11 +22,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     for app in fleet().iter().filter(|a| picks.contains(&a.id)) {
         let scenario = app.scenario();
-        let collected = scenario
-            .collect(energydx_suite::energydx_workload::scenario::Variant::Faulty)?;
+        let collected = scenario.collect(
+            energydx_suite::energydx_workload::scenario::Variant::Faulty,
+        )?;
         let input = collected.diagnosis_input();
-        let config =
-            AnalysisConfig::default().with_developer_fraction(scenario.developer_fraction());
+        let config = AnalysisConfig::default()
+            .with_developer_fraction(scenario.developer_fraction());
         let report = EnergyDx::new(config).diagnose(&input);
         let code_index = scenario.code_index();
         let reduction = code_index.code_reduction(report.reported_events());
@@ -39,7 +40,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             app.cause.to_string(),
             reduction * 100.0,
             lines,
-            distance.map(|d| d.to_string()).unwrap_or_else(|| "n/a".into())
+            distance
+                .map(|d| d.to_string())
+                .unwrap_or_else(|| "n/a".into())
         );
         assert!(
             report.manifestation_point_count() > 0,

@@ -56,7 +56,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         module.total_source_lines()
     );
 
-    let report = Instrumenter::new(EventPool::standard()).instrument(&module)?;
+    let report =
+        Instrumenter::new(EventPool::standard()).instrument(&module)?;
     println!(
         "instrumented {} pool callbacks, +{} logging instructions",
         report.instrumented_methods, report.added_instructions
@@ -71,10 +72,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     // `formatSubject` is not an interaction/lifecycle callback and
     // must be untouched.
-    assert!(!report
-        .events
-        .iter()
-        .any(|e| e.name == "formatSubject"));
+    assert!(!report.events.iter().any(|e| e.name == "formatSubject"));
 
     println!("\nrewritten assembly:\n{}", assemble_module(&report.module));
     Ok(())

@@ -22,8 +22,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let collected = scenario.collect(Variant::Faulty)?;
     let input = collected.diagnosis_input();
-    let config =
-        AnalysisConfig::default().with_developer_fraction(scenario.developer_fraction());
+    let config = AnalysisConfig::default()
+        .with_developer_fraction(scenario.developer_fraction());
     let report = EnergyDx::new(config).diagnose(&input);
 
     // Fig. 2: the events around the first manifestation point.

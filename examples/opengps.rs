@@ -26,8 +26,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ...and the dynamic EnergyDx diagnosis converges on the same code.
     let collected = scenario.collect(Variant::Faulty)?;
     let input = collected.diagnosis_input();
-    let config =
-        AnalysisConfig::default().with_developer_fraction(scenario.developer_fraction());
+    let config = AnalysisConfig::default()
+        .with_developer_fraction(scenario.developer_fraction());
     let report = EnergyDx::new(config).diagnose(&input);
 
     println!("\nEnergyDx reports (Table IV):");
@@ -57,6 +57,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "the GPS keeps consuming power in the background"
     );
     assert_eq!(breakdown.get(Component::Display), 0.0, "display is off");
-    println!("\n=> GPS still on with the display off: the paper's Fig. 11 shape");
+    println!(
+        "\n=> GPS still on with the display off: the paper's Fig. 11 shape"
+    );
     Ok(())
 }

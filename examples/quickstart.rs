@@ -10,9 +10,13 @@
 use energydx_suite::energydx::{AnalysisConfig, DiagnosisInput, EnergyDx};
 use energydx_suite::energydx_dexir::instr::{Instruction, ResourceKind};
 use energydx_suite::energydx_dexir::instrument::{EventPool, Instrumenter};
-use energydx_suite::energydx_dexir::module::{Class, ComponentKind, Method, Module};
+use energydx_suite::energydx_dexir::module::{
+    Class, ComponentKind, Method, Module,
+};
 use energydx_suite::energydx_droidsim::Device;
-use energydx_suite::energydx_powermodel::{DeviceProfile, PowerModel, UtilizationSampler};
+use energydx_suite::energydx_powermodel::{
+    DeviceProfile, PowerModel, UtilizationSampler,
+};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. An app with two activities. The Tracker activity acquires the
@@ -23,7 +27,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             format!("Lcom/example/quickstart/{name};"),
             ComponentKind::Activity,
         );
-        for cb in ["onCreate", "onStart", "onResume", "onPause", "onStop", "onDestroy"] {
+        for cb in [
+            "onCreate",
+            "onStart",
+            "onResume",
+            "onPause",
+            "onStop",
+            "onDestroy",
+        ] {
             let mut m = Method::new(cb, "()V");
             m.source_lines = 25;
             m.body = vec![Instruction::ReturnVoid];
@@ -61,7 +72,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         device.press_home()?;
         device.idle_ms(15_000);
         let session = device.finish_session();
-        let utilization = sampler.sample(&session.timeline, session.duration_ms);
+        let utilization =
+            sampler.sample(&session.timeline, session.duration_ms);
         pairs.push((session.events, model.estimate_trace(&utilization)));
     }
 
@@ -80,6 +92,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
     assert_eq!(report.impacted_traces(), vec![3], "only user 3 leaks");
-    println!("=> the Tracker activity's events lead straight to the leaked GPS");
+    println!(
+        "=> the Tracker activity's events lead straight to the leaked GPS"
+    );
     Ok(())
 }

@@ -5,11 +5,15 @@ use energydx_suite::energydx::{AnalysisConfig, DiagnosisInput, EnergyDx};
 use energydx_suite::energydx_baselines::{detect_no_sleep, CheckAll, EDelta};
 use energydx_suite::energydx_dexir::instrument::{EventPool, Instrumenter};
 use energydx_suite::energydx_dexir::text::{assemble_module, parse_module};
-use energydx_suite::energydx_powermodel::{DeviceProfile, PowerModel, UtilizationSampler};
+use energydx_suite::energydx_powermodel::{
+    DeviceProfile, PowerModel, UtilizationSampler,
+};
 use energydx_suite::energydx_trace::store::{TraceBundle, TraceStore};
 use energydx_suite::energydx_trace::wire;
 use energydx_suite::energydx_workload::scenario::Variant;
-use energydx_suite::energydx_workload::{fleet, FaultClass, Scenario, SessionRunner};
+use energydx_suite::energydx_workload::{
+    fleet, FaultClass, Scenario, SessionRunner,
+};
 use std::sync::Arc;
 
 /// The complete §II-B workflow: instrument → run sessions on phones →
@@ -30,21 +34,28 @@ fn full_paper_workflow_through_the_wire_and_store() {
             scenario.seed + user as u64,
             if impacted { &scenario.trigger } else { &[] },
         );
-        let device = energydx_suite::energydx_droidsim::Device::new(module.clone());
-        let session = SessionRunner::new(device, hooks.clone()).run(&script).unwrap();
+        let device =
+            energydx_suite::energydx_droidsim::Device::new(module.clone());
+        let session = SessionRunner::new(device, hooks.clone())
+            .run(&script)
+            .unwrap();
 
-        let mut bundle = TraceBundle::new(format!("volunteer-{user}"), 0, "nexus5");
+        let mut bundle =
+            TraceBundle::new(format!("volunteer-{user}"), 0, "nexus5");
         bundle.events = session.events;
-        bundle.utilization =
-            UtilizationSampler::default().sample(&session.timeline, session.duration_ms);
+        bundle.utilization = UtilizationSampler::default()
+            .sample(&session.timeline, session.duration_ms);
         // Over the wire: encode → decode must be lossless.
         let bytes = wire::encode(&bundle);
         batches.push(vec![wire::decode(&bytes).unwrap()]);
     }
 
     let store = Arc::new(TraceStore::new());
-    let accepted = store.ingest_concurrently(batches);
-    assert_eq!(accepted, 6);
+    let report = store.ingest_concurrently(batches);
+    assert_eq!(report.accepted(), 6);
+    assert_eq!(report.clean(), 6);
+    assert_eq!(report.rejected(), 0);
+    assert_eq!(store.quarantine_len(), 0);
 
     // Server side: power estimation + scaling per bundle, then the
     // 5-step analysis.
@@ -56,14 +67,17 @@ fn full_paper_workflow_through_the_wire_and_store() {
             let profile = DeviceProfile::by_name(&bundle.device);
             let model = PowerModel::new(profile.clone(), 99);
             let measured = model.estimate_trace(&bundle.utilization);
-            let power =
-                energydx_suite::energydx_powermodel::scale_trace(&measured, &profile, &reference);
+            let power = energydx_suite::energydx_powermodel::scale_trace(
+                &measured, &profile, &reference,
+            );
             (bundle.events, power)
         })
         .collect();
     let input = DiagnosisInput::from_traces(&pairs);
-    let report = EnergyDx::new(AnalysisConfig::default().with_developer_fraction(2.0 / 6.0))
-        .diagnose(&input);
+    let report = EnergyDx::new(
+        AnalysisConfig::default().with_developer_fraction(2.0 / 6.0),
+    )
+    .diagnose(&input);
 
     assert!(report.manifestation_point_count() > 0, "ABD must be found");
     let reported: Vec<&str> = report
@@ -93,7 +107,9 @@ fn instrumented_module_round_trips_and_runs() {
     device
         .launch_activity("Lcom/danvelazco/fbwrapper/FBWrapper;")
         .unwrap();
-    device.tap("Lcom/danvelazco/fbwrapper/FBWrapper;", "menu_about").unwrap();
+    device
+        .tap("Lcom/danvelazco/fbwrapper/FBWrapper;", "menu_about")
+        .unwrap();
     device.press_home().unwrap();
     device.idle_ms(6_000);
     let session = device.finish_session();
@@ -118,7 +134,9 @@ fn double_instrumentation_is_rejected() {
 fn tools_agree_on_a_nosleep_app() {
     let app = fleet()
         .into_iter()
-        .find(|a| a.cause == FaultClass::NoSleep && !a.dynamic_leak && a.id != 3)
+        .find(|a| {
+            a.cause == FaultClass::NoSleep && !a.dynamic_leak && a.id != 3
+        })
         .unwrap();
     let scenario = app.scenario();
 
@@ -128,8 +146,8 @@ fn tools_agree_on_a_nosleep_app() {
 
     let collected = scenario.collect(Variant::Faulty).unwrap();
     let input = collected.diagnosis_input();
-    let config =
-        AnalysisConfig::default().with_developer_fraction(scenario.developer_fraction());
+    let config = AnalysisConfig::default()
+        .with_developer_fraction(scenario.developer_fraction());
     let report = EnergyDx::new(config).diagnose(&input);
     assert!(report
         .events
@@ -138,7 +156,8 @@ fn tools_agree_on_a_nosleep_app() {
 
     let code_index = scenario.code_index();
     let energydx_lines = code_index.diagnosis_lines(report.reported_events());
-    let checkall_lines = code_index.diagnosis_lines(&CheckAll::new().report(&input));
+    let checkall_lines =
+        code_index.diagnosis_lines(&CheckAll::new().report(&input));
     assert!(
         checkall_lines >= energydx_lines,
         "CheckAll ({checkall_lines}) must not beat EnergyDx ({energydx_lines})"
@@ -156,7 +175,8 @@ fn edelta_misses_weak_fault_that_energydx_catches() {
 
     assert!(!EDelta::new().detects(&reference, &suspect), "{}", app.name);
     let report = EnergyDx::new(
-        AnalysisConfig::default().with_developer_fraction(scenario.developer_fraction()),
+        AnalysisConfig::default()
+            .with_developer_fraction(scenario.developer_fraction()),
     )
     .diagnose(&suspect);
     assert!(report.manifestation_point_count() > 0, "{}", app.name);
@@ -170,7 +190,8 @@ fn fixed_build_produces_clean_diagnosis() {
     scenario.n_users = 6;
     let input = scenario.collect(Variant::Fixed).unwrap().diagnosis_input();
     let report = EnergyDx::new(
-        AnalysisConfig::default().with_developer_fraction(scenario.developer_fraction()),
+        AnalysisConfig::default()
+            .with_developer_fraction(scenario.developer_fraction()),
     )
     .diagnose(&input);
     assert!(

@@ -1,0 +1,182 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API surface the workspace's benches use —
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`BenchmarkId`], [`Throughput`], and the `criterion_group!` /
+//! `criterion_main!` macros — with a simple wall-clock measurement
+//! loop instead of criterion's statistical machinery. Each benchmark
+//! is warmed up briefly, then timed over enough iterations to fill a
+//! short measurement window; the mean per-iteration time is printed.
+
+use std::fmt;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier, re-exported for bench bodies.
+pub fn black_box<T>(value: T) -> T {
+    std_black_box(value)
+}
+
+/// A named benchmark parameterization.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id `function/parameter`.
+    pub fn new(
+        function: impl Into<String>,
+        parameter: impl fmt::Display,
+    ) -> Self {
+        BenchmarkId {
+            text: format!("{}/{}", function.into(), parameter),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Throughput annotation (printed, not statistically analyzed).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// The timing loop handed to bench closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    last_mean: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the mean per-iteration duration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run a few iterations to populate caches.
+        for _ in 0..3 {
+            std_black_box(routine());
+        }
+        let window = Duration::from_millis(200);
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < window {
+            std_black_box(routine());
+            iters += 1;
+        }
+        self.last_mean = Some(start.elapsed() / iters.max(1) as u32);
+    }
+}
+
+/// The top-level bench driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::default();
+        f(&mut bencher);
+        report(name, None, bencher.last_mean);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput annotation for subsequent benches.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher::default();
+        f(&mut bencher, input);
+        report(
+            &format!("{}/{}", self.name, id),
+            self.throughput,
+            bencher.last_mean,
+        );
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+fn report(name: &str, throughput: Option<Throughput>, mean: Option<Duration>) {
+    match mean {
+        Some(mean) => {
+            let rate = throughput.map(|t| match t {
+                Throughput::Elements(n) => {
+                    format!("  ({:.0} elem/s)", n as f64 / mean.as_secs_f64())
+                }
+                Throughput::Bytes(n) => {
+                    format!("  ({:.0} B/s)", n as f64 / mean.as_secs_f64())
+                }
+            });
+            println!(
+                "{name:<50} {mean:>12.2?}/iter{}",
+                rate.unwrap_or_default()
+            );
+        }
+        None => println!("{name:<50} (no measurement)"),
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main`, mirroring criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

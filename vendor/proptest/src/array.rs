@@ -1,0 +1,44 @@
+//! Fixed-size array strategies (`prop::array::uniform6`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// An `[S::Value; N]` strategy drawing each element from `S`.
+#[derive(Debug, Clone)]
+pub struct UniformArray<S, const N: usize> {
+    element: S,
+}
+
+impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N> {
+    type Value = [S::Value; N];
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        std::array::from_fn(|_| self.element.new_value(rng))
+    }
+}
+
+macro_rules! uniform_fn {
+    ($($name:ident => $n:literal),*) => {$(
+        /// Generates arrays of the given arity from one element strategy.
+        pub fn $name<S: Strategy>(element: S) -> UniformArray<S, $n> {
+            UniformArray { element }
+        }
+    )*};
+}
+
+uniform_fn!(
+    uniform2 => 2, uniform3 => 3, uniform4 => 4,
+    uniform5 => 5, uniform6 => 6, uniform8 => 8
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform6_yields_six_in_range() {
+        let s = uniform6(0.0f64..1.0);
+        let v = s.new_value(&mut TestRng::for_case(0));
+        assert_eq!(v.len(), 6);
+        assert!(v.iter().all(|x| (0.0..1.0).contains(x)));
+    }
+}

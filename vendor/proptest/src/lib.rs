@@ -1,0 +1,126 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Provides the subset of the proptest 1.x API this workspace uses:
+//! the [`proptest!`], [`prop_compose!`], [`prop_oneof!`] and
+//! `prop_assert*` macros, the [`strategy::Strategy`] trait with
+//! `prop_map`/`boxed`, range / tuple / `Vec` / array / regex-string
+//! strategies, [`arbitrary::any`], and
+//! [`test_runner::ProptestConfig`].
+//!
+//! Differences from the real crate, chosen deliberately for an
+//! offline, deterministic test environment:
+//!
+//! - **No shrinking.** A failing case panics with the inputs' debug
+//!   representation instead of a minimized counterexample.
+//! - **Deterministic seeding.** Case `i` of every property is driven
+//!   by a [SplitMix64-derived](test_runner::TestRng) stream seeded
+//!   from the case index, so runs are reproducible byte-for-byte.
+//! - **Regex strategies** support the subset the workspace uses:
+//!   concatenations of character classes (`[a-z0-9-]`, ranges,
+//!   escapes, and `&&[^...]` subtraction) with `{m,n}` / `{n}`
+//!   repetition, plus literal characters.
+//!
+//! The number of cases per property defaults to 256 and can be
+//! overridden globally with the `PROPTEST_CASES` environment variable
+//! or per-block with `#![proptest_config(ProptestConfig::with_cases(n))]`.
+
+pub mod arbitrary;
+pub mod array;
+pub mod collection;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// Glob-importable prelude mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_compose, prop_oneof,
+        proptest,
+    };
+
+    /// Module-style access (`prop::collection::vec`, `prop::array::uniform6`).
+    pub mod prop {
+        pub use crate::array;
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running `body` over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                for case in 0..config.resolved_cases() {
+                    let mut rng = $crate::test_runner::TestRng::for_case(case);
+                    let ($($arg,)+) = (
+                        $($crate::strategy::Strategy::new_value(&($strat), &mut rng),)+
+                    );
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Composes named strategies into a function returning a derived
+/// strategy, mirroring `proptest::prop_compose!`.
+#[macro_export]
+macro_rules! prop_compose {
+    ($(#[$meta:meta])* $vis:vis fn $name:ident($($params:tt)*)($($arg:pat_param in $strat:expr),+ $(,)?) -> $ret:ty $body:block) => {
+        $(#[$meta])*
+        $vis fn $name($($params)*) -> impl $crate::strategy::Strategy<Value = $ret> {
+            $crate::strategy::Strategy::prop_map(
+                ($($strat,)+),
+                move |($($arg,)+)| $body,
+            )
+        }
+    };
+}
+
+/// Uniform choice between strategies of a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}

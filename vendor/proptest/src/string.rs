@@ -1,0 +1,277 @@
+//! Regex-subset string generation.
+//!
+//! Real proptest treats string literals as full regexes. This stand-in
+//! supports the subset the workspace's property tests use: a
+//! concatenation of atoms, where an atom is a literal character or a
+//! character class (`[a-z0-9-]` with ranges, escapes, and `&&[^...]`
+//! subtraction), optionally followed by an `{n}` or `{m,n}` repetition.
+//! Anything else panics with a description of the unsupported syntax.
+
+use crate::test_runner::TestRng;
+
+/// One parsed atom: the candidate characters and a repetition range.
+#[derive(Debug, Clone)]
+struct Atom {
+    chars: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+/// A parsed pattern ready to generate strings.
+#[derive(Debug, Clone)]
+pub struct StringPattern {
+    atoms: Vec<Atom>,
+}
+
+impl StringPattern {
+    /// Parses `pattern`, panicking on syntax outside the supported
+    /// subset (this is test-only infrastructure; a loud failure beats
+    /// silently generating the wrong language).
+    pub fn parse(pattern: &str) -> Self {
+        let mut chars = pattern.chars().peekable();
+        let mut atoms = Vec::new();
+        while let Some(c) = chars.next() {
+            let set = match c {
+                '[' => parse_class(&mut chars, pattern),
+                '\\' => vec![chars.next().unwrap_or_else(|| {
+                    panic!("dangling escape in pattern {pattern:?}")
+                })],
+                '.' | '*' | '+' | '?' | '(' | ')' | '|' | '^' | '$' => {
+                    panic!("unsupported regex construct {c:?} in pattern {pattern:?}")
+                }
+                literal => vec![literal],
+            };
+            let (min, max) = parse_repetition(&mut chars, pattern);
+            atoms.push(Atom {
+                chars: set,
+                min,
+                max,
+            });
+        }
+        StringPattern { atoms }
+    }
+
+    /// Generates one string matching the pattern.
+    pub fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for atom in &self.atoms {
+            let reps = atom.min + rng.usize_below(atom.max - atom.min + 1);
+            for _ in 0..reps {
+                out.push(atom.chars[rng.usize_below(atom.chars.len())]);
+            }
+        }
+        out
+    }
+}
+
+/// Parses the interior of `[...]`, supporting ranges, escapes, a
+/// leading `^` (negation over printable ASCII), and `&&[^...]`
+/// subtraction. The opening `[` has already been consumed.
+fn parse_class(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    pattern: &str,
+) -> Vec<char> {
+    let negated = chars.peek() == Some(&'^') && {
+        chars.next();
+        true
+    };
+    let mut set: Vec<char> = Vec::new();
+    let mut pending: Option<char> = None;
+    loop {
+        let c = chars.next().unwrap_or_else(|| {
+            panic!("unterminated class in pattern {pattern:?}")
+        });
+        match c {
+            ']' => {
+                if let Some(p) = pending {
+                    set.push(p);
+                }
+                break;
+            }
+            '&' if chars.peek() == Some(&'&') => {
+                chars.next();
+                if let Some(p) = pending.take() {
+                    set.push(p);
+                }
+                // Only the `&&[^...]` (subtraction) form is supported.
+                if chars.next() != Some('[') || chars.next() != Some('^') {
+                    panic!("only &&[^...] class intersection is supported in {pattern:?}");
+                }
+                let mut removed: Vec<char> = Vec::new();
+                let mut inner_pending: Option<char> = None;
+                loop {
+                    let ic = chars.next().unwrap_or_else(|| {
+                        panic!("unterminated class in {pattern:?}")
+                    });
+                    match ic {
+                        ']' => {
+                            if let Some(p) = inner_pending {
+                                removed.push(p);
+                            }
+                            break;
+                        }
+                        '\\' => {
+                            if let Some(p) = inner_pending.replace(
+                                chars.next().unwrap_or_else(|| {
+                                    panic!("dangling escape in {pattern:?}")
+                                }),
+                            ) {
+                                removed.push(p);
+                            }
+                        }
+                        '-' if inner_pending.is_some()
+                            && chars.peek() != Some(&']') =>
+                        {
+                            let start =
+                                inner_pending.take().expect("checked above");
+                            let end = chars.next().expect("peeked above");
+                            push_range(&mut removed, start, end, pattern);
+                        }
+                        other => {
+                            if let Some(p) = inner_pending.replace(other) {
+                                removed.push(p);
+                            }
+                        }
+                    }
+                }
+                // The outer class must close right after the subtraction.
+                if chars.next() != Some(']') {
+                    panic!("expected ] after &&[^...] in {pattern:?}");
+                }
+                set.retain(|c| !removed.contains(c));
+                break;
+            }
+            '\\' => {
+                let escaped = chars.next().unwrap_or_else(|| {
+                    panic!("dangling escape in {pattern:?}")
+                });
+                if let Some(p) = pending.replace(escaped) {
+                    set.push(p);
+                }
+            }
+            '-' if pending.is_some() && chars.peek() != Some(&']') => {
+                let start = pending.take().expect("checked above");
+                let end = chars.next().unwrap_or_else(|| {
+                    panic!("unterminated range in {pattern:?}")
+                });
+                push_range(&mut set, start, end, pattern);
+            }
+            other => {
+                if let Some(p) = pending.replace(other) {
+                    set.push(p);
+                }
+            }
+        }
+    }
+    if negated {
+        // Complement within printable ASCII, like proptest restricted
+        // to the alphabets these tests use.
+        (' '..='~').filter(|c| !set.contains(c)).collect()
+    } else {
+        assert!(!set.is_empty(), "empty character class in {pattern:?}");
+        set
+    }
+}
+
+fn push_range(set: &mut Vec<char>, start: char, end: char, pattern: &str) {
+    assert!(
+        start <= end,
+        "inverted range {start:?}-{end:?} in {pattern:?}"
+    );
+    set.extend(start..=end);
+}
+
+/// Parses an optional `{n}` / `{m,n}` suffix; defaults to exactly one.
+fn parse_repetition(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    pattern: &str,
+) -> (usize, usize) {
+    if chars.peek() != Some(&'{') {
+        return (1, 1);
+    }
+    chars.next();
+    let mut body = String::new();
+    loop {
+        match chars.next() {
+            Some('}') => break,
+            Some(c) => body.push(c),
+            None => panic!("unterminated repetition in {pattern:?}"),
+        }
+    }
+    let parse = |s: &str| {
+        s.parse::<usize>().unwrap_or_else(|_| {
+            panic!("bad repetition {body:?} in {pattern:?}")
+        })
+    };
+    match body.split_once(',') {
+        Some((m, n)) => (parse(m.trim()), parse(n.trim())),
+        None => {
+            let n = parse(body.trim());
+            (n, n)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen(pattern: &str, case: u32) -> String {
+        StringPattern::parse(pattern).generate(&mut TestRng::for_case(case))
+    }
+
+    #[test]
+    fn simple_class_with_reps() {
+        for case in 0..50 {
+            let s = gen("[a-z]{2,8}", case);
+            assert!((2..=8).contains(&s.len()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn concatenated_atoms() {
+        for case in 0..50 {
+            let s = gen("[A-Za-z][A-Za-z0-9]{0,6}", case);
+            assert!(!s.is_empty() && s.len() <= 7, "{s:?}");
+            assert!(s.chars().next().is_some_and(|c| c.is_ascii_alphabetic()));
+        }
+    }
+
+    #[test]
+    fn literal_dash_in_class() {
+        let allowed =
+            |c: char| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-';
+        for case in 0..50 {
+            let s = gen("[a-z0-9-]{1,12}", case);
+            assert!(s.chars().all(allowed), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn printable_ascii_with_subtraction() {
+        for case in 0..100 {
+            let s = gen("[ -~&&[^\"\\\\]]{0,12}", case);
+            assert!(
+                s.chars()
+                    .all(|c| (' '..='~').contains(&c) && c != '"' && c != '\\'),
+                "{s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn space_to_tilde_range() {
+        for case in 0..50 {
+            let s = gen("[ -~]{0,60}", case);
+            assert!(s.len() <= 60);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported regex construct")]
+    fn unsupported_syntax_is_loud() {
+        StringPattern::parse("a+");
+    }
+}

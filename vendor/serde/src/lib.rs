@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde`.
+//!
+//! The repository derives `Serialize`/`Deserialize` on its data types
+//! as a forward-compatible annotation but never drives an actual
+//! serializer (there is no `serde_json` in the dependency graph). This
+//! crate provides just enough surface for those derives and imports to
+//! compile without network access: two marker traits and the no-op
+//! derive macros from the sibling `serde_derive` stand-in.
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
