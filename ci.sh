@@ -14,7 +14,28 @@ echo "== tier-1: release build + tests =="
 cargo build --release
 cargo test -q
 
-echo "== full workspace tests =="
+echo "== full workspace tests (single-threaded pipeline) =="
+# First pass pins the analysis pool to one worker: any test that only
+# passes because of a particular thread count fails here.
+ENERGYDX_JOBS=1 RAYON_NUM_THREADS=1 cargo test -q --workspace
+
+echo "== full workspace tests (default parallelism) =="
 cargo test -q --workspace
+
+echo "== differential harness (release, optimized float paths) =="
+# The seq==parallel==sharded byte-identity must also hold under
+# release codegen, where float expression fusion would surface.
+cargo test -q --release --test diff_harness
+
+echo "== shuffle guard =="
+# `cargo test -- --shuffle` is nightly-only; where unsupported we
+# fall back on the harness's own built-in shuffles (diff_harness
+# permutes trace order and partial merge order with seeded RNG).
+if cargo test -q --test diff_harness -- --shuffle --test-threads 1 >/dev/null 2>&1; then
+  echo "(nightly --shuffle supported and green)"
+else
+  echo "(stable toolchain: --shuffle unsupported; relying on the"
+  echo " harness's internal seeded permutation and merge-order tests)"
+fi
 
 echo "CI green."

@@ -1,0 +1,43 @@
+//! Extension experiment: wall-clock scaling of the fleet-parallel
+//! pipeline vs. the sequential reference, with a byte-equality check
+//! of every configuration's report.
+
+use energydx_bench::fleetscale;
+use energydx_bench::render::table;
+
+fn main() {
+    let users = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(48);
+    let points = fleetscale::measure(users, 3);
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.label.clone(),
+                format!("{:.1}", p.millis),
+                format!("{:.2}x", p.speedup),
+                if p.identical {
+                    "yes".to_string()
+                } else {
+                    "NO".to_string()
+                },
+            ]
+        })
+        .collect();
+    println!(
+        "Fleet-parallel scaling, {users} users ({} hardware threads)",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    );
+    println!(
+        "{}",
+        table(&["Configuration", "ms", "Speedup", "Identical"], &rows)
+    );
+    if points.iter().any(|p| !p.identical) {
+        eprintln!("DIVERGENCE: some configuration changed the report");
+        std::process::exit(1);
+    }
+}

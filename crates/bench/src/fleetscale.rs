@@ -1,0 +1,99 @@
+//! Wall-clock scaling of the fleet-parallel manifestation pipeline.
+//!
+//! Runs the same diagnosis over a seeded fleet with the sequential
+//! reference, the worker-pool path at 1..N threads, and the
+//! shard-then-merge path, timing each and checking that every variant
+//! renders the **same canonical JSON** as the reference — the scaling
+//! table doubles as a coarse differential check.
+//!
+//! Speedups are measured, not asserted: on a single-core container
+//! every configuration is expected to land near 1×, and that is the
+//! honest result to print.
+
+use energydx::{AnalysisConfig, EnergyDx};
+use energydx_workload::scenario::Variant;
+use energydx_workload::Scenario;
+use std::time::Instant;
+
+/// One timed configuration of the pipeline.
+#[derive(Debug, Clone)]
+pub struct ScalePoint {
+    /// Human-readable configuration label.
+    pub label: String,
+    /// Best-of-`repeats` wall time in milliseconds.
+    pub millis: f64,
+    /// Sequential-reference time divided by this configuration's time.
+    pub speedup: f64,
+    /// Whether the canonical JSON matched the reference byte for byte.
+    pub identical: bool,
+}
+
+/// Times the reference, worker-pool (1, 2, 4, 8 threads), and sharded
+/// (4 shards) configurations on a `users`-trace OpenGPS fleet, best of
+/// `repeats` runs each.
+pub fn measure(users: usize, repeats: usize) -> Vec<ScalePoint> {
+    let mut scenario = Scenario::opengps();
+    scenario.n_users = users;
+    let collected = scenario
+        .collect(Variant::Faulty)
+        .expect("scenario scripts are legal");
+    let input = collected.diagnosis_input();
+    let config = AnalysisConfig::default()
+        .with_developer_fraction(scenario.developer_fraction());
+    let dx = EnergyDx::new(config.clone());
+
+    let reference = dx.diagnose_reference(&input);
+    let reference_json = reference.to_canonical_json();
+    let reference_millis = best_of(repeats, || dx.diagnose_reference(&input));
+
+    let mut points = vec![ScalePoint {
+        label: "sequential reference".to_string(),
+        millis: reference_millis,
+        speedup: 1.0,
+        identical: true,
+    }];
+    for jobs in [1usize, 2, 4, 8] {
+        let dx = EnergyDx::new(config.clone()).with_jobs(jobs);
+        let json = dx.diagnose(&input).to_canonical_json();
+        let millis = best_of(repeats, || dx.diagnose(&input));
+        points.push(ScalePoint {
+            label: format!("worker pool, {jobs} job(s)"),
+            millis,
+            speedup: reference_millis / millis,
+            identical: json == reference_json,
+        });
+    }
+    let json = dx.diagnose_sharded(&input, 4).to_canonical_json();
+    let millis = best_of(repeats, || dx.diagnose_sharded(&input, 4));
+    points.push(ScalePoint {
+        label: "4 shards, merged".to_string(),
+        millis,
+        speedup: reference_millis / millis,
+        identical: json == reference_json,
+    });
+    points
+}
+
+/// Best (smallest) wall time of `repeats` runs, in milliseconds.
+fn best_of<R>(repeats: usize, mut run: impl FnMut() -> R) -> f64 {
+    (0..repeats.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            std::hint::black_box(run());
+            start.elapsed().as_secs_f64() * 1e3
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_configuration_matches_the_reference() {
+        for point in measure(8, 1) {
+            assert!(point.identical, "{} diverged", point.label);
+            assert!(point.millis.is_finite() && point.millis >= 0.0);
+        }
+    }
+}

@@ -29,6 +29,7 @@ pub mod casestudy;
 pub mod comparison;
 pub mod fig1;
 pub mod fig17;
+pub mod fleetscale;
 pub mod k9;
 pub mod overhead;
 pub mod render;

@@ -63,6 +63,7 @@ USAGE:
   energydx verify <app.smali>
   energydx simulate --app <name> [--users <n>] [--fixed] --out <dir>
   energydx analyze --dir <dir> [--fraction <0..1>] [--top <k>] [--explain]
+                   [--jobs <n>] [--shards <n>] [--json]
   energydx demo --app <name>
   energydx apps
 
@@ -216,6 +217,19 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
         .map(|t| t.parse().map_err(|_| format!("invalid --top `{t}`")))
         .transpose()?
         .unwrap_or(6);
+    let jobs: usize = flag_value(args, "--jobs")
+        .map(|j| j.parse().map_err(|_| format!("invalid --jobs `{j}`")))
+        .transpose()?
+        .unwrap_or(0);
+    let shards: usize = flag_value(args, "--shards")
+        .map(|s| {
+            s.parse::<usize>()
+                .ok()
+                .filter(|&s| s > 0)
+                .ok_or(format!("invalid --shards `{s}`"))
+        })
+        .transpose()?
+        .unwrap_or(1);
 
     let pairs = load_trace_dir(&dir)?;
     if pairs.is_empty() {
@@ -225,8 +239,19 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
     let mut config =
         AnalysisConfig::default().with_developer_fraction(fraction);
     config.top_k = top_k;
-    let report = EnergyDx::new(config.clone()).diagnose(&input);
+    let dx = EnergyDx::new(config.clone()).with_jobs(jobs);
+    // The report is byte-identical for every --jobs and --shards
+    // setting; the flags only choose how the work is scheduled.
+    let report = if shards > 1 {
+        dx.diagnose_sharded(&input, shards)
+    } else {
+        dx.diagnose(&input)
+    };
 
+    if args.iter().any(|a| a == "--json") {
+        print!("{}", report.to_canonical_json());
+        return Ok(());
+    }
     if args.iter().any(|a| a == "--explain") {
         print!("{}", energydx::explain::explain(&report, &config, None));
         return Ok(());

@@ -206,6 +206,71 @@ fn simulate_then_analyze_round_trip() {
 }
 
 #[test]
+fn analyze_json_is_identical_across_jobs_and_shards() {
+    let dir = temp_dir("diffcli");
+    let out = energydx()
+        .args([
+            "simulate",
+            "--app",
+            "opengps",
+            "--users",
+            "6",
+            "--out",
+            dir.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let run = |extra: &[&str]| -> Vec<u8> {
+        let mut args =
+            vec!["analyze", "--dir", dir.to_str().unwrap(), "--json"];
+        args.extend_from_slice(extra);
+        let out = energydx().args(&args).output().unwrap();
+        assert!(
+            out.status.success(),
+            "args {extra:?}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        out.stdout
+    };
+
+    let sequential = run(&["--jobs", "1"]);
+    assert!(!sequential.is_empty());
+    assert_eq!(sequential.last(), Some(&b'\n'));
+    for extra in [
+        &["--jobs", "2"][..],
+        &["--jobs", "8"],
+        &["--shards", "3"],
+        &["--jobs", "4", "--shards", "5"],
+    ] {
+        assert_eq!(run(extra), sequential, "args {extra:?}");
+    }
+}
+
+#[test]
+fn analyze_rejects_bad_jobs_and_shards() {
+    let dir = temp_dir("badflags");
+    std::fs::write(dir.join("user-0.events"), "").unwrap();
+    for args in [["--jobs", "x"], ["--shards", "0"]] {
+        let out = energydx()
+            .args(["analyze", "--dir", dir.to_str().unwrap()])
+            .args(args)
+            .output()
+            .unwrap();
+        assert!(!out.status.success());
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains("invalid"),
+            "args {args:?}"
+        );
+    }
+}
+
+#[test]
 fn analyze_rejects_corrupt_power_csv_with_path_and_line() {
     let dir = temp_dir("corrupt-power");
     let out = energydx()

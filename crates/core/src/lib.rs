@@ -22,6 +22,13 @@
 //!    window, sorted by how closely the fraction of impacted traces
 //!    matches the developer-reported fraction of impacted users.
 //!
+//! The pipeline scales past a single core: [`par`] is the
+//! deterministic worker pool, [`shard`] the map/merge/finish dataflow
+//! that analyzes the fleet in mergeable shards, and [`json`] the
+//! canonical report rendering the differential harness compares byte
+//! for byte — sequential, parallel, and sharded execution produce
+//! identical reports.
+//!
 //! The façade type is [`EnergyDx`]; the evaluation metric is
 //! [`report::CodeIndex::code_reduction`]; [`distance`] computes the
 //! Fig.-1 *event distance* between the known root cause and the
@@ -59,8 +66,11 @@ pub mod config;
 pub mod distance;
 pub mod explain;
 pub mod input;
+pub mod json;
+pub mod par;
 pub mod pipeline;
 pub mod report;
+pub mod shard;
 
 pub use config::AnalysisConfig;
 pub use input::DiagnosisInput;
@@ -69,3 +79,4 @@ pub use report::{
     AnalysisStats, CodeIndex, DiagnosisReport, RankedEvent, SkippedTrace,
     TraceAnalysis,
 };
+pub use shard::{ShardError, ShardPartial};

@@ -1,0 +1,148 @@
+//! A minimal deterministic worker pool for fleet-parallel analysis.
+//!
+//! The container this workspace builds in has no network access, so
+//! `rayon` is not available; this module provides the small slice of it
+//! the pipeline needs — an indexed parallel map over a slice — on plain
+//! [`std::thread::scope`] workers.
+//!
+//! Determinism is the design constraint, not a side effect: results are
+//! returned **in input order** no matter how the operating system
+//! schedules the workers, so a caller that computes pure per-item
+//! functions gets bit-identical output at any thread count. The
+//! differential harness in `tests/diff_harness.rs` holds the pipeline
+//! to exactly that guarantee.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Resolves a requested job count to an effective one.
+///
+/// `0` means "auto": the `ENERGYDX_JOBS` environment variable if set to
+/// a positive integer, then `RAYON_NUM_THREADS` (honored for CI
+/// muscle-memory compatibility), then the machine's available
+/// parallelism.
+///
+/// # Examples
+///
+/// ```
+/// # use energydx::par::resolve_jobs;
+/// assert_eq!(resolve_jobs(3), 3);
+/// assert!(resolve_jobs(0) >= 1);
+/// ```
+pub fn resolve_jobs(requested: usize) -> usize {
+    if requested > 0 {
+        return requested;
+    }
+    for var in ["ENERGYDX_JOBS", "RAYON_NUM_THREADS"] {
+        if let Some(n) = std::env::var(var)
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+        {
+            return n;
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Applies `f` to every element of `items`, returning the results in
+/// input order.
+///
+/// `jobs` is resolved via [`resolve_jobs`] and clamped to the item
+/// count; with one effective job the map runs inline on the calling
+/// thread (no spawn overhead). With more, workers claim indices from a
+/// shared atomic counter — dynamic load balancing for fleets whose
+/// traces differ wildly in length — and the results are reassembled by
+/// index, so the output is identical at every thread count.
+///
+/// # Panics
+///
+/// Propagates a panic from `f` (the panicking worker's payload is
+/// re-raised on the calling thread).
+///
+/// # Examples
+///
+/// ```
+/// # use energydx::par::par_map;
+/// let doubled = par_map(&[1, 2, 3], 2, |_, &x| x * 2);
+/// assert_eq!(doubled, vec![2, 4, 6]);
+/// ```
+pub fn par_map<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let jobs = resolve_jobs(jobs).min(items.len()).max(1);
+    if jobs == 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let locals: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..jobs)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(i) else { break };
+                        local.push((i, f(i, item)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(local) => local,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    });
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+    for (i, r) in locals.into_iter().flatten() {
+        slots[i] = Some(r);
+    }
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every index is claimed exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        let items: Vec<usize> = (0..257).collect();
+        for jobs in [1, 2, 3, 8] {
+            let out = par_map(&items, jobs, |i, &x| {
+                assert_eq!(i, x);
+                x * x
+            });
+            let expected: Vec<usize> = items.iter().map(|x| x * x).collect();
+            assert_eq!(out, expected, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        assert_eq!(par_map(&[] as &[u8], 4, |_, &x| x), Vec::<u8>::new());
+        assert_eq!(par_map(&[7u8], 4, |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn explicit_request_overrides_auto() {
+        assert_eq!(resolve_jobs(5), 5);
+    }
+
+    #[test]
+    fn jobs_beyond_item_count_are_harmless() {
+        let out = par_map(&[1, 2], 64, |_, &x| x);
+        assert_eq!(out, vec![1, 2]);
+    }
+}

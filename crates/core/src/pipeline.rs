@@ -12,12 +12,14 @@ use crate::report::{
     AnalysisStats, DiagnosisReport, ManifestationPoint, RankedEvent,
     SkippedTrace, TraceAnalysis,
 };
+use crate::shard::Step5Partial;
 use energydx_stats::outlier::TukeyFences;
 use energydx_stats::{average_ranks, percentile};
-use std::collections::{BTreeMap, BTreeSet};
+use energydx_trace::join::PoweredInstance;
+use std::collections::BTreeMap;
 
 /// Per-event-group power statistics shared by Steps 2 and 3.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct EventGroups {
     /// Event key → power of every instance of that event, across all
     /// traces, in trace order.
@@ -27,8 +29,14 @@ pub struct EventGroups {
 impl EventGroups {
     /// Collects per-event power populations from the input.
     pub fn collect(input: &DiagnosisInput) -> Self {
+        Self::collect_traces(input.traces())
+    }
+
+    /// Collects per-event power populations from a run of traces (a
+    /// shard of the fleet, or the whole of it).
+    pub fn collect_traces(traces: &[Vec<PoweredInstance>]) -> Self {
         let mut powers: BTreeMap<String, Vec<f64>> = BTreeMap::new();
-        for trace in input.traces() {
+        for trace in traces {
             for p in trace {
                 powers
                     .entry(p.instance.event.clone())
@@ -37,6 +45,19 @@ impl EventGroups {
             }
         }
         EventGroups { powers }
+    }
+
+    /// Appends another partial's populations after this one's.
+    ///
+    /// When `later` was collected from the traces that immediately
+    /// follow this partial's in fleet order, the result is identical to
+    /// one [`EventGroups::collect_traces`] pass over the concatenated
+    /// run — group vectors stay in trace order, which is what makes
+    /// shard-level collection equivalent to sequential collection.
+    pub fn merge(&mut self, later: EventGroups) {
+        for (event, powers) in later.powers {
+            self.powers.entry(event).or_default().extend(powers);
+        }
     }
 }
 
@@ -81,7 +102,22 @@ pub fn step3_normalize(
     groups: &EventGroups,
     config: &AnalysisConfig,
 ) -> Vec<Vec<f64>> {
-    let bases: BTreeMap<&str, f64> = groups
+    let bases = group_bases(groups, config);
+    input
+        .traces()
+        .iter()
+        .map(|trace| normalize_trace(trace, &bases, config))
+        .collect()
+}
+
+/// The Step-3 normalization base of every non-degenerate event group:
+/// the configured percentile, guarded from below by a fraction of the
+/// median and by the absolute floor.
+pub(crate) fn group_bases<'a>(
+    groups: &'a EventGroups,
+    config: &AnalysisConfig,
+) -> BTreeMap<&'a str, f64> {
+    groups
         .powers
         .iter()
         .filter_map(|(event, powers)| {
@@ -92,24 +128,27 @@ pub fn step3_normalize(
                 .max(config.min_base_mw);
             (base.is_finite() && base > 0.0).then_some((event.as_str(), base))
         })
-        .collect();
-    input
-        .traces()
+        .collect()
+}
+
+/// Normalizes one trace against the per-event bases — the pure
+/// per-trace unit of Step 3.
+pub(crate) fn normalize_trace(
+    trace: &[PoweredInstance],
+    bases: &BTreeMap<&str, f64>,
+    config: &AnalysisConfig,
+) -> Vec<f64> {
+    trace
         .iter()
-        .map(|trace| {
-            trace
-                .iter()
-                .map(|p| {
-                    // An event missing its base (degenerate group, or
-                    // groups computed over different input) falls back
-                    // to the configured floor instead of panicking.
-                    let base = bases
-                        .get(p.instance.event.as_str())
-                        .copied()
-                        .unwrap_or(config.min_base_mw.max(f64::MIN_POSITIVE));
-                    p.power_mw / base
-                })
-                .collect()
+        .map(|p| {
+            // An event missing its base (degenerate group, or groups
+            // computed over different input) falls back to the
+            // configured floor instead of panicking.
+            let base = bases
+                .get(p.instance.event.as_str())
+                .copied()
+                .unwrap_or(config.min_base_mw.max(f64::MIN_POSITIVE));
+            p.power_mw / base
         })
         .collect()
 }
@@ -126,46 +165,50 @@ pub fn step4_detect(
 ) -> Vec<(Vec<f64>, Option<TukeyFences>, Vec<usize>)> {
     normalized
         .iter()
-        .map(|series| {
-            let amplitudes = if config.sustained_window > 0 {
-                sustained_amplitudes(series, config.sustained_window)
-            } else {
-                variation_amplitudes(series)
-            };
-            if amplitudes.len() < 4 {
-                return (amplitudes, None, Vec::new());
-            }
-            // Degenerate amplitude data (possible only when a caller
-            // bypasses input sanitation) yields no detections rather
-            // than a panic.
-            let Ok(fences) =
-                TukeyFences::from_data(&amplitudes, config.fence_k)
-            else {
-                return (amplitudes, None, Vec::new());
-            };
-            let raw_outliers: Vec<usize> = amplitudes
-                .iter()
-                .enumerate()
-                .filter(|(_, &v)| v > fences.upper + config.min_fence_excess)
-                .map(|(i, _)| i)
-                .collect();
-            // One level shift makes several adjacent instances cross
-            // the fence (the windowed median moves over the onset);
-            // collapse each consecutive run to its strongest instance
-            // so one transition is one manifestation point.
-            let mut outliers: Vec<usize> = Vec::new();
-            let mut run: Vec<usize> = Vec::new();
-            for &idx in &raw_outliers {
-                if run.last().is_some_and(|&last| idx > last + 1) {
-                    outliers.extend(argmax_of(&run, &amplitudes));
-                    run.clear();
-                }
-                run.push(idx);
-            }
-            outliers.extend(argmax_of(&run, &amplitudes));
-            (amplitudes, Some(fences), outliers)
-        })
+        .map(|series| detect_series(series, config))
         .collect()
+}
+
+/// Detection over one normalized series — the pure per-trace unit of
+/// Step 4.
+pub(crate) fn detect_series(
+    series: &[f64],
+    config: &AnalysisConfig,
+) -> (Vec<f64>, Option<TukeyFences>, Vec<usize>) {
+    let amplitudes = if config.sustained_window > 0 {
+        sustained_amplitudes(series, config.sustained_window)
+    } else {
+        variation_amplitudes(series)
+    };
+    if amplitudes.len() < 4 {
+        return (amplitudes, None, Vec::new());
+    }
+    // Degenerate amplitude data (possible only when a caller bypasses
+    // input sanitation) yields no detections rather than a panic.
+    let Ok(fences) = TukeyFences::from_data(&amplitudes, config.fence_k) else {
+        return (amplitudes, None, Vec::new());
+    };
+    let raw_outliers: Vec<usize> = amplitudes
+        .iter()
+        .enumerate()
+        .filter(|(_, &v)| v > fences.upper + config.min_fence_excess)
+        .map(|(i, _)| i)
+        .collect();
+    // One level shift makes several adjacent instances cross the fence
+    // (the windowed median moves over the onset); collapse each
+    // consecutive run to its strongest instance so one transition is
+    // one manifestation point.
+    let mut outliers: Vec<usize> = Vec::new();
+    let mut run: Vec<usize> = Vec::new();
+    for &idx in &raw_outliers {
+        if run.last().is_some_and(|&last| idx > last + 1) {
+            outliers.extend(argmax_of(&run, &amplitudes));
+            run.clear();
+        }
+        run.push(idx);
+    }
+    outliers.extend(argmax_of(&run, &amplitudes));
+    (amplitudes, Some(fences), outliers)
 }
 
 /// The index (from `candidates`) with the largest amplitude; `None`
@@ -180,74 +223,71 @@ fn argmax_of(candidates: &[usize], amplitudes: &[f64]) -> Option<usize> {
 
 /// Step 5: gathers the events inside each manifestation window,
 /// computes per-event impacted-trace fractions, and sorts by distance
-/// to the developer-reported fraction.
+/// to the developer-reported fraction. The tie-break chain after the
+/// fraction distance is total and deterministic: higher impacted
+/// fraction, then smaller window proximity, then event name.
 pub fn step5_report(
     input: &DiagnosisInput,
     detections: &[(Vec<f64>, Option<TukeyFences>, Vec<usize>)],
     config: &AnalysisConfig,
 ) -> Vec<RankedEvent> {
-    let total = input.len();
-    if total == 0 {
-        return Vec::new();
-    }
-    // Per trace: the set of events whose instances fall inside any
-    // manifestation window, with their distance to the nearest point.
-    let mut impacted_by: BTreeMap<String, usize> = BTreeMap::new();
-    let mut proximity: BTreeMap<String, usize> = BTreeMap::new();
+    let mut partial = Step5Partial::new();
     for (trace, (_, _, outliers)) in input.traces().iter().zip(detections) {
-        let mut events_in_windows: BTreeSet<&str> = BTreeSet::new();
-        for &center in outliers {
-            let lo = center.saturating_sub(config.window);
-            let hi =
-                (center + config.window).min(trace.len().saturating_sub(1));
-            for (i, p) in trace[lo..=hi].iter().enumerate() {
-                let event = p.instance.event.as_str();
-                events_in_windows.insert(event);
-                let distance = (lo + i).abs_diff(center);
-                proximity
-                    .entry(event.to_string())
-                    .and_modify(|d| *d = (*d).min(distance))
-                    .or_insert(distance);
-            }
-        }
-        for event in events_in_windows {
-            *impacted_by.entry(event.to_string()).or_default() += 1;
+        partial.absorb_trace(trace_impact(trace, outliers, config));
+    }
+    partial.into_ranked(config)
+}
+
+/// The events whose instances fall inside any of one trace's
+/// manifestation windows, with their smallest distance to a window
+/// center — the pure per-trace unit of Step 5. Fold the results with
+/// [`Step5Partial`] (counts add, distances take the minimum), in any
+/// order, to recover the global Step-5 aggregation.
+pub(crate) fn trace_impact(
+    trace: &[PoweredInstance],
+    outliers: &[usize],
+    config: &AnalysisConfig,
+) -> BTreeMap<String, usize> {
+    let mut impact: BTreeMap<String, usize> = BTreeMap::new();
+    for &center in outliers {
+        let lo = center.saturating_sub(config.window);
+        let hi = (center + config.window).min(trace.len().saturating_sub(1));
+        for (i, p) in trace[lo..=hi].iter().enumerate() {
+            let distance = (lo + i).abs_diff(center);
+            impact
+                .entry(p.instance.event.clone())
+                .and_modify(|d| *d = (*d).min(distance))
+                .or_insert(distance);
         }
     }
-
-    let mut ranked: Vec<RankedEvent> = impacted_by
-        .into_iter()
-        .map(|(event, count)| {
-            let proximity =
-                proximity.get(&event).copied().unwrap_or(usize::MAX);
-            RankedEvent {
-                event,
-                impacted_fraction: count as f64 / total as f64,
-                proximity,
-            }
-        })
-        .collect();
-    ranked.sort_by(|a, b| {
-        let da = (a.impacted_fraction - config.developer_fraction).abs();
-        let db = (b.impacted_fraction - config.developer_fraction).abs();
-        da.total_cmp(&db)
-            .then_with(|| b.impacted_fraction.total_cmp(&a.impacted_fraction))
-            .then_with(|| a.proximity.cmp(&b.proximity))
-            .then_with(|| a.event.cmp(&b.event))
-    });
-    ranked
+    impact
 }
 
 /// The EnergyDx analyzer: configuration plus the chained pipeline.
 #[derive(Debug, Clone, Default)]
 pub struct EnergyDx {
     config: AnalysisConfig,
+    jobs: usize,
 }
 
 impl EnergyDx {
-    /// Creates an analyzer with the given configuration.
+    /// Creates an analyzer with the given configuration and automatic
+    /// worker-pool sizing (see [`crate::par::resolve_jobs`]).
     pub fn new(config: AnalysisConfig) -> Self {
-        EnergyDx { config }
+        EnergyDx { config, jobs: 0 }
+    }
+
+    /// Sets the worker-pool size for [`EnergyDx::diagnose`]. `0` (the
+    /// default) auto-sizes from the environment; `1` forces sequential
+    /// execution. The report is byte-identical at every setting.
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
+    }
+
+    /// The configured worker-pool size (`0` = auto).
+    pub fn jobs(&self) -> usize {
+        self.jobs
     }
 
     /// The active configuration.
@@ -260,11 +300,32 @@ impl EnergyDx {
     /// the per-trace intermediate series needed to regenerate
     /// Figs. 7–10, 12, 13, and 15.
     ///
+    /// Per-trace and per-event-group work runs on a worker pool of
+    /// [`EnergyDx::jobs`] threads (see [`crate::par`]); the report is
+    /// byte-identical to [`EnergyDx::diagnose_reference`] at every
+    /// thread count — the guarantee the differential harness in
+    /// `tests/diff_harness.rs` enforces.
+    ///
     /// Diagnosis never panics on damaged input: traces carrying
     /// non-finite power are excluded (their report slot stays, empty)
     /// and accounted for in [`DiagnosisReport::stats`], so one corrupt
     /// upload cannot take down the analysis of an entire fleet.
     pub fn diagnose(&self, input: &DiagnosisInput) -> DiagnosisReport {
+        let partial = self.map_shard(input.traces(), 0);
+        self.finish(partial)
+            .expect("a single shard at offset 0 is a complete fleet")
+    }
+
+    /// The textbook sequential implementation of Steps 2–5 — the ground
+    /// truth the parallel and sharded paths are differentially tested
+    /// against. Prefer [`EnergyDx::diagnose`]; this one exists so the
+    /// equivalence claim is checked against an independent, straight-
+    /// line implementation rather than against the parallel code with
+    /// one thread.
+    pub fn diagnose_reference(
+        &self,
+        input: &DiagnosisInput,
+    ) -> DiagnosisReport {
         let (input, skipped) = input.sanitized();
         let input = &input;
         let groups = EventGroups::collect(input);
@@ -566,6 +627,16 @@ mod tests {
         assert_eq!(report.stats.total_traces, 4);
         assert_eq!(report.stats.analyzed_traces, 4);
         assert_eq!(report.stats.degenerate_groups, 0);
+    }
+
+    #[test]
+    fn parallel_diagnose_matches_the_reference() {
+        let input = fig6_input();
+        let reference = EnergyDx::default().diagnose_reference(&input);
+        for jobs in [1, 2, 3, 8] {
+            let report = EnergyDx::default().with_jobs(jobs).diagnose(&input);
+            assert_eq!(report, reference, "jobs={jobs}");
+        }
     }
 
     #[test]

@@ -1,0 +1,661 @@
+//! Fleet-sharded, worker-pool execution of the manifestation analysis.
+//!
+//! The paper evaluates 40 apps with ~30 volunteers each; the ROADMAP
+//! target is millions of users. At that scale the fleet cannot be
+//! analyzed as one sequential pass, so the 5-step pipeline is split
+//! along its natural data-parallel seams:
+//!
+//! ```text
+//!        map (per trace, worker pool)          merge           detect (per group / per trace)
+//! traces ──────────────────────────▶ ShardPartial ⊕ ShardPartial ──▶ finish ──▶ DiagnosisReport
+//!   sanitize + per-trace EventGroups    associative merge        Step 2–5 on the pool
+//! ```
+//!
+//! - **Map** ([`EnergyDx::map_shard`]): Step 1–2 per-trace work —
+//!   sanitation and event-group collection — runs independently per
+//!   trace on the [`crate::par`] worker pool and folds into a
+//!   [`ShardPartial`].
+//! - **Merge** ([`ShardPartial::merge`]): partials carry their global
+//!   trace offsets, so shards of the fleet can be mapped on different
+//!   workers (or different machines) and combined in **any order** —
+//!   the merge is associative and commutative, with
+//!   [`ShardPartial::empty`] as identity.
+//! - **Finish** ([`EnergyDx::finish`]): Steps 2–5 run over the merged
+//!   partial — per *event group* for the memoized rank/percentile cache
+//!   ([`GroupStatCache`]), per *trace* for normalization, detection,
+//!   and the Step-5 window scan — again on the worker pool.
+//!
+//! The headline guarantee, enforced by `tests/diff_harness.rs` and the
+//! golden reports under `tests/golden/`, is that sequential, parallel,
+//! and sharded-then-merged execution produce **byte-identical**
+//! [`DiagnosisReport`]s: every parallel unit is a pure function of its
+//! inputs, every merge combines exact values (integer counts, `usize`
+//! minima, order-preserving concatenation), and results are reassembled
+//! in input order.
+
+use crate::config::AnalysisConfig;
+use crate::pipeline::{
+    detect_series, normalize_trace, trace_impact, EnergyDx, EventGroups,
+};
+use crate::report::{
+    AnalysisStats, DiagnosisReport, ManifestationPoint, RankedEvent,
+    SkippedTrace, TraceAnalysis,
+};
+use energydx_stats::{average_ranks, percentile_many};
+use energydx_trace::join::PoweredInstance;
+use std::collections::BTreeMap;
+
+/// A fleet analysis partial: one or more runs of contiguous traces
+/// after the per-trace map phase (sanitation + event-group collection).
+///
+/// Partials merge associatively and commutatively; [`EnergyDx::finish`]
+/// requires the merged result to cover a contiguous fleet starting at
+/// trace 0.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ShardPartial {
+    /// Disjoint segments keyed by their first global trace index.
+    segments: BTreeMap<usize, Segment>,
+}
+
+/// One contiguous run of mapped traces.
+#[derive(Debug, Clone, PartialEq)]
+struct Segment {
+    offset: usize,
+    /// Sanitized traces (corrupt ones emptied, slots kept).
+    traces: Vec<Vec<PoweredInstance>>,
+    /// `(global index, non-finite count)` of emptied traces, ascending.
+    skipped: Vec<(usize, usize)>,
+    /// Event-group powers of this segment, in trace order.
+    groups: EventGroups,
+}
+
+impl Segment {
+    fn end(&self) -> usize {
+        self.offset + self.traces.len()
+    }
+
+    /// Appends an adjacent segment (`next.offset == self.end()`).
+    fn absorb(&mut self, next: Segment) {
+        debug_assert_eq!(self.end(), next.offset);
+        self.groups.merge(next.groups);
+        self.traces.extend(next.traces);
+        self.skipped.extend(next.skipped);
+    }
+}
+
+impl ShardPartial {
+    /// The identity partial: merging it into anything is a no-op.
+    pub fn empty() -> Self {
+        ShardPartial::default()
+    }
+
+    /// Number of traces covered (across all segments).
+    pub fn trace_count(&self) -> usize {
+        self.segments.values().map(|s| s.traces.len()).sum()
+    }
+
+    /// Whether the partial covers one contiguous run starting at trace
+    /// 0 (vacuously true when empty), i.e. is ready for
+    /// [`EnergyDx::finish`].
+    pub fn is_complete(&self) -> bool {
+        match self.segments.len() {
+            0 => true,
+            1 => self.segments.contains_key(&0),
+            _ => false,
+        }
+    }
+
+    /// Merges another partial into this one. Associative and
+    /// commutative: segments are keyed by global trace offset and
+    /// adjacent runs are coalesced by order-preserving concatenation,
+    /// so any merge tree over a partition of the fleet produces the
+    /// same partial.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two partials cover overlapping trace ranges —
+    /// that is a caller error (the same shard merged twice), not a
+    /// data-quality condition.
+    pub fn merge(mut self, other: ShardPartial) -> ShardPartial {
+        for (_, segment) in other.segments {
+            self.insert(segment);
+        }
+        self.coalesce();
+        self
+    }
+
+    fn insert(&mut self, segment: Segment) {
+        if segment.traces.is_empty() {
+            return;
+        }
+        if let Some((_, prev)) =
+            self.segments.range(..=segment.offset).next_back()
+        {
+            assert!(
+                prev.end() <= segment.offset,
+                "overlapping shard partials: [{}, {}) and [{}, {})",
+                prev.offset,
+                prev.end(),
+                segment.offset,
+                segment.end(),
+            );
+        }
+        if let Some((&next_off, _)) =
+            self.segments.range(segment.offset..).next()
+        {
+            assert!(
+                segment.end() <= next_off,
+                "overlapping shard partials at offset {}",
+                segment.offset,
+            );
+        }
+        self.segments.insert(segment.offset, segment);
+    }
+
+    fn coalesce(&mut self) {
+        let old = std::mem::take(&mut self.segments);
+        let mut merged: Vec<Segment> = Vec::with_capacity(old.len());
+        for segment in old.into_values() {
+            match merged.last_mut() {
+                Some(prev) if prev.end() == segment.offset => {
+                    prev.absorb(segment);
+                }
+                _ => merged.push(segment),
+            }
+        }
+        self.segments = merged.into_iter().map(|s| (s.offset, s)).collect();
+    }
+}
+
+/// Why a merged partial could not be finished into a report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardError {
+    /// The partial does not cover a contiguous fleet starting at trace
+    /// 0; some shard was never mapped or merged in.
+    IncompleteFleet {
+        /// First trace indices of the runs that are present.
+        covered: Vec<usize>,
+    },
+}
+
+impl std::fmt::Display for ShardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardError::IncompleteFleet { covered } => write!(
+                f,
+                "shard partial is not a contiguous fleet from trace 0 \
+                 (segments start at {covered:?})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+/// The memoized per-event-group statistics cache shared by Steps 2–3.
+///
+/// Each event group's power population is sorted **once**; the Step-2
+/// rank vector and the Step-3 normalization base (10th percentile,
+/// median-guarded) are both derived from it and reused for every trace,
+/// instead of being recomputed per step as the textbook pipeline does.
+/// Built on the worker pool, one task per event group.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct GroupStatCache {
+    stats: BTreeMap<String, GroupStat>,
+}
+
+/// Per-event-group derived statistics.
+#[derive(Debug, Clone, PartialEq)]
+struct GroupStat {
+    /// Step-2 average ranks, `None` for a degenerate group.
+    ranks: Option<Vec<f64>>,
+    /// Step-3 normalization base, `None` for a degenerate group.
+    base: Option<f64>,
+}
+
+impl GroupStatCache {
+    /// Builds the cache from merged event groups, one worker-pool task
+    /// per event group.
+    pub fn build(
+        groups: &EventGroups,
+        config: &AnalysisConfig,
+        jobs: usize,
+    ) -> Self {
+        let entries: Vec<(&String, &Vec<f64>)> = groups.powers.iter().collect();
+        let computed =
+            crate::par::par_map(&entries, jobs, |_, &(event, powers)| {
+                (event.clone(), GroupStat::compute(powers, config))
+            });
+        GroupStatCache {
+            stats: computed.into_iter().collect(),
+        }
+    }
+
+    /// Event groups in the cache.
+    pub fn len(&self) -> usize {
+        self.stats.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.stats.is_empty()
+    }
+
+    /// The Step-2 rankings of every non-degenerate group.
+    pub fn rankings(&self) -> BTreeMap<String, Vec<f64>> {
+        self.stats
+            .iter()
+            .filter_map(|(event, stat)| {
+                Some((event.clone(), stat.ranks.clone()?))
+            })
+            .collect()
+    }
+
+    /// The Step-3 normalization bases of every non-degenerate group.
+    pub fn bases(&self) -> BTreeMap<&str, f64> {
+        self.stats
+            .iter()
+            .filter_map(|(event, stat)| Some((event.as_str(), stat.base?)))
+            .collect()
+    }
+}
+
+impl GroupStat {
+    /// One sort of the group population, both derived statistics.
+    ///
+    /// The base formula must stay bit-identical to
+    /// [`crate::pipeline::step3_normalize`]'s inline computation —
+    /// `percentile_many` returns the same bits as two independent
+    /// `percentile` calls.
+    fn compute(powers: &[f64], config: &AnalysisConfig) -> GroupStat {
+        let ranks = average_ranks(powers).ok();
+        let base = percentile_many(powers, &[config.base_percentile, 50.0])
+            .ok()
+            .and_then(|pm| {
+                let base = pm[0]
+                    .max(pm[1] * config.base_guard_fraction)
+                    .max(config.min_base_mw);
+                (base.is_finite() && base > 0.0).then_some(base)
+            });
+        GroupStat { ranks, base }
+    }
+}
+
+/// The Step-5 aggregation state: per-event impacted-trace counts and
+/// window proximities. Commutative and associative under
+/// [`Step5Partial::absorb`]-style accumulation — counts add, proximities
+/// take the `usize` minimum — so traces can be scanned in any order.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Step5Partial {
+    /// Traces covered, impacted or not (the fraction denominator).
+    pub total: usize,
+    /// Event → (impacted-trace count, smallest window distance).
+    by_event: BTreeMap<String, (usize, usize)>,
+}
+
+impl Step5Partial {
+    /// An empty aggregation.
+    pub fn new() -> Self {
+        Step5Partial::default()
+    }
+
+    /// Folds in one trace's window scan (see
+    /// [`crate::pipeline::trace_impact`]).
+    pub fn absorb_trace(&mut self, impact: BTreeMap<String, usize>) {
+        self.total += 1;
+        for (event, distance) in impact {
+            let entry = self.by_event.entry(event).or_insert((0, usize::MAX));
+            entry.0 += 1;
+            entry.1 = entry.1.min(distance);
+        }
+    }
+
+    /// Merges another partial (shard-level Step-5 state) into this one.
+    pub fn merge(&mut self, other: Step5Partial) {
+        self.total += other.total;
+        for (event, (count, distance)) in other.by_event {
+            let entry = self.by_event.entry(event).or_insert((0, usize::MAX));
+            entry.0 += count;
+            entry.1 = entry.1.min(distance);
+        }
+    }
+
+    /// Sorts the aggregated events by closeness to the developer
+    /// fraction — the final, inherently global piece of Step 5. The
+    /// tie-break chain is total and documented: distance to the
+    /// developer fraction, then higher impacted fraction, then smaller
+    /// proximity, then event name.
+    pub fn into_ranked(self, config: &AnalysisConfig) -> Vec<RankedEvent> {
+        if self.total == 0 {
+            return Vec::new();
+        }
+        let total = self.total;
+        let mut ranked: Vec<RankedEvent> = self
+            .by_event
+            .into_iter()
+            .map(|(event, (count, proximity))| RankedEvent {
+                event,
+                impacted_fraction: count as f64 / total as f64,
+                proximity,
+            })
+            .collect();
+        ranked.sort_by(|a, b| {
+            let da = (a.impacted_fraction - config.developer_fraction).abs();
+            let db = (b.impacted_fraction - config.developer_fraction).abs();
+            da.total_cmp(&db)
+                .then_with(|| {
+                    b.impacted_fraction.total_cmp(&a.impacted_fraction)
+                })
+                .then_with(|| a.proximity.cmp(&b.proximity))
+                .then_with(|| a.event.cmp(&b.event))
+        });
+        ranked
+    }
+}
+
+/// Balanced contiguous shard bounds: `len` traces into at most
+/// `shards` runs, each `(start, end)` half-open, first remainders one
+/// longer.
+///
+/// # Examples
+///
+/// ```
+/// # use energydx::shard::shard_bounds;
+/// assert_eq!(shard_bounds(5, 2), vec![(0, 3), (3, 5)]);
+/// assert_eq!(shard_bounds(2, 8), vec![(0, 1), (1, 2)]);
+/// assert!(shard_bounds(0, 3).is_empty());
+/// ```
+pub fn shard_bounds(len: usize, shards: usize) -> Vec<(usize, usize)> {
+    if len == 0 || shards == 0 {
+        return Vec::new();
+    }
+    let shards = shards.min(len);
+    let base = len / shards;
+    let remainder = len % shards;
+    let mut bounds = Vec::with_capacity(shards);
+    let mut start = 0;
+    for i in 0..shards {
+        let size = base + usize::from(i < remainder);
+        bounds.push((start, start + size));
+        start += size;
+    }
+    bounds
+}
+
+impl EnergyDx {
+    /// The map phase: Step 1–2 per-trace work (sanitation + event-group
+    /// collection) over one shard of the fleet, on the worker pool.
+    /// `offset` is the global index of the shard's first trace.
+    pub fn map_shard(
+        &self,
+        traces: &[Vec<PoweredInstance>],
+        offset: usize,
+    ) -> ShardPartial {
+        let mapped = crate::par::par_map(traces, self.jobs(), |_, trace| {
+            let non_finite =
+                trace.iter().filter(|p| !p.power_mw.is_finite()).count();
+            let sanitized = if non_finite > 0 {
+                Vec::new()
+            } else {
+                trace.clone()
+            };
+            let groups =
+                EventGroups::collect_traces(std::slice::from_ref(&sanitized));
+            (sanitized, non_finite, groups)
+        });
+        let mut traces = Vec::with_capacity(mapped.len());
+        let mut skipped = Vec::new();
+        let mut groups = EventGroups::default();
+        for (index, (trace, non_finite, trace_groups)) in
+            mapped.into_iter().enumerate()
+        {
+            if non_finite > 0 {
+                skipped.push((offset + index, non_finite));
+            }
+            traces.push(trace);
+            groups.merge(trace_groups);
+        }
+        let mut partial = ShardPartial::empty();
+        partial.insert(Segment {
+            offset,
+            traces,
+            skipped,
+            groups,
+        });
+        partial
+    }
+
+    /// The reduce phase: Steps 2–5 over a merged partial covering the
+    /// whole fleet. Per-group and per-trace work runs on the worker
+    /// pool; the result is byte-identical to
+    /// [`EnergyDx::diagnose_reference`] on the same fleet.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShardError::IncompleteFleet`] if the partial's
+    /// segments do not form one contiguous run starting at trace 0.
+    pub fn finish(
+        &self,
+        partial: ShardPartial,
+    ) -> Result<DiagnosisReport, ShardError> {
+        if !partial.is_complete() {
+            return Err(ShardError::IncompleteFleet {
+                covered: partial.segments.keys().copied().collect(),
+            });
+        }
+        let (traces, skipped, groups) =
+            match partial.segments.into_values().next() {
+                Some(segment) => {
+                    (segment.traces, segment.skipped, segment.groups)
+                }
+                None => (Vec::new(), Vec::new(), EventGroups::default()),
+            };
+        let config = self.config();
+
+        let cache = GroupStatCache::build(&groups, config, self.jobs());
+        let rankings = cache.rankings();
+        let bases = cache.bases();
+
+        let per_trace =
+            crate::par::par_map(&traces, self.jobs(), |_, trace| {
+                let normalized = normalize_trace(trace, &bases, config);
+                let (amplitudes, fences, outliers) =
+                    detect_series(&normalized, config);
+                let impact = trace_impact(trace, &outliers, config);
+                let manifestation_points = outliers
+                    .iter()
+                    .map(|&idx| ManifestationPoint {
+                        instance_index: idx,
+                        event: trace[idx].instance.event.clone(),
+                        amplitude: amplitudes[idx],
+                    })
+                    .collect();
+                let analysis = TraceAnalysis {
+                    raw_power_mw: trace.iter().map(|p| p.power_mw).collect(),
+                    events: trace
+                        .iter()
+                        .map(|p| p.instance.event.clone())
+                        .collect(),
+                    normalized_power: normalized,
+                    amplitudes,
+                    upper_fence: fences.map(|f| f.upper),
+                    manifestation_points,
+                };
+                (analysis, impact)
+            });
+
+        let mut step5 = Step5Partial::new();
+        let mut trace_analyses = Vec::with_capacity(per_trace.len());
+        for (analysis, impact) in per_trace {
+            step5.absorb_trace(impact);
+            trace_analyses.push(analysis);
+        }
+        let ranked_events = step5.into_ranked(config);
+
+        let stats = AnalysisStats {
+            total_traces: traces.len(),
+            analyzed_traces: traces.len() - skipped.len(),
+            skipped: skipped
+                .into_iter()
+                .map(|(index, count)| SkippedTrace {
+                    index,
+                    reason: format!("{count} non-finite power value(s)"),
+                })
+                .collect(),
+            degenerate_groups: cache.len() - rankings.len(),
+        };
+
+        Ok(DiagnosisReport {
+            traces: trace_analyses,
+            events: ranked_events,
+            rankings,
+            top_k: config.top_k,
+            stats,
+        })
+    }
+
+    /// Diagnoses the fleet in `shards` independent shards whose
+    /// partials are then merged and finished — the distributed-backend
+    /// dataflow, exercised end-to-end on one machine. Byte-identical to
+    /// [`EnergyDx::diagnose`] for every shard count.
+    pub fn diagnose_sharded(
+        &self,
+        input: &crate::input::DiagnosisInput,
+        shards: usize,
+    ) -> DiagnosisReport {
+        let traces = input.traces();
+        let partial = shard_bounds(traces.len(), shards)
+            .into_iter()
+            .map(|(start, end)| self.map_shard(&traces[start..end], start))
+            .fold(ShardPartial::empty(), ShardPartial::merge);
+        self.finish(partial)
+            .expect("a partition of the fleet merges to a complete partial")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input::DiagnosisInput;
+    use energydx_trace::event::EventInstance;
+
+    fn instance(event: &str, start: u64, mw: f64) -> PoweredInstance {
+        PoweredInstance {
+            instance: EventInstance::new(event, start, start + 10),
+            power_mw: mw,
+        }
+    }
+
+    fn fleet() -> DiagnosisInput {
+        let mut traces: Vec<Vec<PoweredInstance>> = (0..7)
+            .map(|t| {
+                (0..30)
+                    .map(|i| {
+                        instance(
+                            if i % 7 == 0 { "B" } else { "A" },
+                            i * 500,
+                            100.0 + ((i + t) % 4) as f64,
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+        for p in traces[2].iter_mut().skip(14) {
+            p.power_mw *= 6.0;
+        }
+        traces[5][3].power_mw = f64::NAN;
+        DiagnosisInput::new(traces)
+    }
+
+    #[test]
+    fn sharded_equals_reference_for_every_shard_count() {
+        let input = fleet();
+        let dx = EnergyDx::default();
+        let reference = dx.diagnose_reference(&input);
+        for shards in 1..=8 {
+            assert_eq!(
+                dx.diagnose_sharded(&input, shards),
+                reference,
+                "shards={shards}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_is_order_independent() {
+        let input = fleet();
+        let dx = EnergyDx::default();
+        let traces = input.traces();
+        let parts: Vec<ShardPartial> = shard_bounds(traces.len(), 3)
+            .into_iter()
+            .map(|(s, e)| dx.map_shard(&traces[s..e], s))
+            .collect();
+        let [a, b, c] = <[ShardPartial; 3]>::try_from(parts).unwrap();
+        let forward = a.clone().merge(b.clone()).merge(c.clone());
+        let backward = c.merge(b).merge(a);
+        assert_eq!(forward, backward);
+        assert_eq!(dx.finish(forward).unwrap(), dx.diagnose_reference(&input));
+    }
+
+    #[test]
+    fn empty_partial_is_merge_identity() {
+        let input = fleet();
+        let dx = EnergyDx::default();
+        let mapped = dx.map_shard(input.traces(), 0);
+        let merged = ShardPartial::empty()
+            .merge(mapped.clone())
+            .merge(ShardPartial::empty());
+        assert_eq!(merged, mapped);
+    }
+
+    #[test]
+    fn finish_rejects_a_gap() {
+        let input = fleet();
+        let dx = EnergyDx::default();
+        let traces = input.traces();
+        // Map only the first and last thirds; the middle is missing.
+        let partial = dx
+            .map_shard(&traces[..2], 0)
+            .merge(dx.map_shard(&traces[5..], 5));
+        let err = dx.finish(partial).unwrap_err();
+        assert!(matches!(err, ShardError::IncompleteFleet { .. }));
+        assert!(err.to_string().contains("contiguous"));
+    }
+
+    #[test]
+    fn finish_of_empty_partial_is_the_empty_report() {
+        let dx = EnergyDx::default();
+        let report = dx.finish(ShardPartial::empty()).unwrap();
+        assert_eq!(report, dx.diagnose_reference(&DiagnosisInput::default()));
+    }
+
+    #[test]
+    fn skipped_indices_are_global() {
+        let input = fleet();
+        let dx = EnergyDx::default();
+        let report = dx.diagnose_sharded(&input, 4);
+        assert_eq!(report.stats.skipped.len(), 1);
+        assert_eq!(report.stats.skipped[0].index, 5);
+    }
+
+    #[test]
+    fn shard_bounds_partition_the_range() {
+        for len in 0..40 {
+            for shards in 0..10 {
+                let bounds = shard_bounds(len, shards);
+                let covered: usize = bounds.iter().map(|(s, e)| e - s).sum();
+                if len == 0 || shards == 0 {
+                    assert!(bounds.is_empty());
+                } else {
+                    assert_eq!(covered, len);
+                    assert_eq!(bounds[0].0, 0);
+                    assert_eq!(bounds.last().unwrap().1, len);
+                    for w in bounds.windows(2) {
+                        assert_eq!(w[0].1, w[1].0);
+                        assert!(!bounds.iter().any(|(s, e)| s >= e));
+                    }
+                }
+            }
+        }
+    }
+}

@@ -15,6 +15,10 @@
 //!   distance distribution over the 40 ABD cases).
 //! - **Summary statistics** ([`summary`]), used throughout the
 //!   evaluation harness.
+//! - **Mergeable quantile sketches** ([`sketch`]), the per-shard
+//!   partials of the fleet-parallel backend: exact, commutative, and
+//!   associative under merge, so shards of the fleet can be summarized
+//!   independently and combined in any order.
 //!
 //! # Examples
 //!
@@ -38,11 +42,15 @@ pub mod error;
 pub mod outlier;
 pub mod percentile;
 pub mod rank;
+pub mod sketch;
 pub mod summary;
 
 pub use cdf::Ecdf;
 pub use error::StatsError;
 pub use outlier::TukeyFences;
-pub use percentile::{median, percentile, quartiles, Quartiles};
+pub use percentile::{
+    median, percentile, percentile_many, quartiles, Quartiles,
+};
 pub use rank::{average_ranks, dense_ranks, ordinal_ranks};
+pub use sketch::QuantileSketch;
 pub use summary::Summary;

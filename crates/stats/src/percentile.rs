@@ -61,6 +61,85 @@ pub(crate) fn percentile_of_sorted(sorted: &[f64], p: f64) -> f64 {
     sorted[lo] + (sorted[hi] - sorted[lo]) * frac
 }
 
+/// R-7 percentile over a run-length-encoded sorted multiset
+/// (`entries` strictly increasing, `total` the sum of multiplicities).
+///
+/// Evaluates the same interpolation expression as
+/// [`percentile_of_sorted`] on the expanded data, so the result is
+/// bit-identical; this is the query kernel of
+/// [`crate::sketch::QuantileSketch`].
+pub(crate) fn percentile_of_sorted_counts(
+    entries: &[(f64, u64)],
+    total: u64,
+    p: f64,
+) -> f64 {
+    debug_assert!(total > 0 && !entries.is_empty());
+    if total == 1 {
+        return entries[0].0;
+    }
+    let h = (total - 1) as f64 * p / 100.0;
+    let lo = h.floor() as u64;
+    let hi = h.ceil() as u64;
+    let frac = h - lo as f64;
+    // One cumulative walk finds both ranks (hi is lo or lo + 1).
+    let mut seen = 0u64;
+    let mut v_lo = entries[0].0;
+    let mut v_hi = entries[0].0;
+    for &(value, count) in entries {
+        let end = seen + count;
+        if lo >= seen && lo < end {
+            v_lo = value;
+        }
+        if hi >= seen && hi < end {
+            v_hi = value;
+            break;
+        }
+        seen = end;
+    }
+    v_lo + (v_hi - v_lo) * frac
+}
+
+/// Computes several percentiles of `data` with a single sort.
+///
+/// Returns one value per requested percentile, in request order; each
+/// value is bit-identical to what [`percentile`] returns for the same
+/// `(data, p)` pair — this is the memoized fast path the fleet-parallel
+/// pipeline uses to derive an event group's normalization base (10th
+/// percentile) and median from one sorted copy.
+///
+/// # Errors
+///
+/// Same conditions as [`percentile`]; an out-of-range entry anywhere in
+/// `ps` fails the whole call.
+///
+/// # Examples
+///
+/// ```
+/// # use energydx_stats::percentile::percentile_many;
+/// let data = [15.0, 20.0, 35.0, 40.0, 50.0];
+/// let v = percentile_many(&data, &[0.0, 50.0, 100.0]).unwrap();
+/// assert_eq!(v, vec![15.0, 35.0, 50.0]);
+/// ```
+pub fn percentile_many(
+    data: &[f64],
+    ps: &[f64],
+) -> Result<Vec<f64>, StatsError> {
+    validate(data)?;
+    for &p in ps {
+        if !(0.0..=100.0).contains(&p) || p.is_nan() {
+            return Err(StatsError::PercentileOutOfRange {
+                requested: format!("{p}"),
+            });
+        }
+    }
+    let mut sorted = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN filtered by validate"));
+    Ok(ps
+        .iter()
+        .map(|&p| percentile_of_sorted(&sorted, p))
+        .collect())
+}
+
 /// Computes the median (50th percentile) of `data`.
 ///
 /// # Errors
@@ -208,5 +287,24 @@ mod tests {
     #[test]
     fn median_even_length_interpolates() {
         assert_eq!(median(&[10.0, 20.0]).unwrap(), 15.0);
+    }
+
+    #[test]
+    fn percentile_many_matches_percentile_bitwise() {
+        let data = [50.0, 15.0, 40.0, 20.0, 35.0, 35.0, 0.125];
+        let ps = [0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 100.0];
+        let many = percentile_many(&data, &ps).unwrap();
+        for (&p, &v) in ps.iter().zip(&many) {
+            assert_eq!(v.to_bits(), percentile(&data, p).unwrap().to_bits());
+        }
+    }
+
+    #[test]
+    fn percentile_many_rejects_any_bad_percentile() {
+        assert!(matches!(
+            percentile_many(&[1.0], &[50.0, 101.0]),
+            Err(StatsError::PercentileOutOfRange { .. })
+        ));
+        assert_eq!(percentile_many(&[], &[50.0]), Err(StatsError::EmptyInput));
     }
 }

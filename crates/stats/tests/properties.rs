@@ -2,7 +2,8 @@
 
 use energydx_stats::{
     average_ranks, dense_ranks, ordinal_ranks, outlier::upper_outlier_indices,
-    percentile, quartiles, Ecdf, Summary, TukeyFences,
+    percentile, percentile_many, quartiles, Ecdf, QuantileSketch, Summary,
+    TukeyFences,
 };
 use proptest::prelude::*;
 
@@ -145,5 +146,103 @@ proptest! {
         let s = Summary::from_data(&data).unwrap();
         prop_assert!(s.mean() >= s.min() - 1e-9);
         prop_assert!(s.mean() <= s.max() + 1e-9);
+    }
+
+    #[test]
+    fn summary_merge_is_commutative_and_associative(
+        a in finite_vec(1), b in finite_vec(1), c in finite_vec(1)
+    ) {
+        let (sa, sb, sc) = (
+            Summary::from_data(&a).unwrap(),
+            Summary::from_data(&b).unwrap(),
+            Summary::from_data(&c).unwrap(),
+        );
+        // (a ⊕ b) ⊕ c vs a ⊕ (b ⊕ c)
+        let mut left = sa;
+        left.merge(&sb);
+        left.merge(&sc);
+        let mut bc = sb;
+        bc.merge(&sc);
+        let mut right = sa;
+        right.merge(&bc);
+        // b ⊕ a
+        let mut swapped = sb;
+        swapped.merge(&sa);
+        swapped.merge(&sc);
+        prop_assert_eq!(left.count(), right.count());
+        prop_assert_eq!(left.count(), swapped.count());
+        for (x, y) in [(&left, &right), (&left, &swapped)] {
+            let scale = 1e-6_f64.max(x.mean().abs() * 1e-9);
+            prop_assert!((x.mean() - y.mean()).abs() < scale);
+            let vscale = 1e-3_f64.max(x.variance() * 1e-6);
+            prop_assert!((x.variance() - y.variance()).abs() < vscale);
+            prop_assert_eq!(x.min().to_bits(), y.min().to_bits());
+            prop_assert_eq!(x.max().to_bits(), y.max().to_bits());
+        }
+    }
+
+    // The sketch laws are EXACT (prop_assert_eq on the whole structure,
+    // bit-level on queries): they are what makes the sharded pipeline's
+    // byte-identical guarantee possible.
+
+    #[test]
+    fn sketch_merge_is_commutative_and_associative_exactly(
+        a in finite_vec(1), b in finite_vec(1), c in finite_vec(1)
+    ) {
+        let (sa, sb, sc) = (
+            QuantileSketch::from_data(&a).unwrap(),
+            QuantileSketch::from_data(&b).unwrap(),
+            QuantileSketch::from_data(&c).unwrap(),
+        );
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+        let mut bc = sb.clone();
+        bc.merge(&sc);
+        let mut right = sa.clone();
+        right.merge(&bc);
+        let mut swapped = sc.clone();
+        swapped.merge(&sb);
+        swapped.merge(&sa);
+        prop_assert_eq!(&left, &right);
+        prop_assert_eq!(&left, &swapped);
+    }
+
+    #[test]
+    fn sketch_percentiles_match_the_full_sort_bitwise(
+        a in finite_vec(1), b in finite_vec(0), p in 0.0f64..=100.0
+    ) {
+        // A sketch built from two shards answers exactly like the
+        // exact estimator over the concatenated data — including the
+        // Step-3 base percentile (10) and median (50).
+        let mut sketch = QuantileSketch::from_data(&a).unwrap();
+        let shard_b = b
+            .iter()
+            .fold(QuantileSketch::new(), |mut s, &v| { s.push(v); s });
+        sketch.merge(&shard_b);
+        let mut all = a.clone();
+        all.extend(&b);
+        for q in [p, 10.0, 50.0] {
+            prop_assert_eq!(
+                sketch.percentile(q).unwrap().to_bits(),
+                percentile(&all, q).unwrap().to_bits(),
+                "q={}", q
+            );
+        }
+    }
+
+    #[test]
+    fn percentile_many_is_bitwise_percentile(
+        data in finite_vec(1), p in 0.0f64..=100.0
+    ) {
+        let many =
+            percentile_many(&data, &[p, 10.0, 50.0]).unwrap();
+        for (q, v) in [(p, many[0]), (10.0, many[1]), (50.0, many[2])] {
+            prop_assert_eq!(
+                v.to_bits(),
+                percentile(&data, q).unwrap().to_bits(),
+                "q={}", q
+            );
+        }
     }
 }

@@ -1,0 +1,104 @@
+//! Deterministic fleet fixtures shared by the differential harness and
+//! the golden-report regression tests.
+//!
+//! Every fixture is a pure function of constants (hand-built traces or
+//! seeded scenario simulations), so two processes — or two checkouts —
+//! build bit-identical [`DiagnosisInput`]s. That is what lets the
+//! golden files under `tests/golden/` pin entire canonical reports.
+
+use energydx::DiagnosisInput;
+use energydx_trace::event::EventInstance;
+use energydx_trace::join::PoweredInstance;
+use energydx_workload::scenario::Variant;
+use energydx_workload::Scenario;
+
+fn instance(event: &str, start: u64, mw: f64) -> PoweredInstance {
+    PoweredInstance {
+        instance: EventInstance::new(event, start, start + 10),
+        power_mw: mw,
+    }
+}
+
+/// One normal trace of the Fig.-6 running scenario: mostly cheap
+/// "circle" events with one expensive "square" (the paper's
+/// high-power-by-functionality event).
+fn normal_trace(seed: u64) -> Vec<PoweredInstance> {
+    (0..24)
+        .map(|i| {
+            if i == 11 {
+                instance("square", i * 1000, 400.0 + ((i + seed) % 3) as f64)
+            } else {
+                instance("circle", i * 1000, 100.0 + ((i + seed) % 3) as f64)
+            }
+        })
+        .collect()
+}
+
+/// The paper's Fig.-6 running scenario: four traces, one hit by an ABD
+/// after a "triangle" trigger event (everything after it runs at 5×
+/// power).
+pub fn fig6_fleet() -> DiagnosisInput {
+    let mut faulty = normal_trace(0);
+    faulty[12] = instance("triangle", 12_000, 120.0);
+    for p in faulty.iter_mut().skip(13) {
+        p.power_mw *= 5.0;
+    }
+    DiagnosisInput::new(vec![
+        normal_trace(0),
+        faulty,
+        normal_trace(1),
+        normal_trace(0),
+    ])
+}
+
+/// The seeded K-9 Mail case-study fleet (13 simulated volunteers,
+/// faulty build) — the paper's Fig. 7 / Table II workload.
+pub fn k9_fleet() -> DiagnosisInput {
+    Scenario::k9mail()
+        .collect(Variant::Faulty)
+        .expect("scenario scripts are legal")
+        .diagnosis_input()
+}
+
+/// A deliberately damaged fleet: the Fig.-6 traces plus a NaN-corrupted
+/// trace, an infinite-power trace, a too-short trace, and an empty one
+/// — every sanitation path of the pipeline fires.
+pub fn chaos_fleet() -> DiagnosisInput {
+    let mut traces = fig6_fleet().traces().to_vec();
+    traces.push(vec![
+        instance("circle", 0, f64::NAN),
+        instance("circle", 1000, 100.0),
+    ]);
+    traces.push(
+        (0..8)
+            .map(|i| instance("square", i * 100, f64::INFINITY))
+            .collect(),
+    );
+    traces.push(vec![instance("circle", 0, 99.0)]);
+    traces.push(Vec::new());
+    DiagnosisInput::new(traces)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_reproducible() {
+        assert_eq!(fig6_fleet(), fig6_fleet());
+        assert_eq!(k9_fleet(), k9_fleet());
+        // chaos_fleet contains NaN power values, so PartialEq would be
+        // false even for identical builds; compare the rendering.
+        assert_eq!(
+            format!("{:?}", chaos_fleet()),
+            format!("{:?}", chaos_fleet())
+        );
+    }
+
+    #[test]
+    fn fixtures_have_the_expected_shapes() {
+        assert_eq!(fig6_fleet().len(), 4);
+        assert_eq!(k9_fleet().len(), 13);
+        assert_eq!(chaos_fleet().len(), 8);
+    }
+}

@@ -13,6 +13,8 @@
 //! - [`energydx_workload`] — user simulation, fault injection, app fleet.
 //! - [`energydx_baselines`] — CheckAll, No-sleep Detection, eDelta.
 
+pub mod fixtures;
+
 pub use energydx;
 pub use energydx_baselines;
 pub use energydx_dexir;

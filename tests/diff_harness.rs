@@ -1,0 +1,186 @@
+//! The differential harness: sequential, parallel, and
+//! sharded-then-merged diagnosis must produce **byte-identical**
+//! canonical reports for any input, any thread count, any shard split,
+//! and any merge order.
+//!
+//! The comparison key is [`DiagnosisReport::to_canonical_json`] — a
+//! byte string — so there is no tolerance to hide behind: one ULP of
+//! drift anywhere in the pipeline fails the harness.
+//!
+//! [`DiagnosisReport::to_canonical_json`]:
+//! energydx::DiagnosisReport::to_canonical_json
+
+use energydx_suite::energydx::shard::ShardPartial;
+use energydx_suite::energydx::{DiagnosisInput, EnergyDx};
+use energydx_suite::fixtures::{chaos_fleet, fig6_fleet, k9_fleet};
+use proptest::prelude::*;
+
+/// Every fixture the harness sweeps: the paper's running example, a
+/// full seeded case-study fleet, and a corrupted fleet that exercises
+/// the sanitation paths.
+fn fixtures() -> Vec<(&'static str, DiagnosisInput)> {
+    vec![
+        ("fig6", fig6_fleet()),
+        ("k9", k9_fleet()),
+        ("chaos", chaos_fleet()),
+    ]
+}
+
+/// Deterministic SplitMix64-driven Fisher–Yates shuffle.
+fn shuffle<T>(items: &mut [T], mut seed: u64) {
+    for i in (1..items.len()).rev() {
+        seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let j = (seed >> 33) as usize % (i + 1);
+        items.swap(i, j);
+    }
+}
+
+/// Maps the fleet in segments split at `cuts` (indices into the trace
+/// list), then merges the partials in a seed-shuffled order.
+fn diagnose_split(
+    dx: &EnergyDx,
+    input: &DiagnosisInput,
+    cuts: &[usize],
+    merge_seed: u64,
+) -> String {
+    let traces = input.traces();
+    let mut bounds: Vec<usize> = cuts
+        .iter()
+        .map(|&c| c.min(traces.len()))
+        .chain([0, traces.len()])
+        .collect();
+    bounds.sort_unstable();
+    bounds.dedup();
+    let mut partials: Vec<ShardPartial> = bounds
+        .windows(2)
+        .map(|w| dx.map_shard(&traces[w[0]..w[1]], w[0]))
+        .collect();
+    shuffle(&mut partials, merge_seed);
+    let merged = partials
+        .into_iter()
+        .fold(ShardPartial::empty(), ShardPartial::merge);
+    dx.finish(merged)
+        .expect("a partition of the fleet merges complete")
+        .to_canonical_json()
+}
+
+#[test]
+fn parallel_matches_sequential_reference_byte_for_byte() {
+    for (name, input) in fixtures() {
+        let reference = EnergyDx::default()
+            .diagnose_reference(&input)
+            .to_canonical_json();
+        for jobs in [1usize, 2, 8] {
+            let parallel = EnergyDx::default()
+                .with_jobs(jobs)
+                .diagnose(&input)
+                .to_canonical_json();
+            assert!(
+                parallel == reference,
+                "{name}: jobs={jobs} diverged from the reference"
+            );
+        }
+    }
+}
+
+#[test]
+fn sharded_matches_sequential_reference_byte_for_byte() {
+    for (name, input) in fixtures() {
+        let reference = EnergyDx::default()
+            .diagnose_reference(&input)
+            .to_canonical_json();
+        for shards in 1..=6 {
+            let sharded = EnergyDx::default()
+                .diagnose_sharded(&input, shards)
+                .to_canonical_json();
+            assert!(
+                sharded == reference,
+                "{name}: shards={shards} diverged from the reference"
+            );
+        }
+    }
+}
+
+#[test]
+fn permuting_trace_order_does_not_change_the_diagnosis() {
+    for (name, input) in fixtures() {
+        let reference = EnergyDx::default().diagnose(&input);
+        for seed in [1u64, 7, 0xfeed] {
+            let mut order: Vec<usize> = (0..input.len()).collect();
+            shuffle(&mut order, seed);
+            let permuted_traces: Vec<_> =
+                order.iter().map(|&i| input.traces()[i].clone()).collect();
+            let permuted = EnergyDx::default()
+                .diagnose(&DiagnosisInput::new(permuted_traces));
+
+            // The fleet-level verdict is order-invariant: same ranked
+            // events, same totals.
+            assert_eq!(permuted.events, reference.events, "{name}/{seed}");
+            assert_eq!(
+                permuted.stats.total_traces, reference.stats.total_traces,
+                "{name}/{seed}"
+            );
+            assert_eq!(
+                permuted.stats.analyzed_traces, reference.stats.analyzed_traces,
+                "{name}/{seed}"
+            );
+            assert_eq!(
+                permuted.stats.skipped.len(),
+                reference.stats.skipped.len(),
+                "{name}/{seed}"
+            );
+            // Per-trace analyses follow their traces exactly.
+            for (new_index, &old_index) in order.iter().enumerate() {
+                assert_eq!(
+                    permuted.traces[new_index], reference.traces[old_index],
+                    "{name}/{seed}: trace {old_index} changed under permutation"
+                );
+            }
+            // Rankings are per-instance values in trace order, so they
+            // permute with the input; as sorted multisets per event
+            // they are identical.
+            assert_eq!(
+                permuted.rankings.keys().collect::<Vec<_>>(),
+                reference.rankings.keys().collect::<Vec<_>>(),
+                "{name}/{seed}"
+            );
+            for (event, ranks) in &reference.rankings {
+                let mut a = ranks.clone();
+                let mut b = permuted.rankings[event].clone();
+                a.sort_by(f64::total_cmp);
+                b.sort_by(f64::total_cmp);
+                assert_eq!(
+                    a.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    b.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    "{name}/{seed}: ranking multiset changed for {event}"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The headline property: **no shard split and no merge order**
+    /// changes a single byte of the report.
+    #[test]
+    fn any_shard_split_yields_the_reference_report(
+        cuts in prop::collection::vec(0usize..16, 0..6),
+        merge_seed in any::<u64>(),
+        jobs in 1usize..5,
+    ) {
+        for (name, input) in fixtures() {
+            let dx = EnergyDx::default().with_jobs(jobs);
+            let reference = dx.diagnose_reference(&input).to_canonical_json();
+            let split = diagnose_split(&dx, &input, &cuts, merge_seed);
+            prop_assert!(
+                split == reference,
+                "{} diverged for cuts {:?} (merge seed {})",
+                name, cuts, merge_seed
+            );
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Golden-report regression tests: the canonical JSON of three fixture
+//! fleets is pinned byte-for-byte under `tests/golden/`.
+//!
+//! Any behavioural change to the pipeline — a different tie-break, a
+//! reordered map iteration, a float computed in another order — shows
+//! up here as a byte diff. To accept an intentional change, regenerate
+//! the files and review the diff:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test golden
+//! ```
+
+use energydx_suite::energydx::{DiagnosisInput, EnergyDx};
+use energydx_suite::fixtures::{chaos_fleet, fig6_fleet, k9_fleet};
+use std::path::PathBuf;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.json"))
+}
+
+fn check_golden(name: &str, input: &DiagnosisInput) {
+    let json = EnergyDx::default().diagnose(input).to_canonical_json();
+    let path = golden_path(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &json).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {} ({e}); regenerate with \
+             `UPDATE_GOLDEN=1 cargo test --test golden`",
+            path.display()
+        )
+    });
+    assert!(
+        json == expected,
+        "{name} report drifted from {}; if the change is intentional, \
+         regenerate with `UPDATE_GOLDEN=1 cargo test --test golden` \
+         and review the diff",
+        path.display()
+    );
+}
+
+#[test]
+fn fig6_report_matches_golden() {
+    check_golden("fig6", &fig6_fleet());
+}
+
+#[test]
+fn k9_report_matches_golden() {
+    check_golden("k9", &k9_fleet());
+}
+
+#[test]
+fn chaos_report_matches_golden() {
+    check_golden("chaos", &chaos_fleet());
+}
