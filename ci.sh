@@ -22,6 +22,13 @@ ENERGYDX_JOBS=1 RAYON_NUM_THREADS=1 cargo test -q --workspace
 echo "== full workspace tests (default parallelism) =="
 cargo test -q --workspace
 
+echo "== hot-path allocation budget (smoke) =="
+# Counting-allocator benchmark of the interned Steps 2-5 path; fails
+# if bytes allocated per instance exceed the budget checked in with
+# BENCH_hotpath.json (e.g. a return to per-instance string cloning).
+cargo run -q --release -p energydx-bench --bin hotpath -- \
+  --check BENCH_hotpath.json >/dev/null
+
 echo "== differential harness (release, optimized float paths) =="
 # The seq==parallel==sharded byte-identity must also hold under
 # release codegen, where float expression fusion would surface.

@@ -68,24 +68,30 @@ pub fn sustained_amplitudes(normalized: &[f64], w: usize) -> Vec<f64> {
     if n < 2 {
         return out;
     }
+    // One scratch buffer serves every window median: the windows are
+    // at most `w` long, so after the first iterations the buffer never
+    // reallocates — the whole scan is allocation-free past `out`.
+    let mut scratch = Vec::with_capacity(w);
     for i in 0..n - 1 {
         let before_lo = i.saturating_sub(w - 1);
         let after_hi = (i + w).min(n - 1);
-        let before = median_of(&normalized[before_lo..=i]);
-        let after = median_of(&normalized[i + 1..=after_hi]);
+        let before = median_of(&mut scratch, &normalized[before_lo..=i]);
+        let after = median_of(&mut scratch, &normalized[i + 1..=after_hi]);
         out[i] = after - before;
     }
     out
 }
 
-fn median_of(values: &[f64]) -> f64 {
-    let mut v = values.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("normalized power is finite"));
-    let n = v.len();
+fn median_of(scratch: &mut Vec<f64>, values: &[f64]) -> f64 {
+    scratch.clear();
+    scratch.extend_from_slice(values);
+    scratch
+        .sort_by(|a, b| a.partial_cmp(b).expect("normalized power is finite"));
+    let n = scratch.len();
     if n % 2 == 1 {
-        v[n / 2]
+        scratch[n / 2]
     } else {
-        (v[n / 2 - 1] + v[n / 2]) / 2.0
+        (scratch[n / 2 - 1] + scratch[n / 2]) / 2.0
     }
 }
 

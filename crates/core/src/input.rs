@@ -53,7 +53,7 @@ impl DiagnosisInput {
                 let mut instances = events.pair_instances();
                 // Chronological order of entry, as the paper plots.
                 instances.sort_by_key(|i| i.start_ms);
-                join_power(&instances, power)
+                join_power(instances, power)
             })
             .collect();
         DiagnosisInput { traces }

@@ -79,4 +79,4 @@ pub use report::{
     AnalysisStats, CodeIndex, DiagnosisReport, RankedEvent, SkippedTrace,
     TraceAnalysis,
 };
-pub use shard::{ShardError, ShardPartial};
+pub use shard::{AnalyzedFleet, ShardError, ShardPartial};

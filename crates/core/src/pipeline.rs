@@ -12,9 +12,9 @@ use crate::report::{
     AnalysisStats, DiagnosisReport, ManifestationPoint, RankedEvent,
     SkippedTrace, TraceAnalysis,
 };
-use crate::shard::Step5Partial;
 use energydx_stats::outlier::TukeyFences;
-use energydx_stats::{average_ranks, percentile};
+use energydx_stats::{average_ranks, percentile_many};
+use energydx_trace::intern::{EventId, InternedTrace};
 use energydx_trace::join::PoweredInstance;
 use std::collections::BTreeMap;
 
@@ -121,10 +121,13 @@ pub(crate) fn group_bases<'a>(
         .powers
         .iter()
         .filter_map(|(event, powers)| {
-            let p = percentile(powers, config.base_percentile).ok()?;
-            let median = percentile(powers, 50.0).ok()?;
-            let base = p
-                .max(median * config.base_guard_fraction)
+            // One sort serves both the percentile and the median;
+            // `percentile_many` is bit-identical to two independent
+            // `percentile` calls.
+            let pm = percentile_many(powers, &[config.base_percentile, 50.0])
+                .ok()?;
+            let base = pm[0]
+                .max(pm[1] * config.base_guard_fraction)
                 .max(config.min_base_mw);
             (base.is_finite() && base > 0.0).then_some((event.as_str(), base))
         })
@@ -149,6 +152,27 @@ pub(crate) fn normalize_trace(
                 .copied()
                 .unwrap_or(config.min_base_mw.max(f64::MIN_POSITIVE));
             p.power_mw / base
+        })
+        .collect()
+}
+
+/// [`normalize_trace`] over the interned representation: bases are a
+/// dense table indexed by [`EventId`], `None` marking a degenerate
+/// group. Performs the identical division (same fallback), so the
+/// output is bit-identical to the string-keyed path.
+pub(crate) fn normalize_interned(
+    trace: &InternedTrace,
+    bases: &[Option<f64>],
+    config: &AnalysisConfig,
+) -> Vec<f64> {
+    trace
+        .ids()
+        .iter()
+        .zip(trace.powers())
+        .map(|(&id, &mw)| {
+            let base = bases[id.index()]
+                .unwrap_or(config.min_base_mw.max(f64::MIN_POSITIVE));
+            mw / base
         })
         .collect()
 }
@@ -231,18 +255,55 @@ pub fn step5_report(
     detections: &[(Vec<f64>, Option<TukeyFences>, Vec<usize>)],
     config: &AnalysisConfig,
 ) -> Vec<RankedEvent> {
-    let mut partial = Step5Partial::new();
+    let mut total = 0usize;
+    let mut by_event: BTreeMap<String, (usize, usize)> = BTreeMap::new();
     for (trace, (_, _, outliers)) in input.traces().iter().zip(detections) {
-        partial.absorb_trace(trace_impact(trace, outliers, config));
+        total += 1;
+        for (event, distance) in trace_impact(trace, outliers, config) {
+            let entry = by_event.entry(event).or_insert((0, usize::MAX));
+            entry.0 += 1;
+            entry.1 = entry.1.min(distance);
+        }
     }
-    partial.into_ranked(config)
+    if total == 0 {
+        return Vec::new();
+    }
+    let mut ranked: Vec<RankedEvent> = by_event
+        .into_iter()
+        .map(|(event, (count, proximity))| RankedEvent {
+            event,
+            impacted_fraction: count as f64 / total as f64,
+            proximity,
+        })
+        .collect();
+    sort_ranked_events(&mut ranked, config);
+    ranked
+}
+
+/// The Step-5 ordering shared by the reference and the dense hot path:
+/// distance to the developer fraction, then higher impacted fraction,
+/// then smaller proximity, then event name. The final name tie-break
+/// makes the chain total, so the result does not depend on the
+/// pre-sort order.
+pub(crate) fn sort_ranked_events(
+    ranked: &mut [RankedEvent],
+    config: &AnalysisConfig,
+) {
+    ranked.sort_by(|a, b| {
+        let da = (a.impacted_fraction - config.developer_fraction).abs();
+        let db = (b.impacted_fraction - config.developer_fraction).abs();
+        da.total_cmp(&db)
+            .then_with(|| b.impacted_fraction.total_cmp(&a.impacted_fraction))
+            .then_with(|| a.proximity.cmp(&b.proximity))
+            .then_with(|| a.event.cmp(&b.event))
+    });
 }
 
 /// The events whose instances fall inside any of one trace's
 /// manifestation windows, with their smallest distance to a window
-/// center — the pure per-trace unit of Step 5. Fold the results with
-/// [`Step5Partial`] (counts add, distances take the minimum), in any
-/// order, to recover the global Step-5 aggregation.
+/// center — the pure per-trace unit of Step 5. Fold the results
+/// (counts add, distances take the minimum), in any order, to recover
+/// the global Step-5 aggregation.
 pub(crate) fn trace_impact(
     trace: &[PoweredInstance],
     outliers: &[usize],
@@ -258,6 +319,31 @@ pub(crate) fn trace_impact(
                 .entry(p.instance.event.clone())
                 .and_modify(|d| *d = (*d).min(distance))
                 .or_insert(distance);
+        }
+    }
+    impact
+}
+
+/// [`trace_impact`] over the interned representation. Returns
+/// `(event, smallest distance)` pairs — each event at most once — as a
+/// small vector with linear-scan dedup: manifestation windows span a
+/// handful of instances, so a map would cost more than it saves, and
+/// the consumer indexes by id anyway.
+pub(crate) fn trace_impact_interned(
+    trace: &InternedTrace,
+    outliers: &[usize],
+    config: &AnalysisConfig,
+) -> Vec<(EventId, usize)> {
+    let mut impact: Vec<(EventId, usize)> = Vec::new();
+    for &center in outliers {
+        let lo = center.saturating_sub(config.window);
+        let hi = (center + config.window).min(trace.len().saturating_sub(1));
+        for (i, &id) in trace.ids()[lo..=hi].iter().enumerate() {
+            let distance = (lo + i).abs_diff(center);
+            match impact.iter_mut().find(|(e, _)| *e == id) {
+                Some((_, d)) => *d = (*d).min(distance),
+                None => impact.push((id, distance)),
+            }
         }
     }
     impact

@@ -6,53 +6,67 @@
 //! along its natural data-parallel seams:
 //!
 //! ```text
-//!        map (per trace, worker pool)          merge           detect (per group / per trace)
-//! traces ──────────────────────────▶ ShardPartial ⊕ ShardPartial ──▶ finish ──▶ DiagnosisReport
-//!   sanitize + per-trace EventGroups    associative merge        Step 2–5 on the pool
+//!        map (per trace, worker pool)          merge           analyze (per group / per trace)
+//! traces ──────────────────────────▶ ShardPartial ⊕ ShardPartial ──▶ analyze ──▶ render ──▶ DiagnosisReport
+//!   sanitize + intern + group tables    associative merge        Steps 2–5, ids only    names resolved
 //! ```
 //!
 //! - **Map** ([`EnergyDx::map_shard`]): Step 1–2 per-trace work —
-//!   sanitation and event-group collection — runs independently per
-//!   trace on the [`crate::par`] worker pool and folds into a
-//!   [`ShardPartial`].
+//!   sanitation and event interning — runs on the [`crate::par`] worker
+//!   pool and folds into a [`ShardPartial`]. From here on the hot path
+//!   carries [`InternedTrace`]s (dense `u32` event ids, no per-instance
+//!   strings) and group populations in a `Vec` indexed by [`EventId`].
 //! - **Merge** ([`ShardPartial::merge`]): partials carry their global
-//!   trace offsets, so shards of the fleet can be mapped on different
-//!   workers (or different machines) and combined in **any order** —
-//!   the merge is associative and commutative, with
-//!   [`ShardPartial::empty`] as identity.
-//! - **Finish** ([`EnergyDx::finish`]): Steps 2–5 run over the merged
-//!   partial — per *event group* for the memoized rank/percentile cache
-//!   ([`GroupStatCache`]), per *trace* for normalization, detection,
-//!   and the Step-5 window scan — again on the worker pool.
+//!   trace offsets and a *canonical* (name-sorted) [`EventInterner`],
+//!   so shards of the fleet can be mapped on different workers (or
+//!   different machines) and combined in **any order** — vocabularies
+//!   union into the same sorted interner from either side, ids are
+//!   remapped with a stable table, and the merge stays associative and
+//!   commutative with [`ShardPartial::empty`] as identity.
+//! - **Analyze** ([`EnergyDx::analyze`]): Steps 2–5 run over the merged
+//!   partial — per *event group* for the sort-once statistics cache
+//!   ([`GroupStatCache`], one [`SortedGroup`] sort serving ranks, base
+//!   percentile, and median), per *trace* for normalization, detection,
+//!   and the Step-5 window scan — entirely on interned ids.
+//! - **Render** ([`EnergyDx::render`]): the only step that touches
+//!   strings again — event names are resolved at the report boundary.
+//!   [`EnergyDx::finish`] is analyze-then-render.
 //!
 //! The headline guarantee, enforced by `tests/diff_harness.rs` and the
 //! golden reports under `tests/golden/`, is that sequential, parallel,
 //! and sharded-then-merged execution produce **byte-identical**
 //! [`DiagnosisReport`]s: every parallel unit is a pure function of its
 //! inputs, every merge combines exact values (integer counts, `usize`
-//! minima, order-preserving concatenation), and results are reassembled
-//! in input order.
+//! minima, order-preserving concatenation, id remaps), and results are
+//! reassembled in input order.
 
 use crate::config::AnalysisConfig;
 use crate::pipeline::{
-    detect_series, normalize_trace, trace_impact, EnergyDx, EventGroups,
+    detect_series, normalize_interned, sort_ranked_events,
+    trace_impact_interned, EnergyDx,
 };
 use crate::report::{
     AnalysisStats, DiagnosisReport, ManifestationPoint, RankedEvent,
     SkippedTrace, TraceAnalysis,
 };
-use energydx_stats::{average_ranks, percentile_many};
+use energydx_stats::SortedGroup;
+use energydx_trace::intern::{EventId, EventInterner, InternedTrace};
 use energydx_trace::join::PoweredInstance;
 use std::collections::BTreeMap;
 
 /// A fleet analysis partial: one or more runs of contiguous traces
-/// after the per-trace map phase (sanitation + event-group collection).
+/// after the per-trace map phase (sanitation + event interning), plus
+/// the canonical vocabulary those runs are interned against.
 ///
 /// Partials merge associatively and commutatively; [`EnergyDx::finish`]
 /// requires the merged result to cover a contiguous fleet starting at
 /// trace 0.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct ShardPartial {
+    /// The canonical (name-sorted) vocabulary every segment's ids and
+    /// group tables are expressed in. Canonical order is what makes
+    /// merged partials structurally equal regardless of merge order.
+    interner: EventInterner,
     /// Disjoint segments keyed by their first global trace index.
     segments: BTreeMap<usize, Segment>,
 }
@@ -61,12 +75,14 @@ pub struct ShardPartial {
 #[derive(Debug, Clone, PartialEq)]
 struct Segment {
     offset: usize,
-    /// Sanitized traces (corrupt ones emptied, slots kept).
-    traces: Vec<Vec<PoweredInstance>>,
+    /// Sanitized interned traces (corrupt ones emptied, slots kept).
+    traces: Vec<InternedTrace>,
     /// `(global index, non-finite count)` of emptied traces, ascending.
     skipped: Vec<(usize, usize)>,
-    /// Event-group powers of this segment, in trace order.
-    groups: EventGroups,
+    /// Per-event power populations of this segment in trace order,
+    /// indexed by [`EventId`]; events absent from this segment hold an
+    /// empty vector.
+    groups: Vec<Vec<f64>>,
 }
 
 impl Segment {
@@ -74,12 +90,30 @@ impl Segment {
         self.offset + self.traces.len()
     }
 
-    /// Appends an adjacent segment (`next.offset == self.end()`).
+    /// Appends an adjacent segment (`next.offset == self.end()`),
+    /// expressed in the same vocabulary.
     fn absorb(&mut self, next: Segment) {
         debug_assert_eq!(self.end(), next.offset);
-        self.groups.merge(next.groups);
+        debug_assert_eq!(self.groups.len(), next.groups.len());
+        for (mine, theirs) in self.groups.iter_mut().zip(next.groups) {
+            mine.extend(theirs);
+        }
         self.traces.extend(next.traces);
         self.skipped.extend(next.skipped);
+    }
+
+    /// Rewrites the segment into a larger vocabulary: trace ids go
+    /// through `remap` and the group table is re-scattered to `vocab`
+    /// slots (the remap is injective, so no populations collide).
+    fn remap(&mut self, remap: &[u32], vocab: usize) {
+        for trace in &mut self.traces {
+            trace.remap(remap);
+        }
+        let old = std::mem::take(&mut self.groups);
+        self.groups = vec![Vec::new(); vocab];
+        for (old_id, powers) in old.into_iter().enumerate() {
+            self.groups[remap[old_id] as usize] = powers;
+        }
     }
 }
 
@@ -94,6 +128,11 @@ impl ShardPartial {
         self.segments.values().map(|s| s.traces.len()).sum()
     }
 
+    /// Distinct event names across the covered traces.
+    pub fn vocabulary(&self) -> &[String] {
+        self.interner.names()
+    }
+
     /// Whether the partial covers one contiguous run starting at trace
     /// 0 (vacuously true when empty), i.e. is ready for
     /// [`EnergyDx::finish`].
@@ -106,10 +145,11 @@ impl ShardPartial {
     }
 
     /// Merges another partial into this one. Associative and
-    /// commutative: segments are keyed by global trace offset and
-    /// adjacent runs are coalesced by order-preserving concatenation,
-    /// so any merge tree over a partition of the fleet produces the
-    /// same partial.
+    /// commutative: vocabularies union into the same canonical
+    /// interner from either side (ids remapped stably), segments are
+    /// keyed by global trace offset, and adjacent runs are coalesced
+    /// by order-preserving concatenation — so any merge tree over a
+    /// partition of the fleet produces the same partial, structurally.
     ///
     /// # Panics
     ///
@@ -117,8 +157,29 @@ impl ShardPartial {
     /// that is a caller error (the same shard merged twice), not a
     /// data-quality condition.
     pub fn merge(mut self, other: ShardPartial) -> ShardPartial {
-        for (_, segment) in other.segments {
-            self.insert(segment);
+        if self.segments.is_empty() {
+            self.interner = other.interner;
+            self.segments = other.segments;
+        } else if other.segments.is_empty() {
+            // Nothing to fold in; the vocabulary stays ours.
+        } else if self.interner == other.interner {
+            // Identical vocabularies (the common case when shards of
+            // one app merge): no remap needed.
+            for (_, segment) in other.segments {
+                self.insert(segment);
+            }
+        } else {
+            let (union, remap_self, remap_other) =
+                EventInterner::union(&self.interner, &other.interner);
+            let vocab = union.len();
+            for segment in self.segments.values_mut() {
+                segment.remap(&remap_self, vocab);
+            }
+            self.interner = union;
+            for (_, mut segment) in other.segments {
+                segment.remap(&remap_other, vocab);
+                self.insert(segment);
+            }
         }
         self.coalesce();
         self
@@ -192,16 +253,19 @@ impl std::fmt::Display for ShardError {
 
 impl std::error::Error for ShardError {}
 
-/// The memoized per-event-group statistics cache shared by Steps 2–3.
+/// The memoized per-event-group statistics cache shared by Steps 2–3,
+/// indexed densely by [`EventId`].
 ///
-/// Each event group's power population is sorted **once**; the Step-2
-/// rank vector and the Step-3 normalization base (10th percentile,
-/// median-guarded) are both derived from it and reused for every trace,
-/// instead of being recomputed per step as the textbook pipeline does.
-/// Built on the worker pool, one task per event group.
+/// Each event group's power population is sorted **once** (via
+/// [`SortedGroup`]); the Step-2 rank vector and the Step-3
+/// normalization base (configured percentile, median-guarded) are both
+/// served from that single sorted view and reused for every trace,
+/// instead of being re-sorted per statistic as the textbook pipeline
+/// does. Built on the worker pool, one task per event group.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct GroupStatCache {
-    stats: BTreeMap<String, GroupStat>,
+    /// One entry per vocabulary id.
+    stats: Vec<GroupStat>,
 }
 
 /// Per-event-group derived statistics.
@@ -214,24 +278,21 @@ struct GroupStat {
 }
 
 impl GroupStatCache {
-    /// Builds the cache from merged event groups, one worker-pool task
-    /// per event group.
+    /// Builds the cache from merged dense group populations (one slot
+    /// per vocabulary id), one worker-pool task per event group.
     pub fn build(
-        groups: &EventGroups,
+        groups: &[Vec<f64>],
         config: &AnalysisConfig,
         jobs: usize,
     ) -> Self {
-        let entries: Vec<(&String, &Vec<f64>)> = groups.powers.iter().collect();
-        let computed =
-            crate::par::par_map(&entries, jobs, |_, &(event, powers)| {
-                (event.clone(), GroupStat::compute(powers, config))
-            });
         GroupStatCache {
-            stats: computed.into_iter().collect(),
+            stats: crate::par::par_map(groups, jobs, |_, powers| {
+                GroupStat::compute(powers, config)
+            }),
         }
     }
 
-    /// Event groups in the cache.
+    /// Event groups in the cache (the vocabulary size).
     pub fn len(&self) -> usize {
         self.stats.len()
     }
@@ -241,22 +302,21 @@ impl GroupStatCache {
         self.stats.is_empty()
     }
 
-    /// The Step-2 rankings of every non-degenerate group.
-    pub fn rankings(&self) -> BTreeMap<String, Vec<f64>> {
-        self.stats
-            .iter()
-            .filter_map(|(event, stat)| {
-                Some((event.clone(), stat.ranks.clone()?))
-            })
-            .collect()
+    /// Groups whose statistics could not be computed (NaN smuggled
+    /// past sanitation, or an empty population).
+    pub fn degenerate_count(&self) -> usize {
+        self.stats.iter().filter(|s| s.ranks.is_none()).count()
     }
 
-    /// The Step-3 normalization bases of every non-degenerate group.
-    pub fn bases(&self) -> BTreeMap<&str, f64> {
-        self.stats
-            .iter()
-            .filter_map(|(event, stat)| Some((event.as_str(), stat.base?)))
-            .collect()
+    /// The Step-3 normalization base per vocabulary id, `None` for
+    /// degenerate groups.
+    pub fn bases(&self) -> Vec<Option<f64>> {
+        self.stats.iter().map(|s| s.base).collect()
+    }
+
+    /// The Step-2 rankings per vocabulary id, consuming the cache.
+    fn into_rankings(self) -> Vec<Option<Vec<f64>>> {
+        self.stats.into_iter().map(|s| s.ranks).collect()
     }
 }
 
@@ -264,16 +324,21 @@ impl GroupStat {
     /// One sort of the group population, both derived statistics.
     ///
     /// The base formula must stay bit-identical to
-    /// [`crate::pipeline::step3_normalize`]'s inline computation —
-    /// `percentile_many` returns the same bits as two independent
-    /// `percentile` calls.
+    /// [`crate::pipeline::step3_normalize`]'s computation —
+    /// [`SortedGroup`] serves the same bits as independent
+    /// `percentile`/`average_ranks` calls on the same population.
     fn compute(powers: &[f64], config: &AnalysisConfig) -> GroupStat {
-        let ranks = average_ranks(powers).ok();
-        let base = percentile_many(powers, &[config.base_percentile, 50.0])
-            .ok()
-            .and_then(|pm| {
-                let base = pm[0]
-                    .max(pm[1] * config.base_guard_fraction)
+        let Ok(group) = SortedGroup::new(powers) else {
+            return GroupStat {
+                ranks: None,
+                base: None,
+            };
+        };
+        let ranks = Some(group.average_ranks());
+        let base =
+            group.percentile(config.base_percentile).ok().and_then(|p| {
+                let base = p
+                    .max(group.median() * config.base_guard_fraction)
                     .max(config.min_base_mw);
                 (base.is_finite() && base > 0.0).then_some(base)
             });
@@ -281,51 +346,72 @@ impl GroupStat {
     }
 }
 
-/// The Step-5 aggregation state: per-event impacted-trace counts and
-/// window proximities. Commutative and associative under
-/// [`Step5Partial::absorb`]-style accumulation — counts add, proximities
-/// take the `usize` minimum — so traces can be scanned in any order.
+/// The Step-5 aggregation state: impacted-trace counts and window
+/// proximities in a dense table indexed by [`EventId`]. Commutative
+/// and associative under [`Step5Partial::absorb_trace`]-style
+/// accumulation — counts add, proximities take the `usize` minimum —
+/// so traces can be scanned in any order.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct Step5Partial {
     /// Traces covered, impacted or not (the fraction denominator).
     pub total: usize,
-    /// Event → (impacted-trace count, smallest window distance).
-    by_event: BTreeMap<String, (usize, usize)>,
+    /// `(impacted-trace count, smallest window distance)` per
+    /// vocabulary id; `(0, usize::MAX)` marks an unimpacted event.
+    by_event: Vec<(usize, usize)>,
 }
 
 impl Step5Partial {
-    /// An empty aggregation.
-    pub fn new() -> Self {
-        Step5Partial::default()
+    /// An empty aggregation over a vocabulary of `vocab` events.
+    pub fn new(vocab: usize) -> Self {
+        Step5Partial {
+            total: 0,
+            by_event: vec![(0, usize::MAX); vocab],
+        }
     }
 
     /// Folds in one trace's window scan (see
-    /// [`crate::pipeline::trace_impact`]).
-    pub fn absorb_trace(&mut self, impact: BTreeMap<String, usize>) {
+    /// [`crate::pipeline`]'s per-trace Step-5 unit), expressed in this
+    /// partial's vocabulary.
+    pub fn absorb_trace(&mut self, impact: &[(EventId, usize)]) {
         self.total += 1;
-        for (event, distance) in impact {
-            let entry = self.by_event.entry(event).or_insert((0, usize::MAX));
+        for &(id, distance) in impact {
+            let entry = &mut self.by_event[id.index()];
             entry.0 += 1;
             entry.1 = entry.1.min(distance);
         }
     }
 
-    /// Merges another partial (shard-level Step-5 state) into this one.
+    /// Merges another partial (shard-level Step-5 state over the same
+    /// vocabulary) into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vocabularies differ in size — remap both sides to
+    /// a common interner first.
     pub fn merge(&mut self, other: Step5Partial) {
+        assert_eq!(
+            self.by_event.len(),
+            other.by_event.len(),
+            "Step5Partial vocabularies differ"
+        );
         self.total += other.total;
-        for (event, (count, distance)) in other.by_event {
-            let entry = self.by_event.entry(event).or_insert((0, usize::MAX));
-            entry.0 += count;
-            entry.1 = entry.1.min(distance);
+        for (mine, (count, distance)) in
+            self.by_event.iter_mut().zip(other.by_event)
+        {
+            mine.0 += count;
+            mine.1 = mine.1.min(distance);
         }
     }
 
     /// Sorts the aggregated events by closeness to the developer
-    /// fraction — the final, inherently global piece of Step 5. The
-    /// tie-break chain is total and documented: distance to the
-    /// developer fraction, then higher impacted fraction, then smaller
-    /// proximity, then event name.
-    pub fn into_ranked(self, config: &AnalysisConfig) -> Vec<RankedEvent> {
+    /// fraction — the final, inherently global piece of Step 5. Names
+    /// are resolved here, at the boundary; the ordering is the shared
+    /// total chain of [`crate::pipeline::step5_report`].
+    pub fn into_ranked(
+        self,
+        interner: &EventInterner,
+        config: &AnalysisConfig,
+    ) -> Vec<RankedEvent> {
         if self.total == 0 {
             return Vec::new();
         }
@@ -333,22 +419,15 @@ impl Step5Partial {
         let mut ranked: Vec<RankedEvent> = self
             .by_event
             .into_iter()
-            .map(|(event, (count, proximity))| RankedEvent {
-                event,
+            .enumerate()
+            .filter(|&(_, (count, _))| count > 0)
+            .map(|(id, (count, proximity))| RankedEvent {
+                event: interner.names()[id].clone(),
                 impacted_fraction: count as f64 / total as f64,
                 proximity,
             })
             .collect();
-        ranked.sort_by(|a, b| {
-            let da = (a.impacted_fraction - config.developer_fraction).abs();
-            let db = (b.impacted_fraction - config.developer_fraction).abs();
-            da.total_cmp(&db)
-                .then_with(|| {
-                    b.impacted_fraction.total_cmp(&a.impacted_fraction)
-                })
-                .then_with(|| a.proximity.cmp(&b.proximity))
-                .then_with(|| a.event.cmp(&b.event))
-        });
+        sort_ranked_events(&mut ranked, config);
         ranked
     }
 }
@@ -382,115 +461,225 @@ pub fn shard_bounds(len: usize, shards: usize) -> Vec<(usize, usize)> {
     bounds
 }
 
+/// A fully analyzed fleet: everything Steps 2–5 produce, still in
+/// interned (id-only) form. [`EnergyDx::render`] turns it into a
+/// [`DiagnosisReport`] by resolving names at the boundary; keeping the
+/// two apart lets callers (the hot-path benchmark in particular)
+/// measure analysis without report materialization.
+#[derive(Debug, Clone)]
+pub struct AnalyzedFleet {
+    interner: EventInterner,
+    traces: Vec<InternedTrace>,
+    skipped: Vec<(usize, usize)>,
+    outcomes: Vec<TraceOutcome>,
+    rankings: Vec<Option<Vec<f64>>>,
+    step5: Step5Partial,
+    degenerate_groups: usize,
+}
+
+/// Per-trace analysis products, id-only.
+#[derive(Debug, Clone)]
+struct TraceOutcome {
+    normalized: Vec<f64>,
+    amplitudes: Vec<f64>,
+    upper_fence: Option<f64>,
+    outliers: Vec<usize>,
+}
+
+impl AnalyzedFleet {
+    /// Number of traces analyzed (including emptied slots).
+    pub fn trace_count(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// Total manifestation points detected across the fleet.
+    pub fn detection_count(&self) -> usize {
+        self.outcomes.iter().map(|o| o.outliers.len()).sum()
+    }
+}
+
 impl EnergyDx {
-    /// The map phase: Step 1–2 per-trace work (sanitation + event-group
-    /// collection) over one shard of the fleet, on the worker pool.
-    /// `offset` is the global index of the shard's first trace.
+    /// The map phase: Step-1 per-trace work (sanitation + interning)
+    /// over one shard of the fleet, on the worker pool. `offset` is
+    /// the global index of the shard's first trace.
+    ///
+    /// Traces are *interned, not cloned*: each instance contributes a
+    /// `u32` id and an `f64` power to the partial; its event string is
+    /// looked up against a vocabulary built in one sequential pre-scan
+    /// (so interning stays deterministic under any worker count) and
+    /// canonicalized to name order.
     pub fn map_shard(
         &self,
         traces: &[Vec<PoweredInstance>],
         offset: usize,
     ) -> ShardPartial {
-        let mapped = crate::par::par_map(traces, self.jobs(), |_, trace| {
-            let non_finite =
-                trace.iter().filter(|p| !p.power_mw.is_finite()).count();
-            let sanitized = if non_finite > 0 {
-                Vec::new()
-            } else {
-                trace.clone()
-            };
-            let groups =
-                EventGroups::collect_traces(std::slice::from_ref(&sanitized));
-            (sanitized, non_finite, groups)
-        });
-        let mut traces = Vec::with_capacity(mapped.len());
-        let mut skipped = Vec::new();
-        let mut groups = EventGroups::default();
-        for (index, (trace, non_finite, trace_groups)) in
-            mapped.into_iter().enumerate()
-        {
-            if non_finite > 0 {
-                skipped.push((offset + index, non_finite));
+        let non_finite: Vec<usize> =
+            crate::par::par_map(traces, self.jobs(), |_, trace| {
+                trace.iter().filter(|p| !p.power_mw.is_finite()).count()
+            });
+        // Sequential vocabulary pre-scan over clean traces; corrupt
+        // traces are excluded exactly as their populations are.
+        let mut interner = EventInterner::new();
+        for (trace, &bad) in traces.iter().zip(&non_finite) {
+            if bad == 0 {
+                for p in trace {
+                    interner.intern(&p.instance.event);
+                }
             }
-            traces.push(trace);
-            groups.merge(trace_groups);
         }
-        let mut partial = ShardPartial::empty();
+        // No ids are issued yet, so the canonicalization remap is
+        // dropped; workers below intern against the sorted vocabulary.
+        interner.canonicalize();
+        let interned: Vec<InternedTrace> =
+            crate::par::par_map(traces, self.jobs(), |i, trace| {
+                if non_finite[i] > 0 {
+                    InternedTrace::default()
+                } else {
+                    InternedTrace::from_powered_in(trace, &interner)
+                }
+            });
+        let mut groups: Vec<Vec<f64>> = vec![Vec::new(); interner.len()];
+        for trace in &interned {
+            for (&id, &mw) in trace.ids().iter().zip(trace.powers()) {
+                groups[id.index()].push(mw);
+            }
+        }
+        let skipped: Vec<(usize, usize)> = non_finite
+            .iter()
+            .enumerate()
+            .filter(|&(_, &bad)| bad > 0)
+            .map(|(i, &bad)| (offset + i, bad))
+            .collect();
+        let mut partial = ShardPartial {
+            interner,
+            segments: BTreeMap::new(),
+        };
         partial.insert(Segment {
             offset,
-            traces,
+            traces: interned,
             skipped,
             groups,
         });
         partial
     }
 
-    /// The reduce phase: Steps 2–5 over a merged partial covering the
-    /// whole fleet. Per-group and per-trace work runs on the worker
-    /// pool; the result is byte-identical to
-    /// [`EnergyDx::diagnose_reference`] on the same fleet.
+    /// The reduce phase, analysis half: Steps 2–5 over a merged
+    /// partial covering the whole fleet, entirely on interned ids.
+    /// Per-group and per-trace work runs on the worker pool.
     ///
     /// # Errors
     ///
     /// Returns [`ShardError::IncompleteFleet`] if the partial's
     /// segments do not form one contiguous run starting at trace 0.
-    pub fn finish(
+    pub fn analyze(
         &self,
         partial: ShardPartial,
-    ) -> Result<DiagnosisReport, ShardError> {
+    ) -> Result<AnalyzedFleet, ShardError> {
         if !partial.is_complete() {
             return Err(ShardError::IncompleteFleet {
                 covered: partial.segments.keys().copied().collect(),
             });
         }
+        let interner = partial.interner;
         let (traces, skipped, groups) =
             match partial.segments.into_values().next() {
                 Some(segment) => {
                     (segment.traces, segment.skipped, segment.groups)
                 }
-                None => (Vec::new(), Vec::new(), EventGroups::default()),
+                None => (Vec::new(), Vec::new(), Vec::new()),
             };
         let config = self.config();
 
         let cache = GroupStatCache::build(&groups, config, self.jobs());
-        let rankings = cache.rankings();
         let bases = cache.bases();
 
         let per_trace =
             crate::par::par_map(&traces, self.jobs(), |_, trace| {
-                let normalized = normalize_trace(trace, &bases, config);
+                let normalized = normalize_interned(trace, &bases, config);
                 let (amplitudes, fences, outliers) =
                     detect_series(&normalized, config);
-                let impact = trace_impact(trace, &outliers, config);
-                let manifestation_points = outliers
+                let impact = trace_impact_interned(trace, &outliers, config);
+                let outcome = TraceOutcome {
+                    normalized,
+                    amplitudes,
+                    upper_fence: fences.map(|f| f.upper),
+                    outliers,
+                };
+                (outcome, impact)
+            });
+
+        let mut step5 = Step5Partial::new(interner.len());
+        let mut outcomes = Vec::with_capacity(per_trace.len());
+        for (outcome, impact) in per_trace {
+            step5.absorb_trace(&impact);
+            outcomes.push(outcome);
+        }
+
+        Ok(AnalyzedFleet {
+            degenerate_groups: cache.degenerate_count(),
+            rankings: cache.into_rankings(),
+            interner,
+            traces,
+            skipped,
+            outcomes,
+            step5,
+        })
+    }
+
+    /// The reduce phase, rendering half: resolves interned ids back to
+    /// event names and assembles the [`DiagnosisReport`]. This is the
+    /// only place the hot path allocates strings again.
+    pub fn render(&self, fleet: AnalyzedFleet) -> DiagnosisReport {
+        let AnalyzedFleet {
+            interner,
+            traces,
+            skipped,
+            outcomes,
+            rankings,
+            step5,
+            degenerate_groups,
+        } = fleet;
+        let config = self.config();
+
+        let ranked_events = step5.into_ranked(&interner, config);
+
+        // The interner is canonical (name-sorted), so id order *is*
+        // BTreeMap key order; the map is built without re-sorting.
+        let rankings: BTreeMap<String, Vec<f64>> = rankings
+            .into_iter()
+            .enumerate()
+            .filter_map(|(id, ranks)| {
+                Some((interner.names()[id].clone(), ranks?))
+            })
+            .collect();
+
+        let trace_analyses: Vec<TraceAnalysis> = traces
+            .iter()
+            .zip(outcomes)
+            .map(|(trace, outcome)| {
+                let manifestation_points = outcome
+                    .outliers
                     .iter()
                     .map(|&idx| ManifestationPoint {
                         instance_index: idx,
-                        event: trace[idx].instance.event.clone(),
-                        amplitude: amplitudes[idx],
+                        event: interner.resolve(trace.ids()[idx]).to_owned(),
+                        amplitude: outcome.amplitudes[idx],
                     })
                     .collect();
-                let analysis = TraceAnalysis {
-                    raw_power_mw: trace.iter().map(|p| p.power_mw).collect(),
+                TraceAnalysis {
+                    raw_power_mw: trace.powers().to_vec(),
                     events: trace
+                        .ids()
                         .iter()
-                        .map(|p| p.instance.event.clone())
+                        .map(|&id| interner.resolve(id).to_owned())
                         .collect(),
-                    normalized_power: normalized,
-                    amplitudes,
-                    upper_fence: fences.map(|f| f.upper),
+                    normalized_power: outcome.normalized,
+                    amplitudes: outcome.amplitudes,
+                    upper_fence: outcome.upper_fence,
                     manifestation_points,
-                };
-                (analysis, impact)
-            });
-
-        let mut step5 = Step5Partial::new();
-        let mut trace_analyses = Vec::with_capacity(per_trace.len());
-        for (analysis, impact) in per_trace {
-            step5.absorb_trace(impact);
-            trace_analyses.push(analysis);
-        }
-        let ranked_events = step5.into_ranked(config);
+                }
+            })
+            .collect();
 
         let stats = AnalysisStats {
             total_traces: traces.len(),
@@ -502,16 +691,31 @@ impl EnergyDx {
                     reason: format!("{count} non-finite power value(s)"),
                 })
                 .collect(),
-            degenerate_groups: cache.len() - rankings.len(),
+            degenerate_groups,
         };
 
-        Ok(DiagnosisReport {
+        DiagnosisReport {
             traces: trace_analyses,
             events: ranked_events,
             rankings,
             top_k: config.top_k,
             stats,
-        })
+        }
+    }
+
+    /// The full reduce phase: [`EnergyDx::analyze`] then
+    /// [`EnergyDx::render`]. The result is byte-identical to
+    /// [`EnergyDx::diagnose_reference`] on the same fleet.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShardError::IncompleteFleet`] if the partial's
+    /// segments do not form one contiguous run starting at trace 0.
+    pub fn finish(
+        &self,
+        partial: ShardPartial,
+    ) -> Result<DiagnosisReport, ShardError> {
+        Ok(self.render(self.analyze(partial)?))
     }
 
     /// Diagnoses the fleet in `shards` independent shards whose
@@ -609,6 +813,36 @@ mod tests {
     }
 
     #[test]
+    fn partial_vocabulary_is_canonical() {
+        let input = fleet();
+        let mapped = EnergyDx::default().map_shard(input.traces(), 0);
+        assert_eq!(mapped.vocabulary(), ["A", "B"]);
+    }
+
+    #[test]
+    fn merging_disjoint_vocabularies_remaps_ids() {
+        // Two shards whose event vocabularies do not overlap at all:
+        // after the merge both segments must be expressed in the
+        // sorted union, from either merge direction.
+        let dx = EnergyDx::default();
+        let left: Vec<Vec<PoweredInstance>> = vec![(0..10)
+            .map(|i| instance("zz", i * 500, 100.0 + i as f64))
+            .collect()];
+        let right: Vec<Vec<PoweredInstance>> = vec![(0..10)
+            .map(|i| instance("aa", i * 500, 200.0 + i as f64))
+            .collect()];
+        let a = dx.map_shard(&left, 0);
+        let b = dx.map_shard(&right, 1);
+        let forward = a.clone().merge(b.clone());
+        let backward = b.merge(a);
+        assert_eq!(forward, backward);
+        assert_eq!(forward.vocabulary(), ["aa", "zz"]);
+        let input =
+            DiagnosisInput::new(left.into_iter().chain(right).collect());
+        assert_eq!(dx.finish(forward).unwrap(), dx.diagnose_reference(&input));
+    }
+
+    #[test]
     fn finish_rejects_a_gap() {
         let input = fleet();
         let dx = EnergyDx::default();
@@ -636,6 +870,17 @@ mod tests {
         let report = dx.diagnose_sharded(&input, 4);
         assert_eq!(report.stats.skipped.len(), 1);
         assert_eq!(report.stats.skipped[0].index, 5);
+    }
+
+    #[test]
+    fn analyze_exposes_fleet_shape_without_rendering() {
+        let input = fleet();
+        let dx = EnergyDx::default();
+        let analyzed = dx.analyze(dx.map_shard(input.traces(), 0)).unwrap();
+        assert_eq!(analyzed.trace_count(), 7);
+        assert!(analyzed.detection_count() >= 1);
+        let report = dx.render(analyzed);
+        assert_eq!(report, dx.diagnose_reference(&input));
     }
 
     #[test]

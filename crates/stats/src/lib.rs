@@ -15,6 +15,10 @@
 //!   distance distribution over the 40 ABD cases).
 //! - **Summary statistics** ([`summary`]), used throughout the
 //!   evaluation harness.
+//! - **Sort-once group views** ([`sorted`]), the hot-path kernel that
+//!   sorts an event group's population exactly once and serves the
+//!   normalization base, median, quartiles, and average ranks from the
+//!   same sorted view, bit-identical to the standalone functions.
 //! - **Mergeable quantile sketches** ([`sketch`]), the per-shard
 //!   partials of the fleet-parallel backend: exact, commutative, and
 //!   associative under merge, so shards of the fleet can be summarized
@@ -43,6 +47,7 @@ pub mod outlier;
 pub mod percentile;
 pub mod rank;
 pub mod sketch;
+pub mod sorted;
 pub mod summary;
 
 pub use cdf::Ecdf;
@@ -53,4 +58,5 @@ pub use percentile::{
 };
 pub use rank::{average_ranks, dense_ranks, ordinal_ranks};
 pub use sketch::QuantileSketch;
+pub use sorted::SortedGroup;
 pub use summary::Summary;

@@ -1,0 +1,361 @@
+//! Event-name interning: dense `u32` symbols for the analysis hot path.
+//!
+//! Event names repeat enormously — a fleet of traces uses a vocabulary
+//! of dozens of names across millions of instances — yet the pipeline
+//! historically carried a heap-allocated `String` per instance through
+//! every analysis step. An [`EventInterner`] maps each distinct name to
+//! a dense [`EventId`] once, at ingest; after that the hot path moves
+//! only `u32`s and resolves names back to strings at the report/JSON
+//! boundary.
+//!
+//! Interners from independently-processed shards are combined with
+//! [`EventInterner::union`], which returns the merged vocabulary plus a
+//! remap table for each side. The union is *canonical* — names sorted
+//! ascending — so merging the same shards in any order yields the same
+//! interner and the same ids. That is what keeps shard merging
+//! commutative and lets partials be compared structurally.
+
+use crate::join::PoweredInstance;
+use std::collections::HashMap;
+
+/// A dense symbol for an interned event name.
+///
+/// Ids are indices into the owning [`EventInterner`]; they are only
+/// meaningful relative to that interner (or one derived from it via
+/// [`EventInterner::union`] remapping).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventId(u32);
+
+impl EventId {
+    /// The id as a dense table index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds an id from a dense table index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in `u32`.
+    pub fn from_index(index: usize) -> Self {
+        EventId(u32::try_from(index).expect("vocabulary exceeds u32"))
+    }
+}
+
+/// A bidirectional map between event names and dense [`EventId`]s.
+///
+/// # Examples
+///
+/// ```
+/// # use energydx_trace::intern::EventInterner;
+/// let mut interner = EventInterner::new();
+/// let a = interner.intern("onResume");
+/// let b = interner.intern("onClick");
+/// assert_eq!(interner.intern("onResume"), a);
+/// assert_eq!(interner.resolve(a), "onResume");
+/// assert_eq!(interner.resolve(b), "onClick");
+/// assert_eq!(interner.len(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct EventInterner {
+    /// Names by id; `names[id.index()]` is the interned string.
+    names: Vec<String>,
+    /// Reverse lookup from name to id.
+    index: HashMap<String, u32>,
+}
+
+/// Equality is vocabulary equality: same names bound to the same ids.
+/// (The reverse index is derived from `names`, so comparing names is
+/// complete.)
+impl PartialEq for EventInterner {
+    fn eq(&self, other: &Self) -> bool {
+        self.names == other.names
+    }
+}
+
+impl Eq for EventInterner {}
+
+impl EventInterner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the id for `name`, interning it if new.
+    pub fn intern(&mut self, name: &str) -> EventId {
+        if let Some(&id) = self.index.get(name) {
+            return EventId(id);
+        }
+        let id =
+            u32::try_from(self.names.len()).expect("vocabulary exceeds u32");
+        self.names.push(name.to_owned());
+        self.index.insert(name.to_owned(), id);
+        EventId(id)
+    }
+
+    /// Looks up `name` without interning.
+    pub fn get(&self, name: &str) -> Option<EventId> {
+        self.index.get(name).copied().map(EventId)
+    }
+
+    /// Resolves an id back to its name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this interner (or one it was
+    /// remapped into).
+    pub fn resolve(&self, id: EventId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// The number of interned names.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the vocabulary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// The vocabulary in id order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Whether the vocabulary is in canonical (ascending name) order.
+    pub fn is_canonical(&self) -> bool {
+        self.names.windows(2).all(|w| w[0] < w[1])
+    }
+
+    /// Re-sorts the vocabulary into canonical (ascending name) order
+    /// and returns the remap table: `remap[old_id] = new_id`.
+    ///
+    /// Canonical interners are what shard partials store, so that two
+    /// shards covering the same vocabulary assign identical ids no
+    /// matter the order names were first seen in.
+    pub fn canonicalize(&mut self) -> Vec<u32> {
+        let mut order: Vec<u32> = (0..self.names.len() as u32).collect();
+        order.sort_by(|&a, &b| {
+            self.names[a as usize].cmp(&self.names[b as usize])
+        });
+        let mut remap = vec![0u32; self.names.len()];
+        let mut sorted = Vec::with_capacity(self.names.len());
+        for (new, &old) in order.iter().enumerate() {
+            remap[old as usize] = new as u32;
+            sorted.push(std::mem::take(&mut self.names[old as usize]));
+        }
+        self.names = sorted;
+        self.index = rebuild_index(&self.names);
+        remap
+    }
+
+    /// Merges two vocabularies into their canonical union.
+    ///
+    /// Returns `(union, remap_a, remap_b)` where `remap_x[old_id]` is
+    /// the id of the same name in the union. The union is sorted, so
+    /// `union(a, b)` and `union(b, a)` produce equal interners — the
+    /// merge law shard combination relies on.
+    pub fn union(a: &Self, b: &Self) -> (Self, Vec<u32>, Vec<u32>) {
+        let mut names: Vec<String> =
+            a.names.iter().chain(b.names.iter()).cloned().collect();
+        names.sort_unstable();
+        names.dedup();
+        let index = rebuild_index(&names);
+        let lookup = |side: &Self| -> Vec<u32> {
+            side.names.iter().map(|n| index[n.as_str()]).collect()
+        };
+        let remap_a = lookup(a);
+        let remap_b = lookup(b);
+        (EventInterner { names, index }, remap_a, remap_b)
+    }
+}
+
+fn rebuild_index(names: &[String]) -> HashMap<String, u32> {
+    names
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (n.clone(), i as u32))
+        .collect()
+}
+
+/// A power trace in structure-of-arrays form: interned event ids and
+/// power values, no per-instance strings.
+///
+/// This is the hot-path representation the sharded pipeline stores and
+/// analyzes; `ids[i]` and `powers[i]` describe the `i`-th instance of
+/// the trace in its original order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct InternedTrace {
+    ids: Vec<EventId>,
+    powers: Vec<f64>,
+}
+
+impl InternedTrace {
+    /// Interns a powered trace, growing `interner` as needed.
+    pub fn from_powered(
+        trace: &[PoweredInstance],
+        interner: &mut EventInterner,
+    ) -> Self {
+        InternedTrace {
+            ids: trace
+                .iter()
+                .map(|p| interner.intern(&p.instance.event))
+                .collect(),
+            powers: trace.iter().map(|p| p.power_mw).collect(),
+        }
+    }
+
+    /// Interns a powered trace against a *complete* read-only
+    /// vocabulary (every event name already interned).
+    ///
+    /// This is the parallel-safe variant: workers share an immutable
+    /// interner built by a sequential vocabulary pre-scan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace contains a name absent from `interner`.
+    pub fn from_powered_in(
+        trace: &[PoweredInstance],
+        interner: &EventInterner,
+    ) -> Self {
+        InternedTrace {
+            ids: trace
+                .iter()
+                .map(|p| {
+                    interner
+                        .get(&p.instance.event)
+                        .expect("vocabulary pre-scan covers every event")
+                })
+                .collect(),
+            powers: trace.iter().map(|p| p.power_mw).collect(),
+        }
+    }
+
+    /// The interned event ids, in instance order.
+    pub fn ids(&self) -> &[EventId] {
+        &self.ids
+    }
+
+    /// The power values, in instance order.
+    pub fn powers(&self) -> &[f64] {
+        &self.powers
+    }
+
+    /// The number of instances.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the trace has no instances.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Rewrites every id through `remap` (as returned by
+    /// [`EventInterner::canonicalize`] or [`EventInterner::union`]).
+    pub fn remap(&mut self, remap: &[u32]) {
+        for id in &mut self.ids {
+            *id = EventId(remap[id.index()]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventInstance;
+
+    fn powered(event: &str, mw: f64) -> PoweredInstance {
+        PoweredInstance {
+            instance: EventInstance::new(event, 0, 10),
+            power_mw: mw,
+        }
+    }
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut i = EventInterner::new();
+        let a = i.intern("x");
+        assert_eq!(i.intern("x"), a);
+        assert_eq!(i.len(), 1);
+        assert_eq!(i.get("x"), Some(a));
+        assert_eq!(i.get("y"), None);
+    }
+
+    #[test]
+    fn canonicalize_sorts_and_remaps() {
+        let mut i = EventInterner::new();
+        let c = i.intern("c");
+        let a = i.intern("a");
+        let b = i.intern("b");
+        assert!(!i.is_canonical());
+        let remap = i.canonicalize();
+        assert!(i.is_canonical());
+        assert_eq!(i.names(), ["a", "b", "c"]);
+        assert_eq!(remap[c.index()], 2);
+        assert_eq!(remap[a.index()], 0);
+        assert_eq!(remap[b.index()], 1);
+        // Lookups agree with the new layout.
+        assert_eq!(i.get("a"), Some(EventId::from_index(0)));
+        assert_eq!(i.resolve(EventId::from_index(2)), "c");
+    }
+
+    #[test]
+    fn union_is_commutative() {
+        let mut a = EventInterner::new();
+        a.intern("m");
+        a.intern("a");
+        let mut b = EventInterner::new();
+        b.intern("z");
+        b.intern("m");
+        let (ab, ra, rb) = EventInterner::union(&a, &b);
+        let (ba, rb2, ra2) = EventInterner::union(&b, &a);
+        assert_eq!(ab, ba);
+        assert_eq!(ra, ra2);
+        assert_eq!(rb, rb2);
+        assert_eq!(ab.names(), ["a", "m", "z"]);
+        // "m" maps to the same union id from both sides.
+        assert_eq!(ra[a.get("m").unwrap().index()], 1);
+        assert_eq!(rb[b.get("m").unwrap().index()], 1);
+    }
+
+    #[test]
+    fn union_with_empty_is_canonicalization() {
+        let mut a = EventInterner::new();
+        a.intern("b");
+        a.intern("a");
+        let (u, remap_a, remap_empty) =
+            EventInterner::union(&a, &EventInterner::new());
+        assert_eq!(u.names(), ["a", "b"]);
+        assert_eq!(remap_a, vec![1, 0]);
+        assert!(remap_empty.is_empty());
+    }
+
+    #[test]
+    fn interned_trace_round_trips_names_and_powers() {
+        let trace =
+            vec![powered("b", 1.0), powered("a", 2.0), powered("b", 3.0)];
+        let mut interner = EventInterner::new();
+        let it = InternedTrace::from_powered(&trace, &mut interner);
+        assert_eq!(it.len(), 3);
+        assert_eq!(it.powers(), [1.0, 2.0, 3.0]);
+        let names: Vec<&str> =
+            it.ids().iter().map(|&id| interner.resolve(id)).collect();
+        assert_eq!(names, ["b", "a", "b"]);
+        // The read-only variant agrees once the vocabulary is known.
+        assert_eq!(InternedTrace::from_powered_in(&trace, &interner), it);
+    }
+
+    #[test]
+    fn remap_follows_canonicalization() {
+        let trace = vec![powered("b", 1.0), powered("a", 2.0)];
+        let mut interner = EventInterner::new();
+        let mut it = InternedTrace::from_powered(&trace, &mut interner);
+        let remap = interner.canonicalize();
+        it.remap(&remap);
+        let names: Vec<&str> =
+            it.ids().iter().map(|&id| interner.resolve(id)).collect();
+        assert_eq!(names, ["b", "a"]);
+    }
+}

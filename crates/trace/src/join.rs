@@ -89,72 +89,75 @@ pub struct PoweredInstance {
 ///     trace.push(s);
 /// }
 /// let inst = vec![EventInstance::new("LA;->onResume", 0, 40)];
-/// let joined = join_power(&inst, &trace);
+/// let joined = join_power(inst, &trace);
 /// // The sample at t = 1000 covers [500, 1000) — the first full
 /// // window after the callback, free of pre-event history.
 /// assert_eq!(joined[0].power_mw, 300.0);
 /// ```
 pub fn join_power(
-    instances: &[EventInstance],
+    instances: Vec<EventInstance>,
     power: &PowerTrace,
 ) -> Vec<PoweredInstance> {
     join_power_with_horizon(instances, power, DEFAULT_HORIZON_MS)
 }
 
 /// Joins with an explicit forward horizon in milliseconds.
+///
+/// Takes the instances by value: each one is *moved* into its
+/// [`PoweredInstance`], so the join allocates nothing per instance (no
+/// event-name clone).
 pub fn join_power_with_horizon(
-    instances: &[EventInstance],
+    instances: Vec<EventInstance>,
     power: &PowerTrace,
     horizon_ms: u64,
 ) -> Vec<PoweredInstance> {
     instances
-        .iter()
+        .into_iter()
         .map(|instance| {
-            let power_mw = match default_attribution(&instance.event) {
-                // The last sample at or before the event entry covers
-                // a full window of pure pre-event state.
-                Attribution::Before => power
-                    .samples()
-                    .get(
-                        power
-                            .samples()
-                            .partition_point(|s| {
-                                s.timestamp_ms <= instance.start_ms
-                            })
-                            .wrapping_sub(1),
-                    )
-                    .map(|s| s.total_mw)
-                    .or_else(|| {
-                        power.nearest(instance.start_ms).map(|s| s.total_mw)
-                    }),
-                // Samples are trailing-window aggregates: the sample
-                // at timestamp `t` covers `[t - period, t)`. The first
-                // sample after the event entry therefore still
-                // contains up to one period of *pre-event* history;
-                // skipping it and reading the following full windows —
-                // through the event's end for long instances, two
-                // windows for short ones (averaging two samples halves
-                // the grid-alignment variance) — attributes exactly
-                // the power the event's own work and after-effects
-                // cause.
-                Attribution::After => {
-                    let lo = instance.start_ms + horizon_ms;
-                    let hi =
-                        instance.end_ms.max(instance.start_ms + 3 * horizon_ms);
-                    power.mean_between(lo + 1, hi).or_else(|| {
-                        power
-                            .nearest(instance.midpoint_ms())
-                            .map(|s| s.total_mw)
-                    })
-                }
-            }
-            .unwrap_or(0.0);
-            PoweredInstance {
-                instance: instance.clone(),
-                power_mw,
-            }
+            let power_mw = instance_power(&instance, power, horizon_ms);
+            PoweredInstance { instance, power_mw }
         })
         .collect()
+}
+
+/// Estimates one instance's power against a power trace.
+fn instance_power(
+    instance: &EventInstance,
+    power: &PowerTrace,
+    horizon_ms: u64,
+) -> f64 {
+    match default_attribution(&instance.event) {
+        // The last sample at or before the event entry covers
+        // a full window of pure pre-event state.
+        Attribution::Before => power
+            .samples()
+            .get(
+                power
+                    .samples()
+                    .partition_point(|s| s.timestamp_ms <= instance.start_ms)
+                    .wrapping_sub(1),
+            )
+            .map(|s| s.total_mw)
+            .or_else(|| power.nearest(instance.start_ms).map(|s| s.total_mw)),
+        // Samples are trailing-window aggregates: the sample
+        // at timestamp `t` covers `[t - period, t)`. The first
+        // sample after the event entry therefore still
+        // contains up to one period of *pre-event* history;
+        // skipping it and reading the following full windows —
+        // through the event's end for long instances, two
+        // windows for short ones (averaging two samples halves
+        // the grid-alignment variance) — attributes exactly
+        // the power the event's own work and after-effects
+        // cause.
+        Attribution::After => {
+            let lo = instance.start_ms + horizon_ms;
+            let hi = instance.end_ms.max(instance.start_ms + 3 * horizon_ms);
+            power.mean_between(lo + 1, hi).or_else(|| {
+                power.nearest(instance.midpoint_ms()).map(|s| s.total_mw)
+            })
+        }
+    }
+    .unwrap_or(0.0)
 }
 
 #[cfg(test)]
@@ -180,7 +183,7 @@ mod tests {
             trace(&[(0, 100.0), (500, 200.0), (1000, 600.0), (1500, 600.0)]);
         // A 1.5 s instance starting at 0: the first (boundary) sample
         // is skipped; interior samples at 1000 and 1500 count.
-        let joined = join_power(&[EventInstance::new("E", 0, 1500)], &p);
+        let joined = join_power(vec![EventInstance::new("E", 0, 1500)], &p);
         assert_eq!(joined[0].power_mw, 600.0);
     }
 
@@ -190,11 +193,11 @@ mod tests {
             trace(&[(0, 100.0), (500, 200.0), (1000, 600.0), (1500, 600.0)]);
         // A 60 ms callback at t = 120: the full windows after it are
         // the samples at t = 1000 and t = 1500.
-        let joined = join_power(&[EventInstance::new("E", 120, 180)], &p);
+        let joined = join_power(vec![EventInstance::new("E", 120, 180)], &p);
         assert_eq!(joined[0].power_mw, 600.0);
         // A callback at t = 600 attributes the t = 1500 sample (the
         // t = 2000 window does not exist in this trace).
-        let joined = join_power(&[EventInstance::new("E", 600, 610)], &p);
+        let joined = join_power(vec![EventInstance::new("E", 600, 610)], &p);
         assert_eq!(joined[0].power_mw, 600.0);
     }
 
@@ -205,22 +208,26 @@ mod tests {
         // the quiet sample behind it.
         let p =
             trace(&[(500, 10.0), (1000, 10.0), (1500, 400.0), (2000, 400.0)]);
-        let joined =
-            join_power(&[EventInstance::new("LA;->onStart", 1000, 1002)], &p);
+        let joined = join_power(
+            vec![EventInstance::new("LA;->onStart", 1000, 1002)],
+            &p,
+        );
         assert_eq!(joined[0].power_mw, 400.0);
     }
 
     #[test]
     fn instance_past_the_last_sample_falls_back_to_nearest() {
         let p = trace(&[(0, 100.0), (500, 200.0)]);
-        let joined = join_power(&[EventInstance::new("E", 900, 910)], &p);
+        let joined = join_power(vec![EventInstance::new("E", 900, 910)], &p);
         assert_eq!(joined[0].power_mw, 200.0);
     }
 
     #[test]
     fn empty_power_trace_yields_zero() {
-        let joined =
-            join_power(&[EventInstance::new("E", 0, 10)], &PowerTrace::new());
+        let joined = join_power(
+            vec![EventInstance::new("E", 0, 10)],
+            &PowerTrace::new(),
+        );
         assert_eq!(joined[0].power_mw, 0.0);
     }
 
@@ -229,7 +236,7 @@ mod tests {
         let p = trace(&[(0, 50.0)]);
         let inst =
             vec![EventInstance::new("B", 5, 6), EventInstance::new("A", 0, 1)];
-        let joined = join_power(&inst, &p);
+        let joined = join_power(inst, &p);
         assert_eq!(joined.len(), 2);
         assert_eq!(joined[0].instance.event, "B");
         assert_eq!(joined[1].instance.event, "A");
@@ -248,8 +255,10 @@ mod tests {
             (2500, 10.0),
             (3000, 10.0),
         ]);
-        let joined =
-            join_power(&[EventInstance::new("LA;->onPause", 2000, 2002)], &p);
+        let joined = join_power(
+            vec![EventInstance::new("LA;->onPause", 2000, 2002)],
+            &p,
+        );
         assert_eq!(joined[0].power_mw, 400.0);
         // An onPause mid-switch (foreground continues) reads the same.
         let p2 = trace(&[
@@ -259,8 +268,10 @@ mod tests {
             (2000, 400.0),
             (2500, 400.0),
         ]);
-        let joined2 =
-            join_power(&[EventInstance::new("LA;->onPause", 2000, 2002)], &p2);
+        let joined2 = join_power(
+            vec![EventInstance::new("LA;->onPause", 2000, 2002)],
+            &p2,
+        );
         assert_eq!(joined2[0].power_mw, 400.0);
     }
 
@@ -268,7 +279,7 @@ mod tests {
     fn teardown_event_before_first_sample_falls_back_to_nearest() {
         let p = trace(&[(500, 50.0)]);
         let joined =
-            join_power(&[EventInstance::new("LA;->onStop", 100, 101)], &p);
+            join_power(vec![EventInstance::new("LA;->onStop", 100, 101)], &p);
         assert_eq!(joined[0].power_mw, 50.0);
     }
 
@@ -282,8 +293,8 @@ mod tests {
             (2000, 1000.0),
         ]);
         let inst = [EventInstance::new("E", 0, 10)];
-        let near = join_power_with_horizon(&inst, &p, 500);
-        let wide = join_power_with_horizon(&inst, &p, 1000);
+        let near = join_power_with_horizon(inst.to_vec(), &p, 500);
+        let wide = join_power_with_horizon(inst.to_vec(), &p, 1000);
         assert_eq!(near[0].power_mw, 700.0); // samples at 1000 and 1500
         assert_eq!(wide[0].power_mw, 900.0); // samples at 1500 and 2000
     }

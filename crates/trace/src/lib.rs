@@ -14,6 +14,8 @@
 //!   (Figs. 11/14).
 //! - [`join`] — the timestamp join assigning app power to event
 //!   instances (the substrate of analysis Step 1).
+//! - [`intern`] — dense `u32` event symbols and structure-of-arrays
+//!   traces, the zero-copy representation of the analysis hot path.
 //! - [`anonymize`] — removal of user identifiers (phone numbers, IP
 //!   addresses, email addresses) before upload, per §II-B.
 //! - [`wire`] — a compact binary wire format for uploading trace
@@ -50,6 +52,7 @@ pub mod anonymize;
 pub mod error;
 pub mod event;
 pub mod fault;
+pub mod intern;
 pub mod join;
 pub mod power;
 pub mod repair;
@@ -62,6 +65,7 @@ pub mod wire;
 pub use error::TraceError;
 pub use event::{Direction, EventInstance, EventRecord, EventTrace};
 pub use fault::{FaultInjector, FaultKind, InjectionReport};
+pub use intern::{EventId, EventInterner, InternedTrace};
 pub use join::join_power;
 pub use power::{PowerBreakdown, PowerSample, PowerTrace};
 pub use repair::{RepairAction, RepairPolicy, RepairReject};

@@ -190,7 +190,7 @@ proptest! {
         let lo = powers.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = powers.iter().cloned().fold(0.0f64, f64::max);
         let instances = t.pair_instances();
-        for joined in join_power(&instances, &power) {
+        for joined in join_power(instances, &power) {
             prop_assert!(
                 joined.power_mw >= lo - 1e-9 && joined.power_mw <= hi + 1e-9,
                 "joined {} outside [{lo}, {hi}]",

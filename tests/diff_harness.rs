@@ -12,6 +12,8 @@
 
 use energydx_suite::energydx::shard::ShardPartial;
 use energydx_suite::energydx::{DiagnosisInput, EnergyDx};
+use energydx_suite::energydx_trace::event::EventInstance;
+use energydx_suite::energydx_trace::join::PoweredInstance;
 use energydx_suite::fixtures::{chaos_fleet, fig6_fleet, k9_fleet};
 use proptest::prelude::*;
 
@@ -161,6 +163,142 @@ fn permuting_trace_order_does_not_change_the_diagnosis() {
     }
 }
 
+fn powered(event: &str, index: u64, mw: f64) -> PoweredInstance {
+    let start = index * 500;
+    PoweredInstance {
+        instance: EventInstance::new(event, start, start + 100),
+        power_mw: mw,
+    }
+}
+
+/// A trace over the given vocabulary: each element picks an event by
+/// index and a power — finite in `1.0..800.0`, or occasionally `NaN`
+/// to exercise the sanitation path.
+fn random_fleet() -> impl Strategy<Value = DiagnosisInput> {
+    const VOCAB: [&str; 8] = [
+        "net.poll",
+        "ui.draw",
+        "db.query",
+        "gps.fix",
+        "idle",
+        "push.recv",
+        "media.decode",
+        "sync.flush",
+    ];
+    let power = (0u8..20, 1.0f64..800.0).prop_map(|(roll, mw)| {
+        if roll == 0 {
+            f64::NAN
+        } else {
+            mw
+        }
+    });
+    let trace = prop::collection::vec((0usize..VOCAB.len(), power), 0..40)
+        .prop_map(|items| {
+            items
+                .into_iter()
+                .enumerate()
+                .map(|(i, (event, mw))| powered(VOCAB[event], i as u64, mw))
+                .collect::<Vec<_>>()
+        });
+    prop::collection::vec(trace, 0..10).prop_map(DiagnosisInput::new)
+}
+
+/// Two shards whose event vocabularies do not overlap at all: the
+/// merge must express both sides in the sorted union (ids remapped)
+/// from either direction, and finishing either merge order must equal
+/// the string-keyed reference byte for byte.
+#[test]
+fn disjoint_vocabulary_shards_merge_into_the_reference() {
+    let traces: Vec<Vec<PoweredInstance>> = vec![
+        (0..24)
+            .map(|i| {
+                powered(
+                    if i % 5 == 0 { "zz.late" } else { "mm.mid" },
+                    i,
+                    120.0 + (i % 6) as f64 * 40.0,
+                )
+            })
+            .collect(),
+        (0..24)
+            .map(|i| {
+                powered(
+                    if i % 4 == 0 { "aa.early" } else { "bb.next" },
+                    i,
+                    300.0 + (i % 5) as f64 * 25.0,
+                )
+            })
+            .collect(),
+    ];
+    let input = DiagnosisInput::new(traces);
+    let dx = EnergyDx::default();
+    let a = dx.map_shard(&input.traces()[..1], 0);
+    let b = dx.map_shard(&input.traces()[1..], 1);
+    assert_eq!(a.vocabulary(), ["mm.mid", "zz.late"]);
+    assert_eq!(b.vocabulary(), ["aa.early", "bb.next"]);
+    let forward = a.clone().merge(b.clone());
+    let backward = b.merge(a);
+    assert_eq!(forward, backward, "merge order changed the partial");
+    assert_eq!(
+        forward.vocabulary(),
+        ["aa.early", "bb.next", "mm.mid", "zz.late"]
+    );
+    assert_eq!(
+        dx.finish(forward).unwrap().to_canonical_json(),
+        dx.diagnose_reference(&input).to_canonical_json()
+    );
+}
+
+/// Two shards sharing part of their vocabulary: the shared events'
+/// populations must concatenate in trace order under the remap, the
+/// unique events must land in their union slots, and both merge
+/// orders must finish to the reference.
+#[test]
+fn overlapping_vocabulary_shards_merge_into_the_reference() {
+    let traces: Vec<Vec<PoweredInstance>> = vec![
+        (0..30)
+            .map(|i| {
+                powered(
+                    if i % 3 == 0 {
+                        "shared.tick"
+                    } else {
+                        "left.only"
+                    },
+                    i,
+                    100.0 + (i % 7) as f64 * 30.0,
+                )
+            })
+            .collect(),
+        (0..30)
+            .map(|i| {
+                powered(
+                    if i % 3 == 0 {
+                        "shared.tick"
+                    } else {
+                        "right.only"
+                    },
+                    i,
+                    500.0 + (i % 4) as f64 * 60.0,
+                )
+            })
+            .collect(),
+    ];
+    let input = DiagnosisInput::new(traces);
+    let dx = EnergyDx::default();
+    let a = dx.map_shard(&input.traces()[..1], 0);
+    let b = dx.map_shard(&input.traces()[1..], 1);
+    let forward = a.clone().merge(b.clone());
+    let backward = b.merge(a);
+    assert_eq!(forward, backward, "merge order changed the partial");
+    assert_eq!(
+        forward.vocabulary(),
+        ["left.only", "right.only", "shared.tick"]
+    );
+    assert_eq!(
+        dx.finish(forward).unwrap().to_canonical_json(),
+        dx.diagnose_reference(&input).to_canonical_json()
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 
@@ -182,5 +320,35 @@ proptest! {
                 name, cuts, merge_seed
             );
         }
+    }
+
+    /// The interned production path (worker pool or shard-merge, any
+    /// split, any merge order) matches the string-keyed reference on
+    /// arbitrary fleets — random vocabularies, random powers, random
+    /// NaN corruption — byte for byte.
+    #[test]
+    fn random_fleets_diagnose_identically_on_every_path(
+        input in random_fleet(),
+        cuts in prop::collection::vec(0usize..12, 0..4),
+        merge_seed in any::<u64>(),
+    ) {
+        let reference =
+            EnergyDx::default().diagnose_reference(&input).to_canonical_json();
+        for jobs in [1usize, 2] {
+            let parallel = EnergyDx::default()
+                .with_jobs(jobs)
+                .diagnose(&input)
+                .to_canonical_json();
+            prop_assert!(parallel == reference, "jobs={} diverged", jobs);
+        }
+        let dx = EnergyDx::default();
+        let sharded = dx.diagnose_sharded(&input, 3).to_canonical_json();
+        prop_assert!(sharded == reference, "3-shard run diverged");
+        let split = diagnose_split(&dx, &input, &cuts, merge_seed);
+        prop_assert!(
+            split == reference,
+            "random fleet diverged for cuts {:?} (merge seed {})",
+            cuts, merge_seed
+        );
     }
 }
