@@ -29,6 +29,21 @@ echo "== hot-path allocation budget (smoke) =="
 cargo run -q --release -p energydx-bench --bin hotpath -- \
   --check BENCH_hotpath.json >/dev/null
 
+echo "== fleetd checkpoint-size budget (smoke) =="
+# Ingest benchmark of the resident daemon; asserts batch identity,
+# then fails if the checkpoint grows past the deterministic
+# bytes-per-trace budget checked in with BENCH_ingest.json.
+cargo run -q --release -p energydx-bench --bin ingest -- \
+  --check BENCH_ingest.json >/dev/null
+
+echo "== fleetd soak (daemon vs batch CLI, crash + restart) =="
+# A real `energydx serve` process driven through the retrying
+# uploader: 200 uploads (~15% damaged), backpressure against a
+# depth-4 queue, an explicit checkpoint, kill -9 mid-stream, restart
+# from the checkpoint, and a byte-diff of the served report against
+# `energydx analyze --bundles --json` over the same payloads.
+cargo test -q --release -p energydx-cli --test soak -- --ignored
+
 echo "== differential harness (release, optimized float paths) =="
 # The seq==parallel==sharded byte-identity must also hold under
 # release codegen, where float expression fusion would surface.

@@ -1,0 +1,308 @@
+//! Throughput/latency benchmark of the fleetd ingest pipeline.
+//!
+//! Drives the in-process daemon handle (`FleetdHandle`: bounded
+//! queue, single ingest worker) with a deterministic fixture corpus —
+//! a fraction of it damaged through the fault injector, so salvage
+//! and quarantine are on the measured path, exactly as in production.
+//! Everything runs on one CPU (`jobs = 1`, one producer): the numbers
+//! are per-core figures, not a parallel-speedup showcase.
+//!
+//! Reported:
+//!
+//! - sustained `uploads_per_sec` through submit → queue → worker →
+//!   fold, with p50/p99 end-to-end submit latency (a `submit` call
+//!   blocks until its upload's outcome, so this is the full path);
+//! - `query_secs` — one snapshot-consistent `diagnose` over the
+//!   resident epoch state;
+//! - `compact_secs` — collapsing the accumulated deltas;
+//! - checkpoint encode/decode time and size per accepted trace.
+//!
+//! ```text
+//! ingest [--smoke] [--write <path>] [--check <path>]
+//! ```
+//!
+//! `--smoke` shrinks the corpus for CI; `--write` stores the report as
+//! JSON (see `BENCH_ingest.json` at the repo root); `--check` re-runs
+//! the measurement and fails (exit 1) if the checkpoint grows past the
+//! `budget_checkpoint_bytes_per_trace` recorded in the given JSON file
+//! — a byte count, fully deterministic, so the gate cannot flake on
+//! machine speed.
+
+use energydx::EnergyDx;
+use energydx_fleetd::checkpoint::{checkpoint_bytes, restore_bytes};
+use energydx_fleetd::convert::bundles_to_input;
+use energydx_fleetd::fixture;
+use energydx_fleetd::state::{FleetConfig, FleetState};
+use energydx_fleetd::{FleetdHandle, ServerConfig, SubmitReply};
+use energydx_trace::fault::{FaultInjector, FaultKind};
+use energydx_trace::store::TraceStore;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// The corpus, in sorted (user, session) submit order so the daemon's
+/// accept order matches a batch `TraceStore` snapshot of the same
+/// payloads. Every 9th payload is damaged but salvageable (alternating
+/// truncation and bit flips), and every 23rd is cut below the wire
+/// header — so repair, salvage, *and* quarantine are all on the
+/// measured path.
+fn corpus(users: usize, sessions: u64) -> Vec<Vec<u8>> {
+    let mut injector = FaultInjector::new(0x1276, 1.0);
+    let mut payloads = Vec::with_capacity(users * sessions as usize);
+    for user in 0..users {
+        for session in 0..sessions {
+            let mut payload = fixture::payload(&format!("u{user:04}"), session);
+            let i = payloads.len();
+            if i % 23 == 7 {
+                payload.truncate(6);
+            } else if i % 9 == 4 {
+                let kind = if (i / 9) % 2 == 0 {
+                    FaultKind::Truncate
+                } else {
+                    FaultKind::BitFlip
+                };
+                payload = injector
+                    .corrupt(&payload, kind)
+                    .pop()
+                    .expect("one payload in, one out");
+            }
+            payloads.push(payload);
+        }
+    }
+    payloads
+}
+
+struct Report {
+    mode: &'static str,
+    uploads: usize,
+    accepted: usize,
+    quarantined: usize,
+    uploads_per_sec: f64,
+    submit_p50_us: f64,
+    submit_p99_us: f64,
+    ingest_secs: f64,
+    query_secs: f64,
+    compact_secs: f64,
+    checkpoint_bytes: usize,
+    checkpoint_encode_secs: f64,
+    checkpoint_decode_secs: f64,
+    budget_checkpoint_bytes_per_trace: u64,
+}
+
+impl Report {
+    fn checkpoint_bytes_per_trace(&self) -> f64 {
+        self.checkpoint_bytes as f64 / self.accepted.max(1) as f64
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"mode\": \"{}\",\n  \"uploads\": {},\n  \
+             \"accepted\": {},\n  \"quarantined\": {},\n  \
+             \"uploads_per_sec\": {:.0},\n  \
+             \"submit_p50_us\": {:.1},\n  \"submit_p99_us\": {:.1},\n  \
+             \"ingest_secs\": {:.6},\n  \"query_secs\": {:.6},\n  \
+             \"compact_secs\": {:.6},\n  \"checkpoint\": \
+             {{\"bytes\": {}, \"bytes_per_trace\": {:.1}, \
+             \"encode_secs\": {:.6}, \"decode_secs\": {:.6}}},\n  \
+             \"budget_checkpoint_bytes_per_trace\": {}\n}}\n",
+            self.mode,
+            self.uploads,
+            self.accepted,
+            self.quarantined,
+            self.uploads_per_sec,
+            self.submit_p50_us,
+            self.submit_p99_us,
+            self.ingest_secs,
+            self.query_secs,
+            self.compact_secs,
+            self.checkpoint_bytes,
+            self.checkpoint_bytes_per_trace(),
+            self.checkpoint_encode_secs,
+            self.checkpoint_decode_secs,
+            self.budget_checkpoint_bytes_per_trace,
+        )
+    }
+}
+
+fn run(smoke: bool) -> Report {
+    let (users, sessions) = if smoke { (48, 2) } else { (400, 5) };
+    let payloads = corpus(users, sessions);
+
+    let fleet = FleetConfig {
+        jobs: 1,
+        ..FleetConfig::default()
+    };
+    let handle = FleetdHandle::start(ServerConfig {
+        fleet: fleet.clone(),
+        // Deep enough that a single blocking producer never sheds:
+        // this measures the pipeline, not the backpressure valve.
+        queue_depth: 16,
+        ..ServerConfig::default()
+    })
+    .expect("no state dir, start cannot fail");
+
+    // Ingest: one producer, end-to-end latency per upload (submit
+    // blocks until the worker has folded the upload into the state).
+    let mut latencies_us = Vec::with_capacity(payloads.len());
+    let mut accepted = 0usize;
+    let mut quarantined = 0usize;
+    let t0 = Instant::now();
+    for payload in &payloads {
+        let t = Instant::now();
+        let reply = handle.submit("bench", payload.clone());
+        latencies_us.push(t.elapsed().as_secs_f64() * 1e6);
+        match reply {
+            SubmitReply::Outcome(outcome) => {
+                if outcome.accepted() {
+                    accepted += 1;
+                } else {
+                    quarantined += 1;
+                }
+            }
+            other => panic!("unexpected submit reply: {other:?}"),
+        }
+    }
+    let ingest_secs = t0.elapsed().as_secs_f64();
+
+    let t0 = Instant::now();
+    let served = handle
+        .diagnose_json("bench", None)
+        .expect("bench app has accepted traces");
+    let query_secs = t0.elapsed().as_secs_f64();
+
+    // The report the daemon serves must equal the batch pipeline over
+    // the same payloads — the numbers above are only worth publishing
+    // for a daemon that keeps the batch-identity guarantee.
+    let store = TraceStore::new();
+    for payload in &payloads {
+        black_box(store.ingest_wire(payload));
+    }
+    let batch = EnergyDx::new(fleet.analysis.clone())
+        .with_jobs(1)
+        .diagnose_reference(&bundles_to_input(&store.snapshot()))
+        .to_canonical_json();
+    assert_eq!(served, batch, "daemon diverged from the batch pipeline");
+
+    // Checkpoint figures on a directly-held state (the handle owns
+    // its own): same corpus, same accept order.
+    let mut state = FleetState::new(fleet);
+    for payload in &payloads {
+        black_box(state.submit("bench", payload));
+    }
+    let t0 = Instant::now();
+    let compacted = state.compact();
+    let compact_secs = t0.elapsed().as_secs_f64();
+    assert!(compacted > 0, "the bench epoch must have deltas");
+
+    let t0 = Instant::now();
+    let encoded = checkpoint_bytes(&state);
+    let checkpoint_encode_secs = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let restored = restore_bytes(&encoded, state.config().clone())
+        .expect("round trip of a fresh checkpoint");
+    let checkpoint_decode_secs = t0.elapsed().as_secs_f64();
+    assert_eq!(
+        restored
+            .diagnose_json("bench", None)
+            .expect("restored state serves the same app"),
+        served,
+        "checkpoint round trip changed the report"
+    );
+
+    latencies_us.sort_by(f64::total_cmp);
+    let pct = |p: f64| {
+        let idx = ((latencies_us.len() as f64 * p) as usize)
+            .min(latencies_us.len() - 1);
+        latencies_us[idx]
+    };
+
+    let mut out = Report {
+        mode: if smoke { "smoke" } else { "full" },
+        uploads: payloads.len(),
+        accepted,
+        quarantined,
+        uploads_per_sec: payloads.len() as f64 / ingest_secs.max(1e-9),
+        submit_p50_us: pct(0.50),
+        submit_p99_us: pct(0.99),
+        ingest_secs,
+        query_secs,
+        compact_secs,
+        checkpoint_bytes: encoded.len(),
+        checkpoint_encode_secs,
+        checkpoint_decode_secs,
+        budget_checkpoint_bytes_per_trace: 0,
+    };
+    // The gate metric is a byte count — deterministic for a fixed
+    // corpus — so a modest margin only absorbs intentional format
+    // evolution, not timing noise.
+    out.budget_checkpoint_bytes_per_trace =
+        (out.checkpoint_bytes_per_trace() * 1.5).ceil() as u64;
+    out
+}
+
+/// Pulls `"budget_checkpoint_bytes_per_trace": <n>` out of a stored
+/// report without a JSON dependency.
+fn parse_budget(json: &str) -> Option<u64> {
+    let key = "\"budget_checkpoint_bytes_per_trace\":";
+    let at = json.find(key)? + key.len();
+    let rest = json[at..].trim_start();
+    let digits: String =
+        rest.chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut write: Option<String> = None;
+    let mut check: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--write" => write = args.next(),
+            "--check" => check = args.next(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!(
+                    "usage: ingest [--smoke] [--write <path>] \
+                     [--check <path>]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    // The regression gate always runs the fast corpus: the budget is
+    // checked in from a smoke run and per-trace figures are
+    // size-stable.
+    if check.is_some() {
+        smoke = true;
+    }
+
+    let report = run(smoke);
+    print!("{}", report.to_json());
+
+    if let Some(path) = write {
+        std::fs::write(&path, report.to_json())
+            .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        eprintln!("wrote {path}");
+    }
+
+    if let Some(path) = check {
+        let stored = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("reading {path}: {e}"));
+        let budget = parse_budget(&stored).unwrap_or_else(|| {
+            panic!("no budget_checkpoint_bytes_per_trace in {path}")
+        });
+        let measured = report.checkpoint_bytes_per_trace();
+        if measured > budget as f64 {
+            eprintln!(
+                "checkpoint regression: {measured:.1} bytes/trace \
+                 exceeds the checked-in budget of {budget}"
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "checkpoint within budget: {measured:.1} <= {budget} \
+             bytes/trace"
+        );
+    }
+}

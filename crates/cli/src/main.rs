@@ -15,18 +15,39 @@
 //! `user-N.power` (CSV `timestamp_ms,total_mw`) per user; `analyze`
 //! reads them back, so the two halves can run on different machines —
 //! like the paper's phone-side collection and server-side analysis.
+//!
+//! The serving half mirrors a fleet deployment:
+//!
+//! ```text
+//! energydx serve [--listen 127.0.0.1:0] [--state <dir>]  # daemon
+//! energydx submit --addr <a> --app <name> <p.edxt>... | --dir <dir>
+//! energydx query --addr <a> --app <name> [--epoch N]     # report
+//! energydx analyze --bundles <dir> --json                # batch ref
+//! ```
+//!
+//! `analyze --bundles` runs the *batch* pipeline over the same wire
+//! payloads a daemon would ingest — the soak gate diffs its output
+//! against a live daemon's `query` byte for byte.
 
+use energydx::par::try_resolve_jobs;
 use energydx::{AnalysisConfig, DiagnosisInput, EnergyDx};
 use energydx_dexir::instrument::{EventPool, Instrumenter};
 use energydx_dexir::text::{assemble_module, parse_module};
 use energydx_dexir::MethodKey;
+use energydx_fleetd::protocol::{Request, Response};
+use energydx_fleetd::state::FleetConfig;
+use energydx_fleetd::{Client, FleetdHandle, ServerConfig, TcpBackend};
 use energydx_trace::event::EventTrace;
 use energydx_trace::power::{PowerSample, PowerTrace};
+use energydx_trace::store::{IngestOutcome, TraceStore};
+use energydx_trace::upload::{upload_payloads_with_retry, RetryPolicy};
 use energydx_trace::util::Component;
 use energydx_workload::scenario::Variant;
 use energydx_workload::Scenario;
+use std::io::Write as IoWrite;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -35,6 +56,9 @@ fn main() -> ExitCode {
         Some("verify") => cmd_verify(&args[1..]),
         Some("simulate") => cmd_simulate(&args[1..]),
         Some("analyze") => cmd_analyze(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("submit") => cmd_submit(&args[1..]),
+        Some("query") => cmd_query(&args[1..]),
         Some("demo") => cmd_demo(&args[1..]),
         Some("apps") => cmd_apps(),
         Some("help") | Some("--help") | Some("-h") | None => {
@@ -62,8 +86,17 @@ USAGE:
   energydx instrument <app.smali> [-o <out.smali>]
   energydx verify <app.smali>
   energydx simulate --app <name> [--users <n>] [--fixed] --out <dir>
-  energydx analyze --dir <dir> [--fraction <0..1>] [--top <k>] [--explain]
-                   [--jobs <n>] [--shards <n>] [--json]
+  energydx analyze (--dir <dir> | --bundles <dir>) [--fraction <0..1>]
+                   [--top <k>] [--explain] [--jobs <n>] [--shards <n>] [--json]
+  energydx serve [--listen <addr>] [--state <dir>] [--queue-depth <n>]
+                 [--retry-after-ms <ms>] [--compact-every <n>]
+                 [--checkpoint-every <n>] [--ingest-delay-ms <ms>]
+                 [--fraction <0..1>] [--top <k>] [--jobs <n>]
+  energydx submit --addr <host:port> --app <name> (<payload.edxt>... | --dir <dir>)
+                  [--max-attempts <n>]
+  energydx query --addr <host:port> (--app <name> [--epoch <n>] | --stats
+                 | --health | --compact | --checkpoint | --rollover <app>
+                 | --shutdown)
   energydx demo --app <name>
   energydx apps
 
@@ -206,9 +239,6 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_analyze(args: &[String]) -> Result<(), String> {
-    let dir = PathBuf::from(
-        flag_value(args, "--dir").ok_or("analyze needs --dir <dir>")?,
-    );
     let fraction: f64 = flag_value(args, "--fraction")
         .map(|f| f.parse().map_err(|_| format!("invalid --fraction `{f}`")))
         .transpose()?
@@ -230,12 +260,30 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
         })
         .transpose()?
         .unwrap_or(1);
+    // Resolve --jobs (and a possible ENERGYDX_JOBS override) up front
+    // so a garbage value is a clean CLI error, not a panic mid-run.
+    let jobs = try_resolve_jobs(jobs).map_err(|e| e.to_string())?;
 
-    let pairs = load_trace_dir(&dir)?;
-    if pairs.is_empty() {
-        return Err(format!("no user-*.events files in {}", dir.display()));
-    }
-    let input = DiagnosisInput::from_traces(&pairs);
+    let input = match (flag_value(args, "--dir"), flag_value(args, "--bundles"))
+    {
+        (Some(dir), None) => {
+            let dir = PathBuf::from(dir);
+            let pairs = load_trace_dir(&dir)?;
+            if pairs.is_empty() {
+                return Err(format!(
+                    "no user-*.events files in {}",
+                    dir.display()
+                ));
+            }
+            DiagnosisInput::from_traces(&pairs)
+        }
+        (None, Some(dir)) => load_bundle_dir(Path::new(dir))?,
+        _ => {
+            return Err("analyze needs exactly one of --dir <dir> or \
+                 --bundles <dir>"
+                .to_string())
+        }
+    };
     let mut config =
         AnalysisConfig::default().with_developer_fraction(fraction);
     config.top_k = top_k;
@@ -325,6 +373,201 @@ fn cmd_demo(args: &[String]) -> Result<(), String> {
     );
     println!("injected root cause: {}", scenario.root_cause_event());
     Ok(())
+}
+
+fn num_flag<T: std::str::FromStr>(
+    args: &[String],
+    name: &str,
+    default: T,
+) -> Result<T, String> {
+    match flag_value(args, name) {
+        Some(v) => v.parse().map_err(|_| format!("invalid {name} `{v}`")),
+        None => Ok(default),
+    }
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let listen = flag_value(args, "--listen").unwrap_or("127.0.0.1:0");
+    let fraction: f64 = num_flag(args, "--fraction", 0.15)?;
+    let top_k: usize = num_flag(args, "--top", 6)?;
+    let jobs = try_resolve_jobs(num_flag(args, "--jobs", 0usize)?)
+        .map_err(|e| e.to_string())?;
+    let mut analysis =
+        AnalysisConfig::default().with_developer_fraction(fraction);
+    analysis.top_k = top_k;
+    let fleet = FleetConfig {
+        analysis,
+        jobs,
+        compact_every: num_flag(args, "--compact-every", 16usize)?,
+        ..FleetConfig::default()
+    };
+    let config = ServerConfig {
+        fleet,
+        queue_depth: num_flag(args, "--queue-depth", 64usize)?,
+        retry_after_ms: num_flag(args, "--retry-after-ms", 50u64)?,
+        ingest_delay_ms: num_flag(args, "--ingest-delay-ms", 0u64)?,
+        state_dir: flag_value(args, "--state").map(PathBuf::from),
+        checkpoint_every: num_flag(args, "--checkpoint-every", 0usize)?,
+    };
+    let handle =
+        Arc::new(FleetdHandle::start(config).map_err(|e| e.to_string())?);
+    let listener = std::net::TcpListener::bind(listen)
+        .map_err(|e| format!("cannot bind {listen}: {e}"))?;
+    let addr = listener.local_addr().map_err(|e| e.to_string())?;
+    // Scripts parse this line for the bound port; flush before the
+    // accept loop parks.
+    println!("fleetd listening on {addr}");
+    std::io::stdout().flush().map_err(|e| e.to_string())?;
+    energydx_fleetd::server::serve(listener, handle).map_err(|e| e.to_string())
+}
+
+fn edxt_files(dir: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("cannot read {}: {e}", dir.display()))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "edxt"))
+        .collect();
+    files.sort();
+    Ok(files)
+}
+
+fn cmd_submit(args: &[String]) -> Result<(), String> {
+    let addr =
+        flag_value(args, "--addr").ok_or("submit needs --addr <host:port>")?;
+    let app = flag_value(args, "--app").ok_or("submit needs --app <name>")?;
+    let mut files: Vec<PathBuf> = Vec::new();
+    if let Some(dir) = flag_value(args, "--dir") {
+        files.extend(edxt_files(Path::new(dir))?);
+    }
+    // Positional payload files, skipping flags and their values.
+    let value_flags = ["--addr", "--app", "--dir", "--max-attempts"];
+    let mut i = 0;
+    while i < args.len() {
+        if value_flags.contains(&args[i].as_str()) {
+            i += 2;
+        } else if args[i].starts_with('-') {
+            i += 1;
+        } else {
+            files.push(PathBuf::from(&args[i]));
+            i += 1;
+        }
+    }
+    if files.is_empty() {
+        return Err("submit needs payload files or --dir <dir>".to_string());
+    }
+    let mut payloads = Vec::with_capacity(files.len());
+    for path in &files {
+        payloads.push(
+            std::fs::read(path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?,
+        );
+    }
+    let max_attempts: u32 = num_flag(args, "--max-attempts", 16u32)?;
+    let mut backend = TcpBackend::new(addr, app).with_pause_cap_ms(100);
+    let policy = RetryPolicy {
+        max_attempts,
+        ..RetryPolicy::default()
+    };
+    let stats =
+        upload_payloads_with_retry(&payloads, &mut backend, &policy, 0x5eed);
+    let class = |f: fn(&IngestOutcome) -> bool| {
+        stats.outcomes.iter().filter(|o| f(o)).count()
+    };
+    println!(
+        "submitted {} payload(s) to {app} at {addr}: {} clean, \
+         {} recovered, {} quarantined ({} retried, {} backpressure hints)",
+        stats.delivered,
+        class(|o| matches!(o, IngestOutcome::Clean)),
+        class(|o| matches!(o, IngestOutcome::Recovered { .. })),
+        class(|o| matches!(o, IngestOutcome::Rejected(_))),
+        stats.retries,
+        stats.retry_after_hints,
+    );
+    if stats.gave_up > 0 {
+        return Err(format!(
+            "{} payload(s) undelivered after {max_attempts} attempt(s) each",
+            stats.gave_up
+        ));
+    }
+    Ok(())
+}
+
+fn cmd_query(args: &[String]) -> Result<(), String> {
+    let addr =
+        flag_value(args, "--addr").ok_or("query needs --addr <host:port>")?;
+    let has = |name: &str| args.iter().any(|a| a == name);
+    let request = if has("--stats") {
+        Request::Stats
+    } else if has("--health") {
+        Request::Health
+    } else if has("--compact") {
+        Request::Compact
+    } else if has("--checkpoint") {
+        Request::Checkpoint
+    } else if has("--shutdown") {
+        Request::Shutdown
+    } else if let Some(app) = flag_value(args, "--rollover") {
+        Request::Rollover {
+            app: app.to_string(),
+        }
+    } else if let Some(app) = flag_value(args, "--app") {
+        let epoch = flag_value(args, "--epoch")
+            .map(|e| e.parse().map_err(|_| format!("invalid --epoch `{e}`")))
+            .transpose()?;
+        Request::Diagnose {
+            app: app.to_string(),
+            epoch,
+        }
+    } else {
+        return Err("query needs one of --app, --stats, --health, \
+                    --compact, --checkpoint, --rollover, --shutdown"
+            .to_string());
+    };
+    let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
+    match client.request(&request).map_err(|e| e.to_string())? {
+        Response::Report { json }
+        | Response::Stats { json }
+        | Response::Health { json } => {
+            // Reports already end in a newline (canonical JSON); keep
+            // the bytes identical to `analyze --json` for diffing.
+            print!("{json}");
+            if !json.ends_with('\n') {
+                println!();
+            }
+        }
+        Response::Epoch { epoch } => println!("epoch {epoch}"),
+        Response::Done => println!("ok"),
+        Response::Error { message } => return Err(message),
+        other => return Err(format!("unexpected response: {other:?}")),
+    }
+    Ok(())
+}
+
+/// Ingests every `*.edxt` wire payload in `dir` (sorted by file name)
+/// through the batch store — the same salvage/quarantine pipeline the
+/// daemon runs — and converts the accepted bundles in accept order.
+/// This is the batch side of the daemon/batch byte-diff.
+fn load_bundle_dir(dir: &Path) -> Result<DiagnosisInput, String> {
+    let files = edxt_files(dir)?;
+    if files.is_empty() {
+        return Err(format!("no *.edxt payloads in {}", dir.display()));
+    }
+    let store = TraceStore::new();
+    for path in &files {
+        let payload = std::fs::read(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        if let IngestOutcome::Rejected(reason) = store.ingest_wire(&payload) {
+            eprintln!(
+                "warning: {} quarantined: {reason}",
+                path.file_name()
+                    .and_then(|n| n.to_str())
+                    .unwrap_or("<payload>")
+            );
+        }
+    }
+    Ok(energydx_fleetd::convert::bundles_to_input(
+        &store.snapshot(),
+    ))
 }
 
 fn power_to_csv(power: &PowerTrace) -> String {

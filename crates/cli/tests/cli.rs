@@ -21,7 +21,16 @@ fn help_lists_all_subcommands() {
     let out = energydx().arg("help").output().unwrap();
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
-    for cmd in ["instrument", "simulate", "analyze", "demo", "apps"] {
+    for cmd in [
+        "instrument",
+        "simulate",
+        "analyze",
+        "serve",
+        "submit",
+        "query",
+        "demo",
+        "apps",
+    ] {
         assert!(text.contains(cmd), "help missing {cmd}");
     }
 }
@@ -323,6 +332,125 @@ fn analyze_fails_cleanly_on_empty_dir() {
         .unwrap();
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("no user-"));
+}
+
+/// The serving loop end to end, as a user would drive it: spawn
+/// `serve`, push a payload directory through `submit` (one payload
+/// corrupt), and check `query --app` serves the exact bytes
+/// `analyze --bundles --json` computes over the same directory.
+#[test]
+fn serve_submit_query_matches_batch_analyze() {
+    use std::io::BufRead;
+
+    let dir = temp_dir("fleetd");
+    for i in 0..8u64 {
+        let mut payload =
+            energydx_fleetd::fixture::payload(&format!("u{i:02}"), 0);
+        if i == 5 {
+            payload.truncate(6); // quarantined on both paths
+        }
+        std::fs::write(dir.join(format!("{i:03}.edxt")), payload).unwrap();
+    }
+
+    let mut daemon = energydx()
+        .args(["serve", "--listen", "127.0.0.1:0"])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+    let mut first_line = String::new();
+    std::io::BufReader::new(daemon.stdout.take().unwrap())
+        .read_line(&mut first_line)
+        .unwrap();
+    let addr = first_line
+        .trim()
+        .strip_prefix("fleetd listening on ")
+        .unwrap_or_else(|| panic!("unexpected banner: {first_line}"))
+        .to_string();
+
+    let out = energydx()
+        .args([
+            "submit",
+            "--addr",
+            &addr,
+            "--app",
+            "mail",
+            "--dir",
+            dir.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("7 clean"), "submit output: {text}");
+    assert!(text.contains("1 quarantined"), "submit output: {text}");
+
+    let served = energydx()
+        .args(["query", "--addr", &addr, "--app", "mail"])
+        .output()
+        .unwrap();
+    assert!(
+        served.status.success(),
+        "{}",
+        String::from_utf8_lossy(&served.stderr)
+    );
+    let batch = energydx()
+        .args(["analyze", "--bundles", dir.to_str().unwrap(), "--json"])
+        .output()
+        .unwrap();
+    assert!(
+        batch.status.success(),
+        "{}",
+        String::from_utf8_lossy(&batch.stderr)
+    );
+    assert!(!served.stdout.is_empty());
+    assert_eq!(
+        served.stdout, batch.stdout,
+        "daemon report diverged from the batch CLI"
+    );
+
+    let health = energydx()
+        .args(["query", "--addr", &addr, "--health"])
+        .output()
+        .unwrap();
+    assert!(health.status.success());
+    assert!(
+        String::from_utf8_lossy(&health.stdout).contains("\"status\":\"ok\"")
+    );
+
+    let down = energydx()
+        .args(["query", "--addr", &addr, "--shutdown"])
+        .output()
+        .unwrap();
+    assert!(down.status.success());
+    assert!(daemon.wait().unwrap().success());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn query_without_a_daemon_fails_cleanly() {
+    let out = energydx()
+        .args(["query", "--addr", "127.0.0.1:1", "--health"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("energydx:"),
+        "connection failure must be a clean CLI error"
+    );
+}
+
+#[test]
+fn analyze_rejects_dir_and_bundles_together() {
+    let out = energydx()
+        .args(["analyze", "--dir", "a", "--bundles", "b"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("exactly one of"));
 }
 
 #[test]

@@ -1,0 +1,258 @@
+//! The fleetd soak gate (run from `ci.sh` with `-- --ignored`):
+//! a real `energydx serve` process is driven through the phone-side
+//! retrying uploader with 200 payloads (a deterministic ~15% of them
+//! damaged), checkpointed, killed with SIGKILL mid-stream, restarted
+//! from the checkpoint, and re-driven — and the final served report
+//! must be **byte-identical** to `energydx analyze --bundles --json`
+//! over the same payload directory. A backpressure phase with eight
+//! parallel uploaders against a depth-4 queue checks the daemon sheds
+//! explicitly (RetryAfter) and never exceeds its configured depth.
+
+use energydx_fleetd::fixture;
+use energydx_fleetd::{Client, Request, Response, TcpBackend};
+use energydx_trace::fault::{FaultInjector, FaultKind};
+use energydx_trace::upload::{upload_payloads_with_retry, RetryPolicy};
+use std::io::BufRead;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+
+const TOTAL: usize = 200;
+const CHECKPOINT_AT: usize = 120;
+const KILL_AT: usize = 160;
+
+fn energydx() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_energydx"))
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join(format!("energydx-soak-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The 200 soak payloads in upload order: sorted zero-padded users so
+/// the daemon's accept order equals the batch CLI's filename order,
+/// with every 7th payload damaged in a rotating, order-preserving way
+/// (no drops, no duplicates — one file stays one upload).
+fn soak_payloads() -> Vec<Vec<u8>> {
+    let kinds = [
+        FaultKind::Truncate,
+        FaultKind::BitFlip,
+        FaultKind::Reorder,
+        FaultKind::ClockSkew,
+    ];
+    let mut injector = FaultInjector::new(0x50AC, 1.0);
+    (0..TOTAL)
+        .map(|i| {
+            let payload = fixture::payload(&format!("u{i:03}"), 0);
+            if i % 7 == 3 {
+                let kind = kinds[(i / 7) % kinds.len()];
+                injector
+                    .corrupt(&payload, kind)
+                    .pop()
+                    .expect("order-preserving kinds deliver one payload")
+            } else {
+                payload
+            }
+        })
+        .collect()
+}
+
+struct Daemon {
+    child: Child,
+    addr: String,
+}
+
+fn spawn_daemon(state: &Path, extra: &[&str]) -> Daemon {
+    let mut child = energydx()
+        .args(["serve", "--listen", "127.0.0.1:0", "--state"])
+        .arg(state)
+        .args(["--compact-every", "7", "--retry-after-ms", "20"])
+        .args(extra)
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn energydx serve");
+    let mut banner = String::new();
+    std::io::BufReader::new(child.stdout.take().unwrap())
+        .read_line(&mut banner)
+        .unwrap();
+    let addr = banner
+        .trim()
+        .strip_prefix("fleetd listening on ")
+        .unwrap_or_else(|| panic!("unexpected banner: {banner}"))
+        .to_string();
+    Daemon { child, addr }
+}
+
+fn drive(addr: &str, app: &str, payloads: &[Vec<u8>]) {
+    let mut backend = TcpBackend::new(addr, app).with_pause_cap_ms(50);
+    let stats = upload_payloads_with_retry(
+        payloads,
+        &mut backend,
+        &RetryPolicy {
+            max_attempts: 64,
+            ..RetryPolicy::default()
+        },
+        0xD21,
+    );
+    assert_eq!(stats.gave_up, 0, "the retrying uploader must drain");
+    assert_eq!(stats.delivered, payloads.len());
+}
+
+fn query_report(addr: &str, app: &str) -> Vec<u8> {
+    let out = energydx()
+        .args(["query", "--addr", addr, "--app", app])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "query failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out.stdout
+}
+
+fn shutdown(addr: &str, daemon: &mut Child) {
+    let out = energydx()
+        .args(["query", "--addr", addr, "--shutdown"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(daemon.wait().unwrap().success());
+}
+
+#[test]
+#[ignore = "soak gate: run from ci.sh with -- --ignored"]
+fn fleetd_soak_survives_backpressure_crash_and_restart() {
+    let state = temp_dir("state");
+    let payload_dir = temp_dir("payloads");
+    let payloads = soak_payloads();
+    for (i, payload) in payloads.iter().enumerate() {
+        std::fs::write(payload_dir.join(format!("{i:03}.edxt")), payload)
+            .unwrap();
+    }
+
+    // ---- Phase 1: backpressure. A deliberately slow, shallow queue
+    // hammered by 8 parallel uploaders must shed explicitly and stay
+    // within its depth — and still lose nothing.
+    let mut daemon =
+        spawn_daemon(&state, &["--queue-depth", "4", "--ingest-delay-ms", "3"]);
+    let threads: Vec<_> = (0..8)
+        .map(|t| {
+            let addr = daemon.addr.clone();
+            std::thread::spawn(move || {
+                let pressure: Vec<Vec<u8>> = (0..25)
+                    .map(|s| fixture::payload(&format!("p{t}-{s:02}"), 0))
+                    .collect();
+                let mut backend =
+                    TcpBackend::new(&addr, "pressure").with_pause_cap_ms(50);
+                let stats = upload_payloads_with_retry(
+                    &pressure,
+                    &mut backend,
+                    &RetryPolicy {
+                        max_attempts: 64,
+                        ..RetryPolicy::default()
+                    },
+                    t as u64,
+                );
+                assert_eq!(stats.gave_up, 0);
+                (stats.retry_after_hints, backend.retry_after_seen)
+            })
+        })
+        .collect();
+    let mut hints = 0usize;
+    for t in threads {
+        let (h, seen) = t.join().unwrap();
+        assert_eq!(h, seen, "every RetryAfter reaches the retry loop");
+        hints += h;
+    }
+    assert!(
+        hints > 0,
+        "8 uploaders against a depth-4 queue must observe RetryAfter"
+    );
+    let stats_out = energydx()
+        .args(["query", "--addr", &daemon.addr, "--stats"])
+        .output()
+        .unwrap();
+    assert!(stats_out.status.success());
+    let stats_json = String::from_utf8_lossy(&stats_out.stdout);
+    assert!(
+        stats_json.contains("\"depth\":4"),
+        "stats must expose the queue: {stats_json}"
+    );
+    let max_seen: usize = stats_json
+        .split("\"max_seen\":")
+        .nth(1)
+        .and_then(|rest| rest.split(|c: char| !c.is_ascii_digit()).next())
+        .and_then(|digits| digits.parse().ok())
+        .unwrap_or_else(|| panic!("no max_seen in stats: {stats_json}"));
+    assert!(
+        max_seen <= 4,
+        "queue exceeded its configured depth: {stats_json}"
+    );
+    assert!(
+        stats_json.contains(&format!("\"traces\":{}", 8 * 25)),
+        "every pressure upload must be accounted for: {stats_json}"
+    );
+    shutdown(&daemon.addr, &mut daemon.child);
+
+    // ---- Phase 2: the 200-payload diff stream with a checkpoint, a
+    // SIGKILL, and a restart. The queue stays shallow (backpressure on
+    // the real stream too), the worker keeps its artificial delay.
+    let mut daemon =
+        spawn_daemon(&state, &["--queue-depth", "4", "--ingest-delay-ms", "2"]);
+    drive(&daemon.addr, "soak", &payloads[..CHECKPOINT_AT]);
+    let mut client = Client::connect(&daemon.addr).expect("connect");
+    assert_eq!(
+        client.request(&Request::Checkpoint).expect("checkpoint"),
+        Response::Done
+    );
+    drop(client);
+    drive(&daemon.addr, "soak", &payloads[CHECKPOINT_AT..KILL_AT]);
+    // kill -9: everything accepted after the checkpoint dies with the
+    // process.
+    daemon.child.kill().expect("SIGKILL");
+    let _ = daemon.child.wait();
+
+    // Restart from the checkpoint and re-drive the lost tail plus a
+    // chunk of already-accepted resends (deduped by the restored
+    // seen-set).
+    let mut daemon = spawn_daemon(&state, &["--queue-depth", "8"]);
+    drive(&daemon.addr, "soak", &payloads[CHECKPOINT_AT - 20..]);
+
+    // ---- The verdict: daemon report == batch CLI over the payload
+    // directory, byte for byte.
+    let served = query_report(&daemon.addr, "soak");
+    let batch = energydx()
+        .args(["analyze", "--bundles"])
+        .arg(&payload_dir)
+        .arg("--json")
+        .output()
+        .unwrap();
+    assert!(
+        batch.status.success(),
+        "batch analyze failed: {}",
+        String::from_utf8_lossy(&batch.stderr)
+    );
+    assert!(!served.is_empty());
+    assert_eq!(
+        served, batch.stdout,
+        "daemon diverged from the batch CLI after crash recovery"
+    );
+
+    // ---- Graceful shutdown, one more restart: the flushed checkpoint
+    // serves the same bytes again.
+    shutdown(&daemon.addr, &mut daemon.child);
+    let mut daemon = spawn_daemon(&state, &[]);
+    assert_eq!(
+        query_report(&daemon.addr, "soak"),
+        served,
+        "restart from the final checkpoint changed the report"
+    );
+    shutdown(&daemon.addr, &mut daemon.child);
+
+    let _ = std::fs::remove_dir_all(&state);
+    let _ = std::fs::remove_dir_all(&payload_dir);
+}

@@ -14,12 +14,97 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+/// A job-count environment variable held a value that is not a
+/// positive integer.
+///
+/// Silently falling back to the default here would be a trap: a CI
+/// file with `ENERGYDX_JOBS=fulll` would quietly run at machine
+/// parallelism and "pass" the single-thread determinism gate without
+/// ever pinning a thread count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobsEnvError {
+    /// The offending environment variable.
+    pub var: String,
+    /// The raw value it held.
+    pub value: String,
+}
+
+impl std::fmt::Display for JobsEnvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}={:?} is not a valid job count (expected a positive \
+             integer; unset the variable or use e.g. {}=4)",
+            self.var, self.value, self.var
+        )
+    }
+}
+
+impl std::error::Error for JobsEnvError {}
+
+/// Parses one job-count environment value strictly.
+///
+/// Returns `Ok(None)` when the value is empty or whitespace-only
+/// (treated as unset, like the variable not existing), `Ok(Some(n))`
+/// for a positive integer, and [`JobsEnvError`] for anything else —
+/// zero included, because a zero job count has no meaning the caller
+/// could honor.
+pub fn parse_jobs(
+    var: &str,
+    value: &str,
+) -> Result<Option<usize>, JobsEnvError> {
+    let trimmed = value.trim();
+    if trimmed.is_empty() {
+        return Ok(None);
+    }
+    match trimmed.parse::<usize>() {
+        Ok(n) if n > 0 => Ok(Some(n)),
+        _ => Err(JobsEnvError {
+            var: var.to_owned(),
+            value: value.to_owned(),
+        }),
+    }
+}
+
+/// Resolves a requested job count to an effective one, surfacing
+/// malformed environment values as an error.
+///
+/// `0` means "auto": the `ENERGYDX_JOBS` environment variable if set,
+/// then `RAYON_NUM_THREADS` (honored for CI muscle-memory
+/// compatibility), then the machine's available parallelism. A set but
+/// invalid variable is an error, not a silent default — see
+/// [`parse_jobs`].
+///
+/// # Errors
+///
+/// Returns [`JobsEnvError`] when `requested` is 0 and a job-count
+/// variable holds a non-empty value that is not a positive integer.
+pub fn try_resolve_jobs(requested: usize) -> Result<usize, JobsEnvError> {
+    if requested > 0 {
+        return Ok(requested);
+    }
+    for var in ["ENERGYDX_JOBS", "RAYON_NUM_THREADS"] {
+        if let Ok(value) = std::env::var(var) {
+            if let Some(n) = parse_jobs(var, &value)? {
+                return Ok(n);
+            }
+        }
+    }
+    Ok(std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1))
+}
+
 /// Resolves a requested job count to an effective one.
 ///
-/// `0` means "auto": the `ENERGYDX_JOBS` environment variable if set to
-/// a positive integer, then `RAYON_NUM_THREADS` (honored for CI
-/// muscle-memory compatibility), then the machine's available
-/// parallelism.
+/// Infallible variant of [`try_resolve_jobs`] for deep-in-the-pipeline
+/// callers that have no error channel.
+///
+/// # Panics
+///
+/// Panics with the [`JobsEnvError`] message when a job-count
+/// environment variable holds garbage; entry points that can report
+/// errors gracefully should call [`try_resolve_jobs`] first.
 ///
 /// # Examples
 ///
@@ -29,21 +114,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// assert!(resolve_jobs(0) >= 1);
 /// ```
 pub fn resolve_jobs(requested: usize) -> usize {
-    if requested > 0 {
-        return requested;
-    }
-    for var in ["ENERGYDX_JOBS", "RAYON_NUM_THREADS"] {
-        if let Some(n) = std::env::var(var)
-            .ok()
-            .and_then(|v| v.trim().parse::<usize>().ok())
-            .filter(|&n| n > 0)
-        {
-            return n;
-        }
-    }
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    try_resolve_jobs(requested).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Applies `f` to every element of `items`, returning the results in
@@ -138,6 +209,47 @@ mod tests {
     #[test]
     fn explicit_request_overrides_auto() {
         assert_eq!(resolve_jobs(5), 5);
+    }
+
+    #[test]
+    fn parse_jobs_accepts_positive_integers() {
+        assert_eq!(parse_jobs("ENERGYDX_JOBS", "1"), Ok(Some(1)));
+        assert_eq!(parse_jobs("ENERGYDX_JOBS", " 16 "), Ok(Some(16)));
+    }
+
+    #[test]
+    fn parse_jobs_treats_empty_as_unset() {
+        assert_eq!(parse_jobs("ENERGYDX_JOBS", ""), Ok(None));
+        assert_eq!(parse_jobs("ENERGYDX_JOBS", "   \t"), Ok(None));
+    }
+
+    #[test]
+    fn parse_jobs_rejects_zero() {
+        let err = parse_jobs("ENERGYDX_JOBS", "0").unwrap_err();
+        assert_eq!(err.var, "ENERGYDX_JOBS");
+        assert_eq!(err.value, "0");
+        assert!(err.to_string().contains("positive integer"));
+    }
+
+    #[test]
+    fn parse_jobs_rejects_non_numeric_garbage() {
+        for bad in ["fulll", "-3", "4.5", "2x", "0x10", "∞"] {
+            let err = parse_jobs("RAYON_NUM_THREADS", bad)
+                .expect_err(&format!("{bad:?} must be rejected"));
+            assert_eq!(err.var, "RAYON_NUM_THREADS");
+            assert_eq!(err.value, bad);
+            assert!(
+                err.to_string().contains("RAYON_NUM_THREADS"),
+                "error must name the variable: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn explicit_request_bypasses_environment_validation() {
+        // A non-zero request never reads the environment, so it cannot
+        // fail even when the variables hold garbage.
+        assert_eq!(try_resolve_jobs(7), Ok(7));
     }
 
     #[test]

@@ -128,6 +128,14 @@ impl ShardPartial {
         self.segments.values().map(|s| s.traces.len()).sum()
     }
 
+    /// Whether this is the identity partial — no traces, no
+    /// vocabulary. `merge` with an empty partial (from either side) is
+    /// a no-op, which is what lets compaction fold a delta list from
+    /// [`ShardPartial::empty`] without special-casing the seed.
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty() && self.interner.is_empty()
+    }
+
     /// Distinct event names across the covered traces.
     pub fn vocabulary(&self) -> &[String] {
         self.interner.names()
@@ -252,6 +260,207 @@ impl std::fmt::Display for ShardError {
 }
 
 impl std::error::Error for ShardError {}
+
+/// A [`ShardPartial`] disassembled into plain, serializable pieces:
+/// the canonical vocabulary plus each segment's traces and skip list.
+///
+/// Group tables are deliberately absent — they are a pure function of
+/// the traces and are rebuilt on [`ShardPartial::from_parts`], so a
+/// checkpoint cannot smuggle in populations that disagree with the
+/// traces they were derived from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardPartialParts {
+    /// The vocabulary in canonical (ascending name) order.
+    pub names: Vec<String>,
+    /// The segments, ascending by offset.
+    pub segments: Vec<SegmentParts>,
+}
+
+/// One contiguous run of traces, disassembled.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SegmentParts {
+    /// Global index of the first trace.
+    pub offset: usize,
+    /// The interned traces (emptied slots kept).
+    pub traces: Vec<InternedTrace>,
+    /// `(global index, non-finite count)` of emptied traces.
+    pub skipped: Vec<(usize, usize)>,
+}
+
+/// Why a [`ShardPartialParts`] value does not describe a valid
+/// partial. Returned — never panicked — by
+/// [`ShardPartial::from_parts`], so a corrupt or adversarial
+/// checkpoint surfaces as a typed error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PartsError {
+    /// The vocabulary is not sorted strictly ascending.
+    VocabularyNotCanonical,
+    /// A trace references an event id outside the vocabulary.
+    IdOutOfRange {
+        /// Global index of the offending trace.
+        trace: usize,
+        /// The out-of-range id.
+        id: usize,
+        /// The vocabulary size it had to fit under.
+        vocab: usize,
+    },
+    /// Two segments cover overlapping trace ranges.
+    OverlappingSegments {
+        /// Offset of the first segment involved.
+        first: usize,
+        /// Offset of the second segment involved.
+        second: usize,
+    },
+    /// A skip entry points outside its segment's trace range.
+    SkippedOutOfSegment {
+        /// The skip entry's global trace index.
+        index: usize,
+    },
+    /// A skip entry names a trace that still has instances, or a
+    /// non-positive non-finite count.
+    SkippedNotEmptied {
+        /// The skip entry's global trace index.
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for PartsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PartsError::VocabularyNotCanonical => {
+                write!(f, "vocabulary is not sorted strictly ascending")
+            }
+            PartsError::IdOutOfRange { trace, id, vocab } => write!(
+                f,
+                "trace {trace} references event id {id} outside the \
+                 vocabulary of {vocab}"
+            ),
+            PartsError::OverlappingSegments { first, second } => {
+                write!(f, "segments at offsets {first} and {second} overlap")
+            }
+            PartsError::SkippedOutOfSegment { index } => {
+                write!(f, "skip entry {index} lies outside its segment")
+            }
+            PartsError::SkippedNotEmptied { index } => write!(
+                f,
+                "skip entry {index} names a trace that was not emptied \
+                 (or a zero non-finite count)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PartsError {}
+
+impl ShardPartial {
+    /// Disassembles the partial into serializable parts; the inverse
+    /// of [`ShardPartial::from_parts`].
+    pub fn to_parts(&self) -> ShardPartialParts {
+        ShardPartialParts {
+            names: self.interner.names().to_vec(),
+            segments: self
+                .segments
+                .values()
+                .map(|s| SegmentParts {
+                    offset: s.offset,
+                    traces: s.traces.clone(),
+                    skipped: s.skipped.clone(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Reassembles a partial from parts, validating every structural
+    /// invariant the rest of the pipeline assumes: canonical
+    /// vocabulary, in-range event ids, disjoint segments, and skip
+    /// entries that point at emptied traces inside their segment.
+    /// Group tables are rebuilt from the traces.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PartsError`] naming the first violated invariant;
+    /// this function never panics on malformed input, which is what
+    /// makes it safe to feed from an untrusted checkpoint file.
+    pub fn from_parts(
+        parts: ShardPartialParts,
+    ) -> Result<ShardPartial, PartsError> {
+        let sorted = parts.names.windows(2).all(|w| w[0] < w[1]);
+        if !sorted {
+            return Err(PartsError::VocabularyNotCanonical);
+        }
+        let mut interner = EventInterner::new();
+        for name in &parts.names {
+            interner.intern(name);
+        }
+        let vocab = interner.len();
+
+        let mut partial = ShardPartial {
+            interner,
+            segments: BTreeMap::new(),
+        };
+        let mut prev_range: Option<(usize, usize)> = None;
+        let mut by_offset: Vec<&SegmentParts> = parts.segments.iter().collect();
+        by_offset.sort_by_key(|s| s.offset);
+        for seg in by_offset {
+            let end = seg.offset + seg.traces.len();
+            if let Some((prev_off, prev_end)) = prev_range {
+                if seg.offset < prev_end {
+                    return Err(PartsError::OverlappingSegments {
+                        first: prev_off,
+                        second: seg.offset,
+                    });
+                }
+            }
+            if !seg.traces.is_empty() {
+                prev_range = Some((seg.offset, end));
+            }
+            for (i, trace) in seg.traces.iter().enumerate() {
+                for id in trace.ids() {
+                    if id.index() >= vocab {
+                        return Err(PartsError::IdOutOfRange {
+                            trace: seg.offset + i,
+                            id: id.index(),
+                            vocab,
+                        });
+                    }
+                }
+            }
+            let mut prev_skip: Option<usize> = None;
+            for &(index, count) in &seg.skipped {
+                if index < seg.offset
+                    || index >= end
+                    || prev_skip.is_some_and(|p| index <= p)
+                {
+                    return Err(PartsError::SkippedOutOfSegment { index });
+                }
+                if count == 0 || !seg.traces[index - seg.offset].is_empty() {
+                    return Err(PartsError::SkippedNotEmptied { index });
+                }
+                prev_skip = Some(index);
+            }
+            if seg.traces.is_empty() {
+                continue;
+            }
+            let mut groups: Vec<Vec<f64>> = vec![Vec::new(); vocab];
+            for trace in &seg.traces {
+                for (&id, &mw) in trace.ids().iter().zip(trace.powers()) {
+                    groups[id.index()].push(mw);
+                }
+            }
+            partial.segments.insert(
+                seg.offset,
+                Segment {
+                    offset: seg.offset,
+                    traces: seg.traces.clone(),
+                    skipped: seg.skipped.clone(),
+                    groups,
+                },
+            );
+        }
+        partial.coalesce();
+        Ok(partial)
+    }
+}
 
 /// The memoized per-event-group statistics cache shared by Steps 2–3,
 /// indexed densely by [`EventId`].

@@ -1,0 +1,234 @@
+//! Property tests for the shard-partial algebra and its serializable
+//! parts form.
+//!
+//! The merge law (`tests/diff_harness.rs` at the workspace root) makes
+//! any shard split finish to the reference report; these tests pin the
+//! two pieces the fleet daemon leans on: the **unit element**
+//! ([`ShardPartial::empty`] merges as an identity from either side)
+//! and the **parts round trip** (`to_parts` → `from_parts` rebuilds a
+//! structurally equal partial, so a checkpointed epoch analyzes to the
+//! same bytes after a restore).
+
+use energydx::shard::{PartsError, ShardPartial, ShardPartialParts};
+use energydx::{DiagnosisInput, EnergyDx};
+use energydx_trace::event::EventInstance;
+use energydx_trace::intern::{EventId, InternedTrace};
+use energydx_trace::join::PoweredInstance;
+use proptest::prelude::*;
+
+fn powered(event: &str, index: u64, mw: f64) -> PoweredInstance {
+    let start = index * 500;
+    PoweredInstance {
+        instance: EventInstance::new(event, start, start + 100),
+        power_mw: mw,
+    }
+}
+
+/// Random fleets over a small vocabulary, with occasional NaNs so the
+/// skip list is exercised.
+fn random_fleet() -> impl Strategy<Value = DiagnosisInput> {
+    const VOCAB: [&str; 6] = [
+        "net.poll",
+        "ui.draw",
+        "db.query",
+        "gps.fix",
+        "idle",
+        "push.recv",
+    ];
+    let power = (0u8..16, 1.0f64..800.0).prop_map(|(roll, mw)| {
+        if roll == 0 {
+            f64::NAN
+        } else {
+            mw
+        }
+    });
+    let trace = prop::collection::vec((0usize..VOCAB.len(), power), 0..24)
+        .prop_map(|items| {
+            items
+                .into_iter()
+                .enumerate()
+                .map(|(i, (event, mw))| powered(VOCAB[event], i as u64, mw))
+                .collect::<Vec<_>>()
+        });
+    prop::collection::vec(trace, 0..8).prop_map(DiagnosisInput::new)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The unit element of the merge law: merging the empty partial
+    /// into any partial — from either side — changes nothing, and an
+    /// empty-seeded fold equals the partial itself. Compaction folds
+    /// delta lists from `ShardPartial::empty()`, so this identity is
+    /// what makes a compacted epoch equal to its uncompacted deltas.
+    #[test]
+    fn empty_partial_is_a_two_sided_merge_identity(
+        input in random_fleet(),
+        offset in 0usize..32,
+    ) {
+        let dx = EnergyDx::default();
+        let mapped = dx.map_shard(input.traces(), offset);
+        prop_assert!(ShardPartial::empty().is_empty());
+        prop_assert_eq!(
+            mapped.clone().merge(ShardPartial::empty()),
+            mapped.clone(),
+            "right identity violated"
+        );
+        prop_assert_eq!(
+            ShardPartial::empty().merge(mapped.clone()),
+            mapped.clone(),
+            "left identity violated"
+        );
+        prop_assert_eq!(
+            ShardPartial::empty().merge(ShardPartial::empty()),
+            ShardPartial::empty()
+        );
+        // is_empty agrees with the identity: only the unit reports it.
+        prop_assert_eq!(
+            mapped.is_empty(),
+            mapped == ShardPartial::empty()
+        );
+    }
+
+    /// `to_parts` → `from_parts` is lossless: the rebuilt partial is
+    /// structurally equal (groups re-derived from traces included) and
+    /// finishes to byte-identical reports.
+    #[test]
+    fn parts_round_trip_is_lossless(
+        input in random_fleet(),
+        cut in 0usize..8,
+    ) {
+        let dx = EnergyDx::default();
+        let traces = input.traces();
+        let cut = cut.min(traces.len());
+        // A two-segment partial (when the cut is interior) exercises
+        // the multi-segment encoding; merging after restoring each
+        // side must still finish to the reference.
+        let left = dx.map_shard(&traces[..cut], 0);
+        let right = dx.map_shard(&traces[cut..], cut);
+        for partial in [left.clone(), right.clone(), left.merge(right)] {
+            let rebuilt = ShardPartial::from_parts(partial.to_parts())
+                .expect("parts of a real partial must validate");
+            prop_assert_eq!(&rebuilt, &partial);
+        }
+        let whole = dx.map_shard(traces, 0);
+        let rebuilt = ShardPartial::from_parts(whole.to_parts()).unwrap();
+        prop_assert_eq!(
+            dx.finish(rebuilt).unwrap().to_canonical_json(),
+            dx.diagnose_reference(&input).to_canonical_json()
+        );
+    }
+}
+
+#[test]
+fn from_parts_rejects_unsorted_vocabulary() {
+    let parts = ShardPartialParts {
+        names: vec!["b".into(), "a".into()],
+        segments: vec![],
+    };
+    assert_eq!(
+        ShardPartial::from_parts(parts),
+        Err(PartsError::VocabularyNotCanonical)
+    );
+    let dup = ShardPartialParts {
+        names: vec!["a".into(), "a".into()],
+        segments: vec![],
+    };
+    assert_eq!(
+        ShardPartial::from_parts(dup),
+        Err(PartsError::VocabularyNotCanonical)
+    );
+}
+
+#[test]
+fn from_parts_rejects_out_of_range_ids() {
+    let trace = InternedTrace::from_columns(
+        vec![EventId::from_index(0), EventId::from_index(3)],
+        vec![10.0, 20.0],
+    )
+    .unwrap();
+    let parts = ShardPartialParts {
+        names: vec!["a".into(), "b".into()],
+        segments: vec![energydx::shard::SegmentParts {
+            offset: 0,
+            traces: vec![trace],
+            skipped: vec![],
+        }],
+    };
+    assert_eq!(
+        ShardPartial::from_parts(parts),
+        Err(PartsError::IdOutOfRange {
+            trace: 0,
+            id: 3,
+            vocab: 2
+        })
+    );
+}
+
+#[test]
+fn from_parts_rejects_overlapping_segments() {
+    let t = || {
+        InternedTrace::from_columns(vec![EventId::from_index(0)], vec![1.0])
+            .unwrap()
+    };
+    let seg = |offset: usize| energydx::shard::SegmentParts {
+        offset,
+        traces: vec![t(), t()],
+        skipped: vec![],
+    };
+    let parts = ShardPartialParts {
+        names: vec!["a".into()],
+        segments: vec![seg(0), seg(1)],
+    };
+    assert_eq!(
+        ShardPartial::from_parts(parts),
+        Err(PartsError::OverlappingSegments {
+            first: 0,
+            second: 1
+        })
+    );
+}
+
+#[test]
+fn from_parts_rejects_malformed_skip_entries() {
+    let full =
+        InternedTrace::from_columns(vec![EventId::from_index(0)], vec![1.0])
+            .unwrap();
+    // Skip entry outside the segment range.
+    let outside = ShardPartialParts {
+        names: vec!["a".into()],
+        segments: vec![energydx::shard::SegmentParts {
+            offset: 2,
+            traces: vec![InternedTrace::default()],
+            skipped: vec![(9, 1)],
+        }],
+    };
+    assert_eq!(
+        ShardPartial::from_parts(outside),
+        Err(PartsError::SkippedOutOfSegment { index: 9 })
+    );
+    // Skip entry naming a trace that still has instances.
+    let not_emptied = ShardPartialParts {
+        names: vec!["a".into()],
+        segments: vec![energydx::shard::SegmentParts {
+            offset: 0,
+            traces: vec![full],
+            skipped: vec![(0, 2)],
+        }],
+    };
+    assert_eq!(
+        ShardPartial::from_parts(not_emptied),
+        Err(PartsError::SkippedNotEmptied { index: 0 })
+    );
+}
+
+#[test]
+fn from_parts_of_empty_parts_is_the_empty_partial() {
+    let parts = ShardPartialParts {
+        names: vec![],
+        segments: vec![],
+    };
+    let partial = ShardPartial::from_parts(parts).unwrap();
+    assert!(partial.is_empty());
+    assert_eq!(partial, ShardPartial::empty());
+}

@@ -1,0 +1,410 @@
+//! Crash-safe checkpointing of [`FleetState`].
+//!
+//! The format mirrors wire v2's defensive layout: magic, a version
+//! byte, an explicit body length, and a CRC32 over the body — so a
+//! half-written file, a truncated disk, or a flipped bit surfaces as a
+//! typed [`CheckpointError`], never a panic or a silently-wrong
+//! analysis. Partials are serialized through
+//! [`ShardPartial::to_parts`] and re-validated on the way back in with
+//! [`ShardPartial::from_parts`], which rebuilds the derived group
+//! tables and rejects any structurally impossible state.
+//!
+//! ```text
+//! magic "EDXC" | version u8 = 1 | body_len u32 | body | crc32(body)
+//! ```
+//!
+//! Each epoch's delta list is folded to its canonical single partial
+//! before serialization, so checkpointing doubles as compaction and
+//! the on-disk size is independent of how bursty ingestion was.
+//! [`save_to`] writes to a temp file and renames over the old
+//! checkpoint, so a crash mid-write leaves the previous checkpoint
+//! intact.
+//!
+//! [`ShardPartial::to_parts`]: energydx::shard::ShardPartial::to_parts
+//! [`ShardPartial::from_parts`]: energydx::shard::ShardPartial::from_parts
+
+use crate::codec::{CodecError, Reader, Writer};
+use crate::state::{AppState, EpochState, FleetConfig, FleetState};
+use energydx::shard::{SegmentParts, ShardPartial, ShardPartialParts};
+use energydx_trace::intern::{EventId, InternedTrace};
+use energydx_trace::store::{QuarantineEntry, RejectReason};
+use energydx_trace::wire;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+const MAGIC: &[u8; 4] = b"EDXC";
+const VERSION: u8 = 1;
+/// File name inside the state directory.
+pub const CHECKPOINT_FILE: &str = "fleet.ckpt";
+
+/// Why a checkpoint could not be written or restored.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// Filesystem failure (message of the underlying error).
+    Io(String),
+    /// The file does not start with the checkpoint magic.
+    BadMagic,
+    /// The version byte names a format this build does not speak.
+    UnsupportedVersion(u8),
+    /// The file ends before the framed body and trailer do.
+    Truncated,
+    /// The body's CRC32 does not match its trailer.
+    CrcMismatch,
+    /// The frame is intact but its content is inconsistent.
+    Malformed(String),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint i/o: {e}"),
+            CheckpointError::BadMagic => {
+                f.write_str("not a checkpoint file (bad magic)")
+            }
+            CheckpointError::UnsupportedVersion(v) => {
+                write!(f, "unsupported checkpoint version {v}")
+            }
+            CheckpointError::Truncated => {
+                f.write_str("checkpoint file is truncated")
+            }
+            CheckpointError::CrcMismatch => {
+                f.write_str("checkpoint body fails its CRC32 check")
+            }
+            CheckpointError::Malformed(detail) => {
+                write!(f, "malformed checkpoint: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<CodecError> for CheckpointError {
+    // Inside a CRC-validated body an underrun means a length field
+    // lies, which is malformed content rather than file truncation.
+    fn from(e: CodecError) -> Self {
+        CheckpointError::Malformed(e.to_string())
+    }
+}
+
+fn reason_code(reason: RejectReason) -> u8 {
+    match reason {
+        RejectReason::Undecodable => 0,
+        RejectReason::OutOfOrderBeyondRepair => 1,
+        RejectReason::UnmatchedBeyondRepair => 2,
+        RejectReason::Duplicate => 3,
+        RejectReason::Invalid => 4,
+    }
+}
+
+fn reason_from_code(code: u8) -> Result<RejectReason, CheckpointError> {
+    Ok(match code {
+        0 => RejectReason::Undecodable,
+        1 => RejectReason::OutOfOrderBeyondRepair,
+        2 => RejectReason::UnmatchedBeyondRepair,
+        3 => RejectReason::Duplicate,
+        4 => RejectReason::Invalid,
+        other => {
+            return Err(CheckpointError::Malformed(format!(
+                "unknown reject reason code {other}"
+            )))
+        }
+    })
+}
+
+/// Serializes the whole fleet state to a framed checkpoint.
+pub fn checkpoint_bytes(state: &FleetState) -> Vec<u8> {
+    let mut body = Writer::new();
+    body.u32(state.apps.len() as u32);
+    for (app, a) in &state.apps {
+        body.str(app);
+        body.u64(a.current_epoch);
+        body.u32(a.epochs.len() as u32);
+        for (&id, e) in &a.epochs {
+            body.u64(id);
+            body.u64(e.trace_count as u64);
+            body.u64(e.clean as u64);
+            body.u64(e.recovered as u64);
+            body.u32(e.seen.len() as u32);
+            for (user, session) in &e.seen {
+                body.str(user);
+                body.u64(*session);
+            }
+            body.u32(e.quarantine.len() as u32);
+            for entry in &e.quarantine {
+                body.u8(reason_code(entry.reason));
+                match &entry.user {
+                    Some(user) => {
+                        body.u8(1);
+                        body.str(user);
+                    }
+                    None => body.u8(0),
+                }
+                match entry.session {
+                    Some(s) => {
+                        body.u8(1);
+                        body.u64(s);
+                    }
+                    None => body.u8(0),
+                }
+                body.str(&entry.detail);
+            }
+            write_partial(&mut body, &e.folded());
+        }
+    }
+    let body = body.into_vec();
+    let mut out = Writer::new();
+    out.u8(MAGIC[0]);
+    out.u8(MAGIC[1]);
+    out.u8(MAGIC[2]);
+    out.u8(MAGIC[3]);
+    out.u8(VERSION);
+    out.u32(body.len() as u32);
+    let mut framed = out.into_vec();
+    framed.extend_from_slice(&body);
+    framed.extend_from_slice(&wire::crc32(&body).to_le_bytes());
+    framed
+}
+
+fn write_partial(w: &mut Writer, partial: &ShardPartial) {
+    let parts = partial.to_parts();
+    w.u32(parts.names.len() as u32);
+    for name in &parts.names {
+        w.str(name);
+    }
+    w.u32(parts.segments.len() as u32);
+    for seg in &parts.segments {
+        w.u64(seg.offset as u64);
+        w.u32(seg.traces.len() as u32);
+        for trace in &seg.traces {
+            w.u32(trace.ids().len() as u32);
+            for id in trace.ids() {
+                w.u32(id.index() as u32);
+            }
+            for &p in trace.powers() {
+                w.f64(p);
+            }
+        }
+        w.u32(seg.skipped.len() as u32);
+        for &(index, count) in &seg.skipped {
+            w.u64(index as u64);
+            w.u64(count as u64);
+        }
+    }
+}
+
+fn read_partial(r: &mut Reader<'_>) -> Result<ShardPartial, CheckpointError> {
+    let name_count = r.u32("vocab count")? as usize;
+    let mut names = Vec::with_capacity(name_count.min(1 << 16));
+    for _ in 0..name_count {
+        names.push(r.str("vocab name")?);
+    }
+    let seg_count = r.u32("segment count")? as usize;
+    let mut segments = Vec::with_capacity(seg_count.min(1 << 16));
+    for _ in 0..seg_count {
+        let offset = r.usize("segment offset")?;
+        let trace_count = r.u32("segment trace count")? as usize;
+        let mut traces = Vec::with_capacity(trace_count.min(1 << 16));
+        for _ in 0..trace_count {
+            let len = r.u32("trace length")? as usize;
+            let mut ids = Vec::with_capacity(len.min(1 << 16));
+            for _ in 0..len {
+                ids.push(EventId::from_index(r.u32("event id")? as usize));
+            }
+            let mut powers = Vec::with_capacity(len.min(1 << 16));
+            for _ in 0..len {
+                powers.push(r.f64("power")?);
+            }
+            traces.push(InternedTrace::from_columns(ids, powers).ok_or_else(
+                || {
+                    CheckpointError::Malformed(
+                        "trace column lengths disagree".to_string(),
+                    )
+                },
+            )?);
+        }
+        let skip_count = r.u32("skip count")? as usize;
+        let mut skipped = Vec::with_capacity(skip_count.min(1 << 16));
+        for _ in 0..skip_count {
+            let index = r.usize("skip index")?;
+            let count = r.usize("skip value count")?;
+            skipped.push((index, count));
+        }
+        segments.push(SegmentParts {
+            offset,
+            traces,
+            skipped,
+        });
+    }
+    ShardPartial::from_parts(ShardPartialParts { names, segments })
+        .map_err(|e| CheckpointError::Malformed(e.to_string()))
+}
+
+/// Restores a fleet state from checkpoint bytes, re-validating every
+/// partial. The runtime `config` is supplied by the caller: analysis
+/// parameters are deployment configuration, not data.
+///
+/// # Errors
+///
+/// Any frame or content problem maps to the matching
+/// [`CheckpointError`]; no input panics.
+pub fn restore_bytes(
+    data: &[u8],
+    config: FleetConfig,
+) -> Result<FleetState, CheckpointError> {
+    if data.len() < 4 {
+        return Err(CheckpointError::Truncated);
+    }
+    if &data[..4] != MAGIC {
+        return Err(CheckpointError::BadMagic);
+    }
+    if data.len() < 9 {
+        return Err(CheckpointError::Truncated);
+    }
+    let version = data[4];
+    if version != VERSION {
+        return Err(CheckpointError::UnsupportedVersion(version));
+    }
+    let body_len = u32::from_le_bytes(data[5..9].try_into().unwrap()) as usize;
+    let Some(total) = body_len.checked_add(13) else {
+        return Err(CheckpointError::Truncated);
+    };
+    if data.len() < total {
+        return Err(CheckpointError::Truncated);
+    }
+    if data.len() > total {
+        return Err(CheckpointError::Malformed(format!(
+            "{} trailing byte(s) after the checkpoint frame",
+            data.len() - total
+        )));
+    }
+    let body = &data[9..9 + body_len];
+    let crc = u32::from_le_bytes(data[9 + body_len..total].try_into().unwrap());
+    if wire::crc32(body) != crc {
+        return Err(CheckpointError::CrcMismatch);
+    }
+
+    let mut r = Reader::new(body);
+    let mut state = FleetState::new(config);
+    let app_count = r.u32("app count")? as usize;
+    for _ in 0..app_count {
+        let name = r.str("app name")?;
+        let current_epoch = r.u64("current epoch")?;
+        let epoch_count = r.u32("epoch count")? as usize;
+        let mut epochs = BTreeMap::new();
+        for _ in 0..epoch_count {
+            let id = r.u64("epoch id")?;
+            let trace_count = r.usize("trace count")?;
+            let clean = r.usize("clean count")?;
+            let recovered = r.usize("recovered count")?;
+            let seen_count = r.u32("seen count")? as usize;
+            let mut seen = BTreeSet::new();
+            for _ in 0..seen_count {
+                let user = r.str("seen user")?;
+                let session = r.u64("seen session")?;
+                seen.insert((user, session));
+            }
+            let q_count = r.u32("quarantine count")? as usize;
+            let mut quarantine = Vec::with_capacity(q_count.min(1 << 16));
+            for _ in 0..q_count {
+                let reason = reason_from_code(r.u8("reject reason")?)?;
+                let user = if r.u8("user flag")? != 0 {
+                    Some(r.str("quarantined user")?)
+                } else {
+                    None
+                };
+                let session = if r.u8("session flag")? != 0 {
+                    Some(r.u64("quarantined session")?)
+                } else {
+                    None
+                };
+                let detail = r.str("quarantine detail")?;
+                quarantine.push(QuarantineEntry {
+                    reason,
+                    user,
+                    session,
+                    detail,
+                });
+            }
+            let partial = read_partial(&mut r)?;
+            if partial.trace_count() != trace_count {
+                return Err(CheckpointError::Malformed(format!(
+                    "epoch {id} claims {trace_count} trace(s) but its \
+                     partial covers {}",
+                    partial.trace_count()
+                )));
+            }
+            let deltas = if partial.is_empty() {
+                Vec::new()
+            } else {
+                vec![partial]
+            };
+            epochs.insert(
+                id,
+                EpochState {
+                    deltas,
+                    trace_count,
+                    seen,
+                    clean,
+                    recovered,
+                    quarantine,
+                },
+            );
+        }
+        state.apps.insert(
+            name,
+            AppState {
+                current_epoch,
+                epochs,
+            },
+        );
+    }
+    if r.remaining() != 0 {
+        return Err(CheckpointError::Malformed(format!(
+            "{} unread byte(s) at the end of the body",
+            r.remaining()
+        )));
+    }
+    Ok(state)
+}
+
+/// Writes the checkpoint atomically into `dir` (created if missing):
+/// temp file first, then rename over [`CHECKPOINT_FILE`]. Returns the
+/// final path.
+///
+/// # Errors
+///
+/// [`CheckpointError::Io`] on any filesystem failure.
+pub fn save_to(
+    state: &FleetState,
+    dir: &Path,
+) -> Result<PathBuf, CheckpointError> {
+    let io = |e: std::io::Error| CheckpointError::Io(e.to_string());
+    std::fs::create_dir_all(dir).map_err(io)?;
+    let tmp = dir.join(format!("{CHECKPOINT_FILE}.tmp"));
+    let final_path = dir.join(CHECKPOINT_FILE);
+    std::fs::write(&tmp, checkpoint_bytes(state)).map_err(io)?;
+    std::fs::rename(&tmp, &final_path).map_err(io)?;
+    Ok(final_path)
+}
+
+/// Loads the checkpoint from `dir`, or `Ok(None)` when none exists
+/// yet (a fresh daemon).
+///
+/// # Errors
+///
+/// Propagates frame/content errors from [`restore_bytes`] and I/O
+/// failures other than the file being absent.
+pub fn load_from(
+    dir: &Path,
+    config: FleetConfig,
+) -> Result<Option<FleetState>, CheckpointError> {
+    let path = dir.join(CHECKPOINT_FILE);
+    let data = match std::fs::read(&path) {
+        Ok(data) => data,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(CheckpointError::Io(e.to_string())),
+    };
+    restore_bytes(&data, config).map(Some)
+}

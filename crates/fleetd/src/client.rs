@@ -1,0 +1,188 @@
+//! Blocking client for the daemon, plus the adapter that lets the
+//! phone-side retry loop ([`energydx_trace::upload`]) talk to a live
+//! daemon: [`TcpBackend`] maps `RetryAfter` responses into
+//! [`TransientUploadError::with_retry_after`], so the daemon's
+//! backpressure becomes the uploader's wait floor.
+
+use crate::protocol::{
+    read_frame, OutcomeCode, ProtocolError, Request, Response,
+};
+use energydx_trace::store::{IngestOutcome, RejectReason};
+use energydx_trace::upload::{TransientUploadError, UploadBackend};
+use std::fmt;
+use std::io::Write as IoWrite;
+use std::net::TcpStream;
+
+/// Why a request failed client-side.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(String),
+    /// The response could not be decoded.
+    Protocol(ProtocolError),
+    /// The server closed the connection before answering.
+    ServerClosed,
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "client i/o: {e}"),
+            ClientError::Protocol(e) => write!(f, "{e}"),
+            ClientError::ServerClosed => {
+                f.write_str("server closed the connection")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// A persistent connection speaking the framed protocol.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to a daemon address like `127.0.0.1:7401`.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] when the connection cannot be established.
+    pub fn connect(addr: &str) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)
+            .map_err(|e| ClientError::Io(e.to_string()))?;
+        stream
+            .set_nodelay(true)
+            .map_err(|e| ClientError::Io(e.to_string()))?;
+        Ok(Client { stream })
+    }
+
+    /// Sends one request and waits for its response.
+    ///
+    /// # Errors
+    ///
+    /// Socket failures, protocol damage, or a mid-request close.
+    pub fn request(&mut self, req: &Request) -> Result<Response, ClientError> {
+        self.stream
+            .write_all(&req.encode())
+            .and_then(|()| self.stream.flush())
+            .map_err(|e| ClientError::Io(e.to_string()))?;
+        match read_frame(&mut self.stream) {
+            Ok(Some(frame)) => {
+                Response::decode(&frame).map_err(ClientError::Protocol)
+            }
+            Ok(None) => Err(ClientError::ServerClosed),
+            Err(e) => Err(ClientError::Protocol(e)),
+        }
+    }
+}
+
+fn reason_from_str(s: &str) -> RejectReason {
+    match s {
+        "undecodable" => RejectReason::Undecodable,
+        "out-of-order-beyond-repair" => RejectReason::OutOfOrderBeyondRepair,
+        "unmatched-beyond-repair" => RejectReason::UnmatchedBeyondRepair,
+        "duplicate" => RejectReason::Duplicate,
+        _ => RejectReason::Invalid,
+    }
+}
+
+/// [`UploadBackend`] over a daemon connection: the phone-side retry
+/// loop pushes payloads through this to a live `fleetd`.
+///
+/// The outcome is reconstructed from the wire's coarse summary:
+/// `Recovered` comes back with empty repair/salvage detail (the full
+/// reports stay server-side, visible via `Stats`), which is all the
+/// retry loop needs — acceptance class and reject reason.
+///
+/// Backpressure handling: a `RetryAfter{ms}` response becomes
+/// [`TransientUploadError::with_retry_after`], and when `pause_cap_ms`
+/// is nonzero the backend also really sleeps `min(ms, cap)` so a
+/// driving loop with a virtual clock still paces itself against a
+/// live daemon.
+#[derive(Debug)]
+pub struct TcpBackend {
+    addr: String,
+    app: String,
+    client: Option<Client>,
+    pause_cap_ms: u64,
+    /// `RetryAfter` responses observed (backpressure made visible).
+    pub retry_after_seen: usize,
+}
+
+impl TcpBackend {
+    /// A backend submitting to `app` on the daemon at `addr`.
+    /// Connects lazily and reconnects after socket failures.
+    pub fn new(addr: impl Into<String>, app: impl Into<String>) -> Self {
+        TcpBackend {
+            addr: addr.into(),
+            app: app.into(),
+            client: None,
+            pause_cap_ms: 0,
+            retry_after_seen: 0,
+        }
+    }
+
+    /// Enables real (bounded) sleeping on `RetryAfter` responses.
+    pub fn with_pause_cap_ms(mut self, cap: u64) -> Self {
+        self.pause_cap_ms = cap;
+        self
+    }
+}
+
+impl UploadBackend for TcpBackend {
+    fn receive(
+        &mut self,
+        payload: &[u8],
+    ) -> Result<IngestOutcome, TransientUploadError> {
+        if self.client.is_none() {
+            self.client = Some(
+                Client::connect(&self.addr)
+                    .map_err(|e| TransientUploadError::new(e.to_string()))?,
+            );
+        }
+        let client = self.client.as_mut().expect("connected above");
+        let req = Request::Submit {
+            app: self.app.clone(),
+            payload: payload.to_vec(),
+        };
+        match client.request(&req) {
+            Ok(Response::Outcome { code, reason }) => Ok(match code {
+                OutcomeCode::Clean => IngestOutcome::Clean,
+                OutcomeCode::Recovered => IngestOutcome::Recovered {
+                    repairs: Vec::new(),
+                    salvage: None,
+                },
+                OutcomeCode::Rejected => {
+                    IngestOutcome::Rejected(reason_from_str(&reason))
+                }
+            }),
+            Ok(Response::RetryAfter { ms }) => {
+                self.retry_after_seen += 1;
+                if self.pause_cap_ms > 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(
+                        ms.min(self.pause_cap_ms),
+                    ));
+                }
+                Err(TransientUploadError::with_retry_after(
+                    "daemon ingest queue is full",
+                    ms,
+                ))
+            }
+            Ok(Response::Error { message }) => {
+                Err(TransientUploadError::new(message))
+            }
+            Ok(other) => Err(TransientUploadError::new(format!(
+                "unexpected response to submit: {other:?}"
+            ))),
+            Err(e) => {
+                // The stream may be desynchronized; reconnect on the
+                // next attempt.
+                self.client = None;
+                Err(TransientUploadError::new(e.to_string()))
+            }
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! The one bundle → powered-trace conversion, shared by every
+//! consumer.
+//!
+//! Batch identity requires the daemon and the batch CLI to convert an
+//! accepted [`TraceBundle`] to a powered trace *identically*: same
+//! power-model seed, same scaling reference, same instance ordering.
+//! Both sides call these functions, so the equality holds by
+//! construction rather than by parallel maintenance.
+
+use energydx::input::DiagnosisInput;
+use energydx_powermodel::{scale_trace, DeviceProfile, PowerModel};
+use energydx_trace::join::{join_power, PoweredInstance};
+use energydx_trace::store::TraceBundle;
+
+/// Seed for the power model's measurement noise. Fixed fleet-wide so
+/// re-estimating a bundle's power is deterministic.
+pub const POWER_SEED: u64 = 99;
+
+/// Converts one accepted bundle to its powered trace: estimate power
+/// from utilization on the bundle's device profile, scale to the
+/// Nexus 6 reference, pair event instances chronologically, join.
+pub fn bundle_to_trace(bundle: &TraceBundle) -> Vec<PoweredInstance> {
+    let profile = DeviceProfile::by_name(&bundle.device);
+    let model = PowerModel::new(profile.clone(), POWER_SEED);
+    let measured = model.estimate_trace(&bundle.utilization);
+    let power = scale_trace(&measured, &profile, &DeviceProfile::nexus6());
+    let mut instances = bundle.events.pair_instances();
+    instances.sort_by_key(|i| i.start_ms);
+    join_power(instances, &power)
+}
+
+/// Converts a slice of bundles, in order, to a [`DiagnosisInput`] —
+/// the batch entry point. Equals [`bundle_to_trace`] applied per
+/// bundle, in the same order.
+pub fn bundles_to_input(bundles: &[TraceBundle]) -> DiagnosisInput {
+    DiagnosisInput::new(bundles.iter().map(bundle_to_trace).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixture;
+
+    #[test]
+    fn conversion_is_deterministic_and_powered() {
+        let b = fixture::bundle("u1", 0);
+        let trace = bundle_to_trace(&b);
+        assert_eq!(trace, bundle_to_trace(&b));
+        assert!(!trace.is_empty());
+        assert!(trace.iter().all(|p| p.power_mw.is_finite()));
+    }
+
+    #[test]
+    fn batch_conversion_equals_per_bundle_conversion() {
+        let bundles = vec![fixture::bundle("u1", 0), fixture::bundle("u2", 3)];
+        let input = bundles_to_input(&bundles);
+        let per: Vec<_> = bundles.iter().map(bundle_to_trace).collect();
+        assert_eq!(input.traces(), per.as_slice());
+    }
+}

@@ -1,0 +1,51 @@
+//! `fleetd`: an incremental fleet-analysis daemon.
+//!
+//! The batch pipeline ingests a fleet of trace uploads, converts them
+//! to powered traces, and runs the 5-step manifestation analysis in
+//! one shot. `fleetd` keeps the same pipeline *resident*: uploads
+//! arrive one at a time over a localhost socket (or an in-process
+//! handle in tests), each is folded into per-app **epoch state** as an
+//! interned [`energydx::shard::ShardPartial`] delta, and queries
+//! finish the folded state into a report on demand.
+//!
+//! The load-bearing property is *batch identity*: because
+//! [`EnergyDx::map_shard`] + merge is associative with
+//! [`ShardPartial::empty`] as the unit, N single-trace deltas merged
+//! in accept order finish to **byte-identical** reports as one batch
+//! run over the same accepted traces. Everything in this crate —
+//! compaction, checkpoint/restore, crash recovery — preserves that
+//! equality, and `tests/diff_harness.rs` at the workspace root proves
+//! it over random schedules of uploads, compactions, checkpoints,
+//! restarts, and queries.
+//!
+//! Module map:
+//!
+//! - [`convert`] — the one shared bundle → powered-trace conversion.
+//! - [`state`] — deterministic epoch state ([`FleetState`]); no I/O.
+//! - [`checkpoint`] — CRC-framed, versioned snapshot of the state.
+//! - [`queue`] — bounded ingest queue with explicit backpressure.
+//! - [`protocol`] — the framed request/response wire protocol.
+//! - [`server`] — the daemon: TCP front end + in-process handle.
+//! - [`client`] — blocking client + an [`UploadBackend`] adapter so
+//!   the phone-side retry loop talks to a live daemon.
+//!
+//! [`EnergyDx::map_shard`]: energydx::EnergyDx::map_shard
+//! [`ShardPartial::empty`]: energydx::shard::ShardPartial::empty
+//! [`UploadBackend`]: energydx_trace::upload::UploadBackend
+
+pub mod checkpoint;
+pub mod client;
+mod codec;
+pub mod convert;
+pub mod fixture;
+pub mod protocol;
+pub mod queue;
+pub mod server;
+pub mod state;
+
+pub use checkpoint::{checkpoint_bytes, restore_bytes, CheckpointError};
+pub use client::{Client, ClientError, TcpBackend};
+pub use protocol::{Request, Response};
+pub use queue::{Enqueue, IngestQueue};
+pub use server::{FleetdHandle, ServerConfig, SubmitReply};
+pub use state::{FleetConfig, FleetState, QueryError};

@@ -1,0 +1,550 @@
+//! The daemon's framed request/response protocol.
+//!
+//! Every message is one CRC-framed unit, in the same defensive style
+//! as wire v2 and the checkpoint format:
+//!
+//! ```text
+//! magic "EDXF" | version u8 = 1 | kind u8 | body_len u32 | body | crc32
+//! ```
+//!
+//! The CRC32 covers `version | kind | body_len | body`, so a flipped
+//! bit anywhere after the magic is caught. Decoding never panics; any
+//! damage maps to a typed [`ProtocolError`] and the server answers
+//! with [`Response::Error`] instead of dropping the connection.
+
+use crate::codec::{CodecError, Reader, Writer};
+use energydx_trace::store::IngestOutcome;
+use energydx_trace::wire;
+use std::fmt;
+use std::io::{self, Read, Write as IoWrite};
+
+const MAGIC: &[u8; 4] = b"EDXF";
+const VERSION: u8 = 1;
+/// Upper bound on a frame body; anything larger is malformed.
+const MAX_BODY: usize = 64 << 20;
+
+/// Why a frame or message could not be decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// Socket-level failure.
+    Io(String),
+    /// The stream does not start a frame with the protocol magic.
+    BadMagic,
+    /// Unknown protocol version.
+    UnsupportedVersion(u8),
+    /// The stream ended inside a frame.
+    Truncated,
+    /// Frame checksum mismatch.
+    CrcMismatch,
+    /// Unknown message kind for this direction.
+    UnknownKind(u8),
+    /// Frame intact, content inconsistent.
+    Malformed(String),
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::Io(e) => write!(f, "protocol i/o: {e}"),
+            ProtocolError::BadMagic => f.write_str("bad frame magic"),
+            ProtocolError::UnsupportedVersion(v) => {
+                write!(f, "unsupported protocol version {v}")
+            }
+            ProtocolError::Truncated => f.write_str("stream ended mid-frame"),
+            ProtocolError::CrcMismatch => {
+                f.write_str("frame fails its CRC32 check")
+            }
+            ProtocolError::UnknownKind(k) => {
+                write!(f, "unknown message kind {k}")
+            }
+            ProtocolError::Malformed(d) => write!(f, "malformed frame: {d}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+impl From<CodecError> for ProtocolError {
+    fn from(e: CodecError) -> Self {
+        ProtocolError::Malformed(e.to_string())
+    }
+}
+
+/// What a client asks the daemon.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Ingest one wire payload into `app`'s current epoch.
+    Submit {
+        /// The app the upload belongs to.
+        app: String,
+        /// The raw wire-v2 payload, passed through opaquely (the
+        /// daemon's ingest pipeline owns decoding and salvage).
+        payload: Vec<u8>,
+    },
+    /// Finish an epoch into a diagnosis report.
+    Diagnose {
+        /// The app to diagnose.
+        app: String,
+        /// Epoch id; `None` = the current epoch.
+        epoch: Option<u64>,
+    },
+    /// Ingestion accounting for every app/epoch.
+    Stats,
+    /// Liveness summary.
+    Health,
+    /// Collapse every epoch's deltas to one canonical partial.
+    Compact,
+    /// Write a checkpoint now.
+    Checkpoint,
+    /// Freeze `app`'s current epoch and open the next one.
+    Rollover {
+        /// The app to roll over.
+        app: String,
+    },
+    /// Flush a final checkpoint and exit gracefully.
+    Shutdown,
+}
+
+/// Coarse submit outcome carried over the wire. Repairs and salvage
+/// reports stay server-side (visible through `Stats`); the client
+/// only needs the acceptance class and, when rejected, the reason.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutcomeCode {
+    /// Stored verbatim.
+    Clean,
+    /// Stored after repair/salvage.
+    Recovered,
+    /// Quarantined.
+    Rejected,
+}
+
+impl OutcomeCode {
+    /// The class of a full [`IngestOutcome`].
+    pub fn of(outcome: &IngestOutcome) -> (OutcomeCode, String) {
+        match outcome {
+            IngestOutcome::Clean => (OutcomeCode::Clean, String::new()),
+            IngestOutcome::Recovered { .. } => {
+                (OutcomeCode::Recovered, String::new())
+            }
+            IngestOutcome::Rejected(reason) => {
+                (OutcomeCode::Rejected, reason.to_string())
+            }
+        }
+    }
+}
+
+/// What the daemon answers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// The submit's ingest outcome (the upload was processed).
+    Outcome {
+        /// Acceptance class.
+        code: OutcomeCode,
+        /// Reject reason (display form), empty unless rejected.
+        reason: String,
+    },
+    /// Backpressure: the ingest queue is full; retry after `ms`.
+    RetryAfter {
+        /// Suggested client-side wait in milliseconds.
+        ms: u64,
+    },
+    /// A canonical-JSON diagnosis report.
+    Report {
+        /// The report bytes, exactly as the batch CLI would print.
+        json: String,
+    },
+    /// Canonical-JSON ingestion accounting.
+    Stats {
+        /// The stats document.
+        json: String,
+    },
+    /// Canonical-JSON liveness summary.
+    Health {
+        /// The health document.
+        json: String,
+    },
+    /// Result of a rollover: the new current epoch.
+    Epoch {
+        /// The freshly opened epoch id.
+        epoch: u64,
+    },
+    /// The request completed with nothing to report.
+    Done,
+    /// The request failed; the message says why.
+    Error {
+        /// Human-readable failure description.
+        message: String,
+    },
+}
+
+fn frame(kind: u8, body: &[u8]) -> Vec<u8> {
+    let mut covered = Vec::with_capacity(6 + body.len());
+    covered.push(VERSION);
+    covered.push(kind);
+    covered.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    covered.extend_from_slice(body);
+    let crc = wire::crc32(&covered);
+    let mut out = Vec::with_capacity(4 + covered.len() + 4);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&covered);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// One decoded frame: the message kind and its body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Message kind byte.
+    pub kind: u8,
+    /// Message body.
+    pub body: Vec<u8>,
+}
+
+/// Writes one frame to a stream.
+///
+/// # Errors
+///
+/// Propagates the stream's I/O errors.
+pub fn write_frame(
+    w: &mut impl IoWrite,
+    kind: u8,
+    body: &[u8],
+) -> io::Result<()> {
+    w.write_all(&frame(kind, body))?;
+    w.flush()
+}
+
+/// Reads one frame from a stream. `Ok(None)` means the peer closed
+/// the connection cleanly at a frame boundary.
+///
+/// # Errors
+///
+/// Any mid-frame EOF, bad magic, version/CRC mismatch, or oversized
+/// body is a typed [`ProtocolError`].
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Frame>, ProtocolError> {
+    // One byte at a time first: EOF before any byte is a clean close,
+    // EOF after a partial magic is a truncated frame.
+    let mut magic = [0u8; 4];
+    let first = r
+        .read(&mut magic[..1])
+        .map_err(|e| ProtocolError::Io(e.to_string()))?;
+    if first == 0 {
+        return Ok(None);
+    }
+    read_fully(r, &mut magic[1..])?;
+    if &magic != MAGIC {
+        return Err(ProtocolError::BadMagic);
+    }
+    let mut head = [0u8; 6];
+    read_fully(r, &mut head)?;
+    let version = head[0];
+    if version != VERSION {
+        return Err(ProtocolError::UnsupportedVersion(version));
+    }
+    let kind = head[1];
+    let body_len = u32::from_le_bytes(head[2..6].try_into().unwrap()) as usize;
+    if body_len > MAX_BODY {
+        return Err(ProtocolError::Malformed(format!(
+            "frame body of {body_len} bytes exceeds the {MAX_BODY} cap"
+        )));
+    }
+    let mut body = vec![0u8; body_len];
+    read_fully(r, &mut body)?;
+    let mut crc_bytes = [0u8; 4];
+    read_fully(r, &mut crc_bytes)?;
+    let mut covered = Vec::with_capacity(6 + body.len());
+    covered.extend_from_slice(&head);
+    covered.extend_from_slice(&body);
+    if wire::crc32(&covered) != u32::from_le_bytes(crc_bytes) {
+        return Err(ProtocolError::CrcMismatch);
+    }
+    Ok(Some(Frame { kind, body }))
+}
+
+fn read_fully(r: &mut impl Read, buf: &mut [u8]) -> Result<(), ProtocolError> {
+    r.read_exact(buf).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            ProtocolError::Truncated
+        } else {
+            ProtocolError::Io(e.to_string())
+        }
+    })
+}
+
+impl Request {
+    /// Encodes the request as one framed message.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        let kind = match self {
+            Request::Submit { app, payload } => {
+                w.str(app);
+                w.bytes(payload);
+                1
+            }
+            Request::Diagnose { app, epoch } => {
+                w.str(app);
+                match epoch {
+                    Some(e) => {
+                        w.u8(1);
+                        w.u64(*e);
+                    }
+                    None => w.u8(0),
+                }
+                2
+            }
+            Request::Stats => 3,
+            Request::Health => 4,
+            Request::Compact => 5,
+            Request::Checkpoint => 6,
+            Request::Rollover { app } => {
+                w.str(app);
+                7
+            }
+            Request::Shutdown => 8,
+        };
+        frame(kind, &w.into_vec())
+    }
+
+    /// Decodes a request from a received frame.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::UnknownKind`] / [`ProtocolError::Malformed`].
+    pub fn decode(frame: &Frame) -> Result<Request, ProtocolError> {
+        let mut r = Reader::new(&frame.body);
+        let req = match frame.kind {
+            1 => Request::Submit {
+                app: r.str("app")?,
+                payload: r.bytes("payload")?,
+            },
+            2 => {
+                let app = r.str("app")?;
+                let epoch = if r.u8("epoch flag")? != 0 {
+                    Some(r.u64("epoch")?)
+                } else {
+                    None
+                };
+                Request::Diagnose { app, epoch }
+            }
+            3 => Request::Stats,
+            4 => Request::Health,
+            5 => Request::Compact,
+            6 => Request::Checkpoint,
+            7 => Request::Rollover { app: r.str("app")? },
+            8 => Request::Shutdown,
+            k => return Err(ProtocolError::UnknownKind(k)),
+        };
+        expect_drained(&r)?;
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Encodes the response as one framed message.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        let kind = match self {
+            Response::Outcome { code, reason } => {
+                w.u8(match code {
+                    OutcomeCode::Clean => 0,
+                    OutcomeCode::Recovered => 1,
+                    OutcomeCode::Rejected => 2,
+                });
+                w.str(reason);
+                1
+            }
+            Response::RetryAfter { ms } => {
+                w.u64(*ms);
+                2
+            }
+            Response::Report { json } => {
+                w.str(json);
+                3
+            }
+            Response::Stats { json } => {
+                w.str(json);
+                4
+            }
+            Response::Health { json } => {
+                w.str(json);
+                5
+            }
+            Response::Epoch { epoch } => {
+                w.u64(*epoch);
+                6
+            }
+            Response::Done => 7,
+            Response::Error { message } => {
+                w.str(message);
+                8
+            }
+        };
+        frame(kind, &w.into_vec())
+    }
+
+    /// Decodes a response from a received frame.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::UnknownKind`] / [`ProtocolError::Malformed`].
+    pub fn decode(frame: &Frame) -> Result<Response, ProtocolError> {
+        let mut r = Reader::new(&frame.body);
+        let resp = match frame.kind {
+            1 => {
+                let code = match r.u8("outcome code")? {
+                    0 => OutcomeCode::Clean,
+                    1 => OutcomeCode::Recovered,
+                    2 => OutcomeCode::Rejected,
+                    c => {
+                        return Err(ProtocolError::Malformed(format!(
+                            "unknown outcome code {c}"
+                        )))
+                    }
+                };
+                Response::Outcome {
+                    code,
+                    reason: r.str("reason")?,
+                }
+            }
+            2 => Response::RetryAfter { ms: r.u64("ms")? },
+            3 => Response::Report {
+                json: r.str("json")?,
+            },
+            4 => Response::Stats {
+                json: r.str("json")?,
+            },
+            5 => Response::Health {
+                json: r.str("json")?,
+            },
+            6 => Response::Epoch {
+                epoch: r.u64("epoch")?,
+            },
+            7 => Response::Done,
+            8 => Response::Error {
+                message: r.str("message")?,
+            },
+            k => return Err(ProtocolError::UnknownKind(k)),
+        };
+        expect_drained(&r)?;
+        Ok(resp)
+    }
+}
+
+fn expect_drained(r: &Reader<'_>) -> Result<(), ProtocolError> {
+    if r.remaining() != 0 {
+        return Err(ProtocolError::Malformed(format!(
+            "{} trailing byte(s) in frame body",
+            r.remaining()
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn requests() -> Vec<Request> {
+        vec![
+            Request::Submit {
+                app: "maps".into(),
+                payload: vec![1, 2, 3],
+            },
+            Request::Diagnose {
+                app: "maps".into(),
+                epoch: Some(4),
+            },
+            Request::Diagnose {
+                app: "maps".into(),
+                epoch: None,
+            },
+            Request::Stats,
+            Request::Health,
+            Request::Compact,
+            Request::Checkpoint,
+            Request::Rollover { app: "maps".into() },
+            Request::Shutdown,
+        ]
+    }
+
+    fn responses() -> Vec<Response> {
+        vec![
+            Response::Outcome {
+                code: OutcomeCode::Clean,
+                reason: String::new(),
+            },
+            Response::Outcome {
+                code: OutcomeCode::Rejected,
+                reason: "duplicate".into(),
+            },
+            Response::RetryAfter { ms: 250 },
+            Response::Report { json: "{}".into() },
+            Response::Stats { json: "{}".into() },
+            Response::Health { json: "{}".into() },
+            Response::Epoch { epoch: 2 },
+            Response::Done,
+            Response::Error {
+                message: "unknown app".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn requests_round_trip_through_a_stream() {
+        for req in requests() {
+            let bytes = req.encode();
+            let mut cursor = io::Cursor::new(bytes);
+            let frame = read_frame(&mut cursor).unwrap().unwrap();
+            assert_eq!(Request::decode(&frame).unwrap(), req);
+            assert!(read_frame(&mut cursor).unwrap().is_none(), "clean EOF");
+        }
+    }
+
+    #[test]
+    fn responses_round_trip_through_a_stream() {
+        for resp in responses() {
+            let bytes = resp.encode();
+            let mut cursor = io::Cursor::new(bytes);
+            let frame = read_frame(&mut cursor).unwrap().unwrap();
+            assert_eq!(Response::decode(&frame).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn corrupt_frames_are_typed_errors_not_panics() {
+        let good = Request::Stats.encode();
+        // Flip one bit in every position after the magic: all must be
+        // caught by the CRC (or the version check), none may panic.
+        for i in 4..good.len() {
+            let mut bad = good.clone();
+            bad[i] ^= 0x10;
+            let err = read_frame(&mut io::Cursor::new(bad)).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    ProtocolError::CrcMismatch
+                        | ProtocolError::UnsupportedVersion(_)
+                        | ProtocolError::Truncated
+                        | ProtocolError::Malformed(_)
+                ),
+                "byte {i}: {err:?}"
+            );
+        }
+        // Wrong magic.
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        assert_eq!(
+            read_frame(&mut io::Cursor::new(bad)).unwrap_err(),
+            ProtocolError::BadMagic
+        );
+        // Truncation at every boundary inside the frame.
+        for cut in 1..good.len() {
+            let err =
+                read_frame(&mut io::Cursor::new(&good[..cut])).unwrap_err();
+            assert!(
+                matches!(err, ProtocolError::Truncated | ProtocolError::Io(_)),
+                "cut {cut}: {err:?}"
+            );
+        }
+    }
+}

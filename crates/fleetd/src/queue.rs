@@ -1,0 +1,209 @@
+//! The bounded ingest queue: explicit backpressure, total accounting.
+//!
+//! Submissions either enter the queue (and later get their real
+//! [`IngestOutcome`] through a per-job reply slot) or are turned away
+//! *immediately* with [`Enqueue::Full`] — the daemon never buffers
+//! unboundedly and never drops silently. The server translates `Full`
+//! into a `RetryAfter` response, which the phone-side retry loop
+//! ([`energydx_trace::upload`]) consumes as a wait floor. Every
+//! submission therefore ends in exactly one of: accepted, salvaged,
+//! quarantined, or retried by the client.
+
+use energydx_trace::store::IngestOutcome;
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::{Condvar, Mutex};
+
+/// One queued upload plus the slot its outcome is delivered through.
+#[derive(Debug)]
+pub struct Job {
+    /// Target app.
+    pub app: String,
+    /// Raw wire payload.
+    pub payload: Vec<u8>,
+    reply: mpsc::SyncSender<IngestOutcome>,
+}
+
+impl Job {
+    /// Delivers the ingest outcome to the waiting submitter. A
+    /// submitter that gave up (dropped its receiver) is fine — the
+    /// outcome is simply discarded, the state update already
+    /// happened.
+    pub fn complete(self, outcome: IngestOutcome) {
+        let _ = self.reply.send(outcome);
+    }
+}
+
+/// Result of [`IngestQueue::submit`].
+#[derive(Debug)]
+pub enum Enqueue {
+    /// Queued; await the outcome on this receiver.
+    Queued(mpsc::Receiver<IngestOutcome>),
+    /// The queue is at capacity; retry later.
+    Full,
+    /// The daemon is shutting down; no more submissions.
+    Closed,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    items: VecDeque<Job>,
+    max_seen: usize,
+    shed: usize,
+    closed: bool,
+}
+
+/// Fixed-capacity MPSC queue between connection handlers and the
+/// single ingest worker.
+#[derive(Debug)]
+pub struct IngestQueue {
+    depth: usize,
+    inner: Mutex<Inner>,
+    not_empty: Condvar,
+}
+
+impl IngestQueue {
+    /// A queue holding at most `depth` pending uploads (min 1).
+    pub fn new(depth: usize) -> Self {
+        IngestQueue {
+            depth: depth.max(1),
+            inner: Mutex::new(Inner::default()),
+            not_empty: Condvar::new(),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Offers one upload. Never blocks: a full queue answers
+    /// [`Enqueue::Full`] right away so the caller can propagate
+    /// backpressure instead of waiting invisibly.
+    pub fn submit(&self, app: String, payload: Vec<u8>) -> Enqueue {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.closed {
+            return Enqueue::Closed;
+        }
+        if inner.items.len() >= self.depth {
+            inner.shed += 1;
+            return Enqueue::Full;
+        }
+        let (tx, rx) = mpsc::sync_channel(1);
+        inner.items.push_back(Job {
+            app,
+            payload,
+            reply: tx,
+        });
+        inner.max_seen = inner.max_seen.max(inner.items.len());
+        drop(inner);
+        self.not_empty.notify_one();
+        Enqueue::Queued(rx)
+    }
+
+    /// Takes the next job, blocking while the queue is empty. After
+    /// [`IngestQueue::close`], drains the remaining jobs and then
+    /// returns `None` — nothing already accepted into the queue is
+    /// lost on shutdown.
+    pub fn pop(&self) -> Option<Job> {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if let Some(job) = inner.items.pop_front() {
+                return Some(job);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.not_empty.wait(inner).unwrap();
+        }
+    }
+
+    /// Stops accepting new submissions and wakes the worker so it can
+    /// drain and exit.
+    pub fn close(&self) {
+        self.inner.lock().unwrap().closed = true;
+        self.not_empty.notify_all();
+    }
+
+    /// Uploads currently queued.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// High-water mark of the queue length — must never exceed
+    /// [`IngestQueue::depth`].
+    pub fn max_depth_seen(&self) -> usize {
+        self.inner.lock().unwrap().max_seen
+    }
+
+    /// Submissions turned away with [`Enqueue::Full`].
+    pub fn shed_count(&self) -> usize {
+        self.inner.lock().unwrap().shed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn full_queue_sheds_instead_of_blocking() {
+        let q = IngestQueue::new(2);
+        let _a = q.submit("app".into(), vec![1]);
+        let _b = q.submit("app".into(), vec![2]);
+        assert!(matches!(q.submit("app".into(), vec![3]), Enqueue::Full));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.shed_count(), 1);
+        assert_eq!(q.max_depth_seen(), 2);
+    }
+
+    #[test]
+    fn outcomes_flow_back_through_the_reply_slot() {
+        let q = Arc::new(IngestQueue::new(4));
+        let rx = match q.submit("app".into(), vec![9]) {
+            Enqueue::Queued(rx) => rx,
+            other => panic!("expected Queued, got {other:?}"),
+        };
+        let worker = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let job = q.pop().unwrap();
+                assert_eq!(job.payload, vec![9]);
+                job.complete(IngestOutcome::Clean);
+            })
+        };
+        assert_eq!(rx.recv().unwrap(), IngestOutcome::Clean);
+        worker.join().unwrap();
+    }
+
+    #[test]
+    fn close_drains_pending_jobs_then_stops() {
+        let q = IngestQueue::new(4);
+        let _rx1 = q.submit("app".into(), vec![1]);
+        let _rx2 = q.submit("app".into(), vec![2]);
+        q.close();
+        assert!(matches!(q.submit("app".into(), vec![3]), Enqueue::Closed));
+        assert!(q.pop().is_some());
+        assert!(q.pop().is_some());
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn pop_blocks_until_a_job_or_close() {
+        let q = Arc::new(IngestQueue::new(1));
+        let popper = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop().is_none())
+        };
+        // Give the popper time to park, then close.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert!(popper.join().unwrap(), "pop after close must be None");
+    }
+}

@@ -1,0 +1,399 @@
+//! The daemon itself: a bounded ingest queue, one ingest worker, and
+//! a localhost TCP front end.
+//!
+//! Architecture: connection handlers (one thread per connection)
+//! decode framed requests and either answer queries against a
+//! snapshot of the shared [`FleetState`] or offer uploads to the
+//! [`IngestQueue`]. A single ingest worker drains the queue in FIFO
+//! order — which is what makes "accept order" well-defined — and
+//! folds each upload into the state. Queries lock the state only long
+//! enough to fold and finish, so a report is always a consistent
+//! snapshot: it sees every upload acknowledged before the query and
+//! none of the ones after.
+//!
+//! Backpressure is explicit end to end: a full queue answers
+//! `RetryAfter` immediately, the client's retry loop waits at least
+//! that long, and nothing is ever dropped without an outcome.
+//!
+//! [`FleetdHandle`] is the in-process face of the daemon (tests and
+//! benches drive it directly, no sockets); [`serve`] puts the framed
+//! TCP protocol in front of it.
+
+use crate::checkpoint::{self, CheckpointError};
+use crate::protocol::{read_frame, OutcomeCode, Request, Response};
+use crate::queue::{Enqueue, IngestQueue};
+use crate::state::{FleetConfig, FleetState, QueryError};
+use energydx_trace::store::IngestOutcome;
+use std::io::Write as IoWrite;
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Daemon deployment configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Analysis/repair/compaction parameters of the resident state.
+    pub fleet: FleetConfig,
+    /// Ingest queue capacity; beyond it submissions get `RetryAfter`.
+    pub queue_depth: usize,
+    /// The wait the daemon suggests when shedding load, in ms.
+    pub retry_after_ms: u64,
+    /// Artificial per-upload ingest delay in ms (test lever: makes
+    /// backpressure deterministic by slowing the worker down).
+    pub ingest_delay_ms: u64,
+    /// Directory holding the checkpoint; `None` = in-memory only.
+    pub state_dir: Option<PathBuf>,
+    /// Auto-checkpoint after this many accepted uploads; `0` = only
+    /// on request and at shutdown.
+    pub checkpoint_every: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            fleet: FleetConfig::default(),
+            queue_depth: 64,
+            retry_after_ms: 50,
+            ingest_delay_ms: 0,
+            state_dir: None,
+            checkpoint_every: 0,
+        }
+    }
+}
+
+/// What a submission came back with.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SubmitReply {
+    /// Processed; this is the real ingest outcome.
+    Outcome(IngestOutcome),
+    /// Shed by the full queue; retry after the given wait.
+    RetryAfter {
+        /// Suggested wait in milliseconds.
+        ms: u64,
+    },
+    /// The daemon is draining for shutdown; no new uploads.
+    ShuttingDown,
+}
+
+/// The in-process daemon: shared state + queue + ingest worker.
+#[derive(Debug)]
+pub struct FleetdHandle {
+    state: Arc<Mutex<FleetState>>,
+    queue: Arc<IngestQueue>,
+    retry_after_ms: u64,
+    state_dir: Option<PathBuf>,
+    worker: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl FleetdHandle {
+    /// Starts the daemon: restores the checkpoint when the state
+    /// directory holds one, then spawns the ingest worker.
+    ///
+    /// # Errors
+    ///
+    /// Propagates checkpoint restore failures — a daemon must refuse
+    /// to start over state it cannot trust, rather than silently
+    /// analyze a partial fleet.
+    pub fn start(config: ServerConfig) -> Result<Self, CheckpointError> {
+        let state = match &config.state_dir {
+            Some(dir) => checkpoint::load_from(dir, config.fleet.clone())?
+                .unwrap_or_else(|| FleetState::new(config.fleet.clone())),
+            None => FleetState::new(config.fleet.clone()),
+        };
+        let state = Arc::new(Mutex::new(state));
+        let queue = Arc::new(IngestQueue::new(config.queue_depth));
+        let worker = {
+            let state = Arc::clone(&state);
+            let queue = Arc::clone(&queue);
+            let state_dir = config.state_dir.clone();
+            let every = config.checkpoint_every;
+            let delay = config.ingest_delay_ms;
+            std::thread::spawn(move || {
+                let mut since_checkpoint = 0usize;
+                while let Some(job) = queue.pop() {
+                    if delay > 0 {
+                        std::thread::sleep(std::time::Duration::from_millis(
+                            delay,
+                        ));
+                    }
+                    let outcome =
+                        state.lock().unwrap().submit(&job.app, &job.payload);
+                    if outcome.accepted() {
+                        since_checkpoint += 1;
+                    }
+                    if let Some(dir) = &state_dir {
+                        if every > 0 && since_checkpoint >= every {
+                            since_checkpoint = 0;
+                            // Best-effort: a failed periodic snapshot
+                            // must not take ingestion down.
+                            if let Err(e) =
+                                checkpoint::save_to(&state.lock().unwrap(), dir)
+                            {
+                                eprintln!("fleetd: checkpoint failed: {e}");
+                            }
+                        }
+                    }
+                    job.complete(outcome);
+                }
+            })
+        };
+        Ok(FleetdHandle {
+            state,
+            queue,
+            retry_after_ms: config.retry_after_ms,
+            state_dir: config.state_dir,
+            worker: Mutex::new(Some(worker)),
+        })
+    }
+
+    /// Offers one upload. Blocks only while the upload is actually
+    /// being ingested; a full queue returns immediately.
+    pub fn submit(&self, app: &str, payload: Vec<u8>) -> SubmitReply {
+        match self.queue.submit(app.to_string(), payload) {
+            Enqueue::Queued(rx) => match rx.recv() {
+                Ok(outcome) => SubmitReply::Outcome(outcome),
+                Err(_) => SubmitReply::ShuttingDown,
+            },
+            Enqueue::Full => SubmitReply::RetryAfter {
+                ms: self.retry_after_ms,
+            },
+            Enqueue::Closed => SubmitReply::ShuttingDown,
+        }
+    }
+
+    /// Canonical-JSON diagnosis of `app`'s epoch, snapshot-consistent.
+    ///
+    /// # Errors
+    ///
+    /// As [`FleetState::diagnose_json`].
+    pub fn diagnose_json(
+        &self,
+        app: &str,
+        epoch: Option<u64>,
+    ) -> Result<String, QueryError> {
+        self.state.lock().unwrap().diagnose_json(app, epoch)
+    }
+
+    /// Server-level stats: queue accounting spliced into the state's
+    /// per-app accounting, as one canonical JSON document.
+    pub fn stats_json(&self) -> String {
+        let state_json = self.state.lock().unwrap().stats_json();
+        let body = state_json.strip_suffix('}').unwrap_or(&state_json);
+        format!(
+            "{body},\"queue\":{{\"depth\":{},\"max_seen\":{},\
+             \"pending\":{},\"shed\":{}}}}}",
+            self.queue.depth(),
+            self.queue.max_depth_seen(),
+            self.queue.len(),
+            self.queue.shed_count()
+        )
+    }
+
+    /// Liveness summary with queue occupancy.
+    pub fn health_json(&self) -> String {
+        let state = self.state.lock().unwrap();
+        let epochs: usize =
+            state.apps().values().map(|a| a.epochs().len()).sum();
+        format!(
+            "{{\"apps\":{},\"epochs\":{},\"pending\":{},\
+             \"quarantined\":{},\"status\":\"ok\",\"traces\":{}}}",
+            state.apps().len(),
+            epochs,
+            self.queue.len(),
+            state.quarantined_total(),
+            state.accepted_total()
+        )
+    }
+
+    /// Collapses every epoch's deltas; returns epochs compacted.
+    pub fn compact(&self) -> usize {
+        self.state.lock().unwrap().compact()
+    }
+
+    /// Writes a checkpoint now. `Ok(None)` when the daemon runs
+    /// without a state directory.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Io`] on filesystem failure.
+    pub fn checkpoint_now(&self) -> Result<Option<PathBuf>, CheckpointError> {
+        match &self.state_dir {
+            Some(dir) => {
+                let state = self.state.lock().unwrap();
+                checkpoint::save_to(&state, dir).map(Some)
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Freezes `app`'s current epoch; returns the new epoch id.
+    pub fn rollover(&self, app: &str) -> u64 {
+        self.state.lock().unwrap().rollover(app)
+    }
+
+    /// Queue high-water mark (for backpressure assertions).
+    pub fn max_queue_depth_seen(&self) -> usize {
+        self.queue.max_depth_seen()
+    }
+
+    /// Submissions shed with `RetryAfter` so far.
+    pub fn shed_count(&self) -> usize {
+        self.queue.shed_count()
+    }
+
+    /// Graceful shutdown: stop accepting, drain the queue, join the
+    /// worker, flush a final checkpoint. Idempotent.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Io`] if the final flush fails.
+    pub fn shutdown(&self) -> Result<(), CheckpointError> {
+        self.queue.close();
+        if let Some(worker) = self.worker.lock().unwrap().take() {
+            let _ = worker.join();
+        }
+        if let Some(dir) = &self.state_dir {
+            let state = self.state.lock().unwrap();
+            checkpoint::save_to(&state, dir)?;
+        }
+        Ok(())
+    }
+}
+
+fn dispatch(handle: &FleetdHandle, req: Request) -> Response {
+    match req {
+        Request::Submit { app, payload } => {
+            match handle.submit(&app, payload) {
+                SubmitReply::Outcome(outcome) => {
+                    let (code, reason) = OutcomeCode::of(&outcome);
+                    Response::Outcome { code, reason }
+                }
+                SubmitReply::RetryAfter { ms } => Response::RetryAfter { ms },
+                SubmitReply::ShuttingDown => Response::Error {
+                    message: "daemon is shutting down".to_string(),
+                },
+            }
+        }
+        Request::Diagnose { app, epoch } => {
+            match handle.diagnose_json(&app, epoch) {
+                Ok(json) => Response::Report { json },
+                Err(e) => Response::Error {
+                    message: e.to_string(),
+                },
+            }
+        }
+        Request::Stats => Response::Stats {
+            json: handle.stats_json(),
+        },
+        Request::Health => Response::Health {
+            json: handle.health_json(),
+        },
+        Request::Compact => {
+            handle.compact();
+            Response::Done
+        }
+        Request::Checkpoint => match handle.checkpoint_now() {
+            Ok(_) => Response::Done,
+            Err(e) => Response::Error {
+                message: e.to_string(),
+            },
+        },
+        Request::Rollover { app } => Response::Epoch {
+            epoch: handle.rollover(&app),
+        },
+        Request::Shutdown => Response::Done,
+    }
+}
+
+/// Serves the framed protocol on `listener` until a `Shutdown`
+/// request arrives, then drains and checkpoints via
+/// [`FleetdHandle::shutdown`]. One thread per connection; the single
+/// ingest worker behind the queue serializes state updates.
+///
+/// # Errors
+///
+/// Socket-level failures of the listener itself and final-checkpoint
+/// failures.
+pub fn serve(
+    listener: TcpListener,
+    handle: Arc<FleetdHandle>,
+) -> std::io::Result<()> {
+    let local = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut conns = Vec::new();
+    let mut peers: Vec<TcpStream> = Vec::new();
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        if let Ok(clone) = stream.try_clone() {
+            peers.push(clone);
+        }
+        let handle = Arc::clone(&handle);
+        let stop = Arc::clone(&stop);
+        conns.push(std::thread::spawn(move || {
+            handle_connection(stream, &handle, &stop, local);
+        }));
+    }
+    // Unblock handlers parked in `read_frame` on idle connections —
+    // every request sent before shutdown has been answered, so
+    // cutting the sockets loses nothing.
+    for peer in peers {
+        let _ = peer.shutdown(std::net::Shutdown::Both);
+    }
+    for conn in conns {
+        let _ = conn.join();
+    }
+    handle
+        .shutdown()
+        .map_err(|e| std::io::Error::other(e.to_string()))
+}
+
+fn handle_connection(
+    mut stream: TcpStream,
+    handle: &FleetdHandle,
+    stop: &AtomicBool,
+    local: std::net::SocketAddr,
+) {
+    loop {
+        let frame = match read_frame(&mut stream) {
+            Ok(Some(frame)) => frame,
+            Ok(None) => break,
+            Err(e) => {
+                // Answer with a typed error, then drop the
+                // connection: after a framing failure the stream
+                // position is unreliable.
+                let resp = Response::Error {
+                    message: e.to_string(),
+                };
+                let _ = stream.write_all(&resp.encode());
+                break;
+            }
+        };
+        let (resp, is_shutdown) = match Request::decode(&frame) {
+            Ok(req) => {
+                let is_shutdown = matches!(req, Request::Shutdown);
+                (dispatch(handle, req), is_shutdown)
+            }
+            Err(e) => (
+                Response::Error {
+                    message: e.to_string(),
+                },
+                false,
+            ),
+        };
+        if stream.write_all(&resp.encode()).is_err() {
+            break;
+        }
+        let _ = stream.flush();
+        if is_shutdown {
+            stop.store(true, Ordering::SeqCst);
+            // Wake the accept loop so it observes the stop flag.
+            let _ = TcpStream::connect(local);
+            break;
+        }
+    }
+}

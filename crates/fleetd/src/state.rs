@@ -1,0 +1,573 @@
+//! Deterministic fleet state: per-app epochs of interned deltas.
+//!
+//! [`FleetState`] is the daemon's brain with everything nondeterminism
+//! stripped away: no threads, no sockets, no clocks. Each accepted
+//! upload costs one [`EnergyDx::map_shard`] over a single trace plus
+//! one merge at query/compaction time — never a re-analysis of the
+//! epoch — and every query folds the epoch's deltas in accept order,
+//! so the report is byte-identical to a batch
+//! [`EnergyDx::diagnose_reference`] over the same accepted traces in
+//! the same order. The differential harness drives this type directly;
+//! the server wraps it in a mutex and feeds it from the ingest queue.
+//!
+//! [`EnergyDx::map_shard`]: energydx::EnergyDx::map_shard
+//! [`EnergyDx::diagnose_reference`]: energydx::EnergyDx::diagnose_reference
+
+use crate::convert;
+use energydx::report::DiagnosisReport;
+use energydx::shard::ShardPartial;
+use energydx::{AnalysisConfig, EnergyDx};
+use energydx_trace::repair::RepairPolicy;
+use energydx_trace::store::{
+    prepare_wire, IngestOutcome, PreparedUpload, QuarantineEntry, RejectReason,
+};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Everything that parameterizes the analysis a daemon serves.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// The 5-step analysis configuration (fraction, top-k, fences...).
+    pub analysis: AnalysisConfig,
+    /// Worker-pool size for map/analyze phases; `0` = all cores.
+    pub jobs: usize,
+    /// Bounds on upload repair, as in [`energydx_trace::store`].
+    pub repair: RepairPolicy,
+    /// Auto-compact an epoch once it holds this many deltas;
+    /// `0` disables auto-compaction (explicit requests still work).
+    pub compact_every: usize,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            analysis: AnalysisConfig::default(),
+            // One worker: the daemon's latency budget is dominated by
+            // single-trace maps, where a pool would only add overhead.
+            jobs: 1,
+            repair: RepairPolicy::default(),
+            compact_every: 16,
+        }
+    }
+}
+
+/// One epoch of one app: the accepted traces as mergeable deltas plus
+/// the bookkeeping that makes re-submission and audit possible.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EpochState {
+    /// Un-merged partials, in accept order. Compaction collapses the
+    /// list to one canonical partial; by associativity the fold value
+    /// never changes.
+    pub(crate) deltas: Vec<ShardPartial>,
+    /// Traces accepted so far == the next trace's global offset.
+    pub(crate) trace_count: usize,
+    /// `(user, session)` keys already accepted, for retry dedup.
+    pub(crate) seen: BTreeSet<(String, u64)>,
+    /// Uploads stored verbatim.
+    pub(crate) clean: usize,
+    /// Uploads stored after repair/salvage.
+    pub(crate) recovered: usize,
+    /// Quarantined uploads, in arrival order.
+    pub(crate) quarantine: Vec<QuarantineEntry>,
+}
+
+impl EpochState {
+    /// Traces accepted into this epoch.
+    pub fn trace_count(&self) -> usize {
+        self.trace_count
+    }
+
+    /// Deltas currently held (1 after compaction, more between).
+    pub fn delta_count(&self) -> usize {
+        self.deltas.len()
+    }
+
+    /// Uploads stored verbatim.
+    pub fn clean(&self) -> usize {
+        self.clean
+    }
+
+    /// Uploads stored after repair/salvage.
+    pub fn recovered(&self) -> usize {
+        self.recovered
+    }
+
+    /// Quarantined uploads, in arrival order.
+    pub fn quarantine(&self) -> &[QuarantineEntry] {
+        &self.quarantine
+    }
+
+    /// Per-reason counts of quarantined uploads.
+    pub fn quarantine_counters(&self) -> BTreeMap<RejectReason, usize> {
+        let mut counters = BTreeMap::new();
+        for entry in &self.quarantine {
+            *counters.entry(entry.reason).or_insert(0) += 1;
+        }
+        counters
+    }
+
+    /// The epoch's canonical partial: its deltas folded in accept
+    /// order.
+    pub fn folded(&self) -> ShardPartial {
+        self.deltas
+            .iter()
+            .cloned()
+            .fold(ShardPartial::empty(), ShardPartial::merge)
+    }
+
+    fn compact(&mut self) -> bool {
+        if self.deltas.len() <= 1 {
+            return false;
+        }
+        let merged = self.folded();
+        self.deltas = vec![merged];
+        true
+    }
+}
+
+/// One app's epochs. Rollover freezes the current epoch (it stays
+/// queryable) and starts a fresh one.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AppState {
+    pub(crate) current_epoch: u64,
+    pub(crate) epochs: BTreeMap<u64, EpochState>,
+}
+
+impl AppState {
+    /// The epoch new uploads land in.
+    pub fn current_epoch(&self) -> u64 {
+        self.current_epoch
+    }
+
+    /// All epochs, oldest first.
+    pub fn epochs(&self) -> &BTreeMap<u64, EpochState> {
+        &self.epochs
+    }
+
+    fn current_mut(&mut self) -> &mut EpochState {
+        self.epochs.entry(self.current_epoch).or_default()
+    }
+}
+
+/// Why a query could not be answered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// No uploads have been accepted for this app.
+    UnknownApp(String),
+    /// The app exists but has no such epoch.
+    UnknownEpoch {
+        /// The app queried.
+        app: String,
+        /// The epoch requested.
+        epoch: u64,
+    },
+    /// The analysis itself failed (cannot happen for state built
+    /// through [`FleetState::submit`]; kept typed for the protocol).
+    Analysis(String),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::UnknownApp(app) => {
+                write!(f, "unknown app {app:?}")
+            }
+            QueryError::UnknownEpoch { app, epoch } => {
+                write!(f, "app {app:?} has no epoch {epoch}")
+            }
+            QueryError::Analysis(e) => write!(f, "analysis failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// The daemon's resident state: per-app epoch state plus the shared
+/// analysis pipeline. Purely deterministic; all I/O lives elsewhere.
+#[derive(Debug)]
+pub struct FleetState {
+    pub(crate) config: FleetConfig,
+    pub(crate) dx: EnergyDx,
+    pub(crate) apps: BTreeMap<String, AppState>,
+}
+
+impl FleetState {
+    /// An empty fleet under `config`.
+    pub fn new(config: FleetConfig) -> Self {
+        let dx = EnergyDx::new(config.analysis.clone()).with_jobs(config.jobs);
+        FleetState {
+            config,
+            dx,
+            apps: BTreeMap::new(),
+        }
+    }
+
+    /// The configuration the state was built with.
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// Per-app state, for assertions and the checkpointer.
+    pub fn apps(&self) -> &BTreeMap<String, AppState> {
+        &self.apps
+    }
+
+    /// Total accepted traces across all apps and epochs.
+    pub fn accepted_total(&self) -> usize {
+        self.apps
+            .values()
+            .flat_map(|a| a.epochs.values())
+            .map(EpochState::trace_count)
+            .sum()
+    }
+
+    /// Total quarantined uploads across all apps and epochs.
+    pub fn quarantined_total(&self) -> usize {
+        self.apps
+            .values()
+            .flat_map(|a| a.epochs.values())
+            .map(|e| e.quarantine.len())
+            .sum()
+    }
+
+    /// Ingests one wire payload into `app`'s current epoch: the shared
+    /// decode → salvage → anonymize → repair → validate pipeline, then
+    /// per-epoch `(user, session)` dedup, then one single-trace
+    /// [`EnergyDx::map_shard`] at the epoch's running offset.
+    ///
+    /// Total accounting: every submission maps to exactly one
+    /// [`IngestOutcome`]; rejected uploads land in the epoch's
+    /// quarantine with a [`QuarantineEntry`], mirroring
+    /// [`energydx_trace::store::TraceStore`] exactly.
+    ///
+    /// [`EnergyDx::map_shard`]: energydx::EnergyDx::map_shard
+    pub fn submit(&mut self, app: &str, payload: &[u8]) -> IngestOutcome {
+        let prepared = prepare_wire(payload, &self.config.repair);
+        self.submit_prepared(app, prepared)
+    }
+
+    /// The post-pipeline half of [`FleetState::submit`], for callers
+    /// that already hold a [`PreparedUpload`].
+    pub fn submit_prepared(
+        &mut self,
+        app: &str,
+        prepared: PreparedUpload,
+    ) -> IngestOutcome {
+        let compact_every = self.config.compact_every;
+        let epoch = self.apps.entry(app.to_string()).or_default().current_mut();
+        match prepared {
+            PreparedUpload::Rejected(entry) => {
+                let outcome = IngestOutcome::Rejected(entry.reason);
+                epoch.quarantine.push(entry);
+                outcome
+            }
+            PreparedUpload::Ready {
+                bundle,
+                repairs,
+                salvage,
+            } => {
+                if !epoch.seen.insert((bundle.user.clone(), bundle.session)) {
+                    epoch.quarantine.push(QuarantineEntry {
+                        reason: RejectReason::Duplicate,
+                        user: Some(bundle.user.clone()),
+                        session: Some(bundle.session),
+                        detail: format!(
+                            "session {} for user {} already accepted",
+                            bundle.session, bundle.user
+                        ),
+                    });
+                    return IngestOutcome::Rejected(RejectReason::Duplicate);
+                }
+                let trace = convert::bundle_to_trace(&bundle);
+                let delta = self.dx.map_shard(&[trace], epoch.trace_count);
+                epoch.trace_count += 1;
+                epoch.deltas.push(delta);
+                let outcome = if repairs.is_empty() && salvage.is_none() {
+                    epoch.clean += 1;
+                    IngestOutcome::Clean
+                } else {
+                    epoch.recovered += 1;
+                    IngestOutcome::Recovered { repairs, salvage }
+                };
+                if compact_every > 0 && epoch.deltas.len() >= compact_every {
+                    epoch.compact();
+                }
+                outcome
+            }
+        }
+    }
+
+    /// Collapses every epoch's delta list into one canonical partial.
+    /// Returns how many epochs actually shrank. Merge associativity
+    /// guarantees queries before and after compaction are
+    /// byte-identical.
+    pub fn compact(&mut self) -> usize {
+        self.apps
+            .values_mut()
+            .flat_map(|a| a.epochs.values_mut())
+            .map(|e| usize::from(e.compact()))
+            .sum()
+    }
+
+    /// Freezes `app`'s current epoch and opens the next one; returns
+    /// the new epoch id. Frozen epochs stay queryable by id.
+    pub fn rollover(&mut self, app: &str) -> u64 {
+        let state = self.apps.entry(app.to_string()).or_default();
+        // Materialize the epoch being frozen even if it is empty, so
+        // its id stays queryable.
+        state.current_mut();
+        state.current_epoch += 1;
+        state.current_mut();
+        state.current_epoch
+    }
+
+    fn epoch(
+        &self,
+        app: &str,
+        epoch: Option<u64>,
+    ) -> Result<&EpochState, QueryError> {
+        let state = self
+            .apps
+            .get(app)
+            .ok_or_else(|| QueryError::UnknownApp(app.to_string()))?;
+        let id = epoch.unwrap_or(state.current_epoch);
+        state
+            .epochs
+            .get(&id)
+            .ok_or_else(|| QueryError::UnknownEpoch {
+                app: app.to_string(),
+                epoch: id,
+            })
+    }
+
+    /// Finishes `app`'s epoch (current when `None`) into a full
+    /// diagnosis report — the incremental result that must equal the
+    /// batch run.
+    ///
+    /// # Errors
+    ///
+    /// [`QueryError::UnknownApp`] / [`QueryError::UnknownEpoch`] when
+    /// nothing was ever accepted under that name.
+    pub fn diagnose(
+        &self,
+        app: &str,
+        epoch: Option<u64>,
+    ) -> Result<DiagnosisReport, QueryError> {
+        let partial = self.epoch(app, epoch)?.folded();
+        self.dx
+            .finish(partial)
+            .map_err(|e| QueryError::Analysis(e.to_string()))
+    }
+
+    /// [`FleetState::diagnose`] rendered as canonical JSON — the byte
+    /// string the differential harness compares.
+    ///
+    /// # Errors
+    ///
+    /// As [`FleetState::diagnose`].
+    pub fn diagnose_json(
+        &self,
+        app: &str,
+        epoch: Option<u64>,
+    ) -> Result<String, QueryError> {
+        Ok(self.diagnose(app, epoch)?.to_canonical_json())
+    }
+
+    /// Ingestion accounting as canonical JSON: per app, per epoch —
+    /// clean/recovered counts, per-reason quarantine counters, trace
+    /// and delta counts. Keys are sorted; equal states render equal
+    /// bytes.
+    pub fn stats_json(&self) -> String {
+        let mut out = String::from("{\"apps\":{");
+        for (i, (app, state)) in self.apps.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{}:{{\"current_epoch\":{},\"epochs\":{{",
+                json_str(app),
+                state.current_epoch
+            ));
+            for (j, (id, e)) in state.epochs.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "\"{id}\":{{\"clean\":{},\"deltas\":{},\"quarantined\":{{",
+                    e.clean,
+                    e.deltas.len()
+                ));
+                for (k, (reason, n)) in
+                    e.quarantine_counters().iter().enumerate()
+                {
+                    if k > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&format!("\"{reason}\":{n}"));
+                }
+                out.push_str(&format!(
+                    "}},\"recovered\":{},\"traces\":{}}}",
+                    e.recovered, e.trace_count
+                ));
+            }
+            out.push_str("}}");
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Liveness summary as canonical JSON.
+    pub fn health_json(&self) -> String {
+        let epochs: usize = self.apps.values().map(|a| a.epochs.len()).sum();
+        format!(
+            "{{\"apps\":{},\"epochs\":{},\"quarantined\":{},\
+             \"status\":\"ok\",\"traces\":{}}}",
+            self.apps.len(),
+            epochs,
+            self.quarantined_total(),
+            self.accepted_total()
+        )
+    }
+}
+
+/// Minimal JSON string rendering (quotes, backslashes, control chars).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixture::{bundle, payload};
+
+    #[test]
+    fn incremental_submissions_equal_batch_reference() {
+        let mut state = FleetState::new(FleetConfig::default());
+        let mut bundles = Vec::new();
+        for s in 0..6 {
+            let outcome = state.submit("app", &payload("u", s));
+            assert_eq!(outcome, IngestOutcome::Clean);
+            let mut b = bundle("u", s);
+            b.anonymize();
+            bundles.push(b);
+        }
+        let input = crate::convert::bundles_to_input(&bundles);
+        let reference = EnergyDx::default()
+            .diagnose_reference(&input)
+            .to_canonical_json();
+        assert_eq!(state.diagnose_json("app", None).unwrap(), reference);
+    }
+
+    #[test]
+    fn compaction_does_not_change_the_report() {
+        let mut state = FleetState::new(FleetConfig {
+            compact_every: 0,
+            ..FleetConfig::default()
+        });
+        for s in 0..5 {
+            state.submit("app", &payload("u", s));
+        }
+        let before = state.diagnose_json("app", None).unwrap();
+        assert_eq!(state.apps()["app"].epochs()[&0].delta_count(), 5);
+        assert_eq!(state.compact(), 1);
+        assert_eq!(state.apps()["app"].epochs()[&0].delta_count(), 1);
+        assert_eq!(state.diagnose_json("app", None).unwrap(), before);
+        // Idempotent: nothing left to shrink.
+        assert_eq!(state.compact(), 0);
+    }
+
+    #[test]
+    fn auto_compaction_bounds_the_delta_list() {
+        let mut state = FleetState::new(FleetConfig {
+            compact_every: 4,
+            ..FleetConfig::default()
+        });
+        for s in 0..20 {
+            state.submit("app", &payload("u", s));
+        }
+        assert!(state.apps()["app"].epochs()[&0].delta_count() <= 4);
+        assert_eq!(state.apps()["app"].epochs()[&0].trace_count(), 20);
+    }
+
+    #[test]
+    fn duplicates_and_garbage_are_quarantined() {
+        let mut state = FleetState::new(FleetConfig::default());
+        assert_eq!(state.submit("app", &payload("u", 0)), IngestOutcome::Clean);
+        assert_eq!(
+            state.submit("app", &payload("u", 0)),
+            IngestOutcome::Rejected(RejectReason::Duplicate)
+        );
+        assert_eq!(
+            state.submit("app", &[0xAB; 16]),
+            IngestOutcome::Rejected(RejectReason::Undecodable)
+        );
+        let epoch = &state.apps()["app"].epochs()[&0];
+        assert_eq!(epoch.trace_count(), 1);
+        assert_eq!(epoch.quarantine().len(), 2);
+        assert_eq!(epoch.quarantine()[1].user, None);
+        assert_eq!(
+            epoch.quarantine_counters().get(&RejectReason::Duplicate),
+            Some(&1)
+        );
+    }
+
+    #[test]
+    fn rollover_freezes_the_old_epoch() {
+        let mut state = FleetState::new(FleetConfig::default());
+        state.submit("app", &payload("u", 0));
+        let old = state.diagnose_json("app", Some(0)).unwrap();
+        assert_eq!(state.rollover("app"), 1);
+        // The same (user, session) is a fresh key in the new epoch.
+        assert_eq!(state.submit("app", &payload("u", 0)), IngestOutcome::Clean);
+        assert_eq!(state.diagnose_json("app", Some(0)).unwrap(), old);
+        assert_eq!(state.apps()["app"].current_epoch(), 1);
+    }
+
+    #[test]
+    fn queries_for_unknown_names_are_typed_errors() {
+        let mut state = FleetState::new(FleetConfig::default());
+        assert_eq!(
+            state.diagnose("ghost", None).unwrap_err(),
+            QueryError::UnknownApp("ghost".to_string())
+        );
+        state.submit("app", &payload("u", 0));
+        assert_eq!(
+            state.diagnose("app", Some(7)).unwrap_err(),
+            QueryError::UnknownEpoch {
+                app: "app".to_string(),
+                epoch: 7
+            }
+        );
+    }
+
+    #[test]
+    fn stats_and_health_render_accounting() {
+        let mut state = FleetState::new(FleetConfig::default());
+        state.submit("app", &payload("u", 0));
+        state.submit("app", &payload("u", 0));
+        state.submit("app", &[0u8; 4]);
+        let stats = state.stats_json();
+        assert!(stats.contains("\"clean\":1"), "{stats}");
+        assert!(stats.contains("\"duplicate\":1"), "{stats}");
+        assert!(stats.contains("\"undecodable\":1"), "{stats}");
+        let health = state.health_json();
+        assert!(health.contains("\"traces\":1"), "{health}");
+        assert!(health.contains("\"quarantined\":2"), "{health}");
+    }
+}

@@ -1,0 +1,273 @@
+//! Daemon-level behavior: explicit bounded backpressure, graceful
+//! shutdown with checkpoint flush, restart fidelity, and the framed
+//! TCP protocol end to end (including the phone-side retry loop
+//! driving a live daemon through [`TcpBackend`]).
+
+use energydx::EnergyDx;
+use energydx_fleetd::convert;
+use energydx_fleetd::fixture;
+use energydx_fleetd::protocol::{Request, Response};
+use energydx_fleetd::{
+    Client, FleetdHandle, ServerConfig, SubmitReply, TcpBackend,
+};
+use energydx_trace::store::{IngestOutcome, RejectReason};
+use energydx_trace::upload::{upload_payloads_with_retry, RetryPolicy};
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::sync::{Arc, Barrier};
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir()
+        .join(format!("energydx-fleetd-{tag}-{}", std::process::id()))
+}
+
+/// Saturates a slow daemon from eight synchronized submitters and
+/// checks the backpressure contract: the queue high-water mark never
+/// exceeds the configured depth, at least one submission is shed with
+/// `RetryAfter` (never silently dropped), and every submission still
+/// ends in exactly one terminal outcome after retrying.
+#[test]
+fn backpressure_is_bounded_explicit_and_lossless() {
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 6;
+    let handle = Arc::new(
+        FleetdHandle::start(ServerConfig {
+            queue_depth: 2,
+            retry_after_ms: 5,
+            ingest_delay_ms: 4,
+            ..ServerConfig::default()
+        })
+        .expect("no checkpoint to restore"),
+    );
+    let barrier = Arc::new(Barrier::new(THREADS));
+    let mut workers = Vec::new();
+    for t in 0..THREADS {
+        let handle = Arc::clone(&handle);
+        let barrier = Arc::clone(&barrier);
+        workers.push(std::thread::spawn(move || {
+            let user = format!("p{t:02}");
+            barrier.wait();
+            let mut outcomes = 0usize;
+            let mut retries = 0usize;
+            for session in 0..PER_THREAD {
+                let payload = fixture::payload(&user, session);
+                loop {
+                    match handle.submit("pressure", payload.clone()) {
+                        SubmitReply::Outcome(o) => {
+                            assert!(o.accepted(), "fixture is valid");
+                            outcomes += 1;
+                            break;
+                        }
+                        SubmitReply::RetryAfter { ms } => {
+                            retries += 1;
+                            std::thread::sleep(
+                                std::time::Duration::from_millis(ms),
+                            );
+                        }
+                        SubmitReply::ShuttingDown => {
+                            panic!("daemon is not shutting down")
+                        }
+                    }
+                }
+            }
+            (outcomes, retries)
+        }));
+    }
+    let mut outcomes = 0usize;
+    let mut client_retries = 0usize;
+    for w in workers {
+        let (o, r) = w.join().unwrap();
+        outcomes += o;
+        client_retries += r;
+    }
+
+    let total = THREADS * PER_THREAD as usize;
+    assert_eq!(outcomes, total, "every submission got a terminal outcome");
+    assert!(
+        handle.shed_count() >= 1,
+        "8 simultaneous submitters against depth 2 must shed"
+    );
+    assert_eq!(
+        handle.shed_count(),
+        client_retries,
+        "every shed was observed by a client as RetryAfter"
+    );
+    assert!(
+        handle.max_queue_depth_seen() <= 2,
+        "queue high-water mark {} exceeded configured depth 2",
+        handle.max_queue_depth_seen()
+    );
+    // Nothing was lost and nothing double-counted: the state holds
+    // exactly the unique (user, session) pairs submitted.
+    let stats = handle.stats_json();
+    assert!(stats.contains(&format!("\"traces\":{total}")), "{stats}");
+    handle.shutdown().expect("clean shutdown");
+}
+
+/// Shutdown flushes a checkpoint; a restart over the same state
+/// directory serves byte-identical reports and still remembers the
+/// dedup set and the quarantine.
+#[test]
+fn restart_from_checkpoint_preserves_reports_dedup_and_quarantine() {
+    let dir = tmp_dir("restart");
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = || ServerConfig {
+        state_dir: Some(dir.clone()),
+        ..ServerConfig::default()
+    };
+
+    let first = FleetdHandle::start(config()).expect("fresh start");
+    for session in 0..4 {
+        let reply = first.submit("mail", fixture::payload("u42", session));
+        assert!(matches!(reply, SubmitReply::Outcome(IngestOutcome::Clean)));
+    }
+    let mut corrupt = fixture::payload("u43", 0);
+    corrupt.truncate(6);
+    assert!(matches!(
+        first.submit("mail", corrupt),
+        SubmitReply::Outcome(IngestOutcome::Rejected(_))
+    ));
+    let report = first.diagnose_json("mail", None).expect("report");
+    let health = first.health_json();
+    first.shutdown().expect("flushes the final checkpoint");
+
+    let second = FleetdHandle::start(config()).expect("restore");
+    assert_eq!(
+        second.diagnose_json("mail", None).expect("restored report"),
+        report,
+        "restart changed the report bytes"
+    );
+    assert_eq!(second.health_json(), health);
+    // The dedup set survived: re-uploading an already-accepted
+    // session is a duplicate, not a double count.
+    assert_eq!(
+        second.submit("mail", fixture::payload("u42", 2)),
+        SubmitReply::Outcome(IngestOutcome::Rejected(RejectReason::Duplicate))
+    );
+    assert_eq!(
+        second.diagnose_json("mail", None).expect("report"),
+        report,
+        "a deduped resend must not change the report"
+    );
+    second.shutdown().expect("clean shutdown");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Shutdown is idempotent and submissions after it are refused
+/// explicitly rather than hanging or panicking.
+#[test]
+fn submissions_after_shutdown_are_refused() {
+    let handle = FleetdHandle::start(ServerConfig::default()).expect("start");
+    assert!(matches!(
+        handle.submit("mail", fixture::payload("u1", 0)),
+        SubmitReply::Outcome(_)
+    ));
+    handle.shutdown().expect("first shutdown");
+    handle.shutdown().expect("second shutdown is a no-op");
+    assert_eq!(
+        handle.submit("mail", fixture::payload("u1", 1)),
+        SubmitReply::ShuttingDown
+    );
+}
+
+/// The full TCP path: the phone-side retry loop uploads through
+/// [`TcpBackend`] (one corrupt payload quarantined along the way),
+/// and the daemon's report over the socket equals the batch reference
+/// over the same accepted bundles, byte for byte.
+#[test]
+fn tcp_round_trip_matches_the_batch_reference() {
+    let handle =
+        Arc::new(FleetdHandle::start(ServerConfig::default()).expect("start"));
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr").to_string();
+    let server = {
+        let handle = Arc::clone(&handle);
+        std::thread::spawn(move || serve_result(listener, handle))
+    };
+
+    let users = ["u00", "u01", "u02", "u03"];
+    let mut payloads: Vec<Vec<u8>> =
+        users.iter().map(|u| fixture::payload(u, 0)).collect();
+    payloads[2].truncate(5); // quarantined: undecodable
+    let mut backend = TcpBackend::new(&addr, "mail");
+    let stats = upload_payloads_with_retry(
+        &payloads,
+        &mut backend,
+        &RetryPolicy::default(),
+        7,
+    );
+    assert_eq!(stats.delivered, 4);
+    assert_eq!(stats.gave_up, 0);
+    assert_eq!(stats.outcomes.iter().filter(|o| o.accepted()).count(), 3);
+    assert!(matches!(
+        stats.outcomes[2],
+        IngestOutcome::Rejected(RejectReason::Undecodable)
+    ));
+
+    // The batch reference over the same accepted bundles.
+    let accepted: Vec<_> = [0usize, 1, 3]
+        .iter()
+        .map(|&i| fixture::bundle(users[i], 0))
+        .collect();
+    let reference = EnergyDx::default()
+        .diagnose_reference(&convert::bundles_to_input(&accepted))
+        .to_canonical_json();
+
+    let mut client = Client::connect(&addr).expect("connect");
+    let report = match client
+        .request(&Request::Diagnose {
+            app: "mail".into(),
+            epoch: None,
+        })
+        .expect("diagnose")
+    {
+        Response::Report { json } => json,
+        other => panic!("expected a report, got {other:?}"),
+    };
+    assert_eq!(report, reference, "daemon diverged from batch");
+
+    for (req, check) in [
+        (Request::Stats, "\"queue\""),
+        (Request::Health, "\"status\":\"ok\""),
+    ] {
+        match client.request(&req).expect("query") {
+            Response::Stats { json } | Response::Health { json } => {
+                assert!(json.contains(check), "{json}");
+            }
+            other => panic!("expected json, got {other:?}"),
+        }
+    }
+    assert_eq!(
+        client.request(&Request::Compact).expect("compact"),
+        Response::Done
+    );
+    assert_eq!(
+        client
+            .request(&Request::Rollover { app: "mail".into() })
+            .expect("rollover"),
+        Response::Epoch { epoch: 1 }
+    );
+    // The frozen epoch still serves the same report.
+    match client
+        .request(&Request::Diagnose {
+            app: "mail".into(),
+            epoch: Some(0),
+        })
+        .expect("diagnose epoch 0")
+    {
+        Response::Report { json } => assert_eq!(json, reference),
+        other => panic!("expected a report, got {other:?}"),
+    }
+    assert_eq!(
+        client.request(&Request::Shutdown).expect("shutdown"),
+        Response::Done
+    );
+    server.join().unwrap().expect("serve exits cleanly");
+}
+
+fn serve_result(
+    listener: TcpListener,
+    handle: Arc<FleetdHandle>,
+) -> std::io::Result<()> {
+    energydx_fleetd::server::serve(listener, handle)
+}

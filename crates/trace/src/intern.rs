@@ -232,6 +232,16 @@ impl InternedTrace {
         }
     }
 
+    /// Reassembles a trace from parallel id/power columns — the
+    /// checkpoint-restore counterpart of [`InternedTrace::ids`] and
+    /// [`InternedTrace::powers`]. Returns `None` when the columns
+    /// differ in length; id validity against a vocabulary is the
+    /// caller's to check (ids are only meaningful relative to an
+    /// interner).
+    pub fn from_columns(ids: Vec<EventId>, powers: Vec<f64>) -> Option<Self> {
+        (ids.len() == powers.len()).then_some(InternedTrace { ids, powers })
+    }
+
     /// The interned event ids, in instance order.
     pub fn ids(&self) -> &[EventId] {
         &self.ids

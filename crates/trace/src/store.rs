@@ -206,6 +206,124 @@ impl IngestReport {
     }
 }
 
+/// A wire upload after the full decode → salvage → anonymize →
+/// repair → validate pipeline, *before* dedup and commit.
+///
+/// This is the reusable half of ingestion: [`TraceStore`] and the
+/// fleet daemon share it, so a payload that salvages (or quarantines)
+/// one way in the batch store salvages exactly the same way in the
+/// incremental path. What differs between consumers is only where the
+/// dedup set and the accepted bundle live.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PreparedUpload {
+    /// Decoded, anonymized, repaired, and validated — ready to dedup
+    /// and store.
+    Ready {
+        /// The bundle as it would be stored.
+        bundle: TraceBundle,
+        /// Repairs applied to the decoded bundle.
+        repairs: Vec<RepairAction>,
+        /// Wire-level salvage report, when the payload needed one.
+        salvage: Option<SalvageReport>,
+    },
+    /// Rejected before reaching the store; the entry says why.
+    Rejected(QuarantineEntry),
+}
+
+impl PreparedUpload {
+    /// The outcome this preparation maps to, pre-dedup: `Ready` is
+    /// clean or recovered, `Rejected` carries its reason.
+    pub fn outcome(&self) -> IngestOutcome {
+        match self {
+            PreparedUpload::Ready {
+                repairs, salvage, ..
+            } => {
+                if repairs.is_empty() && salvage.is_none() {
+                    IngestOutcome::Clean
+                } else {
+                    IngestOutcome::Recovered {
+                        repairs: repairs.clone(),
+                        salvage: salvage.clone(),
+                    }
+                }
+            }
+            PreparedUpload::Rejected(entry) => {
+                IngestOutcome::Rejected(entry.reason)
+            }
+        }
+    }
+}
+
+/// Runs one wire payload through decode → salvage → anonymize →
+/// repair → validate. Pure: no store, no dedup, deterministic in the
+/// payload and policy alone.
+pub fn prepare_wire(payload: &[u8], policy: &RepairPolicy) -> PreparedUpload {
+    match wire::decode(payload) {
+        Ok(bundle) => prepare_decoded(bundle, None, policy),
+        Err(_) => match wire::decode_salvage(payload) {
+            Ok(salvaged) => {
+                prepare_decoded(salvaged.bundle, Some(salvaged.report), policy)
+            }
+            Err(e) => PreparedUpload::Rejected(QuarantineEntry {
+                reason: RejectReason::Undecodable,
+                user: None,
+                session: None,
+                detail: e.to_string(),
+            }),
+        },
+    }
+}
+
+/// Runs one already-decoded bundle through anonymize → repair →
+/// validate (the wire-less variant of [`prepare_wire`]).
+pub fn prepare_bundle(
+    bundle: TraceBundle,
+    policy: &RepairPolicy,
+) -> PreparedUpload {
+    prepare_decoded(bundle, None, policy)
+}
+
+fn prepare_decoded(
+    mut bundle: TraceBundle,
+    salvage: Option<SalvageReport>,
+    policy: &RepairPolicy,
+) -> PreparedUpload {
+    bundle.anonymize();
+    let reject =
+        |bundle: &TraceBundle, reason: RejectReason, detail: String| {
+            PreparedUpload::Rejected(QuarantineEntry {
+                reason,
+                user: Some(bundle.user.clone()),
+                session: Some(bundle.session),
+                detail,
+            })
+        };
+    let repairs = match repair(&mut bundle, policy) {
+        Ok(actions) => actions,
+        Err(e) => {
+            let reason = match e {
+                crate::repair::RepairReject::OutOfOrderBeyondBound {
+                    ..
+                } => RejectReason::OutOfOrderBeyondRepair,
+                crate::repair::RepairReject::TooManyStrayExits { .. } => {
+                    RejectReason::UnmatchedBeyondRepair
+                }
+            };
+            return reject(&bundle, reason, e.to_string());
+        }
+    };
+    // Repair guarantees validity; keep the check as a backstop so a
+    // policy bug quarantines instead of poisoning analysis.
+    if let Err(e) = bundle.validate() {
+        return reject(&bundle, RejectReason::Invalid, e.to_string());
+    }
+    PreparedUpload::Ready {
+        bundle,
+        repairs,
+        salvage: salvage.filter(|s| !s.is_intact()),
+    }
+}
+
 /// Thread-safe collection of uploaded bundles.
 #[derive(Debug, Default)]
 pub struct TraceStore {
@@ -273,80 +391,36 @@ impl TraceStore {
     /// store's [`RepairPolicy`], dedups, stores. Never panics, never
     /// errors — every possible input maps to an [`IngestOutcome`].
     pub fn ingest_bundle(&self, bundle: TraceBundle) -> IngestOutcome {
-        self.ingest_decoded(bundle, None)
+        self.apply_prepared(prepare_bundle(bundle, &self.policy))
     }
 
     /// Ingests one wire payload resiliently: strict decode first, then
     /// salvage of whatever valid prefix remains, then repair. This is
     /// the path fleet uploads take.
     pub fn ingest_wire(&self, payload: &[u8]) -> IngestOutcome {
-        match wire::decode(payload) {
-            Ok(bundle) => self.ingest_decoded(bundle, None),
-            Err(_) => match wire::decode_salvage(payload) {
-                Ok(salvaged) => {
-                    self.ingest_decoded(salvaged.bundle, Some(salvaged.report))
-                }
-                Err(e) => {
-                    self.push_quarantine(QuarantineEntry {
-                        reason: RejectReason::Undecodable,
-                        user: None,
-                        session: None,
-                        detail: e.to_string(),
-                    });
-                    IngestOutcome::Rejected(RejectReason::Undecodable)
-                }
-            },
-        }
+        self.apply_prepared(prepare_wire(payload, &self.policy))
     }
 
-    fn ingest_decoded(
-        &self,
-        mut bundle: TraceBundle,
-        salvage: Option<SalvageReport>,
-    ) -> IngestOutcome {
-        bundle.anonymize();
-        let repairs = match repair(&mut bundle, &self.policy) {
-            Ok(actions) => actions,
-            Err(reject) => {
-                let reason = match reject {
-                    crate::repair::RepairReject::OutOfOrderBeyondBound {
-                        ..
-                    } => RejectReason::OutOfOrderBeyondRepair,
-                    crate::repair::RepairReject::TooManyStrayExits {
-                        ..
-                    } => RejectReason::UnmatchedBeyondRepair,
-                };
-                self.quarantine_bundle(&bundle, reason, reject.to_string());
-                return IngestOutcome::Rejected(reason);
-            }
-        };
-        // Repair guarantees validity; keep the check as a backstop so
-        // a policy bug quarantines instead of poisoning analysis.
-        if let Err(e) = bundle.validate() {
-            self.quarantine_bundle(
-                &bundle,
-                RejectReason::Invalid,
-                e.to_string(),
-            );
-            return IngestOutcome::Rejected(RejectReason::Invalid);
-        }
-        match self.commit(bundle) {
-            Ok(()) => {
-                let salvage = salvage.filter(|s| !s.is_intact());
-                if repairs.is_empty() && salvage.is_none() {
-                    IngestOutcome::Clean
-                } else {
-                    IngestOutcome::Recovered { repairs, salvage }
+    /// Commits a prepared upload: dedups `Ready` bundles on
+    /// `(user, session)`, quarantines everything else.
+    fn apply_prepared(&self, prepared: PreparedUpload) -> IngestOutcome {
+        let outcome = prepared.outcome();
+        match prepared {
+            PreparedUpload::Ready { bundle, .. } => match self.commit(bundle) {
+                Ok(()) => outcome,
+                Err(dup) => {
+                    let (bundle, detail) = *dup;
+                    self.quarantine_bundle(
+                        &bundle,
+                        RejectReason::Duplicate,
+                        detail,
+                    );
+                    IngestOutcome::Rejected(RejectReason::Duplicate)
                 }
-            }
-            Err(dup) => {
-                let (bundle, detail) = *dup;
-                self.quarantine_bundle(
-                    &bundle,
-                    RejectReason::Duplicate,
-                    detail,
-                );
-                IngestOutcome::Rejected(RejectReason::Duplicate)
+            },
+            PreparedUpload::Rejected(entry) => {
+                self.push_quarantine(entry);
+                outcome
             }
         }
     }

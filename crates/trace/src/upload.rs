@@ -21,11 +21,38 @@ use std::fmt;
 pub struct TransientUploadError {
     /// What went wrong (timeout, 503, connection reset, ...).
     pub message: String,
+    /// Server-directed pacing: how long the backend asked the client
+    /// to wait before retrying (a `RetryAfter` response from a daemon
+    /// shedding load). The retry loop waits at least this long,
+    /// whichever of it and the exponential backoff is larger.
+    pub retry_after_ms: Option<u64>,
+}
+
+impl TransientUploadError {
+    /// A plain transient failure with no server pacing hint.
+    pub fn new(message: impl Into<String>) -> Self {
+        TransientUploadError {
+            message: message.into(),
+            retry_after_ms: None,
+        }
+    }
+
+    /// A failure carrying the server's `RetryAfter` pacing hint.
+    pub fn with_retry_after(message: impl Into<String>, ms: u64) -> Self {
+        TransientUploadError {
+            message: message.into(),
+            retry_after_ms: Some(ms),
+        }
+    }
 }
 
 impl fmt::Display for TransientUploadError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "transient upload failure: {}", self.message)
+        write!(f, "transient upload failure: {}", self.message)?;
+        if let Some(ms) = self.retry_after_ms {
+            write!(f, " (server asked to retry after {ms} ms)")?;
+        }
+        Ok(())
     }
 }
 
@@ -109,9 +136,9 @@ impl<B: UploadBackend> UploadBackend for FlakyBackend<B> {
     ) -> Result<IngestOutcome, TransientUploadError> {
         if self.rng.unit_f64() < self.failure_rate {
             self.failures += 1;
-            return Err(TransientUploadError {
-                message: "simulated connection reset".to_string(),
-            });
+            return Err(TransientUploadError::new(
+                "simulated connection reset",
+            ));
         }
         self.inner.receive(payload)
     }
@@ -168,9 +195,71 @@ pub struct UploadStats {
     pub attempts: usize,
     /// Attempts that failed transiently and were retried.
     pub retries: usize,
+    /// Transient failures that carried a server `RetryAfter` pacing
+    /// hint (backpressure made visible to the phone).
+    pub retry_after_hints: usize,
     /// Total backoff the phone would have slept, in milliseconds
     /// (virtual clock — nothing actually sleeps).
     pub backoff_ms: u64,
+}
+
+/// Delivers one encoded payload with retries; returns whether it made
+/// it. The wait before each retry is the larger of the policy's
+/// jittered exponential backoff and the server's `RetryAfter` hint, so
+/// an overloaded daemon can slow a whole fleet down without any phone
+/// abandoning its bundle.
+fn deliver_with_retry(
+    payload: &[u8],
+    backend: &mut dyn UploadBackend,
+    policy: &RetryPolicy,
+    rng: &mut SplitMix64,
+    stats: &mut UploadStats,
+) -> bool {
+    for attempt in 0..policy.max_attempts {
+        stats.attempts += 1;
+        match backend.receive(payload) {
+            Ok(outcome) => {
+                stats.outcomes.push(outcome);
+                stats.delivered += 1;
+                return true;
+            }
+            Err(e) => {
+                stats.retries += 1;
+                if e.retry_after_ms.is_some() {
+                    stats.retry_after_hints += 1;
+                }
+                if attempt + 1 < policy.max_attempts {
+                    stats.backoff_ms += policy
+                        .backoff_ms(attempt, rng)
+                        .max(e.retry_after_ms.unwrap_or(0));
+                }
+            }
+        }
+    }
+    false
+}
+
+/// Drains pre-encoded wire payloads through `backend` with the same
+/// retry loop as [`Uploader::upload_with_retry`], **in order**: each
+/// payload is retried in place until delivered or its attempts are
+/// exhausted, so the backend observes payloads in slice order — the
+/// property the fleet daemon's accept-order/batch-order equivalence
+/// rests on. Payloads whose attempts are exhausted count as `gave_up`
+/// (the caller still owns the slice and can re-drive them).
+pub fn upload_payloads_with_retry(
+    payloads: &[Vec<u8>],
+    backend: &mut dyn UploadBackend,
+    policy: &RetryPolicy,
+    seed: u64,
+) -> UploadStats {
+    let mut stats = UploadStats::default();
+    let mut rng = SplitMix64::new(seed);
+    for payload in payloads {
+        if !deliver_with_retry(payload, backend, policy, &mut rng, &mut stats) {
+            stats.gave_up += 1;
+        }
+    }
+    stats
 }
 
 impl Uploader {
@@ -219,27 +308,9 @@ impl Uploader {
                     continue;
                 }
             };
-            let mut delivered = false;
-            for attempt in 0..policy.max_attempts {
-                stats.attempts += 1;
-                match backend.receive(&payload) {
-                    Ok(outcome) => {
-                        stats.outcomes.push(outcome);
-                        stats.delivered += 1;
-                        delivered = true;
-                        break;
-                    }
-                    Err(_) if attempt + 1 < policy.max_attempts => {
-                        stats.retries += 1;
-                        stats.backoff_ms +=
-                            policy.backoff_ms(attempt, &mut rng);
-                    }
-                    Err(_) => {
-                        stats.retries += 1;
-                    }
-                }
-            }
-            if !delivered {
+            if !deliver_with_retry(
+                &payload, backend, policy, &mut rng, &mut stats,
+            ) {
                 stats.gave_up += 1;
                 requeue.push(bundle);
             }
@@ -325,9 +396,7 @@ mod tests {
                 &mut self,
                 _: &[u8],
             ) -> Result<IngestOutcome, TransientUploadError> {
-                Err(TransientUploadError {
-                    message: "503".to_string(),
-                })
+                Err(TransientUploadError::new("503"))
             }
         }
         let mut up = Uploader::new();
@@ -397,6 +466,90 @@ mod tests {
             distinct.insert(w);
         }
         assert!(distinct.len() > 1, "jitter must actually vary the waits");
+    }
+
+    #[test]
+    fn retry_after_hint_raises_the_wait_floor() {
+        // A backend that sheds load with a RetryAfter far above the
+        // exponential backoff: the virtual waits must honor the
+        // server's pacing, not the (smaller) client-side schedule.
+        struct Shedding {
+            remaining_failures: u32,
+        }
+        impl UploadBackend for Shedding {
+            fn receive(
+                &mut self,
+                _: &[u8],
+            ) -> Result<IngestOutcome, TransientUploadError> {
+                if self.remaining_failures > 0 {
+                    self.remaining_failures -= 1;
+                    return Err(TransientUploadError::with_retry_after(
+                        "queue full",
+                        5_000,
+                    ));
+                }
+                Ok(IngestOutcome::Clean)
+            }
+        }
+        let policy = RetryPolicy {
+            max_attempts: 4,
+            base_backoff_ms: 10,
+            max_backoff_ms: 100,
+            jitter: 0.0,
+        };
+        let payloads = vec![wire::encode_v2(&bundle("u1", 0)).to_vec()];
+        let mut backend = Shedding {
+            remaining_failures: 2,
+        };
+        let stats =
+            upload_payloads_with_retry(&payloads, &mut backend, &policy, 1);
+        assert_eq!(stats.delivered, 1);
+        assert_eq!(stats.retries, 2);
+        assert_eq!(stats.retry_after_hints, 2);
+        // Two waits, both floored at the server's 5 s hint.
+        assert_eq!(stats.backoff_ms, 10_000);
+    }
+
+    #[test]
+    fn payload_drain_preserves_delivery_order_under_flakiness() {
+        // Transient failures must not reorder deliveries: each payload
+        // is retried in place before the next one is attempted, so the
+        // store accepts payloads in slice order even on a flaky link.
+        struct Recording<'a> {
+            inner: FlakyBackend<StoreBackend<'a>>,
+            accepted: Vec<Vec<u8>>,
+        }
+        impl UploadBackend for Recording<'_> {
+            fn receive(
+                &mut self,
+                payload: &[u8],
+            ) -> Result<IngestOutcome, TransientUploadError> {
+                let outcome = self.inner.receive(payload)?;
+                if outcome.accepted() {
+                    self.accepted.push(payload.to_vec());
+                }
+                Ok(outcome)
+            }
+        }
+        let store = TraceStore::new();
+        let payloads: Vec<Vec<u8>> = (0..30)
+            .map(|s| wire::encode_v2(&bundle("u1", s)).to_vec())
+            .collect();
+        let mut backend = Recording {
+            inner: FlakyBackend::new(StoreBackend::new(&store), 0.35, 11),
+            accepted: Vec::new(),
+        };
+        let policy = RetryPolicy {
+            max_attempts: 12,
+            ..RetryPolicy::default()
+        };
+        let stats =
+            upload_payloads_with_retry(&payloads, &mut backend, &policy, 3);
+        assert_eq!(stats.delivered, 30, "12 attempts at 35% never exhaust");
+        assert_eq!(stats.gave_up, 0);
+        assert!(stats.retries > 0, "the flaky link must have failed some");
+        assert_eq!(backend.accepted, payloads, "delivery order changed");
+        assert_eq!(store.len(), 30);
     }
 
     #[test]

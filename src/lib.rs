@@ -12,6 +12,7 @@
 //! - [`energydx_trace`] — event/utilization/power trace formats.
 //! - [`energydx_workload`] — user simulation, fault injection, app fleet.
 //! - [`energydx_baselines`] — CheckAll, No-sleep Detection, eDelta.
+//! - [`energydx_fleetd`] — incremental fleet-analysis daemon.
 
 pub mod fixtures;
 
@@ -19,6 +20,7 @@ pub use energydx;
 pub use energydx_baselines;
 pub use energydx_dexir;
 pub use energydx_droidsim;
+pub use energydx_fleetd;
 pub use energydx_powermodel;
 pub use energydx_stats;
 pub use energydx_trace;

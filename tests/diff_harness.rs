@@ -12,10 +12,21 @@
 
 use energydx_suite::energydx::shard::ShardPartial;
 use energydx_suite::energydx::{DiagnosisInput, EnergyDx};
+use energydx_suite::energydx_fleetd::checkpoint::{
+    checkpoint_bytes, restore_bytes,
+};
+use energydx_suite::energydx_fleetd::convert::bundles_to_input;
+use energydx_suite::energydx_fleetd::fixture;
+use energydx_suite::energydx_fleetd::state::{FleetConfig, FleetState};
 use energydx_suite::energydx_trace::event::EventInstance;
 use energydx_suite::energydx_trace::join::PoweredInstance;
+use energydx_suite::energydx_trace::repair::RepairPolicy;
+use energydx_suite::energydx_trace::store::{
+    prepare_wire, PreparedUpload, TraceBundle,
+};
 use energydx_suite::fixtures::{chaos_fleet, fig6_fleet, k9_fleet};
 use proptest::prelude::*;
+use std::collections::BTreeSet;
 
 /// Every fixture the harness sweeps: the paper's running example, a
 /// full seeded case-study fleet, and a corrupted fleet that exercises
@@ -351,4 +362,216 @@ proptest! {
             cuts, merge_seed
         );
     }
+}
+
+// ---------------------------------------------------------------------
+// The incremental daemon: any interleaving of {upload, compact,
+// checkpoint, restart, query} over `fleetd`'s state must serve reports
+// byte-identical to `diagnose_reference` over the same accepted
+// traces. The model below replays each payload through the *same*
+// shared prepare pipeline the daemon uses plus the same dedup rule, so
+// "the same accepted traces" is computed independently of the state
+// under test.
+// ---------------------------------------------------------------------
+
+/// One step of a daemon schedule.
+#[derive(Debug, Clone, Copy)]
+enum FleetOp {
+    /// Submit payload `i` from the pool (repeats exercise dedup).
+    Upload(usize),
+    /// Collapse every epoch's deltas into one canonical partial.
+    Compact,
+    /// Snapshot the state to checkpoint bytes.
+    Checkpoint,
+    /// Crash: discard the live state, restore the last checkpoint
+    /// (or start fresh if none was ever taken).
+    Restart,
+    /// Serve a report and compare it to the batch reference.
+    Query,
+}
+
+/// The upload pool: 12 deterministic payloads, some damaged — index
+/// `%4 == 3` is truncated (undecodable), index `%5 == 4` has a flipped
+/// bit mid-payload (salvaged or quarantined, the pipeline decides).
+fn payload_pool() -> Vec<Vec<u8>> {
+    (0..12usize)
+        .map(|i| {
+            let mut payload =
+                fixture::payload(&format!("u{:02}", i / 2), (i % 2) as u64);
+            if i % 4 == 3 {
+                payload.truncate(7);
+            } else if i % 5 == 4 {
+                let mid = payload.len() / 2;
+                payload[mid] ^= 0x10;
+            }
+            payload
+        })
+        .collect()
+}
+
+/// What the daemon *should* have accepted: the same prepare pipeline
+/// plus the same (user, session) dedup, tracked outside the state
+/// under test.
+#[derive(Debug, Clone, Default)]
+struct FleetModel {
+    accepted: Vec<TraceBundle>,
+    seen: BTreeSet<(String, u64)>,
+}
+
+impl FleetModel {
+    /// Returns whether the payload should be accepted.
+    fn apply(&mut self, payload: &[u8]) -> bool {
+        match prepare_wire(payload, &RepairPolicy::default()) {
+            PreparedUpload::Ready { bundle, .. } => {
+                if self.seen.insert((bundle.user.clone(), bundle.session)) {
+                    self.accepted.push(bundle);
+                    true
+                } else {
+                    false
+                }
+            }
+            PreparedUpload::Rejected(_) => false,
+        }
+    }
+}
+
+/// The daemon's report over `app` must equal the batch reference over
+/// the model's accepted bundles, byte for byte.
+fn assert_fleet_matches_reference(state: &FleetState, model: &FleetModel) {
+    if !state.apps().contains_key("app") {
+        assert!(
+            model.accepted.is_empty(),
+            "daemon lost every upload the model accepted"
+        );
+        return;
+    }
+    let reference = EnergyDx::default()
+        .diagnose_reference(&bundles_to_input(&model.accepted))
+        .to_canonical_json();
+    let served = state
+        .diagnose_json("app", None)
+        .expect("an app that exists serves a report");
+    assert_eq!(
+        served, reference,
+        "incremental daemon diverged from the batch reference"
+    );
+}
+
+/// Runs one schedule against a live [`FleetState`], checking the
+/// upload-by-upload acceptance class against the model and the served
+/// report against the batch reference at every `Query` and at the end.
+fn run_fleet_schedule(ops: &[FleetOp], pool: &[Vec<u8>]) {
+    let mut state = FleetState::new(FleetConfig::default());
+    let mut model = FleetModel::default();
+    let mut snapshot: Option<(Vec<u8>, FleetModel)> = None;
+    for op in ops {
+        match *op {
+            FleetOp::Upload(i) => {
+                let payload = &pool[i % pool.len()];
+                let accepted = state.submit("app", payload).accepted();
+                assert_eq!(
+                    accepted,
+                    model.apply(payload),
+                    "daemon and model disagree on payload {i}"
+                );
+            }
+            FleetOp::Compact => {
+                state.compact();
+            }
+            FleetOp::Checkpoint => {
+                snapshot = Some((checkpoint_bytes(&state), model.clone()));
+            }
+            FleetOp::Restart => match &snapshot {
+                Some((bytes, at_checkpoint)) => {
+                    state = restore_bytes(bytes, FleetConfig::default())
+                        .expect("a daemon checkpoint restores");
+                    model = at_checkpoint.clone();
+                }
+                None => {
+                    state = FleetState::new(FleetConfig::default());
+                    model = FleetModel::default();
+                }
+            },
+            FleetOp::Query => {
+                assert_fleet_matches_reference(&state, &model);
+            }
+        }
+    }
+    assert_fleet_matches_reference(&state, &model);
+}
+
+fn fleet_ops() -> impl Strategy<Value = Vec<FleetOp>> {
+    // Uploads are weighted heaviest so schedules actually grow state
+    // between the structural ops.
+    let op = (0u8..16, 0usize..12).prop_map(|(kind, i)| match kind {
+        0..=7 => FleetOp::Upload(i),
+        8 | 9 => FleetOp::Compact,
+        10 | 11 => FleetOp::Checkpoint,
+        12 | 13 => FleetOp::Restart,
+        _ => FleetOp::Query,
+    });
+    prop::collection::vec(op, 0..32)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The daemon headline property: **any** interleaving of uploads
+    /// (clean, damaged, duplicated), compactions, checkpoints, crash
+    /// restarts, and queries serves byte-identical reports to the
+    /// batch reference over the same accepted traces.
+    #[test]
+    fn any_daemon_schedule_serves_the_batch_reference(
+        ops in fleet_ops(),
+    ) {
+        run_fleet_schedule(&ops, &payload_pool());
+    }
+}
+
+/// Fixed scenario: quarantined uploads (undecodable, bit-flipped,
+/// duplicated) never leak a byte into the report — it equals the
+/// reference over the accepted traces only.
+#[test]
+fn quarantined_uploads_never_change_the_report() {
+    let pool = payload_pool();
+    let mut ops: Vec<FleetOp> = (0..pool.len()).map(FleetOp::Upload).collect();
+    // Re-upload everything: accepted ones dedup, damaged ones
+    // quarantine again.
+    ops.extend((0..pool.len()).map(FleetOp::Upload));
+    ops.push(FleetOp::Compact);
+    ops.push(FleetOp::Query);
+    run_fleet_schedule(&ops, &pool);
+
+    // The quarantine really filled up: replay and count.
+    let mut state = FleetState::new(FleetConfig::default());
+    for i in 0..pool.len() * 2 {
+        state.submit("app", &pool[i % pool.len()]);
+    }
+    assert!(
+        state.quarantined_total() > 0,
+        "the damaged pool must quarantine something"
+    );
+    assert!(
+        state.accepted_total() > 0,
+        "the damaged pool must still accept something"
+    );
+}
+
+/// Fixed scenario: a crash after the checkpoint loses the uploads that
+/// followed it; the restored daemon equals the reference *as of the
+/// checkpoint*, and re-driving the lost tail (plus some already-
+/// accepted resends, deduped by the restored seen-set) converges to
+/// the full-fleet reference.
+#[test]
+fn crash_and_restore_converges_to_the_full_reference() {
+    let pool = payload_pool();
+    let mut ops: Vec<FleetOp> = Vec::new();
+    ops.extend((0..8).map(FleetOp::Upload));
+    ops.push(FleetOp::Checkpoint);
+    ops.extend((8..12).map(FleetOp::Upload)); // lost in the crash
+    ops.push(FleetOp::Restart); // kill -9, restore
+    ops.push(FleetOp::Query); // == reference as of the checkpoint
+    ops.extend((6..12).map(FleetOp::Upload)); // re-drive incl. resends
+    ops.push(FleetOp::Query); // == full-fleet reference
+    run_fleet_schedule(&ops, &pool);
 }
