@@ -36,6 +36,15 @@ echo "== fleetd checkpoint-size budget (smoke) =="
 cargo run -q --release -p energydx-bench --bin ingest -- \
   --check BENCH_ingest.json >/dev/null
 
+echo "== metrics-overhead gate (instrumented hot path + ingest) =="
+# The same two budgets re-checked with the obsv layer attached: the
+# per-stage spans and the submit-latency histogram run on the measured
+# path, so instrumentation that stops being ~free fails here.
+cargo run -q --release -p energydx-bench --bin hotpath -- \
+  --obsv --check BENCH_hotpath.json >/dev/null
+cargo run -q --release -p energydx-bench --bin ingest -- \
+  --obsv --check BENCH_ingest.json >/dev/null
+
 echo "== fleetd soak (daemon vs batch CLI, crash + restart) =="
 # A real `energydx serve` process driven through the retrying
 # uploader: 200 uploads (~15% damaged), backpressure against a

@@ -17,14 +17,17 @@
 //! the hot path makes through Steps 2–5 than the reference.
 //!
 //! ```text
-//! hotpath [--smoke] [--write <path>] [--check <path>]
+//! hotpath [--smoke] [--obsv] [--write <path>] [--check <path>]
 //! ```
 //!
 //! `--smoke` shrinks the fleet for CI; `--write` stores the report as
 //! JSON (see `BENCH_hotpath.json` at the repo root); `--check` re-runs
 //! the measurement and fails (exit 1) if bytes allocated per instance
 //! on the hot path exceed the `budget_bytes_per_instance` recorded in
-//! the given JSON file — the CI regression gate.
+//! the given JSON file — the CI regression gate. `--obsv` attaches a
+//! live metrics registry to the pipeline, so the measured regions
+//! include the per-stage span instrumentation; `--obsv --check`
+//! against the stored budget is the metrics-overhead gate.
 
 use energydx::pipeline::{
     step2_rank, step3_normalize, step4_detect, step5_report, EventGroups,
@@ -221,7 +224,7 @@ impl Report {
     }
 }
 
-fn run(smoke: bool) -> Report {
+fn run(smoke: bool, obsv: bool) -> Report {
     let (users, per_trace) = if smoke { (16, 240) } else { (64, 2_000) };
     let mut seed = 0x0E17_ED01u64;
     let raw: Vec<(EventTrace, PowerTrace)> = (0..users)
@@ -252,7 +255,14 @@ fn run(smoke: bool) -> Report {
     let input = DiagnosisInput::new(traces);
 
     let config = AnalysisConfig::default();
-    let dx = EnergyDx::new(config.clone()).with_jobs(1);
+    let mut dx = EnergyDx::new(config.clone()).with_jobs(1);
+    // The registry itself is built outside the measured regions; what
+    // the regions then see is exactly the per-stage recording cost.
+    if obsv {
+        dx = dx.with_metrics(energydx_obsv::Metrics::enabled(
+            std::sync::Arc::new(energydx_obsv::MetricsRegistry::new()),
+        ));
+    }
 
     // Baseline: the string-keyed reference pipeline, Steps 2–5, report
     // materialization excluded on both sides.
@@ -291,6 +301,18 @@ fn run(smoke: bool) -> Report {
         dx.diagnose_reference(&input).to_canonical_json(),
         "hot path diverged from the reference"
     );
+    if let Some(reg) = dx.metrics().registry() {
+        for stage in ["map", "analyze", "render", "finish"] {
+            let snap = reg
+                .histogram_snapshot(
+                    energydx_obsv::STAGE_FAMILY,
+                    &[("stage", stage)],
+                )
+                .unwrap_or_else(|| panic!("stage {stage} not recorded"));
+            assert!(snap.count() > 0, "stage {stage} recorded no spans");
+        }
+        eprintln!("obsv: per-stage spans recorded for map/analyze/render");
+    }
 
     let mut out = Report {
         mode: if smoke { "smoke" } else { "full" },
@@ -325,18 +347,20 @@ fn parse_budget(json: &str) -> Option<u64> {
 
 fn main() {
     let mut smoke = false;
+    let mut obsv = false;
     let mut write: Option<String> = None;
     let mut check: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--smoke" => smoke = true,
+            "--obsv" => obsv = true,
             "--write" => write = args.next(),
             "--check" => check = args.next(),
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
-                    "usage: hotpath [--smoke] [--write <path>] \
+                    "usage: hotpath [--smoke] [--obsv] [--write <path>] \
                      [--check <path>]"
                 );
                 std::process::exit(2);
@@ -350,7 +374,7 @@ fn main() {
         smoke = true;
     }
 
-    let report = run(smoke);
+    let report = run(smoke, obsv);
     print!("{}", report.to_json());
     if report.reduction_allocs() < 5.0 {
         eprintln!(

@@ -18,7 +18,7 @@
 //! - checkpoint encode/decode time and size per accepted trace.
 //!
 //! ```text
-//! ingest [--smoke] [--write <path>] [--check <path>]
+//! ingest [--smoke] [--obsv] [--write <path>] [--check <path>]
 //! ```
 //!
 //! `--smoke` shrinks the corpus for CI; `--write` stores the report as
@@ -26,7 +26,12 @@
 //! the measurement and fails (exit 1) if the checkpoint grows past the
 //! `budget_checkpoint_bytes_per_trace` recorded in the given JSON file
 //! — a byte count, fully deterministic, so the gate cannot flake on
-//! machine speed.
+//! machine speed. `--obsv` additionally records every submit latency
+//! into a metrics histogram on the measured path, cross-checks the
+//! histogram against the exact sorted percentiles, and (with
+//! `--check`) fails if the histogram p50 blows far past the stored
+//! `submit_p50_us` — a wide-margin sanity gate on the instrumented
+//! path, not a tight timing assertion.
 
 use energydx::EnergyDx;
 use energydx_fleetd::checkpoint::{checkpoint_bytes, restore_bytes};
@@ -86,6 +91,10 @@ struct Report {
     checkpoint_encode_secs: f64,
     checkpoint_decode_secs: f64,
     budget_checkpoint_bytes_per_trace: u64,
+    /// Histogram p50 of submit latency under `--obsv` (bucket upper
+    /// bound, µs); `None` without the flag. Kept out of the JSON so
+    /// the stored report format is flag-independent.
+    obsv_submit_p50_us: Option<f64>,
 }
 
 impl Report {
@@ -123,9 +132,20 @@ impl Report {
     }
 }
 
-fn run(smoke: bool) -> Report {
+fn run(smoke: bool, obsv: bool) -> Report {
     let (users, sessions) = if smoke { (48, 2) } else { (400, 5) };
     let payloads = corpus(users, sessions);
+
+    // Finer-than-default buckets (factor 2 from 1 µs) so the latency
+    // histogram resolves sub-millisecond submits; the registry lives
+    // outside the timed loop, the per-submit `observe` inside it —
+    // that recording cost is exactly what `--obsv --check` gates.
+    let submit_hist = obsv.then(|| {
+        let reg = std::sync::Arc::new(energydx_obsv::MetricsRegistry::new());
+        let buckets = energydx_stats::Buckets::exponential(1e-6, 2.0, 24)
+            .expect("static bucket layout");
+        reg.histogram("bench_submit_latency_seconds", &[], &buckets)
+    });
 
     let fleet = FleetConfig {
         jobs: 1,
@@ -149,7 +169,11 @@ fn run(smoke: bool) -> Report {
     for payload in &payloads {
         let t = Instant::now();
         let reply = handle.submit("bench", payload.clone());
-        latencies_us.push(t.elapsed().as_secs_f64() * 1e6);
+        let secs = t.elapsed().as_secs_f64();
+        if let Some(hist) = &submit_hist {
+            hist.observe(secs);
+        }
+        latencies_us.push(secs * 1e6);
         match reply {
             SubmitReply::Outcome(outcome) => {
                 if outcome.accepted() {
@@ -215,6 +239,28 @@ fn run(smoke: bool) -> Report {
         latencies_us[idx]
     };
 
+    // The histogram must agree with the exact sorted latencies it
+    // observed: same count, same total, and a p50 bucket bracketing
+    // the exact p50 (factor-2 buckets, so within one bucket each way).
+    let obsv_submit_p50_us = submit_hist.map(|hist| {
+        let snap = hist.snapshot();
+        assert_eq!(snap.count(), latencies_us.len() as u64);
+        let exact_sum: f64 = latencies_us.iter().sum::<f64>() / 1e6;
+        assert!(
+            (snap.sum() - exact_sum).abs() <= exact_sum * 1e-9 + 1e-12,
+            "histogram sum {} diverged from exact {exact_sum}",
+            snap.sum()
+        );
+        let bound = snap.quantile(0.5).expect("non-empty histogram");
+        let exact_p50 = pct(0.50) / 1e6;
+        assert!(
+            exact_p50 <= bound * 2.0 && bound <= exact_p50 * 2.0,
+            "histogram p50 bound {bound}s is more than one factor-2 \
+             bucket away from the exact p50 {exact_p50}s"
+        );
+        bound * 1e6
+    });
+
     let mut out = Report {
         mode: if smoke { "smoke" } else { "full" },
         uploads: payloads.len(),
@@ -230,6 +276,7 @@ fn run(smoke: bool) -> Report {
         checkpoint_encode_secs,
         checkpoint_decode_secs,
         budget_checkpoint_bytes_per_trace: 0,
+        obsv_submit_p50_us,
     };
     // The gate metric is a byte count — deterministic for a fixed
     // corpus — so a modest margin only absorbs intentional format
@@ -250,20 +297,34 @@ fn parse_budget(json: &str) -> Option<u64> {
     digits.parse().ok()
 }
 
+/// Pulls `"submit_p50_us": <x.y>` out of a stored report.
+fn parse_stored_p50(json: &str) -> Option<f64> {
+    let key = "\"submit_p50_us\":";
+    let at = json.find(key)? + key.len();
+    let rest = json[at..].trim_start();
+    let digits: String = rest
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.')
+        .collect();
+    digits.parse().ok()
+}
+
 fn main() {
     let mut smoke = false;
+    let mut obsv = false;
     let mut write: Option<String> = None;
     let mut check: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--smoke" => smoke = true,
+            "--obsv" => obsv = true,
             "--write" => write = args.next(),
             "--check" => check = args.next(),
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
-                    "usage: ingest [--smoke] [--write <path>] \
+                    "usage: ingest [--smoke] [--obsv] [--write <path>] \
                      [--check <path>]"
                 );
                 std::process::exit(2);
@@ -277,8 +338,11 @@ fn main() {
         smoke = true;
     }
 
-    let report = run(smoke);
+    let report = run(smoke, obsv);
     print!("{}", report.to_json());
+    if let Some(p50) = report.obsv_submit_p50_us {
+        eprintln!("obsv: submit latency histogram p50 <= {p50:.1} us");
+    }
 
     if let Some(path) = write {
         std::fs::write(&path, report.to_json())
@@ -304,5 +368,26 @@ fn main() {
             "checkpoint within budget: {measured:.1} <= {budget} \
              bytes/trace"
         );
+        // Instrumented-path sanity gate: the histogram p50 may not
+        // blow two orders of magnitude past the stored p50. The 100x
+        // margin absorbs machine differences; it trips on structural
+        // regressions (an accidental sleep, quadratic work per
+        // submit), not on noise.
+        if let Some(measured_p50) = report.obsv_submit_p50_us {
+            let stored_p50 = parse_stored_p50(&stored)
+                .unwrap_or_else(|| panic!("no submit_p50_us in {path}"));
+            if measured_p50 > stored_p50 * 100.0 {
+                eprintln!(
+                    "instrumented-submit regression: histogram p50 \
+                     {measured_p50:.1} us exceeds 100x the stored p50 \
+                     {stored_p50:.1} us"
+                );
+                std::process::exit(1);
+            }
+            eprintln!(
+                "instrumented submit within bounds: p50 {measured_p50:.1} \
+                 <= 100x {stored_p50:.1} us"
+            );
+        }
     }
 }

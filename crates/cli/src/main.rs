@@ -88,6 +88,7 @@ USAGE:
   energydx simulate --app <name> [--users <n>] [--fixed] --out <dir>
   energydx analyze (--dir <dir> | --bundles <dir>) [--fraction <0..1>]
                    [--top <k>] [--explain] [--jobs <n>] [--shards <n>] [--json]
+                   [--timings]
   energydx serve [--listen <addr>] [--state <dir>] [--queue-depth <n>]
                  [--retry-after-ms <ms>] [--compact-every <n>]
                  [--checkpoint-every <n>] [--ingest-delay-ms <ms>]
@@ -95,8 +96,8 @@ USAGE:
   energydx submit --addr <host:port> --app <name> (<payload.edxt>... | --dir <dir>)
                   [--max-attempts <n>]
   energydx query --addr <host:port> (--app <name> [--epoch <n>] | --stats
-                 | --health | --compact | --checkpoint | --rollover <app>
-                 | --shutdown)
+                 | --health | metrics | --compact | --checkpoint
+                 | --rollover <app> | --shutdown)
   energydx demo --app <name>
   energydx apps
 
@@ -287,7 +288,16 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
     let mut config =
         AnalysisConfig::default().with_developer_fraction(fraction);
     config.top_k = top_k;
-    let dx = EnergyDx::new(config.clone()).with_jobs(jobs);
+    let mut dx = EnergyDx::new(config.clone()).with_jobs(jobs);
+    // --timings attaches a metrics registry so every pipeline stage
+    // records a duration span; the exposition goes to stderr so the
+    // report bytes on stdout stay byte-identical either way.
+    let timings = args.iter().any(|a| a == "--timings");
+    if timings {
+        dx = dx.with_metrics(energydx_obsv::Metrics::enabled(
+            std::sync::Arc::new(energydx_obsv::MetricsRegistry::new()),
+        ));
+    }
     // The report is byte-identical for every --jobs and --shards
     // setting; the flags only choose how the work is scheduled.
     let report = if shards > 1 {
@@ -295,6 +305,11 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
     } else {
         dx.diagnose(&input)
     };
+    if timings {
+        if let Some(reg) = dx.metrics().registry() {
+            eprint!("{}", reg.render_prometheus());
+        }
+    }
 
     if args.iter().any(|a| a == "--json") {
         print!("{}", report.to_canonical_json());
@@ -500,6 +515,8 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
         Request::Stats
     } else if has("--health") {
         Request::Health
+    } else if has("metrics") || has("--metrics") {
+        Request::Metrics
     } else if has("--compact") {
         Request::Compact
     } else if has("--checkpoint") {
@@ -520,7 +537,8 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
         }
     } else {
         return Err("query needs one of --app, --stats, --health, \
-                    --compact, --checkpoint, --rollover, --shutdown"
+                    metrics, --compact, --checkpoint, --rollover, \
+                    --shutdown"
             .to_string());
     };
     let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
@@ -535,6 +553,7 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
                 println!();
             }
         }
+        Response::Metrics { text } => print!("{text}"),
         Response::Epoch { epoch } => println!("epoch {epoch}"),
         Response::Done => println!("ok"),
         Response::Error { message } => return Err(message),

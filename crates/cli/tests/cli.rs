@@ -418,7 +418,7 @@ fn serve_submit_query_matches_batch_analyze() {
         .unwrap();
     assert!(health.status.success());
     assert!(
-        String::from_utf8_lossy(&health.stdout).contains("\"status\":\"ok\"")
+        String::from_utf8_lossy(&health.stdout).contains("\"status\": \"ok\"")
     );
 
     let down = energydx()

@@ -179,11 +179,11 @@ fn fleetd_soak_survives_backpressure_crash_and_restart() {
     assert!(stats_out.status.success());
     let stats_json = String::from_utf8_lossy(&stats_out.stdout);
     assert!(
-        stats_json.contains("\"depth\":4"),
+        stats_json.contains("\"depth\": 4"),
         "stats must expose the queue: {stats_json}"
     );
     let max_seen: usize = stats_json
-        .split("\"max_seen\":")
+        .split("\"max_seen\": ")
         .nth(1)
         .and_then(|rest| rest.split(|c: char| !c.is_ascii_digit()).next())
         .and_then(|digits| digits.parse().ok())
@@ -193,8 +193,43 @@ fn fleetd_soak_survives_backpressure_crash_and_restart() {
         "queue exceeded its configured depth: {stats_json}"
     );
     assert!(
-        stats_json.contains(&format!("\"traces\":{}", 8 * 25)),
+        stats_json.contains(&format!("\"traces\": {}", 8 * 25)),
         "every pressure upload must be accounted for: {stats_json}"
+    );
+
+    // ---- Scrape the live daemon and parse the exposition: the ingest
+    // accounting, queue gauges, stage histograms, and the sheds the
+    // uploaders observed must all round-trip through the text format.
+    let metrics_out = energydx()
+        .args(["query", "--addr", &daemon.addr, "metrics"])
+        .output()
+        .unwrap();
+    assert!(metrics_out.status.success());
+    let text = String::from_utf8(metrics_out.stdout).expect("utf-8");
+    let samples = energydx_obsv::parse_exposition(&text)
+        .unwrap_or_else(|e| panic!("unparseable exposition ({e}): {text}"));
+    assert_eq!(
+        samples.get("fleetd_uploads_total;outcome=clean").copied(),
+        Some((8 * 25) as f64),
+        "{text}"
+    );
+    assert_eq!(
+        samples.get("fleetd_uploads_shed_total").copied(),
+        Some(hints as f64),
+        "every shed the uploaders saw must be on the counter: {text}"
+    );
+    assert_eq!(
+        samples.get("fleetd_queue_capacity").copied(),
+        Some(4.0),
+        "{text}"
+    );
+    let ingest_count = samples
+        .get("energydx_stage_duration_seconds_count;stage=ingest")
+        .copied()
+        .unwrap_or(0.0);
+    assert!(
+        ingest_count >= (8 * 25) as f64,
+        "every accepted upload records an ingest span: {text}"
     );
     shutdown(&daemon.addr, &mut daemon.child);
 

@@ -24,7 +24,7 @@ use crate::report::{
 /// of `tests/diff_harness.rs` and the storage format of
 /// `tests/golden/`.
 pub fn report_json(report: &DiagnosisReport) -> String {
-    let mut w = Writer::new();
+    let mut w = JsonWriter::new();
     w.obj(|w| {
         w.key("traces");
         w.arr(&report.traces, trace_json);
@@ -42,11 +42,10 @@ pub fn report_json(report: &DiagnosisReport) -> String {
         w.key("stats");
         stats_json(w, &report.stats);
     });
-    w.out.push('\n');
-    w.out
+    w.into_line()
 }
 
-fn trace_json(w: &mut Writer, t: &TraceAnalysis) {
+fn trace_json(w: &mut JsonWriter, t: &TraceAnalysis) {
     w.obj(|w| {
         w.key("raw_power_mw");
         w.floats(&t.raw_power_mw);
@@ -66,7 +65,7 @@ fn trace_json(w: &mut Writer, t: &TraceAnalysis) {
     });
 }
 
-fn point_json(w: &mut Writer, p: &ManifestationPoint) {
+fn point_json(w: &mut JsonWriter, p: &ManifestationPoint) {
     w.obj(|w| {
         w.key("instance_index");
         w.usize(p.instance_index);
@@ -77,7 +76,7 @@ fn point_json(w: &mut Writer, p: &ManifestationPoint) {
     });
 }
 
-fn event_json(w: &mut Writer, e: &RankedEvent) {
+fn event_json(w: &mut JsonWriter, e: &RankedEvent) {
     w.obj(|w| {
         w.key("event");
         w.string(&e.event);
@@ -88,7 +87,7 @@ fn event_json(w: &mut Writer, e: &RankedEvent) {
     });
 }
 
-fn stats_json(w: &mut Writer, s: &AnalysisStats) {
+fn stats_json(w: &mut JsonWriter, s: &AnalysisStats) {
     w.obj(|w| {
         w.key("total_traces");
         w.usize(s.total_traces);
@@ -110,7 +109,14 @@ fn stats_json(w: &mut Writer, s: &AnalysisStats) {
 
 /// A tiny pretty-printing JSON writer: 2-space indentation, scalar
 /// arrays on one line, object members one per line.
-struct Writer {
+///
+/// Public because it is the *one* JSON renderer of the workspace:
+/// every hand-rolled JSON surface (diagnosis reports here, fleetd's
+/// stats/health documents) goes through it, so key ordering, float
+/// formatting, and escaping are consistent — and byte-deterministic —
+/// everywhere.
+#[derive(Debug, Default)]
+pub struct JsonWriter {
     out: String,
     indent: usize,
     /// Whether the current container already has a member (comma
@@ -118,13 +124,36 @@ struct Writer {
     has_member: Vec<bool>,
 }
 
-impl Writer {
-    fn new() -> Self {
-        Writer {
+impl JsonWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        JsonWriter {
             out: String::new(),
             indent: 0,
             has_member: Vec::new(),
         }
+    }
+
+    /// The rendered document.
+    pub fn into_string(self) -> String {
+        self.out
+    }
+
+    /// The rendered document with a trailing newline — the shape every
+    /// CLI/file artifact in the repo uses.
+    pub fn into_line(mut self) -> String {
+        self.out.push('\n');
+        self.out
+    }
+
+    /// Appends a raw token (e.g. `null`) verbatim.
+    pub fn raw(&mut self, token: &str) {
+        self.out.push_str(token);
+    }
+
+    /// Writes an unsigned integer value.
+    pub fn u64(&mut self, v: u64) {
+        self.out.push_str(&v.to_string());
     }
 
     fn newline(&mut self) {
@@ -161,19 +190,28 @@ impl Writer {
         self.out.push(bracket);
     }
 
-    fn obj(&mut self, body: impl FnOnce(&mut Writer)) {
+    /// Writes an object whose members are emitted by `body`.
+    pub fn obj(&mut self, body: impl FnOnce(&mut JsonWriter)) {
         self.open('{');
         body(self);
         self.close('}');
     }
 
-    fn key(&mut self, key: &str) {
+    /// Starts an object member: comma bookkeeping, indentation, the
+    /// quoted key, and the `: ` separator. The caller writes the value.
+    pub fn key(&mut self, key: &str) {
         self.member();
         self.string(key);
         self.out.push_str(": ");
     }
 
-    fn arr<T>(&mut self, items: &[T], mut each: impl FnMut(&mut Writer, &T)) {
+    /// Writes an array with one member per line, each emitted by
+    /// `each`.
+    pub fn arr<T>(
+        &mut self,
+        items: &[T],
+        mut each: impl FnMut(&mut JsonWriter, &T),
+    ) {
         self.open('[');
         for item in items {
             self.member();
@@ -184,7 +222,7 @@ impl Writer {
 
     /// A scalar array on a single line — number series dominate a
     /// report, and one-line arrays keep golden files diffable.
-    fn floats(&mut self, values: &[f64]) {
+    pub fn floats(&mut self, values: &[f64]) {
         self.out.push('[');
         for (i, &v) in values.iter().enumerate() {
             if i > 0 {
@@ -195,7 +233,8 @@ impl Writer {
         self.out.push(']');
     }
 
-    fn strings(&mut self, values: &[String]) {
+    /// A string array on a single line.
+    pub fn strings(&mut self, values: &[String]) {
         self.out.push('[');
         for (i, v) in values.iter().enumerate() {
             if i > 0 {
@@ -206,7 +245,10 @@ impl Writer {
         self.out.push(']');
     }
 
-    fn float(&mut self, v: f64) {
+    /// Writes a float with shortest-round-trip `Display` (always a
+    /// valid JSON number that reads back as the same bits; non-finite
+    /// values render as `null`).
+    pub fn float(&mut self, v: f64) {
         if v.is_finite() {
             // Rust's shortest-round-trip Display: deterministic for
             // given bits, and `-0.0` keeps its sign so distinct bit
@@ -222,11 +264,13 @@ impl Writer {
         }
     }
 
-    fn usize(&mut self, v: usize) {
+    /// Writes an unsigned integer value.
+    pub fn usize(&mut self, v: usize) {
         self.out.push_str(&v.to_string());
     }
 
-    fn string(&mut self, s: &str) {
+    /// Writes a quoted, escaped JSON string.
+    pub fn string(&mut self, s: &str) {
         self.out.push('"');
         for c in s.chars() {
             match c {
@@ -299,7 +343,7 @@ mod tests {
 
     #[test]
     fn floats_always_read_back_as_numbers() {
-        let mut w = Writer::new();
+        let mut w = JsonWriter::new();
         w.float(2.0);
         w.out.push(' ');
         w.float(0.5);
@@ -308,7 +352,7 @@ mod tests {
         assert_eq!(w.out, "2.0 0.5 -0.0");
         // Every rendered float parses back to the exact same bits.
         for v in [2.0f64, 0.5, -0.0, 1e300, 1e-300, 123.456] {
-            let mut w = Writer::new();
+            let mut w = JsonWriter::new();
             w.float(v);
             let back: f64 = w.out.parse().unwrap();
             assert_eq!(back.to_bits(), v.to_bits(), "{v} -> {}", w.out);
@@ -317,7 +361,7 @@ mod tests {
 
     #[test]
     fn non_finite_floats_render_as_null() {
-        let mut w = Writer::new();
+        let mut w = JsonWriter::new();
         w.float(f64::NAN);
         w.out.push(' ');
         w.float(f64::INFINITY);
@@ -326,7 +370,7 @@ mod tests {
 
     #[test]
     fn strings_are_escaped() {
-        let mut w = Writer::new();
+        let mut w = JsonWriter::new();
         w.string("a\"b\\c\nd\u{1}");
         assert_eq!(w.out, "\"a\\\"b\\\\c\\nd\\u0001\"");
     }

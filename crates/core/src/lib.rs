@@ -74,6 +74,7 @@ pub mod shard;
 
 pub use config::AnalysisConfig;
 pub use input::DiagnosisInput;
+pub use json::JsonWriter;
 pub use pipeline::EnergyDx;
 pub use report::{
     AnalysisStats, CodeIndex, DiagnosisReport, RankedEvent, SkippedTrace,

@@ -12,6 +12,7 @@ use crate::report::{
     AnalysisStats, DiagnosisReport, ManifestationPoint, RankedEvent,
     SkippedTrace, TraceAnalysis,
 };
+use energydx_obsv::Metrics;
 use energydx_stats::outlier::TukeyFences;
 use energydx_stats::{average_ranks, percentile_many};
 use energydx_trace::intern::{EventId, InternedTrace};
@@ -354,13 +355,33 @@ pub(crate) fn trace_impact_interned(
 pub struct EnergyDx {
     config: AnalysisConfig,
     jobs: usize,
+    pub(crate) metrics: Metrics,
 }
 
 impl EnergyDx {
     /// Creates an analyzer with the given configuration and automatic
     /// worker-pool sizing (see [`crate::par::resolve_jobs`]).
     pub fn new(config: AnalysisConfig) -> Self {
-        EnergyDx { config, jobs: 0 }
+        EnergyDx {
+            config,
+            jobs: 0,
+            metrics: Metrics::disabled(),
+        }
+    }
+
+    /// Attaches a metrics handle: every pipeline stage then records
+    /// its duration into `energydx_stage_duration_seconds{stage=...}`.
+    /// The default handle is disabled and stage timing costs nothing.
+    /// Timing wraps whole stages, never per-instance work, so reports
+    /// stay byte-identical with metrics on or off.
+    pub fn with_metrics(mut self, metrics: Metrics) -> Self {
+        self.metrics = metrics;
+        self
+    }
+
+    /// The attached metrics handle (disabled by default).
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
     }
 
     /// Sets the worker-pool size for [`EnergyDx::diagnose`]. `0` (the
@@ -415,10 +436,22 @@ impl EnergyDx {
         let (input, skipped) = input.sanitized();
         let input = &input;
         let groups = EventGroups::collect(input);
-        let rankings = step2_rank(&groups);
-        let normalized = step3_normalize(input, &groups, &self.config);
-        let detections = step4_detect(&normalized, &self.config);
-        let ranked_events = step5_report(input, &detections, &self.config);
+        let rankings = {
+            let _span = self.metrics.span("rank");
+            step2_rank(&groups)
+        };
+        let normalized = {
+            let _span = self.metrics.span("normalize");
+            step3_normalize(input, &groups, &self.config)
+        };
+        let detections = {
+            let _span = self.metrics.span("detect");
+            step4_detect(&normalized, &self.config)
+        };
+        let ranked_events = {
+            let _span = self.metrics.span("report");
+            step5_report(input, &detections, &self.config)
+        };
 
         let stats = AnalysisStats {
             total_traces: input.len(),
@@ -722,6 +755,49 @@ mod tests {
         for jobs in [1, 2, 3, 8] {
             let report = EnergyDx::default().with_jobs(jobs).diagnose(&input);
             assert_eq!(report, reference, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn metrics_record_stage_durations_without_changing_the_report() {
+        use energydx_obsv::{MetricsRegistry, STAGE_FAMILY};
+        use std::sync::Arc;
+
+        let input = DiagnosisInput::new(vec![(0..20)
+            .map(|i| {
+                instance("E", i * 100, if i == 10 { 400.0 } else { 100.0 })
+            })
+            .collect()]);
+        let plain = EnergyDx::default().diagnose(&input);
+
+        let reg = Arc::new(MetricsRegistry::deterministic());
+        let dx = EnergyDx::default()
+            .with_metrics(Metrics::enabled(Arc::clone(&reg)));
+        assert_eq!(dx.diagnose(&input), plain, "metrics changed the report");
+        assert_eq!(
+            dx.diagnose_reference(&input),
+            plain,
+            "metrics changed the reference report"
+        );
+        assert_eq!(dx.diagnose_sharded(&input, 2), plain);
+
+        // diagnose + reference + sharded(2) touched every stage.
+        for stage in [
+            "map",
+            "merge",
+            "analyze",
+            "render",
+            "finish",
+            "rank",
+            "normalize",
+            "detect",
+            "report",
+        ] {
+            let snap = reg
+                .histogram_snapshot(STAGE_FAMILY, &[("stage", stage)])
+                .unwrap_or_else(|| panic!("stage {stage} not recorded"));
+            assert!(snap.count() > 0, "stage {stage} has no observations");
+            assert_eq!(snap.sum(), 0.0, "deterministic time must zero {stage}");
         }
     }
 

@@ -722,6 +722,7 @@ impl EnergyDx {
         traces: &[Vec<PoweredInstance>],
         offset: usize,
     ) -> ShardPartial {
+        let _span = self.metrics.span("map");
         let non_finite: Vec<usize> =
             crate::par::par_map(traces, self.jobs(), |_, trace| {
                 trace.iter().filter(|p| !p.power_mw.is_finite()).count()
@@ -784,6 +785,7 @@ impl EnergyDx {
         &self,
         partial: ShardPartial,
     ) -> Result<AnalyzedFleet, ShardError> {
+        let _span = self.metrics.span("analyze");
         if !partial.is_complete() {
             return Err(ShardError::IncompleteFleet {
                 covered: partial.segments.keys().copied().collect(),
@@ -839,6 +841,7 @@ impl EnergyDx {
     /// event names and assembles the [`DiagnosisReport`]. This is the
     /// only place the hot path allocates strings again.
     pub fn render(&self, fleet: AnalyzedFleet) -> DiagnosisReport {
+        let _span = self.metrics.span("render");
         let AnalyzedFleet {
             interner,
             traces,
@@ -924,6 +927,7 @@ impl EnergyDx {
         &self,
         partial: ShardPartial,
     ) -> Result<DiagnosisReport, ShardError> {
+        let _span = self.metrics.span("finish");
         Ok(self.render(self.analyze(partial)?))
     }
 
@@ -937,10 +941,16 @@ impl EnergyDx {
         shards: usize,
     ) -> DiagnosisReport {
         let traces = input.traces();
-        let partial = shard_bounds(traces.len(), shards)
+        let partials: Vec<ShardPartial> = shard_bounds(traces.len(), shards)
             .into_iter()
             .map(|(start, end)| self.map_shard(&traces[start..end], start))
-            .fold(ShardPartial::empty(), ShardPartial::merge);
+            .collect();
+        let partial = {
+            let _span = self.metrics.span("merge");
+            partials
+                .into_iter()
+                .fold(ShardPartial::empty(), ShardPartial::merge)
+        };
         self.finish(partial)
             .expect("a partition of the fleet merges to a complete partial")
     }

@@ -26,6 +26,7 @@
 use crate::codec::{CodecError, Reader, Writer};
 use crate::state::{AppState, EpochState, FleetConfig, FleetState};
 use energydx::shard::{SegmentParts, ShardPartial, ShardPartialParts};
+use energydx_obsv::EventKind;
 use energydx_trace::intern::{EventId, InternedTrace};
 use energydx_trace::store::{QuarantineEntry, RejectReason};
 use energydx_trace::wire;
@@ -164,6 +165,13 @@ pub fn checkpoint_bytes(state: &FleetState) -> Vec<u8> {
     let mut framed = out.into_vec();
     framed.extend_from_slice(&body);
     framed.extend_from_slice(&wire::crc32(&body).to_le_bytes());
+    let metrics = state.metrics();
+    metrics.set_gauge("fleetd_checkpoint_size_bytes", &[], framed.len() as f64);
+    metrics.inc("fleetd_checkpoint_saves_total", &[]);
+    metrics.event(
+        EventKind::CheckpointSave,
+        format!("bytes={} apps={}", framed.len(), state.apps.len()),
+    );
     framed
 }
 
@@ -366,6 +374,12 @@ pub fn restore_bytes(
             r.remaining()
         )));
     }
+    let metrics = state.metrics();
+    metrics.inc("fleetd_checkpoint_loads_total", &[]);
+    metrics.event(
+        EventKind::CheckpointLoad,
+        format!("bytes={} apps={}", data.len(), state.apps.len()),
+    );
     Ok(state)
 }
 

@@ -47,5 +47,5 @@ pub use checkpoint::{checkpoint_bytes, restore_bytes, CheckpointError};
 pub use client::{Client, ClientError, TcpBackend};
 pub use protocol::{Request, Response};
 pub use queue::{Enqueue, IngestQueue};
-pub use server::{FleetdHandle, ServerConfig, SubmitReply};
+pub use server::{render_metrics, FleetdHandle, ServerConfig, SubmitReply};
 pub use state::{FleetConfig, FleetState, QueryError};

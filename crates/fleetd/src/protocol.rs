@@ -103,6 +103,9 @@ pub enum Request {
     },
     /// Flush a final checkpoint and exit gracefully.
     Shutdown,
+    /// Prometheus-text metrics exposition (counters, gauges, stage
+    /// duration histograms, queue occupancy).
+    Metrics,
 }
 
 /// Coarse submit outcome carried over the wire. Repairs and salvage
@@ -174,6 +177,11 @@ pub enum Response {
     Error {
         /// Human-readable failure description.
         message: String,
+    },
+    /// Prometheus text exposition of the daemon's registry.
+    Metrics {
+        /// The exposition body, ready to serve to a scraper.
+        text: String,
     },
 }
 
@@ -301,6 +309,7 @@ impl Request {
                 7
             }
             Request::Shutdown => 8,
+            Request::Metrics => 9,
         };
         frame(kind, &w.into_vec())
     }
@@ -332,6 +341,7 @@ impl Request {
             6 => Request::Checkpoint,
             7 => Request::Rollover { app: r.str("app")? },
             8 => Request::Shutdown,
+            9 => Request::Metrics,
             k => return Err(ProtocolError::UnknownKind(k)),
         };
         expect_drained(&r)?;
@@ -378,6 +388,10 @@ impl Response {
                 w.str(message);
                 8
             }
+            Response::Metrics { text } => {
+                w.str(text);
+                9
+            }
         };
         frame(kind, &w.into_vec())
     }
@@ -423,6 +437,9 @@ impl Response {
             8 => Response::Error {
                 message: r.str("message")?,
             },
+            9 => Response::Metrics {
+                text: r.str("text")?,
+            },
             k => return Err(ProtocolError::UnknownKind(k)),
         };
         expect_drained(&r)?;
@@ -464,6 +481,7 @@ mod tests {
             Request::Checkpoint,
             Request::Rollover { app: "maps".into() },
             Request::Shutdown,
+            Request::Metrics,
         ]
     }
 
@@ -485,6 +503,9 @@ mod tests {
             Response::Done,
             Response::Error {
                 message: "unknown app".into(),
+            },
+            Response::Metrics {
+                text: "# TYPE up gauge\nup 1\n".into(),
             },
         ]
     }

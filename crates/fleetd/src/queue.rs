@@ -9,8 +9,9 @@
 //! submission therefore ends in exactly one of: accepted, salvaged,
 //! quarantined, or retried by the client.
 
+use energydx_obsv::{EventKind, Metrics};
 use energydx_trace::store::IngestOutcome;
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::mpsc;
 use std::sync::{Condvar, Mutex};
 
@@ -50,6 +51,7 @@ struct Inner {
     items: VecDeque<Job>,
     max_seen: usize,
     shed: usize,
+    shed_by_app: BTreeMap<String, usize>,
     closed: bool,
 }
 
@@ -60,15 +62,24 @@ pub struct IngestQueue {
     depth: usize,
     inner: Mutex<Inner>,
     not_empty: Condvar,
+    metrics: Metrics,
 }
 
 impl IngestQueue {
     /// A queue holding at most `depth` pending uploads (min 1).
     pub fn new(depth: usize) -> Self {
+        Self::with_metrics(depth, Metrics::disabled())
+    }
+
+    /// Like [`IngestQueue::new`], additionally recording sheds into
+    /// `metrics` (`fleetd_uploads_shed_total` plus a ring event per
+    /// shed) — the server wires its state registry in here.
+    pub fn with_metrics(depth: usize, metrics: Metrics) -> Self {
         IngestQueue {
             depth: depth.max(1),
             inner: Mutex::new(Inner::default()),
             not_empty: Condvar::new(),
+            metrics,
         }
     }
 
@@ -87,6 +98,13 @@ impl IngestQueue {
         }
         if inner.items.len() >= self.depth {
             inner.shed += 1;
+            *inner.shed_by_app.entry(app.clone()).or_insert(0) += 1;
+            drop(inner);
+            self.metrics.inc("fleetd_uploads_shed_total", &[]);
+            self.metrics.event(
+                EventKind::Shed,
+                format!("app={app} depth={}", self.depth),
+            );
             return Enqueue::Full;
         }
         let (tx, rx) = mpsc::sync_channel(1);
@@ -145,6 +163,13 @@ impl IngestQueue {
     pub fn shed_count(&self) -> usize {
         self.inner.lock().unwrap().shed
     }
+
+    /// Sheds broken down by app — each shed answered a specific
+    /// client with `RetryAfter`, so this is also the per-client
+    /// `RetryAfter` count the health document reports.
+    pub fn shed_by_app(&self) -> BTreeMap<String, usize> {
+        self.inner.lock().unwrap().shed_by_app.clone()
+    }
 }
 
 #[cfg(test)]
@@ -161,6 +186,35 @@ mod tests {
         assert_eq!(q.len(), 2);
         assert_eq!(q.shed_count(), 1);
         assert_eq!(q.max_depth_seen(), 2);
+    }
+
+    #[test]
+    fn sheds_are_attributed_per_app_and_recorded() {
+        use energydx_obsv::MetricsRegistry;
+
+        let reg = Arc::new(MetricsRegistry::deterministic());
+        let q =
+            IngestQueue::with_metrics(1, Metrics::enabled(Arc::clone(&reg)));
+        let _keep = q.submit("mail".into(), vec![1]);
+        assert!(matches!(q.submit("mail".into(), vec![2]), Enqueue::Full));
+        assert!(matches!(q.submit("gps".into(), vec![3]), Enqueue::Full));
+        assert!(matches!(q.submit("mail".into(), vec![4]), Enqueue::Full));
+        let by_app = q.shed_by_app();
+        assert_eq!(by_app.get("mail"), Some(&2));
+        assert_eq!(by_app.get("gps"), Some(&1));
+        assert_eq!(q.shed_count(), 3);
+        assert_eq!(
+            reg.counter_value("fleetd_uploads_shed_total", &[]),
+            Some(3)
+        );
+        assert_eq!(
+            reg.counter_value("energydx_events_total", &[("kind", "shed")]),
+            Some(3)
+        );
+        assert!(reg
+            .recent_events()
+            .iter()
+            .any(|e| e.detail == "app=gps depth=1"));
     }
 
     #[test]

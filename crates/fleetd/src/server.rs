@@ -23,6 +23,8 @@ use crate::checkpoint::{self, CheckpointError};
 use crate::protocol::{read_frame, OutcomeCode, Request, Response};
 use crate::queue::{Enqueue, IngestQueue};
 use crate::state::{FleetConfig, FleetState, QueryError};
+use energydx::JsonWriter;
+use energydx_obsv::Metrics;
 use energydx_trace::store::IngestOutcome;
 use std::io::Write as IoWrite;
 use std::net::{TcpListener, TcpStream};
@@ -30,6 +32,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Daemon deployment configuration.
 #[derive(Debug, Clone)]
@@ -82,8 +85,10 @@ pub enum SubmitReply {
 pub struct FleetdHandle {
     state: Arc<Mutex<FleetState>>,
     queue: Arc<IngestQueue>,
+    metrics: Metrics,
     retry_after_ms: u64,
     state_dir: Option<PathBuf>,
+    last_checkpoint: Arc<Mutex<Option<Instant>>>,
     worker: Mutex<Option<JoinHandle<()>>>,
 }
 
@@ -102,11 +107,19 @@ impl FleetdHandle {
                 .unwrap_or_else(|| FleetState::new(config.fleet.clone())),
             None => FleetState::new(config.fleet.clone()),
         };
+        let metrics = state.metrics().clone();
         let state = Arc::new(Mutex::new(state));
-        let queue = Arc::new(IngestQueue::new(config.queue_depth));
+        // The queue shares the state's registry, so sheds and queue
+        // gauges land in the same exposition as ingest accounting.
+        let queue = Arc::new(IngestQueue::with_metrics(
+            config.queue_depth,
+            metrics.clone(),
+        ));
+        let last_checkpoint = Arc::new(Mutex::new(None));
         let worker = {
             let state = Arc::clone(&state);
             let queue = Arc::clone(&queue);
+            let last_checkpoint = Arc::clone(&last_checkpoint);
             let state_dir = config.state_dir.clone();
             let every = config.checkpoint_every;
             let delay = config.ingest_delay_ms;
@@ -128,10 +141,17 @@ impl FleetdHandle {
                             since_checkpoint = 0;
                             // Best-effort: a failed periodic snapshot
                             // must not take ingestion down.
-                            if let Err(e) =
-                                checkpoint::save_to(&state.lock().unwrap(), dir)
-                            {
-                                eprintln!("fleetd: checkpoint failed: {e}");
+                            match checkpoint::save_to(
+                                &state.lock().unwrap(),
+                                dir,
+                            ) {
+                                Ok(_) => {
+                                    *last_checkpoint.lock().unwrap() =
+                                        Some(Instant::now());
+                                }
+                                Err(e) => {
+                                    eprintln!("fleetd: checkpoint failed: {e}");
+                                }
                             }
                         }
                     }
@@ -142,8 +162,10 @@ impl FleetdHandle {
         Ok(FleetdHandle {
             state,
             queue,
+            metrics,
             retry_after_ms: config.retry_after_ms,
             state_dir: config.state_dir,
+            last_checkpoint,
             worker: Mutex::new(Some(worker)),
         })
     }
@@ -176,35 +198,98 @@ impl FleetdHandle {
         self.state.lock().unwrap().diagnose_json(app, epoch)
     }
 
-    /// Server-level stats: queue accounting spliced into the state's
-    /// per-app accounting, as one canonical JSON document.
+    /// Server-level stats: queue accounting and the recent structured
+    /// event ring spliced into the state's per-app accounting, as one
+    /// canonical JSON document.
     pub fn stats_json(&self) -> String {
-        let state_json = self.state.lock().unwrap().stats_json();
-        let body = state_json.strip_suffix('}').unwrap_or(&state_json);
-        format!(
-            "{body},\"queue\":{{\"depth\":{},\"max_seen\":{},\
-             \"pending\":{},\"shed\":{}}}}}",
-            self.queue.depth(),
-            self.queue.max_depth_seen(),
-            self.queue.len(),
-            self.queue.shed_count()
-        )
+        let state = self.state.lock().unwrap();
+        let events = match state.metrics().registry() {
+            Some(reg) => reg.recent_events(),
+            None => Vec::new(),
+        };
+        let mut w = JsonWriter::new();
+        w.obj(|w| {
+            state.write_stats(w);
+            w.key("events");
+            w.arr(&events, |w, e| {
+                w.obj(|w| {
+                    w.key("detail");
+                    w.string(&e.detail);
+                    w.key("kind");
+                    w.string(e.kind.as_str());
+                    w.key("seq");
+                    w.u64(e.seq);
+                });
+            });
+            w.key("queue");
+            w.obj(|w| {
+                w.key("depth");
+                w.usize(self.queue.depth());
+                w.key("max_seen");
+                w.usize(self.queue.max_depth_seen());
+                w.key("pending");
+                w.usize(self.queue.len());
+                w.key("shed");
+                w.usize(self.queue.shed_count());
+            });
+        });
+        w.into_line()
     }
 
-    /// Liveness summary with queue occupancy.
+    /// Liveness summary with queue occupancy, shed totals, and the
+    /// per-client `RetryAfter` counts (each shed answered one client
+    /// with `RetryAfter`, so the per-app shed map *is* that count).
     pub fn health_json(&self) -> String {
         let state = self.state.lock().unwrap();
-        let epochs: usize =
-            state.apps().values().map(|a| a.epochs().len()).sum();
-        format!(
-            "{{\"apps\":{},\"epochs\":{},\"pending\":{},\
-             \"quarantined\":{},\"status\":\"ok\",\"traces\":{}}}",
-            state.apps().len(),
-            epochs,
-            self.queue.len(),
-            state.quarantined_total(),
-            state.accepted_total()
-        )
+        let retry_after = self.queue.shed_by_app();
+        let mut w = JsonWriter::new();
+        w.obj(|w| {
+            w.key("apps");
+            w.usize(state.apps().len());
+            w.key("epochs");
+            w.usize(state.epochs_total());
+            w.key("pending");
+            w.usize(self.queue.len());
+            w.key("quarantined");
+            w.usize(state.quarantined_total());
+            w.key("retry_after");
+            w.obj(|w| {
+                for (app, n) in &retry_after {
+                    w.key(app);
+                    w.usize(*n);
+                }
+            });
+            w.key("shed");
+            w.usize(self.queue.shed_count());
+            w.key("status");
+            w.string("ok");
+            w.key("traces");
+            w.usize(state.accepted_total());
+        });
+        w.into_line()
+    }
+
+    /// Prometheus text exposition of the daemon's registry, with
+    /// scrape-time queue and checkpoint gauges refreshed first.
+    pub fn metrics_text(&self) -> String {
+        let state = self.state.lock().unwrap();
+        render_metrics(&state, &self.queue, self.checkpoint_age_seconds())
+    }
+
+    /// Seconds since the last successful checkpoint; `None` before the
+    /// first one. Pinned to `0` under deterministic time so the
+    /// exposition stays byte-stable.
+    fn checkpoint_age_seconds(&self) -> Option<f64> {
+        let saved = (*self.last_checkpoint.lock().unwrap())?;
+        let deterministic = self
+            .metrics
+            .registry()
+            .is_some_and(|r| r.is_deterministic());
+        Some(if deterministic {
+            0.0
+        } else {
+            saved.elapsed().as_secs_f64()
+        })
     }
 
     /// Collapses every epoch's deltas; returns epochs compacted.
@@ -222,7 +307,9 @@ impl FleetdHandle {
         match &self.state_dir {
             Some(dir) => {
                 let state = self.state.lock().unwrap();
-                checkpoint::save_to(&state, dir).map(Some)
+                let path = checkpoint::save_to(&state, dir)?;
+                *self.last_checkpoint.lock().unwrap() = Some(Instant::now());
+                Ok(Some(path))
             }
             None => Ok(None),
         }
@@ -257,12 +344,58 @@ impl FleetdHandle {
         if let Some(dir) = &self.state_dir {
             let state = self.state.lock().unwrap();
             checkpoint::save_to(&state, dir)?;
+            *self.last_checkpoint.lock().unwrap() = Some(Instant::now());
         }
         Ok(())
     }
 }
 
+/// Renders the Prometheus exposition for a state/queue pair,
+/// refreshing the scrape-time gauges (queue occupancy, capacity,
+/// high-water mark, and — when known — checkpoint age) first. Split
+/// out of [`FleetdHandle`] so the golden test can drive it against a
+/// deterministic registry without a running daemon.
+pub fn render_metrics(
+    state: &FleetState,
+    queue: &IngestQueue,
+    checkpoint_age_seconds: Option<f64>,
+) -> String {
+    let metrics = state.metrics();
+    metrics.set_gauge("fleetd_queue_depth", &[], queue.len() as f64);
+    metrics.set_gauge("fleetd_queue_capacity", &[], queue.depth() as f64);
+    metrics.set_gauge(
+        "fleetd_queue_max_depth",
+        &[],
+        queue.max_depth_seen() as f64,
+    );
+    if let Some(age) = checkpoint_age_seconds {
+        metrics.set_gauge("fleetd_checkpoint_age_seconds", &[], age);
+    }
+    match metrics.registry() {
+        Some(reg) => reg.render_prometheus(),
+        None => String::new(),
+    }
+}
+
+fn request_kind(req: &Request) -> &'static str {
+    match req {
+        Request::Submit { .. } => "submit",
+        Request::Diagnose { .. } => "diagnose",
+        Request::Stats => "stats",
+        Request::Health => "health",
+        Request::Compact => "compact",
+        Request::Checkpoint => "checkpoint",
+        Request::Rollover { .. } => "rollover",
+        Request::Shutdown => "shutdown",
+        Request::Metrics => "metrics",
+    }
+}
+
 fn dispatch(handle: &FleetdHandle, req: Request) -> Response {
+    let _span = handle.metrics.timer(
+        "fleetd_request_duration_seconds",
+        &[("kind", request_kind(&req))],
+    );
     match req {
         Request::Submit { app, payload } => {
             match handle.submit(&app, payload) {
@@ -304,6 +437,9 @@ fn dispatch(handle: &FleetdHandle, req: Request) -> Response {
             epoch: handle.rollover(&app),
         },
         Request::Shutdown => Response::Done,
+        Request::Metrics => Response::Metrics {
+            text: handle.metrics_text(),
+        },
     }
 }
 

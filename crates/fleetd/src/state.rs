@@ -16,13 +16,15 @@
 use crate::convert;
 use energydx::report::DiagnosisReport;
 use energydx::shard::ShardPartial;
-use energydx::{AnalysisConfig, EnergyDx};
+use energydx::{AnalysisConfig, EnergyDx, JsonWriter};
+use energydx_obsv::{EventKind, Metrics, MetricsRegistry};
 use energydx_trace::repair::RepairPolicy;
 use energydx_trace::store::{
     prepare_wire, IngestOutcome, PreparedUpload, QuarantineEntry, RejectReason,
 };
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::sync::Arc;
 
 /// Everything that parameterizes the analysis a daemon serves.
 #[derive(Debug, Clone)]
@@ -189,22 +191,42 @@ pub struct FleetState {
     pub(crate) config: FleetConfig,
     pub(crate) dx: EnergyDx,
     pub(crate) apps: BTreeMap<String, AppState>,
+    pub(crate) metrics: Metrics,
 }
 
 impl FleetState {
-    /// An empty fleet under `config`.
+    /// An empty fleet under `config`, with its own metrics registry
+    /// (wall-clock durations unless `ENERGYDX_DETERMINISTIC_TIME=1`).
     pub fn new(config: FleetConfig) -> Self {
-        let dx = EnergyDx::new(config.analysis.clone()).with_jobs(config.jobs);
+        Self::with_registry(config, Arc::new(MetricsRegistry::new()))
+    }
+
+    /// An empty fleet recording into the given registry — the hook
+    /// golden tests use to force deterministic durations.
+    pub fn with_registry(
+        config: FleetConfig,
+        registry: Arc<MetricsRegistry>,
+    ) -> Self {
+        let metrics = Metrics::enabled(registry);
+        let dx = EnergyDx::new(config.analysis.clone())
+            .with_jobs(config.jobs)
+            .with_metrics(metrics.clone());
         FleetState {
             config,
             dx,
             apps: BTreeMap::new(),
+            metrics,
         }
     }
 
     /// The configuration the state was built with.
     pub fn config(&self) -> &FleetConfig {
         &self.config
+    }
+
+    /// The metrics handle every ingest/query records through.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
     }
 
     /// Per-app state, for assertions and the checkpointer.
@@ -253,11 +275,20 @@ impl FleetState {
         app: &str,
         prepared: PreparedUpload,
     ) -> IngestOutcome {
+        let _span = self.metrics.span("ingest");
         let compact_every = self.config.compact_every;
         let epoch = self.apps.entry(app.to_string()).or_default().current_mut();
         match prepared {
             PreparedUpload::Rejected(entry) => {
                 let outcome = IngestOutcome::Rejected(entry.reason);
+                self.metrics.inc(
+                    "fleetd_uploads_quarantined_total",
+                    &[("reason", &entry.reason.to_string())],
+                );
+                self.metrics.event(
+                    EventKind::Quarantine,
+                    format!("app={app} reason={}", entry.reason),
+                );
                 epoch.quarantine.push(entry);
                 outcome
             }
@@ -276,21 +307,45 @@ impl FleetState {
                             bundle.session, bundle.user
                         ),
                     });
+                    self.metrics.inc(
+                        "fleetd_uploads_quarantined_total",
+                        &[("reason", "duplicate")],
+                    );
+                    self.metrics.event(
+                        EventKind::Quarantine,
+                        format!("app={app} reason=duplicate"),
+                    );
                     return IngestOutcome::Rejected(RejectReason::Duplicate);
                 }
-                let trace = convert::bundle_to_trace(&bundle);
+                let trace = {
+                    let _span = self.metrics.span("convert");
+                    convert::bundle_to_trace(&bundle)
+                };
                 let delta = self.dx.map_shard(&[trace], epoch.trace_count);
                 epoch.trace_count += 1;
                 epoch.deltas.push(delta);
                 let outcome = if repairs.is_empty() && salvage.is_none() {
                     epoch.clean += 1;
+                    self.metrics
+                        .inc("fleetd_uploads_total", &[("outcome", "clean")]);
                     IngestOutcome::Clean
                 } else {
                     epoch.recovered += 1;
+                    self.metrics.inc(
+                        "fleetd_uploads_total",
+                        &[("outcome", "recovered")],
+                    );
                     IngestOutcome::Recovered { repairs, salvage }
                 };
-                if compact_every > 0 && epoch.deltas.len() >= compact_every {
-                    epoch.compact();
+                if compact_every > 0
+                    && epoch.deltas.len() >= compact_every
+                    && epoch.compact()
+                {
+                    self.metrics.inc("fleetd_compactions_total", &[]);
+                    self.metrics.event(
+                        EventKind::Compaction,
+                        format!("app={app} trigger=auto"),
+                    );
                 }
                 outcome
             }
@@ -302,11 +357,21 @@ impl FleetState {
     /// guarantees queries before and after compaction are
     /// byte-identical.
     pub fn compact(&mut self) -> usize {
-        self.apps
+        let compacted: usize = self
+            .apps
             .values_mut()
             .flat_map(|a| a.epochs.values_mut())
             .map(|e| usize::from(e.compact()))
-            .sum()
+            .sum();
+        if compacted > 0 {
+            self.metrics
+                .add("fleetd_compactions_total", &[], compacted as u64);
+            self.metrics.event(
+                EventKind::Compaction,
+                format!("epochs={compacted} trigger=explicit"),
+            );
+        }
+        compacted
     }
 
     /// Freezes `app`'s current epoch and opens the next one; returns
@@ -318,7 +383,11 @@ impl FleetState {
         state.current_mut();
         state.current_epoch += 1;
         state.current_mut();
-        state.current_epoch
+        let epoch = state.current_epoch;
+        self.metrics.inc("fleetd_epoch_rollovers_total", &[]);
+        self.metrics
+            .event(EventKind::Rollover, format!("app={app} epoch={epoch}"));
+        epoch
     }
 
     fn epoch(
@@ -353,7 +422,10 @@ impl FleetState {
         app: &str,
         epoch: Option<u64>,
     ) -> Result<DiagnosisReport, QueryError> {
-        let partial = self.epoch(app, epoch)?.folded();
+        let partial = {
+            let _span = self.metrics.span("merge");
+            self.epoch(app, epoch)?.folded()
+        };
         self.dx
             .finish(partial)
             .map_err(|e| QueryError::Analysis(e.to_string()))
@@ -373,82 +445,80 @@ impl FleetState {
         Ok(self.diagnose(app, epoch)?.to_canonical_json())
     }
 
+    /// Total epochs across all apps (frozen ones included).
+    pub fn epochs_total(&self) -> usize {
+        self.apps.values().map(|a| a.epochs.len()).sum()
+    }
+
+    /// Writes the per-app ingestion accounting as the member of an
+    /// enclosing object — the shared body of [`FleetState::stats_json`]
+    /// and the server's extended stats document.
+    pub(crate) fn write_stats(&self, w: &mut JsonWriter) {
+        w.key("apps");
+        w.obj(|w| {
+            for (app, state) in &self.apps {
+                w.key(app);
+                w.obj(|w| {
+                    w.key("current_epoch");
+                    w.u64(state.current_epoch);
+                    w.key("epochs");
+                    w.obj(|w| {
+                        for (id, e) in &state.epochs {
+                            w.key(&id.to_string());
+                            w.obj(|w| {
+                                w.key("clean");
+                                w.usize(e.clean);
+                                w.key("deltas");
+                                w.usize(e.deltas.len());
+                                w.key("quarantined");
+                                w.obj(|w| {
+                                    for (reason, n) in e.quarantine_counters() {
+                                        w.key(&reason.to_string());
+                                        w.usize(n);
+                                    }
+                                });
+                                w.key("recovered");
+                                w.usize(e.recovered);
+                                w.key("traces");
+                                w.usize(e.trace_count);
+                            });
+                        }
+                    });
+                });
+            }
+        });
+    }
+
     /// Ingestion accounting as canonical JSON: per app, per epoch —
     /// clean/recovered counts, per-reason quarantine counters, trace
-    /// and delta counts. Keys are sorted; equal states render equal
+    /// and delta counts. Rendered through the workspace
+    /// [`JsonWriter`], so key ordering, float formatting, and escaping
+    /// match every other JSON surface; equal states render equal
     /// bytes.
     pub fn stats_json(&self) -> String {
-        let mut out = String::from("{\"apps\":{");
-        for (i, (app, state)) in self.apps.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            out.push_str(&format!(
-                "{}:{{\"current_epoch\":{},\"epochs\":{{",
-                json_str(app),
-                state.current_epoch
-            ));
-            for (j, (id, e)) in state.epochs.iter().enumerate() {
-                if j > 0 {
-                    out.push(',');
-                }
-                out.push_str(&format!(
-                    "\"{id}\":{{\"clean\":{},\"deltas\":{},\"quarantined\":{{",
-                    e.clean,
-                    e.deltas.len()
-                ));
-                for (k, (reason, n)) in
-                    e.quarantine_counters().iter().enumerate()
-                {
-                    if k > 0 {
-                        out.push(',');
-                    }
-                    out.push_str(&format!("\"{reason}\":{n}"));
-                }
-                out.push_str(&format!(
-                    "}},\"recovered\":{},\"traces\":{}}}",
-                    e.recovered, e.trace_count
-                ));
-            }
-            out.push_str("}}");
-        }
-        out.push_str("}}");
-        out
+        let mut w = JsonWriter::new();
+        w.obj(|w| self.write_stats(w));
+        w.into_line()
     }
 
-    /// Liveness summary as canonical JSON.
+    /// Liveness summary as canonical JSON (keys sorted), through the
+    /// same [`JsonWriter`] as every other JSON surface.
     pub fn health_json(&self) -> String {
-        let epochs: usize = self.apps.values().map(|a| a.epochs.len()).sum();
-        format!(
-            "{{\"apps\":{},\"epochs\":{},\"quarantined\":{},\
-             \"status\":\"ok\",\"traces\":{}}}",
-            self.apps.len(),
-            epochs,
-            self.quarantined_total(),
-            self.accepted_total()
-        )
+        let mut w = JsonWriter::new();
+        w.obj(|w| {
+            w.key("apps");
+            w.usize(self.apps.len());
+            w.key("epochs");
+            w.usize(self.epochs_total());
+            w.key("quarantined");
+            w.usize(self.quarantined_total());
+            w.key("status");
+            w.string("ok");
+            w.key("traces");
+            w.usize(self.accepted_total());
+        });
+        w.into_line()
     }
-}
-
-/// Minimal JSON string rendering (quotes, backslashes, control chars).
-fn json_str(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
 }
 
 #[cfg(test)]
@@ -563,11 +633,79 @@ mod tests {
         state.submit("app", &payload("u", 0));
         state.submit("app", &[0u8; 4]);
         let stats = state.stats_json();
-        assert!(stats.contains("\"clean\":1"), "{stats}");
-        assert!(stats.contains("\"duplicate\":1"), "{stats}");
-        assert!(stats.contains("\"undecodable\":1"), "{stats}");
+        assert!(stats.contains("\"clean\": 1"), "{stats}");
+        assert!(stats.contains("\"duplicate\": 1"), "{stats}");
+        assert!(stats.contains("\"undecodable\": 1"), "{stats}");
         let health = state.health_json();
-        assert!(health.contains("\"traces\":1"), "{health}");
-        assert!(health.contains("\"quarantined\":2"), "{health}");
+        assert!(health.contains("\"traces\": 1"), "{health}");
+        assert!(health.contains("\"quarantined\": 2"), "{health}");
+        // Both documents come from the shared JsonWriter: pretty,
+        // newline-terminated, balanced.
+        for doc in [&stats, &health] {
+            assert!(doc.starts_with("{\n"), "{doc}");
+            assert!(doc.ends_with("}\n"), "{doc}");
+            assert_eq!(
+                doc.matches('{').count(),
+                doc.matches('}').count(),
+                "{doc}"
+            );
+        }
+    }
+
+    #[test]
+    fn ingest_accounting_reaches_the_registry() {
+        let reg = Arc::new(MetricsRegistry::deterministic());
+        let mut state =
+            FleetState::with_registry(FleetConfig::default(), Arc::clone(&reg));
+        state.submit("app", &payload("u", 0));
+        state.submit("app", &payload("u", 0)); // duplicate
+        state.submit("app", &[0xAB; 16]); // undecodable
+        state.rollover("app");
+        state.submit("app", &payload("u", 1));
+        let _ = state.diagnose_json("app", None).unwrap();
+
+        let counter = |family: &str, labels: &[(&str, &str)]| {
+            reg.counter_value(family, labels).unwrap_or(0)
+        };
+        assert_eq!(counter("fleetd_uploads_total", &[("outcome", "clean")]), 2);
+        assert_eq!(
+            counter(
+                "fleetd_uploads_quarantined_total",
+                &[("reason", "duplicate")]
+            ),
+            1
+        );
+        assert_eq!(
+            counter(
+                "fleetd_uploads_quarantined_total",
+                &[("reason", "undecodable")]
+            ),
+            1
+        );
+        assert_eq!(counter("fleetd_epoch_rollovers_total", &[]), 1);
+        assert_eq!(
+            counter("energydx_events_total", &[("kind", "quarantine")]),
+            2
+        );
+        // Ingest + pipeline stages were timed (zero under the
+        // deterministic registry).
+        for stage in ["ingest", "convert", "map", "merge", "finish"] {
+            let snap = reg
+                .histogram_snapshot(
+                    energydx_obsv::STAGE_FAMILY,
+                    &[("stage", stage)],
+                )
+                .unwrap_or_else(|| panic!("stage {stage} missing"));
+            assert!(snap.count() > 0, "stage {stage} empty");
+            assert_eq!(snap.sum(), 0.0);
+        }
+        // The quarantine events carry app and reason context.
+        let events = reg.recent_events();
+        assert!(events.iter().any(|e| e.kind == EventKind::Quarantine
+            && e.detail == "app=app reason=duplicate"));
+        assert!(events
+            .iter()
+            .any(|e| e.kind == EventKind::Rollover
+                && e.detail == "app=app epoch=1"));
     }
 }

@@ -100,7 +100,22 @@ fn backpressure_is_bounded_explicit_and_lossless() {
     // Nothing was lost and nothing double-counted: the state holds
     // exactly the unique (user, session) pairs submitted.
     let stats = handle.stats_json();
-    assert!(stats.contains(&format!("\"traces\":{total}")), "{stats}");
+    assert!(stats.contains(&format!("\"traces\": {total}")), "{stats}");
+    // The sheds the clients saw are also in the metrics registry and
+    // attributed per app in the health document.
+    let health = handle.health_json();
+    assert!(
+        health.contains(&format!("\"pressure\": {client_retries}")),
+        "{health}"
+    );
+    let text = handle.metrics_text();
+    let samples =
+        energydx_obsv::parse_exposition(&text).expect("valid exposition");
+    assert_eq!(
+        samples.get("fleetd_uploads_shed_total").copied(),
+        Some(client_retries as f64),
+        "{text}"
+    );
     handle.shutdown().expect("clean shutdown");
 }
 
@@ -228,7 +243,7 @@ fn tcp_round_trip_matches_the_batch_reference() {
 
     for (req, check) in [
         (Request::Stats, "\"queue\""),
-        (Request::Health, "\"status\":\"ok\""),
+        (Request::Health, "\"status\": \"ok\""),
     ] {
         match client.request(&req).expect("query") {
             Response::Stats { json } | Response::Health { json } => {
@@ -236,6 +251,40 @@ fn tcp_round_trip_matches_the_batch_reference() {
             }
             other => panic!("expected json, got {other:?}"),
         }
+    }
+    // A metrics scrape over the socket parses and carries the ingest
+    // accounting the submits above produced.
+    match client.request(&Request::Metrics).expect("metrics") {
+        Response::Metrics { text } => {
+            let samples = energydx_obsv::parse_exposition(&text)
+                .expect("valid exposition");
+            assert_eq!(
+                samples.get("fleetd_uploads_total;outcome=clean").copied(),
+                Some(3.0),
+                "{text}"
+            );
+            assert_eq!(
+                samples
+                    .get("fleetd_uploads_quarantined_total;reason=undecodable")
+                    .copied(),
+                Some(1.0),
+                "{text}"
+            );
+            assert_eq!(
+                samples.get("fleetd_queue_capacity").copied(),
+                Some(64.0),
+                "{text}"
+            );
+            assert!(
+                samples
+                    .get("fleetd_request_duration_seconds_count;kind=diagnose")
+                    .copied()
+                    .unwrap_or(0.0)
+                    >= 1.0,
+                "{text}"
+            );
+        }
+        other => panic!("expected metrics, got {other:?}"),
     }
     assert_eq!(
         client.request(&Request::Compact).expect("compact"),

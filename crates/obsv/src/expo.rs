@@ -1,0 +1,369 @@
+//! Prometheus text exposition: deterministic rendering and a strict
+//! parser for scrape smoke tests.
+
+use crate::metrics::{Metric, MetricsRegistry};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Shortest-round-trip float rendering; non-finite values use the
+/// Prometheus spellings (they do not occur in practice).
+fn fmt_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v.is_infinite() {
+        if v > 0.0 { "+Inf" } else { "-Inf" }.to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Escapes a label value per the exposition format.
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+fn label_block(
+    set: &[(String, String)],
+    extra: Option<(&str, &str)>,
+) -> String {
+    let mut parts: Vec<String> = set
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{}\"", escape_label(v)));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+/// Renders every family of `reg` in Prometheus text format. Families
+/// and series are emitted in sorted order and floats use shortest
+/// round-trip rendering, so equal registries render equal bytes.
+pub fn render_prometheus(reg: &MetricsRegistry) -> String {
+    let fams = reg.families.read().expect("registry lock");
+    let mut out = String::new();
+    for (name, fam) in fams.iter() {
+        let _ = writeln!(out, "# TYPE {name} {}", fam.kind.as_str());
+        for (set, metric) in &fam.series {
+            match metric {
+                Metric::Counter(c) => {
+                    let _ = writeln!(
+                        out,
+                        "{name}{} {}",
+                        label_block(set, None),
+                        c.get()
+                    );
+                }
+                Metric::Gauge(g) => {
+                    let _ = writeln!(
+                        out,
+                        "{name}{} {}",
+                        label_block(set, None),
+                        fmt_value(g.get())
+                    );
+                }
+                Metric::Histogram(h) => {
+                    let snap = h.snapshot();
+                    let mut cum = 0u64;
+                    for (bound, count) in
+                        snap.buckets().bounds().iter().zip(snap.counts())
+                    {
+                        cum += count;
+                        let _ = writeln!(
+                            out,
+                            "{name}_bucket{} {cum}",
+                            label_block(set, Some(("le", &fmt_value(*bound))))
+                        );
+                    }
+                    cum += snap.counts().last().expect("overflow cell");
+                    let _ = writeln!(
+                        out,
+                        "{name}_bucket{} {cum}",
+                        label_block(set, Some(("le", "+Inf")))
+                    );
+                    let _ = writeln!(
+                        out,
+                        "{name}_sum{} {}",
+                        label_block(set, None),
+                        fmt_value(snap.sum())
+                    );
+                    let _ = writeln!(
+                        out,
+                        "{name}_count{} {cum}",
+                        label_block(set, None)
+                    );
+                }
+            }
+        }
+    }
+    out
+}
+
+/// One parsed sample line: metric name, sorted label pairs, value.
+type Sample = (String, Vec<(String, String)>, f64);
+
+fn parse_line(line: &str) -> Result<Sample, String> {
+    let err = |what: &str| format!("{what}: {line:?}");
+    let (name_end, has_labels) = match line.find(['{', ' ']) {
+        Some(i) => (i, line.as_bytes()[i] == b'{'),
+        None => return Err(err("sample line without value")),
+    };
+    let name = &line[..name_end];
+    if name.is_empty()
+        || !name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+    {
+        return Err(err("invalid metric name"));
+    }
+    let mut labels = Vec::new();
+    let mut rest = &line[name_end..];
+    if has_labels {
+        rest = &rest[1..];
+        loop {
+            let eq = rest.find('=').ok_or_else(|| err("label without ="))?;
+            let key = rest[..eq].to_string();
+            rest = rest
+                .get(eq + 1..)
+                .filter(|r| r.starts_with('"'))
+                .ok_or_else(|| err("label value not quoted"))?;
+            let mut value = String::new();
+            let mut chars = rest[1..].char_indices();
+            let close;
+            loop {
+                match chars.next() {
+                    Some((_, '\\')) => match chars.next() {
+                        Some((_, 'n')) => value.push('\n'),
+                        Some((_, c @ ('\\' | '"'))) => value.push(c),
+                        _ => return Err(err("bad escape")),
+                    },
+                    Some((i, '"')) => {
+                        close = i;
+                        break;
+                    }
+                    Some((_, c)) => value.push(c),
+                    None => return Err(err("unterminated label value")),
+                }
+            }
+            labels.push((key, value));
+            rest = &rest[1 + close + 1..];
+            match rest.as_bytes().first() {
+                Some(b',') => rest = &rest[1..],
+                Some(b'}') => {
+                    rest = &rest[1..];
+                    break;
+                }
+                _ => return Err(err("label list not closed")),
+            }
+        }
+    }
+    let value_str = rest
+        .strip_prefix(' ')
+        .ok_or_else(|| err("no space before value"))?;
+    let value = match value_str {
+        "+Inf" => f64::INFINITY,
+        "-Inf" => f64::NEG_INFINITY,
+        "NaN" => f64::NAN,
+        s => s.parse().map_err(|_| err("unparsable value"))?,
+    };
+    labels.sort();
+    Ok((name.to_string(), labels, value))
+}
+
+fn series_key(name: &str, labels: &[(String, String)]) -> String {
+    let mut key = name.to_string();
+    for (k, v) in labels {
+        key.push(';');
+        key.push_str(k);
+        key.push('=');
+        key.push_str(v);
+    }
+    key
+}
+
+/// Parses an exposition and checks it is well formed: every line is a
+/// comment or a valid sample, and every histogram is internally
+/// consistent (cumulative buckets are monotone and the `+Inf` bucket
+/// equals `_count`). Returns the samples keyed by
+/// `name;label=value;...` with sorted labels.
+pub fn parse_exposition(text: &str) -> Result<BTreeMap<String, f64>, String> {
+    let mut samples = BTreeMap::new();
+    // (family, labels-minus-le) -> [(le, cumulative)]
+    let mut buckets: BTreeMap<String, Vec<(f64, f64)>> = BTreeMap::new();
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let rest = comment.trim_start();
+            if !(rest.starts_with("TYPE ") || rest.starts_with("HELP ")) {
+                return Err(format!("unrecognized comment: {line:?}"));
+            }
+            continue;
+        }
+        let (name, labels, value) = parse_line(line)?;
+        if samples.insert(series_key(&name, &labels), value).is_some() {
+            return Err(format!("duplicate series: {line:?}"));
+        }
+        if let Some(family) = name.strip_suffix("_bucket") {
+            let le = labels
+                .iter()
+                .find(|(k, _)| k == "le")
+                .ok_or_else(|| format!("bucket without le: {line:?}"))?;
+            let bound = match le.1.as_str() {
+                "+Inf" => f64::INFINITY,
+                s => {
+                    s.parse().map_err(|_| format!("bad le bound: {line:?}"))?
+                }
+            };
+            let rest: Vec<(String, String)> =
+                labels.iter().filter(|(k, _)| k != "le").cloned().collect();
+            buckets
+                .entry(series_key(family, &rest))
+                .or_default()
+                .push((bound, value));
+        }
+    }
+    for (series, mut cells) in buckets {
+        cells.sort_by(|a, b| a.0.total_cmp(&b.0));
+        if cells.windows(2).any(|w| w[0].1 > w[1].1) {
+            return Err(format!("non-monotone buckets for {series}"));
+        }
+        let (last_bound, last_cum) =
+            *cells.last().expect("grouped series is non-empty");
+        if !last_bound.is_infinite() {
+            return Err(format!("missing +Inf bucket for {series}"));
+        }
+        let (family, labels) = match series.split_once(';') {
+            Some((f, rest)) => (f, format!(";{rest}")),
+            None => (series.as_str(), String::new()),
+        };
+        let count = samples
+            .get(&format!("{family}_count{labels}"))
+            .ok_or_else(|| format!("missing _count for {series}"))?;
+        if *count != last_cum {
+            return Err(format!("+Inf bucket != _count for {series}"));
+        }
+        if !samples.contains_key(&format!("{family}_sum{labels}")) {
+            return Err(format!("missing _sum for {series}"));
+        }
+    }
+    Ok(samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ring::EventKind;
+    use energydx_stats::histogram::Buckets;
+
+    #[test]
+    fn renders_sorted_families_and_series() {
+        let reg = MetricsRegistry::deterministic();
+        reg.counter("z_total", &[]).inc();
+        reg.counter("a_total", &[("app", "b")]).add(2);
+        reg.counter("a_total", &[("app", "a")]).inc();
+        reg.gauge("depth", &[]).set(4.0);
+        let text = reg.render_prometheus();
+        let a = text.find("# TYPE a_total counter").unwrap();
+        let d = text.find("# TYPE depth gauge").unwrap();
+        let z = text.find("# TYPE z_total counter").unwrap();
+        assert!(a < d && d < z);
+        let aa = text.find("a_total{app=\"a\"} 1").unwrap();
+        let ab = text.find("a_total{app=\"b\"} 2").unwrap();
+        assert!(aa < ab);
+        assert!(text.contains("depth 4\n"));
+    }
+
+    #[test]
+    fn renders_cumulative_histogram() {
+        let reg = MetricsRegistry::deterministic();
+        let layout = Buckets::new(vec![1.0, 2.0]).unwrap();
+        let h = reg.histogram("lat", &[("op", "get")], &layout);
+        h.observe(0.5);
+        h.observe(0.7);
+        h.observe(1.5);
+        h.observe(9.0);
+        let text = reg.render_prometheus();
+        assert!(text.contains("# TYPE lat histogram"));
+        assert!(text.contains("lat_bucket{op=\"get\",le=\"1\"} 2"));
+        assert!(text.contains("lat_bucket{op=\"get\",le=\"2\"} 3"));
+        assert!(text.contains("lat_bucket{op=\"get\",le=\"+Inf\"} 4"));
+        assert!(text.contains("lat_count{op=\"get\"} 4"));
+        let samples = parse_exposition(&text).unwrap();
+        assert!((samples["lat_sum;op=get"] - 11.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn render_parse_round_trip() {
+        let reg = MetricsRegistry::deterministic();
+        reg.counter("ups_total", &[("outcome", "clean")]).add(7);
+        reg.gauge("queue_depth", &[]).set(3.0);
+        {
+            let _s = reg.span("map");
+        }
+        reg.event(EventKind::Shed, "app=mail");
+        let samples = parse_exposition(&reg.render_prometheus()).unwrap();
+        assert_eq!(samples.get("ups_total;outcome=clean"), Some(&7.0));
+        assert_eq!(samples.get("queue_depth"), Some(&3.0));
+        assert_eq!(
+            samples.get("energydx_stage_duration_seconds_count;stage=map"),
+            Some(&1.0)
+        );
+        assert_eq!(samples.get("energydx_events_total;kind=shed"), Some(&1.0));
+    }
+
+    #[test]
+    fn label_values_are_escaped_and_unescaped() {
+        let reg = MetricsRegistry::deterministic();
+        reg.counter("odd_total", &[("path", "a\"b\\c\nd")]).inc();
+        let text = reg.render_prometheus();
+        assert!(text.contains(r#"odd_total{path="a\"b\\c\nd"} 1"#));
+        let samples = parse_exposition(&text).unwrap();
+        assert_eq!(samples.get("odd_total;path=a\"b\\c\nd"), Some(&1.0));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_lines() {
+        assert!(parse_exposition("garbage").is_err());
+        assert!(parse_exposition("x 1\nx 2\n").is_err());
+        assert!(parse_exposition("# random comment\n").is_err());
+        assert!(parse_exposition("x{a=\"1\" 2\n").is_err());
+        assert!(parse_exposition("x nope\n").is_err());
+        // Histogram with a missing +Inf bucket is rejected.
+        let bad = "# TYPE h histogram\nh_bucket{le=\"1\"} 1\n\
+                   h_sum 1\nh_count 1\n";
+        assert!(parse_exposition(bad).is_err());
+        // Non-monotone cumulative buckets are rejected.
+        let bad = "# TYPE h histogram\nh_bucket{le=\"1\"} 2\n\
+                   h_bucket{le=\"+Inf\"} 1\nh_sum 1\nh_count 1\n";
+        assert!(parse_exposition(bad).is_err());
+    }
+
+    #[test]
+    fn equal_registries_render_equal_bytes() {
+        let make = || {
+            let reg = MetricsRegistry::deterministic();
+            reg.counter("a_total", &[("k", "v")]).add(3);
+            {
+                let _s = reg.span("detect");
+            }
+            reg.gauge("g", &[]).set(0.25);
+            reg.render_prometheus()
+        };
+        assert_eq!(make(), make());
+    }
+}

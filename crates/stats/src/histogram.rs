@@ -1,0 +1,295 @@
+//! Fixed-bucket histograms with mergeable cells.
+//!
+//! The observability layer (`energydx-obsv`) records durations and
+//! sizes into histograms whose bucket bounds are fixed at
+//! construction. Keeping the bucket math here — next to the sketches
+//! it mirrors — gives it the same contract as [`crate::sketch`]: cells
+//! from different shards merge commutatively and associatively, so a
+//! fleet of per-shard recorders can be folded in any order and render
+//! the same exposition.
+//!
+//! Bounds are *upper* bounds, Prometheus style: an observation `v`
+//! lands in the first bucket whose bound is `>= v`, and everything
+//! past the last bound lands in the implicit `+Inf` overflow cell.
+
+use crate::error::StatsError;
+
+/// A validated, strictly-increasing set of finite bucket upper bounds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Buckets {
+    bounds: Vec<f64>,
+}
+
+impl Buckets {
+    /// Builds a bucket layout from explicit upper bounds.
+    ///
+    /// Bounds must be non-empty, finite, and strictly increasing.
+    pub fn new(bounds: Vec<f64>) -> Result<Self, StatsError> {
+        if bounds.is_empty() {
+            return Err(StatsError::EmptyInput);
+        }
+        if bounds.iter().any(|b| !b.is_finite()) {
+            return Err(StatsError::NanInInput);
+        }
+        if bounds.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(StatsError::NanInInput);
+        }
+        Ok(Buckets { bounds })
+    }
+
+    /// Builds `count` exponentially growing bounds starting at
+    /// `start`, each `factor` times the previous one.
+    pub fn exponential(
+        start: f64,
+        factor: f64,
+        count: usize,
+    ) -> Result<Self, StatsError> {
+        if count == 0 {
+            return Err(StatsError::EmptyInput);
+        }
+        if !(start > 0.0
+            && start.is_finite()
+            && factor > 1.0
+            && factor.is_finite())
+        {
+            return Err(StatsError::NanInInput);
+        }
+        let mut bounds = Vec::with_capacity(count);
+        let mut b = start;
+        for _ in 0..count {
+            bounds.push(b);
+            b *= factor;
+        }
+        Buckets::new(bounds)
+    }
+
+    /// The upper bounds, in increasing order (the implicit `+Inf`
+    /// overflow bucket is not listed).
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// The number of finite buckets (cells hold one more, for `+Inf`).
+    pub fn len(&self) -> usize {
+        self.bounds.len()
+    }
+
+    /// True when there are no finite bounds (cannot happen for a
+    /// validated layout; present for the usual `len`/`is_empty` pair).
+    pub fn is_empty(&self) -> bool {
+        self.bounds.is_empty()
+    }
+
+    /// The cell index an observation lands in: the first bound
+    /// `>= v`, or `len()` for the `+Inf` overflow cell. NaN lands in
+    /// the overflow cell, keeping `observe` total.
+    pub fn index_for(&self, v: f64) -> usize {
+        if v.is_nan() {
+            return self.bounds.len();
+        }
+        self.bounds.partition_point(|b| *b < v)
+    }
+}
+
+/// Plain (non-atomic) histogram cells over a [`Buckets`] layout:
+/// per-bucket counts plus the sum of observations. This is the
+/// merge/quantile math shared by recorders; concurrent recording
+/// lives in `energydx-obsv`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramCells {
+    buckets: Buckets,
+    counts: Vec<u64>,
+    sum: f64,
+}
+
+impl HistogramCells {
+    /// Empty cells over the given layout.
+    pub fn new(buckets: Buckets) -> Self {
+        let counts = vec![0; buckets.len() + 1];
+        HistogramCells {
+            buckets,
+            counts,
+            sum: 0.0,
+        }
+    }
+
+    /// Rebuilds cells from raw parts — the bridge for concurrent
+    /// recorders that keep atomic counts and snapshot into the plain
+    /// cell math. `counts` must have one entry per finite bound plus
+    /// the `+Inf` overflow cell.
+    pub fn from_parts(
+        buckets: Buckets,
+        counts: Vec<u64>,
+        sum: f64,
+    ) -> Result<Self, StatsError> {
+        if counts.len() != buckets.len() + 1 {
+            return Err(StatsError::EmptyInput);
+        }
+        Ok(HistogramCells {
+            buckets,
+            counts,
+            sum,
+        })
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, v: f64) {
+        let idx = self.buckets.index_for(v);
+        self.counts[idx] += 1;
+        self.sum += v;
+    }
+
+    /// The bucket layout.
+    pub fn buckets(&self) -> &Buckets {
+        &self.buckets
+    }
+
+    /// Per-cell counts; the last entry is the `+Inf` overflow cell.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Folds another recorder's cells into this one. The layouts must
+    /// match; cells from different layouts have no common refinement.
+    pub fn merge(&mut self, other: &HistogramCells) -> Result<(), StatsError> {
+        if self.buckets != other.buckets {
+            return Err(StatsError::NanInInput);
+        }
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.sum += other.sum;
+        Ok(())
+    }
+
+    /// The upper bound of the bucket holding the `q`-quantile
+    /// observation (`0 <= q <= 1`), or `None` when empty. For the
+    /// overflow cell the last finite bound is returned — a lower
+    /// bound on the true quantile, the best a fixed layout can say.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let total = self.count();
+        if total == 0 || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let target = ((q * total as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                let bounds = self.buckets.bounds();
+                return Some(bounds[i.min(bounds.len() - 1)]);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout() -> Buckets {
+        Buckets::new(vec![1.0, 2.0, 4.0]).unwrap()
+    }
+
+    #[test]
+    fn rejects_bad_bounds() {
+        assert!(Buckets::new(vec![]).is_err());
+        assert!(Buckets::new(vec![1.0, 1.0]).is_err());
+        assert!(Buckets::new(vec![2.0, 1.0]).is_err());
+        assert!(Buckets::new(vec![f64::NAN]).is_err());
+        assert!(Buckets::new(vec![f64::INFINITY]).is_err());
+        assert!(Buckets::exponential(0.0, 2.0, 4).is_err());
+        assert!(Buckets::exponential(1.0, 1.0, 4).is_err());
+        assert!(Buckets::exponential(1.0, 2.0, 0).is_err());
+    }
+
+    #[test]
+    fn exponential_layout_grows_by_factor() {
+        let b = Buckets::exponential(1e-6, 4.0, 3).unwrap();
+        assert_eq!(b.bounds(), &[1e-6, 4e-6, 1.6e-5]);
+    }
+
+    #[test]
+    fn index_is_first_bound_at_least_value() {
+        let b = layout();
+        assert_eq!(b.index_for(0.0), 0);
+        assert_eq!(b.index_for(1.0), 0); // bound is inclusive
+        assert_eq!(b.index_for(1.1), 1);
+        assert_eq!(b.index_for(4.0), 2);
+        assert_eq!(b.index_for(4.1), 3); // overflow cell
+        assert_eq!(b.index_for(f64::NAN), 3);
+    }
+
+    #[test]
+    fn observe_counts_and_sums() {
+        let mut h = HistogramCells::new(layout());
+        for v in [0.5, 1.0, 3.0, 100.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.counts(), &[2, 0, 1, 1]);
+        assert_eq!(h.count(), 4);
+        assert!((h.sum() - 104.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_adds_cells_and_rejects_shape_mismatch() {
+        let mut a = HistogramCells::new(layout());
+        let mut b = HistogramCells::new(layout());
+        a.observe(0.5);
+        b.observe(3.0);
+        b.observe(9.0);
+        a.merge(&b).unwrap();
+        assert_eq!(a.counts(), &[1, 0, 1, 1]);
+        assert_eq!(a.count(), 3);
+
+        let other = HistogramCells::new(Buckets::new(vec![1.0]).unwrap());
+        assert!(a.merge(&other).is_err());
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        let mut a = HistogramCells::new(layout());
+        let mut b = HistogramCells::new(layout());
+        for v in [0.1, 1.5, 2.5] {
+            a.observe(v);
+        }
+        for v in [3.9, 50.0] {
+            b.observe(v);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b).unwrap();
+        let mut ba = b.clone();
+        ba.merge(&a).unwrap();
+        assert_eq!(ab.counts(), ba.counts());
+        assert_eq!(ab.count(), ba.count());
+        assert!((ab.sum() - ba.sum()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_brackets_exact_order_statistics() {
+        let mut h = HistogramCells::new(layout());
+        let data = [0.2, 0.4, 1.5, 1.6, 3.0, 3.5, 9.0, 9.0];
+        for v in data {
+            h.observe(v);
+        }
+        // p50 over 8 values -> 4th smallest (1.6) -> bucket le=2.0.
+        assert_eq!(h.quantile(0.5), Some(2.0));
+        // p0 -> smallest (0.2) -> bucket le=1.0.
+        assert_eq!(h.quantile(0.0), Some(1.0));
+        // p100 -> largest (9.0), overflow -> reported as last bound.
+        assert_eq!(h.quantile(1.0), Some(4.0));
+        assert_eq!(HistogramCells::new(layout()).quantile(0.5), None);
+        assert_eq!(h.quantile(1.5), None);
+    }
+}

@@ -23,6 +23,9 @@
 //!   partials of the fleet-parallel backend: exact, commutative, and
 //!   associative under merge, so shards of the fleet can be summarized
 //!   independently and combined in any order.
+//! - **Fixed-bucket histograms** ([`histogram`]), the cell math behind
+//!   the `energydx-obsv` duration/size recorders: Prometheus-style
+//!   upper bounds, cells that merge commutatively like the sketches.
 //!
 //! # Examples
 //!
@@ -43,6 +46,7 @@
 
 pub mod cdf;
 pub mod error;
+pub mod histogram;
 pub mod outlier;
 pub mod percentile;
 pub mod rank;
@@ -52,6 +56,7 @@ pub mod summary;
 
 pub use cdf::Ecdf;
 pub use error::StatsError;
+pub use histogram::{Buckets, HistogramCells};
 pub use outlier::TukeyFences;
 pub use percentile::{
     median, percentile, percentile_many, quartiles, Quartiles,

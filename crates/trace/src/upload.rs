@@ -215,18 +215,30 @@ fn deliver_with_retry(
     rng: &mut SplitMix64,
     stats: &mut UploadStats,
 ) -> bool {
+    // Retry-loop visibility goes to the process-wide registry: the
+    // uploader runs phone-side (or in a soak driver) with no daemon
+    // registry to report into.
+    let obs = energydx_obsv::global();
     for attempt in 0..policy.max_attempts {
         stats.attempts += 1;
+        obs.counter("uploader_attempts_total", &[]).inc();
         match backend.receive(payload) {
             Ok(outcome) => {
                 stats.outcomes.push(outcome);
                 stats.delivered += 1;
+                obs.counter("uploader_delivered_total", &[]).inc();
                 return true;
             }
             Err(e) => {
                 stats.retries += 1;
-                if e.retry_after_ms.is_some() {
+                obs.counter("uploader_retries_total", &[]).inc();
+                if let Some(ms) = e.retry_after_ms {
                     stats.retry_after_hints += 1;
+                    obs.counter("uploader_retry_after_hints_total", &[]).inc();
+                    obs.event(
+                        energydx_obsv::EventKind::RetryAfter,
+                        format!("side=uploader hint_ms={ms}"),
+                    );
                 }
                 if attempt + 1 < policy.max_attempts {
                     stats.backoff_ms += policy
@@ -236,6 +248,7 @@ fn deliver_with_retry(
             }
         }
     }
+    obs.counter("uploader_gave_up_total", &[]).inc();
     false
 }
 
@@ -340,6 +353,64 @@ mod tests {
             charging: true,
             on_wifi: true,
         }
+    }
+
+    #[test]
+    fn retry_loop_reports_into_the_global_registry() {
+        let obs = energydx_obsv::global();
+        let read = |family: &str| obs.counter_value(family, &[]).unwrap_or(0);
+        let (attempts0, delivered0, hints0) = (
+            read("uploader_attempts_total"),
+            read("uploader_delivered_total"),
+            read("uploader_retry_after_hints_total"),
+        );
+        let events0 = obs
+            .counter_value("energydx_events_total", &[("kind", "retry_after")])
+            .unwrap_or(0);
+
+        // A backend that always hints RetryAfter before accepting.
+        struct Hinting {
+            store: TraceStore,
+            failed_once: bool,
+        }
+        impl UploadBackend for Hinting {
+            fn receive(
+                &mut self,
+                payload: &[u8],
+            ) -> Result<IngestOutcome, TransientUploadError> {
+                if !self.failed_once {
+                    self.failed_once = true;
+                    return Err(TransientUploadError::with_retry_after(
+                        "busy", 25,
+                    ));
+                }
+                self.failed_once = false;
+                Ok(self.store.ingest_wire(payload))
+            }
+        }
+        let mut backend = Hinting {
+            store: TraceStore::new(),
+            failed_once: false,
+        };
+        let payloads = vec![wire::encode_v2(&bundle("u1", 0)).to_vec()];
+        let stats = upload_payloads_with_retry(
+            &payloads,
+            &mut backend,
+            &RetryPolicy::default(),
+            3,
+        );
+        assert_eq!(stats.delivered, 1);
+        assert_eq!(stats.retry_after_hints, 1);
+
+        // Counters are process-global and tests run in parallel, so
+        // assert deltas as lower bounds.
+        assert!(read("uploader_attempts_total") >= attempts0 + 2);
+        assert!(read("uploader_delivered_total") > delivered0);
+        assert!(read("uploader_retry_after_hints_total") > hints0);
+        let events1 = obs
+            .counter_value("energydx_events_total", &[("kind", "retry_after")])
+            .unwrap_or(0);
+        assert!(events1 > events0, "RetryAfter event not recorded");
     }
 
     #[test]
