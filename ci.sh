@@ -45,6 +45,14 @@ cargo run -q --release -p energydx-bench --bin hotpath -- \
 cargo run -q --release -p energydx-bench --bin ingest -- \
   --obsv --check BENCH_ingest.json >/dev/null
 
+echo "== cluster replica-size budget (smoke) =="
+# Coordinator benchmark over three in-process workers; asserts the
+# merged answer equals one daemon fed the same payloads in shard
+# order, then fails if replicated checkpoints grow past the
+# deterministic bytes-per-trace budget in BENCH_cluster.json.
+cargo run -q --release -p energydx-bench --bin cluster -- \
+  --check BENCH_cluster.json >/dev/null
+
 echo "== fleetd soak (daemon vs batch CLI, crash + restart) =="
 # A real `energydx serve` process driven through the retrying
 # uploader: 200 uploads (~15% damaged), backpressure against a
@@ -52,6 +60,15 @@ echo "== fleetd soak (daemon vs batch CLI, crash + restart) =="
 # from the checkpoint, and a byte-diff of the served report against
 # `energydx analyze --bundles --json` over the same payloads.
 cargo test -q --release -p energydx-cli --test soak -- --ignored
+
+echo "== fleetd cluster soak (coordinator + 3 workers over TCP) =="
+# A real coordinator process over three worker processes: 120 uploads
+# (~15% damaged) routed by shard, a replication sweep, kill -9 one
+# worker mid-stream, an explicit Degraded answer, a blank replacement
+# seeded by checkpoint handoff, then a byte-diff of the merged cluster
+# query against `energydx analyze --bundles --json` over the same
+# payloads and a clean whole-cluster shutdown.
+cargo test -q --release -p energydx-cli --test cluster_soak -- --ignored
 
 echo "== differential harness (release, optimized float paths) =="
 # The seq==parallel==sharded byte-identity must also hold under

@@ -34,9 +34,14 @@ use energydx::{AnalysisConfig, DiagnosisInput, EnergyDx};
 use energydx_dexir::instrument::{EventPool, Instrumenter};
 use energydx_dexir::text::{assemble_module, parse_module};
 use energydx_dexir::MethodKey;
+use energydx_fleetd::cluster::{TcpTransport, WorkerTransport};
+use energydx_fleetd::coordinator::{Coordinator, CoordinatorConfig};
 use energydx_fleetd::protocol::{Request, Response};
 use energydx_fleetd::state::FleetConfig;
-use energydx_fleetd::{Client, FleetdHandle, ServerConfig, TcpBackend};
+use energydx_fleetd::{
+    Client, ClientTimeouts, DegradePolicy, FleetdHandle, RetryBudget,
+    ServerConfig, TcpBackend,
+};
 use energydx_trace::event::EventTrace;
 use energydx_trace::power::{PowerSample, PowerTrace};
 use energydx_trace::store::{IngestOutcome, TraceStore};
@@ -93,6 +98,12 @@ USAGE:
                  [--retry-after-ms <ms>] [--compact-every <n>]
                  [--checkpoint-every <n>] [--ingest-delay-ms <ms>]
                  [--fraction <0..1>] [--top <k>] [--jobs <n>]
+  energydx serve --coordinator --workers <addr,addr,...> [--listen <addr>]
+                 [--state <dir>] [--degrade-policy degrade|hold]
+                 [--max-attempts <n>] [--base-backoff-ms <ms>]
+                 [--max-backoff-ms <ms>] [--breaker-threshold <n>]
+                 [--probe-every <n>] [--connect-timeout-ms <ms>]
+                 [--read-timeout-ms <ms>] [--write-timeout-ms <ms>]
   energydx submit --addr <host:port> --app <name> (<payload.edxt>... | --dir <dir>)
                   [--max-attempts <n>]
   energydx query --addr <host:port> (--app <name> [--epoch <n>] | --stats
@@ -416,6 +427,11 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         compact_every: num_flag(args, "--compact-every", 16usize)?,
         ..FleetConfig::default()
     };
+    if args.iter().any(|a| a == "--coordinator")
+        || flag_value(args, "--workers").is_some()
+    {
+        return serve_coordinator(args, fleet, listen);
+    }
     let config = ServerConfig {
         fleet,
         queue_depth: num_flag(args, "--queue-depth", 64usize)?,
@@ -434,6 +450,72 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     println!("fleetd listening on {addr}");
     std::io::stdout().flush().map_err(|e| e.to_string())?;
     energydx_fleetd::server::serve(listener, handle).map_err(|e| e.to_string())
+}
+
+/// `serve --coordinator --workers a,b,c`: the merging coordinator in
+/// front of N worker daemons. Speaks the same wire protocol as a
+/// single daemon, so `submit`/`query` work unchanged against it.
+fn serve_coordinator(
+    args: &[String],
+    fleet: FleetConfig,
+    listen: &str,
+) -> Result<(), String> {
+    let workers = flag_value(args, "--workers")
+        .ok_or("coordinator mode needs --workers <addr,addr,...>")?;
+    let policy = match flag_value(args, "--degrade-policy").unwrap_or("degrade")
+    {
+        "degrade" => DegradePolicy::Degrade,
+        "hold" => DegradePolicy::Hold,
+        other => {
+            return Err(format!(
+                "invalid --degrade-policy `{other}` (degrade | hold)"
+            ))
+        }
+    };
+    let ms = std::time::Duration::from_millis;
+    let timeouts = ClientTimeouts {
+        connect: ms(num_flag(args, "--connect-timeout-ms", 5_000u64)?),
+        read: ms(num_flag(args, "--read-timeout-ms", 30_000u64)?),
+        write: ms(num_flag(args, "--write-timeout-ms", 30_000u64)?),
+    };
+    let config = CoordinatorConfig {
+        fleet,
+        policy,
+        retry: RetryBudget {
+            max_attempts: num_flag(args, "--max-attempts", 3u32)?,
+            base_backoff_ms: num_flag(args, "--base-backoff-ms", 10u64)?,
+            max_backoff_ms: num_flag(args, "--max-backoff-ms", 200u64)?,
+        },
+        breaker_threshold: num_flag(args, "--breaker-threshold", 3u32)?,
+        probe_every: num_flag(args, "--probe-every", 2u32)?,
+        retry_after_ms: num_flag(args, "--retry-after-ms", 50u64)?,
+        state_dir: flag_value(args, "--state").map(PathBuf::from),
+    };
+    let transports: Vec<Box<dyn WorkerTransport>> = workers
+        .split(',')
+        .map(str::trim)
+        .filter(|a| !a.is_empty())
+        .map(|addr| {
+            Box::new(TcpTransport::new(addr, timeouts))
+                as Box<dyn WorkerTransport>
+        })
+        .collect();
+    let shards = transports.len();
+    if shards == 0 {
+        return Err("--workers needs at least one worker address".to_string());
+    }
+    let coordinator = Arc::new(
+        Coordinator::new(config, transports)
+            .map_err(|e| format!("coordinator refused to start: {e}"))?,
+    );
+    let listener = std::net::TcpListener::bind(listen)
+        .map_err(|e| format!("cannot bind {listen}: {e}"))?;
+    let addr = listener.local_addr().map_err(|e| e.to_string())?;
+    // Same parseable banner shape as the single daemon.
+    println!("fleetd coordinator listening on {addr} ({shards} shard(s))");
+    std::io::stdout().flush().map_err(|e| e.to_string())?;
+    energydx_fleetd::server::serve_dispatcher(listener, coordinator)
+        .map_err(|e| e.to_string())
 }
 
 fn edxt_files(dir: &Path) -> Result<Vec<PathBuf>, String> {
@@ -553,6 +635,19 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
                 println!();
             }
         }
+        Response::Degraded { missing, json } => {
+            // The partial report still goes to stdout (it is exact
+            // over the shards it covers), but the command fails so
+            // scripts can never mistake it for the full answer.
+            print!("{json}");
+            if !json.ends_with('\n') {
+                println!();
+            }
+            std::io::stdout().flush().map_err(|e| e.to_string())?;
+            return Err(format!(
+                "degraded answer: shard(s) {missing:?} unreachable"
+            ));
+        }
         Response::Metrics { text } => print!("{text}"),
         Response::Epoch { epoch } => println!("epoch {epoch}"),
         Response::Done => println!("ok"),
@@ -584,8 +679,12 @@ fn load_bundle_dir(dir: &Path) -> Result<DiagnosisInput, String> {
             );
         }
     }
+    // Accept order, not the store's sorted snapshot: a daemon folds
+    // uploads in arrival order and a cluster concatenates per-worker
+    // arrival orders, so the byte-diff reference must preserve file
+    // order (name the files to match the submit schedule).
     Ok(energydx_fleetd::convert::bundles_to_input(
-        &store.snapshot(),
+        &store.snapshot_accept_order(),
     ))
 }
 

@@ -234,6 +234,32 @@ impl ShardPartial {
         }
         self.segments = merged.into_iter().map(|s| (s.offset, s)).collect();
     }
+
+    /// Shifts every segment (and the global indices of its skipped
+    /// traces) right by `base` traces. A worker that mapped its
+    /// partition with local offsets `0..n` can be placed after `base`
+    /// traces owned by other workers: `map_shard(ts, base)` equals
+    /// `map_shard(ts, 0).rebase(base)`, structurally. This is what
+    /// lets a cluster coordinator concatenate per-worker partials into
+    /// one contiguous fleet without the workers agreeing on global
+    /// offsets up front.
+    pub fn rebase(mut self, base: usize) -> ShardPartial {
+        if base == 0 {
+            return self;
+        }
+        let old = std::mem::take(&mut self.segments);
+        self.segments = old
+            .into_values()
+            .map(|mut segment| {
+                segment.offset += base;
+                for entry in &mut segment.skipped {
+                    entry.0 += base;
+                }
+                (segment.offset, segment)
+            })
+            .collect();
+        self
+    }
 }
 
 /// Why a merged partial could not be finished into a report.
@@ -1002,6 +1028,37 @@ mod tests {
                 "shards={shards}"
             );
         }
+    }
+
+    #[test]
+    fn rebase_equals_mapping_at_the_shifted_offset() {
+        let input = fleet();
+        let dx = EnergyDx::default();
+        let traces = input.traces();
+        for (start, end) in shard_bounds(traces.len(), 3) {
+            let local = dx.map_shard(&traces[start..end], 0);
+            let global = dx.map_shard(&traces[start..end], start);
+            assert_eq!(local.rebase(start), global, "shard [{start}, {end})");
+        }
+    }
+
+    #[test]
+    fn rebase_zero_is_identity_and_rebased_shards_concatenate() {
+        let input = fleet();
+        let dx = EnergyDx::default();
+        let traces = input.traces();
+        let mut merged = ShardPartial::empty();
+        let mut base = 0;
+        for (start, end) in shard_bounds(traces.len(), 3) {
+            // Each worker maps its slice with local offsets 0..n; the
+            // coordinator places it after everything merged so far.
+            let local = dx.map_shard(&traces[start..end], 0);
+            assert_eq!(local.clone().rebase(0), local);
+            merged = merged.merge(local.rebase(base));
+            base = merged.trace_count();
+        }
+        assert!(merged.is_complete());
+        assert_eq!(dx.finish(merged).unwrap(), dx.diagnose_reference(&input));
     }
 
     #[test]

@@ -175,7 +175,11 @@ pub fn checkpoint_bytes(state: &FleetState) -> Vec<u8> {
     framed
 }
 
-fn write_partial(w: &mut Writer, partial: &ShardPartial) {
+/// Serializes one partial with the checkpoint's column layout. Shared
+/// with the cluster protocol's `Response::Partial`, so a partial that
+/// round-trips through a checkpoint and one that crosses the wire are
+/// the same bytes.
+pub(crate) fn write_partial(w: &mut Writer, partial: &ShardPartial) {
     let parts = partial.to_parts();
     w.u32(parts.names.len() as u32);
     for name in &parts.names {
@@ -202,7 +206,12 @@ fn write_partial(w: &mut Writer, partial: &ShardPartial) {
     }
 }
 
-fn read_partial(r: &mut Reader<'_>) -> Result<ShardPartial, CheckpointError> {
+/// Inverse of [`write_partial`]; every length is validated against the
+/// remaining input before use and the result re-checked by
+/// `ShardPartial::from_parts`.
+pub(crate) fn read_partial(
+    r: &mut Reader<'_>,
+) -> Result<ShardPartial, CheckpointError> {
     let name_count = r.u32("vocab count")? as usize;
     let mut names = Vec::with_capacity(name_count.min(1 << 16));
     for _ in 0..name_count {

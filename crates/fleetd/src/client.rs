@@ -10,14 +10,18 @@ use crate::protocol::{
 use energydx_trace::store::{IngestOutcome, RejectReason};
 use energydx_trace::upload::{TransientUploadError, UploadBackend};
 use std::fmt;
-use std::io::Write as IoWrite;
-use std::net::TcpStream;
+use std::io::{self, Write as IoWrite};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 /// Why a request failed client-side.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ClientError {
     /// Socket-level failure.
     Io(String),
+    /// The peer did not connect or answer within its deadline. A hung
+    /// daemon stalls one request, never the caller forever.
+    TimedOut,
     /// The response could not be decoded.
     Protocol(ProtocolError),
     /// The server closed the connection before answering.
@@ -28,6 +32,9 @@ impl fmt::Display for ClientError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ClientError::Io(e) => write!(f, "client i/o: {e}"),
+            ClientError::TimedOut => {
+                f.write_str("daemon did not answer within the deadline")
+            }
             ClientError::Protocol(e) => write!(f, "{e}"),
             ClientError::ServerClosed => {
                 f.write_str("server closed the connection")
@@ -38,6 +45,42 @@ impl fmt::Display for ClientError {
 
 impl std::error::Error for ClientError {}
 
+fn io_error(e: io::Error) -> ClientError {
+    match e.kind() {
+        io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock => {
+            ClientError::TimedOut
+        }
+        _ => ClientError::Io(e.to_string()),
+    }
+}
+
+/// Socket deadlines for a [`Client`]. Every phase of a request is
+/// bounded: connecting, writing the request, reading the response. A
+/// zero duration disables the corresponding deadline (blocking
+/// semantics, useful only for tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClientTimeouts {
+    /// Deadline for establishing the TCP connection.
+    pub connect: Duration,
+    /// Deadline for each read off the socket.
+    pub read: Duration,
+    /// Deadline for each write to the socket.
+    pub write: Duration,
+}
+
+impl Default for ClientTimeouts {
+    /// Generous defaults: 5 s to connect, 30 s per read/write — far
+    /// above any healthy daemon's latency, tight enough that a hung
+    /// peer cannot stall a caller indefinitely.
+    fn default() -> Self {
+        ClientTimeouts {
+            connect: Duration::from_secs(5),
+            read: Duration::from_secs(30),
+            write: Duration::from_secs(30),
+        }
+    }
+}
+
 /// A persistent connection speaking the framed protocol.
 #[derive(Debug)]
 pub struct Client {
@@ -45,17 +88,46 @@ pub struct Client {
 }
 
 impl Client {
-    /// Connects to a daemon address like `127.0.0.1:7401`.
+    /// Connects to a daemon address like `127.0.0.1:7401`, with the
+    /// default [`ClientTimeouts`] on every socket phase.
     ///
     /// # Errors
     ///
-    /// [`ClientError::Io`] when the connection cannot be established.
+    /// [`ClientError::Io`] when the connection cannot be established;
+    /// [`ClientError::TimedOut`] when the peer does not accept in
+    /// time.
     pub fn connect(addr: &str) -> Result<Client, ClientError> {
-        let stream = TcpStream::connect(addr)
-            .map_err(|e| ClientError::Io(e.to_string()))?;
+        Client::connect_with(addr, ClientTimeouts::default())
+    }
+
+    /// Connects with explicit deadlines.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::connect`].
+    pub fn connect_with(
+        addr: &str,
+        timeouts: ClientTimeouts,
+    ) -> Result<Client, ClientError> {
+        let resolved = addr
+            .to_socket_addrs()
+            .map_err(|e| ClientError::Io(e.to_string()))?
+            .next()
+            .ok_or_else(|| {
+                ClientError::Io(format!("{addr}: no usable address"))
+            })?;
+        let stream = if timeouts.connect.is_zero() {
+            TcpStream::connect(resolved).map_err(io_error)?
+        } else {
+            TcpStream::connect_timeout(&resolved, timeouts.connect)
+                .map_err(io_error)?
+        };
+        let optional = |d: Duration| if d.is_zero() { None } else { Some(d) };
         stream
-            .set_nodelay(true)
-            .map_err(|e| ClientError::Io(e.to_string()))?;
+            .set_read_timeout(optional(timeouts.read))
+            .and_then(|()| stream.set_write_timeout(optional(timeouts.write)))
+            .and_then(|()| stream.set_nodelay(true))
+            .map_err(io_error)?;
         Ok(Client { stream })
     }
 
@@ -63,17 +135,19 @@ impl Client {
     ///
     /// # Errors
     ///
-    /// Socket failures, protocol damage, or a mid-request close.
+    /// Socket failures, a missed deadline ([`ClientError::TimedOut`]),
+    /// protocol damage, or a mid-request close.
     pub fn request(&mut self, req: &Request) -> Result<Response, ClientError> {
         self.stream
             .write_all(&req.encode())
             .and_then(|()| self.stream.flush())
-            .map_err(|e| ClientError::Io(e.to_string()))?;
+            .map_err(io_error)?;
         match read_frame(&mut self.stream) {
             Ok(Some(frame)) => {
                 Response::decode(&frame).map_err(ClientError::Protocol)
             }
             Ok(None) => Err(ClientError::ServerClosed),
+            Err(ProtocolError::TimedOut) => Err(ClientError::TimedOut),
             Err(e) => Err(ClientError::Protocol(e)),
         }
     }
@@ -184,5 +258,39 @@ impl UploadBackend for TcpBackend {
                 Err(TransientUploadError::new(e.to_string()))
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_silent_peer_times_out_instead_of_hanging() {
+        // A listener that never answers: the kernel accepts the
+        // connection into the backlog, the request is written, and
+        // then nothing ever comes back. Without a read deadline this
+        // would block forever.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let timeouts = ClientTimeouts {
+            read: Duration::from_millis(50),
+            ..ClientTimeouts::default()
+        };
+        let mut client = Client::connect_with(&addr, timeouts).unwrap();
+        let started = std::time::Instant::now();
+        let err = client.request(&Request::Stats).unwrap_err();
+        assert_eq!(err, ClientError::TimedOut);
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "the deadline, not a hang, must end the wait"
+        );
+    }
+
+    #[test]
+    fn an_unresolvable_address_is_a_typed_io_error() {
+        let err = Client::connect("definitely-not-a-host.invalid:1")
+            .expect_err("must not connect");
+        assert!(matches!(err, ClientError::Io(_)), "{err:?}");
     }
 }

@@ -1,0 +1,1155 @@
+//! The cluster coordinator: hash-partitions uploads across N worker
+//! fleetds, fans queries out, rebases and merges the per-worker
+//! [`ShardPartial`]s, and renders through the same `AnalyzedFleet`
+//! boundary as a single daemon — so a K-node cluster must answer
+//! byte-identically to one batch run over the same accepted traces.
+//!
+//! Determinism argument: each worker keeps ordinary *local* offsets
+//! (its n-th accepted trace of an epoch sits at offset n), and the
+//! coordinator rebases worker k's folded partial by the trace counts
+//! of workers `0..k` before merging (see [`ShardPartial::rebase`]).
+//! The merged fleet is therefore the concatenation of the per-worker
+//! accepted sequences in worker order — exactly the input the batch
+//! reference is handed. Because routing is sticky by `(app, user)`
+//! (dedup lives wholly on one worker) and the coordinator itself
+//! holds no trace data, the answer is independent of upload
+//! interleaving, retries, crashes, and handoffs — anything that does
+//! not change each worker's accepted sequence.
+//!
+//! Robustness: every worker call runs under the transport's deadlines
+//! with a bounded, jittered [`RetryBudget`] and an attempt-counted
+//! [`CircuitBreaker`]; a worker that stays unreachable degrades the
+//! answer explicitly ([`Response::Degraded`]) or, under
+//! [`DegradePolicy::Hold`], produces a typed error — never a silent
+//! partial result. Recovery is probe-driven: after any observed
+//! failure, the next contact with a worker is preceded by a `Counts`
+//! probe and, when the worker holds fewer accepted uploads than its
+//! latest replica, a checkpoint handoff that restores its partition
+//! *before* any new request lands on its empty state.
+
+use crate::checkpoint::restore_bytes;
+use crate::client::ClientError;
+use crate::cluster::{
+    shard_for_payload, CircuitBreaker, DegradePolicy, RetryBudget,
+    WorkerTransport,
+};
+use crate::protocol::{PartialStatus, Request, Response};
+use crate::replicate::ReplicaStore;
+use crate::server::Dispatch;
+use crate::state::{FleetConfig, QueryError};
+use energydx::{EnergyDx, JsonWriter, ShardPartial};
+use energydx_obsv::{EventKind, Metrics, MetricsRegistry};
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+
+/// Coordinator deployment configuration.
+#[derive(Debug, Clone)]
+pub struct CoordinatorConfig {
+    /// Analysis/repair parameters — must match the workers' so the
+    /// routing peek prepares payloads exactly as their ingest will,
+    /// and `finish` renders exactly as a single daemon would.
+    pub fleet: FleetConfig,
+    /// What to do when a shard stays unreachable.
+    pub policy: DegradePolicy,
+    /// Per-call retry budget against one worker.
+    pub retry: RetryBudget,
+    /// Consecutive failures that open a worker's circuit.
+    pub breaker_threshold: u32,
+    /// While open, every `probe_every`-th gated call probes.
+    pub probe_every: u32,
+    /// Suggested client wait when a submit's shard is unreachable.
+    pub retry_after_ms: u64,
+    /// Directory persisting replicated checkpoints; `None` = memory.
+    pub state_dir: Option<PathBuf>,
+}
+
+impl Default for CoordinatorConfig {
+    fn default() -> Self {
+        CoordinatorConfig {
+            fleet: FleetConfig::default(),
+            policy: DegradePolicy::Degrade,
+            retry: RetryBudget::default(),
+            breaker_threshold: 3,
+            probe_every: 2,
+            retry_after_ms: 50,
+            state_dir: None,
+        }
+    }
+}
+
+struct WorkerSlot {
+    transport: Box<dyn WorkerTransport>,
+    breaker: CircuitBreaker,
+}
+
+/// The coordinator: stateless over trace data (workers own their
+/// partitions; this side owns routing, health, and replicas).
+pub struct Coordinator {
+    config: CoordinatorConfig,
+    dx: EnergyDx,
+    workers: Vec<Mutex<WorkerSlot>>,
+    replicas: Mutex<ReplicaStore>,
+    metrics: Metrics,
+}
+
+impl Coordinator {
+    /// A coordinator over the given worker transports (index =
+    /// worker/shard id), with its own metrics registry.
+    ///
+    /// # Errors
+    ///
+    /// Replica-store failures when `state_dir` is set (unreadable or
+    /// corrupt persisted replicas refuse startup).
+    pub fn new(
+        config: CoordinatorConfig,
+        transports: Vec<Box<dyn WorkerTransport>>,
+    ) -> Result<Self, crate::checkpoint::CheckpointError> {
+        Self::with_registry(
+            config,
+            transports,
+            Arc::new(MetricsRegistry::new()),
+        )
+    }
+
+    /// As [`Coordinator::new`], recording into the given registry —
+    /// the hook golden tests use for deterministic durations.
+    ///
+    /// # Errors
+    ///
+    /// As [`Coordinator::new`].
+    pub fn with_registry(
+        config: CoordinatorConfig,
+        transports: Vec<Box<dyn WorkerTransport>>,
+        registry: Arc<MetricsRegistry>,
+    ) -> Result<Self, crate::checkpoint::CheckpointError> {
+        assert!(
+            !transports.is_empty(),
+            "a cluster needs at least one worker"
+        );
+        let replicas = match &config.state_dir {
+            Some(dir) => {
+                ReplicaStore::open(dir, transports.len(), &config.fleet)?
+            }
+            None => ReplicaStore::in_memory(transports.len()),
+        };
+        let metrics = Metrics::enabled(registry);
+        let dx = EnergyDx::new(config.fleet.analysis.clone())
+            .with_jobs(config.fleet.jobs)
+            .with_metrics(metrics.clone());
+        let workers = transports
+            .into_iter()
+            .map(|transport| {
+                Mutex::new(WorkerSlot {
+                    transport,
+                    breaker: CircuitBreaker::new(
+                        config.breaker_threshold,
+                        config.probe_every,
+                    ),
+                })
+            })
+            .collect();
+        Ok(Coordinator {
+            config,
+            dx,
+            workers,
+            replicas: Mutex::new(replicas),
+            metrics,
+        })
+    }
+
+    /// Number of workers (= shards).
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The metrics handle (for assertions).
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    fn worker_label(k: usize) -> String {
+        k.to_string()
+    }
+
+    /// Explicitly probes worker `k` and hands its replica off if the
+    /// worker is behind — the "operator replaced the node" path. The
+    /// organic path (a failed call records a failure; the next call
+    /// probes first) covers crashes the coordinator *observed*; this
+    /// one covers a crash-and-replace with no traffic in between,
+    /// which no probe-on-failure scheme can detect on its own.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures reaching the worker or installing the
+    /// replica.
+    pub fn recover_worker(&self, k: usize) -> Result<(), ClientError> {
+        let mut slot = self.workers[k].lock().unwrap();
+        self.probe_and_handoff(k, &mut slot)
+    }
+
+    /// One bounded, breaker-gated, retried call against worker `k`.
+    /// After any observed failure, the real request is preceded by a
+    /// `Counts` probe + handoff check, so a revived worker is restored
+    /// before new traffic lands on it.
+    fn call_worker(
+        &self,
+        k: usize,
+        req: &Request,
+    ) -> Result<Response, ClientError> {
+        let mut slot = self.workers[k].lock().unwrap();
+        let label = Self::worker_label(k);
+        let mut last_err =
+            ClientError::Io(format!("worker {k}: no attempt allowed"));
+        for attempt in 0..self.config.retry.max_attempts {
+            if attempt > 0 {
+                self.metrics
+                    .inc("cluster_worker_retries_total", &[("worker", &label)]);
+                let ms = self.config.retry.backoff_ms(attempt, k as u64);
+                if ms > 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(ms));
+                }
+            }
+            if !slot.breaker.allow() {
+                last_err = ClientError::Io(format!(
+                    "worker {k}: circuit open, call gated"
+                ));
+                continue;
+            }
+            if slot.breaker.consecutive_failures() > 0
+                && !matches!(req, Request::Counts)
+            {
+                if let Err(e) = self.probe_and_handoff(k, &mut slot) {
+                    slot.breaker.record_failure();
+                    self.record_failure(k, &e, &slot);
+                    last_err = e;
+                    continue;
+                }
+            }
+            match slot.transport.call(req) {
+                Ok(resp) => {
+                    slot.breaker.record_success();
+                    self.metrics.set_gauge(
+                        "cluster_worker_healthy",
+                        &[("worker", &label)],
+                        1.0,
+                    );
+                    self.metrics.set_gauge(
+                        "cluster_worker_consecutive_failures",
+                        &[("worker", &label)],
+                        0.0,
+                    );
+                    return Ok(resp);
+                }
+                Err(e) => {
+                    slot.breaker.record_failure();
+                    self.record_failure(k, &e, &slot);
+                    last_err = e;
+                }
+            }
+        }
+        Err(last_err)
+    }
+
+    fn record_failure(&self, k: usize, e: &ClientError, slot: &WorkerSlot) {
+        let label = Self::worker_label(k);
+        self.metrics
+            .inc("cluster_worker_failures_total", &[("worker", &label)]);
+        if matches!(e, ClientError::TimedOut) {
+            self.metrics
+                .inc("cluster_worker_timeouts_total", &[("worker", &label)]);
+        }
+        self.metrics.set_gauge(
+            "cluster_worker_healthy",
+            &[("worker", &label)],
+            0.0,
+        );
+        self.metrics.set_gauge(
+            "cluster_worker_consecutive_failures",
+            &[("worker", &label)],
+            f64::from(slot.breaker.consecutive_failures()),
+        );
+    }
+
+    /// Probes worker `k` with `Counts`; when it holds fewer accepted
+    /// uploads than its latest replica, installs that replica first
+    /// (the handoff). On success the breaker closes.
+    fn probe_and_handoff(
+        &self,
+        k: usize,
+        slot: &mut WorkerSlot,
+    ) -> Result<(), ClientError> {
+        let accepted = match slot.transport.call(&Request::Counts)? {
+            Response::Counts { accepted, .. } => accepted,
+            other => {
+                return Err(ClientError::Io(format!(
+                    "worker {k}: unexpected probe response {other:?}"
+                )))
+            }
+        };
+        let replica = self
+            .replicas
+            .lock()
+            .unwrap()
+            .get(k)
+            .map(|r| (r.data.clone(), r.accepted));
+        if let Some((data, replicated)) = replica {
+            if accepted < replicated {
+                match slot
+                    .transport
+                    .call(&Request::InstallCheckpoint { data })?
+                {
+                    Response::Done => {
+                        let label = Self::worker_label(k);
+                        self.metrics.inc(
+                            "cluster_handoffs_total",
+                            &[("worker", &label)],
+                        );
+                        self.metrics.event(
+                            EventKind::Handoff,
+                            format!(
+                                "worker={k} accepted={accepted} \
+                                 restored={replicated}"
+                            ),
+                        );
+                    }
+                    Response::Error { message } => {
+                        return Err(ClientError::Io(format!(
+                            "worker {k}: rejected handoff: {message}"
+                        )))
+                    }
+                    other => {
+                        return Err(ClientError::Io(format!(
+                            "worker {k}: unexpected handoff response \
+                             {other:?}"
+                        )))
+                    }
+                }
+            }
+        }
+        slot.breaker.record_success();
+        Ok(())
+    }
+
+    /// Routes one upload to its shard and forwards it. An unreachable
+    /// shard answers `RetryAfter` — explicit backpressure the phone-
+    /// side retry loop already understands; nothing is dropped.
+    pub fn submit(&self, app: &str, payload: Vec<u8>) -> Response {
+        let shard = shard_for_payload(
+            app,
+            &payload,
+            &self.config.fleet.repair,
+            self.workers.len(),
+        );
+        let label = Self::worker_label(shard);
+        self.metrics
+            .inc("cluster_submits_routed_total", &[("worker", &label)]);
+        let req = Request::Submit {
+            app: app.to_string(),
+            payload,
+        };
+        match self.call_worker(shard, &req) {
+            Ok(resp) => resp,
+            Err(_) => {
+                self.metrics.inc(
+                    "cluster_submits_unavailable_total",
+                    &[("worker", &label)],
+                );
+                Response::RetryAfter {
+                    ms: self.config.retry_after_ms,
+                }
+            }
+        }
+    }
+
+    /// Fans a diagnosis out to every worker, rebases the surviving
+    /// partials into one contiguous fleet, and finishes it. All
+    /// workers reachable → `Report`; some unreachable → `Degraded`
+    /// (or a typed error under [`DegradePolicy::Hold`]).
+    pub fn diagnose(&self, app: &str, epoch: Option<u64>) -> Response {
+        let mut missing: Vec<u32> = Vec::new();
+        let mut found: Vec<(usize, u64, ShardPartial)> = Vec::new();
+        let mut unknown_epoch = false;
+        let req = Request::Partial {
+            app: app.to_string(),
+            epoch,
+        };
+        for k in 0..self.workers.len() {
+            match self.call_worker(k, &req) {
+                Ok(Response::Partial {
+                    status,
+                    epoch,
+                    partial,
+                }) => match status {
+                    PartialStatus::Found => found.push((k, epoch, partial)),
+                    PartialStatus::UnknownApp => {}
+                    PartialStatus::UnknownEpoch => unknown_epoch = true,
+                },
+                Ok(Response::Error { message }) => {
+                    return Response::Error {
+                        message: format!("worker {k}: {message}"),
+                    }
+                }
+                Ok(other) => {
+                    return Response::Error {
+                        message: format!(
+                            "worker {k}: unexpected response {other:?}"
+                        ),
+                    }
+                }
+                Err(_) => missing.push(k as u32),
+            }
+        }
+        if !missing.is_empty() && self.config.policy == DegradePolicy::Hold {
+            return Response::Error {
+                message: format!(
+                    "shard(s) {missing:?} unreachable after {} attempt(s); \
+                     held back by policy (no degraded answers)",
+                    self.config.retry.max_attempts
+                ),
+            };
+        }
+        if found.is_empty() {
+            // Mirror the single-node daemon's typed query errors. A
+            // worker answers UnknownEpoch only for an explicit epoch
+            // id (`None` resolves to the always-materialized current
+            // epoch), so the unwrap below never fabricates an id.
+            let mut message = if unknown_epoch {
+                QueryError::UnknownEpoch {
+                    app: app.to_string(),
+                    epoch: epoch.unwrap_or_default(),
+                }
+                .to_string()
+            } else {
+                QueryError::UnknownApp(app.to_string()).to_string()
+            };
+            if !missing.is_empty() {
+                message.push_str(&format!(
+                    " ({} shard(s) unreachable: {missing:?})",
+                    missing.len()
+                ));
+            }
+            return Response::Error { message };
+        }
+        let resolved = found[0].1;
+        if found.iter().any(|(_, e, _)| *e != resolved) {
+            let spread: Vec<(usize, u64)> =
+                found.iter().map(|(k, e, _)| (*k, *e)).collect();
+            return Response::Error {
+                message: format!(
+                    "cluster epoch mismatch for app {app:?}: {spread:?} \
+                     (a rollover did not reach every worker)"
+                ),
+            };
+        }
+        // Concatenate the surviving shards in worker order: rebase
+        // each worker's locally-0-based partial to sit after the
+        // traces of the workers before it, then merge.
+        let mut merged = ShardPartial::empty();
+        let mut base = 0usize;
+        for (_, _, partial) in found {
+            let n = partial.trace_count();
+            merged = merged.merge(partial.rebase(base));
+            base += n;
+        }
+        let json = match self.dx.finish(merged) {
+            Ok(report) => report.to_canonical_json(),
+            Err(e) => {
+                return Response::Error {
+                    message: QueryError::Analysis(e.to_string()).to_string(),
+                }
+            }
+        };
+        if missing.is_empty() {
+            Response::Report { json }
+        } else {
+            self.metrics.inc("cluster_degraded_queries_total", &[]);
+            self.metrics.event(
+                EventKind::DegradedQuery,
+                format!("app={app} missing={missing:?}"),
+            );
+            Response::Degraded { missing, json }
+        }
+    }
+
+    /// Fetches and stores every worker's checkpoint (re-validated
+    /// before it enters the store). Live workers replicate even when
+    /// others are down; any miss is an explicit error.
+    pub fn replicate_all(&self) -> Response {
+        let mut failed: Vec<usize> = Vec::new();
+        for k in 0..self.workers.len() {
+            match self.call_worker(k, &Request::FetchCheckpoint) {
+                Ok(Response::CheckpointData { data }) => {
+                    let accepted =
+                        match restore_bytes(&data, self.config.fleet.clone()) {
+                            Ok(state) => state.accepted_total() as u64,
+                            Err(e) => {
+                                return Response::Error {
+                                    message: format!(
+                                    "worker {k}: sent an invalid checkpoint: \
+                                     {e}"
+                                ),
+                                }
+                            }
+                        };
+                    let label = Self::worker_label(k);
+                    let bytes = data.len();
+                    if let Err(e) =
+                        self.replicas.lock().unwrap().store(k, data, accepted)
+                    {
+                        return Response::Error {
+                            message: format!(
+                                "replica store failed for worker {k}: {e}"
+                            ),
+                        };
+                    }
+                    self.metrics.inc(
+                        "cluster_replications_total",
+                        &[("worker", &label)],
+                    );
+                    self.metrics.set_gauge(
+                        "cluster_worker_replica_accepted",
+                        &[("worker", &label)],
+                        accepted as f64,
+                    );
+                    self.metrics.event(
+                        EventKind::Replication,
+                        format!("worker={k} accepted={accepted} bytes={bytes}"),
+                    );
+                }
+                Ok(other) => {
+                    return Response::Error {
+                        message: format!(
+                            "worker {k}: unexpected response {other:?}"
+                        ),
+                    }
+                }
+                Err(_) => failed.push(k),
+            }
+        }
+        if failed.is_empty() {
+            Response::Done
+        } else {
+            Response::Error {
+                message: format!(
+                    "replication incomplete: worker(s) {failed:?} \
+                     unreachable (live workers were replicated)"
+                ),
+            }
+        }
+    }
+
+    /// Broadcasts a compaction; best-effort but explicit about misses.
+    fn compact_all(&self) -> Response {
+        let failed = self.broadcast(&Request::Compact);
+        if failed.is_empty() {
+            Response::Done
+        } else {
+            Response::Error {
+                message: format!(
+                    "compaction incomplete: worker(s) {failed:?} unreachable"
+                ),
+            }
+        }
+    }
+
+    /// Broadcasts a rollover and then drives every lagging worker
+    /// forward until all epochs agree (epoch alignment is what keeps
+    /// cluster queries meaningful, and workers only increment). Any
+    /// unreachable worker is a typed error naming it — some workers
+    /// may already have rolled, and the error says so; re-running the
+    /// rollover once the cluster is whole realigns them.
+    fn rollover_all(&self, app: &str) -> Response {
+        let req = Request::Rollover {
+            app: app.to_string(),
+        };
+        let mut epochs: Vec<u64> = Vec::new();
+        let mut failed: Vec<usize> = Vec::new();
+        for k in 0..self.workers.len() {
+            match self.call_worker(k, &req) {
+                Ok(Response::Epoch { epoch }) => epochs.push(epoch),
+                Ok(other) => {
+                    return Response::Error {
+                        message: format!(
+                            "worker {k}: unexpected response {other:?}"
+                        ),
+                    }
+                }
+                Err(_) => failed.push(k),
+            }
+        }
+        if !failed.is_empty() {
+            return Response::Error {
+                message: format!(
+                    "rollover incomplete: worker(s) {failed:?} unreachable \
+                     ({} worker(s) already rolled — retry once the cluster \
+                     is whole to realign epochs)",
+                    epochs.len()
+                ),
+            };
+        }
+        // Workers only ever *increment* their epoch, so once skewed
+        // (a partial rollover, or a manual roll on one worker) no
+        // single broadcast can realign them. Drive every laggard
+        // forward until the whole cluster sits at the max epoch seen.
+        let target = *epochs.iter().max().expect("non-empty");
+        for (k, epoch) in epochs.iter_mut().enumerate() {
+            while *epoch < target {
+                match self.call_worker(k, &req) {
+                    Ok(Response::Epoch { epoch: rolled })
+                        if rolled > *epoch =>
+                    {
+                        *epoch = rolled
+                    }
+                    Ok(other) => {
+                        return Response::Error {
+                            message: format!(
+                                "worker {k}: epoch catch-up stalled at \
+                                 {epoch}/{target}: {other:?}"
+                            ),
+                        }
+                    }
+                    Err(e) => {
+                        return Response::Error {
+                            message: format!(
+                                "worker {k}: unreachable during epoch \
+                                 catch-up at {epoch}/{target}: {e}"
+                            ),
+                        }
+                    }
+                }
+            }
+        }
+        Response::Epoch { epoch: target }
+    }
+
+    fn broadcast(&self, req: &Request) -> Vec<usize> {
+        let mut failed = Vec::new();
+        for k in 0..self.workers.len() {
+            match self.call_worker(k, req) {
+                Ok(Response::Done) | Ok(Response::Epoch { .. }) => {}
+                Ok(_) | Err(_) => failed.push(k),
+            }
+        }
+        failed
+    }
+
+    /// Coordinator stats: routing/degradation counters and per-worker
+    /// health + replication state, as one canonical JSON document.
+    pub fn stats_json(&self) -> String {
+        let degraded = self
+            .metrics
+            .registry()
+            .and_then(|r| {
+                r.counter_value("cluster_degraded_queries_total", &[])
+            })
+            .unwrap_or(0);
+        let mut w = JsonWriter::new();
+        w.obj(|w| {
+            w.key("degraded_queries");
+            w.u64(degraded);
+            w.key("policy");
+            w.string(match self.config.policy {
+                DegradePolicy::Degrade => "degrade",
+                DegradePolicy::Hold => "hold",
+            });
+            w.key("workers");
+            w.obj(|w| {
+                let replicas = self.replicas.lock().unwrap();
+                for k in 0..self.workers.len() {
+                    let slot = self.workers[k].lock().unwrap();
+                    let label = Self::worker_label(k);
+                    w.key(&label);
+                    w.obj(|w| {
+                        w.key("circuit_open");
+                        w.raw(if slot.breaker.is_open() {
+                            "true"
+                        } else {
+                            "false"
+                        });
+                        w.key("consecutive_failures");
+                        w.u64(u64::from(slot.breaker.consecutive_failures()));
+                        w.key("healthy");
+                        w.raw(if slot.breaker.consecutive_failures() == 0 {
+                            "true"
+                        } else {
+                            "false"
+                        });
+                        w.key("replica_accepted");
+                        match replicas.get(k) {
+                            Some(r) => w.u64(r.accepted),
+                            None => w.raw("null"),
+                        }
+                        w.key("replica_bytes");
+                        match replicas.get(k) {
+                            Some(r) => w.usize(r.data.len()),
+                            None => w.raw("null"),
+                        }
+                    });
+                }
+            });
+        });
+        w.into_line()
+    }
+
+    /// Coordinator liveness: worker count, how many are currently
+    /// trusted, and the degradation policy.
+    pub fn health_json(&self) -> String {
+        let healthy = (0..self.workers.len())
+            .filter(|&k| {
+                self.workers[k]
+                    .lock()
+                    .unwrap()
+                    .breaker
+                    .consecutive_failures()
+                    == 0
+            })
+            .count();
+        let mut w = JsonWriter::new();
+        w.obj(|w| {
+            w.key("healthy_workers");
+            w.usize(healthy);
+            w.key("policy");
+            w.string(match self.config.policy {
+                DegradePolicy::Degrade => "degrade",
+                DegradePolicy::Hold => "hold",
+            });
+            w.key("status");
+            w.string(if healthy == self.workers.len() {
+                "ok"
+            } else {
+                "degraded"
+            });
+            w.key("workers");
+            w.usize(self.workers.len());
+        });
+        w.into_line()
+    }
+
+    /// Prometheus exposition of the coordinator's registry, with the
+    /// per-worker health/replica gauges refreshed first.
+    pub fn metrics_text(&self) -> String {
+        let replicas = self.replicas.lock().unwrap();
+        for k in 0..self.workers.len() {
+            let slot = self.workers[k].lock().unwrap();
+            let label = Self::worker_label(k);
+            self.metrics.set_gauge(
+                "cluster_worker_healthy",
+                &[("worker", &label)],
+                if slot.breaker.consecutive_failures() == 0 {
+                    1.0
+                } else {
+                    0.0
+                },
+            );
+            self.metrics.set_gauge(
+                "cluster_worker_consecutive_failures",
+                &[("worker", &label)],
+                f64::from(slot.breaker.consecutive_failures()),
+            );
+            if let Some(r) = replicas.get(k) {
+                self.metrics.set_gauge(
+                    "cluster_worker_replica_accepted",
+                    &[("worker", &label)],
+                    r.accepted as f64,
+                );
+            }
+        }
+        drop(replicas);
+        match self.metrics.registry() {
+            Some(reg) => reg.render_prometheus(),
+            None => String::new(),
+        }
+    }
+
+    /// Broadcasts `Shutdown` to every worker (best effort — a dead
+    /// worker is already down) before the coordinator itself stops.
+    fn shutdown_workers(&self) -> Response {
+        let _ = self.broadcast(&Request::Shutdown);
+        Response::Done
+    }
+}
+
+impl Dispatch for Coordinator {
+    fn handle_request(&self, req: Request) -> Response {
+        let kind = match &req {
+            Request::Submit { .. } => "submit",
+            Request::Diagnose { .. } => "diagnose",
+            Request::Stats => "stats",
+            Request::Health => "health",
+            Request::Compact => "compact",
+            Request::Checkpoint => "checkpoint",
+            Request::Rollover { .. } => "rollover",
+            Request::Shutdown => "shutdown",
+            Request::Metrics => "metrics",
+            _ => "worker_only",
+        };
+        let _span = self
+            .metrics
+            .timer("cluster_request_duration_seconds", &[("kind", kind)]);
+        match req {
+            Request::Submit { app, payload } => self.submit(&app, payload),
+            Request::Diagnose { app, epoch } => self.diagnose(&app, epoch),
+            Request::Stats => Response::Stats {
+                json: self.stats_json(),
+            },
+            Request::Health => Response::Health {
+                json: self.health_json(),
+            },
+            Request::Compact => self.compact_all(),
+            Request::Checkpoint => self.replicate_all(),
+            Request::Rollover { app } => self.rollover_all(&app),
+            Request::Shutdown => self.shutdown_workers(),
+            Request::Metrics => Response::Metrics {
+                text: self.metrics_text(),
+            },
+            Request::Partial { .. }
+            | Request::FetchCheckpoint
+            | Request::InstallCheckpoint { .. }
+            | Request::Counts => Response::Error {
+                message: "worker-only request sent to a coordinator"
+                    .to_string(),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{shard_for_user, InProcessTransport, WorkerSlot};
+    use crate::fixture;
+    use crate::protocol::OutcomeCode;
+    use crate::server::{FleetdHandle, ServerConfig};
+    use crate::state::FleetState;
+
+    struct TestCluster {
+        coordinator: Coordinator,
+        slots: Vec<WorkerSlot>,
+    }
+
+    fn test_config() -> CoordinatorConfig {
+        CoordinatorConfig {
+            retry: RetryBudget {
+                max_attempts: 2,
+                base_backoff_ms: 0, // never sleep in tests
+                max_backoff_ms: 0,
+            },
+            ..CoordinatorConfig::default()
+        }
+    }
+
+    fn cluster_with(config: CoordinatorConfig, workers: usize) -> TestCluster {
+        let slots: Vec<WorkerSlot> = (0..workers)
+            .map(|_| {
+                let handle = FleetdHandle::start(ServerConfig::default())
+                    .expect("worker start");
+                Arc::new(Mutex::new(Some(Arc::new(handle))))
+            })
+            .collect();
+        let transports: Vec<Box<dyn WorkerTransport>> = slots
+            .iter()
+            .map(|slot| {
+                Box::new(InProcessTransport::new(Arc::clone(slot)))
+                    as Box<dyn WorkerTransport>
+            })
+            .collect();
+        let coordinator = Coordinator::new(config, transports).unwrap();
+        TestCluster { coordinator, slots }
+    }
+
+    fn cluster(workers: usize) -> TestCluster {
+        cluster_with(test_config(), workers)
+    }
+
+    fn uploads(n: u64) -> Vec<(String, Vec<u8>)> {
+        (0..n)
+            .map(|i| {
+                let user = format!("u{:02}", i % 7);
+                (user.clone(), fixture::payload(&user, i / 7))
+            })
+            .collect()
+    }
+
+    /// The batch reference for a cluster: the per-worker accepted
+    /// sequences concatenated in worker order.
+    fn reference_json(uploads: &[(String, Vec<u8>)], workers: usize) -> String {
+        let mut state = FleetState::new(FleetConfig::default());
+        for k in 0..workers {
+            for (user, payload) in uploads {
+                if shard_for_user("mail", user, workers) == k {
+                    assert!(state.submit("mail", payload).accepted());
+                }
+            }
+        }
+        state.diagnose_json("mail", None).unwrap()
+    }
+
+    fn drive(cluster: &TestCluster, uploads: &[(String, Vec<u8>)]) {
+        for (_, payload) in uploads {
+            match cluster.coordinator.submit("mail", payload.clone()) {
+                Response::Outcome { code, .. } => {
+                    assert_ne!(code, OutcomeCode::Rejected)
+                }
+                other => panic!("unexpected submit response {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn cluster_queries_match_the_batch_reference() {
+        for workers in 1..=3 {
+            let cluster = cluster(workers);
+            let ups = uploads(21);
+            drive(&cluster, &ups);
+            match cluster.coordinator.diagnose("mail", None) {
+                Response::Report { json } => {
+                    assert_eq!(json, reference_json(&ups, workers))
+                }
+                other => panic!("unexpected response {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn a_dead_shard_degrades_explicitly_then_recovers() {
+        let cluster = cluster(3);
+        let ups = uploads(21);
+        drive(&cluster, &ups);
+        let full = match cluster.coordinator.diagnose("mail", None) {
+            Response::Report { json } => json,
+            other => panic!("unexpected response {other:?}"),
+        };
+        // kill -9 worker 1: its handle vanishes mid-conversation.
+        let taken = cluster.slots[1].lock().unwrap().take();
+        let keep_alive = taken.expect("worker 1 was live");
+        match cluster.coordinator.diagnose("mail", None) {
+            Response::Degraded { missing, json } => {
+                assert_eq!(missing, vec![1]);
+                // The degraded answer is the exact reference over the
+                // surviving shards — no silent partial.
+                let survivors: Vec<(String, Vec<u8>)> = ups
+                    .iter()
+                    .filter(|(u, _)| shard_for_user("mail", u, 3) != 1)
+                    .cloned()
+                    .collect();
+                let mut state = FleetState::new(FleetConfig::default());
+                for k in [0usize, 2] {
+                    for (user, payload) in &survivors {
+                        if shard_for_user("mail", user, 3) == k {
+                            assert!(state.submit("mail", payload).accepted());
+                        }
+                    }
+                }
+                assert_eq!(json, state.diagnose_json("mail", None).unwrap());
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+        // An upload routed to the dead shard is explicit backpressure.
+        let dead_user = (0..100)
+            .map(|i| format!("u{i:02}"))
+            .find(|u| shard_for_user("mail", u, 3) == 1)
+            .unwrap();
+        match cluster
+            .coordinator
+            .submit("mail", fixture::payload(&dead_user, 9000))
+        {
+            Response::RetryAfter { ms } => assert!(ms > 0),
+            other => panic!("unexpected response {other:?}"),
+        }
+        // The worker comes back (state intact): the next query probes,
+        // closes the breaker, and the full answer returns.
+        *cluster.slots[1].lock().unwrap() = Some(keep_alive);
+        match cluster.coordinator.diagnose("mail", None) {
+            Response::Report { json } => assert_eq!(json, full),
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hold_policy_refuses_partial_answers() {
+        let config = CoordinatorConfig {
+            policy: DegradePolicy::Hold,
+            ..test_config()
+        };
+        let cluster = cluster_with(config, 2);
+        let ups = uploads(14);
+        drive(&cluster, &ups);
+        cluster.slots[0].lock().unwrap().take();
+        match cluster.coordinator.diagnose("mail", None) {
+            Response::Error { message } => {
+                assert!(message.contains("unreachable"), "{message}");
+                assert!(message.contains("held back"), "{message}");
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    #[test]
+    fn handoff_restores_a_replacement_worker_from_the_replica() {
+        let cluster = cluster(3);
+        let ups = uploads(21);
+        drive(&cluster, &ups);
+        let full = match cluster.coordinator.diagnose("mail", None) {
+            Response::Report { json } => json,
+            other => panic!("unexpected response {other:?}"),
+        };
+        assert!(matches!(
+            cluster.coordinator.replicate_all(),
+            Response::Done
+        ));
+        // kill -9 worker 2; the coordinator observes the outage.
+        cluster.slots[2].lock().unwrap().take();
+        assert!(matches!(
+            cluster.coordinator.diagnose("mail", None),
+            Response::Degraded { .. }
+        ));
+        // A blank replacement worker takes the slot. The next query
+        // probes, sees fewer accepted uploads than the replica, and
+        // installs the replica before the partial request lands.
+        let replacement = FleetdHandle::start(ServerConfig::default()).unwrap();
+        *cluster.slots[2].lock().unwrap() = Some(Arc::new(replacement));
+        match cluster.coordinator.diagnose("mail", None) {
+            Response::Report { json } => assert_eq!(json, full),
+            other => panic!("unexpected response {other:?}"),
+        }
+        let handoffs = cluster
+            .coordinator
+            .metrics()
+            .registry()
+            .unwrap()
+            .counter_value("cluster_handoffs_total", &[("worker", "2")]);
+        assert_eq!(handoffs, Some(1));
+    }
+
+    #[test]
+    fn unknown_apps_mirror_the_single_node_error() {
+        let cluster = cluster(2);
+        match cluster.coordinator.diagnose("nope", None) {
+            Response::Error { message } => {
+                assert_eq!(
+                    message,
+                    QueryError::UnknownApp("nope".to_string()).to_string()
+                );
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+        // With a shard down, "unknown" is qualified — the app might
+        // live entirely on the dead worker.
+        cluster.slots[1].lock().unwrap().take();
+        match cluster.coordinator.diagnose("nope", None) {
+            Response::Error { message } => {
+                assert!(message.contains("unknown app"), "{message}");
+                assert!(message.contains("unreachable"), "{message}");
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    #[test]
+    fn epoch_misalignment_is_a_typed_error_never_a_wrong_merge() {
+        let cluster = cluster(2);
+        let ups = uploads(14);
+        drive(&cluster, &ups);
+        // Roll one worker behind the coordinator's back.
+        let handle =
+            Arc::clone(cluster.slots[0].lock().unwrap().as_ref().unwrap());
+        handle.handle_request(Request::Rollover {
+            app: "mail".to_string(),
+        });
+        match cluster.coordinator.diagnose("mail", None) {
+            Response::Error { message } => {
+                assert!(message.contains("epoch mismatch"), "{message}");
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+        // A cluster-wide rollover realigns and queries work again.
+        match cluster.coordinator.handle_request(Request::Rollover {
+            app: "mail".to_string(),
+        }) {
+            Response::Epoch { epoch } => assert!(epoch >= 1),
+            other => panic!("unexpected response {other:?}"),
+        }
+        assert!(matches!(
+            cluster.coordinator.diagnose("mail", None),
+            Response::Report { .. }
+        ));
+    }
+
+    struct FailingTransport {
+        attempts: Arc<Mutex<u32>>,
+    }
+
+    impl WorkerTransport for FailingTransport {
+        fn call(&mut self, _req: &Request) -> Result<Response, ClientError> {
+            *self.attempts.lock().unwrap() += 1;
+            Err(ClientError::TimedOut)
+        }
+    }
+
+    #[test]
+    fn retries_are_bounded_so_the_coordinator_never_hangs() {
+        let attempts = Arc::new(Mutex::new(0u32));
+        let transport = Box::new(FailingTransport {
+            attempts: Arc::clone(&attempts),
+        }) as Box<dyn WorkerTransport>;
+        let coordinator =
+            Coordinator::new(test_config(), vec![transport]).unwrap();
+        match coordinator.submit("mail", fixture::payload("u1", 0)) {
+            Response::RetryAfter { ms } => assert!(ms > 0),
+            other => panic!("unexpected response {other:?}"),
+        }
+        let max = test_config().retry.max_attempts;
+        assert_eq!(*attempts.lock().unwrap(), max);
+        // Subsequent traffic is breaker-gated: far fewer transport
+        // calls than attempts once the circuit opens.
+        for _ in 0..10 {
+            let _ = coordinator.submit("mail", fixture::payload("u1", 1));
+        }
+        let total = *attempts.lock().unwrap();
+        assert!(
+            total < max * 11,
+            "breaker failed to shed load: {total} calls"
+        );
+    }
+
+    #[test]
+    fn stats_and_health_report_per_worker_state() {
+        let cluster = cluster(2);
+        drive(&cluster, &uploads(7));
+        assert!(matches!(
+            cluster.coordinator.replicate_all(),
+            Response::Done
+        ));
+        let stats = cluster.coordinator.stats_json();
+        assert!(stats.contains("\"workers\""), "{stats}");
+        assert!(stats.contains("\"replica_accepted\""), "{stats}");
+        assert!(stats.contains("\"circuit_open\": false"), "{stats}");
+        let health = cluster.coordinator.health_json();
+        assert!(health.contains("\"status\": \"ok\""), "{health}");
+        cluster.slots[1].lock().unwrap().take();
+        let _ = cluster.coordinator.diagnose("mail", None);
+        let health = cluster.coordinator.health_json();
+        assert!(health.contains("\"status\": \"degraded\""), "{health}");
+        assert!(health.contains("\"healthy_workers\": 1"), "{health}");
+    }
+
+    #[test]
+    fn worker_only_requests_are_rejected_at_the_coordinator() {
+        let cluster = cluster(1);
+        for req in [
+            Request::Counts,
+            Request::FetchCheckpoint,
+            Request::Partial {
+                app: "mail".to_string(),
+                epoch: None,
+            },
+        ] {
+            match cluster.coordinator.handle_request(req) {
+                Response::Error { message } => {
+                    assert!(message.contains("worker-only"), "{message}")
+                }
+                other => panic!("unexpected response {other:?}"),
+            }
+        }
+    }
+}

@@ -28,6 +28,12 @@
 //! - [`server`] — the daemon: TCP front end + in-process handle.
 //! - [`client`] — blocking client + an [`UploadBackend`] adapter so
 //!   the phone-side retry loop talks to a live daemon.
+//! - [`cluster`] — sharded routing, worker transports, circuit
+//!   breakers, and retry budgets for multi-node deployments.
+//! - [`coordinator`] — the merging coordinator: routes uploads to
+//!   shards, fans queries out, rebases + merges the partials.
+//! - [`replicate`] — coordinator-side checkpoint replicas that seed
+//!   restarted or replacement workers.
 //!
 //! [`EnergyDx::map_shard`]: energydx::EnergyDx::map_shard
 //! [`ShardPartial::empty`]: energydx::shard::ShardPartial::empty
@@ -35,17 +41,30 @@
 
 pub mod checkpoint;
 pub mod client;
+pub mod cluster;
 mod codec;
 pub mod convert;
+pub mod coordinator;
 pub mod fixture;
 pub mod protocol;
 pub mod queue;
+pub mod replicate;
 pub mod server;
 pub mod state;
 
 pub use checkpoint::{checkpoint_bytes, restore_bytes, CheckpointError};
-pub use client::{Client, ClientError, TcpBackend};
-pub use protocol::{Request, Response};
+pub use client::{Client, ClientError, ClientTimeouts, TcpBackend};
+pub use cluster::{
+    shard_for_payload, shard_for_user, CircuitBreaker, DegradePolicy,
+    FrameTamper, InProcessTransport, Leg, RetryBudget, TcpTransport,
+    WorkerSlot, WorkerTransport,
+};
+pub use coordinator::{Coordinator, CoordinatorConfig};
+pub use protocol::{PartialStatus, Request, Response};
 pub use queue::{Enqueue, IngestQueue};
-pub use server::{render_metrics, FleetdHandle, ServerConfig, SubmitReply};
+pub use replicate::{Replica, ReplicaStore};
+pub use server::{
+    render_metrics, serve_dispatcher, Dispatch, FleetdHandle, ServerConfig,
+    SubmitReply,
+};
 pub use state::{FleetConfig, FleetState, QueryError};

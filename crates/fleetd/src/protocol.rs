@@ -13,6 +13,7 @@
 //! with [`Response::Error`] instead of dropping the connection.
 
 use crate::codec::{CodecError, Reader, Writer};
+use energydx::ShardPartial;
 use energydx_trace::store::IngestOutcome;
 use energydx_trace::wire;
 use std::fmt;
@@ -20,7 +21,12 @@ use std::io::{self, Read, Write as IoWrite};
 
 const MAGIC: &[u8; 4] = b"EDXF";
 const VERSION: u8 = 1;
-/// Upper bound on a frame body; anything larger is malformed.
+/// Upper bound on a frame body; a declared length beyond this is
+/// rejected *before* any buffer is allocated, so a corrupt length
+/// prefix can never trigger an OOM-sized allocation. (The in-memory
+/// [`Reader`] bounds-checks every slice against the received body, so
+/// this header check is the only place a length field sizes an
+/// allocation.)
 const MAX_BODY: usize = 64 << 20;
 
 /// Why a frame or message could not be decoded.
@@ -28,12 +34,22 @@ const MAX_BODY: usize = 64 << 20;
 pub enum ProtocolError {
     /// Socket-level failure.
     Io(String),
+    /// The peer did not produce a frame within the socket's deadline.
+    TimedOut,
     /// The stream does not start a frame with the protocol magic.
     BadMagic,
     /// Unknown protocol version.
     UnsupportedVersion(u8),
     /// The stream ended inside a frame.
     Truncated,
+    /// The header declares a body longer than the protocol allows;
+    /// rejected before allocating.
+    FrameTooLarge {
+        /// The length the header declared.
+        declared: u64,
+        /// The protocol's cap on body length.
+        max: u64,
+    },
     /// Frame checksum mismatch.
     CrcMismatch,
     /// Unknown message kind for this direction.
@@ -46,11 +62,18 @@ impl fmt::Display for ProtocolError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ProtocolError::Io(e) => write!(f, "protocol i/o: {e}"),
+            ProtocolError::TimedOut => {
+                f.write_str("peer exceeded the socket deadline")
+            }
             ProtocolError::BadMagic => f.write_str("bad frame magic"),
             ProtocolError::UnsupportedVersion(v) => {
                 write!(f, "unsupported protocol version {v}")
             }
             ProtocolError::Truncated => f.write_str("stream ended mid-frame"),
+            ProtocolError::FrameTooLarge { declared, max } => write!(
+                f,
+                "frame body of {declared} bytes exceeds the {max}-byte cap"
+            ),
             ProtocolError::CrcMismatch => {
                 f.write_str("frame fails its CRC32 check")
             }
@@ -106,6 +129,27 @@ pub enum Request {
     /// Prometheus-text metrics exposition (counters, gauges, stage
     /// duration histograms, queue occupancy).
     Metrics,
+    /// Cluster: fetch an epoch's folded [`ShardPartial`] (the worker's
+    /// locally-offset contribution, for coordinator-side rebasing and
+    /// merging). `None` = the current epoch.
+    Partial {
+        /// The app whose partial is wanted.
+        app: String,
+        /// Epoch id; `None` = the current epoch.
+        epoch: Option<u64>,
+    },
+    /// Cluster: serialize the worker's full state as checkpoint bytes
+    /// (for coordinator-side replication).
+    FetchCheckpoint,
+    /// Cluster: replace the worker's state with a restored checkpoint
+    /// (handoff to a restarted or replacement worker).
+    InstallCheckpoint {
+        /// Checkpoint bytes as produced by `FetchCheckpoint`.
+        data: Vec<u8>,
+    },
+    /// Cluster: cheap accepted/quarantined totals, used as the health
+    /// probe and the staleness check before a handoff.
+    Counts,
 }
 
 /// Coarse submit outcome carried over the wire. Repairs and salvage
@@ -183,6 +227,49 @@ pub enum Response {
         /// The exposition body, ready to serve to a scraper.
         text: String,
     },
+    /// Cluster: one worker's folded epoch partial (or why there is
+    /// none), serialized with the checkpoint's partial codec.
+    Partial {
+        /// Whether the worker holds the app/epoch at all.
+        status: PartialStatus,
+        /// The resolved epoch id (0 unless `status` is `Found`).
+        epoch: u64,
+        /// The folded, locally-offset partial (empty unless `Found`).
+        partial: ShardPartial,
+    },
+    /// Cluster: the worker's serialized checkpoint.
+    CheckpointData {
+        /// Checkpoint bytes, installable via
+        /// [`Request::InstallCheckpoint`].
+        data: Vec<u8>,
+    },
+    /// Cluster: accepted/quarantined totals.
+    Counts {
+        /// Uploads stored (clean + recovered) across all apps/epochs.
+        accepted: u64,
+        /// Uploads quarantined across all apps/epochs.
+        quarantined: u64,
+    },
+    /// Cluster: a coordinator answered a query without every shard.
+    /// The report covers the surviving workers only — explicitly
+    /// labeled, never silently passed off as complete.
+    Degraded {
+        /// Worker indexes that could not be reached.
+        missing: Vec<u32>,
+        /// Canonical-JSON report over the surviving shards.
+        json: String,
+    },
+}
+
+/// Whether a worker could resolve a [`Request::Partial`] lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartialStatus {
+    /// The worker holds the epoch; the partial is its contribution.
+    Found,
+    /// The worker has never seen the app (an empty contribution).
+    UnknownApp,
+    /// The app exists on the worker but the requested epoch does not.
+    UnknownEpoch,
 }
 
 fn frame(kind: u8, body: &[u8]) -> Vec<u8> {
@@ -233,9 +320,12 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<Frame>, ProtocolError> {
     // One byte at a time first: EOF before any byte is a clean close,
     // EOF after a partial magic is a truncated frame.
     let mut magic = [0u8; 4];
-    let first = r
-        .read(&mut magic[..1])
-        .map_err(|e| ProtocolError::Io(e.to_string()))?;
+    let first = r.read(&mut magic[..1]).map_err(|e| match e.kind() {
+        io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock => {
+            ProtocolError::TimedOut
+        }
+        _ => ProtocolError::Io(e.to_string()),
+    })?;
     if first == 0 {
         return Ok(None);
     }
@@ -252,9 +342,10 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<Frame>, ProtocolError> {
     let kind = head[1];
     let body_len = u32::from_le_bytes(head[2..6].try_into().unwrap()) as usize;
     if body_len > MAX_BODY {
-        return Err(ProtocolError::Malformed(format!(
-            "frame body of {body_len} bytes exceeds the {MAX_BODY} cap"
-        )));
+        return Err(ProtocolError::FrameTooLarge {
+            declared: body_len as u64,
+            max: MAX_BODY as u64,
+        });
     }
     let mut body = vec![0u8; body_len];
     read_fully(r, &mut body)?;
@@ -270,12 +361,14 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<Frame>, ProtocolError> {
 }
 
 fn read_fully(r: &mut impl Read, buf: &mut [u8]) -> Result<(), ProtocolError> {
-    r.read_exact(buf).map_err(|e| {
-        if e.kind() == io::ErrorKind::UnexpectedEof {
-            ProtocolError::Truncated
-        } else {
-            ProtocolError::Io(e.to_string())
+    r.read_exact(buf).map_err(|e| match e.kind() {
+        io::ErrorKind::UnexpectedEof => ProtocolError::Truncated,
+        // SO_RCVTIMEO surfaces as WouldBlock on Unix, TimedOut on
+        // Windows; either way the peer missed its deadline.
+        io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock => {
+            ProtocolError::TimedOut
         }
+        _ => ProtocolError::Io(e.to_string()),
     })
 }
 
@@ -310,6 +403,23 @@ impl Request {
             }
             Request::Shutdown => 8,
             Request::Metrics => 9,
+            Request::Partial { app, epoch } => {
+                w.str(app);
+                match epoch {
+                    Some(e) => {
+                        w.u8(1);
+                        w.u64(*e);
+                    }
+                    None => w.u8(0),
+                }
+                10
+            }
+            Request::FetchCheckpoint => 11,
+            Request::InstallCheckpoint { data } => {
+                w.bytes(data);
+                12
+            }
+            Request::Counts => 13,
         };
         frame(kind, &w.into_vec())
     }
@@ -342,6 +452,20 @@ impl Request {
             7 => Request::Rollover { app: r.str("app")? },
             8 => Request::Shutdown,
             9 => Request::Metrics,
+            10 => {
+                let app = r.str("app")?;
+                let epoch = if r.u8("epoch flag")? != 0 {
+                    Some(r.u64("epoch")?)
+                } else {
+                    None
+                };
+                Request::Partial { app, epoch }
+            }
+            11 => Request::FetchCheckpoint,
+            12 => Request::InstallCheckpoint {
+                data: r.bytes("checkpoint data")?,
+            },
+            13 => Request::Counts,
             k => return Err(ProtocolError::UnknownKind(k)),
         };
         expect_drained(&r)?;
@@ -392,6 +516,40 @@ impl Response {
                 w.str(text);
                 9
             }
+            Response::Partial {
+                status,
+                epoch,
+                partial,
+            } => {
+                w.u8(match status {
+                    PartialStatus::Found => 0,
+                    PartialStatus::UnknownApp => 1,
+                    PartialStatus::UnknownEpoch => 2,
+                });
+                w.u64(*epoch);
+                crate::checkpoint::write_partial(&mut w, partial);
+                10
+            }
+            Response::CheckpointData { data } => {
+                w.bytes(data);
+                11
+            }
+            Response::Counts {
+                accepted,
+                quarantined,
+            } => {
+                w.u64(*accepted);
+                w.u64(*quarantined);
+                12
+            }
+            Response::Degraded { missing, json } => {
+                w.u32(missing.len() as u32);
+                for worker in missing {
+                    w.u32(*worker);
+                }
+                w.str(json);
+                13
+            }
         };
         frame(kind, &w.into_vec())
     }
@@ -440,6 +598,44 @@ impl Response {
             9 => Response::Metrics {
                 text: r.str("text")?,
             },
+            10 => {
+                let status = match r.u8("partial status")? {
+                    0 => PartialStatus::Found,
+                    1 => PartialStatus::UnknownApp,
+                    2 => PartialStatus::UnknownEpoch,
+                    s => {
+                        return Err(ProtocolError::Malformed(format!(
+                            "unknown partial status {s}"
+                        )))
+                    }
+                };
+                let epoch = r.u64("epoch")?;
+                let partial = crate::checkpoint::read_partial(&mut r)
+                    .map_err(|e| ProtocolError::Malformed(e.to_string()))?;
+                Response::Partial {
+                    status,
+                    epoch,
+                    partial,
+                }
+            }
+            11 => Response::CheckpointData {
+                data: r.bytes("checkpoint data")?,
+            },
+            12 => Response::Counts {
+                accepted: r.u64("accepted")?,
+                quarantined: r.u64("quarantined")?,
+            },
+            13 => {
+                let n = r.u32("missing count")? as usize;
+                let mut missing = Vec::with_capacity(n.min(1 << 10));
+                for _ in 0..n {
+                    missing.push(r.u32("missing worker")?);
+                }
+                Response::Degraded {
+                    missing,
+                    json: r.str("json")?,
+                }
+            }
             k => return Err(ProtocolError::UnknownKind(k)),
         };
         expect_drained(&r)?;
@@ -460,6 +656,14 @@ fn expect_drained(r: &Reader<'_>) -> Result<(), ProtocolError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::convert::bundles_to_input;
+    use crate::fixture;
+
+    fn sample_partial() -> ShardPartial {
+        let bundles = vec![fixture::bundle("u1", 0), fixture::bundle("u2", 1)];
+        let input = bundles_to_input(&bundles);
+        energydx::EnergyDx::default().map_shard(input.traces(), 0)
+    }
 
     fn requests() -> Vec<Request> {
         vec![
@@ -482,6 +686,19 @@ mod tests {
             Request::Rollover { app: "maps".into() },
             Request::Shutdown,
             Request::Metrics,
+            Request::Partial {
+                app: "maps".into(),
+                epoch: Some(2),
+            },
+            Request::Partial {
+                app: "maps".into(),
+                epoch: None,
+            },
+            Request::FetchCheckpoint,
+            Request::InstallCheckpoint {
+                data: vec![9, 8, 7, 6],
+            },
+            Request::Counts,
         ]
     }
 
@@ -506,6 +723,36 @@ mod tests {
             },
             Response::Metrics {
                 text: "# TYPE up gauge\nup 1\n".into(),
+            },
+            Response::Partial {
+                status: PartialStatus::Found,
+                epoch: 3,
+                partial: sample_partial(),
+            },
+            Response::Partial {
+                status: PartialStatus::UnknownApp,
+                epoch: 0,
+                partial: ShardPartial::empty(),
+            },
+            Response::Partial {
+                status: PartialStatus::UnknownEpoch,
+                epoch: 0,
+                partial: ShardPartial::empty(),
+            },
+            Response::CheckpointData {
+                data: vec![1, 2, 3, 4, 5],
+            },
+            Response::Counts {
+                accepted: 41,
+                quarantined: 7,
+            },
+            Response::Degraded {
+                missing: vec![1, 2],
+                json: "{}".into(),
+            },
+            Response::Degraded {
+                missing: vec![],
+                json: "{}".into(),
             },
         ]
     }
@@ -546,6 +793,7 @@ mod tests {
                     ProtocolError::CrcMismatch
                         | ProtocolError::UnsupportedVersion(_)
                         | ProtocolError::Truncated
+                        | ProtocolError::FrameTooLarge { .. }
                         | ProtocolError::Malformed(_)
                 ),
                 "byte {i}: {err:?}"
@@ -567,5 +815,39 @@ mod tests {
                 "cut {cut}: {err:?}"
             );
         }
+    }
+
+    #[test]
+    fn oversized_declared_length_is_rejected_before_allocating() {
+        // A hand-built header declaring a body of u32::MAX bytes (and
+        // carrying none). The reader must refuse at the header, with
+        // the declared size in the error — not attempt a 4 GiB buffer
+        // and fail on EOF.
+        let mut bad = Vec::new();
+        bad.extend_from_slice(MAGIC);
+        bad.push(VERSION);
+        bad.push(3); // Stats
+        bad.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(
+            read_frame(&mut io::Cursor::new(bad)).unwrap_err(),
+            ProtocolError::FrameTooLarge {
+                declared: u32::MAX as u64,
+                max: MAX_BODY as u64,
+            }
+        );
+        // The guard is exact: one byte past the cap is already refused.
+        let over = (MAX_BODY as u32) + 1;
+        let mut bad = Vec::new();
+        bad.extend_from_slice(MAGIC);
+        bad.push(VERSION);
+        bad.push(3);
+        bad.extend_from_slice(&over.to_le_bytes());
+        assert_eq!(
+            read_frame(&mut io::Cursor::new(bad)).unwrap_err(),
+            ProtocolError::FrameTooLarge {
+                declared: over as u64,
+                max: MAX_BODY as u64,
+            }
+        );
     }
 }

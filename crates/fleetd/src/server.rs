@@ -25,14 +25,21 @@ use crate::queue::{Enqueue, IngestQueue};
 use crate::state::{FleetConfig, FleetState, QueryError};
 use energydx::JsonWriter;
 use energydx_obsv::Metrics;
-use energydx_trace::store::IngestOutcome;
+use energydx_trace::store::{IngestOutcome, RejectReason};
 use std::io::Write as IoWrite;
 use std::net::{TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Instant;
+
+/// Locks a mutex, recovering from poison. A panic on one connection
+/// or ingest thread must cost that one request — never wedge every
+/// later request behind a `PoisonError` unwrap.
+fn relock<T>(lock: &Mutex<T>) -> MutexGuard<'_, T> {
+    lock.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Daemon deployment configuration.
 #[derive(Debug, Clone)]
@@ -123,6 +130,7 @@ impl FleetdHandle {
             let state_dir = config.state_dir.clone();
             let every = config.checkpoint_every;
             let delay = config.ingest_delay_ms;
+            let metrics = metrics.clone();
             std::thread::spawn(move || {
                 let mut since_checkpoint = 0usize;
                 while let Some(job) = queue.pop() {
@@ -131,8 +139,27 @@ impl FleetdHandle {
                             delay,
                         ));
                     }
+                    // A panicking bundle (an ingest bug the
+                    // decode/repair/validate pipeline failed to
+                    // catch) costs that one upload, never the
+                    // daemon: without this the worker dies and
+                    // every later submission blocks forever.
                     let outcome =
-                        state.lock().unwrap().submit(&job.app, &job.payload);
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                            || relock(&state).submit(&job.app, &job.payload),
+                        ))
+                        .unwrap_or_else(|_| {
+                            eprintln!(
+                                "fleetd: ingest panicked on an upload for \
+                             {:?}; upload rejected",
+                                job.app
+                            );
+                            metrics.inc(
+                                "fleetd_uploads_quarantined_total",
+                                &[("reason", "ingest-panic")],
+                            );
+                            IngestOutcome::Rejected(RejectReason::Invalid)
+                        });
                     if outcome.accepted() {
                         since_checkpoint += 1;
                     }
@@ -141,12 +168,9 @@ impl FleetdHandle {
                             since_checkpoint = 0;
                             // Best-effort: a failed periodic snapshot
                             // must not take ingestion down.
-                            match checkpoint::save_to(
-                                &state.lock().unwrap(),
-                                dir,
-                            ) {
+                            match checkpoint::save_to(&relock(&state), dir) {
                                 Ok(_) => {
-                                    *last_checkpoint.lock().unwrap() =
+                                    *relock(&last_checkpoint) =
                                         Some(Instant::now());
                                 }
                                 Err(e) => {
@@ -195,14 +219,14 @@ impl FleetdHandle {
         app: &str,
         epoch: Option<u64>,
     ) -> Result<String, QueryError> {
-        self.state.lock().unwrap().diagnose_json(app, epoch)
+        relock(&self.state).diagnose_json(app, epoch)
     }
 
     /// Server-level stats: queue accounting and the recent structured
     /// event ring spliced into the state's per-app accounting, as one
     /// canonical JSON document.
     pub fn stats_json(&self) -> String {
-        let state = self.state.lock().unwrap();
+        let state = relock(&self.state);
         let events = match state.metrics().registry() {
             Some(reg) => reg.recent_events(),
             None => Vec::new(),
@@ -240,7 +264,7 @@ impl FleetdHandle {
     /// per-client `RetryAfter` counts (each shed answered one client
     /// with `RetryAfter`, so the per-app shed map *is* that count).
     pub fn health_json(&self) -> String {
-        let state = self.state.lock().unwrap();
+        let state = relock(&self.state);
         let retry_after = self.queue.shed_by_app();
         let mut w = JsonWriter::new();
         w.obj(|w| {
@@ -272,7 +296,7 @@ impl FleetdHandle {
     /// Prometheus text exposition of the daemon's registry, with
     /// scrape-time queue and checkpoint gauges refreshed first.
     pub fn metrics_text(&self) -> String {
-        let state = self.state.lock().unwrap();
+        let state = relock(&self.state);
         render_metrics(&state, &self.queue, self.checkpoint_age_seconds())
     }
 
@@ -280,7 +304,7 @@ impl FleetdHandle {
     /// first one. Pinned to `0` under deterministic time so the
     /// exposition stays byte-stable.
     fn checkpoint_age_seconds(&self) -> Option<f64> {
-        let saved = (*self.last_checkpoint.lock().unwrap())?;
+        let saved = (*relock(&self.last_checkpoint))?;
         let deterministic = self
             .metrics
             .registry()
@@ -294,7 +318,7 @@ impl FleetdHandle {
 
     /// Collapses every epoch's deltas; returns epochs compacted.
     pub fn compact(&self) -> usize {
-        self.state.lock().unwrap().compact()
+        relock(&self.state).compact()
     }
 
     /// Writes a checkpoint now. `Ok(None)` when the daemon runs
@@ -306,9 +330,9 @@ impl FleetdHandle {
     pub fn checkpoint_now(&self) -> Result<Option<PathBuf>, CheckpointError> {
         match &self.state_dir {
             Some(dir) => {
-                let state = self.state.lock().unwrap();
+                let state = relock(&self.state);
                 let path = checkpoint::save_to(&state, dir)?;
-                *self.last_checkpoint.lock().unwrap() = Some(Instant::now());
+                *relock(&self.last_checkpoint) = Some(Instant::now());
                 Ok(Some(path))
             }
             None => Ok(None),
@@ -317,7 +341,55 @@ impl FleetdHandle {
 
     /// Freezes `app`'s current epoch; returns the new epoch id.
     pub fn rollover(&self, app: &str) -> u64 {
-        self.state.lock().unwrap().rollover(app)
+        relock(&self.state).rollover(app)
+    }
+
+    /// Resolves `app`'s epoch to its id and folded partial — this
+    /// worker's locally-offset contribution to a cluster query.
+    ///
+    /// # Errors
+    ///
+    /// As [`FleetState::epoch_partial`].
+    pub fn epoch_partial(
+        &self,
+        app: &str,
+        epoch: Option<u64>,
+    ) -> Result<(u64, energydx::ShardPartial), QueryError> {
+        relock(&self.state).epoch_partial(app, epoch)
+    }
+
+    /// Serializes the current state as checkpoint bytes (for
+    /// coordinator-side replication; works without a state dir).
+    pub fn checkpoint_data(&self) -> Vec<u8> {
+        checkpoint::checkpoint_bytes(&relock(&self.state))
+    }
+
+    /// Replaces this daemon's fleet data with a restored checkpoint —
+    /// the receiving half of a cluster handoff. The registry and
+    /// analyzer are kept; only the per-app data is swapped, after the
+    /// checkpoint fully validates.
+    ///
+    /// # Errors
+    ///
+    /// Any [`CheckpointError`] from validation; on error the resident
+    /// state is untouched.
+    pub fn install_checkpoint(
+        &self,
+        data: &[u8],
+    ) -> Result<(), CheckpointError> {
+        let config = relock(&self.state).config().clone();
+        let restored = checkpoint::restore_bytes(data, config)?;
+        let mut state = relock(&self.state);
+        state.apps = restored.apps;
+        self.metrics.inc("fleetd_checkpoint_installs_total", &[]);
+        Ok(())
+    }
+
+    /// Accepted/quarantined totals across all apps and epochs — the
+    /// cheap probe a coordinator uses for health and staleness checks.
+    pub fn counts(&self) -> (usize, usize) {
+        let state = relock(&self.state);
+        (state.accepted_total(), state.quarantined_total())
     }
 
     /// Queue high-water mark (for backpressure assertions).
@@ -338,13 +410,13 @@ impl FleetdHandle {
     /// [`CheckpointError::Io`] if the final flush fails.
     pub fn shutdown(&self) -> Result<(), CheckpointError> {
         self.queue.close();
-        if let Some(worker) = self.worker.lock().unwrap().take() {
+        if let Some(worker) = relock(&self.worker).take() {
             let _ = worker.join();
         }
         if let Some(dir) = &self.state_dir {
-            let state = self.state.lock().unwrap();
+            let state = relock(&self.state);
             checkpoint::save_to(&state, dir)?;
-            *self.last_checkpoint.lock().unwrap() = Some(Instant::now());
+            *relock(&self.last_checkpoint) = Some(Instant::now());
         }
         Ok(())
     }
@@ -388,6 +460,10 @@ fn request_kind(req: &Request) -> &'static str {
         Request::Rollover { .. } => "rollover",
         Request::Shutdown => "shutdown",
         Request::Metrics => "metrics",
+        Request::Partial { .. } => "partial",
+        Request::FetchCheckpoint => "fetch_checkpoint",
+        Request::InstallCheckpoint { .. } => "install_checkpoint",
+        Request::Counts => "counts",
     }
 }
 
@@ -440,6 +516,74 @@ fn dispatch(handle: &FleetdHandle, req: Request) -> Response {
         Request::Metrics => Response::Metrics {
             text: handle.metrics_text(),
         },
+        Request::Partial { app, epoch } => {
+            match handle.epoch_partial(&app, epoch) {
+                Ok((epoch, partial)) => Response::Partial {
+                    status: crate::protocol::PartialStatus::Found,
+                    epoch,
+                    partial,
+                },
+                Err(QueryError::UnknownApp(_)) => Response::Partial {
+                    status: crate::protocol::PartialStatus::UnknownApp,
+                    epoch: 0,
+                    partial: energydx::ShardPartial::empty(),
+                },
+                Err(QueryError::UnknownEpoch { .. }) => Response::Partial {
+                    status: crate::protocol::PartialStatus::UnknownEpoch,
+                    epoch: 0,
+                    partial: energydx::ShardPartial::empty(),
+                },
+                Err(e) => Response::Error {
+                    message: e.to_string(),
+                },
+            }
+        }
+        Request::FetchCheckpoint => Response::CheckpointData {
+            data: handle.checkpoint_data(),
+        },
+        Request::InstallCheckpoint { data } => {
+            match handle.install_checkpoint(&data) {
+                Ok(()) => Response::Done,
+                Err(e) => Response::Error {
+                    message: e.to_string(),
+                },
+            }
+        }
+        Request::Counts => {
+            let (accepted, quarantined) = handle.counts();
+            Response::Counts {
+                accepted: accepted as u64,
+                quarantined: quarantined as u64,
+            }
+        }
+    }
+}
+
+/// Anything that can sit behind the framed TCP front end: the daemon
+/// itself, or a cluster coordinator fronting other daemons.
+pub trait Dispatch: Send + Sync {
+    /// Answers one decoded request.
+    fn handle_request(&self, req: Request) -> Response;
+
+    /// Runs once after the accept loop stops (final flush, fan-out
+    /// shutdown, …).
+    ///
+    /// # Errors
+    ///
+    /// Implementation-defined; surfaced from [`serve_dispatcher`].
+    fn finish(&self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+impl Dispatch for FleetdHandle {
+    fn handle_request(&self, req: Request) -> Response {
+        dispatch(self, req)
+    }
+
+    fn finish(&self) -> std::io::Result<()> {
+        self.shutdown()
+            .map_err(|e| std::io::Error::other(e.to_string()))
     }
 }
 
@@ -456,6 +600,21 @@ pub fn serve(
     listener: TcpListener,
     handle: Arc<FleetdHandle>,
 ) -> std::io::Result<()> {
+    serve_dispatcher(listener, handle)
+}
+
+/// Serves the framed protocol on `listener` in front of any
+/// [`Dispatch`] implementation until a `Shutdown` request arrives,
+/// then runs its [`Dispatch::finish`]. One thread per connection.
+///
+/// # Errors
+///
+/// Socket-level failures of the listener itself and whatever
+/// `finish` reports.
+pub fn serve_dispatcher<D: Dispatch + 'static>(
+    listener: TcpListener,
+    dispatcher: Arc<D>,
+) -> std::io::Result<()> {
     let local = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
     let mut conns = Vec::new();
@@ -468,10 +627,10 @@ pub fn serve(
         if let Ok(clone) = stream.try_clone() {
             peers.push(clone);
         }
-        let handle = Arc::clone(&handle);
+        let dispatcher = Arc::clone(&dispatcher);
         let stop = Arc::clone(&stop);
         conns.push(std::thread::spawn(move || {
-            handle_connection(stream, &handle, &stop, local);
+            handle_connection(stream, &*dispatcher, &stop, local);
         }));
     }
     // Unblock handlers parked in `read_frame` on idle connections —
@@ -483,14 +642,12 @@ pub fn serve(
     for conn in conns {
         let _ = conn.join();
     }
-    handle
-        .shutdown()
-        .map_err(|e| std::io::Error::other(e.to_string()))
+    dispatcher.finish()
 }
 
-fn handle_connection(
+fn handle_connection<D: Dispatch>(
     mut stream: TcpStream,
-    handle: &FleetdHandle,
+    dispatcher: &D,
     stop: &AtomicBool,
     local: std::net::SocketAddr,
 ) {
@@ -512,7 +669,7 @@ fn handle_connection(
         let (resp, is_shutdown) = match Request::decode(&frame) {
             Ok(req) => {
                 let is_shutdown = matches!(req, Request::Shutdown);
-                (dispatch(handle, req), is_shutdown)
+                (dispatcher.handle_request(req), is_shutdown)
             }
             Err(e) => (
                 Response::Error {
@@ -532,4 +689,10 @@ fn handle_connection(
             break;
         }
     }
+    // The accept loop holds a clone of this socket (to cut idle
+    // connections at shutdown), so dropping `stream` alone leaves the
+    // connection established from the peer's side. Shut the socket
+    // itself down so the peer sees EOF the moment this handler exits,
+    // instead of blocking until its read deadline.
+    let _ = stream.shutdown(std::net::Shutdown::Both);
 }

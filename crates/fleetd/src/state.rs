@@ -409,6 +409,32 @@ impl FleetState {
             })
     }
 
+    /// Resolves `app`'s epoch (current when `None`) to its id and
+    /// folded partial — one worker's locally-offset contribution, for
+    /// a cluster coordinator to rebase and merge with its peers'.
+    ///
+    /// # Errors
+    ///
+    /// [`QueryError::UnknownApp`] / [`QueryError::UnknownEpoch`] when
+    /// nothing was ever accepted under that name.
+    pub fn epoch_partial(
+        &self,
+        app: &str,
+        epoch: Option<u64>,
+    ) -> Result<(u64, ShardPartial), QueryError> {
+        let id = epoch.unwrap_or(
+            self.apps
+                .get(app)
+                .ok_or_else(|| QueryError::UnknownApp(app.to_string()))?
+                .current_epoch,
+        );
+        let partial = {
+            let _span = self.metrics.span("merge");
+            self.epoch(app, Some(id))?.folded()
+        };
+        Ok((id, partial))
+    }
+
     /// Finishes `app`'s epoch (current when `None`) into a full
     /// diagnosis report — the incremental result that must equal the
     /// batch run.

@@ -20,6 +20,13 @@ pub enum EventKind {
     Compaction,
     /// An app's epoch counter advanced.
     Rollover,
+    /// A coordinator replicated one worker's checkpoint.
+    Replication,
+    /// A replicated checkpoint was handed off to a restarted or
+    /// replacement worker.
+    Handoff,
+    /// A cluster query was answered without every shard.
+    DegradedQuery,
 }
 
 impl EventKind {
@@ -33,6 +40,9 @@ impl EventKind {
             EventKind::CheckpointLoad => "checkpoint_load",
             EventKind::Compaction => "compaction",
             EventKind::Rollover => "rollover",
+            EventKind::Replication => "replication",
+            EventKind::Handoff => "handoff",
+            EventKind::DegradedQuery => "degraded_query",
         }
     }
 }

@@ -14,6 +14,10 @@
 //!    dropped (begun-before-logging callbacks), but only up to
 //!    [`RepairPolicy::max_stray_exits`] of them; more than that means
 //!    the pairing structure itself is broken.
+//! 3. **Utilization sample sort** — the same bounded out-of-order
+//!    rule applied to the utilization trace. The power model requires
+//!    non-decreasing sample timestamps; a damaged sample clock within
+//!    the bound is sorted, beyond it the bundle is rejected.
 //!
 //! Deduplication of retried `(user, session)` uploads happens in the
 //! store (it needs cross-bundle state); see
@@ -59,6 +63,14 @@ pub enum RepairAction {
         /// How many were removed.
         count: usize,
     },
+    /// Utilization samples were stably re-sorted into timestamp
+    /// order. The power model requires non-decreasing sample
+    /// timestamps, so un-repaired disorder here would corrupt every
+    /// downstream power estimate.
+    SortedUtilization {
+        /// Worst backwards displacement found, in milliseconds.
+        displacement_ms: u64,
+    },
 }
 
 impl fmt::Display for RepairAction {
@@ -72,6 +84,13 @@ impl fmt::Display for RepairAction {
             }
             RepairAction::DroppedStrayExits { count } => {
                 write!(f, "dropped {count} stray exit record(s)")
+            }
+            RepairAction::SortedUtilization { displacement_ms } => {
+                write!(
+                    f,
+                    "re-sorted utilization samples displaced up to \
+                     {displacement_ms} ms"
+                )
             }
         }
     }
@@ -137,10 +156,18 @@ pub fn repair(
 ) -> Result<Vec<RepairAction>, RepairReject> {
     let mut actions = Vec::new();
 
-    // 1. Bounded out-of-order sort.
+    // 1. Bounded out-of-order sort — events and utilization samples
+    //    are judged against the same bound, and a reject leaves the
+    //    bundle untouched, so both checks run before any mutation.
     let displacement_ms = max_displacement_ms(&bundle.events);
     if displacement_ms > policy.max_out_of_order_ms {
         return Err(RepairReject::OutOfOrderBeyondBound { displacement_ms });
+    }
+    let util_displacement_ms = bundle.utilization.max_displacement_ms();
+    if util_displacement_ms > policy.max_out_of_order_ms {
+        return Err(RepairReject::OutOfOrderBeyondBound {
+            displacement_ms: util_displacement_ms,
+        });
     }
     // 2. Count stray exits as they would pair after sorting, before
     //    mutating anything, so a reject leaves the bundle untouched.
@@ -169,6 +196,12 @@ pub fn repair(
     }
     if !actions.is_empty() {
         bundle.events = records.into_iter().collect();
+    }
+    if util_displacement_ms > 0 {
+        bundle.utilization.sort_by_timestamp();
+        actions.push(RepairAction::SortedUtilization {
+            displacement_ms: util_displacement_ms,
+        });
     }
     Ok(actions)
 }
@@ -325,5 +358,47 @@ mod tests {
     #[test]
     fn displacement_of_ordered_trace_is_zero() {
         assert_eq!(max_displacement_ms(&clean_bundle().events), 0);
+    }
+
+    #[test]
+    fn disordered_utilization_is_sorted() {
+        use crate::util::UtilizationSample;
+        let mut b = clean_bundle();
+        for ts in [0u64, 500, 1500, 1000, 2000] {
+            b.utilization.push(UtilizationSample::new(ts));
+        }
+        let actions = repair(&mut b, &RepairPolicy::default()).unwrap();
+        assert_eq!(
+            actions,
+            vec![RepairAction::SortedUtilization {
+                displacement_ms: 500
+            }]
+        );
+        let stamps: Vec<u64> = b
+            .utilization
+            .samples()
+            .iter()
+            .map(|s| s.timestamp_ms)
+            .collect();
+        assert_eq!(stamps, vec![0, 500, 1000, 1500, 2000]);
+        assert!(b.validate().is_ok());
+    }
+
+    #[test]
+    fn utilization_disorder_beyond_bound_is_rejected_untouched() {
+        use crate::util::UtilizationSample;
+        let mut b = clean_bundle();
+        for ts in [10_000u64, 500] {
+            b.utilization.push(UtilizationSample::new(ts));
+        }
+        let before = b.clone();
+        let err = repair(&mut b, &RepairPolicy::default()).unwrap_err();
+        assert_eq!(
+            err,
+            RepairReject::OutOfOrderBeyondBound {
+                displacement_ms: 9_500
+            }
+        );
+        assert_eq!(b, before);
     }
 }

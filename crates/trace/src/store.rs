@@ -79,8 +79,8 @@ impl TraceBundle {
         self.events = records.into_iter().collect();
     }
 
-    /// Validates internal consistency (timestamp ordering of the event
-    /// trace and strict enter/exit pairing).
+    /// Validates internal consistency (timestamp ordering of the
+    /// event *and* utilization traces, strict enter/exit pairing).
     ///
     /// # Errors
     ///
@@ -89,6 +89,15 @@ impl TraceBundle {
     pub fn validate(&self) -> Result<(), TraceError> {
         self.events.validate()?;
         self.events.pair_instances_strict()?;
+        // The power model walks utilization samples in order; a
+        // disordered sample that slipped past repair must quarantine
+        // here, not corrupt every downstream power estimate.
+        let samples = self.utilization.samples();
+        for (index, pair) in samples.windows(2).enumerate() {
+            if pair[1].timestamp_ms < pair[0].timestamp_ms {
+                return Err(TraceError::OutOfOrder { index: index + 1 });
+            }
+        }
         Ok(())
     }
 }
@@ -529,6 +538,15 @@ impl TraceStore {
         v
     }
 
+    /// Snapshot of all bundles in first-accept order — the order a
+    /// resident daemon folds uploads into its partial (a resend of an
+    /// already-stored `(user, session)` keeps the original position).
+    /// This is the batch side of a daemon/batch byte-diff: feeding
+    /// payloads to both in the same order must produce the same fleet.
+    pub fn snapshot_accept_order(&self) -> Vec<TraceBundle> {
+        self.bundles.read().clone()
+    }
+
     /// Snapshot of all bundles split into at most `shards` balanced,
     /// contiguous, **owned** shards in [`TraceStore::snapshot`] order.
     /// Each shard can be shipped to an analysis worker independently;
@@ -728,6 +746,42 @@ mod tests {
         assert!(store.ingest(b).is_err());
         assert!(store.is_empty());
         assert_eq!(store.quarantine_len(), 1);
+    }
+
+    #[test]
+    fn validate_rejects_disordered_utilization() {
+        use crate::util::UtilizationSample;
+        let mut b = bundle("u1", 0);
+        b.utilization.push(UtilizationSample::new(1_000));
+        b.utilization.push(UtilizationSample::new(500));
+        assert_eq!(b.validate(), Err(TraceError::OutOfOrder { index: 1 }));
+    }
+
+    #[test]
+    fn prepare_wire_repairs_disordered_utilization() {
+        // A damaged sample clock must come back *sorted* — the power
+        // model walks samples in order, and before this repair such a
+        // payload crashed the ingest worker instead of recovering.
+        use crate::util::UtilizationSample;
+        let mut b = bundle("u1", 0);
+        for ts in [0u64, 1_000, 500] {
+            b.utilization.push(UtilizationSample::new(ts));
+        }
+        let payload = crate::wire::encode(&b);
+        match prepare_wire(&payload, &RepairPolicy::default()) {
+            PreparedUpload::Ready {
+                bundle, repairs, ..
+            } => {
+                assert_eq!(
+                    repairs,
+                    vec![crate::repair::RepairAction::SortedUtilization {
+                        displacement_ms: 500
+                    }]
+                );
+                assert!(bundle.validate().is_ok());
+            }
+            other => panic!("expected a repaired upload, got {other:?}"),
+        }
     }
 
     #[test]

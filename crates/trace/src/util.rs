@@ -159,6 +159,30 @@ impl UtilizationTrace {
         self.samples.is_empty()
     }
 
+    /// Worst backwards displacement in the trace: how far (ms) the
+    /// most out-of-place sample sits below the running maximum
+    /// timestamp. Zero means the samples are already in order.
+    pub fn max_displacement_ms(&self) -> u64 {
+        let mut running_max = 0u64;
+        let mut worst = 0u64;
+        for s in &self.samples {
+            if s.timestamp_ms < running_max {
+                worst = worst.max(running_max - s.timestamp_ms);
+            } else {
+                running_max = s.timestamp_ms;
+            }
+        }
+        worst
+    }
+
+    /// Stably re-sorts the samples into timestamp order. The power
+    /// model requires non-decreasing timestamps; repair calls this
+    /// for bounded disorder (a damaged sample clock) instead of
+    /// rejecting the whole bundle.
+    pub fn sort_by_timestamp(&mut self) {
+        self.samples.sort_by_key(|s| s.timestamp_ms);
+    }
+
     /// Mean utilization of one component across the trace (0 if empty).
     pub fn mean(&self, component: Component) -> f64 {
         if self.samples.is_empty() {

@@ -575,3 +575,317 @@ fn crash_and_restore_converges_to_the_full_reference() {
     ops.push(FleetOp::Query); // == full-fleet reference
     run_fleet_schedule(&ops, &pool);
 }
+
+// ---------------------------------------------------------------------
+// The sharded cluster: any interleaving of {upload, compact,
+// replicate, worker-crash, worker-replace, query} over a K-worker
+// coordinator must serve reports byte-identical to the batch
+// reference over the traces the cluster actually holds — including
+// kill -9 + replicated-checkpoint resume, where a replaced worker
+// holds its partition *as of the last replica* and the model says
+// exactly which uploads that is.
+// ---------------------------------------------------------------------
+
+use energydx_suite::energydx_fleetd::cluster::{
+    shard_for_payload, InProcessTransport, WorkerSlot, WorkerTransport,
+};
+use energydx_suite::energydx_fleetd::coordinator::{
+    Coordinator, CoordinatorConfig,
+};
+use energydx_suite::energydx_fleetd::protocol::{
+    OutcomeCode, Request, Response,
+};
+use energydx_suite::energydx_fleetd::server::{FleetdHandle, ServerConfig};
+use energydx_suite::energydx_fleetd::{Dispatch, RetryBudget};
+use std::sync::{Arc, Mutex};
+
+/// One step of a cluster schedule. Worker indices are taken mod K so
+/// one schedule drives every cluster width.
+#[derive(Debug, Clone, Copy)]
+enum ClusterOp {
+    /// Submit payload `i` from the pool through the coordinator.
+    Upload(usize),
+    /// Broadcast a compaction (no observable effect on reports).
+    Compact,
+    /// Replicate every live worker's checkpoint to the coordinator.
+    Replicate,
+    /// kill -9 worker `w`: its slot empties mid-conversation.
+    Crash(usize),
+    /// A blank replacement takes worker `w`'s slot and the operator
+    /// runs the explicit recover path (probe + replica handoff).
+    Restart(usize),
+    /// Fan out a diagnosis and compare to the batch reference.
+    Query,
+}
+
+struct ClusterUnderTest {
+    coordinator: Coordinator,
+    slots: Vec<WorkerSlot>,
+}
+
+fn new_cluster(workers: usize) -> ClusterUnderTest {
+    let slots: Vec<WorkerSlot> = (0..workers)
+        .map(|_| {
+            let handle =
+                FleetdHandle::start(ServerConfig::default()).expect("worker");
+            Arc::new(Mutex::new(Some(Arc::new(handle))))
+        })
+        .collect();
+    let transports: Vec<Box<dyn WorkerTransport>> = slots
+        .iter()
+        .map(|slot| {
+            Box::new(InProcessTransport::new(Arc::clone(slot)))
+                as Box<dyn WorkerTransport>
+        })
+        .collect();
+    let config = CoordinatorConfig {
+        retry: RetryBudget {
+            max_attempts: 2,
+            base_backoff_ms: 0,
+            max_backoff_ms: 0,
+        },
+        ..CoordinatorConfig::default()
+    };
+    let coordinator =
+        Coordinator::new(config, transports).expect("cluster starts");
+    ClusterUnderTest { coordinator, slots }
+}
+
+/// One worker's model: the shared prepare + dedup pipeline, plus
+/// whether the worker has ever *seen* the app — a quarantined upload
+/// creates the app entry without accepting a trace, and an app that
+/// exists with zero traces serves the empty report, not "unknown".
+#[derive(Debug, Clone, Default)]
+struct WorkerModel {
+    fleet: FleetModel,
+    knows_app: bool,
+}
+
+/// The cluster's independent model: per-worker accept lists, app
+/// existence, liveness, and the replica snapshots a handoff would
+/// restore.
+struct ClusterModel {
+    workers: Vec<WorkerModel>,
+    dead: Vec<bool>,
+    replicas: Vec<Option<WorkerModel>>,
+}
+
+impl ClusterModel {
+    fn new(workers: usize) -> Self {
+        ClusterModel {
+            workers: (0..workers).map(|_| WorkerModel::default()).collect(),
+            dead: vec![false; workers],
+            replicas: vec![None; workers],
+        }
+    }
+
+    fn missing(&self) -> Vec<u32> {
+        (0..self.dead.len())
+            .filter(|&k| self.dead[k])
+            .map(|k| k as u32)
+            .collect()
+    }
+
+    /// The batch reference over the shards that would answer: each
+    /// live worker's accepted traces, concatenated in worker order.
+    /// `None` when no live worker even knows the app (the cluster
+    /// answers the typed unknown-app error, exactly like one daemon).
+    fn live_reference(&self) -> Option<String> {
+        if !self
+            .workers
+            .iter()
+            .zip(&self.dead)
+            .any(|(worker, dead)| !dead && worker.knows_app)
+        {
+            return None;
+        }
+        let mut accepted: Vec<TraceBundle> = Vec::new();
+        for (worker, dead) in self.workers.iter().zip(&self.dead) {
+            if !dead {
+                accepted.extend(worker.fleet.accepted.iter().cloned());
+            }
+        }
+        Some(
+            EnergyDx::default()
+                .diagnose_reference(&bundles_to_input(&accepted))
+                .to_canonical_json(),
+        )
+    }
+}
+
+fn assert_cluster_matches_reference(
+    cluster: &ClusterUnderTest,
+    model: &ClusterModel,
+) {
+    let expected = model.live_reference();
+    let missing = model.missing();
+    let response = cluster.coordinator.handle_request(Request::Diagnose {
+        app: "app".to_string(),
+        epoch: None,
+    });
+    match (expected, missing.is_empty()) {
+        (None, _) => assert!(
+            matches!(response, Response::Error { .. }),
+            "an empty cluster must answer a typed error, got {response:?}"
+        ),
+        (Some(reference), true) => match response {
+            Response::Report { json } => assert_eq!(
+                json, reference,
+                "cluster diverged from the batch reference"
+            ),
+            other => panic!("expected a full report, got {other:?}"),
+        },
+        (Some(reference), false) => match response {
+            Response::Degraded {
+                missing: reported,
+                json,
+            } => {
+                assert_eq!(reported, missing, "wrong shards reported missing");
+                assert_eq!(
+                    json, reference,
+                    "degraded answer diverged from the surviving reference"
+                );
+            }
+            other => panic!("expected a degraded report, got {other:?}"),
+        },
+    }
+}
+
+/// Runs one schedule over a K-worker cluster, checking acceptance
+/// classes against the model upload by upload and the report against
+/// the batch reference at every `Query` and at the end.
+fn run_cluster_schedule(workers: usize, ops: &[ClusterOp], pool: &[Vec<u8>]) {
+    let cluster = new_cluster(workers);
+    let mut model = ClusterModel::new(workers);
+    let repair = RepairPolicy::default();
+    for op in ops {
+        match *op {
+            ClusterOp::Upload(i) => {
+                let payload = &pool[i % pool.len()];
+                let shard = shard_for_payload("app", payload, &repair, workers);
+                let response =
+                    cluster.coordinator.submit("app", payload.clone());
+                if model.dead[shard] {
+                    assert!(
+                        matches!(response, Response::RetryAfter { .. }),
+                        "a dead shard must push back, got {response:?}"
+                    );
+                } else {
+                    let accepted = match response {
+                        Response::Outcome { code, .. } => {
+                            code != OutcomeCode::Rejected
+                        }
+                        other => panic!("unexpected outcome {other:?}"),
+                    };
+                    model.workers[shard].knows_app = true;
+                    assert_eq!(
+                        accepted,
+                        model.workers[shard].fleet.apply(payload),
+                        "cluster and model disagree on payload {i}"
+                    );
+                }
+            }
+            ClusterOp::Compact => {
+                let response =
+                    cluster.coordinator.handle_request(Request::Compact);
+                if model.missing().is_empty() {
+                    assert!(matches!(response, Response::Done));
+                } else {
+                    assert!(matches!(response, Response::Error { .. }));
+                }
+            }
+            ClusterOp::Replicate => {
+                let response =
+                    cluster.coordinator.handle_request(Request::Checkpoint);
+                if model.missing().is_empty() {
+                    assert!(matches!(response, Response::Done));
+                } else {
+                    // Unreachable workers are reported; live ones
+                    // still replicated (checked via the model below).
+                    assert!(matches!(response, Response::Error { .. }));
+                }
+                for k in 0..workers {
+                    if !model.dead[k] {
+                        model.replicas[k] = Some(model.workers[k].clone());
+                    }
+                }
+            }
+            ClusterOp::Crash(w) => {
+                let k = w % workers;
+                cluster.slots[k].lock().unwrap().take();
+                model.dead[k] = true;
+            }
+            ClusterOp::Restart(w) => {
+                let k = w % workers;
+                let blank = FleetdHandle::start(ServerConfig::default())
+                    .expect("replacement worker");
+                *cluster.slots[k].lock().unwrap() = Some(Arc::new(blank));
+                cluster
+                    .coordinator
+                    .recover_worker(k)
+                    .expect("recovery over a live transport succeeds");
+                model.workers[k] =
+                    model.replicas[k].clone().unwrap_or_default();
+                model.dead[k] = false;
+            }
+            ClusterOp::Query => {
+                assert_cluster_matches_reference(&cluster, &model);
+            }
+        }
+    }
+    assert_cluster_matches_reference(&cluster, &model);
+}
+
+fn cluster_ops() -> impl Strategy<Value = Vec<ClusterOp>> {
+    let op =
+        (0u8..16, 0usize..12, 0usize..3).prop_map(|(kind, i, w)| match kind {
+            0..=7 => ClusterOp::Upload(i),
+            8 => ClusterOp::Compact,
+            9 | 10 => ClusterOp::Replicate,
+            11 | 12 => ClusterOp::Crash(w),
+            13 => ClusterOp::Restart(w),
+            _ => ClusterOp::Query,
+        });
+    prop::collection::vec(op, 0..28)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The cluster headline property: over K ∈ {1, 2, 3} workers,
+    /// **any** interleaving of uploads, compactions, replications,
+    /// kill -9 crashes, blank-replacement handoffs, and queries
+    /// serves byte-identical reports to the batch reference over the
+    /// traces the cluster holds — and degraded answers name exactly
+    /// the dead shards while matching the reference over the rest.
+    #[test]
+    fn any_cluster_schedule_serves_the_batch_reference(
+        ops in cluster_ops(),
+    ) {
+        for workers in 1..=3usize {
+            run_cluster_schedule(workers, &ops, &payload_pool());
+        }
+    }
+}
+
+/// Fixed scenario, the acceptance bar for the cluster: kill -9 one
+/// worker after a replication, hand a blank replacement its replica,
+/// and prove the resumed cluster equals the batch reference — first
+/// as of the replica, then (after re-driving the lost tail) over the
+/// full fleet.
+#[test]
+fn kill_dash_nine_with_replica_resume_stays_byte_identical() {
+    let pool = payload_pool();
+    let mut ops: Vec<ClusterOp> = Vec::new();
+    ops.extend((0..8).map(ClusterOp::Upload));
+    ops.push(ClusterOp::Replicate);
+    ops.extend((8..12).map(ClusterOp::Upload)); // at risk past the replica
+    ops.push(ClusterOp::Query);
+    ops.push(ClusterOp::Crash(1));
+    ops.push(ClusterOp::Query); // degraded, exact over survivors
+    ops.push(ClusterOp::Restart(1)); // blank node + replica handoff
+    ops.push(ClusterOp::Query); // worker 1 is back at the replica point
+    ops.extend((0..12).map(ClusterOp::Upload)); // re-drive; dedup absorbs
+    ops.push(ClusterOp::Query); // full fleet again
+    run_cluster_schedule(3, &ops, &pool);
+}
