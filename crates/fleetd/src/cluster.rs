@@ -21,9 +21,12 @@ use std::io::Cursor;
 use std::sync::{Arc, Mutex};
 
 /// FNV-1a over a sequence of byte chunks, with a `0xFF` separator
-/// between chunks (no chunk contains `0xFF`-free guarantees, but the
-/// separator keeps `("ab", "c")` and `("a", "bc")` distinct for the
-/// UTF-8 strings we hash).
+/// between chunks. For UTF-8 string chunks — the `(app, user)` route
+/// key — the separator keeps chunk boundaries unambiguous, since
+/// `0xFF` never occurs in UTF-8: `("ab", "c")` and `("a", "bc")`
+/// hash apart. Raw payload chunks may legitimately contain `0xFF`,
+/// so no such guarantee holds for them; rejected-payload routing
+/// only needs a deterministic spread, not injectivity.
 fn fnv1a(chunks: &[&[u8]]) -> u64 {
     let mut h: u64 = 0xcbf29ce484222325;
     let mut step = |b: u8| {

@@ -78,16 +78,30 @@ impl Default for CoordinatorConfig {
 }
 
 struct WorkerSlot {
-    transport: Box<dyn WorkerTransport>,
-    breaker: CircuitBreaker,
+    /// The single connection to this worker. Held across transport
+    /// I/O — calls to one worker serialize here — so nothing that
+    /// must stay responsive may ever wait on it.
+    transport: Mutex<Box<dyn WorkerTransport>>,
+    /// Health state. A leaf lock: held only long enough to read or
+    /// bump counters, never across I/O, sleeps, or another lock.
+    breaker: Mutex<CircuitBreaker>,
 }
 
 /// The coordinator: stateless over trace data (workers own their
 /// partitions; this side owns routing, health, and replicas).
+///
+/// Lock discipline (deadlock freedom): the only place two locks
+/// overlap is the handoff path, which holds `transport[k]` and
+/// briefly locks `replicas` to copy a replica out — so the global
+/// order is `transport[k]` → `replicas`, and `breaker[k]` is a leaf
+/// acquired on its own. The stats/health/metrics endpoints snapshot
+/// `replicas` and each breaker separately and never touch a
+/// transport, so they answer immediately even while a worker call is
+/// mid-retry against a dead or slow node.
 pub struct Coordinator {
     config: CoordinatorConfig,
     dx: EnergyDx,
-    workers: Vec<Mutex<WorkerSlot>>,
+    workers: Vec<WorkerSlot>,
     replicas: Mutex<ReplicaStore>,
     metrics: Metrics,
 }
@@ -138,14 +152,12 @@ impl Coordinator {
             .with_metrics(metrics.clone());
         let workers = transports
             .into_iter()
-            .map(|transport| {
-                Mutex::new(WorkerSlot {
-                    transport,
-                    breaker: CircuitBreaker::new(
-                        config.breaker_threshold,
-                        config.probe_every,
-                    ),
-                })
+            .map(|transport| WorkerSlot {
+                transport: Mutex::new(transport),
+                breaker: Mutex::new(CircuitBreaker::new(
+                    config.breaker_threshold,
+                    config.probe_every,
+                )),
             })
             .collect();
         Ok(Coordinator {
@@ -183,8 +195,20 @@ impl Coordinator {
     /// Transport failures reaching the worker or installing the
     /// replica.
     pub fn recover_worker(&self, k: usize) -> Result<(), ClientError> {
-        let mut slot = self.workers[k].lock().unwrap();
-        self.probe_and_handoff(k, &mut slot)
+        let result = {
+            let mut transport = self.workers[k].transport.lock().unwrap();
+            self.probe_and_handoff(k, transport.as_mut())
+        };
+        match result {
+            Ok(()) => {
+                self.note_success(k);
+                Ok(())
+            }
+            Err(e) => {
+                self.note_failure(k, &e);
+                Err(e)
+            }
+        }
     }
 
     /// One bounded, breaker-gated, retried call against worker `k`.
@@ -196,7 +220,7 @@ impl Coordinator {
         k: usize,
         req: &Request,
     ) -> Result<Response, ClientError> {
-        let mut slot = self.workers[k].lock().unwrap();
+        let slot = &self.workers[k];
         let label = Self::worker_label(k);
         let mut last_err =
             ClientError::Io(format!("worker {k}: no attempt allowed"));
@@ -206,43 +230,43 @@ impl Coordinator {
                     .inc("cluster_worker_retries_total", &[("worker", &label)]);
                 let ms = self.config.retry.backoff_ms(attempt, k as u64);
                 if ms > 0 {
+                    // No lock is held while backing off: the sleep
+                    // delays this call only, never another caller and
+                    // never the stats/health/metrics endpoints.
                     std::thread::sleep(std::time::Duration::from_millis(ms));
                 }
             }
-            if !slot.breaker.allow() {
-                last_err = ClientError::Io(format!(
-                    "worker {k}: circuit open, call gated"
-                ));
-                continue;
-            }
-            if slot.breaker.consecutive_failures() > 0
-                && !matches!(req, Request::Counts)
-            {
-                if let Err(e) = self.probe_and_handoff(k, &mut slot) {
-                    slot.breaker.record_failure();
-                    self.record_failure(k, &e, &slot);
-                    last_err = e;
+            let needs_probe = {
+                let mut breaker = slot.breaker.lock().unwrap();
+                if !breaker.allow() {
+                    last_err = ClientError::Io(format!(
+                        "worker {k}: circuit open, call gated"
+                    ));
                     continue;
                 }
-            }
-            match slot.transport.call(req) {
+                breaker.consecutive_failures() > 0
+                    && !matches!(req, Request::Counts)
+            };
+            // Transport I/O runs without the breaker lock; the slot's
+            // transport mutex alone serializes the connection.
+            let outcome = {
+                let mut transport = slot.transport.lock().unwrap();
+                if needs_probe {
+                    match self.probe_and_handoff(k, transport.as_mut()) {
+                        Ok(()) => transport.call(req),
+                        Err(e) => Err(e),
+                    }
+                } else {
+                    transport.call(req)
+                }
+            };
+            match outcome {
                 Ok(resp) => {
-                    slot.breaker.record_success();
-                    self.metrics.set_gauge(
-                        "cluster_worker_healthy",
-                        &[("worker", &label)],
-                        1.0,
-                    );
-                    self.metrics.set_gauge(
-                        "cluster_worker_consecutive_failures",
-                        &[("worker", &label)],
-                        0.0,
-                    );
+                    self.note_success(k);
                     return Ok(resp);
                 }
                 Err(e) => {
-                    slot.breaker.record_failure();
-                    self.record_failure(k, &e, &slot);
+                    self.note_failure(k, &e);
                     last_err = e;
                 }
             }
@@ -250,7 +274,27 @@ impl Coordinator {
         Err(last_err)
     }
 
-    fn record_failure(&self, k: usize, e: &ClientError, slot: &WorkerSlot) {
+    fn note_success(&self, k: usize) {
+        self.workers[k].breaker.lock().unwrap().record_success();
+        let label = Self::worker_label(k);
+        self.metrics.set_gauge(
+            "cluster_worker_healthy",
+            &[("worker", &label)],
+            1.0,
+        );
+        self.metrics.set_gauge(
+            "cluster_worker_consecutive_failures",
+            &[("worker", &label)],
+            0.0,
+        );
+    }
+
+    fn note_failure(&self, k: usize, e: &ClientError) {
+        let failures = {
+            let mut breaker = self.workers[k].breaker.lock().unwrap();
+            breaker.record_failure();
+            breaker.consecutive_failures()
+        };
         let label = Self::worker_label(k);
         self.metrics
             .inc("cluster_worker_failures_total", &[("worker", &label)]);
@@ -266,19 +310,19 @@ impl Coordinator {
         self.metrics.set_gauge(
             "cluster_worker_consecutive_failures",
             &[("worker", &label)],
-            f64::from(slot.breaker.consecutive_failures()),
+            f64::from(failures),
         );
     }
 
     /// Probes worker `k` with `Counts`; when it holds fewer accepted
     /// uploads than its latest replica, installs that replica first
-    /// (the handoff). On success the breaker closes.
+    /// (the handoff). Callers own the breaker bookkeeping.
     fn probe_and_handoff(
         &self,
         k: usize,
-        slot: &mut WorkerSlot,
+        transport: &mut dyn WorkerTransport,
     ) -> Result<(), ClientError> {
-        let accepted = match slot.transport.call(&Request::Counts)? {
+        let accepted = match transport.call(&Request::Counts)? {
             Response::Counts { accepted, .. } => accepted,
             other => {
                 return Err(ClientError::Io(format!(
@@ -286,6 +330,10 @@ impl Coordinator {
                 )))
             }
         };
+        // The one transport → replicas overlap (see the lock
+        // discipline note on [`Coordinator`]): the replica is copied
+        // out and the guard dropped at the end of this statement,
+        // before the install call below.
         let replica = self
             .replicas
             .lock()
@@ -294,10 +342,7 @@ impl Coordinator {
             .map(|r| (r.data.clone(), r.accepted));
         if let Some((data, replicated)) = replica {
             if accepted < replicated {
-                match slot
-                    .transport
-                    .call(&Request::InstallCheckpoint { data })?
-                {
+                match transport.call(&Request::InstallCheckpoint { data })? {
                     Response::Done => {
                         let label = Self::worker_label(k);
                         self.metrics.inc(
@@ -326,7 +371,6 @@ impl Coordinator {
                 }
             }
         }
-        slot.breaker.record_success();
         Ok(())
     }
 
@@ -643,6 +687,16 @@ impl Coordinator {
                 r.counter_value("cluster_degraded_queries_total", &[])
             })
             .unwrap_or(0);
+        // Replica info is snapshotted up front and breakers are read
+        // one at a time below — never two locks at once, and never a
+        // transport, so a stats request answers even while a worker
+        // call is mid-retry.
+        let replica_info: Vec<Option<(u64, usize)>> = {
+            let replicas = self.replicas.lock().unwrap();
+            (0..self.workers.len())
+                .map(|k| replicas.get(k).map(|r| (r.accepted, r.data.len())))
+                .collect()
+        };
         let mut w = JsonWriter::new();
         w.obj(|w| {
             w.key("degraded_queries");
@@ -654,34 +708,28 @@ impl Coordinator {
             });
             w.key("workers");
             w.obj(|w| {
-                let replicas = self.replicas.lock().unwrap();
-                for k in 0..self.workers.len() {
-                    let slot = self.workers[k].lock().unwrap();
+                for (k, replica) in replica_info.iter().enumerate() {
+                    let (open, failures) = {
+                        let breaker = self.workers[k].breaker.lock().unwrap();
+                        (breaker.is_open(), breaker.consecutive_failures())
+                    };
                     let label = Self::worker_label(k);
                     w.key(&label);
                     w.obj(|w| {
                         w.key("circuit_open");
-                        w.raw(if slot.breaker.is_open() {
-                            "true"
-                        } else {
-                            "false"
-                        });
+                        w.raw(if open { "true" } else { "false" });
                         w.key("consecutive_failures");
-                        w.u64(u64::from(slot.breaker.consecutive_failures()));
+                        w.u64(u64::from(failures));
                         w.key("healthy");
-                        w.raw(if slot.breaker.consecutive_failures() == 0 {
-                            "true"
-                        } else {
-                            "false"
-                        });
+                        w.raw(if failures == 0 { "true" } else { "false" });
                         w.key("replica_accepted");
-                        match replicas.get(k) {
-                            Some(r) => w.u64(r.accepted),
+                        match replica {
+                            Some((accepted, _)) => w.u64(*accepted),
                             None => w.raw("null"),
                         }
                         w.key("replica_bytes");
-                        match replicas.get(k) {
-                            Some(r) => w.usize(r.data.len()),
+                        match replica {
+                            Some((_, bytes)) => w.usize(*bytes),
                             None => w.raw("null"),
                         }
                     });
@@ -694,14 +742,11 @@ impl Coordinator {
     /// Coordinator liveness: worker count, how many are currently
     /// trusted, and the degradation policy.
     pub fn health_json(&self) -> String {
-        let healthy = (0..self.workers.len())
-            .filter(|&k| {
-                self.workers[k]
-                    .lock()
-                    .unwrap()
-                    .breaker
-                    .consecutive_failures()
-                    == 0
+        let healthy = self
+            .workers
+            .iter()
+            .filter(|slot| {
+                slot.breaker.lock().unwrap().consecutive_failures() == 0
             })
             .count();
         let mut w = JsonWriter::new();
@@ -728,33 +773,36 @@ impl Coordinator {
     /// Prometheus exposition of the coordinator's registry, with the
     /// per-worker health/replica gauges refreshed first.
     pub fn metrics_text(&self) -> String {
-        let replicas = self.replicas.lock().unwrap();
-        for k in 0..self.workers.len() {
-            let slot = self.workers[k].lock().unwrap();
+        // Same discipline as `stats_json`: snapshot replicas first,
+        // then read each breaker on its own — no transport, no two
+        // locks held together.
+        let replica_accepted: Vec<Option<u64>> = {
+            let replicas = self.replicas.lock().unwrap();
+            (0..self.workers.len())
+                .map(|k| replicas.get(k).map(|r| r.accepted))
+                .collect()
+        };
+        for (k, slot) in self.workers.iter().enumerate() {
+            let failures = slot.breaker.lock().unwrap().consecutive_failures();
             let label = Self::worker_label(k);
             self.metrics.set_gauge(
                 "cluster_worker_healthy",
                 &[("worker", &label)],
-                if slot.breaker.consecutive_failures() == 0 {
-                    1.0
-                } else {
-                    0.0
-                },
+                if failures == 0 { 1.0 } else { 0.0 },
             );
             self.metrics.set_gauge(
                 "cluster_worker_consecutive_failures",
                 &[("worker", &label)],
-                f64::from(slot.breaker.consecutive_failures()),
+                f64::from(failures),
             );
-            if let Some(r) = replicas.get(k) {
+            if let Some(accepted) = replica_accepted[k] {
                 self.metrics.set_gauge(
                     "cluster_worker_replica_accepted",
                     &[("worker", &label)],
-                    r.accepted as f64,
+                    accepted as f64,
                 );
             }
         }
-        drop(replicas);
         match self.metrics.registry() {
             Some(reg) => reg.render_prometheus(),
             None => String::new(),
@@ -1110,6 +1158,68 @@ mod tests {
             total < max * 11,
             "breaker failed to shed load: {total} calls"
         );
+    }
+
+    /// A transport that parks inside `call` until released — the shape
+    /// of a live-but-slow worker holding a connection open.
+    struct StallingTransport {
+        started: std::sync::mpsc::Sender<()>,
+        release: Arc<(Mutex<bool>, std::sync::Condvar)>,
+    }
+
+    impl WorkerTransport for StallingTransport {
+        fn call(&mut self, _req: &Request) -> Result<Response, ClientError> {
+            let _ = self.started.send(());
+            let (lock, cv) = &*self.release;
+            let mut released = lock.lock().unwrap();
+            while !*released {
+                released = cv.wait(released).unwrap();
+            }
+            Err(ClientError::TimedOut)
+        }
+    }
+
+    /// Regression test for the stats/submit lock inversion: the
+    /// observability endpoints must answer while a worker call is in
+    /// flight. The old code held the whole worker slot across the
+    /// transport call (and took replicas + slots in the opposite order
+    /// of the probe path), so this test deadlocked.
+    #[test]
+    fn stats_never_wait_on_an_in_flight_worker_call() {
+        let (started_tx, started_rx) = std::sync::mpsc::channel();
+        let release = Arc::new((Mutex::new(false), std::sync::Condvar::new()));
+        let transport = Box::new(StallingTransport {
+            started: started_tx,
+            release: Arc::clone(&release),
+        }) as Box<dyn WorkerTransport>;
+        let config = CoordinatorConfig {
+            retry: RetryBudget {
+                max_attempts: 1,
+                base_backoff_ms: 0,
+                max_backoff_ms: 0,
+            },
+            ..CoordinatorConfig::default()
+        };
+        let coordinator =
+            Arc::new(Coordinator::new(config, vec![transport]).unwrap());
+        let submitter = {
+            let coordinator = Arc::clone(&coordinator);
+            std::thread::spawn(move || {
+                coordinator.submit("mail", fixture::payload("u1", 0))
+            })
+        };
+        // The worker call is underway and will block until released.
+        started_rx.recv().unwrap();
+        assert!(coordinator.stats_json().contains("\"workers\""));
+        assert!(coordinator.health_json().contains("\"status\""));
+        let _ = coordinator.metrics_text();
+        let (lock, cv) = &*release;
+        *lock.lock().unwrap() = true;
+        cv.notify_all();
+        match submitter.join().unwrap() {
+            Response::RetryAfter { ms } => assert!(ms > 0),
+            other => panic!("unexpected response {other:?}"),
+        }
     }
 
     #[test]

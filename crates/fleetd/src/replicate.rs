@@ -11,6 +11,7 @@
 use crate::checkpoint::{restore_bytes, CheckpointError};
 use crate::state::FleetConfig;
 use std::fs;
+use std::io::Write;
 use std::path::{Path, PathBuf};
 
 /// One worker's latest replicated checkpoint.
@@ -93,7 +94,11 @@ impl ReplicaStore {
     }
 
     /// Stores (and, when persistent, atomically writes) a validated
-    /// replica for `worker`.
+    /// replica for `worker`: the bytes are written to a tmp file,
+    /// fsynced, renamed into place, and the directory is fsynced — so
+    /// a crash or power loss can never leave a truncated or torn
+    /// `worker-<k>.ckpt` that would refuse the next coordinator
+    /// startup.
     ///
     /// # Errors
     ///
@@ -109,10 +114,19 @@ impl ReplicaStore {
         if let Some(dir) = &self.dir {
             let path = replica_path(dir, worker);
             let tmp = path.with_extension("ckpt.tmp");
-            fs::write(&tmp, &data)
-                .map_err(|e| CheckpointError::Io(e.to_string()))?;
-            fs::rename(&tmp, &path)
-                .map_err(|e| CheckpointError::Io(e.to_string()))?;
+            let io = |e: std::io::Error| CheckpointError::Io(e.to_string());
+            let mut file = fs::File::create(&tmp).map_err(io)?;
+            file.write_all(&data).map_err(io)?;
+            // Flush the contents to disk before the rename makes the
+            // file visible under its final name — otherwise a crash
+            // can publish an empty or torn replica.
+            file.sync_all().map_err(io)?;
+            drop(file);
+            fs::rename(&tmp, &path).map_err(io)?;
+            // Make the rename itself durable. Best-effort: not every
+            // platform lets a directory be opened for fsync, and the
+            // contents above are already safe.
+            let _ = fs::File::open(dir).and_then(|d| d.sync_all());
         }
         self.replicas[worker] = Some(Replica { data, accepted });
         Ok(())

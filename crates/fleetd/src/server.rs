@@ -144,6 +144,13 @@ impl FleetdHandle {
                     // catch) costs that one upload, never the
                     // daemon: without this the worker dies and
                     // every later submission blocks forever.
+                    // Sound to catch because `FleetState::submit`
+                    // stages all fallible work before its first
+                    // mutation (see its commit-point comment), so a
+                    // caught panic leaves the state exactly as if
+                    // the upload never arrived — continuing cannot
+                    // serve torn per-app state, and daemon==batch
+                    // byte-identity over accepted traces still holds.
                     let outcome =
                         std::panic::catch_unwind(std::panic::AssertUnwindSafe(
                             || relock(&state).submit(&job.app, &job.payload),

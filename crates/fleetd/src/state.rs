@@ -192,6 +192,11 @@ pub struct FleetState {
     pub(crate) dx: EnergyDx,
     pub(crate) apps: BTreeMap<String, AppState>,
     pub(crate) metrics: Metrics,
+    /// Test lever: panic just before the commit point of the next
+    /// accepted upload, to prove a mid-ingest panic leaves no torn
+    /// state (mirrors `ingest_delay_ms` on the server side).
+    #[cfg(test)]
+    pub(crate) sabotage_before_commit: bool,
 }
 
 impl FleetState {
@@ -216,6 +221,8 @@ impl FleetState {
             dx,
             apps: BTreeMap::new(),
             metrics,
+            #[cfg(test)]
+            sabotage_before_commit: false,
         }
     }
 
@@ -297,7 +304,8 @@ impl FleetState {
                 repairs,
                 salvage,
             } => {
-                if !epoch.seen.insert((bundle.user.clone(), bundle.session)) {
+                let key = (bundle.user.clone(), bundle.session);
+                if epoch.seen.contains(&key) {
                     epoch.quarantine.push(QuarantineEntry {
                         reason: RejectReason::Duplicate,
                         user: Some(bundle.user.clone()),
@@ -322,6 +330,18 @@ impl FleetState {
                     convert::bundle_to_trace(&bundle)
                 };
                 let delta = self.dx.map_shard(&[trace], epoch.trace_count);
+                #[cfg(test)]
+                if self.sabotage_before_commit {
+                    panic!("test: injected panic before the commit point");
+                }
+                // Commit point. Everything that can panic on a hostile
+                // upload (decode, convert, map) has already run; the
+                // mutations below are plain collection updates, so a
+                // panic above leaves the epoch exactly as if this
+                // upload never arrived — the atomicity the server's
+                // ingest catch_unwind relies on to keep a surviving
+                // daemon byte-identical to the batch reference.
+                epoch.seen.insert(key);
                 epoch.trace_count += 1;
                 epoch.deltas.push(delta);
                 let outcome = if repairs.is_empty() && salvage.is_none() {
@@ -337,15 +357,30 @@ impl FleetState {
                     );
                     IngestOutcome::Recovered { repairs, salvage }
                 };
-                if compact_every > 0
-                    && epoch.deltas.len() >= compact_every
-                    && epoch.compact()
-                {
-                    self.metrics.inc("fleetd_compactions_total", &[]);
-                    self.metrics.event(
-                        EventKind::Compaction,
-                        format!("app={app} trigger=auto"),
+                if compact_every > 0 && epoch.deltas.len() >= compact_every {
+                    // Auto-compaction is a pure optimization (by merge
+                    // associativity, skipping it never changes an
+                    // answer), and it runs after the commit point —
+                    // isolate it so a merge bug cannot turn an already
+                    // accepted upload into a panic that the server
+                    // would misreport as rejected.
+                    let compacted = std::panic::catch_unwind(
+                        std::panic::AssertUnwindSafe(|| epoch.compact()),
                     );
+                    match compacted {
+                        Ok(true) => {
+                            self.metrics.inc("fleetd_compactions_total", &[]);
+                            self.metrics.event(
+                                EventKind::Compaction,
+                                format!("app={app} trigger=auto"),
+                            );
+                        }
+                        Ok(false) => {}
+                        Err(_) => {
+                            self.metrics
+                                .inc("fleetd_compaction_panics_total", &[]);
+                        }
+                    }
                 }
                 outcome
             }
@@ -621,6 +656,27 @@ mod tests {
             epoch.quarantine_counters().get(&RejectReason::Duplicate),
             Some(&1)
         );
+    }
+
+    #[test]
+    fn a_mid_ingest_panic_leaves_no_torn_state() {
+        let mut state = FleetState::new(FleetConfig::default());
+        assert!(state.submit("app", &payload("u", 0)).accepted());
+        let before = state.apps().clone();
+        state.sabotage_before_commit = true;
+        let panicked =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                state.submit("app", &payload("u", 1))
+            }));
+        assert!(panicked.is_err(), "the sabotage must fire");
+        state.sabotage_before_commit = false;
+        // The epoch is exactly as if the panicking upload never
+        // arrived: no half-inserted dedup key, no dangling count.
+        assert_eq!(state.apps(), &before);
+        // And the state keeps working — the same session is still
+        // acceptable (its key was never committed).
+        assert!(state.submit("app", &payload("u", 1)).accepted());
+        assert_eq!(state.apps()["app"].epochs()[&0].trace_count(), 2);
     }
 
     #[test]
