@@ -36,6 +36,16 @@ echo "== fleetd checkpoint-size budget (smoke) =="
 cargo run -q --release -p energydx-bench --bin ingest -- \
   --check BENCH_ingest.json >/dev/null
 
+echo "== spill peak-memory budget (smoke) =="
+# Bounded-memory benchmark: the same corpus ingested resident and
+# spilling (zero budget, every upload folded to a columnar segment).
+# Asserts the two serve byte-identical reports, then fails if the
+# spilling daemon's peak live-heap growth exceeds the deterministic
+# budget checked in with BENCH_spill.json, or stops being cheaper
+# than staying resident.
+cargo run -q --release -p energydx-bench --bin spill -- \
+  --check BENCH_spill.json >/dev/null
+
 echo "== metrics-overhead gate (instrumented hot path + ingest) =="
 # The same two budgets re-checked with the obsv layer attached: the
 # per-stage spans and the submit-latency histogram run on the measured

@@ -1,0 +1,317 @@
+//! Bounded-memory benchmark of the fleetd spill path.
+//!
+//! Drives two [`FleetState`]s through the same deterministic corpus —
+//! one fully resident, one spilling every cold epoch to columnar
+//! segments under a zero memory budget — and measures **peak live
+//! heap growth** during ingest with a counting allocator. The
+//! resident daemon's peak grows with the fleet; the spilling daemon's
+//! peak stays bounded by one delta plus the segment encode buffer.
+//! Both must serve byte-identical reports, so the numbers are only
+//! published for a spill path that keeps the batch-identity
+//! guarantee.
+//!
+//! ```text
+//! spill [--smoke] [--write <path>] [--check <path>]
+//! ```
+//!
+//! `--write` stores the report as JSON (see `BENCH_spill.json` at the
+//! repo root); `--check` re-runs the measurement and fails (exit 1)
+//! if the spilling daemon's ingest peak exceeds the stored
+//! `budget_spill_peak_bytes` — a deterministic byte count for a fixed
+//! corpus on one thread, so the gate cannot flake on machine speed —
+//! or if spilling stops being cheaper than staying resident.
+
+use energydx_fleetd::fixture;
+use energydx_fleetd::state::{FleetConfig, FleetState};
+use energydx_fleetd::SpillConfig;
+use energydx_trace::fault::{FaultInjector, FaultKind};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::time::Instant;
+
+/// A pass-through allocator that tracks live bytes and their
+/// high-water mark. `Relaxed` plus a load-max-store peak update are
+/// sufficient: the benchmark reads and resets the counters only
+/// around single-threaded regions (`jobs = 1`, direct state calls).
+struct PeakAlloc;
+
+static LIVE: AtomicI64 = AtomicI64::new(0);
+static PEAK: AtomicI64 = AtomicI64::new(0);
+
+fn track(delta: i64) {
+    let live = LIVE.fetch_add(delta, Ordering::Relaxed) + delta;
+    if live > PEAK.load(Ordering::Relaxed) {
+        PEAK.store(live, Ordering::Relaxed);
+    }
+}
+
+// SAFETY: defers every operation to `System` unchanged; the counter
+// updates have no effect on allocation behavior.
+unsafe impl GlobalAlloc for PeakAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        track(layout.size() as i64);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        track(-(layout.size() as i64));
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(
+        &self,
+        ptr: *mut u8,
+        layout: Layout,
+        new_size: usize,
+    ) -> *mut u8 {
+        track(new_size as i64 - layout.size() as i64);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: PeakAlloc = PeakAlloc;
+
+/// Peak live-byte growth and wall seconds of one closure run: the
+/// high-water mark is reset to the current live count first, so the
+/// figure is growth above entry, not process-lifetime peak.
+fn peak_region<R>(f: impl FnOnce() -> R) -> (R, u64, f64) {
+    let base = LIVE.load(Ordering::Relaxed);
+    PEAK.store(base, Ordering::Relaxed);
+    let t0 = Instant::now();
+    let result = f();
+    let secs = t0.elapsed().as_secs_f64();
+    let peak = (PEAK.load(Ordering::Relaxed) - base).max(0) as u64;
+    (result, peak, secs)
+}
+
+/// The same damaged-corpus recipe as the ingest benchmark: every 9th
+/// payload salvageable, every 23rd cut below the wire header, so
+/// repair, salvage, and quarantine are all on the measured path.
+fn corpus(users: usize, sessions: u64) -> Vec<Vec<u8>> {
+    let mut injector = FaultInjector::new(0x1276, 1.0);
+    let mut payloads = Vec::with_capacity(users * sessions as usize);
+    for user in 0..users {
+        for session in 0..sessions {
+            let mut payload = fixture::payload(&format!("u{user:04}"), session);
+            let i = payloads.len();
+            if i % 23 == 7 {
+                payload.truncate(6);
+            } else if i % 9 == 4 {
+                let kind = if (i / 9) % 2 == 0 {
+                    FaultKind::Truncate
+                } else {
+                    FaultKind::BitFlip
+                };
+                payload = injector
+                    .corrupt(&payload, kind)
+                    .pop()
+                    .expect("one payload in, one out");
+            }
+            payloads.push(payload);
+        }
+    }
+    payloads
+}
+
+struct Report {
+    mode: &'static str,
+    uploads: usize,
+    accepted: usize,
+    resident_peak_bytes: u64,
+    spill_peak_bytes: u64,
+    spilled_segments: usize,
+    spilled_disk_bytes: u64,
+    resident_query_secs: f64,
+    spill_query_secs: f64,
+    budget_spill_peak_bytes: u64,
+}
+
+impl Report {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"mode\": \"{}\",\n  \"uploads\": {},\n  \
+             \"accepted\": {},\n  \"resident_peak_bytes\": {},\n  \
+             \"spill_peak_bytes\": {},\n  \"spilled_segments\": {},\n  \
+             \"spilled_disk_bytes\": {},\n  \
+             \"resident_query_secs\": {:.6},\n  \
+             \"spill_query_secs\": {:.6},\n  \
+             \"budget_spill_peak_bytes\": {}\n}}\n",
+            self.mode,
+            self.uploads,
+            self.accepted,
+            self.resident_peak_bytes,
+            self.spill_peak_bytes,
+            self.spilled_segments,
+            self.spilled_disk_bytes,
+            self.resident_query_secs,
+            self.spill_query_secs,
+            self.budget_spill_peak_bytes,
+        )
+    }
+}
+
+fn run(smoke: bool) -> Report {
+    let (users, sessions) = if smoke { (48, 2) } else { (400, 5) };
+    let payloads = corpus(users, sessions);
+
+    let spool = std::env::temp_dir()
+        .join(format!("energydx-bench-spill-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&spool);
+
+    let resident_config = FleetConfig {
+        jobs: 1,
+        ..FleetConfig::default()
+    };
+    let spilling_config = FleetConfig {
+        jobs: 1,
+        spill: Some(SpillConfig {
+            dir: spool.clone(),
+            mem_budget: 0,
+        }),
+        ..FleetConfig::default()
+    };
+
+    // Ingest under measurement: the state itself is allocated inside
+    // the region so its growth counts against the figure.
+    let (resident, resident_peak_bytes, _) = peak_region(|| {
+        let mut state = FleetState::new(resident_config);
+        for payload in &payloads {
+            black_box(state.submit("bench", payload));
+        }
+        state
+    });
+    let (spilling, spill_peak_bytes, _) = peak_region(|| {
+        let mut state = FleetState::new(spilling_config);
+        for payload in &payloads {
+            black_box(state.submit("bench", payload));
+        }
+        state
+    });
+    assert_eq!(
+        spilling.resident_bytes(),
+        0,
+        "a zero budget must leave nothing resident"
+    );
+
+    // Batch identity: both residencies serve the same bytes — the
+    // spilling daemon folds its segments back from disk to do so.
+    let t0 = Instant::now();
+    let resident_report = resident
+        .diagnose_json("bench", None)
+        .expect("bench app has accepted traces");
+    let resident_query_secs = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let spill_report = spilling
+        .diagnose_json("bench", None)
+        .expect("bench app has accepted traces");
+    let spill_query_secs = t0.elapsed().as_secs_f64();
+    assert_eq!(
+        spill_report, resident_report,
+        "spilling changed the served bytes"
+    );
+
+    let spilled_disk_bytes: u64 = std::fs::read_dir(&spool)
+        .expect("spool exists after spilling")
+        .map(|e| e.expect("spool entry").metadata().expect("metadata").len())
+        .sum();
+    let spilled_segments = spilling.spilled_segments();
+    assert!(spilled_segments > 0, "the corpus must spill something");
+    let accepted = spilling.accepted_total();
+    let _ = std::fs::remove_dir_all(&spool);
+
+    let mut out = Report {
+        mode: if smoke { "smoke" } else { "full" },
+        uploads: payloads.len(),
+        accepted,
+        resident_peak_bytes,
+        spill_peak_bytes,
+        spilled_segments,
+        spilled_disk_bytes,
+        resident_query_secs,
+        spill_query_secs,
+        budget_spill_peak_bytes: 0,
+    };
+    // The gate metric is a peak byte count — deterministic for a
+    // fixed corpus on one thread — so a modest margin only absorbs
+    // intentional representation changes, not timing noise.
+    out.budget_spill_peak_bytes = out.spill_peak_bytes * 3 / 2;
+    out
+}
+
+/// Pulls `"budget_spill_peak_bytes": <n>` out of a stored report
+/// without a JSON dependency.
+fn parse_budget(json: &str) -> Option<u64> {
+    let key = "\"budget_spill_peak_bytes\":";
+    let at = json.find(key)? + key.len();
+    let rest = json[at..].trim_start();
+    let digits: String =
+        rest.chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut write: Option<String> = None;
+    let mut check: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--write" => write = args.next(),
+            "--check" => check = args.next().map(PathBuf::from),
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!(
+                    "usage: spill [--smoke] [--write <path>] [--check <path>]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    // The regression gate always runs the fast corpus: the budget is
+    // checked in from a smoke run.
+    if check.is_some() {
+        smoke = true;
+    }
+
+    let report = run(smoke);
+    print!("{}", report.to_json());
+
+    if let Some(path) = write {
+        std::fs::write(&path, report.to_json())
+            .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        eprintln!("wrote {path}");
+    }
+
+    if let Some(path) = check {
+        let stored = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("reading {}: {e}", path.display()));
+        let budget = parse_budget(&stored).unwrap_or_else(|| {
+            panic!("no budget_spill_peak_bytes in {}", path.display())
+        });
+        if report.spill_peak_bytes > budget {
+            eprintln!(
+                "spill-memory regression: ingest peak {} bytes exceeds \
+                 the checked-in budget of {budget}",
+                report.spill_peak_bytes
+            );
+            std::process::exit(1);
+        }
+        if report.spill_peak_bytes >= report.resident_peak_bytes {
+            eprintln!(
+                "spilling stopped being cheaper than staying resident: \
+                 {} >= {} peak bytes",
+                report.spill_peak_bytes, report.resident_peak_bytes
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "spill peak within budget: {} <= {budget} bytes (resident \
+             peak {})",
+            report.spill_peak_bytes, report.resident_peak_bytes
+        );
+    }
+}

@@ -25,12 +25,21 @@
 //! energydx analyze --bundles <dir> --json                # batch ref
 //! ```
 //!
-//! `analyze --bundles` runs the *batch* pipeline over the same wire
-//! payloads a daemon would ingest — the soak gate diffs its output
-//! against a live daemon's `query` byte for byte.
+//! `analyze --bundles` runs the pipeline over the same wire payloads
+//! a daemon would ingest — the soak gate diffs its output against a
+//! live daemon's `query` byte for byte. It *streams*: each payload is
+//! prepared, converted, and folded one at a time, so memory stays
+//! bounded by one trace plus the accumulated partial rather than the
+//! whole fleet. Point it at a directory of columnar `*.seg` segments
+//! (a spilling daemon's spool) and it folds those instead.
+//!
+//! `serve --spill-dir <dir> --mem-budget <bytes>` runs the daemon in
+//! bounded-memory mode: cold epochs spill to segments and fold back
+//! on query, byte-identical throughout.
 
 use energydx::par::try_resolve_jobs;
-use energydx::{AnalysisConfig, DiagnosisInput, EnergyDx};
+use energydx::shard::StreamingFold;
+use energydx::{AnalysisConfig, DiagnosisInput, DiagnosisReport, EnergyDx};
 use energydx_dexir::instrument::{EventPool, Instrumenter};
 use energydx_dexir::text::{assemble_module, parse_module};
 use energydx_dexir::MethodKey;
@@ -40,11 +49,14 @@ use energydx_fleetd::protocol::{Request, Response};
 use energydx_fleetd::state::FleetConfig;
 use energydx_fleetd::{
     Client, ClientTimeouts, DegradePolicy, FleetdHandle, RetryBudget,
-    ServerConfig, TcpBackend,
+    ServerConfig, SpillConfig, TcpBackend,
 };
 use energydx_trace::event::EventTrace;
 use energydx_trace::power::{PowerSample, PowerTrace};
-use energydx_trace::store::{IngestOutcome, TraceStore};
+use energydx_trace::repair::RepairPolicy;
+use energydx_trace::store::{
+    prepare_wire, IngestOutcome, PreparedUpload, RejectReason,
+};
 use energydx_trace::upload::{upload_payloads_with_retry, RetryPolicy};
 use energydx_trace::util::Component;
 use energydx_workload::scenario::Variant;
@@ -98,6 +110,7 @@ USAGE:
                  [--retry-after-ms <ms>] [--compact-every <n>]
                  [--checkpoint-every <n>] [--ingest-delay-ms <ms>]
                  [--fraction <0..1>] [--top <k>] [--jobs <n>]
+                 [--spill-dir <dir> [--mem-budget <bytes>]]
   energydx serve --coordinator --workers <addr,addr,...> [--listen <addr>]
                  [--state <dir>] [--degrade-policy degrade|hold]
                  [--max-attempts <n>] [--base-backoff-ms <ms>]
@@ -276,26 +289,6 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
     // so a garbage value is a clean CLI error, not a panic mid-run.
     let jobs = try_resolve_jobs(jobs).map_err(|e| e.to_string())?;
 
-    let input = match (flag_value(args, "--dir"), flag_value(args, "--bundles"))
-    {
-        (Some(dir), None) => {
-            let dir = PathBuf::from(dir);
-            let pairs = load_trace_dir(&dir)?;
-            if pairs.is_empty() {
-                return Err(format!(
-                    "no user-*.events files in {}",
-                    dir.display()
-                ));
-            }
-            DiagnosisInput::from_traces(&pairs)
-        }
-        (None, Some(dir)) => load_bundle_dir(Path::new(dir))?,
-        _ => {
-            return Err("analyze needs exactly one of --dir <dir> or \
-                 --bundles <dir>"
-                .to_string())
-        }
-    };
     let mut config =
         AnalysisConfig::default().with_developer_fraction(fraction);
     config.top_k = top_k;
@@ -310,12 +303,33 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
         ));
     }
     // The report is byte-identical for every --jobs and --shards
-    // setting; the flags only choose how the work is scheduled.
-    let report = if shards > 1 {
-        dx.diagnose_sharded(&input, shards)
-    } else {
-        dx.diagnose(&input)
-    };
+    // setting and for streamed vs. materialized input; the flags only
+    // choose how the work is scheduled.
+    let report =
+        match (flag_value(args, "--dir"), flag_value(args, "--bundles")) {
+            (Some(dir), None) => {
+                let dir = PathBuf::from(dir);
+                let pairs = load_trace_dir(&dir)?;
+                if pairs.is_empty() {
+                    return Err(format!(
+                        "no user-*.events files in {}",
+                        dir.display()
+                    ));
+                }
+                let input = DiagnosisInput::from_traces(&pairs);
+                if shards > 1 {
+                    dx.diagnose_sharded(&input, shards)
+                } else {
+                    dx.diagnose(&input)
+                }
+            }
+            (None, Some(dir)) => stream_bundle_dir(&dx, Path::new(dir))?,
+            _ => {
+                return Err("analyze needs exactly one of --dir <dir> or \
+                 --bundles <dir>"
+                    .to_string())
+            }
+        };
     if timings {
         if let Some(reg) = dx.metrics().registry() {
             eprint!("{}", reg.render_prometheus());
@@ -421,10 +435,23 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let mut analysis =
         AnalysisConfig::default().with_developer_fraction(fraction);
     analysis.top_k = top_k;
+    let spill = match flag_value(args, "--spill-dir") {
+        Some(dir) => Some(SpillConfig {
+            dir: PathBuf::from(dir),
+            mem_budget: num_flag(args, "--mem-budget", 0usize)?,
+        }),
+        None => {
+            if flag_value(args, "--mem-budget").is_some() {
+                return Err("--mem-budget needs --spill-dir <dir>".to_string());
+            }
+            None
+        }
+    };
     let fleet = FleetConfig {
         analysis,
         jobs,
         compact_every: num_flag(args, "--compact-every", 16usize)?,
+        spill,
         ..FleetConfig::default()
     };
     if args.iter().any(|a| a == "--coordinator")
@@ -657,35 +684,87 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// Ingests every `*.edxt` wire payload in `dir` (sorted by file name)
-/// through the batch store — the same salvage/quarantine pipeline the
-/// daemon runs — and converts the accepted bundles in accept order.
-/// This is the batch side of the daemon/batch byte-diff.
-fn load_bundle_dir(dir: &Path) -> Result<DiagnosisInput, String> {
+/// Streams diagnosis over a directory without materializing the
+/// fleet. Two layouts:
+///
+/// - `*.seg` columnar segments (a spilling daemon's spool): each is
+///   loaded, validated against its CRCs, and folded in file-name
+///   order, which is sequence order.
+/// - `*.edxt` wire payloads (sorted by file name): each runs the same
+///   salvage/quarantine/dedup pipeline the daemon runs, is converted,
+///   mapped at its running offset, and folded.
+///
+/// Either way memory holds one delta plus the accumulated fold, and
+/// the finished report is byte-identical to the materialized batch
+/// run over the same accepted traces — this is the batch side of the
+/// daemon/batch byte-diff.
+fn stream_bundle_dir(
+    dx: &EnergyDx,
+    dir: &Path,
+) -> Result<DiagnosisReport, String> {
+    let mut fold = StreamingFold::new();
+    let segments = seg_files(dir)?;
+    if !segments.is_empty() {
+        for path in &segments {
+            let partial = energydx_segment::load_from(path)
+                .map_err(|e| format!("{}: {e}", path.display()))?;
+            fold.absorb(partial);
+        }
+        return dx.finish_streamed(fold).map_err(|e| e.to_string());
+    }
     let files = edxt_files(dir)?;
     if files.is_empty() {
-        return Err(format!("no *.edxt payloads in {}", dir.display()));
+        return Err(format!(
+            "no *.edxt payloads or *.seg segments in {}",
+            dir.display()
+        ));
     }
-    let store = TraceStore::new();
+    let policy = RepairPolicy::default();
+    // Accept order, not sorted-by-user: a daemon folds uploads in
+    // arrival order and a cluster concatenates per-worker arrival
+    // orders, so the byte-diff reference must preserve file order
+    // (name the files to match the submit schedule).
+    let mut seen: std::collections::BTreeSet<(String, u64)> =
+        std::collections::BTreeSet::new();
+    let mut accepted = 0usize;
     for path in &files {
         let payload = std::fs::read(path)
             .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-        if let IngestOutcome::Rejected(reason) = store.ingest_wire(&payload) {
-            eprintln!(
-                "warning: {} quarantined: {reason}",
-                path.file_name()
-                    .and_then(|n| n.to_str())
-                    .unwrap_or("<payload>")
-            );
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or("<payload>");
+        match prepare_wire(&payload, &policy) {
+            PreparedUpload::Ready { bundle, .. } => {
+                if !seen.insert((bundle.user.clone(), bundle.session)) {
+                    eprintln!(
+                        "warning: {name} quarantined: {}",
+                        RejectReason::Duplicate
+                    );
+                    continue;
+                }
+                let trace = energydx_fleetd::convert::bundle_to_trace(&bundle);
+                fold.absorb(dx.map_shard(&[trace], accepted));
+                accepted += 1;
+            }
+            PreparedUpload::Rejected(entry) => {
+                eprintln!("warning: {name} quarantined: {}", entry.reason);
+            }
         }
     }
-    // Accept order, not the store's sorted snapshot: a daemon folds
-    // uploads in arrival order and a cluster concatenates per-worker
-    // arrival orders, so the byte-diff reference must preserve file
-    // order (name the files to match the submit schedule).
-    Ok(energydx_fleetd::convert::bundles_to_input(
-        &store.snapshot_accept_order(),
-    ))
+    dx.finish_streamed(fold).map_err(|e| e.to_string())
+}
+
+/// All `*.seg` files in `dir`, sorted by file name (sequence order
+/// for a spill spool's `run-NNNNNNNNNNNN.seg` naming).
+fn seg_files(dir: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("cannot read {}: {e}", dir.display()))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "seg"))
+        .collect();
+    files.sort();
+    Ok(files)
 }
 
 fn power_to_csv(power: &PowerTrace) -> String {

@@ -485,3 +485,125 @@ fn demo_rejects_out_of_range_ids() {
     let out = energydx().args(["demo", "--app", "41"]).output().unwrap();
     assert!(!out.status.success());
 }
+
+/// A spilling daemon under a zero memory budget (every upload folded
+/// straight to a columnar segment) must serve the same bytes as the
+/// streaming batch CLI over the payload directory — and the streaming
+/// CLI pointed at the daemon's own segment spool must produce those
+/// bytes a third time.
+#[test]
+fn spilling_daemon_and_its_spool_match_the_batch_cli() {
+    use std::io::BufRead;
+
+    let dir = temp_dir("spill-payloads");
+    let spool = temp_dir("spill-spool");
+    for i in 0..6u64 {
+        let mut payload =
+            energydx_fleetd::fixture::payload(&format!("s{i:02}"), 0);
+        if i == 4 {
+            payload.truncate(6); // quarantined on every path
+        }
+        std::fs::write(dir.join(format!("{i:03}.edxt")), payload).unwrap();
+    }
+
+    let mut daemon = energydx()
+        .args([
+            "serve",
+            "--listen",
+            "127.0.0.1:0",
+            "--spill-dir",
+            spool.to_str().unwrap(),
+            "--mem-budget",
+            "0",
+        ])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+    let mut first_line = String::new();
+    std::io::BufReader::new(daemon.stdout.take().unwrap())
+        .read_line(&mut first_line)
+        .unwrap();
+    let addr = first_line
+        .trim()
+        .strip_prefix("fleetd listening on ")
+        .unwrap_or_else(|| panic!("unexpected banner: {first_line}"))
+        .to_string();
+
+    let out = energydx()
+        .args([
+            "submit",
+            "--addr",
+            &addr,
+            "--app",
+            "mail",
+            "--dir",
+            dir.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let served = energydx()
+        .args(["query", "--addr", &addr, "--app", "mail"])
+        .output()
+        .unwrap();
+    assert!(
+        served.status.success(),
+        "{}",
+        String::from_utf8_lossy(&served.stderr)
+    );
+
+    let batch = energydx()
+        .args(["analyze", "--bundles", dir.to_str().unwrap(), "--json"])
+        .output()
+        .unwrap();
+    assert!(batch.status.success());
+    assert!(!served.stdout.is_empty());
+    assert_eq!(
+        served.stdout, batch.stdout,
+        "spilling daemon diverged from the batch CLI"
+    );
+
+    // The spool holds one single-trace segment per accepted upload;
+    // streaming them in sequence order is the same fleet again.
+    let segments = std::fs::read_dir(&spool).unwrap().count();
+    assert_eq!(segments, 5, "budget 0 must spill every accepted upload");
+    let from_spool = energydx()
+        .args(["analyze", "--bundles", spool.to_str().unwrap(), "--json"])
+        .output()
+        .unwrap();
+    assert!(
+        from_spool.status.success(),
+        "{}",
+        String::from_utf8_lossy(&from_spool.stderr)
+    );
+    assert_eq!(
+        from_spool.stdout, batch.stdout,
+        "streaming the segment spool diverged from the batch CLI"
+    );
+
+    let down = energydx()
+        .args(["query", "--addr", &addr, "--shutdown"])
+        .output()
+        .unwrap();
+    assert!(down.status.success());
+    assert!(daemon.wait().unwrap().success());
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&spool);
+}
+
+/// `--mem-budget` without `--spill-dir` is a configuration error, not
+/// a silently resident daemon.
+#[test]
+fn mem_budget_without_spill_dir_is_rejected() {
+    let out = energydx()
+        .args(["serve", "--listen", "127.0.0.1:0", "--mem-budget", "4096"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--spill-dir"));
+}

@@ -32,12 +32,31 @@ fn energydx() -> Command {
     Command::new(env!("CARGO_BIN_EXE_energydx"))
 }
 
-fn temp_dir(name: &str) -> PathBuf {
+/// RAII scratch directory: removed on drop, so a failing assertion
+/// anywhere in the soak no longer strands state directories in the
+/// system temp dir.
+struct TempDir(PathBuf);
+
+impl std::ops::Deref for TempDir {
+    type Target = Path;
+
+    fn deref(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn temp_dir(name: &str) -> TempDir {
     let dir = std::env::temp_dir()
         .join(format!("energydx-cluster-{name}-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     std::fs::create_dir_all(&dir).unwrap();
-    dir
+    TempDir(dir)
 }
 
 /// The 120 soak payloads in upload order: one session per zero-padded
@@ -170,7 +189,7 @@ fn query_ok(addr: &str, args: &[&str]) -> Vec<u8> {
 fn cluster_soak_survives_kill_dash_nine_and_blank_replacement() {
     let payload_dir = temp_dir("payloads");
     let coord_state = temp_dir("coord");
-    let worker_states: Vec<PathBuf> =
+    let worker_states: Vec<TempDir> =
         (0..WORKERS).map(|k| temp_dir(&format!("w{k}"))).collect();
 
     // Shard every payload exactly the way the coordinator will, and
@@ -242,7 +261,7 @@ fn cluster_soak_survives_kill_dash_nine_and_blank_replacement() {
     let served = query_ok(&coord.addr, &["--app", APP]);
     let batch = energydx()
         .args(["analyze", "--bundles"])
-        .arg(&payload_dir)
+        .arg(&*payload_dir)
         .arg("--json")
         .output()
         .unwrap();
@@ -291,12 +310,5 @@ fn cluster_soak_survives_kill_dash_nine_and_blank_replacement() {
             worker.child.wait().unwrap().success(),
             "worker {k} did not exit cleanly"
         );
-    }
-
-    let _ = std::fs::remove_dir_all(&payload_dir);
-    let _ = std::fs::remove_dir_all(&coord_state);
-    let _ = std::fs::remove_dir_all(&replacement_state);
-    for state in worker_states {
-        let _ = std::fs::remove_dir_all(state);
     }
 }

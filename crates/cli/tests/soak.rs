@@ -24,12 +24,31 @@ fn energydx() -> Command {
     Command::new(env!("CARGO_BIN_EXE_energydx"))
 }
 
-fn temp_dir(name: &str) -> PathBuf {
+/// RAII scratch directory: removed on drop, so a failing assertion
+/// anywhere in the soak no longer strands state directories in the
+/// system temp dir.
+struct TempDir(PathBuf);
+
+impl std::ops::Deref for TempDir {
+    type Target = Path;
+
+    fn deref(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn temp_dir(name: &str) -> TempDir {
     let dir = std::env::temp_dir()
         .join(format!("energydx-soak-{name}-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     std::fs::create_dir_all(&dir).unwrap();
-    dir
+    TempDir(dir)
 }
 
 /// The 200 soak payloads in upload order: sorted zero-padded users so
@@ -65,11 +84,19 @@ struct Daemon {
     addr: String,
 }
 
-fn spawn_daemon(state: &Path, extra: &[&str]) -> Daemon {
+/// Every daemon in the soak runs in bounded-memory mode: a small
+/// budget over a shared spill spool, so cold epochs hit the columnar
+/// segment path and the kill -9 / restart cycle below also covers
+/// checkpoints that reference segment files (and the orphan
+/// collection of runs spilled after the restored checkpoint).
+fn spawn_daemon(state: &Path, spool: &Path, extra: &[&str]) -> Daemon {
     let mut child = energydx()
         .args(["serve", "--listen", "127.0.0.1:0", "--state"])
         .arg(state)
         .args(["--compact-every", "7", "--retry-after-ms", "20"])
+        .arg("--spill-dir")
+        .arg(spool)
+        .args(["--mem-budget", "4096"])
         .args(extra)
         .stdout(Stdio::piped())
         .spawn()
@@ -127,6 +154,7 @@ fn shutdown(addr: &str, daemon: &mut Child) {
 #[ignore = "soak gate: run from ci.sh with -- --ignored"]
 fn fleetd_soak_survives_backpressure_crash_and_restart() {
     let state = temp_dir("state");
+    let spool = temp_dir("spool");
     let payload_dir = temp_dir("payloads");
     let payloads = soak_payloads();
     for (i, payload) in payloads.iter().enumerate() {
@@ -137,8 +165,11 @@ fn fleetd_soak_survives_backpressure_crash_and_restart() {
     // ---- Phase 1: backpressure. A deliberately slow, shallow queue
     // hammered by 8 parallel uploaders must shed explicitly and stay
     // within its depth — and still lose nothing.
-    let mut daemon =
-        spawn_daemon(&state, &["--queue-depth", "4", "--ingest-delay-ms", "3"]);
+    let mut daemon = spawn_daemon(
+        &state,
+        &spool,
+        &["--queue-depth", "4", "--ingest-delay-ms", "3"],
+    );
     let threads: Vec<_> = (0..8)
         .map(|t| {
             let addr = daemon.addr.clone();
@@ -236,8 +267,11 @@ fn fleetd_soak_survives_backpressure_crash_and_restart() {
     // ---- Phase 2: the 200-payload diff stream with a checkpoint, a
     // SIGKILL, and a restart. The queue stays shallow (backpressure on
     // the real stream too), the worker keeps its artificial delay.
-    let mut daemon =
-        spawn_daemon(&state, &["--queue-depth", "4", "--ingest-delay-ms", "2"]);
+    let mut daemon = spawn_daemon(
+        &state,
+        &spool,
+        &["--queue-depth", "4", "--ingest-delay-ms", "2"],
+    );
     drive(&daemon.addr, "soak", &payloads[..CHECKPOINT_AT]);
     let mut client = Client::connect(&daemon.addr).expect("connect");
     assert_eq!(
@@ -254,7 +288,7 @@ fn fleetd_soak_survives_backpressure_crash_and_restart() {
     // Restart from the checkpoint and re-drive the lost tail plus a
     // chunk of already-accepted resends (deduped by the restored
     // seen-set).
-    let mut daemon = spawn_daemon(&state, &["--queue-depth", "8"]);
+    let mut daemon = spawn_daemon(&state, &spool, &["--queue-depth", "8"]);
     drive(&daemon.addr, "soak", &payloads[CHECKPOINT_AT - 20..]);
 
     // ---- The verdict: daemon report == batch CLI over the payload
@@ -262,7 +296,7 @@ fn fleetd_soak_survives_backpressure_crash_and_restart() {
     let served = query_report(&daemon.addr, "soak");
     let batch = energydx()
         .args(["analyze", "--bundles"])
-        .arg(&payload_dir)
+        .arg(&*payload_dir)
         .arg("--json")
         .output()
         .unwrap();
@@ -280,14 +314,11 @@ fn fleetd_soak_survives_backpressure_crash_and_restart() {
     // ---- Graceful shutdown, one more restart: the flushed checkpoint
     // serves the same bytes again.
     shutdown(&daemon.addr, &mut daemon.child);
-    let mut daemon = spawn_daemon(&state, &[]);
+    let mut daemon = spawn_daemon(&state, &spool, &[]);
     assert_eq!(
         query_report(&daemon.addr, "soak"),
         served,
         "restart from the final checkpoint changed the report"
     );
     shutdown(&daemon.addr, &mut daemon.child);
-
-    let _ = std::fs::remove_dir_all(&state);
-    let _ = std::fs::remove_dir_all(&payload_dir);
 }

@@ -10,7 +10,7 @@
 //! tables and rejects any structurally impossible state.
 //!
 //! ```text
-//! magic "EDXC" | version u8 = 1 | body_len u32 | body | crc32(body)
+//! magic "EDXC" | version u8 = 2 | body_len u32 | body | crc32(body)
 //! ```
 //!
 //! Each epoch's delta list is folded to its canonical single partial
@@ -20,10 +20,20 @@
 //! checkpoint, so a crash mid-write leaves the previous checkpoint
 //! intact.
 //!
+//! Version 2 adds spill metadata: the state's next segment sequence
+//! number and, per epoch, references to the spilled runs (sequence
+//! number, trace count, file size). The segment *data* stays in its
+//! own CRC-framed files; [`load_from`] re-opens every referenced
+//! segment's footer, rejects any disagreement, and garbage-collects
+//! unreferenced segment files (their traces are still resident inside
+//! the checkpoint being restored). Version 1 files — no spill
+//! metadata — still restore.
+//!
 //! [`ShardPartial::to_parts`]: energydx::shard::ShardPartial::to_parts
 //! [`ShardPartial::from_parts`]: energydx::shard::ShardPartial::from_parts
 
 use crate::codec::{CodecError, Reader, Writer};
+use crate::spill::{self, SpilledRun};
 use crate::state::{AppState, EpochState, FleetConfig, FleetState};
 use energydx::shard::{SegmentParts, ShardPartial, ShardPartialParts};
 use energydx_obsv::EventKind;
@@ -35,7 +45,9 @@ use std::fmt;
 use std::path::{Path, PathBuf};
 
 const MAGIC: &[u8; 4] = b"EDXC";
-const VERSION: u8 = 1;
+const VERSION: u8 = 2;
+/// Oldest version [`restore_bytes`] still reads.
+const MIN_VERSION: u8 = 1;
 /// File name inside the state directory.
 pub const CHECKPOINT_FILE: &str = "fleet.ckpt";
 
@@ -117,6 +129,7 @@ fn reason_from_code(code: u8) -> Result<RejectReason, CheckpointError> {
 /// Serializes the whole fleet state to a framed checkpoint.
 pub fn checkpoint_bytes(state: &FleetState) -> Vec<u8> {
     let mut body = Writer::new();
+    body.u64(state.next_spill_seq);
     body.u32(state.apps.len() as u32);
     for (app, a) in &state.apps {
         body.str(app);
@@ -150,6 +163,12 @@ pub fn checkpoint_bytes(state: &FleetState) -> Vec<u8> {
                     None => body.u8(0),
                 }
                 body.str(&entry.detail);
+            }
+            body.u32(e.spilled.len() as u32);
+            for run in &e.spilled {
+                body.u64(run.seq);
+                body.u64(run.traces as u64);
+                body.u64(run.bytes);
             }
             write_partial(&mut body, &e.folded());
         }
@@ -280,7 +299,7 @@ pub fn restore_bytes(
         return Err(CheckpointError::Truncated);
     }
     let version = data[4];
-    if version != VERSION {
+    if !(MIN_VERSION..=VERSION).contains(&version) {
         return Err(CheckpointError::UnsupportedVersion(version));
     }
     let body_len = u32::from_le_bytes(data[5..9].try_into().unwrap()) as usize;
@@ -304,6 +323,13 @@ pub fn restore_bytes(
 
     let mut r = Reader::new(body);
     let mut state = FleetState::new(config);
+    let next_spill_seq = if version >= 2 {
+        r.u64("next spill sequence")?
+    } else {
+        0
+    };
+    state.next_spill_seq = next_spill_seq;
+    let mut referenced_seqs = BTreeSet::new();
     let app_count = r.u32("app count")? as usize;
     for _ in 0..app_count {
         let name = r.str("app name")?;
@@ -344,11 +370,41 @@ pub fn restore_bytes(
                     detail,
                 });
             }
+            let mut spilled = Vec::new();
+            if version >= 2 {
+                let run_count = r.u32("spilled run count")? as usize;
+                for _ in 0..run_count {
+                    let seq = r.u64("spilled run sequence")?;
+                    let traces = r.usize("spilled run trace count")?;
+                    let bytes = r.u64("spilled run byte count")?;
+                    if seq >= next_spill_seq {
+                        return Err(CheckpointError::Malformed(format!(
+                            "spilled run sequence {seq} is not below the \
+                             next sequence number {next_spill_seq}"
+                        )));
+                    }
+                    if !referenced_seqs.insert(seq) {
+                        return Err(CheckpointError::Malformed(format!(
+                            "spilled run sequence {seq} is referenced twice"
+                        )));
+                    }
+                    spilled.push(SpilledRun { seq, traces, bytes });
+                }
+            }
+            if !spilled.is_empty() && state.config.spill.is_none() {
+                return Err(CheckpointError::Malformed(
+                    "checkpoint references spilled segment(s) but no spill \
+                     directory is configured"
+                        .to_string(),
+                ));
+            }
+            let spilled_traces: usize =
+                spilled.iter().map(SpilledRun::traces).sum();
             let partial = read_partial(&mut r)?;
-            if partial.trace_count() != trace_count {
+            if partial.trace_count() + spilled_traces != trace_count {
                 return Err(CheckpointError::Malformed(format!(
                     "epoch {id} claims {trace_count} trace(s) but its \
-                     partial covers {}",
+                     partial covers {} and its spilled runs {spilled_traces}",
                     partial.trace_count()
                 )));
             }
@@ -366,6 +422,7 @@ pub fn restore_bytes(
                     clean,
                     recovered,
                     quarantine,
+                    spilled,
                 },
             );
         }
@@ -413,12 +470,18 @@ pub fn save_to(
 }
 
 /// Loads the checkpoint from `dir`, or `Ok(None)` when none exists
-/// yet (a fresh daemon).
+/// yet (a fresh daemon). When the restored state references spilled
+/// segments, every referenced file's footer is re-opened and checked
+/// against the checkpoint's record — a daemon must refuse state it
+/// cannot trust — and unreferenced segment files (spilled after the
+/// checkpoint was written, so their traces are still resident inside
+/// it) are garbage-collected.
 ///
 /// # Errors
 ///
-/// Propagates frame/content errors from [`restore_bytes`] and I/O
-/// failures other than the file being absent.
+/// Propagates frame/content errors from [`restore_bytes`], I/O
+/// failures other than the checkpoint being absent, and any missing,
+/// damaged, or disagreeing spilled segment.
 pub fn load_from(
     dir: &Path,
     config: FleetConfig,
@@ -429,5 +492,308 @@ pub fn load_from(
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
         Err(e) => return Err(CheckpointError::Io(e.to_string())),
     };
-    restore_bytes(&data, config).map(Some)
+    let state = restore_bytes(&data, config)?;
+    if let Some(cfg) = state.config().spill.clone() {
+        let mut live = BTreeSet::new();
+        for a in state.apps.values() {
+            for e in a.epochs.values() {
+                for run in &e.spilled {
+                    let seg = spill::segment_path(&cfg.dir, run.seq);
+                    let meta =
+                        energydx_segment::open_meta(&seg).map_err(|err| {
+                            match err {
+                                energydx_segment::SegmentError::Io {
+                                    ..
+                                } => CheckpointError::Io(format!(
+                                    "spilled segment {}: {err}",
+                                    seg.display()
+                                )),
+                                other => CheckpointError::Malformed(format!(
+                                    "spilled segment {}: {other}",
+                                    seg.display()
+                                )),
+                            }
+                        })?;
+                    if meta.trace_count != run.traces as u64 {
+                        return Err(CheckpointError::Malformed(format!(
+                            "spilled segment {} covers {} trace(s) but the \
+                             checkpoint records {}",
+                            seg.display(),
+                            meta.trace_count,
+                            run.traces
+                        )));
+                    }
+                    live.insert(run.seq);
+                }
+            }
+        }
+        let removed = spill::gc_orphans(&cfg.dir, &live);
+        if removed > 0 {
+            state.metrics().add(
+                "fleetd_spill_orphans_removed_total",
+                &[],
+                removed as u64,
+            );
+        }
+    }
+    Ok(Some(state))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixture::payload;
+    use crate::spill::SpillConfig;
+    use std::path::Path;
+
+    /// The frozen version-1 layout (no spill metadata), byte for byte
+    /// as PR 6 wrote it — the compatibility surface `restore_bytes`
+    /// must keep reading.
+    fn v1_bytes(state: &FleetState) -> Vec<u8> {
+        let mut body = Writer::new();
+        body.u32(state.apps.len() as u32);
+        for (app, a) in &state.apps {
+            body.str(app);
+            body.u64(a.current_epoch);
+            body.u32(a.epochs.len() as u32);
+            for (&id, e) in &a.epochs {
+                assert!(
+                    e.spilled.is_empty(),
+                    "version 1 cannot describe spilled runs"
+                );
+                body.u64(id);
+                body.u64(e.trace_count as u64);
+                body.u64(e.clean as u64);
+                body.u64(e.recovered as u64);
+                body.u32(e.seen.len() as u32);
+                for (user, session) in &e.seen {
+                    body.str(user);
+                    body.u64(*session);
+                }
+                body.u32(e.quarantine.len() as u32);
+                for entry in &e.quarantine {
+                    body.u8(reason_code(entry.reason));
+                    match &entry.user {
+                        Some(user) => {
+                            body.u8(1);
+                            body.str(user);
+                        }
+                        None => body.u8(0),
+                    }
+                    match entry.session {
+                        Some(s) => {
+                            body.u8(1);
+                            body.u64(s);
+                        }
+                        None => body.u8(0),
+                    }
+                    body.str(&entry.detail);
+                }
+                write_partial(&mut body, &e.folded());
+            }
+        }
+        let body = body.into_vec();
+        let mut out = Writer::new();
+        out.u8(MAGIC[0]);
+        out.u8(MAGIC[1]);
+        out.u8(MAGIC[2]);
+        out.u8(MAGIC[3]);
+        out.u8(1);
+        out.u32(body.len() as u32);
+        let mut framed = out.into_vec();
+        framed.extend_from_slice(&body);
+        framed.extend_from_slice(&wire::crc32(&body).to_le_bytes());
+        framed
+    }
+
+    #[test]
+    fn version_1_checkpoints_still_restore() {
+        let mut state = FleetState::new(FleetConfig::default());
+        for s in 0..4 {
+            state.submit("app", &payload("u", s));
+        }
+        state.submit("app", &[0xAB; 8]); // one quarantined upload too
+        state.rollover("app");
+        state.submit("app", &payload("u", 9));
+        let old = v1_bytes(&state);
+        assert_eq!(old[4], 1);
+        let restored =
+            restore_bytes(&old, FleetConfig::default()).expect("v1 restores");
+        assert_eq!(restored.next_spill_seq, 0);
+        for epoch in [Some(0), Some(1)] {
+            assert_eq!(
+                restored.diagnose_json("app", epoch).unwrap(),
+                state.diagnose_json("app", epoch).unwrap()
+            );
+        }
+        // Restoring compacts each epoch to one delta; compare against
+        // a round trip of the current format rather than live state.
+        let current =
+            restore_bytes(&checkpoint_bytes(&state), FleetConfig::default())
+                .unwrap();
+        assert_eq!(restored.stats_json(), current.stats_json());
+    }
+
+    #[test]
+    fn current_checkpoints_carry_the_version_2_marker() {
+        let state = FleetState::new(FleetConfig::default());
+        assert_eq!(checkpoint_bytes(&state)[4], 2);
+    }
+
+    #[test]
+    fn spill_references_require_a_spill_config() {
+        let dir = std::env::temp_dir()
+            .join(format!("energydx-ckpt-spillref-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let spilling = FleetConfig {
+            spill: Some(SpillConfig {
+                dir: dir.clone(),
+                mem_budget: 0,
+            }),
+            ..FleetConfig::default()
+        };
+        let mut state = FleetState::new(spilling.clone());
+        state.submit("app", &payload("u", 0));
+        assert_eq!(state.spilled_segments(), 1);
+        let data = checkpoint_bytes(&state);
+        // Same bytes, a config without a spill directory: refused.
+        match restore_bytes(&data, FleetConfig::default()) {
+            Err(CheckpointError::Malformed(detail)) => {
+                assert!(detail.contains("spill"), "{detail}");
+            }
+            other => panic!("expected malformed, got {other:?}"),
+        }
+        // With the directory configured the same bytes restore.
+        assert!(restore_bytes(&data, spilling).is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn out_of_range_and_duplicate_run_sequences_are_malformed() {
+        let dir = std::env::temp_dir()
+            .join(format!("energydx-ckpt-badseq-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let spilling = FleetConfig {
+            spill: Some(SpillConfig {
+                dir: dir.clone(),
+                mem_budget: 0,
+            }),
+            ..FleetConfig::default()
+        };
+        let mut state = FleetState::new(spilling.clone());
+        state.submit("app", &payload("u", 0));
+        // Claim a run sequence at/above next_spill_seq: the frame is
+        // internally inconsistent, whatever is on disk.
+        state
+            .apps
+            .get_mut("app")
+            .unwrap()
+            .epochs
+            .get_mut(&0)
+            .unwrap()
+            .spilled[0]
+            .seq = state.next_spill_seq;
+        let data = checkpoint_bytes(&state);
+        assert!(matches!(
+            restore_bytes(&data, spilling),
+            Err(CheckpointError::Malformed(_))
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn restore_validates_spilled_plus_resident_trace_counts() {
+        let dir = std::env::temp_dir()
+            .join(format!("energydx-ckpt-counts-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let spilling = FleetConfig {
+            spill: Some(SpillConfig {
+                dir: dir.clone(),
+                mem_budget: 0,
+            }),
+            ..FleetConfig::default()
+        };
+        let mut state = FleetState::new(spilling.clone());
+        state.submit("app", &payload("u", 0));
+        state.submit("app", &payload("u", 1));
+        // Lie about one spilled run's trace count.
+        state
+            .apps
+            .get_mut("app")
+            .unwrap()
+            .epochs
+            .get_mut(&0)
+            .unwrap()
+            .spilled[0]
+            .traces = 7;
+        let data = checkpoint_bytes(&state);
+        assert!(matches!(
+            restore_bytes(&data, spilling),
+            Err(CheckpointError::Malformed(_))
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn tempdir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("energydx-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn remove(dir: &Path) {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn load_verifies_referenced_segments_and_collects_orphans() {
+        let root = tempdir("ckpt-spill-load");
+        let spool = root.join("spool");
+        let state_dir = root.join("state");
+        let config = FleetConfig {
+            spill: Some(SpillConfig {
+                dir: spool.clone(),
+                mem_budget: 0,
+            }),
+            ..FleetConfig::default()
+        };
+        let mut state = FleetState::new(config.clone());
+        for s in 0..3 {
+            state.submit("app", &payload("u", s));
+        }
+        let reference = state.diagnose_json("app", None).unwrap();
+        save_to(&state, &state_dir).unwrap();
+        // Two kinds of orphans: a stray sequence number and a stale
+        // temp file from an interrupted spill.
+        std::fs::write(spool.join("run-000000000099.seg"), b"junk").unwrap();
+        std::fs::write(spool.join("run-000000000098.seg.tmp"), b"junk")
+            .unwrap();
+
+        let restored = load_from(&state_dir, config.clone())
+            .expect("load succeeds")
+            .expect("checkpoint exists");
+        assert_eq!(restored.diagnose_json("app", None).unwrap(), reference);
+        assert_eq!(restored.resident_bytes(), 0);
+        assert!(!spool.join("run-000000000099.seg").exists());
+        assert!(!spool.join("run-000000000098.seg.tmp").exists());
+
+        // A damaged referenced segment refuses the whole restore.
+        let seg = crate::spill::segment_path(&spool, 0);
+        let mut bytes = std::fs::read(&seg).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        std::fs::write(&seg, &bytes).unwrap();
+        assert!(matches!(
+            load_from(&state_dir, config.clone()),
+            Err(CheckpointError::Malformed(_))
+        ));
+        // A missing one is an I/O refusal.
+        std::fs::remove_file(&seg).unwrap();
+        assert!(matches!(
+            load_from(&state_dir, config),
+            Err(CheckpointError::Io(_))
+        ));
+        remove(&root);
+    }
 }

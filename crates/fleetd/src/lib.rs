@@ -34,6 +34,8 @@
 //!   shards, fans queries out, rebases + merges the partials.
 //! - [`replicate`] — coordinator-side checkpoint replicas that seed
 //!   restarted or replacement workers.
+//! - [`spill`] — bounded-memory mode: cold epochs written to columnar
+//!   [`energydx_segment`] files and folded back on query.
 //!
 //! [`EnergyDx::map_shard`]: energydx::EnergyDx::map_shard
 //! [`ShardPartial::empty`]: energydx::shard::ShardPartial::empty
@@ -50,6 +52,7 @@ pub mod protocol;
 pub mod queue;
 pub mod replicate;
 pub mod server;
+pub mod spill;
 pub mod state;
 
 pub use checkpoint::{checkpoint_bytes, restore_bytes, CheckpointError};
@@ -67,4 +70,5 @@ pub use server::{
     render_metrics, serve_dispatcher, Dispatch, FleetdHandle, ServerConfig,
     SubmitReply,
 };
+pub use spill::SpillConfig;
 pub use state::{FleetConfig, FleetState, QueryError};

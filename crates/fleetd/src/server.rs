@@ -388,6 +388,11 @@ impl FleetdHandle {
         let restored = checkpoint::restore_bytes(data, config)?;
         let mut state = relock(&self.state);
         state.apps = restored.apps;
+        // Never move the segment sequence backwards: a handed-off
+        // checkpoint may reference older sequence numbers, and local
+        // files spilled since must not be rewritten under them.
+        state.next_spill_seq =
+            state.next_spill_seq.max(restored.next_spill_seq);
         self.metrics.inc("fleetd_checkpoint_installs_total", &[]);
         Ok(())
     }

@@ -10,12 +10,20 @@
 //! the same order. The differential harness drives this type directly;
 //! the server wraps it in a mutex and feeds it from the ingest queue.
 //!
+//! The one exception to "no I/O" is spilling: under an explicit
+//! [`SpillConfig`] the state writes cold epochs to
+//! [`energydx_segment`] files and folds them back on query. Which
+//! files exist depends on the schedule, but every answer is still
+//! byte-identical to the fully-resident fold — spilling moves bytes,
+//! never meaning.
+//!
 //! [`EnergyDx::map_shard`]: energydx::EnergyDx::map_shard
 //! [`EnergyDx::diagnose_reference`]: energydx::EnergyDx::diagnose_reference
 
 use crate::convert;
+use crate::spill::{self, SpillConfig, SpilledRun};
 use energydx::report::DiagnosisReport;
-use energydx::shard::ShardPartial;
+use energydx::shard::{ShardPartial, StreamingFold};
 use energydx::{AnalysisConfig, EnergyDx, JsonWriter};
 use energydx_obsv::{EventKind, Metrics, MetricsRegistry};
 use energydx_trace::repair::RepairPolicy;
@@ -38,6 +46,10 @@ pub struct FleetConfig {
     /// Auto-compact an epoch once it holds this many deltas;
     /// `0` disables auto-compaction (explicit requests still work).
     pub compact_every: usize,
+    /// When set, cold epochs are spilled to on-disk segments whenever
+    /// resident delta state exceeds the budget. `None` keeps
+    /// everything resident (and the state free of I/O).
+    pub spill: Option<SpillConfig>,
 }
 
 impl Default for FleetConfig {
@@ -49,6 +61,7 @@ impl Default for FleetConfig {
             jobs: 1,
             repair: RepairPolicy::default(),
             compact_every: 16,
+            spill: None,
         }
     }
 }
@@ -71,6 +84,10 @@ pub struct EpochState {
     pub(crate) recovered: usize,
     /// Quarantined uploads, in arrival order.
     pub(crate) quarantine: Vec<QuarantineEntry>,
+    /// Runs spilled to disk, oldest first. Their traces *precede* the
+    /// resident deltas' in global offset order, so a query folds
+    /// spilled runs first, then the deltas.
+    pub(crate) spilled: Vec<SpilledRun>,
 }
 
 impl EpochState {
@@ -108,8 +125,26 @@ impl EpochState {
         counters
     }
 
-    /// The epoch's canonical partial: its deltas folded in accept
-    /// order.
+    /// Runs spilled to disk, oldest first.
+    pub fn spilled_runs(&self) -> usize {
+        self.spilled.len()
+    }
+
+    /// Traces held in spilled segments (always a prefix of the epoch).
+    pub fn spilled_traces(&self) -> usize {
+        self.spilled.iter().map(SpilledRun::traces).sum()
+    }
+
+    /// Approximate bytes the resident deltas cost
+    /// ([`ShardPartial::approx_bytes`] summed over the delta list).
+    pub fn resident_bytes(&self) -> usize {
+        self.deltas.iter().map(ShardPartial::approx_bytes).sum()
+    }
+
+    /// The canonical partial of the epoch's *resident* deltas, folded
+    /// in accept order. When runs have been spilled this covers only
+    /// the suffix that stayed in memory; `FleetState::epoch_fold`
+    /// prepends the spilled runs.
     pub fn folded(&self) -> ShardPartial {
         self.deltas
             .iter()
@@ -166,6 +201,9 @@ pub enum QueryError {
     /// The analysis itself failed (cannot happen for state built
     /// through [`FleetState::submit`]; kept typed for the protocol).
     Analysis(String),
+    /// A spilled segment the epoch depends on could not be read back
+    /// (missing, damaged, or disagreeing with its checkpoint record).
+    Storage(String),
 }
 
 impl fmt::Display for QueryError {
@@ -178,6 +216,9 @@ impl fmt::Display for QueryError {
                 write!(f, "app {app:?} has no epoch {epoch}")
             }
             QueryError::Analysis(e) => write!(f, "analysis failed: {e}"),
+            QueryError::Storage(e) => {
+                write!(f, "spilled state unavailable: {e}")
+            }
         }
     }
 }
@@ -192,6 +233,17 @@ pub struct FleetState {
     pub(crate) dx: EnergyDx,
     pub(crate) apps: BTreeMap<String, AppState>,
     pub(crate) metrics: Metrics,
+    /// Sequence number the next spilled segment file gets. Monotone
+    /// across the state's lifetime and checkpointed, so a restarted
+    /// daemon never rewrites a file a checkpoint still references.
+    pub(crate) next_spill_seq: u64,
+    /// Per-app last-ingest tick, for coldest-first victim selection.
+    /// Deliberately outside [`AppState`]: recency is scheduling
+    /// state, not fleet data — it is not checkpointed and never
+    /// affects an answer, only which segment files exist.
+    pub(crate) touch: BTreeMap<String, u64>,
+    /// Logical clock feeding `touch`.
+    pub(crate) clock: u64,
     /// Test lever: panic just before the commit point of the next
     /// accepted upload, to prove a mid-ingest panic leaves no torn
     /// state (mirrors `ingest_delay_ms` on the server side).
@@ -221,6 +273,9 @@ impl FleetState {
             dx,
             apps: BTreeMap::new(),
             metrics,
+            next_spill_seq: 0,
+            touch: BTreeMap::new(),
+            clock: 0,
             #[cfg(test)]
             sabotage_before_commit: false,
         }
@@ -276,13 +331,30 @@ impl FleetState {
     }
 
     /// The post-pipeline half of [`FleetState::submit`], for callers
-    /// that already hold a [`PreparedUpload`].
+    /// that already hold a [`PreparedUpload`]. When a spill budget is
+    /// configured, ingestion ends with a [`FleetState::maybe_spill`]
+    /// pass so resident state never outgrows the budget by more than
+    /// one upload.
     pub fn submit_prepared(
         &mut self,
         app: &str,
         prepared: PreparedUpload,
     ) -> IngestOutcome {
+        let outcome = self.ingest_prepared(app, prepared);
+        if self.config.spill.is_some() {
+            self.maybe_spill();
+        }
+        outcome
+    }
+
+    fn ingest_prepared(
+        &mut self,
+        app: &str,
+        prepared: PreparedUpload,
+    ) -> IngestOutcome {
         let _span = self.metrics.span("ingest");
+        self.clock += 1;
+        self.touch.insert(app.to_string(), self.clock);
         let compact_every = self.config.compact_every;
         let epoch = self.apps.entry(app.to_string()).or_default().current_mut();
         match prepared {
@@ -409,6 +481,224 @@ impl FleetState {
         compacted
     }
 
+    /// Approximate bytes of resident (un-spilled) delta state across
+    /// the whole fleet — the quantity [`FleetState::maybe_spill`]
+    /// holds under the configured budget.
+    pub fn resident_bytes(&self) -> usize {
+        self.apps
+            .values()
+            .flat_map(|a| a.epochs.values())
+            .map(EpochState::resident_bytes)
+            .sum()
+    }
+
+    /// Total bytes held in spilled segment files.
+    pub fn spilled_bytes(&self) -> u64 {
+        self.apps
+            .values()
+            .flat_map(|a| a.epochs.values())
+            .flat_map(|e| &e.spilled)
+            .map(|run| run.bytes)
+            .sum()
+    }
+
+    /// Spilled segment files currently referenced.
+    pub fn spilled_segments(&self) -> usize {
+        self.apps
+            .values()
+            .flat_map(|a| a.epochs.values())
+            .map(EpochState::spilled_runs)
+            .sum()
+    }
+
+    /// Spills coldest epochs until resident delta state fits the
+    /// configured budget. A no-op without a spill config; with budget
+    /// `0` every epoch spills as soon as it holds data. Returns how
+    /// many epochs were spilled. A spill that fails (full disk,
+    /// permissions) leaves its epoch resident, counts
+    /// `fleetd_spill_failures_total`, and stops the pass — queries
+    /// keep working either way.
+    pub fn maybe_spill(&mut self) -> usize {
+        let Some(cfg) = self.config.spill.clone() else {
+            return 0;
+        };
+        let budget = cfg.mem_budget;
+        self.spill_until(&cfg, budget)
+    }
+
+    /// Spills every epoch with resident deltas regardless of budget —
+    /// the explicit eviction the harness and an operator's pre-restart
+    /// drain use.
+    pub fn spill_all(&mut self) -> usize {
+        let Some(cfg) = self.config.spill.clone() else {
+            return 0;
+        };
+        self.spill_until(&cfg, 0)
+    }
+
+    fn spill_until(&mut self, cfg: &SpillConfig, budget: usize) -> usize {
+        let mut spilled = 0;
+        while self.resident_bytes() > budget {
+            let Some((app, id)) = self.spill_victim() else {
+                break;
+            };
+            if self.spill_epoch(&app, id, cfg).is_err() {
+                break;
+            }
+            spilled += 1;
+        }
+        self.update_spill_gauges();
+        spilled
+    }
+
+    /// Coldest epoch holding resident deltas: frozen epochs before
+    /// current ones, then least-recently-ingested app, then name and
+    /// epoch id for a total (deterministic) order.
+    fn spill_victim(&self) -> Option<(String, u64)> {
+        self.apps
+            .iter()
+            .flat_map(|(app, a)| {
+                a.epochs
+                    .iter()
+                    .filter(|(_, e)| !e.deltas.is_empty())
+                    .map(move |(&id, _)| (app, id == a.current_epoch, id))
+            })
+            .min_by(|x, y| {
+                (x.1, self.touch.get(x.0).unwrap_or(&0), x.0, x.2).cmp(&(
+                    y.1,
+                    self.touch.get(y.0).unwrap_or(&0),
+                    y.0,
+                    y.2,
+                ))
+            })
+            .map(|(app, _, id)| (app.clone(), id))
+    }
+
+    /// Folds one epoch's resident deltas and writes them as a single
+    /// segment file; only after the write succeeds (tmp + fsync +
+    /// rename inside [`energydx_segment::save_to`]) is the resident
+    /// state dropped, so a failed spill never loses an accepted trace.
+    fn spill_epoch(
+        &mut self,
+        app: &str,
+        id: u64,
+        cfg: &SpillConfig,
+    ) -> Result<(), energydx_segment::SegmentError> {
+        let folded = {
+            let _span = self.metrics.span("merge");
+            self.apps[app].epochs[&id].folded()
+        };
+        let seq = self.next_spill_seq;
+        let path = spill::segment_path(&cfg.dir, seq);
+        let write = std::fs::create_dir_all(&cfg.dir)
+            .map_err(|e| energydx_segment::SegmentError::Io {
+                op: "create spill directory",
+                detail: e.to_string(),
+            })
+            .and_then(|()| {
+                energydx_segment::save_to(&path, &folded.to_parts())
+            });
+        match write {
+            Ok(bytes) => {
+                self.next_spill_seq += 1;
+                let epoch = self
+                    .apps
+                    .get_mut(app)
+                    .expect("victim app exists")
+                    .epochs
+                    .get_mut(&id)
+                    .expect("victim epoch exists");
+                epoch.spilled.push(SpilledRun {
+                    seq,
+                    traces: folded.trace_count(),
+                    bytes,
+                });
+                epoch.deltas.clear();
+                self.metrics.inc("fleetd_spills_total", &[]);
+                self.metrics.event(
+                    EventKind::Spill,
+                    format!(
+                        "app={app} epoch={id} seq={seq} traces={} bytes={bytes}",
+                        folded.trace_count()
+                    ),
+                );
+                Ok(())
+            }
+            Err(e) => {
+                self.metrics.inc("fleetd_spill_failures_total", &[]);
+                Err(e)
+            }
+        }
+    }
+
+    fn update_spill_gauges(&self) {
+        self.metrics.set_gauge(
+            "fleetd_resident_bytes",
+            &[],
+            self.resident_bytes() as f64,
+        );
+        self.metrics.set_gauge(
+            "fleetd_spilled_bytes",
+            &[],
+            self.spilled_bytes() as f64,
+        );
+        self.metrics.set_gauge(
+            "fleetd_spilled_segments",
+            &[],
+            self.spilled_segments() as f64,
+        );
+    }
+
+    /// Rebuilds an epoch's full fold: spilled runs loaded oldest
+    /// first, then the resident deltas — exactly the accept order, so
+    /// the fold finishes byte-identically to a never-spilled epoch.
+    /// Every segment is re-validated against its recorded trace count
+    /// and offset range before it is absorbed, so damage surfaces as
+    /// [`QueryError::Storage`] rather than a panic or a wrong answer.
+    fn epoch_fold(&self, e: &EpochState) -> Result<StreamingFold, QueryError> {
+        let mut fold = StreamingFold::new();
+        if !e.spilled.is_empty() {
+            let cfg = self.config.spill.as_ref().ok_or_else(|| {
+                QueryError::Storage(
+                    "epoch holds spilled run(s) but no spill directory is \
+                     configured"
+                        .to_string(),
+                )
+            })?;
+            for run in &e.spilled {
+                let path = spill::segment_path(&cfg.dir, run.seq);
+                let partial =
+                    energydx_segment::load_from(&path).map_err(|err| {
+                        QueryError::Storage(format!(
+                            "{}: {err}",
+                            path.display()
+                        ))
+                    })?;
+                let start = fold.partial().end_offset();
+                if partial.trace_count() != run.traces
+                    || partial.start_offset() != start
+                    || partial.end_offset() != start + run.traces
+                {
+                    return Err(QueryError::Storage(format!(
+                        "{}: segment covers trace(s) [{}, {}) where run of \
+                         {} trace(s) from {} was spilled",
+                        path.display(),
+                        partial.start_offset(),
+                        partial.end_offset(),
+                        run.traces,
+                        start,
+                    )));
+                }
+                fold.absorb(partial);
+                self.metrics.inc("fleetd_foldbacks_total", &[]);
+            }
+        }
+        for delta in &e.deltas {
+            fold.absorb(delta.clone());
+        }
+        Ok(fold)
+    }
+
     /// Freezes `app`'s current epoch and opens the next one; returns
     /// the new epoch id. Frozen epochs stay queryable by id.
     pub fn rollover(&mut self, app: &str) -> u64 {
@@ -451,7 +741,8 @@ impl FleetState {
     /// # Errors
     ///
     /// [`QueryError::UnknownApp`] / [`QueryError::UnknownEpoch`] when
-    /// nothing was ever accepted under that name.
+    /// nothing was ever accepted under that name;
+    /// [`QueryError::Storage`] when a spilled run cannot be re-read.
     pub fn epoch_partial(
         &self,
         app: &str,
@@ -465,7 +756,7 @@ impl FleetState {
         );
         let partial = {
             let _span = self.metrics.span("merge");
-            self.epoch(app, Some(id))?.folded()
+            self.epoch_fold(self.epoch(app, Some(id))?)?.into_partial()
         };
         Ok((id, partial))
     }
@@ -477,18 +768,19 @@ impl FleetState {
     /// # Errors
     ///
     /// [`QueryError::UnknownApp`] / [`QueryError::UnknownEpoch`] when
-    /// nothing was ever accepted under that name.
+    /// nothing was ever accepted under that name;
+    /// [`QueryError::Storage`] when a spilled run cannot be re-read.
     pub fn diagnose(
         &self,
         app: &str,
         epoch: Option<u64>,
     ) -> Result<DiagnosisReport, QueryError> {
-        let partial = {
+        let fold = {
             let _span = self.metrics.span("merge");
-            self.epoch(app, epoch)?.folded()
+            self.epoch_fold(self.epoch(app, epoch)?)?
         };
         self.dx
-            .finish(partial)
+            .finish_streamed(fold)
             .map_err(|e| QueryError::Analysis(e.to_string()))
     }
 
@@ -540,6 +832,10 @@ impl FleetState {
                                 });
                                 w.key("recovered");
                                 w.usize(e.recovered);
+                                w.key("spilled_runs");
+                                w.usize(e.spilled.len());
+                                w.key("spilled_traces");
+                                w.usize(e.spilled_traces());
                                 w.key("traces");
                                 w.usize(e.trace_count);
                             });
@@ -586,6 +882,41 @@ impl FleetState {
 mod tests {
     use super::*;
     use crate::fixture::{bundle, payload};
+    use std::path::{Path, PathBuf};
+
+    /// RAII scratch directory: unique per test, removed even when the
+    /// test's assertions fail mid-way.
+    struct TempDir(PathBuf);
+
+    impl TempDir {
+        fn new(tag: &str) -> Self {
+            let dir = std::env::temp_dir()
+                .join(format!("energydx-{tag}-{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            std::fs::create_dir_all(&dir).expect("create temp dir");
+            TempDir(dir)
+        }
+
+        fn path(&self) -> &Path {
+            &self.0
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn spilling_config(dir: &Path, mem_budget: usize) -> FleetConfig {
+        FleetConfig {
+            spill: Some(SpillConfig {
+                dir: dir.to_path_buf(),
+                mem_budget,
+            }),
+            ..FleetConfig::default()
+        }
+    }
 
     #[test]
     fn incremental_submissions_equal_batch_reference() {
@@ -732,6 +1063,162 @@ mod tests {
                 "{doc}"
             );
         }
+    }
+
+    #[test]
+    fn a_zero_budget_state_spills_everything_and_answers_identically() {
+        let tmp = TempDir::new("state-spill-zero");
+        let reg = Arc::new(MetricsRegistry::deterministic());
+        let mut resident = FleetState::new(FleetConfig::default());
+        let mut spilling = FleetState::with_registry(
+            spilling_config(tmp.path(), 0),
+            Arc::clone(&reg),
+        );
+        for s in 0..6 {
+            assert!(resident.submit("app", &payload("u", s)).accepted());
+            assert!(spilling.submit("app", &payload("u", s)).accepted());
+            // Budget 0: nothing stays resident past its own submit.
+            assert_eq!(spilling.resident_bytes(), 0);
+        }
+        assert_eq!(spilling.spilled_segments(), 6);
+        assert!(spilling.spilled_bytes() > 0);
+        assert_eq!(
+            spilling.diagnose_json("app", None).unwrap(),
+            resident.diagnose_json("app", None).unwrap()
+        );
+        // The full partial a coordinator would fetch is also equal.
+        assert_eq!(
+            spilling.epoch_partial("app", None).unwrap().1.to_parts(),
+            resident.epoch_partial("app", None).unwrap().1.to_parts()
+        );
+        let stats = spilling.stats_json();
+        assert!(stats.contains("\"spilled_runs\": 6"), "{stats}");
+        assert!(stats.contains("\"spilled_traces\": 6"), "{stats}");
+        assert_eq!(
+            reg.counter_value("fleetd_spills_total", &[]).unwrap_or(0),
+            6
+        );
+        assert!(
+            reg.counter_value("fleetd_foldbacks_total", &[])
+                .unwrap_or(0)
+                >= 6
+        );
+    }
+
+    #[test]
+    fn frozen_epochs_and_cold_apps_spill_first() {
+        let tmp = TempDir::new("state-spill-victims");
+        // A generous budget so nothing spills during ingest; the order
+        // is then observable from the sequence numbers `spill_all`
+        // hands out.
+        let mut state =
+            FleetState::new(spilling_config(tmp.path(), usize::MAX));
+        state.submit("hot", &payload("u", 0));
+        state.rollover("hot");
+        state.submit("hot", &payload("u", 1));
+        state.submit("cold", &payload("u", 0));
+        state.submit("hot", &payload("u", 2));
+        assert!(state.resident_bytes() > 0);
+        assert_eq!(state.spill_all(), 3);
+        assert_eq!(state.resident_bytes(), 0);
+        let seq =
+            |app: &str, id: u64| state.apps[app].epochs[&id].spilled[0].seq;
+        // Frozen epoch first, then the least-recently-ingested app's
+        // current epoch, then the hot app.
+        assert_eq!(seq("hot", 0), 0);
+        assert_eq!(seq("cold", 0), 1);
+        assert_eq!(seq("hot", 1), 2);
+    }
+
+    #[test]
+    fn a_partial_budget_keeps_the_hot_epoch_resident() {
+        let tmp = TempDir::new("state-spill-partial");
+        let mut state =
+            FleetState::new(spilling_config(tmp.path(), usize::MAX));
+        let mut reference = FleetState::new(FleetConfig::default());
+        for s in 0..4 {
+            state.submit("cold", &payload("u", s));
+            reference.submit("cold", &payload("u", s));
+        }
+        for s in 0..4 {
+            state.submit("hot", &payload("u", s));
+            reference.submit("hot", &payload("u", s));
+        }
+        // Budget exactly one epoch's resident bytes: the cold app
+        // spills, the hot one stays.
+        let one_epoch = state.apps["hot"].epochs[&0].resident_bytes();
+        state.config.spill.as_mut().unwrap().mem_budget = one_epoch;
+        state.maybe_spill();
+        assert_eq!(state.apps["cold"].epochs[&0].spilled_runs(), 1);
+        assert_eq!(state.apps["cold"].epochs[&0].delta_count(), 0);
+        assert_eq!(state.apps["hot"].epochs[&0].spilled_runs(), 0);
+        assert!(state.apps["hot"].epochs[&0].delta_count() > 0);
+        for app in ["cold", "hot"] {
+            assert_eq!(
+                state.diagnose_json(app, None).unwrap(),
+                reference.diagnose_json(app, None).unwrap(),
+                "{app} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn a_failed_spill_keeps_the_epoch_resident_and_answerable() {
+        let tmp = TempDir::new("state-spill-fail");
+        // The configured spill "directory" is a file, so every spill
+        // attempt fails before any data could be lost.
+        let blocked = tmp.path().join("blocked");
+        std::fs::write(&blocked, b"x").unwrap();
+        let reg = Arc::new(MetricsRegistry::deterministic());
+        let mut state = FleetState::with_registry(
+            spilling_config(&blocked, 0),
+            Arc::clone(&reg),
+        );
+        let mut reference = FleetState::new(FleetConfig::default());
+        for s in 0..3 {
+            assert!(state.submit("app", &payload("u", s)).accepted());
+            reference.submit("app", &payload("u", s));
+        }
+        assert!(state.resident_bytes() > 0);
+        assert_eq!(state.spilled_segments(), 0);
+        assert!(
+            reg.counter_value("fleetd_spill_failures_total", &[])
+                .unwrap_or(0)
+                >= 3
+        );
+        assert_eq!(
+            state.diagnose_json("app", None).unwrap(),
+            reference.diagnose_json("app", None).unwrap()
+        );
+    }
+
+    #[test]
+    fn a_missing_segment_is_a_typed_storage_error() {
+        let tmp = TempDir::new("state-spill-missing");
+        let mut state = FleetState::new(spilling_config(tmp.path(), 0));
+        state.submit("app", &payload("u", 0));
+        assert_eq!(state.spilled_segments(), 1);
+        std::fs::remove_file(spill::segment_path(tmp.path(), 0)).unwrap();
+        match state.diagnose("app", None) {
+            Err(QueryError::Storage(detail)) => {
+                assert!(detail.contains("run-000000000000.seg"), "{detail}");
+            }
+            other => panic!("expected a storage error, got {other:?}"),
+        }
+        // A damaged segment is the same taxonomy, not a panic.
+        let path = spill::segment_path(tmp.path(), 1);
+        state.submit("app", &payload("u", 1));
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            state.diagnose("app", None),
+            Err(QueryError::Storage(_))
+        ));
+        // Accounting surfaces keep working while data is unreadable.
+        assert!(state.stats_json().contains("\"spilled_runs\""));
+        assert!(state.health_json().contains("\"traces\": 2"));
     }
 
     #[test]

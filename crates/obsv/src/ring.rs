@@ -27,6 +27,8 @@ pub enum EventKind {
     Handoff,
     /// A cluster query was answered without every shard.
     DegradedQuery,
+    /// An epoch's resident deltas were folded into an on-disk segment.
+    Spill,
 }
 
 impl EventKind {
@@ -43,6 +45,7 @@ impl EventKind {
             EventKind::Replication => "replication",
             EventKind::Handoff => "handoff",
             EventKind::DegradedQuery => "degraded_query",
+            EventKind::Spill => "spill",
         }
     }
 }

@@ -1,0 +1,236 @@
+//! Segment format coverage: round-trip fidelity plus fault tolerance.
+//! A segment read back from disk must be structurally identical to
+//! the partial that was spilled, and every damaged file — truncated
+//! at any byte, any single bit flipped, trailing garbage — must
+//! surface as a typed [`SegmentError`], never a panic and never
+//! silently wrong data. Mirrors the EDXC checkpoint suite
+//! (`fleetd/tests/checkpoint_props.rs`).
+
+use energydx::shard::ShardPartial;
+use energydx::EnergyDx;
+use energydx_segment::{
+    open_meta, peek_meta, read_partial, read_segment, save_to, segment_bytes,
+    SegmentError,
+};
+use energydx_trace::event::EventInstance;
+use energydx_trace::fault::{FaultInjector, FaultKind};
+use energydx_trace::join::PoweredInstance;
+use proptest::prelude::*;
+
+const EVENTS: [&str; 6] = ["net", "gps", "cpu", "wake", "sensor", "render"];
+
+fn powered(names: &[(usize, f64)]) -> Vec<PoweredInstance> {
+    names
+        .iter()
+        .enumerate()
+        .map(|(i, &(n, p))| PoweredInstance {
+            instance: EventInstance::new(
+                EVENTS[n % EVENTS.len()],
+                i as u64 * 10,
+                i as u64 * 10 + 5,
+            ),
+            power_mw: p,
+        })
+        .collect()
+}
+
+/// One scripted trace: which events it touches and their powers; a
+/// damage mode 1 turns one power non-finite so the partial records a
+/// skipped slot.
+fn script_strategy() -> impl Strategy<Value = Vec<Vec<(usize, f64)>>> {
+    prop::collection::vec(
+        prop::collection::vec((0usize..EVENTS.len(), 1.0f64..500.0), 1..6),
+        1..8,
+    )
+}
+
+/// Maps a script into a partial the way the daemon would: one
+/// map_shard per trace, merged in order, occasionally split into two
+/// rebased runs so multi-run segments are exercised.
+fn partial_of(script: &[Vec<(usize, f64)>], gap: bool) -> ShardPartial {
+    let dx = EnergyDx::default();
+    let mut partial = ShardPartial::empty();
+    for (i, trace) in script.iter().enumerate() {
+        let mut instances = powered(trace);
+        if i == 1 {
+            instances[0].power_mw = f64::NAN;
+        }
+        // A gap in the middle produces a segment with two runs.
+        let offset = if gap && i >= script.len() / 2 {
+            i + 3
+        } else {
+            i
+        };
+        partial = partial.merge(dx.map_shard(&[instances], offset));
+    }
+    partial
+}
+
+/// The canonical damaged-test vector: multiple runs, a merged
+/// vocabulary, and a skipped (emptied) trace slot.
+fn sample_bytes() -> Vec<u8> {
+    let script: Vec<Vec<(usize, f64)>> = (0..5)
+        .map(|i| {
+            (0..=i % 3)
+                .map(|j| ((i + j) % EVENTS.len(), 40.0 * (i + j + 1) as f64))
+                .collect()
+        })
+        .collect();
+    segment_bytes(&partial_of(&script, true).to_parts())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Round trip: reading a written segment reproduces the partial's
+    /// parts exactly, and the footer summary agrees with the data.
+    #[test]
+    fn segments_round_trip_arbitrary_partials(
+        script in script_strategy(), gap in any::<bool>()
+    ) {
+        let partial = partial_of(&script, gap);
+        let parts = partial.to_parts();
+        let bytes = segment_bytes(&parts);
+        prop_assert_eq!(read_segment(&bytes).unwrap(), parts.clone());
+        prop_assert_eq!(read_partial(&bytes).unwrap().to_parts(), parts);
+        let meta = peek_meta(&bytes).unwrap();
+        prop_assert_eq!(meta.trace_count, partial.trace_count() as u64);
+        prop_assert_eq!(meta.file_bytes, bytes.len() as u64);
+    }
+
+    /// Every strict prefix of a segment is a typed error — the reader
+    /// never runs off the end, whatever byte the cut lands on.
+    #[test]
+    fn any_truncation_is_a_typed_error(
+        script in script_strategy(), gap in any::<bool>()
+    ) {
+        let bytes = segment_bytes(&partial_of(&script, gap).to_parts());
+        for cut in 0..bytes.len() {
+            let err = read_partial(&bytes[..cut])
+                .expect_err("a strict prefix must not read");
+            prop_assert!(
+                matches!(
+                    err,
+                    SegmentError::Truncated { .. }
+                        | SegmentError::BadMagic
+                        | SegmentError::Malformed { .. }
+                        | SegmentError::CrcMismatch { .. }
+                ),
+                "cut at {} gave unexpected error {:?}", cut, err
+            );
+        }
+    }
+}
+
+/// Exhaustive single-bit damage: because the footer index tiles the
+/// file and every block is CRC-framed, there is no byte a flip can
+/// hide in. No flipped segment may read, and none may panic.
+#[test]
+fn every_single_bit_flip_is_rejected() {
+    let bytes = sample_bytes();
+    for index in 0..bytes.len() {
+        for bit in 0..8u8 {
+            let mut flipped = bytes.clone();
+            flipped[index] ^= 1 << bit;
+            assert!(
+                read_partial(&flipped).is_err(),
+                "flip at byte {index} bit {bit} read anyway"
+            );
+        }
+    }
+}
+
+/// The shared fault injector (the same one the wire-v2 salvage and
+/// checkpoint tests use) run against segments: bit flips and random
+/// truncations all come back as typed errors.
+#[test]
+fn fault_injector_damage_is_survivable() {
+    let bytes = sample_bytes();
+    let mut injector = FaultInjector::new(0x5E61, 1.0);
+    for kind in [FaultKind::BitFlip, FaultKind::Truncate] {
+        for _ in 0..100 {
+            for damaged in injector.corrupt(&bytes, kind) {
+                let err = read_partial(&damaged)
+                    .expect_err("damaged segment must not read");
+                assert!(
+                    matches!(
+                        err,
+                        SegmentError::Truncated { .. }
+                            | SegmentError::BadMagic
+                            | SegmentError::CrcMismatch { .. }
+                            | SegmentError::Malformed { .. }
+                    ),
+                    "{kind}: unexpected error {err:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn header_and_trailer_damage_is_classified_precisely() {
+    let bytes = sample_bytes();
+
+    let mut wrong_magic = bytes.clone();
+    wrong_magic[0] = b'X';
+    assert_eq!(
+        read_partial(&wrong_magic).unwrap_err(),
+        SegmentError::BadMagic
+    );
+
+    let mut future_version = bytes.clone();
+    future_version[4] = 9;
+    assert_eq!(
+        read_partial(&future_version).unwrap_err(),
+        SegmentError::UnsupportedVersion(9)
+    );
+
+    let mut wrong_trailer = bytes.clone();
+    let last = wrong_trailer.len() - 1;
+    wrong_trailer[last] = b'X';
+    assert_eq!(
+        read_partial(&wrong_trailer).unwrap_err(),
+        SegmentError::BadMagic
+    );
+
+    // Trailing garbage shifts the trailer away from the footer: the
+    // reader must notice rather than read a stale index.
+    let mut trailing = bytes.clone();
+    trailing.push(0);
+    assert!(read_partial(&trailing).is_err());
+}
+
+/// The footer-only open path classifies damage the same way the full
+/// reader does, and a damaged column body — invisible to the footer —
+/// is still caught by the full read.
+#[test]
+fn open_meta_and_full_read_split_the_damage_surface() {
+    let dir = std::env::temp_dir()
+        .join(format!("energydx-seg-damage-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let bytes = sample_bytes();
+    let partial = read_partial(&bytes).unwrap();
+    let path = dir.join("000001.seg");
+    save_to(&path, &partial.to_parts()).unwrap();
+    let meta = open_meta(&path).unwrap();
+    assert_eq!(meta.trace_count, partial.trace_count() as u64);
+
+    // Damage one byte inside the first column block: open_meta (which
+    // never reads columns) still succeeds, the full read fails typed.
+    let mut damaged = bytes.clone();
+    damaged[8] ^= 0x01;
+    std::fs::write(&path, &damaged).unwrap();
+    assert!(open_meta(&path).is_ok());
+    assert!(read_partial(&damaged).is_err());
+
+    // Damage the trailer: both paths fail typed.
+    let mut bad_trailer = bytes.clone();
+    let last = bad_trailer.len() - 1;
+    bad_trailer[last] ^= 0x01;
+    std::fs::write(&path, &bad_trailer).unwrap();
+    assert_eq!(open_meta(&path).unwrap_err(), SegmentError::BadMagic);
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}

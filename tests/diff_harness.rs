@@ -889,3 +889,216 @@ fn kill_dash_nine_with_replica_resume_stays_byte_identical() {
     ops.push(ClusterOp::Query); // full fleet again
     run_cluster_schedule(3, &ops, &pool);
 }
+
+// ---------------------------------------------------------------------
+// The spilling daemon: a fleet under a memory budget spills cold
+// epochs to columnar segments and folds them back on query. Any
+// interleaving of {upload, spill, compact, checkpoint, restart,
+// query} under **any** budget — including zero, where nothing stays
+// resident — must serve reports byte-identical to the batch reference
+// over the same accepted traces, including kill -9 + restart with the
+// segment files on disk.
+// ---------------------------------------------------------------------
+
+use energydx_suite::energydx_fleetd::checkpoint::{load_from, save_to};
+use energydx_suite::energydx_fleetd::SpillConfig;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// RAII scratch directory: unique per use, removed on drop even when
+/// the test fails, so no stray state directories accumulate.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        static NEXT: AtomicUsize = AtomicUsize::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "energydx-diff-{tag}-{}-{}",
+            std::process::id(),
+            NEXT.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("scratch directory");
+        TempDir(dir)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// One step of a spilling-daemon schedule.
+#[derive(Debug, Clone, Copy)]
+enum SpillOp {
+    /// Submit payload `i`; the budget may spill as a side effect.
+    Upload(usize),
+    /// Evict everything: fold every epoch's resident deltas to disk.
+    Spill,
+    /// Collapse resident deltas into one canonical partial.
+    Compact,
+    /// Durable snapshot referencing the spilled segments.
+    Checkpoint,
+    /// kill -9: discard the live state, reload from disk — the
+    /// restored state must re-verify and re-use the segment files.
+    Restart,
+    /// Fold back from disk and compare to the batch reference.
+    Query,
+}
+
+/// Runs one schedule against a spilling [`FleetState`] under the
+/// given budget, checking acceptance against the model and the served
+/// report against the batch reference at every `Query` and at the end.
+fn run_spill_schedule(ops: &[SpillOp], pool: &[Vec<u8>], mem_budget: usize) {
+    let root = TempDir::new("spill");
+    let state_dir = root.path().join("state");
+    let config = FleetConfig {
+        spill: Some(SpillConfig {
+            dir: root.path().join("spool"),
+            mem_budget,
+        }),
+        ..FleetConfig::default()
+    };
+    let mut state = FleetState::new(config.clone());
+    let mut model = FleetModel::default();
+    let mut checkpointed: Option<FleetModel> = None;
+    for op in ops {
+        match *op {
+            SpillOp::Upload(i) => {
+                let payload = &pool[i % pool.len()];
+                let accepted = state.submit("app", payload).accepted();
+                assert_eq!(
+                    accepted,
+                    model.apply(payload),
+                    "spilling daemon and model disagree on payload {i}"
+                );
+            }
+            SpillOp::Spill => {
+                state.spill_all();
+            }
+            SpillOp::Compact => {
+                state.compact();
+            }
+            SpillOp::Checkpoint => {
+                save_to(&state, &state_dir).expect("checkpoint writes");
+                checkpointed = Some(model.clone());
+            }
+            SpillOp::Restart => {
+                drop(state);
+                match load_from(&state_dir, config.clone())
+                    .expect("a daemon checkpoint restores with its segments")
+                {
+                    Some(restored) => {
+                        state = restored;
+                        model = checkpointed
+                            .clone()
+                            .expect("a checkpoint file implies a snapshot");
+                    }
+                    None => {
+                        state = FleetState::new(config.clone());
+                        model = FleetModel::default();
+                    }
+                }
+            }
+            SpillOp::Query => {
+                assert_fleet_matches_reference(&state, &model);
+            }
+        }
+    }
+    assert_fleet_matches_reference(&state, &model);
+}
+
+fn spill_ops() -> impl Strategy<Value = Vec<SpillOp>> {
+    let op = (0u8..16, 0usize..12).prop_map(|(kind, i)| match kind {
+        0..=6 => SpillOp::Upload(i),
+        7 | 8 => SpillOp::Spill,
+        9 => SpillOp::Compact,
+        10 | 11 => SpillOp::Checkpoint,
+        12 | 13 => SpillOp::Restart,
+        _ => SpillOp::Query,
+    });
+    prop::collection::vec(op, 0..28)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The bounded-memory headline property: **any** schedule of
+    /// uploads, spills, compactions, checkpoints, kill -9 restarts,
+    /// and queries under **any** budget — zero (fully spilled), small
+    /// (mixed resident/spilled), or unbounded (explicit spills only)
+    /// — serves byte-identical reports to the batch reference.
+    #[test]
+    fn any_spill_schedule_serves_the_batch_reference(
+        ops in spill_ops(),
+        budget in prop_oneof![
+            Just(0usize),
+            256usize..8192,
+            Just(usize::MAX),
+        ],
+    ) {
+        run_spill_schedule(&ops, &payload_pool(), budget);
+    }
+}
+
+/// Fixed scenario, the acceptance bar for bounded memory: a zero
+/// budget spills every upload to disk; a crash after the checkpoint
+/// loses the tail; the restored daemon re-verifies the referenced
+/// segments, garbage-collects the post-checkpoint orphans, answers
+/// byte-identically as of the checkpoint, and converges to the full
+/// reference when the tail is re-driven (re-using the freed sequence
+/// numbers for fresh segment files).
+#[test]
+fn kill_dash_nine_with_segments_on_disk_stays_byte_identical() {
+    let pool = payload_pool();
+    let mut ops: Vec<SpillOp> = Vec::new();
+    ops.extend((0..8).map(SpillOp::Upload));
+    ops.push(SpillOp::Checkpoint);
+    ops.extend((8..12).map(SpillOp::Upload)); // spilled, then lost
+    ops.push(SpillOp::Restart); // kill -9, restore from disk
+    ops.push(SpillOp::Query); // == reference as of the checkpoint
+    ops.extend((6..12).map(SpillOp::Upload)); // re-drive incl. resends
+    ops.push(SpillOp::Query); // == full-fleet reference
+    run_spill_schedule(&ops, &pool, 0);
+}
+
+/// Fixed scenario: a zero-budget daemon keeps nothing resident, yet
+/// every query folds the segments back to the exact reference — and
+/// the resident and spilled daemons serve the same bytes for the same
+/// uploads.
+#[test]
+fn a_fully_spilled_daemon_equals_a_resident_one() {
+    let pool = payload_pool();
+    let ops: Vec<SpillOp> = (0..pool.len())
+        .map(SpillOp::Upload)
+        .chain([SpillOp::Query])
+        .collect();
+    run_spill_schedule(&ops, &pool, 0);
+
+    let root = TempDir::new("residency");
+    let spilling_config = FleetConfig {
+        spill: Some(SpillConfig {
+            dir: root.path().to_path_buf(),
+            mem_budget: 0,
+        }),
+        ..FleetConfig::default()
+    };
+    let mut spilling = FleetState::new(spilling_config);
+    let mut resident = FleetState::new(FleetConfig::default());
+    for payload in &pool {
+        spilling.submit("app", payload);
+        resident.submit("app", payload);
+    }
+    assert_eq!(spilling.resident_bytes(), 0, "budget 0 must spill all");
+    assert!(spilling.spilled_segments() > 0);
+    assert_eq!(
+        spilling.diagnose_json("app", None).unwrap(),
+        resident.diagnose_json("app", None).unwrap(),
+        "residency changed the served bytes"
+    );
+}

@@ -10,7 +10,9 @@
 //! UPDATE_GOLDEN=1 cargo test --test golden
 //! ```
 
+use energydx_suite::energydx::shard::StreamingFold;
 use energydx_suite::energydx::{DiagnosisInput, EnergyDx};
+use energydx_suite::energydx_segment;
 use energydx_suite::fixtures::{chaos_fleet, fig6_fleet, k9_fleet};
 use std::path::PathBuf;
 
@@ -57,4 +59,61 @@ fn k9_report_matches_golden() {
 #[test]
 fn chaos_report_matches_golden() {
     check_golden("chaos", &chaos_fleet());
+}
+
+/// The streaming path — fleets written to on-disk columnar segments,
+/// folded back run by run, finished from the accumulated sorted runs
+/// — must reproduce the **same pinned bytes** as the resident path.
+/// This is the `analyze --bundles <segment dir>` dataflow without the
+/// process boundary.
+#[test]
+fn streamed_segments_reproduce_the_goldens_byte_for_byte() {
+    let fixtures = [
+        ("fig6", fig6_fleet()),
+        ("k9", k9_fleet()),
+        ("chaos", chaos_fleet()),
+    ];
+    let dir = std::env::temp_dir()
+        .join(format!("energydx-golden-stream-{}", std::process::id()));
+    for (name, input) in fixtures {
+        let spool = dir.join(name);
+        let _ = std::fs::remove_dir_all(&spool);
+        std::fs::create_dir_all(&spool).unwrap();
+        let dx = EnergyDx::default();
+        let traces = input.traces();
+        // Three contiguous runs, like three spill passes over one
+        // growing epoch.
+        let cut_a = traces.len() / 3;
+        let cut_b = 2 * traces.len() / 3;
+        for (seq, (start, end)) in [
+            (0usize, (0, cut_a)),
+            (1, (cut_a, cut_b)),
+            (2, (cut_b, traces.len())),
+        ] {
+            let partial = dx.map_shard(&traces[start..end], start);
+            energydx_segment::save_to(
+                &spool.join(format!("run-{seq:012}.seg")),
+                &partial.to_parts(),
+            )
+            .unwrap();
+        }
+        let mut fold = StreamingFold::new();
+        let mut runs: Vec<PathBuf> = std::fs::read_dir(&spool)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .collect();
+        runs.sort();
+        for run in &runs {
+            fold.absorb(energydx_segment::load_from(run).unwrap());
+        }
+        let streamed = dx.finish_streamed(fold).unwrap().to_canonical_json();
+        let expected = std::fs::read_to_string(golden_path(name)).unwrap();
+        assert!(
+            streamed == expected,
+            "{name}: the streamed-segment path drifted from the pinned \
+             golden bytes"
+        );
+        let _ = std::fs::remove_dir_all(&spool);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
 }
