@@ -46,6 +46,17 @@ echo "== spill peak-memory budget (smoke) =="
 cargo run -q --release -p energydx-bench --bin spill -- \
   --check BENCH_spill.json >/dev/null
 
+echo "== warm-query latency budget (smoke) =="
+# Generation-keyed query-cache benchmark: the same corpus queried
+# cold, warm, and after a 1-upload delta, resident and spilled.
+# Asserts cached and uncached daemons serve byte-identical reports,
+# then fails if a warm repeat stops being >= the speedup budget in
+# BENCH_query.json, a spilled warm query falls behind a resident one,
+# or a coordinator NotModified reply stops being smaller on the wire
+# than the full partial it replaces.
+cargo run -q --release -p energydx-bench --bin query -- \
+  --check BENCH_query.json >/dev/null
+
 echo "== metrics-overhead gate (instrumented hot path + ingest) =="
 # The same two budgets re-checked with the obsv layer attached: the
 # per-stage spans and the submit-latency histogram run on the measured

@@ -111,12 +111,14 @@ USAGE:
                  [--checkpoint-every <n>] [--ingest-delay-ms <ms>]
                  [--fraction <0..1>] [--top <k>] [--jobs <n>]
                  [--spill-dir <dir> [--mem-budget <bytes>]]
+                 [--no-query-cache]
   energydx serve --coordinator --workers <addr,addr,...> [--listen <addr>]
                  [--state <dir>] [--degrade-policy degrade|hold]
                  [--max-attempts <n>] [--base-backoff-ms <ms>]
                  [--max-backoff-ms <ms>] [--breaker-threshold <n>]
                  [--probe-every <n>] [--connect-timeout-ms <ms>]
                  [--read-timeout-ms <ms>] [--write-timeout-ms <ms>]
+                 [--no-query-cache]
   energydx submit --addr <host:port> --app <name> (<payload.edxt>... | --dir <dir>)
                   [--max-attempts <n>]
   energydx query --addr <host:port> (--app <name> [--epoch <n>] | --stats
@@ -452,6 +454,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         jobs,
         compact_every: num_flag(args, "--compact-every", 16usize)?,
         spill,
+        query_cache: !args.iter().any(|a| a == "--no-query-cache"),
         ..FleetConfig::default()
     };
     if args.iter().any(|a| a == "--coordinator")

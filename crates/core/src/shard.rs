@@ -593,6 +593,26 @@ impl StreamingFold {
         self.partial
     }
 
+    /// Deterministic estimate of the fold's resident size in bytes:
+    /// the merged partial plus every retained sorted run. Like
+    /// [`ShardPartial::approx_bytes`], a fixed function of shape, for
+    /// cache budget accounting.
+    pub fn approx_bytes(&self) -> usize {
+        const SLOT_OVERHEAD: usize = 32;
+        let runs: usize = self
+            .slots
+            .iter()
+            .map(|s| {
+                SLOT_OVERHEAD
+                    + s.runs
+                        .iter()
+                        .map(SortedGroup::approx_bytes)
+                        .sum::<usize>()
+            })
+            .sum();
+        self.partial.approx_bytes() + runs
+    }
+
     /// Folds the next delta in. The delta's group populations are
     /// sorted now, as runs; the final merge is deferred to
     /// [`EnergyDx::analyze_streamed`], which k-way merges each group's
@@ -944,6 +964,45 @@ impl AnalyzedFleet {
     /// Total manifestation points detected across the fleet.
     pub fn detection_count(&self) -> usize {
         self.outcomes.iter().map(|o| o.outliers.len()).sum()
+    }
+
+    /// Deterministic estimate of the analyzed fleet's resident size in
+    /// bytes, for cache budget accounting — the same shape-based
+    /// discipline as [`ShardPartial::approx_bytes`]: per-instance
+    /// column widths and flat container overheads, never allocator
+    /// slack.
+    pub fn approx_bytes(&self) -> usize {
+        let names: usize = self
+            .interner
+            .names()
+            .iter()
+            .map(|n| n.len() + NAME_OVERHEAD)
+            .sum();
+        let traces: usize = self
+            .traces
+            .iter()
+            .map(|t| TRACE_OVERHEAD + t.ids().len() * INSTANCE_BYTES)
+            .sum();
+        let outcomes: usize = self
+            .outcomes
+            .iter()
+            .map(|o| {
+                TRACE_OVERHEAD
+                    + (o.normalized.len() + o.amplitudes.len()) * 8
+                    + o.outliers.len() * 8
+            })
+            .sum();
+        let rankings: usize = self
+            .rankings
+            .iter()
+            .map(|r| TRACE_OVERHEAD + r.as_ref().map_or(0, |v| v.len() * 8))
+            .sum();
+        names
+            + traces
+            + outcomes
+            + rankings
+            + self.skipped.len() * SKIP_BYTES
+            + self.step5.by_event.len() * 16
     }
 }
 

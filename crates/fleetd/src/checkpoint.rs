@@ -423,6 +423,10 @@ pub fn restore_bytes(
                     recovered,
                     quarantine,
                     spilled,
+                    // Generations are scheduling state, scoped to one
+                    // incarnation — a restored state starts a fresh
+                    // one, so old tokens can never validate against it.
+                    generation: 0,
                 },
             );
         }

@@ -39,6 +39,7 @@ use crate::server::Dispatch;
 use crate::state::{FleetConfig, QueryError};
 use energydx::{EnergyDx, JsonWriter, ShardPartial};
 use energydx_obsv::{EventKind, Metrics, MetricsRegistry};
+use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
 
@@ -87,22 +88,49 @@ struct WorkerSlot {
     breaker: Mutex<CircuitBreaker>,
 }
 
+/// One worker's last-seen versioned partial for one query key — what
+/// a [`Response::PartialNotModified`] lets the coordinator reuse.
+#[derive(Clone)]
+struct CoordCacheEntry {
+    /// Resolved epoch id the partial belongs to.
+    epoch: u64,
+    /// The worker-state incarnation the generation is scoped to.
+    incarnation: u64,
+    /// The epoch's generation when the partial was folded.
+    generation: u64,
+    /// The worker's locally-offset folded partial.
+    partial: ShardPartial,
+}
+
+/// One worker's delta-query cache: last-seen versioned partials keyed
+/// by `(app, requested epoch)`.
+type CoordCache = BTreeMap<(String, Option<u64>), CoordCacheEntry>;
+
 /// The coordinator: stateless over trace data (workers own their
 /// partitions; this side owns routing, health, and replicas).
 ///
 /// Lock discipline (deadlock freedom): the only place two locks
 /// overlap is the handoff path, which holds `transport[k]` and
-/// briefly locks `replicas` to copy a replica out — so the global
-/// order is `transport[k]` → `replicas`, and `breaker[k]` is a leaf
-/// acquired on its own. The stats/health/metrics endpoints snapshot
-/// `replicas` and each breaker separately and never touch a
-/// transport, so they answer immediately even while a worker call is
-/// mid-retry against a dead or slow node.
+/// briefly locks `replicas` (or `partial_cache`, to drop a handed-
+/// off worker's stale entries) — so the global order is
+/// `transport[k]` → {`replicas`, `partial_cache`}, and `breaker[k]`
+/// is a leaf acquired on its own. `partial_cache` is itself a leaf:
+/// it is never held across I/O or while taking another lock. The
+/// stats/health/metrics endpoints snapshot `replicas`, the cache,
+/// and each breaker separately and never touch a transport, so they
+/// answer immediately even while a worker call is mid-retry against
+/// a dead or slow node.
 pub struct Coordinator {
     config: CoordinatorConfig,
     dx: EnergyDx,
     workers: Vec<WorkerSlot>,
     replicas: Mutex<ReplicaStore>,
+    /// Per-worker last-seen partials for the delta-query protocol,
+    /// keyed by `(app, requested epoch)`. A worker whose state still
+    /// matches the cached `(epoch, incarnation, generation)` answers
+    /// `PartialNotModified` and the entry here stands in for the
+    /// wire transfer.
+    partial_cache: Mutex<Vec<CoordCache>>,
     metrics: Metrics,
 }
 
@@ -150,7 +178,7 @@ impl Coordinator {
         let dx = EnergyDx::new(config.fleet.analysis.clone())
             .with_jobs(config.fleet.jobs)
             .with_metrics(metrics.clone());
-        let workers = transports
+        let workers: Vec<WorkerSlot> = transports
             .into_iter()
             .map(|transport| WorkerSlot {
                 transport: Mutex::new(transport),
@@ -160,11 +188,13 @@ impl Coordinator {
                 )),
             })
             .collect();
+        let worker_count = workers.len();
         Ok(Coordinator {
             config,
             dx,
             workers,
             replicas: Mutex::new(replicas),
+            partial_cache: Mutex::new(vec![BTreeMap::new(); worker_count]),
             metrics,
         })
     }
@@ -295,6 +325,12 @@ impl Coordinator {
             breaker.record_failure();
             breaker.consecutive_failures()
         };
+        // A failed worker may come back as anything — restarted,
+        // replaced, handed a replica — so its cached partials are no
+        // longer worth holding. (Correctness never depends on this:
+        // a revived worker carries a fresh incarnation, so stale
+        // tokens cannot validate; this just frees the memory.)
+        self.drop_cached_partials(k);
         let label = Self::worker_label(k);
         self.metrics
             .inc("cluster_worker_failures_total", &[("worker", &label)]);
@@ -312,6 +348,45 @@ impl Coordinator {
             &[("worker", &label)],
             f64::from(failures),
         );
+    }
+
+    /// Drops worker `k`'s delta-query cache entries, counting them as
+    /// evictions. The cache lock is a leaf; this is safe to call with
+    /// or without `transport[k]` held.
+    fn drop_cached_partials(&self, k: usize) {
+        let dropped = {
+            let mut cache = self.partial_cache.lock().unwrap();
+            std::mem::take(&mut cache[k]).len()
+        };
+        for _ in 0..dropped {
+            self.metrics.inc(
+                "fleetd_query_cache_evictions_total",
+                &[("layer", "coordinator")],
+            );
+        }
+    }
+
+    /// Counts a delta-query cache outcome for one worker call.
+    fn count_cache(&self, hit: bool) {
+        let name = if hit {
+            "fleetd_query_cache_hits_total"
+        } else {
+            "fleetd_query_cache_misses_total"
+        };
+        self.metrics.inc(name, &[("layer", "coordinator")]);
+    }
+
+    /// Current cache footprint by `approx_bytes` accounting.
+    fn cached_partial_bytes(&self) -> usize {
+        const ENTRY_OVERHEAD: usize = 96;
+        let cache = self.partial_cache.lock().unwrap();
+        cache
+            .iter()
+            .flat_map(|m| m.iter())
+            .map(|((app, _), e)| {
+                ENTRY_OVERHEAD + app.len() + e.partial.approx_bytes()
+            })
+            .sum()
     }
 
     /// Probes worker `k` with `Counts`; when it holds fewer accepted
@@ -344,6 +419,10 @@ impl Coordinator {
             if accepted < replicated {
                 match transport.call(&Request::InstallCheckpoint { data })? {
                     Response::Done => {
+                        // The install replaced the worker's content
+                        // under a fresh incarnation; our cached
+                        // partials for it are dead weight now.
+                        self.drop_cached_partials(k);
                         let label = Self::worker_label(k);
                         self.metrics.inc(
                             "cluster_handoffs_total",
@@ -413,11 +492,34 @@ impl Coordinator {
         let mut missing: Vec<u32> = Vec::new();
         let mut found: Vec<(usize, u64, ShardPartial)> = Vec::new();
         let mut unknown_epoch = false;
-        let req = Request::Partial {
-            app: app.to_string(),
-            epoch,
-        };
+        let use_cache = self.config.fleet.query_cache;
+        let key = (app.to_string(), epoch);
+        let mut updates: Vec<(usize, CoordCacheEntry)> = Vec::new();
         for k in 0..self.workers.len() {
+            // Snapshot this worker's cached entry before any I/O —
+            // the cache lock is a leaf, never held across a call. A
+            // concurrent clear can't invalidate the local copy: the
+            // worker validates the exact token we send, so a
+            // `NotModified` reply always vouches for this snapshot.
+            let cached: Option<CoordCacheEntry> = if use_cache {
+                self.partial_cache.lock().unwrap()[k].get(&key).cloned()
+            } else {
+                None
+            };
+            let req = if use_cache {
+                Request::PartialSince {
+                    app: app.to_string(),
+                    epoch,
+                    token: cached
+                        .as_ref()
+                        .map(|c| (c.epoch, c.incarnation, c.generation)),
+                }
+            } else {
+                Request::Partial {
+                    app: app.to_string(),
+                    epoch,
+                }
+            };
             match self.call_worker(k, &req) {
                 Ok(Response::Partial {
                     status,
@@ -425,6 +527,42 @@ impl Coordinator {
                     partial,
                 }) => match status {
                     PartialStatus::Found => found.push((k, epoch, partial)),
+                    PartialStatus::UnknownApp => {}
+                    PartialStatus::UnknownEpoch => unknown_epoch = true,
+                },
+                Ok(Response::PartialNotModified { epoch }) => match &cached {
+                    Some(entry) => {
+                        self.count_cache(true);
+                        found.push((k, epoch, entry.partial.clone()));
+                    }
+                    None => {
+                        return Response::Error {
+                            message: format!(
+                                "worker {k}: NotModified without a token"
+                            ),
+                        }
+                    }
+                },
+                Ok(Response::PartialState {
+                    status,
+                    epoch,
+                    incarnation,
+                    generation,
+                    partial,
+                }) => match status {
+                    PartialStatus::Found => {
+                        self.count_cache(false);
+                        updates.push((
+                            k,
+                            CoordCacheEntry {
+                                epoch,
+                                incarnation,
+                                generation,
+                                partial: partial.clone(),
+                            },
+                        ));
+                        found.push((k, epoch, partial));
+                    }
                     PartialStatus::UnknownApp => {}
                     PartialStatus::UnknownEpoch => unknown_epoch = true,
                 },
@@ -441,6 +579,12 @@ impl Coordinator {
                     }
                 }
                 Err(_) => missing.push(k as u32),
+            }
+        }
+        if !updates.is_empty() {
+            let mut cache = self.partial_cache.lock().unwrap();
+            for (k, entry) in updates {
+                cache[k].insert(key.clone(), entry);
             }
         }
         if !missing.is_empty() && self.config.policy == DegradePolicy::Hold {
@@ -697,6 +841,19 @@ impl Coordinator {
                 .map(|k| replicas.get(k).map(|r| (r.accepted, r.data.len())))
                 .collect()
         };
+        let cache_counter = |name: &str| {
+            self.metrics
+                .registry()
+                .and_then(|r| {
+                    r.counter_value(name, &[("layer", "coordinator")])
+                })
+                .unwrap_or(0)
+        };
+        let cache_hits = cache_counter("fleetd_query_cache_hits_total");
+        let cache_misses = cache_counter("fleetd_query_cache_misses_total");
+        let cache_evictions =
+            cache_counter("fleetd_query_cache_evictions_total");
+        let cache_bytes = self.cached_partial_bytes();
         let mut w = JsonWriter::new();
         w.obj(|w| {
             w.key("degraded_queries");
@@ -705,6 +862,20 @@ impl Coordinator {
             w.string(match self.config.policy {
                 DegradePolicy::Degrade => "degrade",
                 DegradePolicy::Hold => "hold",
+            });
+            w.key("query_cache");
+            w.obj(|w| {
+                w.key("coordinator");
+                w.obj(|w| {
+                    w.key("bytes");
+                    w.usize(cache_bytes);
+                    w.key("evictions");
+                    w.u64(cache_evictions);
+                    w.key("hits");
+                    w.u64(cache_hits);
+                    w.key("misses");
+                    w.u64(cache_misses);
+                });
             });
             w.key("workers");
             w.obj(|w| {
@@ -803,6 +974,11 @@ impl Coordinator {
                 );
             }
         }
+        self.metrics.set_gauge(
+            "fleetd_query_cache_bytes",
+            &[("layer", "coordinator")],
+            self.cached_partial_bytes() as f64,
+        );
         match self.metrics.registry() {
             Some(reg) => reg.render_prometheus(),
             None => String::new(),
@@ -851,6 +1027,7 @@ impl Dispatch for Coordinator {
                 text: self.metrics_text(),
             },
             Request::Partial { .. }
+            | Request::PartialSince { .. }
             | Request::FetchCheckpoint
             | Request::InstallCheckpoint { .. }
             | Request::Counts => Response::Error {
@@ -1253,6 +1430,11 @@ mod tests {
                 app: "mail".to_string(),
                 epoch: None,
             },
+            Request::PartialSince {
+                app: "mail".to_string(),
+                epoch: None,
+                token: None,
+            },
         ] {
             match cluster.coordinator.handle_request(req) {
                 Response::Error { message } => {
@@ -1261,5 +1443,107 @@ mod tests {
                 other => panic!("unexpected response {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn repeat_queries_ride_not_modified_and_stay_byte_identical() {
+        let cluster = cluster(3);
+        let mut ups = uploads(21);
+        drive(&cluster, &ups);
+        let counter = |name: &str| {
+            cluster
+                .coordinator
+                .metrics()
+                .registry()
+                .and_then(|r| {
+                    r.counter_value(name, &[("layer", "coordinator")])
+                })
+                .unwrap_or(0)
+        };
+        // Cold query: every holding worker ships a full partial.
+        let first = match cluster.coordinator.diagnose("mail", None) {
+            Response::Report { json } => json,
+            other => panic!("unexpected response {other:?}"),
+        };
+        assert_eq!(first, reference_json(&ups, 3));
+        let cold_misses = counter("fleetd_query_cache_misses_total");
+        assert!(cold_misses > 0, "cold query must populate the cache");
+        assert_eq!(counter("fleetd_query_cache_hits_total"), 0);
+        // Warm repeat: nothing changed, so every worker answers
+        // `NotModified` and the bytes come from the coordinator cache.
+        match cluster.coordinator.diagnose("mail", None) {
+            Response::Report { json } => assert_eq!(json, first),
+            other => panic!("unexpected response {other:?}"),
+        }
+        assert_eq!(counter("fleetd_query_cache_hits_total"), cold_misses);
+        assert_eq!(counter("fleetd_query_cache_misses_total"), cold_misses);
+        // One more upload dirties exactly one shard: the next query
+        // refetches that worker's partial and reuses the others'.
+        let extra = ("u00".to_string(), fixture::payload("u00", 9001));
+        match cluster.coordinator.submit("mail", extra.1.clone()) {
+            Response::Outcome { code, .. } => {
+                assert_ne!(code, OutcomeCode::Rejected)
+            }
+            other => panic!("unexpected submit response {other:?}"),
+        }
+        ups.push(extra);
+        match cluster.coordinator.diagnose("mail", None) {
+            Response::Report { json } => {
+                assert_eq!(json, reference_json(&ups, 3))
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+        assert_eq!(
+            counter("fleetd_query_cache_misses_total"),
+            cold_misses + 1,
+            "only the dirtied shard may resend its partial"
+        );
+        assert_eq!(
+            counter("fleetd_query_cache_hits_total"),
+            cold_misses + (cold_misses - 1),
+        );
+        // The coordinator's stats document exposes the same counters.
+        let stats = cluster.coordinator.stats_json();
+        assert!(stats.contains("\"query_cache\""), "{stats}");
+    }
+
+    #[test]
+    fn a_cache_disabled_coordinator_answers_identically() {
+        let cached = cluster(3);
+        let plain = cluster_with(
+            CoordinatorConfig {
+                fleet: FleetConfig {
+                    query_cache: false,
+                    ..FleetConfig::default()
+                },
+                ..test_config()
+            },
+            3,
+        );
+        let ups = uploads(21);
+        drive(&cached, &ups);
+        drive(&plain, &ups);
+        let answer =
+            |c: &TestCluster| match c.coordinator.diagnose("mail", None) {
+                Response::Report { json } => json,
+                other => panic!("unexpected response {other:?}"),
+            };
+        // Two rounds: the cached cluster's second answer rides
+        // NotModified; the plain cluster never sends a token.
+        for _ in 0..2 {
+            assert_eq!(answer(&cached), answer(&plain));
+        }
+        let plain_counters = plain
+            .coordinator
+            .metrics()
+            .registry()
+            .and_then(|r| {
+                r.counter_value(
+                    "fleetd_query_cache_misses_total",
+                    &[("layer", "coordinator")],
+                )
+            })
+            .unwrap_or(0);
+        assert_eq!(plain_counters, 0, "disabled cache must not count");
     }
 }

@@ -150,6 +150,21 @@ pub enum Request {
     /// Cluster: cheap accepted/quarantined totals, used as the health
     /// probe and the staleness check before a handoff.
     Counts,
+    /// Cluster: like [`Request::Partial`], but carrying the
+    /// coordinator's last-seen `(epoch, incarnation, generation)`
+    /// token for this app. A worker whose state still matches the
+    /// token answers [`Response::PartialNotModified`] — a few bytes
+    /// instead of a full partial — so a dashboard polling an idle
+    /// fleet pays wire cost proportional to what changed.
+    PartialSince {
+        /// The app whose partial is wanted.
+        app: String,
+        /// Epoch id; `None` = the current epoch.
+        epoch: Option<u64>,
+        /// Last-seen `(epoch, incarnation, generation)` from a prior
+        /// [`Response::PartialState`]; `None` on a cold coordinator.
+        token: Option<(u64, u64, u64)>,
+    },
 }
 
 /// Coarse submit outcome carried over the wire. Repairs and salvage
@@ -258,6 +273,29 @@ pub enum Response {
         missing: Vec<u32>,
         /// Canonical-JSON report over the surviving shards.
         json: String,
+    },
+    /// Cluster: the worker's state still matches the token a
+    /// [`Request::PartialSince`] carried — the coordinator's cached
+    /// partial is current, so no partial rides the wire.
+    PartialNotModified {
+        /// The resolved epoch id the token validated against.
+        epoch: u64,
+    },
+    /// Cluster: a versioned partial answering
+    /// [`Request::PartialSince`] — [`Response::Partial`] plus the
+    /// `(incarnation, generation)` the coordinator should present as
+    /// its token next time.
+    PartialState {
+        /// Whether the worker holds the app/epoch at all.
+        status: PartialStatus,
+        /// The resolved epoch id (0 unless `status` is `Found`).
+        epoch: u64,
+        /// The worker state's incarnation nonce (0 unless `Found`).
+        incarnation: u64,
+        /// The epoch's generation at fold time (0 unless `Found`).
+        generation: u64,
+        /// The folded, locally-offset partial (empty unless `Found`).
+        partial: ShardPartial,
     },
 }
 
@@ -420,6 +458,26 @@ impl Request {
                 12
             }
             Request::Counts => 13,
+            Request::PartialSince { app, epoch, token } => {
+                w.str(app);
+                match epoch {
+                    Some(e) => {
+                        w.u8(1);
+                        w.u64(*e);
+                    }
+                    None => w.u8(0),
+                }
+                match token {
+                    Some((known_epoch, incarnation, generation)) => {
+                        w.u8(1);
+                        w.u64(*known_epoch);
+                        w.u64(*incarnation);
+                        w.u64(*generation);
+                    }
+                    None => w.u8(0),
+                }
+                14
+            }
         };
         frame(kind, &w.into_vec())
     }
@@ -466,6 +524,24 @@ impl Request {
                 data: r.bytes("checkpoint data")?,
             },
             13 => Request::Counts,
+            14 => {
+                let app = r.str("app")?;
+                let epoch = if r.u8("epoch flag")? != 0 {
+                    Some(r.u64("epoch")?)
+                } else {
+                    None
+                };
+                let token = if r.u8("token flag")? != 0 {
+                    Some((
+                        r.u64("known epoch")?,
+                        r.u64("incarnation")?,
+                        r.u64("generation")?,
+                    ))
+                } else {
+                    None
+                };
+                Request::PartialSince { app, epoch, token }
+            }
             k => return Err(ProtocolError::UnknownKind(k)),
         };
         expect_drained(&r)?;
@@ -549,6 +625,28 @@ impl Response {
                 }
                 w.str(json);
                 13
+            }
+            Response::PartialNotModified { epoch } => {
+                w.u64(*epoch);
+                14
+            }
+            Response::PartialState {
+                status,
+                epoch,
+                incarnation,
+                generation,
+                partial,
+            } => {
+                w.u8(match status {
+                    PartialStatus::Found => 0,
+                    PartialStatus::UnknownApp => 1,
+                    PartialStatus::UnknownEpoch => 2,
+                });
+                w.u64(*epoch);
+                w.u64(*incarnation);
+                w.u64(*generation);
+                crate::checkpoint::write_partial(&mut w, partial);
+                15
             }
         };
         frame(kind, &w.into_vec())
@@ -636,6 +734,33 @@ impl Response {
                     json: r.str("json")?,
                 }
             }
+            14 => Response::PartialNotModified {
+                epoch: r.u64("epoch")?,
+            },
+            15 => {
+                let status = match r.u8("partial status")? {
+                    0 => PartialStatus::Found,
+                    1 => PartialStatus::UnknownApp,
+                    2 => PartialStatus::UnknownEpoch,
+                    s => {
+                        return Err(ProtocolError::Malformed(format!(
+                            "unknown partial status {s}"
+                        )))
+                    }
+                };
+                let epoch = r.u64("epoch")?;
+                let incarnation = r.u64("incarnation")?;
+                let generation = r.u64("generation")?;
+                let partial = crate::checkpoint::read_partial(&mut r)
+                    .map_err(|e| ProtocolError::Malformed(e.to_string()))?;
+                Response::PartialState {
+                    status,
+                    epoch,
+                    incarnation,
+                    generation,
+                    partial,
+                }
+            }
             k => return Err(ProtocolError::UnknownKind(k)),
         };
         expect_drained(&r)?;
@@ -699,6 +824,16 @@ mod tests {
                 data: vec![9, 8, 7, 6],
             },
             Request::Counts,
+            Request::PartialSince {
+                app: "maps".into(),
+                epoch: Some(2),
+                token: Some((2, 77, 5)),
+            },
+            Request::PartialSince {
+                app: "maps".into(),
+                epoch: None,
+                token: None,
+            },
         ]
     }
 
@@ -753,6 +888,21 @@ mod tests {
             Response::Degraded {
                 missing: vec![],
                 json: "{}".into(),
+            },
+            Response::PartialNotModified { epoch: 3 },
+            Response::PartialState {
+                status: PartialStatus::Found,
+                epoch: 3,
+                incarnation: 77,
+                generation: 5,
+                partial: sample_partial(),
+            },
+            Response::PartialState {
+                status: PartialStatus::UnknownApp,
+                epoch: 0,
+                incarnation: 0,
+                generation: 0,
+                partial: ShardPartial::empty(),
             },
         ]
     }

@@ -252,6 +252,28 @@ impl FleetdHandle {
                     w.u64(e.seq);
                 });
             });
+            // Rendered here (not in `FleetState::write_stats`) so the
+            // state's own stats document stays cache-agnostic: the
+            // diff harness compares it across cached and cache-
+            // disabled runs byte for byte.
+            let cache = state.query_cache_stats();
+            w.key("query_cache");
+            w.obj(|w| {
+                for (layer, s) in [("segment", &cache[1]), ("state", &cache[0])]
+                {
+                    w.key(layer);
+                    w.obj(|w| {
+                        w.key("bytes");
+                        w.usize(s.bytes);
+                        w.key("evictions");
+                        w.u64(s.evictions);
+                        w.key("hits");
+                        w.u64(s.hits);
+                        w.key("misses");
+                        w.u64(s.misses);
+                    });
+                }
+            });
             w.key("queue");
             w.obj(|w| {
                 w.key("depth");
@@ -365,6 +387,21 @@ impl FleetdHandle {
         relock(&self.state).epoch_partial(app, epoch)
     }
 
+    /// Generation-conditional partial lookup — answers `Unchanged`
+    /// when the caller's token still names the epoch's content.
+    ///
+    /// # Errors
+    ///
+    /// As [`FleetState::epoch_partial_since`].
+    pub fn epoch_partial_since(
+        &self,
+        app: &str,
+        epoch: Option<u64>,
+        token: Option<(u64, u64, u64)>,
+    ) -> Result<crate::state::PartialSinceOutcome, QueryError> {
+        relock(&self.state).epoch_partial_since(app, epoch, token)
+    }
+
     /// Serializes the current state as checkpoint bytes (for
     /// coordinator-side replication; works without a state dir).
     pub fn checkpoint_data(&self) -> Vec<u8> {
@@ -393,6 +430,11 @@ impl FleetdHandle {
         // files spilled since must not be rewritten under them.
         state.next_spill_seq =
             state.next_spill_seq.max(restored.next_spill_seq);
+        // The installed data is new content under old epoch ids:
+        // cached folds and any token a coordinator still holds must
+        // stop validating, so drop the cache and adopt a fresh
+        // incarnation.
+        state.invalidate_query_cache();
         self.metrics.inc("fleetd_checkpoint_installs_total", &[]);
         Ok(())
     }
@@ -455,6 +497,7 @@ pub fn render_metrics(
     if let Some(age) = checkpoint_age_seconds {
         metrics.set_gauge("fleetd_checkpoint_age_seconds", &[], age);
     }
+    state.update_cache_gauges();
     match metrics.registry() {
         Some(reg) => reg.render_prometheus(),
         None => String::new(),
@@ -476,6 +519,7 @@ fn request_kind(req: &Request) -> &'static str {
         Request::FetchCheckpoint => "fetch_checkpoint",
         Request::InstallCheckpoint { .. } => "install_checkpoint",
         Request::Counts => "counts",
+        Request::PartialSince { .. } => "partial_since",
     }
 }
 
@@ -566,6 +610,45 @@ fn dispatch(handle: &FleetdHandle, req: Request) -> Response {
             Response::Counts {
                 accepted: accepted as u64,
                 quarantined: quarantined as u64,
+            }
+        }
+        Request::PartialSince { app, epoch, token } => {
+            use crate::state::PartialSinceOutcome;
+            match handle.epoch_partial_since(&app, epoch, token) {
+                Ok(PartialSinceOutcome::Unchanged { epoch }) => {
+                    Response::PartialNotModified { epoch }
+                }
+                Ok(PartialSinceOutcome::Changed {
+                    epoch,
+                    incarnation,
+                    generation,
+                    partial,
+                }) => Response::PartialState {
+                    status: crate::protocol::PartialStatus::Found,
+                    epoch,
+                    incarnation,
+                    generation,
+                    partial,
+                },
+                Err(QueryError::UnknownApp(_)) => Response::PartialState {
+                    status: crate::protocol::PartialStatus::UnknownApp,
+                    epoch: 0,
+                    incarnation: 0,
+                    generation: 0,
+                    partial: energydx::ShardPartial::empty(),
+                },
+                Err(QueryError::UnknownEpoch { .. }) => {
+                    Response::PartialState {
+                        status: crate::protocol::PartialStatus::UnknownEpoch,
+                        epoch: 0,
+                        incarnation: 0,
+                        generation: 0,
+                        partial: energydx::ShardPartial::empty(),
+                    }
+                }
+                Err(e) => Response::Error {
+                    message: e.to_string(),
+                },
             }
         }
     }

@@ -23,7 +23,7 @@
 use crate::convert;
 use crate::spill::{self, SpillConfig, SpilledRun};
 use energydx::report::DiagnosisReport;
-use energydx::shard::{ShardPartial, StreamingFold};
+use energydx::shard::{AnalyzedFleet, ShardPartial, StreamingFold};
 use energydx::{AnalysisConfig, EnergyDx, JsonWriter};
 use energydx_obsv::{EventKind, Metrics, MetricsRegistry};
 use energydx_trace::repair::RepairPolicy;
@@ -32,7 +32,8 @@ use energydx_trace::store::{
 };
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 /// Everything that parameterizes the analysis a daemon serves.
 #[derive(Debug, Clone)]
@@ -50,6 +51,11 @@ pub struct FleetConfig {
     /// resident delta state exceeds the budget. `None` keeps
     /// everything resident (and the state free of I/O).
     pub spill: Option<SpillConfig>,
+    /// Generation-keyed memoization of query results (folds, analyzed
+    /// fleets, per-segment partials). Purely an optimization: every
+    /// cached answer is byte-identical to the re-computed one, which
+    /// the diff harness proves against `query_cache: false` states.
+    pub query_cache: bool,
 }
 
 impl Default for FleetConfig {
@@ -62,13 +68,14 @@ impl Default for FleetConfig {
             repair: RepairPolicy::default(),
             compact_every: 16,
             spill: None,
+            query_cache: true,
         }
     }
 }
 
 /// One epoch of one app: the accepted traces as mergeable deltas plus
 /// the bookkeeping that makes re-submission and audit possible.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default)]
 pub struct EpochState {
     /// Un-merged partials, in accept order. Compaction collapses the
     /// list to one canonical partial; by associativity the fold value
@@ -88,6 +95,30 @@ pub struct EpochState {
     /// resident deltas' in global offset order, so a query folds
     /// spilled runs first, then the deltas.
     pub(crate) spilled: Vec<SpilledRun>,
+    /// Monotone mutation stamp, bumped (from the state's shared
+    /// generation clock) on every accepted upload, compaction,
+    /// rollover, and spill. Within one state incarnation a given
+    /// `(app, epoch, generation)` triple names exactly one content —
+    /// the key the query caches and the cluster delta protocol hang
+    /// off. Scheduling state, like `touch`: never checkpointed, never
+    /// part of an answer.
+    pub(crate) generation: u64,
+}
+
+/// Equality is over *content* only: `generation` is an
+/// incarnation-scoped cache stamp (a restored state legitimately
+/// restarts it at zero), so two epochs holding the same traces are
+/// equal whatever their mutation histories were.
+impl PartialEq for EpochState {
+    fn eq(&self, other: &Self) -> bool {
+        self.deltas == other.deltas
+            && self.trace_count == other.trace_count
+            && self.seen == other.seen
+            && self.clean == other.clean
+            && self.recovered == other.recovered
+            && self.quarantine == other.quarantine
+            && self.spilled == other.spilled
+    }
 }
 
 impl EpochState {
@@ -133,6 +164,11 @@ impl EpochState {
     /// Traces held in spilled segments (always a prefix of the epoch).
     pub fn spilled_traces(&self) -> usize {
         self.spilled.iter().map(SpilledRun::traces).sum()
+    }
+
+    /// The epoch's current mutation stamp (see the field doc).
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Approximate bytes the resident deltas cost
@@ -225,6 +261,189 @@ impl fmt::Display for QueryError {
 
 impl std::error::Error for QueryError {}
 
+/// Outcome of a generation-conditional partial query — the worker
+/// half of the cluster delta protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PartialSinceOutcome {
+    /// The caller's `(epoch, incarnation, generation)` token still
+    /// names the epoch's current content: nothing to resend.
+    Unchanged {
+        /// The resolved epoch id.
+        epoch: u64,
+    },
+    /// The content changed (or the caller held no valid token): the
+    /// full partial plus the token that now names it.
+    Changed {
+        /// The resolved epoch id.
+        epoch: u64,
+        /// The state incarnation the generation is scoped to.
+        incarnation: u64,
+        /// The epoch's current generation.
+        generation: u64,
+        /// The folded partial.
+        partial: ShardPartial,
+    },
+}
+
+/// Cache layers the daemon instruments separately.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CacheLayer {
+    /// Fold + analyzed-fleet memoization keyed by generation.
+    State,
+    /// Per-spilled-segment folded partials keyed by sequence number.
+    Segment,
+}
+
+impl CacheLayer {
+    fn label(self) -> &'static str {
+        match self {
+            CacheLayer::State => "state",
+            CacheLayer::Segment => "segment",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            CacheLayer::State => 0,
+            CacheLayer::Segment => 1,
+        }
+    }
+}
+
+/// A cached [`StreamingFold`] prefix for one epoch: any query whose
+/// epoch still starts with the same accepted traces can clone it and
+/// absorb only the suffix.
+#[derive(Debug)]
+struct FoldEntry {
+    fold: StreamingFold,
+    bytes: usize,
+    last_used: u64,
+}
+
+/// A cached [`AnalyzedFleet`], valid only at the exact generation it
+/// was computed at (analysis is a function of the *whole* epoch).
+/// The rendered canonical JSON rides along once a `diagnose_json`
+/// has paid for it, so a dashboard's repeat poll is a string clone.
+#[derive(Debug)]
+struct AnalyzedEntry {
+    generation: u64,
+    fleet: AnalyzedFleet,
+    json: Option<String>,
+    bytes: usize,
+    last_used: u64,
+}
+
+/// A cached folded partial of one spilled segment file, so a spilled
+/// epoch pays disk + decode once, not per query. Keyed by sequence
+/// number; the recorded file size must still match the [`SpilledRun`]
+/// (segment files are immutable once written and sequence numbers are
+/// never reused while referenced).
+#[derive(Debug)]
+struct SegmentEntry {
+    file_bytes: u64,
+    partial: ShardPartial,
+    bytes: usize,
+    last_used: u64,
+}
+
+/// Hit/miss/eviction counters for one cache layer — kept inside the
+/// cache (not only in the metrics registry) so `query --stats` can
+/// render them deterministically.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheLayerStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to recompute.
+    pub misses: u64,
+    /// Entries dropped to stay under the memory budget.
+    pub evictions: u64,
+    /// Bytes currently held, by `approx_bytes` accounting.
+    pub bytes: usize,
+}
+
+/// All query caches, behind one mutex so `&self` queries can memoize.
+/// Purely derived data: dropping any entry (or the whole cache) never
+/// changes an answer, only its cost — which is why it is not
+/// checkpointed and a restart simply starts cold.
+#[derive(Debug, Default)]
+struct QueryCache {
+    /// Per app, per epoch id: the fold prefix.
+    folds: BTreeMap<String, BTreeMap<u64, FoldEntry>>,
+    /// Per app, per epoch id: the analyzed fleet.
+    analyzed: BTreeMap<String, BTreeMap<u64, AnalyzedEntry>>,
+    /// Per spill sequence number: the segment's folded partial.
+    segments: BTreeMap<u64, SegmentEntry>,
+    /// LRU clock feeding `last_used`.
+    clock: u64,
+    /// Counters indexed by [`CacheLayer::index`].
+    stats: [CacheLayerStats; 2],
+}
+
+impl QueryCache {
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    fn state_bytes(&self) -> usize {
+        let folds: usize = self
+            .folds
+            .values()
+            .flat_map(|m| m.values())
+            .map(|e| e.bytes)
+            .sum();
+        let analyzed: usize = self
+            .analyzed
+            .values()
+            .flat_map(|m| m.values())
+            .map(|e| e.bytes)
+            .sum();
+        folds + analyzed
+    }
+
+    fn segment_bytes(&self) -> usize {
+        self.segments.values().map(|e| e.bytes).sum()
+    }
+
+    fn total_bytes(&self) -> usize {
+        self.state_bytes() + self.segment_bytes()
+    }
+
+    /// The least-recently-used entry across all three maps, as a
+    /// deterministic victim descriptor.
+    fn coldest(&self) -> Option<CacheVictim> {
+        let folds = self.folds.iter().flat_map(|(app, m)| {
+            m.iter().map(move |(&id, e)| {
+                (e.last_used, CacheVictim::Fold(app.clone(), id))
+            })
+        });
+        let analyzed = self.analyzed.iter().flat_map(|(app, m)| {
+            m.iter().map(move |(&id, e)| {
+                (e.last_used, CacheVictim::Analyzed(app.clone(), id))
+            })
+        });
+        let segments = self
+            .segments
+            .iter()
+            .map(|(&seq, e)| (e.last_used, CacheVictim::Segment(seq)));
+        folds
+            .chain(analyzed)
+            .chain(segments)
+            .min_by(|a, b| a.cmp(b))
+            .map(|(_, victim)| victim)
+    }
+}
+
+/// Addresses one evictable cache entry. The enum order is the
+/// tie-break on equal `last_used` stamps, making eviction a total
+/// (deterministic) order.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+enum CacheVictim {
+    Fold(String, u64),
+    Analyzed(String, u64),
+    Segment(u64),
+}
+
 /// The daemon's resident state: per-app epoch state plus the shared
 /// analysis pipeline. Purely deterministic; all I/O lives elsewhere.
 #[derive(Debug)]
@@ -244,11 +463,33 @@ pub struct FleetState {
     pub(crate) touch: BTreeMap<String, u64>,
     /// Logical clock feeding `touch`.
     pub(crate) clock: u64,
+    /// Logical clock feeding epoch generations: one shared counter,
+    /// so every generation value is issued at most once per state and
+    /// `(epoch id, generation)` never aliases two contents.
+    pub(crate) generation_clock: u64,
+    /// Process-unique state identity. Generations are only comparable
+    /// within one incarnation; a restore or checkpoint install gets a
+    /// fresh one, so a peer holding `(incarnation, generation)` tokens
+    /// can never mistake replaced state for unchanged state.
+    pub(crate) incarnation: u64,
+    /// Memoized query results (see [`QueryCache`]). Interior
+    /// mutability: queries take `&self` and stay pure — the cache
+    /// changes their cost, never their bytes.
+    cache: Mutex<QueryCache>,
     /// Test lever: panic just before the commit point of the next
     /// accepted upload, to prove a mid-ingest panic leaves no torn
     /// state (mirrors `ingest_delay_ms` on the server side).
     #[cfg(test)]
     pub(crate) sabotage_before_commit: bool,
+}
+
+/// Issues process-unique state incarnations. Seeded with the process
+/// id in the high bits so tokens from daemons in different processes
+/// (the TCP cluster) do not collide either.
+pub(crate) fn next_incarnation() -> u64 {
+    static COUNTER: AtomicU64 = AtomicU64::new(1);
+    (u64::from(std::process::id()) << 32)
+        ^ COUNTER.fetch_add(1, Ordering::Relaxed)
 }
 
 impl FleetState {
@@ -276,9 +517,143 @@ impl FleetState {
             next_spill_seq: 0,
             touch: BTreeMap::new(),
             clock: 0,
+            generation_clock: 0,
+            incarnation: next_incarnation(),
+            cache: Mutex::new(QueryCache::default()),
             #[cfg(test)]
             sabotage_before_commit: false,
         }
+    }
+
+    /// Poison-tolerant cache access: the cache is derived data, so a
+    /// panic while it was held leaves nothing worth refusing over.
+    fn cache(&self) -> MutexGuard<'_, QueryCache> {
+        self.cache.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The state's process-unique incarnation (scopes generations).
+    pub fn incarnation(&self) -> u64 {
+        self.incarnation
+    }
+
+    /// Drops every cached query result and adopts a fresh incarnation.
+    /// Called when state is replaced wholesale (checkpoint install):
+    /// generation tokens issued before this moment must never validate
+    /// against the new content.
+    pub fn invalidate_query_cache(&mut self) {
+        *self.cache() = QueryCache::default();
+        self.incarnation = next_incarnation();
+    }
+
+    /// Bytes currently held by the query caches, by `approx_bytes`
+    /// accounting — counted against the spill budget alongside
+    /// [`FleetState::resident_bytes`].
+    pub fn cache_bytes(&self) -> usize {
+        self.cache().total_bytes()
+    }
+
+    /// Per-layer cache counters: `[state, segment]`.
+    pub fn query_cache_stats(&self) -> [CacheLayerStats; 2] {
+        let mut cache = self.cache();
+        cache.stats[CacheLayer::State.index()].bytes = cache.state_bytes();
+        cache.stats[CacheLayer::Segment.index()].bytes = cache.segment_bytes();
+        cache.stats
+    }
+
+    fn count_cache(&self, layer: CacheLayer, hit: bool) {
+        {
+            let mut cache = self.cache();
+            let stats = &mut cache.stats[layer.index()];
+            if hit {
+                stats.hits += 1;
+            } else {
+                stats.misses += 1;
+            }
+        }
+        let family = if hit {
+            "fleetd_query_cache_hits_total"
+        } else {
+            "fleetd_query_cache_misses_total"
+        };
+        self.metrics.inc(family, &[("layer", layer.label())]);
+    }
+
+    /// Evicts least-recently-used cache entries until the cache fits
+    /// `limit` bytes. Derived data only — eviction is free, which is
+    /// why the cache always shrinks before any epoch pays disk I/O.
+    fn trim_cache(&self, limit: usize) {
+        loop {
+            let evicted_layer = {
+                let mut cache = self.cache();
+                if cache.total_bytes() <= limit {
+                    return;
+                }
+                let Some(victim) = cache.coldest() else {
+                    return;
+                };
+                let layer = match &victim {
+                    CacheVictim::Fold(app, id) => {
+                        let entries =
+                            cache.folds.get_mut(app).expect("victim exists");
+                        entries.remove(id);
+                        if entries.is_empty() {
+                            cache.folds.remove(app);
+                        }
+                        CacheLayer::State
+                    }
+                    CacheVictim::Analyzed(app, id) => {
+                        let entries =
+                            cache.analyzed.get_mut(app).expect("victim exists");
+                        entries.remove(id);
+                        if entries.is_empty() {
+                            cache.analyzed.remove(app);
+                        }
+                        CacheLayer::State
+                    }
+                    CacheVictim::Segment(seq) => {
+                        cache.segments.remove(seq);
+                        CacheLayer::Segment
+                    }
+                };
+                cache.stats[layer.index()].evictions += 1;
+                layer
+            };
+            self.metrics.inc(
+                "fleetd_query_cache_evictions_total",
+                &[("layer", evicted_layer.label())],
+            );
+        }
+    }
+
+    /// Re-establishes `resident + cache <= budget` after a cache
+    /// insert, by eviction only (queries hold `&self` and cannot
+    /// spill). No spill config means no budget: the cache is bounded
+    /// by the fleet it mirrors, exactly like resident state.
+    fn trim_cache_to_budget(&self) {
+        if let Some(cfg) = &self.config.spill {
+            self.trim_cache(
+                cfg.mem_budget.saturating_sub(self.resident_bytes()),
+            );
+        }
+        self.update_cache_gauges();
+    }
+
+    /// Refreshes the per-layer `fleetd_query_cache_bytes` gauges.
+    pub(crate) fn update_cache_gauges(&self) {
+        let (state, segment) = {
+            let cache = self.cache();
+            (cache.state_bytes(), cache.segment_bytes())
+        };
+        self.metrics.set_gauge(
+            "fleetd_query_cache_bytes",
+            &[("layer", "state")],
+            state as f64,
+        );
+        self.metrics.set_gauge(
+            "fleetd_query_cache_bytes",
+            &[("layer", "segment")],
+            segment as f64,
+        );
     }
 
     /// The configuration the state was built with.
@@ -412,10 +787,14 @@ impl FleetState {
                 // panic above leaves the epoch exactly as if this
                 // upload never arrived — the atomicity the server's
                 // ingest catch_unwind relies on to keep a surviving
-                // daemon byte-identical to the batch reference.
+                // daemon byte-identical to the batch reference. The
+                // generation bump sits with the commit, so a panicking
+                // upload never invalidates (or aliases) a cache key.
                 epoch.seen.insert(key);
                 epoch.trace_count += 1;
                 epoch.deltas.push(delta);
+                self.generation_clock += 1;
+                epoch.generation = self.generation_clock;
                 let outcome = if repairs.is_empty() && salvage.is_none() {
                     epoch.clean += 1;
                     self.metrics
@@ -441,6 +820,8 @@ impl FleetState {
                     );
                     match compacted {
                         Ok(true) => {
+                            self.generation_clock += 1;
+                            epoch.generation = self.generation_clock;
                             self.metrics.inc("fleetd_compactions_total", &[]);
                             self.metrics.event(
                                 EventKind::Compaction,
@@ -464,12 +845,18 @@ impl FleetState {
     /// guarantees queries before and after compaction are
     /// byte-identical.
     pub fn compact(&mut self) -> usize {
-        let compacted: usize = self
-            .apps
-            .values_mut()
-            .flat_map(|a| a.epochs.values_mut())
-            .map(|e| usize::from(e.compact()))
-            .sum();
+        let mut compacted = 0;
+        let mut clock = self.generation_clock;
+        for a in self.apps.values_mut() {
+            for e in a.epochs.values_mut() {
+                if e.compact() {
+                    compacted += 1;
+                    clock += 1;
+                    e.generation = clock;
+                }
+            }
+        }
+        self.generation_clock = clock;
         if compacted > 0 {
             self.metrics
                 .add("fleetd_compactions_total", &[], compacted as u64);
@@ -537,6 +924,10 @@ impl FleetState {
     }
 
     fn spill_until(&mut self, cfg: &SpillConfig, budget: usize) -> usize {
+        // Cached query results count against the same budget, and they
+        // are the cheapest thing to shed: purely derived, so they are
+        // evicted (coldest first) before any epoch pays disk I/O.
+        self.trim_cache(budget.saturating_sub(self.resident_bytes()));
         let mut spilled = 0;
         while self.resident_bytes() > budget {
             let Some((app, id)) = self.spill_victim() else {
@@ -548,6 +939,7 @@ impl FleetState {
             spilled += 1;
         }
         self.update_spill_gauges();
+        self.update_cache_gauges();
         spilled
     }
 
@@ -614,6 +1006,8 @@ impl FleetState {
                     bytes,
                 });
                 epoch.deltas.clear();
+                self.generation_clock += 1;
+                epoch.generation = self.generation_clock;
                 self.metrics.inc("fleetd_spills_total", &[]);
                 self.metrics.event(
                     EventKind::Spill,
@@ -655,8 +1049,81 @@ impl FleetState {
     /// Every segment is re-validated against its recorded trace count
     /// and offset range before it is absorbed, so damage surfaces as
     /// [`QueryError::Storage`] rather than a panic or a wrong answer.
-    fn epoch_fold(&self, e: &EpochState) -> Result<StreamingFold, QueryError> {
-        let mut fold = StreamingFold::new();
+    ///
+    /// With the query cache on, the fold resumes from the cached
+    /// prefix for this `(app, epoch)` — epochs are append-only, so a
+    /// fold over the first `k` accepted traces stays a valid prefix of
+    /// every later fold, and only the suffix is absorbed. Absorb order
+    /// is identical either way, so by PR 7's run-merge law the result
+    /// is bit-identical to folding from scratch. Segment loads go
+    /// through the per-segment partial cache and uncached files are
+    /// read in parallel (`par_map`, honoring `ENERGYDX_JOBS`); the
+    /// absorbs themselves stay sequential, in accept order.
+    fn epoch_fold(
+        &self,
+        app: &str,
+        id: u64,
+        e: &EpochState,
+    ) -> Result<StreamingFold, QueryError> {
+        let cached = if self.config.query_cache {
+            let entry = {
+                let mut cache = self.cache();
+                let stamp = cache.tick();
+                cache
+                    .folds
+                    .get_mut(app)
+                    .and_then(|entries| entries.get_mut(&id))
+                    .map(|entry| {
+                        entry.last_used = stamp;
+                        entry.fold.clone()
+                    })
+            };
+            self.count_cache(CacheLayer::State, entry.is_some());
+            entry
+        } else {
+            None
+        };
+        let seed = cached.unwrap_or_default();
+        let fold = match self.fold_onto(e, seed)? {
+            Some(fold) => fold,
+            // The cached prefix no longer lines up with a run/delta
+            // boundary (a spill or compaction merged across it):
+            // refold from scratch. An empty seed always aligns.
+            None => self
+                .fold_onto(e, StreamingFold::new())?
+                .expect("an empty fold prefix always aligns"),
+        };
+        if self.config.query_cache {
+            let bytes = fold.approx_bytes();
+            let mut cache = self.cache();
+            let stamp = cache.tick();
+            cache.folds.entry(app.to_string()).or_default().insert(
+                id,
+                FoldEntry {
+                    fold: fold.clone(),
+                    bytes,
+                    last_used: stamp,
+                },
+            );
+            drop(cache);
+            self.trim_cache_to_budget();
+        }
+        Ok(fold)
+    }
+
+    /// Extends `fold` (a possibly-empty cached prefix of the epoch's
+    /// accept order) with every spilled run and resident delta beyond
+    /// it. Returns `Ok(None)` when the prefix does not line up with a
+    /// run/delta boundary and the caller must refold from scratch.
+    fn fold_onto(
+        &self,
+        e: &EpochState,
+        mut fold: StreamingFold,
+    ) -> Result<Option<StreamingFold>, QueryError> {
+        let covered = fold.partial().end_offset();
+        if covered > e.trace_count {
+            return Ok(None);
+        }
         if !e.spilled.is_empty() {
             let cfg = self.config.spill.as_ref().ok_or_else(|| {
                 QueryError::Storage(
@@ -665,16 +1132,54 @@ impl FleetState {
                         .to_string(),
                 )
             })?;
-            for run in &e.spilled {
-                let path = spill::segment_path(&cfg.dir, run.seq);
-                let partial =
-                    energydx_segment::load_from(&path).map_err(|err| {
+            // First pass: the expected offset of every run, which runs
+            // the prefix already covers, and which need a disk read.
+            let mut pending: Vec<(usize, &SpilledRun, usize)> = Vec::new();
+            let mut to_load: Vec<(usize, std::path::PathBuf)> = Vec::new();
+            let mut start = 0;
+            for (i, run) in e.spilled.iter().enumerate() {
+                let end = start + run.traces;
+                if end <= covered {
+                    start = end;
+                    continue;
+                }
+                if start < covered {
+                    return Ok(None);
+                }
+                if self.cached_segment(run).is_none() {
+                    to_load.push((i, spill::segment_path(&cfg.dir, run.seq)));
+                }
+                pending.push((i, run, start));
+                start = end;
+            }
+            // Uncached segments are independent until the absorb:
+            // read and decode them in parallel.
+            let jobs = energydx::par::resolve_jobs(self.config.jobs);
+            let loaded: Vec<Result<ShardPartial, QueryError>> =
+                energydx::par::par_map(&to_load, jobs, |_, (_, path)| {
+                    energydx_segment::load_from(path).map_err(|err| {
                         QueryError::Storage(format!(
                             "{}: {err}",
                             path.display()
                         ))
-                    })?;
-                let start = fold.partial().end_offset();
+                    })
+                });
+            let mut loaded: BTreeMap<usize, Result<ShardPartial, QueryError>> =
+                to_load.iter().map(|(i, _)| *i).zip(loaded).collect();
+            // Second pass, sequential and in accept order: validate
+            // each run against its recorded shape and absorb it.
+            for (i, run, start) in pending {
+                let (partial, from_disk) = match self.cached_segment(run) {
+                    Some(partial) => (partial, false),
+                    None => (
+                        loaded
+                            .remove(&i)
+                            .expect("every uncached run was loaded")?,
+                        true,
+                    ),
+                };
+                self.count_cache(CacheLayer::Segment, !from_disk);
+                let path = spill::segment_path(&cfg.dir, run.seq);
                 if partial.trace_count() != run.traces
                     || partial.start_offset() != start
                     || partial.end_offset() != start + run.traces
@@ -689,25 +1194,71 @@ impl FleetState {
                         start,
                     )));
                 }
+                if from_disk {
+                    self.metrics.inc("fleetd_foldbacks_total", &[]);
+                    if self.config.query_cache {
+                        let bytes = partial.approx_bytes();
+                        let mut cache = self.cache();
+                        let stamp = cache.tick();
+                        cache.segments.insert(
+                            run.seq,
+                            SegmentEntry {
+                                file_bytes: run.bytes,
+                                partial: partial.clone(),
+                                bytes,
+                                last_used: stamp,
+                            },
+                        );
+                    }
+                }
                 fold.absorb(partial);
-                self.metrics.inc("fleetd_foldbacks_total", &[]);
+            }
+            if self.config.query_cache {
+                self.trim_cache_to_budget();
             }
         }
         for delta in &e.deltas {
+            let covered = fold.partial().end_offset();
+            if delta.end_offset() <= covered {
+                continue;
+            }
+            if delta.start_offset() < covered {
+                return Ok(None);
+            }
             fold.absorb(delta.clone());
         }
-        Ok(fold)
+        Ok(Some(fold))
+    }
+
+    /// A validated cache lookup for one spilled run: the entry must
+    /// still describe the same file (size recorded at spill time).
+    fn cached_segment(&self, run: &SpilledRun) -> Option<ShardPartial> {
+        if !self.config.query_cache {
+            return None;
+        }
+        let mut cache = self.cache();
+        let stamp = cache.tick();
+        let entry = cache.segments.get_mut(&run.seq)?;
+        if entry.file_bytes != run.bytes
+            || entry.partial.trace_count() != run.traces
+        {
+            return None;
+        }
+        entry.last_used = stamp;
+        Some(entry.partial.clone())
     }
 
     /// Freezes `app`'s current epoch and opens the next one; returns
     /// the new epoch id. Frozen epochs stay queryable by id.
     pub fn rollover(&mut self, app: &str) -> u64 {
+        self.generation_clock += 1;
+        let generation = self.generation_clock;
         let state = self.apps.entry(app.to_string()).or_default();
         // Materialize the epoch being frozen even if it is empty, so
         // its id stays queryable.
         state.current_mut();
         state.current_epoch += 1;
-        state.current_mut();
+        state.current_mut().generation = generation;
         let epoch = state.current_epoch;
         self.metrics.inc("fleetd_epoch_rollovers_total", &[]);
         self.metrics
@@ -756,9 +1307,60 @@ impl FleetState {
         );
         let partial = {
             let _span = self.metrics.span("merge");
-            self.epoch_fold(self.epoch(app, Some(id))?)?.into_partial()
+            self.epoch_fold(app, id, self.epoch(app, Some(id))?)?
+                .into_partial()
         };
         Ok((id, partial))
+    }
+
+    /// The generation-conditional variant of
+    /// [`FleetState::epoch_partial`]: when the caller's
+    /// `(epoch, incarnation, generation)` token still names the
+    /// epoch's current content, answers
+    /// [`PartialSinceOutcome::Unchanged`] without folding anything —
+    /// the worker half of the cluster's delta-query protocol.
+    ///
+    /// # Errors
+    ///
+    /// As [`FleetState::epoch_partial`].
+    pub fn epoch_partial_since(
+        &self,
+        app: &str,
+        epoch: Option<u64>,
+        known: Option<(u64, u64, u64)>,
+    ) -> Result<PartialSinceOutcome, QueryError> {
+        let state = self
+            .apps
+            .get(app)
+            .ok_or_else(|| QueryError::UnknownApp(app.to_string()))?;
+        let id = epoch.unwrap_or(state.current_epoch);
+        let e =
+            state
+                .epochs
+                .get(&id)
+                .ok_or_else(|| QueryError::UnknownEpoch {
+                    app: app.to_string(),
+                    epoch: id,
+                })?;
+        if self.config.query_cache {
+            if let Some((kid, kinc, kgen)) = known {
+                if kid == id && kinc == self.incarnation && kgen == e.generation
+                {
+                    self.count_cache(CacheLayer::State, true);
+                    return Ok(PartialSinceOutcome::Unchanged { epoch: id });
+                }
+            }
+        }
+        let partial = {
+            let _span = self.metrics.span("merge");
+            self.epoch_fold(app, id, e)?.into_partial()
+        };
+        Ok(PartialSinceOutcome::Changed {
+            epoch: id,
+            incarnation: self.incarnation,
+            generation: e.generation,
+            partial,
+        })
     }
 
     /// Finishes `app`'s epoch (current when `None`) into a full
@@ -775,13 +1377,72 @@ impl FleetState {
         app: &str,
         epoch: Option<u64>,
     ) -> Result<DiagnosisReport, QueryError> {
+        let state = self
+            .apps
+            .get(app)
+            .ok_or_else(|| QueryError::UnknownApp(app.to_string()))?;
+        let id = epoch.unwrap_or(state.current_epoch);
+        let e =
+            state
+                .epochs
+                .get(&id)
+                .ok_or_else(|| QueryError::UnknownEpoch {
+                    app: app.to_string(),
+                    epoch: id,
+                })?;
+        // Generation-exact memoization of the analysis: a repeat query
+        // over unchanged content renders a clone of the cached
+        // [`AnalyzedFleet`] — same input to `render`, same bytes out —
+        // and skips the fold and Steps 2–5 entirely.
+        if self.config.query_cache {
+            let hit = {
+                let mut cache = self.cache();
+                let stamp = cache.tick();
+                cache
+                    .analyzed
+                    .get_mut(app)
+                    .and_then(|entries| entries.get_mut(&id))
+                    .filter(|entry| entry.generation == e.generation)
+                    .map(|entry| {
+                        entry.last_used = stamp;
+                        entry.fleet.clone()
+                    })
+            };
+            self.count_cache(CacheLayer::State, hit.is_some());
+            if let Some(fleet) = hit {
+                let _span = self.metrics.span("finish");
+                return Ok(self.dx.render(fleet));
+            }
+        }
+        let generation = e.generation;
         let fold = {
             let _span = self.metrics.span("merge");
-            self.epoch_fold(self.epoch(app, epoch)?)?
+            self.epoch_fold(app, id, e)?
         };
-        self.dx
-            .finish_streamed(fold)
-            .map_err(|e| QueryError::Analysis(e.to_string()))
+        let _span = self.metrics.span("finish");
+        let fleet = self
+            .dx
+            .analyze_streamed(fold)
+            .map_err(|err| QueryError::Analysis(err.to_string()))?;
+        if self.config.query_cache {
+            let bytes = fleet.approx_bytes();
+            {
+                let mut cache = self.cache();
+                let stamp = cache.tick();
+                cache.analyzed.entry(app.to_string()).or_default().insert(
+                    id,
+                    AnalyzedEntry {
+                        generation,
+                        fleet: fleet.clone(),
+                        json: None,
+                        bytes,
+                        last_used: stamp,
+                    },
+                );
+            }
+            self.trim_cache_to_budget();
+        }
+        Ok(self.dx.render(fleet))
     }
 
     /// [`FleetState::diagnose`] rendered as canonical JSON — the byte
@@ -795,7 +1456,65 @@ impl FleetState {
         app: &str,
         epoch: Option<u64>,
     ) -> Result<String, QueryError> {
-        Ok(self.diagnose(app, epoch)?.to_canonical_json())
+        if !self.config.query_cache {
+            return Ok(self.diagnose(app, epoch)?.to_canonical_json());
+        }
+        // Rendering is a pure function of the analyzed fleet, so the
+        // canonical bytes are themselves generation-keyed: a repeat
+        // poll over unchanged content is one string clone.
+        let (id, generation) = {
+            let state = self
+                .apps
+                .get(app)
+                .ok_or_else(|| QueryError::UnknownApp(app.to_string()))?;
+            let id = epoch.unwrap_or(state.current_epoch);
+            let e = state.epochs.get(&id).ok_or_else(|| {
+                QueryError::UnknownEpoch {
+                    app: app.to_string(),
+                    epoch: id,
+                }
+            })?;
+            (id, e.generation)
+        };
+        let cached_json = {
+            let mut cache = self.cache();
+            let stamp = cache.tick();
+            cache
+                .analyzed
+                .get_mut(app)
+                .and_then(|entries| entries.get_mut(&id))
+                .filter(|entry| entry.generation == generation)
+                .and_then(|entry| {
+                    entry.last_used = stamp;
+                    entry.json.clone()
+                })
+        };
+        if let Some(json) = cached_json {
+            self.count_cache(CacheLayer::State, true);
+            return Ok(json);
+        }
+        let json = self.diagnose(app, epoch)?.to_canonical_json();
+        {
+            // `diagnose` just (re)inserted the analyzed entry at this
+            // generation; attach the rendered bytes to it. A budget
+            // trim may have evicted it again — then there is simply
+            // nothing to attach to.
+            const JSON_OVERHEAD: usize = 48;
+            let mut cache = self.cache();
+            if let Some(entry) = cache
+                .analyzed
+                .get_mut(app)
+                .and_then(|entries| entries.get_mut(&id))
+                .filter(|entry| {
+                    entry.generation == generation && entry.json.is_none()
+                })
+            {
+                entry.bytes += json.len() + JSON_OVERHEAD;
+                entry.json = Some(json.clone());
+            }
+        }
+        self.trim_cache_to_budget();
+        Ok(json)
     }
 
     /// Total epochs across all apps (frozen ones included).

@@ -88,6 +88,16 @@ impl SortedGroup {
         false
     }
 
+    /// Deterministic estimate of the group's resident size in bytes,
+    /// for cache budget accounting: one `f64` plus one `u32` per
+    /// element, plus flat struct overhead. A fixed function of the
+    /// population size, so identical groups always account
+    /// identically.
+    pub fn approx_bytes(&self) -> usize {
+        const GROUP_OVERHEAD: usize = 48;
+        GROUP_OVERHEAD + self.sorted.len() * (8 + 4)
+    }
+
     /// The population in ascending order.
     pub fn sorted(&self) -> &[f64] {
         &self.sorted

@@ -9,4 +9,6 @@ for b in fig1_event_distance fig3_k9_power_trace tab2_k9_events tab3_fleet \
   echo "== $b"
   cargo run -q --release -p energydx-bench --bin "$b" > "results/$b.txt"
 done
+echo "== BENCH_query.json"
+cargo run -q --release -p energydx-bench --bin query -- --smoke --write BENCH_query.json
 echo "all results regenerated"

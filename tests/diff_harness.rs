@@ -624,6 +624,10 @@ struct ClusterUnderTest {
 }
 
 fn new_cluster(workers: usize) -> ClusterUnderTest {
+    new_cluster_with(workers, true)
+}
+
+fn new_cluster_with(workers: usize, query_cache: bool) -> ClusterUnderTest {
     let slots: Vec<WorkerSlot> = (0..workers)
         .map(|_| {
             let handle =
@@ -643,6 +647,10 @@ fn new_cluster(workers: usize) -> ClusterUnderTest {
             max_attempts: 2,
             base_backoff_ms: 0,
             max_backoff_ms: 0,
+        },
+        fleet: FleetConfig {
+            query_cache,
+            ..FleetConfig::default()
         },
         ..CoordinatorConfig::default()
     };
@@ -1101,4 +1109,263 @@ fn a_fully_spilled_daemon_equals_a_resident_one() {
         resident.diagnose_json("app", None).unwrap(),
         "residency changed the served bytes"
     );
+}
+
+// ---------------------------------------------------------------------
+// The query cache: a caching daemon and a cache-disabled daemon driven
+// in lockstep must serve byte-identical reports to each other and to
+// the batch reference at every query, under any interleaving of
+// {upload, query, compact, spill, checkpoint, kill -9 restart, query}
+// and any budget. A restart may empty the cache; it must never change
+// a query byte. The cluster variant proves the same for the delta
+// protocol: a coordinator riding `NotModified` replies answers
+// byte-identically to one that refetches every partial.
+// ---------------------------------------------------------------------
+
+/// One step of a cache-differential schedule, applied to the caching
+/// and the cache-disabled daemon in lockstep.
+#[derive(Debug, Clone, Copy)]
+enum CacheOp {
+    /// Submit payload `i` to both daemons.
+    Upload(usize),
+    /// Evict everything on both daemons.
+    Spill,
+    /// Collapse resident deltas on both daemons.
+    Compact,
+    /// Durable snapshot of both daemons (each to its own directory).
+    Checkpoint,
+    /// kill -9 both daemons: reload from disk; the caches start empty.
+    Restart,
+    /// Both daemons serve; bytes must match each other and the
+    /// reference.
+    Query,
+}
+
+/// Runs one schedule against a caching and a cache-disabled spilling
+/// daemon in lockstep, comparing the two served reports to each other
+/// and to the batch reference at every `Query` and at the end.
+fn run_cache_schedule(ops: &[CacheOp], pool: &[Vec<u8>], mem_budget: usize) {
+    let root = TempDir::new("cache");
+    let config_for = |cached: bool| {
+        let tag = if cached { "cached" } else { "plain" };
+        FleetConfig {
+            query_cache: cached,
+            spill: Some(SpillConfig {
+                dir: root.path().join(format!("spool-{tag}")),
+                mem_budget,
+            }),
+            ..FleetConfig::default()
+        }
+    };
+    let state_dir_for = |cached: bool| {
+        root.path().join(if cached {
+            "state-cached"
+        } else {
+            "state-plain"
+        })
+    };
+    let mut cached = FleetState::new(config_for(true));
+    let mut plain = FleetState::new(config_for(false));
+    let mut model = FleetModel::default();
+    let mut checkpointed: Option<FleetModel> = None;
+    let compare =
+        |cached: &FleetState, plain: &FleetState, model: &FleetModel| {
+            assert_fleet_matches_reference(cached, model);
+            assert_fleet_matches_reference(plain, model);
+            if cached.apps().contains_key("app") {
+                assert_eq!(
+                    cached.diagnose_json("app", None).unwrap(),
+                    plain.diagnose_json("app", None).unwrap(),
+                    "the cache changed the served bytes"
+                );
+            }
+        };
+    for op in ops {
+        match *op {
+            CacheOp::Upload(i) => {
+                let payload = &pool[i % pool.len()];
+                let accepted = cached.submit("app", payload).accepted();
+                assert_eq!(
+                    accepted,
+                    plain.submit("app", payload).accepted(),
+                    "the cache changed an acceptance class for payload {i}"
+                );
+                assert_eq!(
+                    accepted,
+                    model.apply(payload),
+                    "daemons and model disagree on payload {i}"
+                );
+            }
+            CacheOp::Spill => {
+                cached.spill_all();
+                plain.spill_all();
+            }
+            CacheOp::Compact => {
+                cached.compact();
+                plain.compact();
+            }
+            CacheOp::Checkpoint => {
+                save_to(&cached, &state_dir_for(true)).expect("checkpoint");
+                save_to(&plain, &state_dir_for(false)).expect("checkpoint");
+                checkpointed = Some(model.clone());
+            }
+            CacheOp::Restart => {
+                drop(cached);
+                drop(plain);
+                let reload = |is_cached: bool| {
+                    load_from(&state_dir_for(is_cached), config_for(is_cached))
+                        .expect("a checkpoint restores with its segments")
+                        .unwrap_or_else(|| {
+                            FleetState::new(config_for(is_cached))
+                        })
+                };
+                cached = reload(true);
+                plain = reload(false);
+                model = checkpointed.clone().unwrap_or_default();
+            }
+            CacheOp::Query => compare(&cached, &plain, &model),
+        }
+    }
+    compare(&cached, &plain, &model);
+}
+
+fn cache_ops() -> impl Strategy<Value = Vec<CacheOp>> {
+    // Queries are weighted heavier than in the spill schedule: the
+    // property under test is the warm path, so back-to-back queries
+    // (pure cache hits) must be common.
+    let op = (0u8..16, 0usize..12).prop_map(|(kind, i)| match kind {
+        0..=5 => CacheOp::Upload(i),
+        6 | 7 => CacheOp::Spill,
+        8 => CacheOp::Compact,
+        9 | 10 => CacheOp::Checkpoint,
+        11 => CacheOp::Restart,
+        _ => CacheOp::Query,
+    });
+    prop::collection::vec(op, 0..28)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The query-cache headline property: under **any** schedule and
+    /// **any** budget, the caching daemon and the cache-disabled
+    /// daemon serve byte-identical reports to each other and to the
+    /// batch reference — cold, warm, delta-folded, spilled, and
+    /// across kill -9 restarts.
+    #[test]
+    fn any_cache_schedule_serves_identical_bytes(
+        ops in cache_ops(),
+        budget in prop_oneof![
+            Just(0usize),
+            256usize..8192,
+            Just(usize::MAX),
+        ],
+    ) {
+        run_cache_schedule(&ops, &payload_pool(), budget);
+    }
+}
+
+/// Fixed scenario, the acceptance bar for the cache: warm repeats,
+/// a delta fold after new uploads, and a kill -9 restart (which
+/// empties the cache) all serve the same bytes as the cache-disabled
+/// daemon and the batch reference.
+#[test]
+fn a_restart_may_empty_the_cache_but_never_changes_query_bytes() {
+    let pool = payload_pool();
+    let mut ops: Vec<CacheOp> = Vec::new();
+    ops.extend((0..8).map(CacheOp::Upload));
+    ops.push(CacheOp::Query); // cold: populates the cache
+    ops.push(CacheOp::Query); // warm: pure hit
+    ops.extend((8..10).map(CacheOp::Upload));
+    ops.push(CacheOp::Query); // delta fold onto the cached prefix
+    ops.push(CacheOp::Spill);
+    ops.push(CacheOp::Query); // spilled segments, segment cache cold
+    ops.push(CacheOp::Query); // segment cache warm
+    ops.push(CacheOp::Checkpoint);
+    ops.extend((10..12).map(CacheOp::Upload)); // lost at the crash
+    ops.push(CacheOp::Restart); // kill -9: cache gone, segments on disk
+    ops.push(CacheOp::Query); // == reference as of the checkpoint
+    ops.extend((0..12).map(CacheOp::Upload)); // re-drive; dedup absorbs
+    ops.push(CacheOp::Query);
+    ops.push(CacheOp::Query);
+    run_cache_schedule(&ops, &pool, 0);
+}
+
+/// The delta-protocol acceptance bar: a cached coordinator (whose
+/// repeat queries ride `NotModified`) and a cache-disabled one (which
+/// refetches every partial) serve byte-identical answers over a
+/// 3-worker cluster — through warm repeats, a single-shard delta, and
+/// a kill -9 crash + replica handoff.
+#[test]
+fn coordinator_not_modified_replies_serve_identical_bytes() {
+    let pool = payload_pool();
+    let with_cache = new_cluster_with(3, true);
+    let without = new_cluster_with(3, false);
+    let diagnose = |c: &ClusterUnderTest| {
+        c.coordinator.handle_request(Request::Diagnose {
+            app: "app".to_string(),
+            epoch: None,
+        })
+    };
+    let both = |req: Request| {
+        (
+            with_cache.coordinator.handle_request(req.clone()),
+            without.coordinator.handle_request(req),
+        )
+    };
+    let assert_same_report =
+        || match (diagnose(&with_cache), diagnose(&without)) {
+            (Response::Report { json: a }, Response::Report { json: b }) => {
+                assert_eq!(a, b, "NotModified reuse changed the served bytes");
+            }
+            (a, b) => panic!("expected two reports, got {a:?} / {b:?}"),
+        };
+    for payload in &pool {
+        let (a, b) = both(Request::Submit {
+            app: "app".to_string(),
+            payload: payload.clone(),
+        });
+        assert_eq!(
+            format!("{a:?}"),
+            format!("{b:?}"),
+            "submit outcomes diverged"
+        );
+    }
+    assert_same_report(); // cold: full partials both sides
+    assert_same_report(); // warm: cached side rides NotModified
+    let hits = with_cache
+        .coordinator
+        .metrics()
+        .registry()
+        .and_then(|r| {
+            r.counter_value(
+                "fleetd_query_cache_hits_total",
+                &[("layer", "coordinator")],
+            )
+        })
+        .unwrap_or(0);
+    assert!(hits > 0, "the warm repeat must ride NotModified");
+    // A single new upload dirties one shard; the others stay cached.
+    let extra = fixture::payload("u99", 0);
+    let (a, b) = both(Request::Submit {
+        app: "app".to_string(),
+        payload: extra,
+    });
+    assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    assert_same_report();
+    // Replicate, kill -9 a worker, hand a blank replacement its
+    // replica: the restarted worker's cache is empty and its
+    // incarnation is fresh, so stale tokens re-fetch — identically.
+    let (a, b) = both(Request::Checkpoint);
+    assert!(matches!(a, Response::Done), "{a:?}");
+    assert!(matches!(b, Response::Done), "{b:?}");
+    for cluster in [&with_cache, &without] {
+        cluster.slots[1].lock().unwrap().take();
+        let blank =
+            FleetdHandle::start(ServerConfig::default()).expect("replacement");
+        *cluster.slots[1].lock().unwrap() = Some(Arc::new(blank));
+        cluster.coordinator.recover_worker(1).expect("handoff");
+    }
+    assert_same_report();
+    assert_same_report();
 }
