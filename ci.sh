@@ -22,40 +22,33 @@ ENERGYDX_JOBS=1 RAYON_NUM_THREADS=1 cargo test -q --workspace
 echo "== full workspace tests (default parallelism) =="
 cargo test -q --workspace
 
-echo "== hot-path allocation budget (smoke) =="
-# Counting-allocator benchmark of the interned Steps 2-5 path; fails
-# if bytes allocated per instance exceed the budget checked in with
-# BENCH_hotpath.json (e.g. a return to per-instance string cloning).
-cargo run -q --release -p energydx-bench --bin hotpath -- \
-  --check BENCH_hotpath.json >/dev/null
-
-echo "== fleetd checkpoint-size budget (smoke) =="
-# Ingest benchmark of the resident daemon; asserts batch identity,
-# then fails if the checkpoint grows past the deterministic
-# bytes-per-trace budget checked in with BENCH_ingest.json.
-cargo run -q --release -p energydx-bench --bin ingest -- \
-  --check BENCH_ingest.json >/dev/null
-
-echo "== spill peak-memory budget (smoke) =="
-# Bounded-memory benchmark: the same corpus ingested resident and
-# spilling (zero budget, every upload folded to a columnar segment).
-# Asserts the two serve byte-identical reports, then fails if the
-# spilling daemon's peak live-heap growth exceeds the deterministic
-# budget checked in with BENCH_spill.json, or stops being cheaper
-# than staying resident.
-cargo run -q --release -p energydx-bench --bin spill -- \
-  --check BENCH_spill.json >/dev/null
-
-echo "== warm-query latency budget (smoke) =="
-# Generation-keyed query-cache benchmark: the same corpus queried
-# cold, warm, and after a 1-upload delta, resident and spilled.
-# Asserts cached and uncached daemons serve byte-identical reports,
-# then fails if a warm repeat stops being >= the speedup budget in
-# BENCH_query.json, a spilled warm query falls behind a resident one,
-# or a coordinator NotModified reply stops being smaller on the wire
-# than the full partial it replaces.
-cargo run -q --release -p energydx-bench --bin query -- \
-  --check BENCH_query.json >/dev/null
+echo "== benchmark budget gates (smoke) =="
+# Every BENCH_*.json at the repo root is a checked-in budget that
+# regen_results.sh regenerates from the same list, so a budget and
+# its gate can never drift apart. Per bin:
+#   hotpath — per-instance allocation bytes of the interned Steps 2-5
+#             path (e.g. a return to per-instance string cloning).
+#   ingest  — batch identity of the resident daemon, then the
+#             deterministic checkpoint bytes-per-trace budget.
+#   spill   — resident and zero-budget spilling daemons serve
+#             byte-identical reports; peak live-heap growth of the
+#             spilling daemon stays under budget and under resident.
+#   query   — generation-keyed query cache: warm repeats >= the
+#             speedup budget, spilled warm queries keep up with
+#             resident ones, coordinator NotModified replies stay
+#             smaller on the wire than the full partial.
+#   cluster — the merged 3-worker answer equals one daemon fed the
+#             same payloads in shard order; replicated checkpoints
+#             stay under the bytes-per-trace budget.
+#   regress — the release gate: every injected v2 bug (loop,
+#             no-sleep, configuration) is flagged regressed, zero
+#             bug-free controls are, and a warm differential query
+#             beats cold by the stored speedup budget.
+for b in hotpath ingest spill query cluster regress; do
+  echo "-- $b (BENCH_$b.json)"
+  cargo run -q --release -p energydx-bench --bin "$b" -- \
+    --check "BENCH_$b.json" >/dev/null
+done
 
 echo "== metrics-overhead gate (instrumented hot path + ingest) =="
 # The same two budgets re-checked with the obsv layer attached: the
@@ -65,14 +58,6 @@ cargo run -q --release -p energydx-bench --bin hotpath -- \
   --obsv --check BENCH_hotpath.json >/dev/null
 cargo run -q --release -p energydx-bench --bin ingest -- \
   --obsv --check BENCH_ingest.json >/dev/null
-
-echo "== cluster replica-size budget (smoke) =="
-# Coordinator benchmark over three in-process workers; asserts the
-# merged answer equals one daemon fed the same payloads in shard
-# order, then fails if replicated checkpoints grow past the
-# deterministic bytes-per-trace budget in BENCH_cluster.json.
-cargo run -q --release -p energydx-bench --bin cluster -- \
-  --check BENCH_cluster.json >/dev/null
 
 echo "== fleetd soak (daemon vs batch CLI, crash + restart) =="
 # A real `energydx serve` process driven through the retrying

@@ -1,0 +1,334 @@
+//! Release-gate benchmark: ground-truth detector quality plus the
+//! latency of a differential (`from` → `to`) query on a versioned
+//! daemon.
+//!
+//! The quality half runs the [`energydx_workload::release_fleet`]
+//! ground truth — one injected treatment per ABD class (loop,
+//! no-sleep, configuration) plus bug-free controls — through the
+//! differential detector at its default thresholds, and counts
+//! recall (treatments whose verdict is `regressed`) and false
+//! positives (controls flagged). The flagged events are the bug's
+//! *manifestation points* (backgrounding callbacks, `Idle`), not its
+//! root-cause trigger: the trigger runs too rarely for the per-event
+//! sample floor, which is the paper's motivation for separating the
+//! two — finding the root cause from a manifestation point is the
+//! within-version diagnosis's job.
+//!
+//! The latency half ingests a damaged versioned
+//! corpus into a daemon and measures the **cold** regression query
+//! (two per-version folds + analyses + comparison) against the
+//! **warm** repeat, which must be two analyzed-cache hits plus the
+//! cheap comparison.
+//!
+//! ```text
+//! regress [--smoke] [--write <path>] [--check <path>]
+//! ```
+//!
+//! `--write` stores the report as JSON (see `BENCH_regress.json` at
+//! the repo root); `--check` re-runs the smoke measurement and fails
+//! (exit 1) when any treatment escapes undetected, any control is
+//! flagged, or the warm differential query is less than the stored
+//! `budget_min_warm_speedup` times faster than cold. The detector
+//! gates are exact counts over a deterministic fleet; only the
+//! speedup gate involves timing, and it compares a microsecond-scale
+//! cache hit against a millisecond-scale double fold.
+
+use energydx::{AnalysisConfig, EnergyDx};
+use energydx_fleetd::fixture;
+use energydx_fleetd::state::{FleetConfig, FleetState};
+use energydx_regress::{compare, RegressConfig, Verdict};
+use energydx_trace::fault::{FaultInjector, FaultKind};
+use energydx_workload::release_fleet;
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// The two releases the latency corpus interleaves.
+const FROM: &str = "1.9.0";
+const TO: &str = "2.0.0";
+
+/// The damaged-corpus recipe of the other daemon benchmarks — every
+/// 9th payload salvageable, every 23rd cut below the wire header —
+/// with an app-version stamp alternating between two releases, so the
+/// differential query folds a realistically mixed accepted set per
+/// side.
+fn corpus(users: usize, sessions: u64) -> Vec<Vec<u8>> {
+    let mut injector = FaultInjector::new(0x1276, 1.0);
+    let mut payloads = Vec::with_capacity(users * sessions as usize);
+    for user in 0..users {
+        for session in 0..sessions {
+            let i = payloads.len();
+            let version = if i % 2 == 0 { FROM } else { TO };
+            let mut payload = fixture::payload_versioned(
+                &format!("u{user:04}"),
+                session,
+                version,
+            );
+            if i % 23 == 7 {
+                payload.truncate(6);
+            } else if i % 9 == 4 {
+                let kind = if (i / 9) % 2 == 0 {
+                    FaultKind::Truncate
+                } else {
+                    FaultKind::BitFlip
+                };
+                payload = injector
+                    .corrupt(&payload, kind)
+                    .pop()
+                    .expect("one payload in, one out");
+            }
+            payloads.push(payload);
+        }
+    }
+    payloads
+}
+
+/// Warm repeats per measurement: the minimum over this many runs is
+/// the figure, so one preempted run cannot inflate it.
+const WARM_REPEATS: usize = 32;
+
+fn timed<R>(f: impl FnOnce() -> R) -> (R, f64) {
+    let t0 = Instant::now();
+    let result = f();
+    (result, t0.elapsed().as_secs_f64())
+}
+
+fn ingest(config: FleetConfig, payloads: &[Vec<u8>]) -> FleetState {
+    let mut state = FleetState::new(config);
+    for payload in payloads {
+        black_box(state.submit("bench", payload));
+    }
+    state
+}
+
+struct Report {
+    mode: &'static str,
+    cases: usize,
+    treatments: usize,
+    treatments_flagged: usize,
+    controls: usize,
+    controls_flagged: usize,
+    uploads: usize,
+    accepted: usize,
+    cold_secs: f64,
+    warm_secs: f64,
+    budget_min_warm_speedup: u64,
+}
+
+impl Report {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"mode\": \"{}\",\n  \"cases\": {},\n  \
+             \"treatments\": {},\n  \"treatments_flagged\": {},\n  \
+             \"controls\": {},\n  \
+             \"controls_flagged\": {},\n  \"uploads\": {},\n  \
+             \"accepted\": {},\n  \"cold_secs\": {:.6},\n  \
+             \"warm_secs\": {:.6},\n  \
+             \"budget_min_warm_speedup\": {}\n}}\n",
+            self.mode,
+            self.cases,
+            self.treatments,
+            self.treatments_flagged,
+            self.controls,
+            self.controls_flagged,
+            self.uploads,
+            self.accepted,
+            self.cold_secs,
+            self.warm_secs,
+            self.budget_min_warm_speedup,
+        )
+    }
+}
+
+/// Runs the ground-truth fleet through the detector and returns
+/// `(treatments, treatments flagged, controls, controls flagged)`.
+fn ground_truth() -> (usize, usize, usize, usize) {
+    let mut treatments = 0;
+    let mut treatments_flagged = 0;
+    let mut controls = 0;
+    let mut controls_flagged = 0;
+    for case in release_fleet() {
+        let pair = case.collect_pair().expect("ground-truth cases are valid");
+        let config = AnalysisConfig::default()
+            .with_developer_fraction(case.scenario.developer_fraction());
+        let dx = EnergyDx::new(config);
+        let v1 = dx.diagnose(&pair.v1.diagnosis_input());
+        let v2 = dx.diagnose(&pair.v2.diagnosis_input());
+        let report = compare("v1", &v1, "v2", &v2, &RegressConfig::default());
+        let regressed = report.verdict == Verdict::Regressed;
+        if case.buggy() {
+            treatments += 1;
+            if regressed && report.regressions().next().is_some() {
+                treatments_flagged += 1;
+            }
+        } else {
+            controls += 1;
+            if regressed {
+                controls_flagged += 1;
+            }
+        }
+    }
+    (treatments, treatments_flagged, controls, controls_flagged)
+}
+
+fn run(smoke: bool) -> Report {
+    let (treatments, treatments_flagged, controls, controls_flagged) =
+        ground_truth();
+
+    // --- Differential query latency on a versioned daemon. -----------
+    let (users, sessions) = if smoke { (48, 2) } else { (400, 5) };
+    let payloads = corpus(users, sessions);
+    let config = FleetConfig {
+        jobs: 1,
+        ..FleetConfig::default()
+    };
+    let state = ingest(config, &payloads);
+    let thresholds = RegressConfig::default();
+    let (cold_json, cold_secs) =
+        timed(|| state.regressions_json("bench", None, FROM, TO, &thresholds));
+    let cold_json = cold_json.expect("bench app has both releases");
+    let warm_secs = (0..WARM_REPEATS)
+        .map(|_| {
+            let (json, secs) = timed(|| {
+                state.regressions_json("bench", None, FROM, TO, &thresholds)
+            });
+            black_box(json.expect("bench app serves"));
+            secs
+        })
+        .fold(f64::INFINITY, f64::min);
+    let stats = state.query_cache_stats();
+    assert!(
+        stats[0].hits as usize >= 2 * WARM_REPEATS,
+        "warm differential queries must hit the per-version analyzed \
+         cache twice each, saw {} hits",
+        stats[0].hits
+    );
+    // The cache must not change a byte: a cache-disabled daemon over
+    // the same corpus serves the identical regression report.
+    let plain = ingest(
+        FleetConfig {
+            jobs: 1,
+            query_cache: false,
+            ..FleetConfig::default()
+        },
+        &payloads,
+    );
+    assert_eq!(
+        plain
+            .regressions_json("bench", None, FROM, TO, &thresholds)
+            .unwrap(),
+        cold_json,
+        "the query cache changed the served regression bytes"
+    );
+
+    Report {
+        mode: if smoke { "smoke" } else { "full" },
+        cases: treatments + controls,
+        treatments,
+        treatments_flagged,
+        controls,
+        controls_flagged,
+        uploads: payloads.len(),
+        accepted: state.accepted_total(),
+        cold_secs,
+        warm_secs,
+        // A warm differential query is two analyzed-cache hits plus
+        // the event alignment and rendering; cold is two full folds
+        // and analyses — measured ~6x on the smoke corpus, gated at
+        // 3x so the margin absorbs scheduler noise, not regressions.
+        budget_min_warm_speedup: 3,
+    }
+}
+
+/// Pulls `"<key>": <n>` out of a stored report without a JSON
+/// dependency.
+fn parse_num(json: &str, key: &str) -> Option<u64> {
+    let needle = format!("\"{key}\":");
+    let at = json.find(&needle)? + needle.len();
+    let rest = json[at..].trim_start();
+    let digits: String =
+        rest.chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut write: Option<String> = None;
+    let mut check: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--write" => write = args.next(),
+            "--check" => check = args.next().map(PathBuf::from),
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!(
+                    "usage: regress [--smoke] [--write <path>] \
+                     [--check <path>]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    // The regression gate always runs the fast corpus: the budgets
+    // are checked in from a smoke run.
+    if check.is_some() {
+        smoke = true;
+    }
+
+    let report = run(smoke);
+    print!("{}", report.to_json());
+
+    if let Some(path) = write {
+        std::fs::write(&path, report.to_json())
+            .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        eprintln!("wrote {path}");
+    }
+
+    if let Some(path) = check {
+        let stored = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("reading {}: {e}", path.display()));
+        let min_speedup = parse_num(&stored, "budget_min_warm_speedup")
+            .unwrap_or_else(|| {
+                panic!("no budget_min_warm_speedup in {}", path.display())
+            }) as f64;
+        let mut failed = false;
+        if report.treatments_flagged < report.treatments {
+            eprintln!(
+                "recall regression: only {}/{} injected release bugs \
+                 flagged as regressed",
+                report.treatments_flagged, report.treatments
+            );
+            failed = true;
+        }
+        if report.controls_flagged > 0 {
+            eprintln!(
+                "precision regression: {}/{} bug-free control releases \
+                 flagged as regressed",
+                report.controls_flagged, report.controls
+            );
+            failed = true;
+        }
+        let speedup = report.cold_secs / report.warm_secs;
+        if speedup < min_speedup {
+            eprintln!(
+                "warm-differential regression: a repeat regression query \
+                 is only {speedup:.1}x faster than cold (budget: >= \
+                 {min_speedup}x)"
+            );
+            failed = true;
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        eprintln!(
+            "release gate: {}/{} bugs flagged, {}/{} controls clean; \
+             warm differential {speedup:.0}x faster than cold",
+            report.treatments_flagged,
+            report.treatments,
+            report.controls - report.controls_flagged,
+            report.controls,
+        );
+    }
+}

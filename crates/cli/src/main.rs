@@ -59,6 +59,7 @@ use energydx_trace::store::{
 };
 use energydx_trace::upload::{upload_payloads_with_retry, RetryPolicy};
 use energydx_trace::util::Component;
+use energydx_trace::wire;
 use energydx_workload::scenario::Variant;
 use energydx_workload::Scenario;
 use std::io::Write as IoWrite;
@@ -120,10 +121,13 @@ USAGE:
                  [--read-timeout-ms <ms>] [--write-timeout-ms <ms>]
                  [--no-query-cache]
   energydx submit --addr <host:port> --app <name> (<payload.edxt>... | --dir <dir>)
-                  [--max-attempts <n>]
+                  [--max-attempts <n>] [--app-version <release>]
   energydx query --addr <host:port> (--app <name> [--epoch <n>] | --stats
                  | --health | metrics | --compact | --checkpoint
                  | --rollover <app> | --shutdown)
+  energydx query regressions --addr <host:port> --app <name>
+                 --from <release> --to <release> [--epoch <n>]
+                 [--threshold <fraction>]
   energydx demo --app <name>
   energydx apps
 
@@ -567,7 +571,13 @@ fn cmd_submit(args: &[String]) -> Result<(), String> {
         files.extend(edxt_files(Path::new(dir))?);
     }
     // Positional payload files, skipping flags and their values.
-    let value_flags = ["--addr", "--app", "--dir", "--max-attempts"];
+    let value_flags = [
+        "--addr",
+        "--app",
+        "--dir",
+        "--max-attempts",
+        "--app-version",
+    ];
     let mut i = 0;
     while i < args.len() {
         if value_flags.contains(&args[i].as_str()) {
@@ -588,6 +598,20 @@ fn cmd_submit(args: &[String]) -> Result<(), String> {
             std::fs::read(path)
                 .map_err(|e| format!("cannot read {}: {e}", path.display()))?,
         );
+    }
+    // --app-version re-stamps every payload with the release it was
+    // collected under and re-encodes to wire v3, so the daemon can
+    // partition the epoch by release for regression queries.
+    if let Some(version) = flag_value(args, "--app-version") {
+        for (path, payload) in files.iter().zip(payloads.iter_mut()) {
+            let bundle = wire::decode(payload)
+                .map_err(|e| format!("cannot stamp {}: {e}", path.display()))?;
+            *payload = wire::try_encode_v3(&bundle.with_app_version(version))
+                .map_err(|e| {
+                    format!("cannot re-encode {}: {e}", path.display())
+                })?
+                .to_vec();
+        }
     }
     let max_attempts: u32 = num_flag(args, "--max-attempts", 16u32)?;
     let mut backend = TcpBackend::new(addr, app).with_pause_cap_ms(100);
@@ -639,6 +663,31 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
         Request::Rollover {
             app: app.to_string(),
         }
+    } else if has("regressions") || has("--regressions") {
+        let app = flag_value(args, "--app")
+            .ok_or("query regressions needs --app <name>")?;
+        let from = flag_value(args, "--from")
+            .ok_or("query regressions needs --from <release>")?;
+        let to = flag_value(args, "--to")
+            .ok_or("query regressions needs --to <release>")?;
+        let epoch = flag_value(args, "--epoch")
+            .map(|e| e.parse().map_err(|_| format!("invalid --epoch `{e}`")))
+            .transpose()?;
+        let threshold = flag_value(args, "--threshold")
+            .map(|t| {
+                t.parse::<f64>()
+                    .ok()
+                    .filter(|t| t.is_finite() && *t >= 0.0)
+                    .ok_or(format!("invalid --threshold `{t}`"))
+            })
+            .transpose()?;
+        Request::Regressions {
+            app: app.to_string(),
+            epoch,
+            from: from.to_string(),
+            to: to.to_string(),
+            threshold,
+        }
     } else if let Some(app) = flag_value(args, "--app") {
         let epoch = flag_value(args, "--epoch")
             .map(|e| e.parse().map_err(|_| format!("invalid --epoch `{e}`")))
@@ -648,9 +697,9 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
             epoch,
         }
     } else {
-        return Err("query needs one of --app, --stats, --health, \
-                    metrics, --compact, --checkpoint, --rollover, \
-                    --shutdown"
+        return Err("query needs one of --app, regressions, --stats, \
+                    --health, metrics, --compact, --checkpoint, \
+                    --rollover, --shutdown"
             .to_string());
     };
     let mut client = Client::connect(addr).map_err(|e| e.to_string())?;

@@ -301,6 +301,87 @@ fn cluster_soak_survives_kill_dash_nine_and_blank_replacement() {
         "a healed cluster must report ok: {health}"
     );
 
+    // ---- Release gating through the healed cluster: two stamped
+    // releases of a fresh app land via `submit --app-version` at the
+    // coordinator, and `query regressions` must serve byte-for-byte
+    // what a single in-process daemon fed the same stamped payloads
+    // *grouped by shard index* serves — the coordinator's per-version
+    // fan-out concatenates worker partials in worker order.
+    let versioned = temp_dir("versioned");
+    for (sub, session) in [("v1", 0u64), ("v2", 1u64)] {
+        let dir = versioned.join(sub);
+        std::fs::create_dir_all(&dir).unwrap();
+        for user in 0..6u64 {
+            std::fs::write(
+                dir.join(format!("r{user:02}.edxt")),
+                fixture::payload(&format!("r{user:02}"), session),
+            )
+            .unwrap();
+        }
+    }
+    for (sub, release) in [("v1", "1.9.0"), ("v2", "2.0.0")] {
+        let out = energydx()
+            .args(["submit", "--addr", &coord.addr, "--app", "release"])
+            .args(["--dir"])
+            .arg(versioned.join(sub))
+            .args(["--app-version", release])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "stamped submit failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+    let differential = query_ok(
+        &coord.addr,
+        &[
+            "regressions",
+            "--app",
+            "release",
+            "--from",
+            "1.9.0",
+            "--to",
+            "2.0.0",
+        ],
+    );
+    let stamped: Vec<Vec<u8>> = [("1.9.0", 0u64), ("2.0.0", 1)]
+        .iter()
+        .flat_map(|&(release, session)| {
+            (0..6u64).map(move |user| {
+                fixture::payload_versioned(
+                    &format!("r{user:02}"),
+                    session,
+                    release,
+                )
+            })
+        })
+        .collect();
+    let mut reference = energydx_fleetd::FleetState::new(
+        energydx_fleetd::FleetConfig::default(),
+    );
+    for shard in 0..WORKERS {
+        for payload in stamped.iter().filter(|p| {
+            shard_for_payload("release", p, &repair, WORKERS) == shard
+        }) {
+            reference.submit("release", payload);
+        }
+    }
+    let expected = reference
+        .regressions_json(
+            "release",
+            None,
+            "1.9.0",
+            "2.0.0",
+            &energydx_regress::RegressConfig::default(),
+        )
+        .expect("reference differential");
+    assert_eq!(
+        String::from_utf8_lossy(&differential),
+        expected,
+        "cluster differential diverged from the in-process reference"
+    );
+
     // ---- Graceful teardown: one shutdown at the coordinator stops
     // the workers and the coordinator itself.
     assert_eq!(query_ok(&coord.addr, &["--shutdown"]), b"ok\n");

@@ -320,5 +320,75 @@ fn fleetd_soak_survives_backpressure_crash_and_restart() {
         served,
         "restart from the final checkpoint changed the report"
     );
+
+    // ---- Release gating over the same live path: two stamped
+    // releases of a fresh app land via `submit --app-version`, and
+    // `query regressions` must serve byte-for-byte what an in-process
+    // daemon fed the identical stamped payloads serves.
+    let versioned = temp_dir("versioned");
+    for (sub, session) in [("v1", 0u64), ("v2", 1u64)] {
+        let dir = versioned.join(sub);
+        std::fs::create_dir_all(&dir).unwrap();
+        for user in 0..6u64 {
+            std::fs::write(
+                dir.join(format!("r{user:02}.edxt")),
+                fixture::payload(&format!("r{user:02}"), session),
+            )
+            .unwrap();
+        }
+    }
+    for (sub, release) in [("v1", "1.9.0"), ("v2", "2.0.0")] {
+        let out = energydx()
+            .args(["submit", "--addr", &daemon.addr, "--app", "release"])
+            .args(["--dir"])
+            .arg(versioned.join(sub))
+            .args(["--app-version", release])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "stamped submit failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+    let out = energydx()
+        .args(["query", "regressions", "--addr", &daemon.addr])
+        .args(["--app", "release", "--from", "1.9.0", "--to", "2.0.0"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "query regressions failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let mut reference = energydx_fleetd::FleetState::new(
+        energydx_fleetd::FleetConfig::default(),
+    );
+    for (session, release) in [(0u64, "1.9.0"), (1, "2.0.0")] {
+        for user in 0..6u64 {
+            reference.submit(
+                "release",
+                &fixture::payload_versioned(
+                    &format!("r{user:02}"),
+                    session,
+                    release,
+                ),
+            );
+        }
+    }
+    let expected = reference
+        .regressions_json(
+            "release",
+            None,
+            "1.9.0",
+            "2.0.0",
+            &energydx_regress::RegressConfig::default(),
+        )
+        .expect("reference differential");
+    assert_eq!(
+        String::from_utf8_lossy(&out.stdout),
+        expected,
+        "live differential diverged from the in-process reference"
+    );
     shutdown(&daemon.addr, &mut daemon.child);
 }

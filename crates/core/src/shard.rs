@@ -311,6 +311,44 @@ impl ShardPartial {
             .collect();
         self
     }
+
+    /// Moves the partial so its first segment starts at `new_start`,
+    /// shifting every segment (and skipped index) by the same amount
+    /// — down as well as up, which [`rebase`](Self::rebase) cannot do.
+    /// Like `rebase` this is pure offset arithmetic: populations and
+    /// interner are untouched, so extracting one version's run from
+    /// the middle of a versioned epoch and re-anchoring it at its
+    /// version-local offset is byte-exact. No-op on an empty partial.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shifting down would move a skipped-trace index below
+    /// zero while its segment stays representable (cannot happen for
+    /// partials built by `map_shard`, whose skipped indices all lie
+    /// inside their segment).
+    pub fn rebase_to(self, new_start: usize) -> ShardPartial {
+        let Some(first) = self.segments.keys().next().copied() else {
+            return self;
+        };
+        if new_start >= first {
+            self.rebase(new_start - first)
+        } else {
+            let delta = first - new_start;
+            let mut shifted = self;
+            let old = std::mem::take(&mut shifted.segments);
+            shifted.segments = old
+                .into_values()
+                .map(|mut segment| {
+                    segment.offset -= delta;
+                    for entry in &mut segment.skipped {
+                        entry.0 -= delta;
+                    }
+                    (segment.offset, segment)
+                })
+                .collect();
+            shifted
+        }
+    }
 }
 
 /// Why a merged partial could not be finished into a report.
@@ -1388,6 +1426,26 @@ mod tests {
         }
         assert!(merged.is_complete());
         assert_eq!(dx.finish(merged).unwrap(), dx.diagnose_reference(&input));
+    }
+
+    #[test]
+    fn rebase_to_reanchors_in_both_directions() {
+        let input = fleet();
+        let dx = EnergyDx::default();
+        let traces = input.traces();
+        for (start, end) in shard_bounds(traces.len(), 3) {
+            // Shift down: a partial mapped at a global offset
+            // re-anchored at zero equals the local mapping — the
+            // inverse of `rebase`.
+            let global = dx.map_shard(&traces[start..end], start);
+            let local = dx.map_shard(&traces[start..end], 0);
+            assert_eq!(global.clone().rebase_to(0), local);
+            // Shift up agrees with `rebase`, and the round trip is
+            // the identity.
+            assert_eq!(local.clone().rebase_to(start), global);
+            assert_eq!(global.clone().rebase_to(start), global);
+        }
+        assert_eq!(ShardPartial::empty().rebase_to(7), ShardPartial::empty());
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! tables and rejects any structurally impossible state.
 //!
 //! ```text
-//! magic "EDXC" | version u8 = 2 | body_len u32 | body | crc32(body)
+//! magic "EDXC" | version u8 = 3 | body_len u32 | body | crc32(body)
 //! ```
 //!
 //! Each epoch's delta list is folded to its canonical single partial
@@ -29,12 +29,20 @@
 //! the checkpoint being restored). Version 1 files — no spill
 //! metadata — still restore.
 //!
+//! Version 3 adds app releases: each spilled run carries the version
+//! its traces were uploaded under plus its global start offset, and
+//! the resident state is written as one partial per maximal
+//! same-version run instead of a single epoch-wide fold. Version 1
+//! and 2 files still restore, as a single implicit version `""` —
+//! exactly how a version-blind daemon's state reads under the
+//! versioned model.
+//!
 //! [`ShardPartial::to_parts`]: energydx::shard::ShardPartial::to_parts
 //! [`ShardPartial::from_parts`]: energydx::shard::ShardPartial::from_parts
 
 use crate::codec::{CodecError, Reader, Writer};
 use crate::spill::{self, SpilledRun};
-use crate::state::{AppState, EpochState, FleetConfig, FleetState};
+use crate::state::{AppState, Delta, EpochState, FleetConfig, FleetState};
 use energydx::shard::{SegmentParts, ShardPartial, ShardPartialParts};
 use energydx_obsv::EventKind;
 use energydx_trace::intern::{EventId, InternedTrace};
@@ -45,7 +53,7 @@ use std::fmt;
 use std::path::{Path, PathBuf};
 
 const MAGIC: &[u8; 4] = b"EDXC";
-const VERSION: u8 = 2;
+const VERSION: u8 = 3;
 /// Oldest version [`restore_bytes`] still reads.
 const MIN_VERSION: u8 = 1;
 /// File name inside the state directory.
@@ -169,8 +177,18 @@ pub fn checkpoint_bytes(state: &FleetState) -> Vec<u8> {
                 body.u64(run.seq);
                 body.u64(run.traces as u64);
                 body.u64(run.bytes);
+                body.str(&run.version);
+                body.u64(run.start as u64);
             }
-            write_partial(&mut body, &e.folded());
+            // Resident state: one partial per maximal same-version
+            // run, so checkpointing still doubles as compaction while
+            // keeping each release's traces separable on restore.
+            let runs = e.version_runs();
+            body.u32(runs.len() as u32);
+            for (version, partial) in &runs {
+                body.str(version);
+                write_partial(&mut body, partial);
+            }
         }
     }
     let body = body.into_vec();
@@ -373,10 +391,29 @@ pub fn restore_bytes(
             let mut spilled = Vec::new();
             if version >= 2 {
                 let run_count = r.u32("spilled run count")? as usize;
+                let mut run_start = 0;
                 for _ in 0..run_count {
                     let seq = r.u64("spilled run sequence")?;
                     let traces = r.usize("spilled run trace count")?;
                     let bytes = r.u64("spilled run byte count")?;
+                    // Pre-version files carry no release stamps: the
+                    // whole run belongs to the single implicit
+                    // version, starting where its predecessors end.
+                    let (run_version, start) = if version >= 3 {
+                        (
+                            r.str("spilled run version")?,
+                            r.usize("spilled run start")?,
+                        )
+                    } else {
+                        (String::new(), run_start)
+                    };
+                    if start != run_start {
+                        return Err(CheckpointError::Malformed(format!(
+                            "spilled run {seq} claims start offset {start} \
+                             but its predecessors cover {run_start} trace(s)"
+                        )));
+                    }
+                    run_start += traces;
                     if seq >= next_spill_seq {
                         return Err(CheckpointError::Malformed(format!(
                             "spilled run sequence {seq} is not below the \
@@ -388,7 +425,13 @@ pub fn restore_bytes(
                             "spilled run sequence {seq} is referenced twice"
                         )));
                     }
-                    spilled.push(SpilledRun { seq, traces, bytes });
+                    spilled.push(SpilledRun {
+                        seq,
+                        traces,
+                        bytes,
+                        version: run_version,
+                        start,
+                    });
                 }
             }
             if !spilled.is_empty() && state.config.spill.is_none() {
@@ -400,19 +443,46 @@ pub fn restore_bytes(
             }
             let spilled_traces: usize =
                 spilled.iter().map(SpilledRun::traces).sum();
-            let partial = read_partial(&mut r)?;
-            if partial.trace_count() + spilled_traces != trace_count {
+            let mut deltas = Vec::new();
+            let mut resident_traces = 0;
+            if version >= 3 {
+                let delta_count = r.u32("resident run count")? as usize;
+                let mut expected = spilled_traces;
+                for _ in 0..delta_count {
+                    let delta_version = r.str("resident run version")?;
+                    let partial = read_partial(&mut r)?;
+                    if partial.start_offset() != expected {
+                        return Err(CheckpointError::Malformed(format!(
+                            "epoch {id}'s resident runs do not tile: a run \
+                             starts at {} where {expected} trace(s) precede \
+                             it",
+                            partial.start_offset()
+                        )));
+                    }
+                    expected = partial.end_offset();
+                    resident_traces += partial.trace_count();
+                    deltas.push(Delta {
+                        version: delta_version,
+                        partial,
+                    });
+                }
+            } else {
+                let partial = read_partial(&mut r)?;
+                resident_traces = partial.trace_count();
+                if !partial.is_empty() {
+                    deltas.push(Delta {
+                        version: String::new(),
+                        partial,
+                    });
+                }
+            }
+            if resident_traces + spilled_traces != trace_count {
                 return Err(CheckpointError::Malformed(format!(
                     "epoch {id} claims {trace_count} trace(s) but its \
-                     partial covers {} and its spilled runs {spilled_traces}",
-                    partial.trace_count()
+                     resident partial(s) cover {resident_traces} and its \
+                     spilled runs {spilled_traces}"
                 )));
             }
-            let deltas = if partial.is_empty() {
-                Vec::new()
-            } else {
-                vec![partial]
-            };
             epochs.insert(
                 id,
                 EpochState {
@@ -639,9 +709,105 @@ mod tests {
     }
 
     #[test]
-    fn current_checkpoints_carry_the_version_2_marker() {
+    fn current_checkpoints_carry_the_version_3_marker() {
         let state = FleetState::new(FleetConfig::default());
-        assert_eq!(checkpoint_bytes(&state)[4], 2);
+        assert_eq!(checkpoint_bytes(&state)[4], 3);
+    }
+
+    /// The frozen version-2 layout (spill metadata, one resident
+    /// partial, no release stamps), byte for byte as PR 7 wrote it.
+    fn v2_bytes(state: &FleetState) -> Vec<u8> {
+        let mut body = Writer::new();
+        body.u64(state.next_spill_seq);
+        body.u32(state.apps.len() as u32);
+        for (app, a) in &state.apps {
+            body.str(app);
+            body.u64(a.current_epoch);
+            body.u32(a.epochs.len() as u32);
+            for (&id, e) in &a.epochs {
+                body.u64(id);
+                body.u64(e.trace_count as u64);
+                body.u64(e.clean as u64);
+                body.u64(e.recovered as u64);
+                body.u32(e.seen.len() as u32);
+                for (user, session) in &e.seen {
+                    body.str(user);
+                    body.u64(*session);
+                }
+                body.u32(e.quarantine.len() as u32);
+                for entry in &e.quarantine {
+                    body.u8(reason_code(entry.reason));
+                    match &entry.user {
+                        Some(user) => {
+                            body.u8(1);
+                            body.str(user);
+                        }
+                        None => body.u8(0),
+                    }
+                    match entry.session {
+                        Some(s) => {
+                            body.u8(1);
+                            body.u64(s);
+                        }
+                        None => body.u8(0),
+                    }
+                    body.str(&entry.detail);
+                }
+                body.u32(e.spilled.len() as u32);
+                for run in &e.spilled {
+                    body.u64(run.seq);
+                    body.u64(run.traces as u64);
+                    body.u64(run.bytes);
+                }
+                write_partial(&mut body, &e.folded());
+            }
+        }
+        let body = body.into_vec();
+        let mut out = Writer::new();
+        out.u8(MAGIC[0]);
+        out.u8(MAGIC[1]);
+        out.u8(MAGIC[2]);
+        out.u8(MAGIC[3]);
+        out.u8(2);
+        out.u32(body.len() as u32);
+        let mut framed = out.into_vec();
+        framed.extend_from_slice(&body);
+        framed.extend_from_slice(&wire::crc32(&body).to_le_bytes());
+        framed
+    }
+
+    #[test]
+    fn version_2_checkpoints_restore_as_the_implicit_version() {
+        let dir = std::env::temp_dir()
+            .join(format!("energydx-ckpt-v2compat-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let spilling = FleetConfig {
+            spill: Some(SpillConfig {
+                dir: dir.clone(),
+                mem_budget: 0,
+            }),
+            ..FleetConfig::default()
+        };
+        let mut state = FleetState::new(spilling.clone());
+        for s in 0..3 {
+            state.submit("app", &payload("u", s));
+        }
+        let old = v2_bytes(&state);
+        assert_eq!(old[4], 2);
+        let restored = restore_bytes(&old, spilling).expect("v2 restores");
+        assert_eq!(
+            restored.diagnose_json("app", None).unwrap(),
+            state.diagnose_json("app", None).unwrap()
+        );
+        // Every restored trace lands under the implicit version "".
+        assert_eq!(
+            restored.apps()["app"].epochs()[&0]
+                .versions()
+                .into_iter()
+                .collect::<Vec<_>>(),
+            vec![(String::new(), 3)]
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -103,8 +103,22 @@ struct CoordCacheEntry {
 }
 
 /// One worker's delta-query cache: last-seen versioned partials keyed
-/// by `(app, requested epoch)`.
-type CoordCache = BTreeMap<(String, Option<u64>), CoordCacheEntry>;
+/// by `(app, requested epoch, release)` — `None` for the version-blind
+/// whole-epoch partial a [`Request::PartialSince`] fetches, `Some(v)`
+/// for the per-release slice a [`Request::VersionPartialSince`]
+/// fetches on behalf of a regression query.
+type CoordCache =
+    BTreeMap<(String, Option<u64>, Option<String>), CoordCacheEntry>;
+
+/// What one per-release fan-out gathered: the surviving shards'
+/// partials (in worker order), the unreachable shard ids, and whether
+/// any worker disowned the requested epoch.
+#[derive(Default)]
+struct VersionFan {
+    found: Vec<(usize, u64, ShardPartial)>,
+    missing: Vec<u32>,
+    unknown_epoch: bool,
+}
 
 /// The coordinator: stateless over trace data (workers own their
 /// partitions; this side owns routing, health, and replicas).
@@ -383,8 +397,11 @@ impl Coordinator {
         cache
             .iter()
             .flat_map(|m| m.iter())
-            .map(|((app, _), e)| {
-                ENTRY_OVERHEAD + app.len() + e.partial.approx_bytes()
+            .map(|((app, _, version), e)| {
+                ENTRY_OVERHEAD
+                    + app.len()
+                    + version.as_ref().map_or(0, String::len)
+                    + e.partial.approx_bytes()
             })
             .sum()
     }
@@ -493,7 +510,7 @@ impl Coordinator {
         let mut found: Vec<(usize, u64, ShardPartial)> = Vec::new();
         let mut unknown_epoch = false;
         let use_cache = self.config.fleet.query_cache;
-        let key = (app.to_string(), epoch);
+        let key = (app.to_string(), epoch, None::<String>);
         let mut updates: Vec<(usize, CoordCacheEntry)> = Vec::new();
         for k in 0..self.workers.len() {
             // Snapshot this worker's cached entry before any I/O —
@@ -654,6 +671,232 @@ impl Coordinator {
             self.metrics.event(
                 EventKind::DegradedQuery,
                 format!("app={app} missing={missing:?}"),
+            );
+            Response::Degraded { missing, json }
+        }
+    }
+
+    /// Fans one release's partial out to every worker via
+    /// [`Request::VersionPartialSince`], honoring the same
+    /// NotModified/token protocol as [`Coordinator::diagnose`]. Cache
+    /// entries live under `(app, epoch, Some(version))`, so a
+    /// regression query's two fans warm independent slots and a
+    /// version-blind diagnosis never collides with them.
+    fn version_partials(
+        &self,
+        app: &str,
+        epoch: Option<u64>,
+        version: &str,
+    ) -> Result<VersionFan, Response> {
+        let mut fan = VersionFan::default();
+        let use_cache = self.config.fleet.query_cache;
+        let key = (app.to_string(), epoch, Some(version.to_string()));
+        let mut updates: Vec<(usize, CoordCacheEntry)> = Vec::new();
+        for k in 0..self.workers.len() {
+            let cached: Option<CoordCacheEntry> = if use_cache {
+                self.partial_cache.lock().unwrap()[k].get(&key).cloned()
+            } else {
+                None
+            };
+            let req = Request::VersionPartialSince {
+                app: app.to_string(),
+                epoch,
+                version: version.to_string(),
+                token: cached
+                    .as_ref()
+                    .map(|c| (c.epoch, c.incarnation, c.generation)),
+            };
+            match self.call_worker(k, &req) {
+                Ok(Response::PartialNotModified { epoch }) => match &cached {
+                    Some(entry) => {
+                        self.count_cache(true);
+                        fan.found.push((k, epoch, entry.partial.clone()));
+                    }
+                    None => {
+                        return Err(Response::Error {
+                            message: format!(
+                                "worker {k}: NotModified without a token"
+                            ),
+                        })
+                    }
+                },
+                Ok(Response::PartialState {
+                    status,
+                    epoch,
+                    incarnation,
+                    generation,
+                    partial,
+                }) => match status {
+                    PartialStatus::Found => {
+                        if use_cache {
+                            self.count_cache(false);
+                            updates.push((
+                                k,
+                                CoordCacheEntry {
+                                    epoch,
+                                    incarnation,
+                                    generation,
+                                    partial: partial.clone(),
+                                },
+                            ));
+                        }
+                        fan.found.push((k, epoch, partial));
+                    }
+                    PartialStatus::UnknownApp => {}
+                    PartialStatus::UnknownEpoch => fan.unknown_epoch = true,
+                },
+                Ok(Response::Error { message }) => {
+                    return Err(Response::Error {
+                        message: format!("worker {k}: {message}"),
+                    })
+                }
+                Ok(other) => {
+                    return Err(Response::Error {
+                        message: format!(
+                            "worker {k}: unexpected response {other:?}"
+                        ),
+                    })
+                }
+                Err(_) => fan.missing.push(k as u32),
+            }
+        }
+        if !updates.is_empty() {
+            let mut cache = self.partial_cache.lock().unwrap();
+            for (k, entry) in updates {
+                cache[k].insert(key.clone(), entry);
+            }
+        }
+        Ok(fan)
+    }
+
+    /// Concatenates one fan's surviving shards in worker order and
+    /// finishes them into a diagnosis report — the same rebase/merge
+    /// the version-blind [`Coordinator::diagnose`] performs.
+    fn finish_fan(
+        &self,
+        fan: &VersionFan,
+    ) -> Result<energydx::DiagnosisReport, Response> {
+        let mut merged = ShardPartial::empty();
+        let mut base = 0usize;
+        for (_, _, partial) in &fan.found {
+            let n = partial.trace_count();
+            merged = merged.merge(partial.clone().rebase(base));
+            base += n;
+        }
+        self.dx.finish(merged).map_err(|e| Response::Error {
+            message: QueryError::Analysis(e.to_string()).to_string(),
+        })
+    }
+
+    /// Differential query across two app releases: fans each release's
+    /// partial out per worker, merges the two fleets exactly as
+    /// [`Coordinator::diagnose`] would, and compares them with the
+    /// same engine a single daemon uses — so a K-node cluster's
+    /// regression verdict is byte-identical to one daemon holding the
+    /// union of the shards. Shards unreachable in *either* fan degrade
+    /// the answer explicitly, naming the missing workers once.
+    pub fn regressions(
+        &self,
+        app: &str,
+        epoch: Option<u64>,
+        from: &str,
+        to: &str,
+        threshold: Option<f64>,
+    ) -> Response {
+        let _span = self.metrics.span("regress");
+        self.metrics.inc("fleetd_regress_queries_total", &[]);
+        let from_fan = match self.version_partials(app, epoch, from) {
+            Ok(fan) => fan,
+            Err(resp) => return resp,
+        };
+        let to_fan = match self.version_partials(app, epoch, to) {
+            Ok(fan) => fan,
+            Err(resp) => return resp,
+        };
+        let mut missing: Vec<u32> = from_fan
+            .missing
+            .iter()
+            .chain(to_fan.missing.iter())
+            .copied()
+            .collect();
+        missing.sort_unstable();
+        missing.dedup();
+        if !missing.is_empty() && self.config.policy == DegradePolicy::Hold {
+            return Response::Error {
+                message: format!(
+                    "shard(s) {missing:?} unreachable after {} attempt(s); \
+                     held back by policy (no degraded answers)",
+                    self.config.retry.max_attempts
+                ),
+            };
+        }
+        if from_fan.found.is_empty() && to_fan.found.is_empty() {
+            // No reachable worker knows the app (or the epoch): mirror
+            // the single daemon's typed errors, qualified by outages.
+            let unknown_epoch = from_fan.unknown_epoch || to_fan.unknown_epoch;
+            let mut message = if unknown_epoch {
+                QueryError::UnknownEpoch {
+                    app: app.to_string(),
+                    epoch: epoch.unwrap_or_default(),
+                }
+                .to_string()
+            } else {
+                QueryError::UnknownApp(app.to_string()).to_string()
+            };
+            if !missing.is_empty() {
+                message.push_str(&format!(
+                    " ({} shard(s) unreachable: {missing:?})",
+                    missing.len()
+                ));
+            }
+            return Response::Error { message };
+        }
+        // Both fans hit the same workers, so any epoch skew between
+        // or within them means a rollover landed partway — refuse to
+        // compare releases across different epochs.
+        let epochs: Vec<(usize, u64)> = from_fan
+            .found
+            .iter()
+            .chain(to_fan.found.iter())
+            .map(|(k, e, _)| (*k, *e))
+            .collect();
+        let resolved = epochs[0].1;
+        if epochs.iter().any(|(_, e)| *e != resolved) {
+            return Response::Error {
+                message: format!(
+                    "cluster epoch mismatch for app {app:?}: {epochs:?} \
+                     (a rollover did not reach every worker)"
+                ),
+            };
+        }
+        let from_report = match self.finish_fan(&from_fan) {
+            Ok(report) => report,
+            Err(resp) => return resp,
+        };
+        let to_report = match self.finish_fan(&to_fan) {
+            Ok(report) => report,
+            Err(resp) => return resp,
+        };
+        let config = crate::server::regress_config(threshold);
+        let report = energydx_regress::compare(
+            from,
+            &from_report,
+            to,
+            &to_report,
+            &config,
+        );
+        self.metrics.inc(
+            "fleetd_regress_verdicts_total",
+            &[("verdict", report.verdict.as_str())],
+        );
+        let json = energydx_regress::regression_json(&report);
+        if missing.is_empty() {
+            Response::Report { json }
+        } else {
+            self.metrics.inc("cluster_degraded_queries_total", &[]);
+            self.metrics.event(
+                EventKind::DegradedQuery,
+                format!("app={app} from={from} to={to} missing={missing:?}"),
             );
             Response::Degraded { missing, json }
         }
@@ -1005,6 +1248,7 @@ impl Dispatch for Coordinator {
             Request::Rollover { .. } => "rollover",
             Request::Shutdown => "shutdown",
             Request::Metrics => "metrics",
+            Request::Regressions { .. } => "regressions",
             _ => "worker_only",
         };
         let _span = self
@@ -1026,8 +1270,16 @@ impl Dispatch for Coordinator {
             Request::Metrics => Response::Metrics {
                 text: self.metrics_text(),
             },
+            Request::Regressions {
+                app,
+                epoch,
+                from,
+                to,
+                threshold,
+            } => self.regressions(&app, epoch, &from, &to, threshold),
             Request::Partial { .. }
             | Request::PartialSince { .. }
+            | Request::VersionPartialSince { .. }
             | Request::FetchCheckpoint
             | Request::InstallCheckpoint { .. }
             | Request::Counts => Response::Error {
@@ -1107,6 +1359,47 @@ mod tests {
             }
         }
         state.diagnose_json("mail", None).unwrap()
+    }
+
+    /// A fleet whose uploads alternate between two app releases —
+    /// every user contributes sessions under both, so a regression
+    /// query has populations on each side.
+    fn versioned_uploads(n: u64) -> Vec<(String, Vec<u8>)> {
+        (0..n)
+            .map(|i| {
+                let user = format!("u{:02}", i % 7);
+                let version = if i % 2 == 0 { "1.9.0" } else { "2.0.0" };
+                (
+                    user.clone(),
+                    fixture::payload_versioned(&user, i / 7, version),
+                )
+            })
+            .collect()
+    }
+
+    /// The single-daemon regression reference over the per-worker
+    /// accepted sequences concatenated in worker order.
+    fn regress_reference_json(
+        uploads: &[(String, Vec<u8>)],
+        workers: usize,
+    ) -> String {
+        let mut state = FleetState::new(FleetConfig::default());
+        for k in 0..workers {
+            for (user, payload) in uploads {
+                if shard_for_user("mail", user, workers) == k {
+                    assert!(state.submit("mail", payload).accepted());
+                }
+            }
+        }
+        state
+            .regressions_json(
+                "mail",
+                None,
+                "1.9.0",
+                "2.0.0",
+                &crate::server::regress_config(None),
+            )
+            .unwrap()
     }
 
     fn drive(cluster: &TestCluster, uploads: &[(String, Vec<u8>)]) {
@@ -1421,6 +1714,105 @@ mod tests {
     }
 
     #[test]
+    fn cluster_regressions_match_the_single_daemon() {
+        for workers in 1..=3 {
+            let cluster = cluster(workers);
+            let ups = versioned_uploads(28);
+            drive(&cluster, &ups);
+            let reference = regress_reference_json(&ups, workers);
+            let req = Request::Regressions {
+                app: "mail".to_string(),
+                epoch: None,
+                from: "1.9.0".to_string(),
+                to: "2.0.0".to_string(),
+                threshold: None,
+            };
+            // Cold query populates the per-release coordinator cache;
+            // the warm repeat rides NotModified — both byte-identical
+            // to a single daemon holding the union of the shards.
+            for _ in 0..2 {
+                match cluster.coordinator.handle_request(req.clone()) {
+                    Response::Report { json } => assert_eq!(json, reference),
+                    other => panic!("unexpected response {other:?}"),
+                }
+            }
+            let hits = cluster
+                .coordinator
+                .metrics()
+                .registry()
+                .unwrap()
+                .counter_value(
+                    "fleetd_query_cache_hits_total",
+                    &[("layer", "coordinator")],
+                )
+                .unwrap_or(0);
+            // Two releases × every holding worker answered NotModified
+            // on the repeat.
+            assert!(hits > 0, "warm regression query must ride the cache");
+        }
+    }
+
+    #[test]
+    fn a_dead_shard_degrades_regression_answers_naming_it() {
+        let cluster = cluster(3);
+        let ups = versioned_uploads(28);
+        drive(&cluster, &ups);
+        // kill -9 worker 1: the regression answer must degrade
+        // explicitly, naming the missing shard exactly once even
+        // though both release fans observed the outage.
+        cluster.slots[1].lock().unwrap().take();
+        match cluster
+            .coordinator
+            .regressions("mail", None, "1.9.0", "2.0.0", None)
+        {
+            Response::Degraded { missing, json } => {
+                assert_eq!(missing, vec![1]);
+                let survivors: Vec<(String, Vec<u8>)> = ups
+                    .iter()
+                    .filter(|(u, _)| shard_for_user("mail", u, 3) != 1)
+                    .cloned()
+                    .collect();
+                let mut state = FleetState::new(FleetConfig::default());
+                for k in [0usize, 2] {
+                    for (user, payload) in &survivors {
+                        if shard_for_user("mail", user, 3) == k {
+                            assert!(state.submit("mail", payload).accepted());
+                        }
+                    }
+                }
+                let reference = state
+                    .regressions_json(
+                        "mail",
+                        None,
+                        "1.9.0",
+                        "2.0.0",
+                        &crate::server::regress_config(None),
+                    )
+                    .unwrap();
+                assert_eq!(json, reference);
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_apps_in_regressions_mirror_the_single_node_error() {
+        let cluster = cluster(2);
+        match cluster
+            .coordinator
+            .regressions("nope", None, "v1", "v2", None)
+        {
+            Response::Error { message } => {
+                assert_eq!(
+                    message,
+                    QueryError::UnknownApp("nope".to_string()).to_string()
+                );
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    #[test]
     fn worker_only_requests_are_rejected_at_the_coordinator() {
         let cluster = cluster(1);
         for req in [
@@ -1433,6 +1825,12 @@ mod tests {
             Request::PartialSince {
                 app: "mail".to_string(),
                 epoch: None,
+                token: None,
+            },
+            Request::VersionPartialSince {
+                app: "mail".to_string(),
+                epoch: None,
+                version: "2.0.0".to_string(),
                 token: None,
             },
         ] {

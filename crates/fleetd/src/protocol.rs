@@ -165,6 +165,37 @@ pub enum Request {
         /// [`Response::PartialState`]; `None` on a cold coordinator.
         token: Option<(u64, u64, u64)>,
     },
+    /// Differential query: diagnose the `from` and `to` releases of
+    /// one epoch separately and report per-event normalized-power
+    /// shifts between them. Served by a single daemon directly and by
+    /// a coordinator via per-version shard fan-out.
+    Regressions {
+        /// The app whose releases are compared.
+        app: String,
+        /// Epoch id; `None` = the current epoch.
+        epoch: Option<u64>,
+        /// The baseline release.
+        from: String,
+        /// The candidate release.
+        to: String,
+        /// Quantile-shift threshold override; `None` = the server's
+        /// default [`energydx_regress::RegressConfig`].
+        threshold: Option<f64>,
+    },
+    /// Cluster: like [`Request::PartialSince`], but for one release's
+    /// traces only — the worker answers with its version-local partial
+    /// (offsets re-anchored to 0) under the same
+    /// `(epoch, incarnation, generation)` token discipline.
+    VersionPartialSince {
+        /// The app whose partial is wanted.
+        app: String,
+        /// Epoch id; `None` = the current epoch.
+        epoch: Option<u64>,
+        /// The app release whose traces are wanted.
+        version: String,
+        /// Last-seen token from a prior [`Response::PartialState`].
+        token: Option<(u64, u64, u64)>,
+    },
 }
 
 /// Coarse submit outcome carried over the wire. Repairs and salvage
@@ -478,6 +509,58 @@ impl Request {
                 }
                 14
             }
+            Request::Regressions {
+                app,
+                epoch,
+                from,
+                to,
+                threshold,
+            } => {
+                w.str(app);
+                match epoch {
+                    Some(e) => {
+                        w.u8(1);
+                        w.u64(*e);
+                    }
+                    None => w.u8(0),
+                }
+                w.str(from);
+                w.str(to);
+                match threshold {
+                    Some(t) => {
+                        w.u8(1);
+                        w.f64(*t);
+                    }
+                    None => w.u8(0),
+                }
+                15
+            }
+            Request::VersionPartialSince {
+                app,
+                epoch,
+                version,
+                token,
+            } => {
+                w.str(app);
+                match epoch {
+                    Some(e) => {
+                        w.u8(1);
+                        w.u64(*e);
+                    }
+                    None => w.u8(0),
+                }
+                w.str(version);
+                match token {
+                    Some((known_epoch, incarnation, generation)) => {
+                        w.u8(1);
+                        w.u64(*known_epoch);
+                        w.u64(*incarnation);
+                        w.u64(*generation);
+                    }
+                    None => w.u8(0),
+                }
+                16
+            }
         };
         frame(kind, &w.into_vec())
     }
@@ -541,6 +624,52 @@ impl Request {
                     None
                 };
                 Request::PartialSince { app, epoch, token }
+            }
+            15 => {
+                let app = r.str("app")?;
+                let epoch = if r.u8("epoch flag")? != 0 {
+                    Some(r.u64("epoch")?)
+                } else {
+                    None
+                };
+                let from = r.str("from version")?;
+                let to = r.str("to version")?;
+                let threshold = if r.u8("threshold flag")? != 0 {
+                    Some(r.f64("threshold")?)
+                } else {
+                    None
+                };
+                Request::Regressions {
+                    app,
+                    epoch,
+                    from,
+                    to,
+                    threshold,
+                }
+            }
+            16 => {
+                let app = r.str("app")?;
+                let epoch = if r.u8("epoch flag")? != 0 {
+                    Some(r.u64("epoch")?)
+                } else {
+                    None
+                };
+                let version = r.str("version")?;
+                let token = if r.u8("token flag")? != 0 {
+                    Some((
+                        r.u64("known epoch")?,
+                        r.u64("incarnation")?,
+                        r.u64("generation")?,
+                    ))
+                } else {
+                    None
+                };
+                Request::VersionPartialSince {
+                    app,
+                    epoch,
+                    version,
+                    token,
+                }
             }
             k => return Err(ProtocolError::UnknownKind(k)),
         };
@@ -832,6 +961,32 @@ mod tests {
             Request::PartialSince {
                 app: "maps".into(),
                 epoch: None,
+                token: None,
+            },
+            Request::Regressions {
+                app: "maps".into(),
+                epoch: Some(1),
+                from: "1.9.0".into(),
+                to: "2.0.0".into(),
+                threshold: Some(0.25),
+            },
+            Request::Regressions {
+                app: "maps".into(),
+                epoch: None,
+                from: "v1".into(),
+                to: "v2".into(),
+                threshold: None,
+            },
+            Request::VersionPartialSince {
+                app: "maps".into(),
+                epoch: Some(2),
+                version: "2.0.0".into(),
+                token: Some((2, 77, 5)),
+            },
+            Request::VersionPartialSince {
+                app: "maps".into(),
+                epoch: None,
+                version: String::new(),
                 token: None,
             },
         ]

@@ -402,6 +402,39 @@ impl FleetdHandle {
         relock(&self.state).epoch_partial_since(app, epoch, token)
     }
 
+    /// Generation-conditional versioned partial lookup — one release's
+    /// locally-offset contribution to a cluster regression query.
+    ///
+    /// # Errors
+    ///
+    /// As [`FleetState::epoch_version_partial_since`].
+    pub fn epoch_version_partial_since(
+        &self,
+        app: &str,
+        epoch: Option<u64>,
+        version: &str,
+        token: Option<(u64, u64, u64)>,
+    ) -> Result<crate::state::PartialSinceOutcome, QueryError> {
+        relock(&self.state)
+            .epoch_version_partial_since(app, epoch, version, token)
+    }
+
+    /// Canonical-JSON differential diagnosis between two releases.
+    ///
+    /// # Errors
+    ///
+    /// As [`FleetState::regressions_json`].
+    pub fn regressions_json(
+        &self,
+        app: &str,
+        epoch: Option<u64>,
+        from: &str,
+        to: &str,
+        config: &energydx_regress::RegressConfig,
+    ) -> Result<String, QueryError> {
+        relock(&self.state).regressions_json(app, epoch, from, to, config)
+    }
+
     /// Serializes the current state as checkpoint bytes (for
     /// coordinator-side replication; works without a state dir).
     pub fn checkpoint_data(&self) -> Vec<u8> {
@@ -520,7 +553,22 @@ fn request_kind(req: &Request) -> &'static str {
         Request::InstallCheckpoint { .. } => "install_checkpoint",
         Request::Counts => "counts",
         Request::PartialSince { .. } => "partial_since",
+        Request::Regressions { .. } => "regressions",
+        Request::VersionPartialSince { .. } => "version_partial_since",
     }
+}
+
+/// The server-side [`RegressConfig`] for a wire request: defaults,
+/// with the client's quantile-shift threshold override applied when
+/// present.
+pub(crate) fn regress_config(
+    threshold: Option<f64>,
+) -> energydx_regress::RegressConfig {
+    let mut config = energydx_regress::RegressConfig::default();
+    if let Some(t) = threshold {
+        config.shift_threshold = t;
+    }
+    config
 }
 
 fn dispatch(handle: &FleetdHandle, req: Request) -> Response {
@@ -615,6 +663,67 @@ fn dispatch(handle: &FleetdHandle, req: Request) -> Response {
         Request::PartialSince { app, epoch, token } => {
             use crate::state::PartialSinceOutcome;
             match handle.epoch_partial_since(&app, epoch, token) {
+                Ok(PartialSinceOutcome::Unchanged { epoch }) => {
+                    Response::PartialNotModified { epoch }
+                }
+                Ok(PartialSinceOutcome::Changed {
+                    epoch,
+                    incarnation,
+                    generation,
+                    partial,
+                }) => Response::PartialState {
+                    status: crate::protocol::PartialStatus::Found,
+                    epoch,
+                    incarnation,
+                    generation,
+                    partial,
+                },
+                Err(QueryError::UnknownApp(_)) => Response::PartialState {
+                    status: crate::protocol::PartialStatus::UnknownApp,
+                    epoch: 0,
+                    incarnation: 0,
+                    generation: 0,
+                    partial: energydx::ShardPartial::empty(),
+                },
+                Err(QueryError::UnknownEpoch { .. }) => {
+                    Response::PartialState {
+                        status: crate::protocol::PartialStatus::UnknownEpoch,
+                        epoch: 0,
+                        incarnation: 0,
+                        generation: 0,
+                        partial: energydx::ShardPartial::empty(),
+                    }
+                }
+                Err(e) => Response::Error {
+                    message: e.to_string(),
+                },
+            }
+        }
+        Request::Regressions {
+            app,
+            epoch,
+            from,
+            to,
+            threshold,
+        } => {
+            let config = regress_config(threshold);
+            match handle.regressions_json(&app, epoch, &from, &to, &config) {
+                Ok(json) => Response::Report { json },
+                Err(e) => Response::Error {
+                    message: e.to_string(),
+                },
+            }
+        }
+        Request::VersionPartialSince {
+            app,
+            epoch,
+            version,
+            token,
+        } => {
+            use crate::state::PartialSinceOutcome;
+            match handle
+                .epoch_version_partial_since(&app, epoch, &version, token)
+            {
                 Ok(PartialSinceOutcome::Unchanged { epoch }) => {
                     Response::PartialNotModified { epoch }
                 }

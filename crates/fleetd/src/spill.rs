@@ -38,6 +38,14 @@ pub struct SpilledRun {
     pub(crate) traces: usize,
     /// Segment file size, for the spilled-bytes gauge.
     pub(crate) bytes: u64,
+    /// App release the run's traces were uploaded under (`""` for
+    /// unversioned uploads and runs restored from pre-version
+    /// checkpoints). A spilled segment never mixes versions: the
+    /// spiller cuts one segment per maximal same-version run.
+    pub(crate) version: String,
+    /// Global (epoch-wide, accept-order) offset of the run's first
+    /// trace; the segment's partial starts at exactly this offset.
+    pub(crate) start: usize,
 }
 
 impl SpilledRun {

@@ -26,6 +26,7 @@ use energydx::report::DiagnosisReport;
 use energydx::shard::{AnalyzedFleet, ShardPartial, StreamingFold};
 use energydx::{AnalysisConfig, EnergyDx, JsonWriter};
 use energydx_obsv::{EventKind, Metrics, MetricsRegistry};
+use energydx_regress::{RegressConfig, RegressionReport};
 use energydx_trace::repair::RepairPolicy;
 use energydx_trace::store::{
     prepare_wire, IngestOutcome, PreparedUpload, QuarantineEntry, RejectReason,
@@ -73,14 +74,28 @@ impl Default for FleetConfig {
     }
 }
 
+/// One resident delta: a partial tagged with the app release its
+/// traces were uploaded under. `""` is the implicit version of
+/// unversioned (pre-v3 wire) uploads. Consecutive deltas tile the
+/// epoch's global offset space, whatever their versions — the version
+/// tag partitions the traces without perturbing accept order, which is
+/// what keeps unversioned queries byte-identical to a version-blind
+/// daemon.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Delta {
+    pub(crate) version: String,
+    pub(crate) partial: ShardPartial,
+}
+
 /// One epoch of one app: the accepted traces as mergeable deltas plus
 /// the bookkeeping that makes re-submission and audit possible.
 #[derive(Debug, Clone, Default)]
 pub struct EpochState {
-    /// Un-merged partials, in accept order. Compaction collapses the
-    /// list to one canonical partial; by associativity the fold value
-    /// never changes.
-    pub(crate) deltas: Vec<ShardPartial>,
+    /// Un-merged version-tagged partials, in accept order. Compaction
+    /// collapses maximal same-version runs; by associativity the
+    /// version-blind fold value never changes, and each version's own
+    /// fold stays a concatenation of whole deltas.
+    pub(crate) deltas: Vec<Delta>,
     /// Traces accepted so far == the next trace's global offset.
     pub(crate) trace_count: usize,
     /// `(user, session)` keys already accepted, for retry dedup.
@@ -174,7 +189,7 @@ impl EpochState {
     /// Approximate bytes the resident deltas cost
     /// ([`ShardPartial::approx_bytes`] summed over the delta list).
     pub fn resident_bytes(&self) -> usize {
-        self.deltas.iter().map(ShardPartial::approx_bytes).sum()
+        self.deltas.iter().map(|d| d.partial.approx_bytes()).sum()
     }
 
     /// The canonical partial of the epoch's *resident* deltas, folded
@@ -184,16 +199,58 @@ impl EpochState {
     pub fn folded(&self) -> ShardPartial {
         self.deltas
             .iter()
-            .cloned()
+            .map(|d| d.partial.clone())
             .fold(ShardPartial::empty(), ShardPartial::merge)
+    }
+
+    /// Per-release trace counts across spilled runs and resident
+    /// deltas. The `""` key counts unversioned uploads (and anything
+    /// restored from a pre-version checkpoint).
+    pub fn versions(&self) -> BTreeMap<String, usize> {
+        let mut counts = BTreeMap::new();
+        for run in &self.spilled {
+            *counts.entry(run.version.clone()).or_insert(0) += run.traces;
+        }
+        for d in &self.deltas {
+            *counts.entry(d.version.clone()).or_insert(0) +=
+                d.partial.trace_count();
+        }
+        counts
+    }
+
+    /// The resident deltas coalesced into maximal same-version runs,
+    /// in accept order. Adjacent same-version deltas are
+    /// offset-contiguous by construction, so each merged run is itself
+    /// a contiguous partial.
+    pub(crate) fn version_runs(&self) -> Vec<(String, ShardPartial)> {
+        let mut runs: Vec<(String, ShardPartial)> = Vec::new();
+        for d in &self.deltas {
+            match runs.last_mut() {
+                Some((version, partial)) if *version == d.version => {
+                    let merged =
+                        std::mem::replace(partial, ShardPartial::empty())
+                            .merge(d.partial.clone());
+                    *partial = merged;
+                }
+                _ => runs.push((d.version.clone(), d.partial.clone())),
+            }
+        }
+        runs
     }
 
     fn compact(&mut self) -> bool {
         if self.deltas.len() <= 1 {
             return false;
         }
-        let merged = self.folded();
-        self.deltas = vec![merged];
+        let before = self.deltas.len();
+        let runs = self.version_runs();
+        if runs.len() == before {
+            return false;
+        }
+        self.deltas = runs
+            .into_iter()
+            .map(|(version, partial)| Delta { version, partial })
+            .collect();
         true
     }
 }
@@ -371,6 +428,12 @@ struct QueryCache {
     folds: BTreeMap<String, BTreeMap<u64, FoldEntry>>,
     /// Per app, per epoch id: the analyzed fleet.
     analyzed: BTreeMap<String, BTreeMap<u64, AnalyzedEntry>>,
+    /// Per `(app, epoch id, app version)`: the analyzed fleet of that
+    /// release's traces alone — the halves a regression query
+    /// compares. Validated against the epoch generation exactly like
+    /// `analyzed` (any mutation of the epoch invalidates every
+    /// version's entry; coarser than strictly necessary, never stale).
+    vanalyzed: BTreeMap<(String, u64, String), AnalyzedEntry>,
     /// Per spill sequence number: the segment's folded partial.
     segments: BTreeMap<u64, SegmentEntry>,
     /// LRU clock feeding `last_used`.
@@ -398,7 +461,8 @@ impl QueryCache {
             .flat_map(|m| m.values())
             .map(|e| e.bytes)
             .sum();
-        folds + analyzed
+        let vanalyzed: usize = self.vanalyzed.values().map(|e| e.bytes).sum();
+        folds + analyzed + vanalyzed
     }
 
     fn segment_bytes(&self) -> usize {
@@ -422,12 +486,19 @@ impl QueryCache {
                 (e.last_used, CacheVictim::Analyzed(app.clone(), id))
             })
         });
+        let vanalyzed = self.vanalyzed.iter().map(|(key, e)| {
+            (
+                e.last_used,
+                CacheVictim::VAnalyzed(key.0.clone(), key.1, key.2.clone()),
+            )
+        });
         let segments = self
             .segments
             .iter()
             .map(|(&seq, e)| (e.last_used, CacheVictim::Segment(seq)));
         folds
             .chain(analyzed)
+            .chain(vanalyzed)
             .chain(segments)
             .min_by(|a, b| a.cmp(b))
             .map(|(_, victim)| victim)
@@ -441,6 +512,7 @@ impl QueryCache {
 enum CacheVictim {
     Fold(String, u64),
     Analyzed(String, u64),
+    VAnalyzed(String, u64, String),
     Segment(u64),
 }
 
@@ -608,6 +680,14 @@ impl FleetState {
                         if entries.is_empty() {
                             cache.analyzed.remove(app);
                         }
+                        CacheLayer::State
+                    }
+                    CacheVictim::VAnalyzed(app, id, version) => {
+                        cache.vanalyzed.remove(&(
+                            app.clone(),
+                            *id,
+                            version.clone(),
+                        ));
                         CacheLayer::State
                     }
                     CacheVictim::Segment(seq) => {
@@ -792,7 +872,10 @@ impl FleetState {
                 // upload never invalidates (or aliases) a cache key.
                 epoch.seen.insert(key);
                 epoch.trace_count += 1;
-                epoch.deltas.push(delta);
+                epoch.deltas.push(Delta {
+                    version: bundle.app_version.clone(),
+                    partial: delta,
+                });
                 self.generation_clock += 1;
                 epoch.generation = self.generation_clock;
                 let outcome = if repairs.is_empty() && salvage.is_none() {
@@ -966,33 +1049,45 @@ impl FleetState {
             .map(|(app, _, id)| (app.clone(), id))
     }
 
-    /// Folds one epoch's resident deltas and writes them as a single
-    /// segment file; only after the write succeeds (tmp + fsync +
-    /// rename inside [`energydx_segment::save_to`]) is the resident
-    /// state dropped, so a failed spill never loses an accepted trace.
+    /// Folds one epoch's resident deltas into maximal same-version
+    /// runs and writes each run as its own segment file (so a spilled
+    /// segment never mixes releases and a versioned query can read
+    /// only its release's runs); only after *every* write succeeds
+    /// (tmp + fsync + rename inside [`energydx_segment::save_to`]) is
+    /// the resident state dropped, so a failed spill never loses an
+    /// accepted trace. A single-version epoch still spills exactly one
+    /// file per pass, as before.
     fn spill_epoch(
         &mut self,
         app: &str,
         id: u64,
         cfg: &SpillConfig,
     ) -> Result<(), energydx_segment::SegmentError> {
-        let folded = {
+        let runs = {
             let _span = self.metrics.span("merge");
-            self.apps[app].epochs[&id].folded()
+            self.apps[app].epochs[&id].version_runs()
         };
-        let seq = self.next_spill_seq;
-        let path = spill::segment_path(&cfg.dir, seq);
+        let first_seq = self.next_spill_seq;
+        let mut written: Vec<u64> = Vec::new();
         let write = std::fs::create_dir_all(&cfg.dir)
             .map_err(|e| energydx_segment::SegmentError::Io {
                 op: "create spill directory",
                 detail: e.to_string(),
             })
             .and_then(|()| {
-                energydx_segment::save_to(&path, &folded.to_parts())
+                for (i, (_, partial)) in runs.iter().enumerate() {
+                    let seq = first_seq + i as u64;
+                    let path = spill::segment_path(&cfg.dir, seq);
+                    written.push(energydx_segment::save_to(
+                        &path,
+                        &partial.to_parts(),
+                    )?);
+                }
+                Ok(())
             });
         match write {
-            Ok(bytes) => {
-                self.next_spill_seq += 1;
+            Ok(()) => {
+                self.next_spill_seq += runs.len() as u64;
                 let epoch = self
                     .apps
                     .get_mut(app)
@@ -1000,11 +1095,21 @@ impl FleetState {
                     .epochs
                     .get_mut(&id)
                     .expect("victim epoch exists");
-                epoch.spilled.push(SpilledRun {
-                    seq,
-                    traces: folded.trace_count(),
-                    bytes,
-                });
+                let mut traces = 0;
+                let mut bytes = 0;
+                for (i, ((version, partial), file_bytes)) in
+                    runs.into_iter().zip(written).enumerate()
+                {
+                    traces += partial.trace_count();
+                    bytes += file_bytes;
+                    epoch.spilled.push(SpilledRun {
+                        seq: first_seq + i as u64,
+                        traces: partial.trace_count(),
+                        bytes: file_bytes,
+                        version,
+                        start: partial.start_offset(),
+                    });
+                }
                 epoch.deltas.clear();
                 self.generation_clock += 1;
                 epoch.generation = self.generation_clock;
@@ -1012,13 +1117,21 @@ impl FleetState {
                 self.metrics.event(
                     EventKind::Spill,
                     format!(
-                        "app={app} epoch={id} seq={seq} traces={} bytes={bytes}",
-                        folded.trace_count()
+                        "app={app} epoch={id} seq={first_seq} \
+                         traces={traces} bytes={bytes}",
                     ),
                 );
                 Ok(())
             }
             Err(e) => {
+                // Remove any files this pass already wrote so their
+                // sequence numbers (never advanced) stay rewritable.
+                for i in 0..written.len() {
+                    let _ = std::fs::remove_file(spill::segment_path(
+                        &cfg.dir,
+                        first_seq + i as u64,
+                    ));
+                }
                 self.metrics.inc("fleetd_spill_failures_total", &[]);
                 Err(e)
             }
@@ -1180,6 +1293,15 @@ impl FleetState {
                 };
                 self.count_cache(CacheLayer::Segment, !from_disk);
                 let path = spill::segment_path(&cfg.dir, run.seq);
+                if run.start != start {
+                    return Err(QueryError::Storage(format!(
+                        "{}: run records start offset {} but the epoch's \
+                         spilled prefix places it at {}",
+                        path.display(),
+                        run.start,
+                        start,
+                    )));
+                }
                 if partial.trace_count() != run.traces
                     || partial.start_offset() != start
                     || partial.end_offset() != start + run.traces
@@ -1219,13 +1341,13 @@ impl FleetState {
         }
         for delta in &e.deltas {
             let covered = fold.partial().end_offset();
-            if delta.end_offset() <= covered {
+            if delta.partial.end_offset() <= covered {
                 continue;
             }
-            if delta.start_offset() < covered {
+            if delta.partial.start_offset() < covered {
                 return Ok(None);
             }
-            fold.absorb(delta.clone());
+            fold.absorb(delta.partial.clone());
         }
         Ok(Some(fold))
     }
@@ -1517,6 +1639,283 @@ impl FleetState {
         Ok(json)
     }
 
+    /// Folds only `version`'s traces of one epoch, re-anchored to a
+    /// dense local offset space: spilled runs of that release first
+    /// (they precede every resident delta), then its resident deltas,
+    /// each [`ShardPartial::rebase_to`]-shifted down onto the fold's
+    /// current end. Because `rebase_to` is pure offset arithmetic
+    /// (`map_shard(ts, g).rebase_to(l) == map_shard(ts, l)`), the
+    /// result is byte-identical to a daemon that only ever accepted
+    /// this release's uploads, in the same order.
+    fn version_fold(
+        &self,
+        e: &EpochState,
+        version: &str,
+    ) -> Result<StreamingFold, QueryError> {
+        let mut fold = StreamingFold::new();
+        let matching: Vec<&SpilledRun> = e
+            .spilled
+            .iter()
+            .filter(|run| run.version == version)
+            .collect();
+        if !matching.is_empty() {
+            let cfg = self.config.spill.as_ref().ok_or_else(|| {
+                QueryError::Storage(
+                    "epoch holds spilled run(s) but no spill directory is \
+                     configured"
+                        .to_string(),
+                )
+            })?;
+            for run in matching {
+                let (partial, from_disk) = match self.cached_segment(run) {
+                    Some(partial) => (partial, false),
+                    None => {
+                        let path = spill::segment_path(&cfg.dir, run.seq);
+                        let partial = energydx_segment::load_from(&path)
+                            .map_err(|err| {
+                                QueryError::Storage(format!(
+                                    "{}: {err}",
+                                    path.display()
+                                ))
+                            })?;
+                        (partial, true)
+                    }
+                };
+                self.count_cache(CacheLayer::Segment, !from_disk);
+                if partial.trace_count() != run.traces
+                    || partial.start_offset() != run.start
+                {
+                    let path = spill::segment_path(&cfg.dir, run.seq);
+                    return Err(QueryError::Storage(format!(
+                        "{}: segment covers trace(s) [{}, {}) where run of \
+                         {} trace(s) from {} was spilled",
+                        path.display(),
+                        partial.start_offset(),
+                        partial.end_offset(),
+                        run.traces,
+                        run.start,
+                    )));
+                }
+                if from_disk {
+                    self.metrics.inc("fleetd_foldbacks_total", &[]);
+                    if self.config.query_cache {
+                        let bytes = partial.approx_bytes();
+                        let mut cache = self.cache();
+                        let stamp = cache.tick();
+                        cache.segments.insert(
+                            run.seq,
+                            SegmentEntry {
+                                file_bytes: run.bytes,
+                                partial: partial.clone(),
+                                bytes,
+                                last_used: stamp,
+                            },
+                        );
+                    }
+                }
+                let local = fold.partial().end_offset();
+                fold.absorb(partial.rebase_to(local));
+            }
+            if self.config.query_cache {
+                self.trim_cache_to_budget();
+            }
+        }
+        for delta in e.deltas.iter().filter(|d| d.version == version) {
+            let local = fold.partial().end_offset();
+            fold.absorb(delta.partial.clone().rebase_to(local));
+        }
+        Ok(fold)
+    }
+
+    /// Diagnoses only `version`'s traces of `app`'s epoch (current
+    /// when `None`) — one half of a regression comparison. A release
+    /// nothing was uploaded under yields an empty report, not an
+    /// error, so a differential query against a misspelled or not-yet
+    /// -shipped version answers "insufficient data" honestly.
+    ///
+    /// Memoized per `(app, epoch, version)` at the epoch's exact
+    /// generation, under the same state cache layer and budget as the
+    /// version-blind analysis.
+    ///
+    /// # Errors
+    ///
+    /// As [`FleetState::diagnose`].
+    pub fn diagnose_version(
+        &self,
+        app: &str,
+        epoch: Option<u64>,
+        version: &str,
+    ) -> Result<DiagnosisReport, QueryError> {
+        let state = self
+            .apps
+            .get(app)
+            .ok_or_else(|| QueryError::UnknownApp(app.to_string()))?;
+        let id = epoch.unwrap_or(state.current_epoch);
+        let e =
+            state
+                .epochs
+                .get(&id)
+                .ok_or_else(|| QueryError::UnknownEpoch {
+                    app: app.to_string(),
+                    epoch: id,
+                })?;
+        let key = (app.to_string(), id, version.to_string());
+        if self.config.query_cache {
+            let hit = {
+                let mut cache = self.cache();
+                let stamp = cache.tick();
+                cache
+                    .vanalyzed
+                    .get_mut(&key)
+                    .filter(|entry| entry.generation == e.generation)
+                    .map(|entry| {
+                        entry.last_used = stamp;
+                        entry.fleet.clone()
+                    })
+            };
+            self.count_cache(CacheLayer::State, hit.is_some());
+            if let Some(fleet) = hit {
+                let _span = self.metrics.span("finish");
+                return Ok(self.dx.render(fleet));
+            }
+        }
+        let generation = e.generation;
+        let fold = {
+            let _span = self.metrics.span("merge");
+            self.version_fold(e, version)?
+        };
+        let _span = self.metrics.span("finish");
+        let fleet = self
+            .dx
+            .analyze_streamed(fold)
+            .map_err(|err| QueryError::Analysis(err.to_string()))?;
+        if self.config.query_cache {
+            let bytes = fleet.approx_bytes();
+            {
+                let mut cache = self.cache();
+                let stamp = cache.tick();
+                cache.vanalyzed.insert(
+                    key,
+                    AnalyzedEntry {
+                        generation,
+                        fleet: fleet.clone(),
+                        json: None,
+                        bytes,
+                        last_used: stamp,
+                    },
+                );
+            }
+            self.trim_cache_to_budget();
+        }
+        Ok(self.dx.render(fleet))
+    }
+
+    /// The generation-conditional versioned partial — the worker half
+    /// of a cluster regression query. The returned partial covers only
+    /// `version`'s traces, re-anchored to local offsets starting at 0,
+    /// so a coordinator rebases and concatenates the shards exactly as
+    /// it does version-blind ones. The caller's
+    /// `(epoch, incarnation, generation)` token short-circuits the
+    /// fold when the epoch (any release of it) has not changed.
+    ///
+    /// # Errors
+    ///
+    /// As [`FleetState::epoch_partial`].
+    pub fn epoch_version_partial_since(
+        &self,
+        app: &str,
+        epoch: Option<u64>,
+        version: &str,
+        known: Option<(u64, u64, u64)>,
+    ) -> Result<PartialSinceOutcome, QueryError> {
+        let state = self
+            .apps
+            .get(app)
+            .ok_or_else(|| QueryError::UnknownApp(app.to_string()))?;
+        let id = epoch.unwrap_or(state.current_epoch);
+        let e =
+            state
+                .epochs
+                .get(&id)
+                .ok_or_else(|| QueryError::UnknownEpoch {
+                    app: app.to_string(),
+                    epoch: id,
+                })?;
+        if self.config.query_cache {
+            if let Some((kid, kinc, kgen)) = known {
+                if kid == id && kinc == self.incarnation && kgen == e.generation
+                {
+                    self.count_cache(CacheLayer::State, true);
+                    return Ok(PartialSinceOutcome::Unchanged { epoch: id });
+                }
+            }
+        }
+        let partial = {
+            let _span = self.metrics.span("merge");
+            self.version_fold(e, version)?.into_partial()
+        };
+        Ok(PartialSinceOutcome::Changed {
+            epoch: id,
+            incarnation: self.incarnation,
+            generation: e.generation,
+            partial,
+        })
+    }
+
+    /// Differential diagnosis between two releases of `app` within one
+    /// epoch: analyzes each version's traces alone, aligns their event
+    /// populations, and reports per-event normalized-power
+    /// quantile shifts and impacted-user-fraction deltas under
+    /// `config`'s thresholds.
+    ///
+    /// # Errors
+    ///
+    /// As [`FleetState::diagnose`].
+    pub fn regressions(
+        &self,
+        app: &str,
+        epoch: Option<u64>,
+        from: &str,
+        to: &str,
+        config: &RegressConfig,
+    ) -> Result<RegressionReport, QueryError> {
+        let _span = self.metrics.span("regress");
+        self.metrics.inc("fleetd_regress_queries_total", &[]);
+        let from_report = self.diagnose_version(app, epoch, from)?;
+        let to_report = self.diagnose_version(app, epoch, to)?;
+        let report = energydx_regress::compare(
+            from,
+            &from_report,
+            to,
+            &to_report,
+            config,
+        );
+        self.metrics.inc(
+            "fleetd_regress_verdicts_total",
+            &[("verdict", report.verdict.as_str())],
+        );
+        Ok(report)
+    }
+
+    /// [`FleetState::regressions`] rendered as canonical JSON — the
+    /// byte string the release-gating harness compares.
+    ///
+    /// # Errors
+    ///
+    /// As [`FleetState::regressions`].
+    pub fn regressions_json(
+        &self,
+        app: &str,
+        epoch: Option<u64>,
+        from: &str,
+        to: &str,
+        config: &RegressConfig,
+    ) -> Result<String, QueryError> {
+        Ok(energydx_regress::regression_json(
+            &self.regressions(app, epoch, from, to, config)?,
+        ))
+    }
+
     /// Total epochs across all apps (frozen ones included).
     pub fn epochs_total(&self) -> usize {
         self.apps.values().map(|a| a.epochs.len()).sum()
@@ -1557,6 +1956,13 @@ impl FleetState {
                                 w.usize(e.spilled_traces());
                                 w.key("traces");
                                 w.usize(e.trace_count);
+                                w.key("versions");
+                                w.obj(|w| {
+                                    for (version, n) in e.versions() {
+                                        w.key(&version);
+                                        w.usize(n);
+                                    }
+                                });
                             });
                         }
                     });

@@ -128,6 +128,27 @@ fn scripted_exposition() -> String {
         other => panic!("unexpected {other:?}"),
     }
 
+    // Version-stamped uploads and one differential query through the
+    // per-release fan-out: the coordinator-side regress counters and
+    // the regress stage of the duration histogram must render.
+    for (user, version) in [("v1", "1.9.0"), ("v2", "2.0.0")] {
+        let resp = coordinator.handle_request(Request::Submit {
+            app: APP.to_string(),
+            payload: fixture::payload_versioned(user, 0, version),
+        });
+        assert!(matches!(resp, Response::Outcome { .. }), "{resp:?}");
+    }
+    match coordinator.handle_request(Request::Regressions {
+        app: APP.to_string(),
+        epoch: None,
+        from: "1.9.0".to_string(),
+        to: "2.0.0".to_string(),
+        threshold: None,
+    }) {
+        Response::Report { .. } => {}
+        other => panic!("unexpected {other:?}"),
+    }
+
     match coordinator.handle_request(Request::Metrics) {
         Response::Metrics { text } => text,
         other => panic!("unexpected {other:?}"),
@@ -139,8 +160,9 @@ fn cluster_exposition_matches_golden_byte_for_byte() {
     let text = scripted_exposition();
     // Structural sanity independent of the pinned bytes.
     let samples = parse_exposition(&text).expect("valid exposition");
-    // Routing decisions, not deliveries: the eight accepted uploads
-    // plus the one that came back as backpressure from the dead shard.
+    // Routing decisions, not deliveries: the eight accepted uploads,
+    // the one that came back as backpressure from the dead shard, and
+    // the two version-stamped uploads.
     let routed_total: f64 = (0..WORKERS)
         .filter_map(|k| {
             samples
@@ -148,7 +170,7 @@ fn cluster_exposition_matches_golden_byte_for_byte() {
                 .copied()
         })
         .sum();
-    assert_eq!(routed_total, 9.0, "{text}");
+    assert_eq!(routed_total, 11.0, "{text}");
     assert_eq!(
         samples.get("cluster_replications_total;worker=1").copied(),
         Some(1.0),
@@ -182,6 +204,17 @@ fn cluster_exposition_matches_golden_byte_for_byte() {
             .copied(),
         Some(0.0),
         "deterministic time must pin request durations to zero: {text}"
+    );
+    assert_eq!(
+        samples.get("fleetd_regress_queries_total").copied(),
+        Some(1.0),
+        "{text}"
+    );
+    assert!(
+        samples
+            .keys()
+            .any(|k| k.starts_with("fleetd_regress_verdicts_total")),
+        "the differential fan-out must record a verdict: {text}"
     );
 
     let path = golden_path();

@@ -25,8 +25,9 @@ fn golden_path() -> PathBuf {
 }
 
 /// The fixed scenario: clean uploads for two apps, one duplicate, one
-/// undecodable payload, a rollover, a compaction, a diagnosis, a
-/// checkpoint, and one shed on a depth-1 queue sharing the registry.
+/// undecodable payload, a rollover, a compaction, a diagnosis, two
+/// version-stamped uploads with a differential query, a checkpoint,
+/// and one shed on a depth-1 queue sharing the registry.
 fn scripted_exposition() -> String {
     let reg = Arc::new(MetricsRegistry::deterministic());
     let mut state =
@@ -50,6 +51,23 @@ fn scripted_exposition() -> String {
     assert!(state.submit("mail", &fixture::payload("u1", 9)).accepted());
     state.compact();
     state.diagnose_json("mail", Some(0)).expect("report");
+    // Version-stamped uploads and one differential query: the regress
+    // counter, its per-verdict counter, and the regress stage of the
+    // duration histogram must all render.
+    for (session, version) in [(20, "1.9.0"), (21, "2.0.0")] {
+        assert!(state
+            .submit("mail", &fixture::payload_versioned("u4", session, version))
+            .accepted());
+    }
+    state
+        .regressions_json(
+            "mail",
+            None,
+            "1.9.0",
+            "2.0.0",
+            &energydx_regress::RegressConfig::default(),
+        )
+        .expect("differential report");
     let ckpt = checkpoint_bytes(&state);
     assert!(!ckpt.is_empty());
     let queue = IngestQueue::with_metrics(1, Metrics::enabled(reg));
@@ -65,7 +83,7 @@ fn exposition_matches_golden_byte_for_byte() {
     let samples = parse_exposition(&text).expect("valid exposition");
     assert_eq!(
         samples.get("fleetd_uploads_total;outcome=clean").copied(),
-        Some(7.0)
+        Some(9.0)
     );
     assert_eq!(
         samples
@@ -90,6 +108,23 @@ fn exposition_matches_golden_byte_for_byte() {
             .copied(),
         Some(0.0),
         "deterministic time must pin stage sums to zero"
+    );
+    assert_eq!(
+        samples.get("fleetd_regress_queries_total").copied(),
+        Some(1.0)
+    );
+    assert!(
+        samples
+            .keys()
+            .any(|k| k.starts_with("fleetd_regress_verdicts_total")),
+        "the differential query must record a verdict"
+    );
+    assert_eq!(
+        samples
+            .get("energydx_stage_duration_seconds_sum;stage=regress")
+            .copied(),
+        Some(0.0),
+        "the regress stage must land in the duration histogram"
     );
 
     let path = golden_path();

@@ -39,6 +39,11 @@ pub struct TraceBundle {
     pub session: u64,
     /// Device profile name, used for power-model scaling.
     pub device: String,
+    /// App release the session ran under (`""` when the uploader
+    /// predates versioned uploads — wire v1/v2 payloads decode to the
+    /// implicit unversioned release).
+    #[serde(default)]
+    pub app_version: String,
     /// The event trace.
     pub events: EventTrace,
     /// The utilization trace.
@@ -56,9 +61,16 @@ impl TraceBundle {
             user: user.into(),
             session,
             device: device.into(),
+            app_version: String::new(),
             events: EventTrace::new(),
             utilization: UtilizationTrace::new(),
         }
+    }
+
+    /// Stamps the bundle with the app release it was recorded under.
+    pub fn with_app_version(mut self, version: impl Into<String>) -> Self {
+        self.app_version = version.into();
+        self
     }
 
     /// Scrubs user identifiers from every string payload (§II-B

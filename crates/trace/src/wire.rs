@@ -30,6 +30,17 @@
 //! truncated payload still yields its valid record prefix through
 //! [`decode_salvage`].
 //!
+//! **v3** (written by [`encode_v3`]) is v2 with one addition: the
+//! CRC-covered header carries the app release the session ran under,
+//! appended after the sampling period:
+//!
+//! ```text
+//! header { user str, session u64, device str, period u64, app_version str }
+//! ```
+//!
+//! v1/v2 payloads decode with an empty `app_version` (the implicit
+//! unversioned release), so pre-v3 uploaders keep working unchanged.
+//!
 //! Both decoders bound every declared count against the bytes actually
 //! remaining, so a corrupt count field cannot drive pre-allocation or
 //! a long parse loop (no "4 billion records" DoS from a 40-byte
@@ -46,6 +57,8 @@ const MAGIC: &[u8; 4] = b"EDXT";
 pub const VERSION_V1: u8 = 1;
 /// The CRC32-framed format version.
 pub const VERSION_V2: u8 = 2;
+/// The CRC32-framed format version that carries an app-version stamp.
+pub const VERSION_V3: u8 = 3;
 
 /// Smallest possible encoded event record: ts u64 + dir u8 + empty str.
 const MIN_EVENT_BYTES: usize = 8 + 1 + 4;
@@ -175,16 +188,63 @@ pub fn encode_v2(bundle: &TraceBundle) -> Bytes {
 
 /// Encodes a bundle in the CRC32-framed v2 format with checked counts.
 ///
+/// The v2 header has no app-version field; a bundle's `app_version`
+/// is silently dropped. Use [`try_encode_v3`] to preserve it.
+///
 /// # Errors
 ///
 /// Returns [`TraceError::Wire`] if a count or string length exceeds
 /// `u32::MAX`.
 pub fn try_encode_v2(bundle: &TraceBundle) -> Result<Bytes, TraceError> {
+    try_encode_framed(bundle, VERSION_V2)
+}
+
+/// Encodes a bundle in the v3 format: v2 framing plus the app-version
+/// stamp in the CRC-covered header.
+///
+/// # Panics
+///
+/// Panics if any count or string length exceeds `u32::MAX` (use
+/// [`try_encode_v3`] to handle that case as an error instead).
+///
+/// # Examples
+///
+/// ```
+/// # use energydx_trace::{TraceBundle, wire};
+/// let bundle = TraceBundle::new("user-1", 7, "nexus6").with_app_version("2.4.1");
+/// let decoded = wire::decode(&wire::encode_v3(&bundle))?;
+/// assert_eq!(decoded.app_version, "2.4.1");
+/// # Ok::<(), energydx_trace::TraceError>(())
+/// ```
+pub fn encode_v3(bundle: &TraceBundle) -> Bytes {
+    match try_encode_v3(bundle) {
+        Ok(bytes) => bytes,
+        Err(e) => panic!("bundle not encodable: {e}"),
+    }
+}
+
+/// Encodes a bundle in the v3 format with checked counts.
+///
+/// # Errors
+///
+/// Returns [`TraceError::Wire`] if a count or string length exceeds
+/// `u32::MAX`.
+pub fn try_encode_v3(bundle: &TraceBundle) -> Result<Bytes, TraceError> {
+    try_encode_framed(bundle, VERSION_V3)
+}
+
+fn try_encode_framed(
+    bundle: &TraceBundle,
+    version: u8,
+) -> Result<Bytes, TraceError> {
     let mut header = BytesMut::with_capacity(64);
     put_str(&mut header, &bundle.user)?;
     header.put_u64_le(bundle.session);
     put_str(&mut header, &bundle.device)?;
     header.put_u64_le(bundle.utilization.period_ms);
+    if version >= VERSION_V3 {
+        put_str(&mut header, &bundle.app_version)?;
+    }
 
     let mut events = BytesMut::with_capacity(4 + bundle.events.len() * 48);
     events.put_u32_le(checked_count(bundle.events.len(), "event")?);
@@ -203,7 +263,7 @@ pub fn try_encode_v2(bundle: &TraceBundle) -> Result<Bytes, TraceError> {
         4 + 1 + 4 + header.len() + events.len() + samples.len() + 12,
     );
     buf.put_slice(MAGIC);
-    buf.put_u8(VERSION_V2);
+    buf.put_u8(version);
     buf.put_u32_le(checked_count(header.len(), "header byte")?);
     let header_crc = crc32(&header);
     buf.put_slice(&header);
@@ -371,7 +431,7 @@ pub fn decode(data: &[u8]) -> Result<TraceBundle, TraceError> {
     let mut r = Reader::new(data);
     match decode_version(&mut r)? {
         VERSION_V1 => decode_v1_strict(&mut r),
-        _ => decode_v2_strict(&mut r),
+        version => decode_v2_strict(&mut r, version),
     }
 }
 
@@ -383,7 +443,7 @@ fn decode_version(r: &mut Reader<'_>) -> Result<u8, TraceError> {
         });
     }
     let version = r.get_u8("version")?;
-    if version != VERSION_V1 && version != VERSION_V2 {
+    if !matches!(version, VERSION_V1 | VERSION_V2 | VERSION_V3) {
         return Err(TraceError::Wire {
             message: format!("unsupported version {version}"),
         });
@@ -422,8 +482,11 @@ fn decode_v1_strict(r: &mut Reader<'_>) -> Result<TraceBundle, TraceError> {
     Ok(bundle)
 }
 
-fn decode_v2_strict(r: &mut Reader<'_>) -> Result<TraceBundle, TraceError> {
-    let (mut bundle, events_start) = decode_v2_header(r)?;
+fn decode_v2_strict(
+    r: &mut Reader<'_>,
+    version: u8,
+) -> Result<TraceBundle, TraceError> {
+    let (mut bundle, events_start) = decode_v2_header(r, version)?;
 
     // Events section: bytes are CRC-covered from the count field on.
     let declared = r.get_u32_le("event count")?;
@@ -454,10 +517,13 @@ fn decode_v2_strict(r: &mut Reader<'_>) -> Result<TraceBundle, TraceError> {
     Ok(bundle)
 }
 
-/// Parses and CRC-verifies the v2 header; returns the identity-only
-/// bundle and the offset where the events section starts.
+/// Parses and CRC-verifies the v2/v3 header; returns the
+/// identity-only bundle and the offset where the events section
+/// starts. On v3 the header additionally carries the app-version
+/// stamp; on v2 it decodes as the implicit unversioned release.
 fn decode_v2_header(
     r: &mut Reader<'_>,
+    version: u8,
 ) -> Result<(TraceBundle, usize), TraceError> {
     let header_len = r.get_u32_le("header length")? as usize;
     if header_len + 4 > r.remaining() {
@@ -481,6 +547,11 @@ fn decode_v2_header(
     let session = h.get_u64_le("session id")?;
     let device = h.get_str()?;
     let period_ms = h.get_u64_le("sampling period")?;
+    let app_version = if version >= VERSION_V3 {
+        h.get_str()?
+    } else {
+        String::new()
+    };
     if h.remaining() > 0 {
         return Err(TraceError::Wire {
             message: "trailing bytes in header".to_string(),
@@ -488,6 +559,7 @@ fn decode_v2_header(
     }
     let _ = header_start;
     let mut bundle = TraceBundle::new(user, session, device);
+    bundle.app_version = app_version;
     bundle.utilization = UtilizationTrace::with_period(period_ms);
     Ok((bundle, r.pos))
 }
@@ -575,7 +647,7 @@ pub fn decode_salvage(data: &[u8]) -> Result<Salvaged, TraceError> {
     let mut r = Reader::new(data);
     match decode_version(&mut r)? {
         VERSION_V1 => decode_v1_salvage(&mut r),
-        _ => decode_v2_salvage(&mut r),
+        version => decode_v2_salvage(&mut r, version),
     }
 }
 
@@ -619,8 +691,11 @@ fn decode_v1_salvage(r: &mut Reader<'_>) -> Result<Salvaged, TraceError> {
     Ok(Salvaged { bundle, report })
 }
 
-fn decode_v2_salvage(r: &mut Reader<'_>) -> Result<Salvaged, TraceError> {
-    let (mut bundle, events_start) = decode_v2_header(r)?;
+fn decode_v2_salvage(
+    r: &mut Reader<'_>,
+    version: u8,
+) -> Result<Salvaged, TraceError> {
+    let (mut bundle, events_start) = decode_v2_header(r, version)?;
 
     let events_declared = r.get_u32_le("event count").unwrap_or(0) as usize;
     let mut events = EventTrace::new();
@@ -649,7 +724,7 @@ fn decode_v2_salvage(r: &mut Reader<'_>) -> Result<Salvaged, TraceError> {
         samples_complete && section_crc_matches(r, samples_start);
 
     let report = SalvageReport {
-        version: VERSION_V2,
+        version,
         events_declared,
         events_recovered: events.len(),
         samples_declared,
@@ -741,6 +816,45 @@ mod tests {
         let bundle = TraceBundle::new("u", 0, "d");
         assert_eq!(decode(&encode(&bundle)).unwrap(), bundle);
         assert_eq!(decode(&encode_v2(&bundle)).unwrap(), bundle);
+        assert_eq!(decode(&encode_v3(&bundle)).unwrap(), bundle);
+    }
+
+    #[test]
+    fn v3_round_trips_the_app_version() {
+        let bundle = sample_bundle().with_app_version("2.4.1");
+        let decoded = decode(&encode_v3(&bundle)).unwrap();
+        assert_eq!(decoded, bundle);
+        assert_eq!(decoded.app_version, "2.4.1");
+    }
+
+    #[test]
+    fn v2_drops_the_app_version_silently() {
+        let bundle = sample_bundle().with_app_version("2.4.1");
+        let decoded = decode(&encode_v2(&bundle)).unwrap();
+        assert_eq!(decoded.app_version, "");
+        assert_eq!(decoded, sample_bundle());
+    }
+
+    #[test]
+    fn v3_truncation_anywhere_is_an_error_not_a_panic() {
+        let bytes = encode_v3(&sample_bundle().with_app_version("v9"));
+        for cut in 0..bytes.len() {
+            assert!(
+                matches!(decode(&bytes[..cut]), Err(TraceError::Wire { .. })),
+                "truncation at {cut} must error"
+            );
+        }
+    }
+
+    #[test]
+    fn v3_salvage_reports_version_and_keeps_the_stamp() {
+        let bundle = busy_bundle(20).with_app_version("1.9");
+        let bytes = encode_v3(&bundle).to_vec();
+        let cut = bytes.len() * 2 / 3;
+        let salvaged = decode_salvage(&bytes[..cut]).unwrap();
+        assert_eq!(salvaged.report.version, VERSION_V3);
+        assert_eq!(salvaged.bundle.app_version, "1.9");
+        assert!(salvaged.report.events_recovered > 0);
     }
 
     #[test]

@@ -86,6 +86,22 @@ pub enum Fault {
         /// The retry work.
         task: TaskSpec,
     },
+    /// Configuration *regression*: the app always runs periodic work,
+    /// but a release misreads a setting and starts the `buggy`
+    /// parameterization instead of the `intended` one (the "sync
+    /// interval misread as seconds" story). Unlike
+    /// [`Fault::Configuration`], the fixed app still does the work —
+    /// just with sane parameters — which is the shape a release-gating
+    /// differential query must separate from "task removed entirely".
+    ConfigBug {
+        /// The callback that reads the setting and schedules the work.
+        trigger: MethodKey,
+        /// The correctly-parameterized task (fixed / v1 behaviour).
+        intended: TaskSpec,
+        /// The misparameterized task (faulty / v2 behaviour). Must
+        /// share `intended`'s name so one schedule replaces the other.
+        buggy: TaskSpec,
+    },
 }
 
 impl Fault {
@@ -96,7 +112,9 @@ impl Fault {
                 FaultClass::NoSleep
             }
             Fault::Loop { .. } => FaultClass::Loop,
-            Fault::Configuration { .. } => FaultClass::Configuration,
+            Fault::Configuration { .. } | Fault::ConfigBug { .. } => {
+                FaultClass::Configuration
+            }
         }
     }
 
@@ -107,7 +125,8 @@ impl Fault {
             Fault::StaticNoSleep { trigger, .. }
             | Fault::DynamicNoSleep { trigger, .. }
             | Fault::Loop { trigger, .. }
-            | Fault::Configuration { trigger, .. } => trigger,
+            | Fault::Configuration { trigger, .. }
+            | Fault::ConfigBug { trigger, .. } => trigger,
         }
     }
 
@@ -170,6 +189,8 @@ impl Fault {
                 .on(trigger.clone(), HookAction::StartTask(task.clone())),
             Fault::Configuration { trigger, task } => HookSet::new()
                 .on(trigger.clone(), HookAction::StartTask(task.clone())),
+            Fault::ConfigBug { trigger, buggy, .. } => HookSet::new()
+                .on(trigger.clone(), HookAction::StartTask(buggy.clone())),
         }
     }
 
@@ -194,6 +215,12 @@ impl Fault {
             // A fixed configuration handler validates the setting and
             // never starts the retry loop.
             Fault::Configuration { .. } => HookSet::new(),
+            // A fixed config-bug handler still schedules the work,
+            // with the intended parameters.
+            Fault::ConfigBug {
+                trigger, intended, ..
+            } => HookSet::new()
+                .on(trigger.clone(), HookAction::StartTask(intended.clone())),
         }
     }
 }
@@ -289,6 +316,29 @@ mod tests {
         ));
         assert_eq!(fault.root_cause(), &trigger);
         assert_eq!(fault.class(), FaultClass::Loop);
+    }
+
+    #[test]
+    fn config_bug_swaps_task_parameters_not_the_task() {
+        let trigger = MethodKey::new("LSettings;", "onResume");
+        let fault = Fault::ConfigBug {
+            trigger: trigger.clone(),
+            intended: TaskSpec::network_retry("sync", 300_000),
+            buggy: TaskSpec::network_retry("sync", 1_000),
+        };
+        // Both builds schedule the work — only the parameters differ —
+        // and the bytecode never changes.
+        let faulty = fault.faulty_hooks();
+        let fixed = fault.fixed_hooks();
+        let period = |hooks: &HookSet| match &hooks.actions(&trigger)[0] {
+            HookAction::StartTask(spec) => spec.period_ms,
+            other => panic!("unexpected action {other:?}"),
+        };
+        assert_eq!(period(&faulty), 1_000);
+        assert_eq!(period(&fixed), 300_000);
+        assert_eq!(fault.class(), FaultClass::Configuration);
+        assert!(!fault.statically_visible());
+        assert_eq!(fault.root_cause(), &trigger);
     }
 
     #[test]

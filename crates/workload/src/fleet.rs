@@ -273,6 +273,7 @@ impl FleetApp {
             impacted_fraction,
             n_users: 10,
             seed: 0xab40 + self.id as u64,
+            noise_reseed: 0,
         }
     }
 }

@@ -27,6 +27,9 @@
 //!   (K-9 Mail, OpenGPS, Wallabag, Tinfoil).
 //! - [`fleet`] — the Table-III fleet: all 40 apps with downloads,
 //!   root cause, and per-app generation seeds.
+//! - [`release`] — v1 → v2 release pairs (treatments injecting each
+//!   ABD class, plus bug-free controls): the ground truth the
+//!   differential regression detector is gated against.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -35,6 +38,7 @@ pub mod appgen;
 pub mod fault;
 pub mod fleet;
 pub mod hooks;
+pub mod release;
 pub mod scenario;
 pub mod session;
 pub mod users;
@@ -42,6 +46,7 @@ pub mod users;
 pub use fault::{Fault, FaultClass};
 pub use fleet::{fleet, FleetApp};
 pub use hooks::{HookAction, HookSet, TaskSpec};
+pub use release::{release_fleet, ReleaseCase, ReleasePair};
 pub use scenario::{CollectedTraces, Scenario};
 pub use session::SessionRunner;
 pub use users::{Action, UserScript};

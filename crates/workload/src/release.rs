@@ -1,0 +1,243 @@
+//! Release (v1 → v2) ground truth for the differential regression
+//! detector.
+//!
+//! A [`ReleaseCase`] models one app shipping a new release. For a
+//! *treatment* case the v1 fleet runs the repaired build and the v2
+//! fleet runs the build with the bug injected — one case per ABD
+//! class (loop, no-sleep, configuration), so a detector's recall is
+//! measurable across the whole taxonomy. For a *control* case both
+//! fleets run the healthy build; only the power-model noise seed
+//! changes, the way the same population re-measures after an upgrade
+//! that changed nothing. A detector that flags a control is reporting
+//! measurement noise as a regression — the false-positive half of the
+//! gate.
+//!
+//! Everything downstream of the seed is deterministic, so two
+//! processes (the CI gate and a golden test, say) regenerate identical
+//! traces — and therefore identical regression-report bytes —
+//! independently.
+
+use crate::fault::{Fault, FaultClass};
+use crate::hooks::TaskSpec;
+use crate::scenario::{CollectedTraces, Scenario, Variant};
+use energydx_droidsim::SimError;
+
+/// Noise perturbation between a case's v1 and v2 collections: the same
+/// population re-measured after the upgrade.
+const RELEASE_RESEED: u64 = 0x5eed_0002;
+
+/// One app's v1 → v2 release, with or without an injected bug.
+#[derive(Debug, Clone)]
+pub struct ReleaseCase {
+    /// Case name (unique within [`release_fleet`]).
+    pub name: &'static str,
+    /// The app, scripts, and (for treatments) the injected fault.
+    pub scenario: Scenario,
+    /// The ABD class v2 introduces; `None` marks a bug-free control.
+    pub injected: Option<FaultClass>,
+}
+
+/// Both fleets of one release case, collected and analysis-ready.
+#[derive(Debug, Clone)]
+pub struct ReleasePair {
+    /// The baseline (pre-release) fleet.
+    pub v1: CollectedTraces,
+    /// The candidate (post-release) fleet.
+    pub v2: CollectedTraces,
+}
+
+impl ReleaseCase {
+    /// Whether v2 ships a bug (treatment) or not (control).
+    pub fn buggy(&self) -> bool {
+        self.injected.is_some()
+    }
+
+    /// The injected root-cause event, in trace form — what a perfect
+    /// differential diagnosis should put at the top of its regression
+    /// list. `None` for controls.
+    pub fn root_cause_event(&self) -> Option<String> {
+        self.injected.map(|_| self.scenario.root_cause_event())
+    }
+
+    /// Collects both fleets. The v1 fleet always runs the repaired
+    /// build; the v2 fleet runs the faulty build for treatments and
+    /// the repaired build again for controls — in both cases with the
+    /// same user scripts but reseeded measurement noise, so the only
+    /// systematic v1 → v2 difference is the injected bug.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`] if a script drives the device illegally
+    /// (a case-definition bug).
+    pub fn collect_pair(&self) -> Result<ReleasePair, SimError> {
+        let v1 = self.scenario.collect(Variant::Fixed)?;
+        let mut next = self.scenario.clone();
+        next.noise_reseed = next.noise_reseed.wrapping_add(RELEASE_RESEED);
+        let v2 = match self.injected {
+            Some(_) => next.collect(Variant::Faulty)?,
+            None => next.collect(Variant::Fixed)?,
+        };
+        Ok(ReleasePair { v1, v2 })
+    }
+}
+
+/// The ground-truth release fleet: one treatment per ABD class plus
+/// bug-free controls. Recall = treatments flagged `regressed`;
+/// precision demands zero flagged controls.
+pub fn release_fleet() -> Vec<ReleaseCase> {
+    vec![
+        ReleaseCase {
+            name: "tinfoil-loop",
+            scenario: loop_release(),
+            injected: Some(FaultClass::Loop),
+        },
+        ReleaseCase {
+            name: "opengps-nosleep",
+            scenario: nosleep_release(),
+            injected: Some(FaultClass::NoSleep),
+        },
+        ReleaseCase {
+            name: "k9-configbug",
+            scenario: configbug_release(),
+            injected: Some(FaultClass::Configuration),
+        },
+        ReleaseCase {
+            name: "tinfoil-control",
+            scenario: loop_release(),
+            injected: None,
+        },
+        ReleaseCase {
+            name: "wallabag-control",
+            scenario: control_release(),
+            injected: None,
+        },
+    ]
+}
+
+/// A release must bite hard enough for a distribution tail to move:
+/// the bug ships to everyone, so the share of sessions exercising the
+/// trigger path is high — unlike the within-release diagnosis
+/// scenarios, where a small impacted fraction is the point.
+fn released(mut scenario: Scenario, n_users: usize) -> Scenario {
+    scenario.impacted_fraction = 0.5;
+    scenario.n_users = n_users;
+    scenario
+}
+
+/// Loop class: the Tinfoil news-feed sync that a release stops
+/// cancelling on `onPause`.
+fn loop_release() -> Scenario {
+    released(Scenario::tinfoil(), 10)
+}
+
+/// No-sleep class: the OpenGPS location fix a release stops releasing
+/// when the map is backgrounded.
+fn nosleep_release() -> Scenario {
+    released(Scenario::opengps(), 10)
+}
+
+/// Configuration class: K-9's sync interval, misread by the new
+/// release so the intended half-hourly check fires every 1.5 s. Both
+/// builds schedule the work — only the parameters differ — which is
+/// exactly the shape [`Fault::ConfigBug`] exists to model.
+fn configbug_release() -> Scenario {
+    let mut scenario = released(Scenario::k9mail(), 12);
+    let trigger = match &scenario.fault {
+        Fault::Configuration { trigger, .. } => trigger.clone(),
+        other => {
+            unreachable!("k9mail carries a configuration fault: {other:?}")
+        }
+    };
+    scenario.fault = Fault::ConfigBug {
+        trigger,
+        intended: TaskSpec::network_retry("imap-sync", 1_800_000),
+        buggy: TaskSpec::network_retry("imap-sync", 1_500),
+    };
+    scenario
+}
+
+/// A control on a different app and fault shape than the treatments,
+/// so false positives are probed across behaviours, not one template.
+fn control_release() -> Scenario {
+    released(Scenario::wallabag(), 10)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use energydx::{AnalysisConfig, EnergyDx};
+    use energydx_regress::{compare, RegressConfig, Verdict};
+
+    fn verdicts() -> Vec<(&'static str, bool, Verdict, Vec<String>)> {
+        release_fleet()
+            .iter()
+            .map(|case| {
+                let pair = case.collect_pair().expect("cases are valid");
+                let config = AnalysisConfig::default().with_developer_fraction(
+                    case.scenario.developer_fraction(),
+                );
+                let dx = EnergyDx::new(config);
+                let v1 = dx.diagnose(&pair.v1.diagnosis_input());
+                let v2 = dx.diagnose(&pair.v2.diagnosis_input());
+                let cmp =
+                    compare("v1", &v1, "v2", &v2, &RegressConfig::default());
+                let flagged: Vec<String> =
+                    cmp.regressions().map(|e| e.event.clone()).collect();
+                (case.name, case.buggy(), cmp.verdict, flagged)
+            })
+            .collect()
+    }
+
+    /// The whole gate in one assertion set: every treatment regresses,
+    /// no control does — recall 3/3, precision 1.0 on this fleet.
+    #[test]
+    fn treatments_regress_and_controls_do_not() {
+        for (name, buggy, verdict, flagged) in verdicts() {
+            if buggy {
+                assert_eq!(
+                    verdict,
+                    Verdict::Regressed,
+                    "{name}: injected bug not flagged (flagged: {flagged:?})"
+                );
+                assert!(
+                    !flagged.is_empty(),
+                    "{name}: regressed verdict without a flagged event"
+                );
+            } else {
+                assert_ne!(
+                    verdict,
+                    Verdict::Regressed,
+                    "{name}: control flagged as regressed ({flagged:?})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn collection_is_deterministic() {
+        let case = &release_fleet()[0];
+        let a = case.collect_pair().unwrap();
+        let b = case.collect_pair().unwrap();
+        assert_eq!(a.v1.pairs, b.v1.pairs);
+        assert_eq!(a.v2.pairs, b.v2.pairs);
+    }
+
+    #[test]
+    fn fleet_covers_all_three_classes_and_has_controls() {
+        let fleet = release_fleet();
+        for class in [
+            FaultClass::Loop,
+            FaultClass::NoSleep,
+            FaultClass::Configuration,
+        ] {
+            assert!(
+                fleet.iter().any(|c| c.injected == Some(class)),
+                "no treatment for {class}"
+            );
+        }
+        assert!(fleet.iter().filter(|c| !c.buggy()).count() >= 2);
+        for case in &fleet {
+            assert_eq!(case.buggy(), case.root_cause_event().is_some());
+        }
+    }
+}

@@ -86,6 +86,14 @@ pub struct Scenario {
     pub n_users: usize,
     /// Base seed for scripts and noise.
     pub seed: u64,
+    /// Extra perturbation folded into the power-model seed only.
+    ///
+    /// Scripts stay keyed by [`seed`](Self::seed), so bumping this
+    /// replays the *same* sessions under fresh measurement noise — how
+    /// [`release`](crate::release) models a population re-measured
+    /// after an upgrade. Zero leaves collection byte-identical to the
+    /// pre-field behaviour.
+    pub noise_reseed: u64,
 }
 
 impl Scenario {
@@ -154,7 +162,10 @@ impl Scenario {
                 sampler.sample(&session.timeline, session.duration_ms);
             let model = PowerModel::new(
                 profile.clone(),
-                self.seed.wrapping_add(user as u64).wrapping_mul(0x9e37),
+                self.seed
+                    .wrapping_add(self.noise_reseed)
+                    .wrapping_add(user as u64)
+                    .wrapping_mul(0x9e37),
             );
             let measured = model.estimate_trace(&utilization);
             let power = scale_trace(&measured, profile, &reference);
@@ -237,6 +248,7 @@ impl Scenario {
             impacted_fraction: 0.15,
             n_users: 13,
             seed: 0x4b39,
+            noise_reseed: 0,
         }
     }
 
@@ -281,6 +293,7 @@ impl Scenario {
             impacted_fraction: 0.3,
             n_users: 10,
             seed: 0x6750,
+            noise_reseed: 0,
         }
     }
 
@@ -328,6 +341,7 @@ impl Scenario {
             impacted_fraction: 0.25,
             n_users: 12,
             seed: 0x3a110,
+            noise_reseed: 0,
         }
     }
 
@@ -385,6 +399,7 @@ impl Scenario {
             impacted_fraction: 0.3,
             n_users: 10,
             seed: 0x71f0,
+            noise_reseed: 0,
         }
     }
 }

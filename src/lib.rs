@@ -13,6 +13,7 @@
 //! - [`energydx_workload`] — user simulation, fault injection, app fleet.
 //! - [`energydx_baselines`] — CheckAll, No-sleep Detection, eDelta.
 //! - [`energydx_fleetd`] — incremental fleet-analysis daemon.
+//! - [`energydx_regress`] — differential (release-to-release) diagnosis.
 //! - [`energydx_segment`] — on-disk columnar segment format.
 
 pub mod fixtures;
@@ -23,6 +24,7 @@ pub use energydx_dexir;
 pub use energydx_droidsim;
 pub use energydx_fleetd;
 pub use energydx_powermodel;
+pub use energydx_regress;
 pub use energydx_segment;
 pub use energydx_stats;
 pub use energydx_trace;

@@ -11,7 +11,7 @@
 //! energydx::DiagnosisReport::to_canonical_json
 
 use energydx_suite::energydx::shard::ShardPartial;
-use energydx_suite::energydx::{DiagnosisInput, EnergyDx};
+use energydx_suite::energydx::{DiagnosisInput, DiagnosisReport, EnergyDx};
 use energydx_suite::energydx_fleetd::checkpoint::{
     checkpoint_bytes, restore_bytes,
 };
@@ -1368,4 +1368,322 @@ fn coordinator_not_modified_replies_serve_identical_bytes() {
     }
     assert_same_report();
     assert_same_report();
+}
+
+// ---------------------------------------------------------------------
+// The version dimension: any interleaving of version-stamped uploads
+// with {spill, compact, checkpoint, kill -9 restart} under any budget
+// must leave each release's diagnosis byte-identical to the batch
+// reference over that release's accepted traces, the unversioned
+// query byte-identical to the reference over *all* accepted traces in
+// accept order, and the differential (from → to) answer byte-identical
+// to `energydx_regress::compare` over the two per-release references.
+// ---------------------------------------------------------------------
+
+use energydx_suite::energydx_regress::{
+    compare, regression_json, RegressConfig,
+};
+
+/// The two releases the versioned pool interleaves.
+const RELEASES: [&str; 2] = ["1.9.0", "2.0.0"];
+
+/// The versioned upload pool: [`payload_pool`]'s damage recipe with an
+/// app-version stamp alternating by index. Session ids are offset by
+/// release so a `(user, session)` claim can only repeat *within* one
+/// release — the daemon deliberately dedups cross-version retries of
+/// the same session, which a per-release reference could never see —
+/// while within-release duplicates stay in the pool.
+fn versioned_pool() -> Vec<(usize, Vec<u8>)> {
+    (0..12usize)
+        .map(|i| {
+            let release = i % RELEASES.len();
+            let session =
+                (i % 2) as u64 * RELEASES.len() as u64 + release as u64;
+            let mut payload = fixture::payload_versioned(
+                &format!("u{:02}", i / 2),
+                session,
+                RELEASES[release],
+            );
+            if i % 4 == 3 {
+                payload.truncate(7);
+            } else if i % 5 == 4 {
+                let mid = payload.len() / 2;
+                payload[mid] ^= 0x10;
+            }
+            (release, payload)
+        })
+        .collect()
+}
+
+/// What the versioned daemon *should* have accepted: the shared
+/// prepare pipeline plus the daemon's global `(user, session)` dedup,
+/// with each accepted bundle remembered in accept order alongside its
+/// release, so both the per-release and the whole-app reference can be
+/// recomputed from scratch.
+#[derive(Debug, Clone, Default)]
+struct VersionedModel {
+    accepted: Vec<(usize, TraceBundle)>,
+    seen: BTreeSet<(String, u64)>,
+}
+
+impl VersionedModel {
+    /// Returns whether the payload should be accepted.
+    fn apply(&mut self, release: usize, payload: &[u8]) -> bool {
+        match prepare_wire(payload, &RepairPolicy::default()) {
+            PreparedUpload::Ready { bundle, .. } => {
+                if self.seen.insert((bundle.user.clone(), bundle.session)) {
+                    self.accepted.push((release, bundle));
+                    true
+                } else {
+                    false
+                }
+            }
+            PreparedUpload::Rejected(_) => false,
+        }
+    }
+
+    /// The batch reference for one release: the accepted bundles that
+    /// carried its stamp, in accept order.
+    fn release_reference(&self, release: usize) -> DiagnosisReport {
+        let bundles: Vec<TraceBundle> = self
+            .accepted
+            .iter()
+            .filter(|(r, _)| *r == release)
+            .map(|(_, b)| b.clone())
+            .collect();
+        EnergyDx::default().diagnose_reference(&bundles_to_input(&bundles))
+    }
+}
+
+/// Every query the versioned daemon serves must match the model: each
+/// release's diagnosis projects onto its own batch reference, the
+/// unversioned query folds across releases, and the differential
+/// answer equals `compare` over the two projections.
+fn assert_versioned_matches_reference(
+    state: &FleetState,
+    model: &VersionedModel,
+) {
+    if !state.apps().contains_key("app") {
+        assert!(
+            model.accepted.is_empty(),
+            "daemon lost every upload the model accepted"
+        );
+        return;
+    }
+    let per_release: Vec<DiagnosisReport> = (0..RELEASES.len())
+        .map(|r| model.release_reference(r))
+        .collect();
+    for (r, release) in RELEASES.iter().enumerate() {
+        let served = state
+            .diagnose_version("app", None, release)
+            .expect("an app that exists serves every release")
+            .to_canonical_json();
+        assert_eq!(
+            served,
+            per_release[r].to_canonical_json(),
+            "release {release} diverged from its batch reference"
+        );
+    }
+    let all: Vec<TraceBundle> =
+        model.accepted.iter().map(|(_, b)| b.clone()).collect();
+    assert_eq!(
+        state
+            .diagnose_json("app", None)
+            .expect("an app that exists serves a report"),
+        EnergyDx::default()
+            .diagnose_reference(&bundles_to_input(&all))
+            .to_canonical_json(),
+        "the unversioned query stopped folding across releases"
+    );
+    let thresholds = RegressConfig::default();
+    assert_eq!(
+        state
+            .regressions_json(
+                "app",
+                None,
+                RELEASES[0],
+                RELEASES[1],
+                &thresholds
+            )
+            .expect("an app that exists serves a differential answer"),
+        regression_json(&compare(
+            RELEASES[0],
+            &per_release[0],
+            RELEASES[1],
+            &per_release[1],
+            &thresholds,
+        )),
+        "the differential answer diverged from compare over the references"
+    );
+}
+
+/// One step of a versioned-daemon schedule.
+#[derive(Debug, Clone, Copy)]
+enum VersionOp {
+    /// Submit versioned payload `i`; the budget may spill it.
+    Upload(usize),
+    /// Evict everything: fold every release's resident deltas to disk.
+    Spill,
+    /// Collapse resident deltas into canonical per-release partials.
+    Compact,
+    /// Durable snapshot carrying the version split.
+    Checkpoint,
+    /// kill -9: discard the live state, reload from disk.
+    Restart,
+    /// Differential (from → to) query against the model's references.
+    Regressions,
+    /// Per-release and unversioned queries against the references.
+    Query,
+}
+
+/// Runs one schedule against a spilling versioned [`FleetState`] under
+/// the given budget, checking acceptance against the model at every
+/// upload and every query class against its reference at `Query`,
+/// `Regressions`, and the end.
+fn run_version_schedule(
+    ops: &[VersionOp],
+    pool: &[(usize, Vec<u8>)],
+    mem_budget: usize,
+) {
+    let root = TempDir::new("version");
+    let state_dir = root.path().join("state");
+    let config = FleetConfig {
+        spill: Some(SpillConfig {
+            dir: root.path().join("spool"),
+            mem_budget,
+        }),
+        ..FleetConfig::default()
+    };
+    let mut state = FleetState::new(config.clone());
+    let mut model = VersionedModel::default();
+    let mut checkpointed: Option<VersionedModel> = None;
+    for op in ops {
+        match *op {
+            VersionOp::Upload(i) => {
+                let (release, payload) = &pool[i % pool.len()];
+                let accepted = state.submit("app", payload).accepted();
+                assert_eq!(
+                    accepted,
+                    model.apply(*release, payload),
+                    "versioned daemon and model disagree on payload {i}"
+                );
+            }
+            VersionOp::Spill => {
+                state.spill_all();
+            }
+            VersionOp::Compact => {
+                state.compact();
+            }
+            VersionOp::Checkpoint => {
+                save_to(&state, &state_dir).expect("checkpoint writes");
+                checkpointed = Some(model.clone());
+            }
+            VersionOp::Restart => {
+                drop(state);
+                match load_from(&state_dir, config.clone())
+                    .expect("a daemon checkpoint restores with its segments")
+                {
+                    Some(restored) => {
+                        state = restored;
+                        model = checkpointed
+                            .clone()
+                            .expect("a checkpoint file implies a snapshot");
+                    }
+                    None => {
+                        state = FleetState::new(config.clone());
+                        model = VersionedModel::default();
+                    }
+                }
+            }
+            VersionOp::Regressions => {
+                if state.apps().contains_key("app") {
+                    let thresholds = RegressConfig::default();
+                    let served = state
+                        .regressions_json(
+                            "app",
+                            None,
+                            RELEASES[0],
+                            RELEASES[1],
+                            &thresholds,
+                        )
+                        .expect("an app that exists serves a differential");
+                    let expected = regression_json(&compare(
+                        RELEASES[0],
+                        &model.release_reference(0),
+                        RELEASES[1],
+                        &model.release_reference(1),
+                        &thresholds,
+                    ));
+                    assert_eq!(
+                        served, expected,
+                        "mid-schedule differential diverged"
+                    );
+                }
+            }
+            VersionOp::Query => {
+                assert_versioned_matches_reference(&state, &model);
+            }
+        }
+    }
+    assert_versioned_matches_reference(&state, &model);
+}
+
+fn version_ops() -> impl Strategy<Value = Vec<VersionOp>> {
+    let op = (0u8..16, 0usize..12).prop_map(|(kind, i)| match kind {
+        0..=6 => VersionOp::Upload(i),
+        7 => VersionOp::Spill,
+        8 => VersionOp::Compact,
+        9 | 10 => VersionOp::Checkpoint,
+        11 | 12 => VersionOp::Restart,
+        13 | 14 => VersionOp::Regressions,
+        _ => VersionOp::Query,
+    });
+    prop::collection::vec(op, 0..28)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The version-dimension headline property: **any** schedule of
+    /// version-stamped uploads, spills, compactions, checkpoints,
+    /// kill -9 restarts, differential queries, and per-release /
+    /// unversioned queries under **any** budget — zero, small, or
+    /// unbounded — serves byte-identical answers to the references
+    /// recomputed from scratch.
+    #[test]
+    fn any_versioned_schedule_serves_the_batch_references(
+        ops in version_ops(),
+        budget in prop_oneof![
+            Just(0usize),
+            256usize..8192,
+            Just(usize::MAX),
+        ],
+    ) {
+        run_version_schedule(&ops, &versioned_pool(), budget);
+    }
+}
+
+/// Fixed scenario, the acceptance bar for release gating under
+/// duress: a zero-budget daemon spills every versioned upload; the
+/// differential answer holds cold, folded back from disk, across a
+/// checkpoint + kill -9 that loses the tail, and after the tail is
+/// re-driven (dedup absorbing the resends) and compacted.
+#[test]
+fn a_release_gate_survives_spill_compact_and_kill_dash_nine() {
+    let pool = versioned_pool();
+    let mut ops: Vec<VersionOp> = Vec::new();
+    ops.extend((0..8).map(VersionOp::Upload));
+    ops.push(VersionOp::Regressions); // cold: both releases fold fresh
+    ops.push(VersionOp::Spill);
+    ops.push(VersionOp::Regressions); // folded back from segments
+    ops.push(VersionOp::Checkpoint);
+    ops.extend((8..12).map(VersionOp::Upload)); // lost at the crash
+    ops.push(VersionOp::Restart); // kill -9, restore from disk
+    ops.push(VersionOp::Query); // == references as of the checkpoint
+    ops.push(VersionOp::Regressions);
+    ops.extend((6..12).map(VersionOp::Upload)); // re-drive incl. resends
+    ops.push(VersionOp::Compact);
+    ops.push(VersionOp::Regressions); // == full-fleet differential
+    ops.push(VersionOp::Query);
+    run_version_schedule(&ops, &pool, 0);
 }

@@ -11,10 +11,25 @@
 //! ```
 
 use energydx_suite::energydx::shard::StreamingFold;
-use energydx_suite::energydx::{DiagnosisInput, EnergyDx};
+use energydx_suite::energydx::{AnalysisConfig, DiagnosisInput, EnergyDx};
+use energydx_suite::energydx_fleetd::cluster::{
+    InProcessTransport, WorkerSlot, WorkerTransport,
+};
+use energydx_suite::energydx_fleetd::coordinator::{
+    Coordinator, CoordinatorConfig,
+};
+use energydx_suite::energydx_fleetd::fixture;
+use energydx_suite::energydx_fleetd::protocol::{Request, Response};
+use energydx_suite::energydx_fleetd::server::{FleetdHandle, ServerConfig};
+use energydx_suite::energydx_fleetd::{Dispatch, RetryBudget};
+use energydx_suite::energydx_regress::{
+    compare, regression_json, RegressConfig,
+};
 use energydx_suite::energydx_segment;
+use energydx_suite::energydx_workload::release_fleet;
 use energydx_suite::fixtures::{chaos_fleet, fig6_fleet, k9_fleet};
 use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
 
 fn golden_path(name: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
@@ -22,12 +37,11 @@ fn golden_path(name: &str) -> PathBuf {
         .join(format!("{name}.json"))
 }
 
-fn check_golden(name: &str, input: &DiagnosisInput) {
-    let json = EnergyDx::default().diagnose(input).to_canonical_json();
+fn check_golden_bytes(name: &str, json: &str) {
     let path = golden_path(name);
     if std::env::var_os("UPDATE_GOLDEN").is_some() {
         std::fs::create_dir_all(path.parent().unwrap()).unwrap();
-        std::fs::write(&path, &json).unwrap();
+        std::fs::write(&path, json).unwrap();
         return;
     }
     let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
@@ -44,6 +58,11 @@ fn check_golden(name: &str, input: &DiagnosisInput) {
          and review the diff",
         path.display()
     );
+}
+
+fn check_golden(name: &str, input: &DiagnosisInput) {
+    let json = EnergyDx::default().diagnose(input).to_canonical_json();
+    check_golden_bytes(name, &json);
 }
 
 #[test]
@@ -116,4 +135,96 @@ fn streamed_segments_reproduce_the_goldens_byte_for_byte() {
         let _ = std::fs::remove_dir_all(&spool);
     }
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The release-gate answer over the ground-truth fleet, pinned byte
+/// for byte: every [`release_fleet`] case's differential report under
+/// the default thresholds, keyed by case name. Any change to the
+/// detector's math, its rendering, or the ground-truth workloads shows
+/// up here as a byte diff — including a treatment quietly losing its
+/// `regressed` verdict or a control gaining one.
+#[test]
+fn release_fleet_regressions_match_golden() {
+    let cases = release_fleet();
+    let mut doc = String::from("{\n");
+    for (i, case) in cases.iter().enumerate() {
+        let pair = case.collect_pair().expect("ground-truth cases are valid");
+        let config = AnalysisConfig::default()
+            .with_developer_fraction(case.scenario.developer_fraction());
+        let dx = EnergyDx::new(config);
+        let v1 = dx.diagnose(&pair.v1.diagnosis_input());
+        let v2 = dx.diagnose(&pair.v2.diagnosis_input());
+        let report = compare("v1", &v1, "v2", &v2, &RegressConfig::default());
+        doc.push_str(&format!(
+            "  \"{}\": {}{}\n",
+            case.name,
+            regression_json(&report).trim_end(),
+            if i + 1 < cases.len() { "," } else { "" },
+        ));
+    }
+    doc.push_str("}\n");
+    check_golden_bytes("regressions", &doc);
+}
+
+/// A degraded cluster's differential answer, pinned byte for byte: a
+/// 3-worker cluster loses one worker to kill -9, and the coordinator
+/// must *name* the missing shard while still serving the survivors'
+/// deterministic comparison — so neither the `Degraded` shape nor the
+/// partial answer's bytes can silently change.
+#[test]
+fn degraded_cluster_regressions_answer_matches_golden() {
+    let slots: Vec<WorkerSlot> = (0..3)
+        .map(|_| {
+            let handle =
+                FleetdHandle::start(ServerConfig::default()).expect("worker");
+            Arc::new(Mutex::new(Some(Arc::new(handle))))
+        })
+        .collect();
+    let transports: Vec<Box<dyn WorkerTransport>> = slots
+        .iter()
+        .map(|slot| {
+            Box::new(InProcessTransport::new(Arc::clone(slot)))
+                as Box<dyn WorkerTransport>
+        })
+        .collect();
+    let config = CoordinatorConfig {
+        retry: RetryBudget {
+            max_attempts: 1,
+            base_backoff_ms: 0,
+            max_backoff_ms: 0,
+        },
+        ..CoordinatorConfig::default()
+    };
+    let coordinator = Coordinator::new(config, transports).expect("cluster");
+    for i in 0..24u64 {
+        let version = if i % 2 == 0 { "1.9.0" } else { "2.0.0" };
+        let payload = fixture::payload_versioned(
+            &format!("u{:02}", i / 4),
+            i % 4,
+            version,
+        );
+        match coordinator.submit("app", payload) {
+            Response::Outcome { .. } => {}
+            other => panic!("unexpected submit response {other:?}"),
+        }
+    }
+    // kill -9 one worker: the answer must degrade, not guess.
+    slots[1].lock().unwrap().take();
+    let response = coordinator.handle_request(Request::Regressions {
+        app: "app".to_string(),
+        epoch: None,
+        from: "1.9.0".to_string(),
+        to: "2.0.0".to_string(),
+        threshold: None,
+    });
+    let (missing, json) = match response {
+        Response::Degraded { missing, json } => (missing, json),
+        other => panic!("expected a degraded answer, got {other:?}"),
+    };
+    assert_eq!(missing, vec![1], "the lost shard must be named");
+    let doc = format!(
+        "{{\n  \"missing\": {missing:?},\n  \"report\": {}\n}}\n",
+        json.trim_end()
+    );
+    check_golden_bytes("regressions_degraded", &doc);
 }
