@@ -44,7 +44,11 @@ echo "== benchmark budget gates (smoke) =="
 #             no-sleep, configuration) is flagged regressed, zero
 #             bug-free controls are, and a warm differential query
 #             beats cold by the stored speedup budget.
-for b in hotpath ingest spill query cluster regress; do
+#   report  — the operator report: daemon and batch surfaces render
+#             identical artifacts, warm renders beat cold by the
+#             stored speedup budget, and both artifacts stay under
+#             their KiB weight caps.
+for b in hotpath ingest spill query cluster regress report; do
   echo "-- $b (BENCH_$b.json)"
   cargo run -q --release -p energydx-bench --bin "$b" -- \
     --check "BENCH_$b.json" >/dev/null

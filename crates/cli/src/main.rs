@@ -77,6 +77,7 @@ fn main() -> ExitCode {
         Some("serve") => cmd_serve(&args[1..]),
         Some("submit") => cmd_submit(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
+        Some("report") => cmd_report(&args[1..]),
         Some("demo") => cmd_demo(&args[1..]),
         Some("apps") => cmd_apps(),
         Some("help") | Some("--help") | Some("-h") | None => {
@@ -128,6 +129,8 @@ USAGE:
   energydx query regressions --addr <host:port> --app <name>
                  --from <release> --to <release> [--epoch <n>]
                  [--threshold <fraction>]
+  energydx report (--bundles <dir> | --addr <host:port>) [--out <dir>]
+                  [--app <name>] [--top <n>] [--fraction <0..1>]
   energydx demo --app <name>
   energydx apps
 
@@ -734,6 +737,232 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
         other => return Err(format!("unexpected response: {other:?}")),
     }
     Ok(())
+}
+
+/// `energydx report`: renders the deterministic operator report
+/// (self-contained `report.html` + canonical `report.json`) either
+/// over batch input (`--bundles`) or from a live daemon/coordinator
+/// (`--addr`, via `Request::Report`). Both artifacts are written
+/// atomically (write-tmp → rename, like checkpoints), so a failure
+/// never leaves a partial artifact on disk. A degraded cluster answer
+/// still writes the artifacts — they name the missing shards — but
+/// the command exits nonzero so scripts cannot mistake them for the
+/// full fleet.
+fn cmd_report(args: &[String]) -> Result<(), String> {
+    let out_dir = PathBuf::from(flag_value(args, "--out").unwrap_or("."));
+    let top: Option<u32> = flag_value(args, "--top")
+        .map(|t| t.parse().map_err(|_| format!("invalid --top `{t}`")))
+        .transpose()?;
+    match (flag_value(args, "--bundles"), flag_value(args, "--addr")) {
+        (Some(dir), None) => report_batch(args, Path::new(dir), &out_dir, top),
+        (None, Some(addr)) => report_live(addr, &out_dir, top),
+        _ => Err("report needs exactly one of --bundles <dir> or \
+                  --addr <host:port>"
+            .to_string()),
+    }
+}
+
+/// The live half of `energydx report`: one `Request::Report` against
+/// a daemon or coordinator, artifacts written as received.
+fn report_live(
+    addr: &str,
+    out_dir: &Path,
+    top: Option<u32>,
+) -> Result<(), String> {
+    let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
+    match client
+        .request(&Request::Report { top })
+        .map_err(|e| e.to_string())?
+    {
+        Response::ReportArtifacts {
+            missing,
+            html,
+            json,
+        } => {
+            let (html_path, json_path) =
+                write_report_artifacts(out_dir, &html, &json)?;
+            println!(
+                "report written to {} and {}",
+                html_path.display(),
+                json_path.display()
+            );
+            if missing.is_empty() {
+                Ok(())
+            } else {
+                Err(format!(
+                    "degraded report: shard(s) {missing:?} unreachable"
+                ))
+            }
+        }
+        Response::Error { message } => Err(message),
+        other => Err(format!("unexpected response: {other:?}")),
+    }
+}
+
+/// The batch half of `energydx report`: assembles one [`AppInput`]
+/// per app through the daemon's own prepare/dedup/convert pipeline
+/// and renders with a pinned deployment panel — byte-identical to a
+/// deterministic-time daemon over the same accepted payloads.
+///
+/// Layouts: a directory of `*.edxt` payloads (or a `*.seg` spill
+/// spool) is one app, named by `--app` (default: the directory name);
+/// a directory of subdirectories is one app per subdirectory.
+///
+/// [`AppInput`]: energydx_report::AppInput
+fn report_batch(
+    args: &[String],
+    dir: &Path,
+    out_dir: &Path,
+    top: Option<u32>,
+) -> Result<(), String> {
+    use energydx_report::{build_model, DeploymentPanel, DEFAULT_TOP_APPS};
+    let fraction: f64 = num_flag(args, "--fraction", 0.15)?;
+    let jobs = try_resolve_jobs(num_flag(args, "--jobs", 0usize)?)
+        .map_err(|e| e.to_string())?;
+    let config = AnalysisConfig::default().with_developer_fraction(fraction);
+    // One app per subdirectory holding payloads; a flat directory is
+    // a single app.
+    let mut apps: Vec<(String, PathBuf)> = std::fs::read_dir(dir)
+        .map_err(|e| format!("cannot read {}: {e}", dir.display()))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.is_dir())
+        .filter_map(|p| {
+            let has_payloads =
+                edxt_files(&p).map(|f| !f.is_empty()).unwrap_or(false)
+                    || seg_files(&p).map(|f| !f.is_empty()).unwrap_or(false);
+            let name = p.file_name()?.to_str()?.to_string();
+            has_payloads.then_some((name, p))
+        })
+        .collect();
+    apps.sort();
+    if apps.is_empty() {
+        let name = flag_value(args, "--app")
+            .map(str::to_string)
+            .or_else(|| {
+                dir.file_name().and_then(|n| n.to_str()).map(str::to_string)
+            })
+            .unwrap_or_else(|| "app".to_string());
+        apps.push((name, dir.to_path_buf()));
+    }
+    let mut inputs = Vec::new();
+    for (app, adir) in &apps {
+        inputs.push(assemble_app_input(&config, jobs, app, adir)?);
+    }
+    let model = build_model(
+        &inputs,
+        DeploymentPanel::pinned(),
+        Vec::new(),
+        top.map_or(DEFAULT_TOP_APPS, |t| t as usize),
+    );
+    let html = energydx_report::render_html(&model);
+    let json = energydx_report::render_json(&model);
+    let (html_path, json_path) = write_report_artifacts(out_dir, &html, &json)?;
+    println!(
+        "report over {} app(s) written to {} and {}",
+        apps.len(),
+        html_path.display(),
+        json_path.display()
+    );
+    Ok(())
+}
+
+/// Runs one app directory through the daemon's ingest pipeline into a
+/// report input: `*.seg` spools fold directly (no per-upload
+/// accounting survives a spill, so they count as clean); `*.edxt`
+/// payloads get the full prepare/dedup/quarantine treatment.
+fn assemble_app_input(
+    config: &AnalysisConfig,
+    jobs: usize,
+    app: &str,
+    dir: &Path,
+) -> Result<energydx_report::AppInput, String> {
+    use energydx_report::{AppInput, BatchAssembler, EpochInput};
+    let dx = EnergyDx::new(config.clone()).with_jobs(jobs);
+    let segments = seg_files(dir)?;
+    if !segments.is_empty() {
+        let mut fold = StreamingFold::new();
+        for path in &segments {
+            let partial = energydx_segment::load_from(path)
+                .map_err(|e| format!("{}: {e}", path.display()))?;
+            fold.absorb(partial);
+        }
+        let report = dx.finish_streamed(fold).map_err(|e| e.to_string())?;
+        let clean = report.stats.total_traces as u64;
+        return Ok(AppInput {
+            app: app.to_string(),
+            detail_epoch: 0,
+            epochs: vec![EpochInput {
+                epoch: 0,
+                report,
+                clean,
+                recovered: 0,
+                quarantine: Vec::new(),
+            }],
+            versions: Vec::new(),
+        });
+    }
+    let files = edxt_files(dir)?;
+    if files.is_empty() {
+        return Err(format!(
+            "no *.edxt payloads or *.seg segments in {}",
+            dir.display()
+        ));
+    }
+    let policy = RepairPolicy::default();
+    let mut assembler = BatchAssembler::new(dx);
+    let mut seen: std::collections::BTreeSet<(String, u64)> =
+        std::collections::BTreeSet::new();
+    for path in &files {
+        let payload = std::fs::read(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        match prepare_wire(&payload, &policy) {
+            PreparedUpload::Ready {
+                bundle,
+                repairs,
+                salvage,
+            } => {
+                if !seen.insert((bundle.user.clone(), bundle.session)) {
+                    assembler.reject(&RejectReason::Duplicate.to_string());
+                    continue;
+                }
+                let recovered = !repairs.is_empty() || salvage.is_some();
+                let version = bundle.app_version.clone();
+                let trace = energydx_fleetd::convert::bundle_to_trace(&bundle);
+                assembler.accept(&version, trace, recovered);
+            }
+            PreparedUpload::Rejected(entry) => {
+                assembler.reject(&entry.reason.to_string());
+            }
+        }
+    }
+    assembler.finish(app).map_err(|e| e.to_string())
+}
+
+/// Writes both report artifacts atomically: each lands complete under
+/// its final name or not at all (write-tmp → rename, same discipline
+/// as checkpoints).
+fn write_report_artifacts(
+    out_dir: &Path,
+    html: &str,
+    json: &str,
+) -> Result<(PathBuf, PathBuf), String> {
+    std::fs::create_dir_all(out_dir)
+        .map_err(|e| format!("cannot create {}: {e}", out_dir.display()))?;
+    let html_path = out_dir.join("report.html");
+    let json_path = out_dir.join("report.json");
+    write_atomic(&html_path, html.as_bytes())?;
+    write_atomic(&json_path, json.as_bytes())?;
+    Ok((html_path, json_path))
+}
+
+fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), String> {
+    let tmp = PathBuf::from(format!("{}.tmp", path.display()));
+    std::fs::write(&tmp, bytes)
+        .map_err(|e| format!("cannot write {}: {e}", tmp.display()))?;
+    std::fs::rename(&tmp, path).map_err(|e| {
+        let _ = std::fs::remove_file(&tmp);
+        format!("cannot finalize {}: {e}", path.display())
+    })
 }
 
 /// Streams diagnosis over a directory without materializing the

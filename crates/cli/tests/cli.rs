@@ -596,6 +596,216 @@ fn spilling_daemon_and_its_spool_match_the_batch_cli() {
     let _ = std::fs::remove_dir_all(&spool);
 }
 
+/// The operator report across surfaces: a daemon pinned under
+/// `ENERGYDX_DETERMINISTIC_TIME` must serve byte-identical
+/// `report.html`/`report.json` artifacts to the batch CLI run over
+/// the same payload directory.
+#[test]
+fn report_from_daemon_matches_batch_report() {
+    use std::io::BufRead;
+
+    let dir = temp_dir("report-payloads");
+    for i in 0..8u64 {
+        let version = if i % 2 == 0 { "1.9.0" } else { "2.0.0" };
+        let mut payload = energydx_fleetd::fixture::payload_versioned(
+            &format!("r{i:02}"),
+            0,
+            version,
+        );
+        if i == 6 {
+            payload.truncate(6); // quarantined on both paths
+        }
+        std::fs::write(dir.join(format!("{i:03}.edxt")), payload).unwrap();
+    }
+
+    let mut daemon = energydx()
+        .args(["serve", "--listen", "127.0.0.1:0"])
+        .env("ENERGYDX_DETERMINISTIC_TIME", "1")
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+    let mut first_line = String::new();
+    std::io::BufReader::new(daemon.stdout.take().unwrap())
+        .read_line(&mut first_line)
+        .unwrap();
+    let addr = first_line
+        .trim()
+        .strip_prefix("fleetd listening on ")
+        .unwrap_or_else(|| panic!("unexpected banner: {first_line}"))
+        .to_string();
+
+    let out = energydx()
+        .args([
+            "submit",
+            "--addr",
+            &addr,
+            "--app",
+            "mail",
+            "--dir",
+            dir.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let live_out = temp_dir("report-live");
+    let live = energydx()
+        .args([
+            "report",
+            "--addr",
+            &addr,
+            "--out",
+            live_out.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        live.status.success(),
+        "{}",
+        String::from_utf8_lossy(&live.stderr)
+    );
+
+    let batch_out = temp_dir("report-batch");
+    let batch = energydx()
+        .args([
+            "report",
+            "--bundles",
+            dir.to_str().unwrap(),
+            "--app",
+            "mail",
+            "--out",
+            batch_out.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        batch.status.success(),
+        "{}",
+        String::from_utf8_lossy(&batch.stderr)
+    );
+
+    for name in ["report.html", "report.json"] {
+        let live_bytes = std::fs::read(live_out.join(name)).unwrap();
+        let batch_bytes = std::fs::read(batch_out.join(name)).unwrap();
+        assert!(!live_bytes.is_empty());
+        assert_eq!(
+            live_bytes, batch_bytes,
+            "{name} diverged between the daemon and the batch CLI"
+        );
+    }
+    let json =
+        String::from_utf8(std::fs::read(live_out.join("report.json")).unwrap())
+            .unwrap();
+    assert!(json.contains("\"1.9.0\""), "versions missing: {json}");
+    assert!(
+        json.contains("\"undecodable\""),
+        "quarantine missing: {json}"
+    );
+
+    let down = energydx()
+        .args(["query", "--addr", &addr, "--shutdown"])
+        .output()
+        .unwrap();
+    assert!(down.status.success());
+    assert!(daemon.wait().unwrap().success());
+    for d in [&dir, &live_out, &batch_out] {
+        let _ = std::fs::remove_dir_all(d);
+    }
+}
+
+/// Every `report` failure is a typed nonzero exit with `energydx:` on
+/// stderr and — the atomicity contract — no partial artifact left on
+/// disk.
+#[test]
+fn report_failures_leave_no_partial_artifact() {
+    // Empty payload directory.
+    let empty = temp_dir("report-empty");
+    let out_dir = temp_dir("report-empty-out");
+    let out = energydx()
+        .args([
+            "report",
+            "--bundles",
+            empty.to_str().unwrap(),
+            "--out",
+            out_dir.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("energydx:"), "stderr: {err}");
+    assert!(err.contains("no *.edxt"), "stderr: {err}");
+    assert_no_artifacts(&out_dir);
+
+    // Unreachable daemon.
+    let out = energydx()
+        .args([
+            "report",
+            "--addr",
+            "127.0.0.1:1",
+            "--out",
+            out_dir.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("energydx:"));
+    assert_no_artifacts(&out_dir);
+
+    // A corrupt segment fails mid-assembly, after real work started.
+    let spool = temp_dir("report-bad-seg");
+    std::fs::write(spool.join("run-000000000000.seg"), b"not a segment")
+        .unwrap();
+    let out = energydx()
+        .args([
+            "report",
+            "--bundles",
+            spool.to_str().unwrap(),
+            "--out",
+            out_dir.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("energydx:"));
+    assert_no_artifacts(&out_dir);
+
+    // Mutually exclusive inputs are a usage error.
+    let out = energydx()
+        .args(["report", "--bundles", "a", "--addr", "b"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("exactly one of"));
+
+    for d in [&empty, &out_dir, &spool] {
+        let _ = std::fs::remove_dir_all(d);
+    }
+}
+
+fn assert_no_artifacts(out_dir: &std::path::Path) {
+    for name in ["report.html", "report.json"] {
+        assert!(
+            !out_dir.join(name).exists(),
+            "failed report left {name} on disk"
+        );
+    }
+    if let Ok(entries) = std::fs::read_dir(out_dir) {
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            assert!(
+                !name.ends_with(".tmp"),
+                "failed report left temp file {name} on disk"
+            );
+        }
+    }
+}
+
 /// `--mem-budget` without `--spill-dir` is a configuration error, not
 /// a silently resident daemon.
 #[test]

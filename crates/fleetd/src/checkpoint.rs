@@ -44,13 +44,14 @@ use crate::codec::{CodecError, Reader, Writer};
 use crate::spill::{self, SpilledRun};
 use crate::state::{AppState, Delta, EpochState, FleetConfig, FleetState};
 use energydx::shard::{SegmentParts, ShardPartial, ShardPartialParts};
-use energydx_obsv::EventKind;
+use energydx_obsv::{EventKind, MetricsRegistry};
 use energydx_trace::intern::{EventId, InternedTrace};
 use energydx_trace::store::{QuarantineEntry, RejectReason};
 use energydx_trace::wire;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 const MAGIC: &[u8; 4] = b"EDXC";
 const VERSION: u8 = 3;
@@ -307,6 +308,22 @@ pub fn restore_bytes(
     data: &[u8],
     config: FleetConfig,
 ) -> Result<FleetState, CheckpointError> {
+    restore_bytes_with(data, config, Arc::new(MetricsRegistry::new()))
+}
+
+/// [`restore_bytes`], recording into the given registry instead of a
+/// fresh env-derived one — so a restored daemon can keep the
+/// deterministic registry its predecessor ran under (the golden tests'
+/// hook, and the harness's stand-in for `ENERGYDX_DETERMINISTIC_TIME`).
+///
+/// # Errors
+///
+/// Same as [`restore_bytes`].
+pub fn restore_bytes_with(
+    data: &[u8],
+    config: FleetConfig,
+    registry: Arc<MetricsRegistry>,
+) -> Result<FleetState, CheckpointError> {
     if data.len() < 4 {
         return Err(CheckpointError::Truncated);
     }
@@ -340,7 +357,7 @@ pub fn restore_bytes(
     }
 
     let mut r = Reader::new(body);
-    let mut state = FleetState::new(config);
+    let mut state = FleetState::with_registry(config, registry);
     let next_spill_seq = if version >= 2 {
         r.u64("next spill sequence")?
     } else {
@@ -560,13 +577,27 @@ pub fn load_from(
     dir: &Path,
     config: FleetConfig,
 ) -> Result<Option<FleetState>, CheckpointError> {
+    load_from_with(dir, config, Arc::new(MetricsRegistry::new()))
+}
+
+/// [`load_from`], recording into the given registry instead of a fresh
+/// env-derived one. See [`restore_bytes_with`].
+///
+/// # Errors
+///
+/// Same as [`load_from`].
+pub fn load_from_with(
+    dir: &Path,
+    config: FleetConfig,
+    registry: Arc<MetricsRegistry>,
+) -> Result<Option<FleetState>, CheckpointError> {
     let path = dir.join(CHECKPOINT_FILE);
     let data = match std::fs::read(&path) {
         Ok(data) => data,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
         Err(e) => return Err(CheckpointError::Io(e.to_string())),
     };
-    let state = restore_bytes(&data, config)?;
+    let state = restore_bytes_with(&data, config, registry)?;
     if let Some(cfg) = state.config().spill.clone() {
         let mut live = BTreeSet::new();
         for a in state.apps.values() {

@@ -33,13 +33,17 @@ use crate::cluster::{
     shard_for_payload, CircuitBreaker, DegradePolicy, RetryBudget,
     WorkerTransport,
 };
-use crate::protocol::{PartialStatus, Request, Response};
+use crate::protocol::{DeploymentCounters, PartialStatus, Request, Response};
 use crate::replicate::ReplicaStore;
 use crate::server::Dispatch;
 use crate::state::{FleetConfig, QueryError};
 use energydx::{EnergyDx, JsonWriter, ShardPartial};
 use energydx_obsv::{EventKind, Metrics, MetricsRegistry};
-use std::collections::BTreeMap;
+use energydx_report::{
+    build_model, render_html, render_json, AppInput, EpochInput, VersionInput,
+    DEFAULT_TOP_APPS,
+};
+use std::collections::{BTreeMap, BTreeSet};
 use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
 
@@ -902,6 +906,235 @@ impl Coordinator {
         }
     }
 
+    /// Fans one epoch's whole (version-blind) partial out to every
+    /// worker by explicit epoch id — the report path's fan. Workers
+    /// that never saw the app or the epoch skip silently; unreachable
+    /// workers land in `missing`.
+    fn report_epoch_fan(
+        &self,
+        app: &str,
+        epoch: u64,
+    ) -> Result<VersionFan, Response> {
+        let mut fan = VersionFan::default();
+        let req = Request::Partial {
+            app: app.to_string(),
+            epoch: Some(epoch),
+        };
+        for k in 0..self.workers.len() {
+            match self.call_worker(k, &req) {
+                Ok(Response::Partial {
+                    status,
+                    epoch,
+                    partial,
+                }) => match status {
+                    PartialStatus::Found => fan.found.push((k, epoch, partial)),
+                    PartialStatus::UnknownApp => {}
+                    PartialStatus::UnknownEpoch => fan.unknown_epoch = true,
+                },
+                Ok(Response::Error { message }) => {
+                    return Err(Response::Error {
+                        message: format!("worker {k}: {message}"),
+                    })
+                }
+                Ok(other) => {
+                    return Err(Response::Error {
+                        message: format!(
+                            "worker {k}: unexpected response {other:?}"
+                        ),
+                    })
+                }
+                Err(_) => fan.missing.push(k as u32),
+            }
+        }
+        Ok(fan)
+    }
+
+    /// Renders the cluster-wide operator report: fans the catalog out,
+    /// unions the per-worker accounting, re-fans every app epoch (and
+    /// every current-epoch release) as partials, merges them in worker
+    /// order exactly as [`Coordinator::diagnose`] does, and renders
+    /// one pair of artifacts through the shared renderer. Unreachable
+    /// shards are named explicitly in the artifacts' Degraded banner —
+    /// or, under [`DegradePolicy::Hold`], produce a typed error.
+    pub fn report(&self, top: Option<u32>) -> Response {
+        let _timer = self
+            .metrics
+            .timer("fleetd_report_render_duration_seconds", &[]);
+        struct EpochAgg {
+            clean: u64,
+            recovered: u64,
+            quarantine: BTreeMap<String, u64>,
+            versions: BTreeSet<String>,
+        }
+        struct AppAgg {
+            current_epoch: u64,
+            epochs: BTreeMap<u64, EpochAgg>,
+        }
+        let mut missing: Vec<u32> = Vec::new();
+        let mut apps: BTreeMap<String, AppAgg> = BTreeMap::new();
+        let mut deployment = DeploymentCounters::default();
+        for k in 0..self.workers.len() {
+            match self.call_worker(k, &Request::Catalog) {
+                Ok(Response::Catalog {
+                    apps: worker_apps,
+                    deployment: counters,
+                }) => {
+                    for cat in worker_apps {
+                        let agg =
+                            apps.entry(cat.app).or_insert_with(|| AppAgg {
+                                current_epoch: cat.current_epoch,
+                                epochs: BTreeMap::new(),
+                            });
+                        // A rollover that reached only some workers
+                        // leaves epochs skewed; the report details the
+                        // newest epoch any worker has opened.
+                        agg.current_epoch =
+                            agg.current_epoch.max(cat.current_epoch);
+                        for epoch in cat.epochs {
+                            let slot = agg
+                                .epochs
+                                .entry(epoch.epoch)
+                                .or_insert_with(|| EpochAgg {
+                                    clean: 0,
+                                    recovered: 0,
+                                    quarantine: BTreeMap::new(),
+                                    versions: BTreeSet::new(),
+                                });
+                            slot.clean += epoch.clean;
+                            slot.recovered += epoch.recovered;
+                            for (reason, n) in epoch.quarantine {
+                                *slot.quarantine.entry(reason).or_insert(0) +=
+                                    n;
+                            }
+                            slot.versions.extend(epoch.versions);
+                        }
+                    }
+                    deployment.shed += counters.shed;
+                    deployment.spilled_runs += counters.spilled_runs;
+                    deployment.spilled_traces += counters.spilled_traces;
+                    for (layer, hits, misses) in counters.cache {
+                        match deployment
+                            .cache
+                            .iter_mut()
+                            .find(|(l, _, _)| *l == layer)
+                        {
+                            Some(line) => {
+                                line.1 += hits;
+                                line.2 += misses;
+                            }
+                            None => {
+                                deployment.cache.push((layer, hits, misses))
+                            }
+                        }
+                    }
+                }
+                Ok(Response::Error { message }) => {
+                    return Response::Error {
+                        message: format!("worker {k}: {message}"),
+                    }
+                }
+                Ok(other) => {
+                    return Response::Error {
+                        message: format!(
+                            "worker {k}: unexpected response {other:?}"
+                        ),
+                    }
+                }
+                Err(_) => missing.push(k as u32),
+            }
+        }
+        let mut inputs: Vec<AppInput> = Vec::new();
+        for (app, agg) in &apps {
+            let mut epochs = Vec::new();
+            for (&id, eagg) in &agg.epochs {
+                let fan = match self.report_epoch_fan(app, id) {
+                    Ok(fan) => fan,
+                    Err(resp) => return resp,
+                };
+                missing.extend(fan.missing.iter().copied());
+                let report = match self.finish_fan(&fan) {
+                    Ok(report) => report,
+                    Err(resp) => return resp,
+                };
+                epochs.push(EpochInput {
+                    epoch: id,
+                    report,
+                    clean: eagg.clean,
+                    recovered: eagg.recovered,
+                    quarantine: eagg
+                        .quarantine
+                        .iter()
+                        .map(|(reason, n)| (reason.clone(), *n))
+                        .collect(),
+                });
+            }
+            let mut versions = Vec::new();
+            if let Some(eagg) = agg.epochs.get(&agg.current_epoch) {
+                for version in &eagg.versions {
+                    let fan = match self.version_partials(
+                        app,
+                        Some(agg.current_epoch),
+                        version,
+                    ) {
+                        Ok(fan) => fan,
+                        Err(resp) => return resp,
+                    };
+                    missing.extend(fan.missing.iter().copied());
+                    let report = match self.finish_fan(&fan) {
+                        Ok(report) => report,
+                        Err(resp) => return resp,
+                    };
+                    versions.push(VersionInput {
+                        version: version.clone(),
+                        report,
+                    });
+                }
+            }
+            inputs.push(AppInput {
+                app: app.clone(),
+                detail_epoch: agg.current_epoch,
+                epochs,
+                versions,
+            });
+        }
+        missing.sort_unstable();
+        missing.dedup();
+        if !missing.is_empty() && self.config.policy == DegradePolicy::Hold {
+            return Response::Error {
+                message: format!(
+                    "shard(s) {missing:?} unreachable after {} attempt(s); \
+                     held back by policy (no degraded answers)",
+                    self.config.retry.max_attempts
+                ),
+            };
+        }
+        let panel = crate::report::deployment_panel(
+            &deployment,
+            crate::report::deployment_is_live(&self.metrics),
+        );
+        let model = build_model(
+            &inputs,
+            panel,
+            missing.clone(),
+            top.map_or(DEFAULT_TOP_APPS, |t| t as usize),
+        );
+        let html = render_html(&model);
+        let json = render_json(&model);
+        self.metrics.inc("fleetd_report_renders_total", &[]);
+        if !missing.is_empty() {
+            self.metrics.inc("cluster_degraded_queries_total", &[]);
+            self.metrics.event(
+                EventKind::DegradedQuery,
+                format!("report missing={missing:?}"),
+            );
+        }
+        Response::ReportArtifacts {
+            missing,
+            html,
+            json,
+        }
+    }
+
     /// Fetches and stores every worker's checkpoint (re-validated
     /// before it enters the store). Live workers replicate even when
     /// others are down; any miss is an explicit error.
@@ -1222,6 +1455,11 @@ impl Coordinator {
             &[("layer", "coordinator")],
             self.cached_partial_bytes() as f64,
         );
+        self.metrics.set_gauge(
+            "energydx_build_info",
+            &[("version", env!("CARGO_PKG_VERSION"))],
+            1.0,
+        );
         match self.metrics.registry() {
             Some(reg) => reg.render_prometheus(),
             None => String::new(),
@@ -1249,6 +1487,7 @@ impl Dispatch for Coordinator {
             Request::Shutdown => "shutdown",
             Request::Metrics => "metrics",
             Request::Regressions { .. } => "regressions",
+            Request::Report { .. } => "report",
             _ => "worker_only",
         };
         let _span = self
@@ -1277,11 +1516,13 @@ impl Dispatch for Coordinator {
                 to,
                 threshold,
             } => self.regressions(&app, epoch, &from, &to, threshold),
+            Request::Report { top } => self.report(top),
             Request::Partial { .. }
             | Request::PartialSince { .. }
             | Request::VersionPartialSince { .. }
             | Request::FetchCheckpoint
             | Request::InstallCheckpoint { .. }
+            | Request::Catalog
             | Request::Counts => Response::Error {
                 message: "worker-only request sent to a coordinator"
                     .to_string(),
@@ -1591,6 +1832,93 @@ mod tests {
             cluster.coordinator.diagnose("mail", None),
             Response::Report { .. }
         ));
+    }
+
+    /// As [`cluster`], but rendering through a deterministic registry
+    /// so the report's deployment panel pins (the byte-identity
+    /// surface contract).
+    fn deterministic_cluster(workers: usize) -> TestCluster {
+        let slots: Vec<WorkerSlot> = (0..workers)
+            .map(|_| {
+                let handle = FleetdHandle::start(ServerConfig::default())
+                    .expect("worker start");
+                Arc::new(Mutex::new(Some(Arc::new(handle))))
+            })
+            .collect();
+        let transports: Vec<Box<dyn WorkerTransport>> = slots
+            .iter()
+            .map(|slot| {
+                Box::new(InProcessTransport::new(Arc::clone(slot)))
+                    as Box<dyn WorkerTransport>
+            })
+            .collect();
+        let coordinator = Coordinator::with_registry(
+            test_config(),
+            transports,
+            Arc::new(MetricsRegistry::deterministic()),
+        )
+        .unwrap();
+        TestCluster { coordinator, slots }
+    }
+
+    #[test]
+    fn cluster_report_matches_the_single_daemon_reference() {
+        let cluster = deterministic_cluster(3);
+        let ups = versioned_uploads(21);
+        drive(&cluster, &ups);
+        let (missing, html, json) = match cluster.coordinator.report(None) {
+            Response::ReportArtifacts {
+                missing,
+                html,
+                json,
+            } => (missing, html, json),
+            other => panic!("unexpected response {other:?}"),
+        };
+        assert!(missing.is_empty());
+        // Reference: one deterministic daemon holding the shards'
+        // accepted sequences concatenated in worker order.
+        let mut state = FleetState::with_registry(
+            FleetConfig::default(),
+            Arc::new(MetricsRegistry::deterministic()),
+        );
+        for k in 0..3 {
+            for (user, payload) in &ups {
+                if shard_for_user("mail", user, 3) == k {
+                    assert!(state.submit("mail", payload).accepted());
+                }
+            }
+        }
+        let reference = crate::report::fleet_report(&state, 0, None).unwrap();
+        assert_eq!(html, reference.html);
+        assert_eq!(json, reference.json);
+    }
+
+    #[test]
+    fn a_degraded_cluster_report_names_the_missing_shard() {
+        let cluster = deterministic_cluster(3);
+        let ups = versioned_uploads(21);
+        drive(&cluster, &ups);
+        cluster.slots[1].lock().unwrap().take();
+        match cluster.coordinator.report(Some(8)) {
+            Response::ReportArtifacts {
+                missing,
+                html,
+                json,
+            } => {
+                assert_eq!(missing, vec![1]);
+                assert!(html.contains("Degraded: shard(s) 1 unreachable"));
+                assert!(json.contains("\"degraded\": true"));
+                energydx_report::check_well_formed(&html).unwrap();
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+        let degraded = cluster
+            .coordinator
+            .metrics()
+            .registry()
+            .unwrap()
+            .counter_value("cluster_degraded_queries_total", &[]);
+        assert_eq!(degraded, Some(1));
     }
 
     struct FailingTransport {

@@ -34,6 +34,8 @@
 //!   shards, fans queries out, rebases + merges the partials.
 //! - [`replicate`] — coordinator-side checkpoint replicas that seed
 //!   restarted or replacement workers.
+//! - [`report`] — state → deterministic operator report (static HTML
+//!   + `report.json`) via `energydx-report`.
 //! - [`spill`] — bounded-memory mode: cold epochs written to columnar
 //!   [`energydx_segment`] files and folded back on query.
 //!
@@ -51,6 +53,7 @@ pub mod fixture;
 pub mod protocol;
 pub mod queue;
 pub mod replicate;
+pub mod report;
 pub mod server;
 pub mod spill;
 pub mod state;

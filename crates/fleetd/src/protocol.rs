@@ -196,6 +196,19 @@ pub enum Request {
         /// Last-seen token from a prior [`Response::PartialState`].
         token: Option<(u64, u64, u64)>,
     },
+    /// Render the deterministic operator report (static HTML +
+    /// `report.json`) over the daemon's full fleet state. Served by a
+    /// single daemon directly and by a coordinator via catalog +
+    /// per-epoch partial fan-out.
+    Report {
+        /// How many ranked app sections to keep; `None` = the
+        /// renderer's default.
+        top: Option<u32>,
+    },
+    /// Cluster: the worker's report catalog — every app/epoch's
+    /// ingest accounting and version labels, plus deployment counters
+    /// — so a coordinator knows what to fan partial requests for.
+    Catalog,
 }
 
 /// Coarse submit outcome carried over the wire. Repairs and salvage
@@ -224,6 +237,46 @@ impl OutcomeCode {
             }
         }
     }
+}
+
+/// One epoch's accounting in a worker's report catalog.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EpochCatalog {
+    /// Epoch id.
+    pub epoch: u64,
+    /// Uploads accepted without repair.
+    pub clean: u64,
+    /// Uploads accepted after repair/salvage.
+    pub recovered: u64,
+    /// Quarantine counts by reason label, sorted by reason.
+    pub quarantine: Vec<(String, u64)>,
+    /// Version labels with traces in the epoch, sorted.
+    pub versions: Vec<String>,
+}
+
+/// One app's entry in a worker's report catalog.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AppCatalog {
+    /// App name.
+    pub app: String,
+    /// The worker's current epoch for the app.
+    pub current_epoch: u64,
+    /// Per-epoch accounting, sorted by epoch id.
+    pub epochs: Vec<EpochCatalog>,
+}
+
+/// A worker's deployment-side counters (shed/spill/cache), summed by
+/// the coordinator into the cluster report's deployment panel.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DeploymentCounters {
+    /// Submissions shed with `RetryAfter`.
+    pub shed: u64,
+    /// Spilled segment runs on disk.
+    pub spilled_runs: u64,
+    /// Traces resident in spilled runs.
+    pub spilled_traces: u64,
+    /// Per-layer query-cache `(layer, hits, misses)`.
+    pub cache: Vec<(String, u64, u64)>,
 }
 
 /// What the daemon answers.
@@ -327,6 +380,25 @@ pub enum Response {
         generation: u64,
         /// The folded, locally-offset partial (empty unless `Found`).
         partial: ShardPartial,
+    },
+    /// Both operator-report artifacts, byte-deterministic. A non-empty
+    /// `missing` list marks a degraded cluster render: the artifacts
+    /// carry the same list in their Degraded banner.
+    ReportArtifacts {
+        /// Worker indexes that could not be reached (empty on a
+        /// single daemon or a healthy cluster).
+        missing: Vec<u32>,
+        /// The self-contained static HTML page.
+        html: String,
+        /// The canonical `report.json` document.
+        json: String,
+    },
+    /// Cluster: the worker's report catalog (see [`Request::Catalog`]).
+    Catalog {
+        /// Per-app accounting, sorted by app name.
+        apps: Vec<AppCatalog>,
+        /// The worker's deployment counters.
+        deployment: DeploymentCounters,
     },
 }
 
@@ -561,6 +633,17 @@ impl Request {
                 }
                 16
             }
+            Request::Report { top } => {
+                match top {
+                    Some(n) => {
+                        w.u8(1);
+                        w.u32(*n);
+                    }
+                    None => w.u8(0),
+                }
+                17
+            }
+            Request::Catalog => 18,
         };
         frame(kind, &w.into_vec())
     }
@@ -671,6 +754,15 @@ impl Request {
                     token,
                 }
             }
+            17 => {
+                let top = if r.u8("top flag")? != 0 {
+                    Some(r.u32("top")?)
+                } else {
+                    None
+                };
+                Request::Report { top }
+            }
+            18 => Request::Catalog,
             k => return Err(ProtocolError::UnknownKind(k)),
         };
         expect_drained(&r)?;
@@ -776,6 +868,51 @@ impl Response {
                 w.u64(*generation);
                 crate::checkpoint::write_partial(&mut w, partial);
                 15
+            }
+            Response::ReportArtifacts {
+                missing,
+                html,
+                json,
+            } => {
+                w.u32(missing.len() as u32);
+                for worker in missing {
+                    w.u32(*worker);
+                }
+                w.str(html);
+                w.str(json);
+                16
+            }
+            Response::Catalog { apps, deployment } => {
+                w.u32(apps.len() as u32);
+                for app in apps {
+                    w.str(&app.app);
+                    w.u64(app.current_epoch);
+                    w.u32(app.epochs.len() as u32);
+                    for e in &app.epochs {
+                        w.u64(e.epoch);
+                        w.u64(e.clean);
+                        w.u64(e.recovered);
+                        w.u32(e.quarantine.len() as u32);
+                        for (reason, n) in &e.quarantine {
+                            w.str(reason);
+                            w.u64(*n);
+                        }
+                        w.u32(e.versions.len() as u32);
+                        for version in &e.versions {
+                            w.str(version);
+                        }
+                    }
+                }
+                w.u64(deployment.shed);
+                w.u64(deployment.spilled_runs);
+                w.u64(deployment.spilled_traces);
+                w.u32(deployment.cache.len() as u32);
+                for (layer, hits, misses) in &deployment.cache {
+                    w.str(layer);
+                    w.u64(*hits);
+                    w.u64(*misses);
+                }
+                17
             }
         };
         frame(kind, &w.into_vec())
@@ -890,6 +1027,78 @@ impl Response {
                     partial,
                 }
             }
+            16 => {
+                let n = r.u32("missing count")? as usize;
+                let mut missing = Vec::with_capacity(n.min(1 << 10));
+                for _ in 0..n {
+                    missing.push(r.u32("missing worker")?);
+                }
+                Response::ReportArtifacts {
+                    missing,
+                    html: r.str("html")?,
+                    json: r.str("json")?,
+                }
+            }
+            17 => {
+                let app_count = r.u32("app count")? as usize;
+                let mut apps = Vec::with_capacity(app_count.min(1 << 10));
+                for _ in 0..app_count {
+                    let app = r.str("app")?;
+                    let current_epoch = r.u64("current epoch")?;
+                    let epoch_count = r.u32("epoch count")? as usize;
+                    let mut epochs =
+                        Vec::with_capacity(epoch_count.min(1 << 10));
+                    for _ in 0..epoch_count {
+                        let epoch = r.u64("epoch")?;
+                        let clean = r.u64("clean")?;
+                        let recovered = r.u64("recovered")?;
+                        let reason_count = r.u32("reason count")? as usize;
+                        let mut quarantine =
+                            Vec::with_capacity(reason_count.min(1 << 10));
+                        for _ in 0..reason_count {
+                            let reason = r.str("reason")?;
+                            quarantine.push((reason, r.u64("count")?));
+                        }
+                        let version_count = r.u32("version count")? as usize;
+                        let mut versions =
+                            Vec::with_capacity(version_count.min(1 << 10));
+                        for _ in 0..version_count {
+                            versions.push(r.str("version")?);
+                        }
+                        epochs.push(EpochCatalog {
+                            epoch,
+                            clean,
+                            recovered,
+                            quarantine,
+                            versions,
+                        });
+                    }
+                    apps.push(AppCatalog {
+                        app,
+                        current_epoch,
+                        epochs,
+                    });
+                }
+                let shed = r.u64("shed")?;
+                let spilled_runs = r.u64("spilled runs")?;
+                let spilled_traces = r.u64("spilled traces")?;
+                let cache_count = r.u32("cache layer count")? as usize;
+                let mut cache = Vec::with_capacity(cache_count.min(1 << 10));
+                for _ in 0..cache_count {
+                    let layer = r.str("cache layer")?;
+                    let hits = r.u64("hits")?;
+                    cache.push((layer, hits, r.u64("misses")?));
+                }
+                Response::Catalog {
+                    apps,
+                    deployment: DeploymentCounters {
+                        shed,
+                        spilled_runs,
+                        spilled_traces,
+                        cache,
+                    },
+                }
+            }
             k => return Err(ProtocolError::UnknownKind(k)),
         };
         expect_drained(&r)?;
@@ -989,6 +1198,9 @@ mod tests {
                 version: String::new(),
                 token: None,
             },
+            Request::Report { top: Some(8) },
+            Request::Report { top: None },
+            Request::Catalog,
         ]
     }
 
@@ -1058,6 +1270,51 @@ mod tests {
                 incarnation: 0,
                 generation: 0,
                 partial: ShardPartial::empty(),
+            },
+            Response::ReportArtifacts {
+                missing: vec![1, 4],
+                html: "<!DOCTYPE html>\n<html></html>\n".into(),
+                json: "{}\n".into(),
+            },
+            Response::ReportArtifacts {
+                missing: vec![],
+                html: String::new(),
+                json: String::new(),
+            },
+            Response::Catalog {
+                apps: vec![AppCatalog {
+                    app: "maps".into(),
+                    current_epoch: 2,
+                    epochs: vec![
+                        EpochCatalog {
+                            epoch: 1,
+                            clean: 10,
+                            recovered: 2,
+                            quarantine: vec![("duplicate".into(), 3)],
+                            versions: vec!["1.9.0".into(), "2.0.0".into()],
+                        },
+                        EpochCatalog {
+                            epoch: 2,
+                            clean: 4,
+                            recovered: 0,
+                            quarantine: vec![],
+                            versions: vec![],
+                        },
+                    ],
+                }],
+                deployment: DeploymentCounters {
+                    shed: 5,
+                    spilled_runs: 2,
+                    spilled_traces: 40,
+                    cache: vec![
+                        ("state".into(), 7, 3),
+                        ("segment".into(), 1, 0),
+                    ],
+                },
+            },
+            Response::Catalog {
+                apps: vec![],
+                deployment: DeploymentCounters::default(),
             },
         ]
     }

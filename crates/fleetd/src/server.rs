@@ -472,6 +472,37 @@ impl FleetdHandle {
         Ok(())
     }
 
+    /// Renders both operator-report artifacts over a consistent
+    /// snapshot of the resident fleet.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`QueryError`] from a diagnosis.
+    pub fn report(
+        &self,
+        top: Option<u32>,
+    ) -> Result<crate::report::RenderedReport, QueryError> {
+        let state = relock(&self.state);
+        crate::report::fleet_report(&state, self.queue.shed_count() as u64, top)
+    }
+
+    /// The report catalog + raw deployment counters a coordinator
+    /// fans out for before assembling a cluster-wide report.
+    pub fn catalog(
+        &self,
+    ) -> (
+        Vec<crate::protocol::AppCatalog>,
+        crate::protocol::DeploymentCounters,
+    ) {
+        let state = relock(&self.state);
+        let apps = crate::report::state_catalog(&state);
+        let deployment = crate::report::deployment_counters(
+            &state,
+            self.queue.shed_count() as u64,
+        );
+        (apps, deployment)
+    }
+
     /// Accepted/quarantined totals across all apps and epochs — the
     /// cheap probe a coordinator uses for health and staleness checks.
     pub fn counts(&self) -> (usize, usize) {
@@ -530,6 +561,11 @@ pub fn render_metrics(
     if let Some(age) = checkpoint_age_seconds {
         metrics.set_gauge("fleetd_checkpoint_age_seconds", &[], age);
     }
+    metrics.set_gauge(
+        "energydx_build_info",
+        &[("version", env!("CARGO_PKG_VERSION"))],
+        1.0,
+    );
     state.update_cache_gauges();
     match metrics.registry() {
         Some(reg) => reg.render_prometheus(),
@@ -555,6 +591,8 @@ fn request_kind(req: &Request) -> &'static str {
         Request::PartialSince { .. } => "partial_since",
         Request::Regressions { .. } => "regressions",
         Request::VersionPartialSince { .. } => "version_partial_since",
+        Request::Report { .. } => "report",
+        Request::Catalog => "catalog",
     }
 }
 
@@ -759,6 +797,20 @@ fn dispatch(handle: &FleetdHandle, req: Request) -> Response {
                     message: e.to_string(),
                 },
             }
+        }
+        Request::Report { top } => match handle.report(top) {
+            Ok(rendered) => Response::ReportArtifacts {
+                missing: Vec::new(),
+                html: rendered.html,
+                json: rendered.json,
+            },
+            Err(e) => Response::Error {
+                message: e.to_string(),
+            },
+        },
+        Request::Catalog => {
+            let (apps, deployment) = handle.catalog();
+            Response::Catalog { apps, deployment }
         }
     }
 }

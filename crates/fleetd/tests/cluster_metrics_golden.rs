@@ -149,6 +149,16 @@ fn scripted_exposition() -> String {
         other => panic!("unexpected {other:?}"),
     }
 
+    // One cluster-wide operator report through the dispatcher: the
+    // report render counters and its request-kind histogram must
+    // render.
+    match coordinator.handle_request(Request::Report { top: None }) {
+        Response::ReportArtifacts { missing, .. } => {
+            assert!(missing.is_empty(), "whole cluster, nothing missing")
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+
     match coordinator.handle_request(Request::Metrics) {
         Response::Metrics { text } => text,
         other => panic!("unexpected {other:?}"),
@@ -215,6 +225,28 @@ fn cluster_exposition_matches_golden_byte_for_byte() {
             .keys()
             .any(|k| k.starts_with("fleetd_regress_verdicts_total")),
         "the differential fan-out must record a verdict: {text}"
+    );
+    assert_eq!(
+        samples.get("fleetd_report_renders_total").copied(),
+        Some(1.0),
+        "{text}"
+    );
+    assert_eq!(
+        samples
+            .get("cluster_request_duration_seconds_sum;kind=report")
+            .copied(),
+        Some(0.0),
+        "the report request kind must land in the duration histogram: {text}"
+    );
+    assert_eq!(
+        samples
+            .get(&format!(
+                "energydx_build_info;version={}",
+                env!("CARGO_PKG_VERSION")
+            ))
+            .copied(),
+        Some(1.0),
+        "the build-info gauge must carry the crate version: {text}"
     );
 
     let path = golden_path();

@@ -68,6 +68,11 @@ fn scripted_exposition() -> String {
             &energydx_regress::RegressConfig::default(),
         )
         .expect("differential report");
+    // One operator-report render: the renders counter, its duration
+    // histogram, and the build-info gauge must all reach the
+    // exposition.
+    energydx_fleetd::report::fleet_report(&state, 0, None)
+        .expect("operator report");
     let ckpt = checkpoint_bytes(&state);
     assert!(!ckpt.is_empty());
     let queue = IngestQueue::with_metrics(1, Metrics::enabled(reg));
@@ -125,6 +130,27 @@ fn exposition_matches_golden_byte_for_byte() {
             .copied(),
         Some(0.0),
         "the regress stage must land in the duration histogram"
+    );
+    assert_eq!(
+        samples.get("fleetd_report_renders_total").copied(),
+        Some(1.0)
+    );
+    assert_eq!(
+        samples
+            .get("fleetd_report_render_duration_seconds_sum")
+            .copied(),
+        Some(0.0),
+        "deterministic time must pin the report render duration to zero"
+    );
+    assert_eq!(
+        samples
+            .get(&format!(
+                "energydx_build_info;version={}",
+                env!("CARGO_PKG_VERSION")
+            ))
+            .copied(),
+        Some(1.0),
+        "the build-info gauge must carry the crate version"
     );
 
     let path = golden_path();

@@ -1,0 +1,534 @@
+//! The static HTML renderer: one self-contained page, no JavaScript,
+//! inline CSS, inline SVG sparklines — and a small well-formedness
+//! checker the escaping proptest drives.
+//!
+//! Determinism: the renderer is a pure function of the model. Every
+//! number is formatted with fixed precision (`{:.1}` / integers), SVG
+//! coordinates are computed in integer arithmetic after one explicit
+//! `round()`, and all iteration follows the model's already-sorted
+//! vectors. No timestamps, no environment, no hash-map order anywhere.
+//!
+//! Safety: every model string that originated outside the repo (app
+//! names, event names, version labels, quarantine reasons) passes
+//! through [`escape_html`] before touching the page, in both text and
+//! attribute position; attributes are always double-quoted.
+
+use crate::ReportModel;
+
+/// Escapes a string for HTML text *and* double-quoted attribute
+/// position: `& < > " '` become entities, and control characters
+/// (except `\t`, `\n`, `\r`) are replaced with U+FFFD so no raw
+/// control byte ever lands in the artifact.
+pub fn escape_html(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&#39;"),
+            c if (c as u32) < 0x20 && c != '\t' && c != '\n' && c != '\r' => {
+                out.push('\u{FFFD}')
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// `12.3%` with one fixed decimal; deterministic for given bits.
+fn pct(f: f64) -> String {
+    if f.is_finite() {
+        format!("{:.1}%", f * 100.0)
+    } else {
+        "n/a".to_string()
+    }
+}
+
+/// `123.4` mW with one fixed decimal.
+fn mw(f: f64) -> String {
+    if f.is_finite() {
+        format!("{f:.1}")
+    } else {
+        "n/a".to_string()
+    }
+}
+
+/// An inline SVG sparkline over `0..=1`-scaled values: integer
+/// coordinates only, one polyline (or a single dot for one sample).
+fn sparkline(values: &[f64], title: &str) -> String {
+    const W: i64 = 120;
+    const H: i64 = 28;
+    const PAD: i64 = 2;
+    let y = |v: f64| -> i64 {
+        let v = v.clamp(0.0, 1.0);
+        H - PAD - ((v * (H - 2 * PAD) as f64).round() as i64)
+    };
+    let mut svg = format!(
+        "<svg class=\"spark\" viewBox=\"0 0 {W} {H}\" width=\"{W}\" \
+         height=\"{H}\" role=\"img\" aria-label=\"{}\">",
+        escape_html(title)
+    );
+    match values {
+        [] => {}
+        [only] => {
+            svg.push_str(&format!(
+                "<circle cx=\"{}\" cy=\"{}\" r=\"2\"/>",
+                W / 2,
+                y(*only)
+            ));
+        }
+        _ => {
+            let span = W - 2 * PAD;
+            let last = (values.len() - 1) as i64;
+            let points: Vec<String> = values
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| {
+                    let x = PAD + (i as i64) * span / last;
+                    format!("{x},{}", y(v))
+                })
+                .collect();
+            svg.push_str(&format!(
+                "<polyline fill=\"none\" stroke-width=\"2\" \
+                 points=\"{}\"/>",
+                points.join(" ")
+            ));
+        }
+    }
+    svg.push_str("</svg>");
+    svg
+}
+
+const STYLE: &str = "body{font-family:system-ui,sans-serif;margin:2rem;\
+color:#1a1a2e;max-width:64rem}\
+h1{font-size:1.5rem}h2{font-size:1.15rem;margin-top:2rem}\
+table{border-collapse:collapse;margin:0.5rem 0}\
+th,td{border:1px solid #cbd2d9;padding:0.25rem 0.6rem;text-align:left;\
+font-size:0.9rem}\
+th{background:#eef1f4}\
+.banner{border:2px solid #b91c1c;background:#fee2e2;color:#7f1d1d;\
+padding:0.6rem 1rem;margin:1rem 0;font-weight:600}\
+.muted{color:#5f6b7a;font-size:0.85rem}\
+.spark polyline{stroke:#b91c1c}.spark circle{fill:#b91c1c}\
+.verdict-regressed{color:#b91c1c;font-weight:700}\
+.verdict-improved{color:#15803d}\
+footer{margin-top:2.5rem;border-top:1px solid #cbd2d9;\
+padding-top:0.5rem}";
+
+/// Renders the model into one self-contained HTML page. Pure function
+/// of the model; see the module docs for the determinism argument.
+pub fn render_html(model: &ReportModel) -> String {
+    let mut page = String::with_capacity(16 * 1024);
+    page.push_str("<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n");
+    page.push_str("<meta charset=\"utf-8\">\n");
+    page.push_str("<title>EnergyDx operator report</title>\n");
+    page.push_str(&format!("<style>{STYLE}</style>\n"));
+    page.push_str("</head>\n<body>\n");
+    page.push_str("<h1>EnergyDx operator report</h1>\n");
+
+    if !model.missing_shards.is_empty() {
+        let shards: Vec<String> =
+            model.missing_shards.iter().map(|s| s.to_string()).collect();
+        page.push_str(&format!(
+            "<div class=\"banner\">Degraded: shard(s) {} unreachable \
+             &#8212; this report may omit their traces.</div>\n",
+            shards.join(", ")
+        ));
+    }
+
+    let ops = &model.ops;
+    page.push_str("<section id=\"ops\">\n<h2>Fleet</h2>\n<table>\n");
+    page.push_str(
+        "<tr><th>Apps</th><th>Epochs</th><th>Accepted</th>\
+         <th>Clean</th><th>Recovered</th><th>Quarantined</th></tr>\n",
+    );
+    page.push_str(&format!(
+        "<tr><td>{}</td><td>{}</td><td>{}</td><td>{}</td>\
+         <td>{}</td><td>{}</td></tr>\n",
+        ops.apps,
+        ops.epochs,
+        ops.accepted,
+        ops.clean,
+        ops.recovered,
+        ops.quarantined
+    ));
+    page.push_str("</table>\n");
+
+    if !ops.quarantine_reasons.is_empty() {
+        page.push_str(
+            "<table>\n<tr><th>Quarantine reason</th>\
+             <th>Uploads</th></tr>\n",
+        );
+        for (reason, n) in &ops.quarantine_reasons {
+            page.push_str(&format!(
+                "<tr><td>{}</td><td>{n}</td></tr>\n",
+                escape_html(reason)
+            ));
+        }
+        page.push_str("</table>\n");
+    }
+
+    let dep = &ops.deployment;
+    page.push_str(&format!(
+        "<h2>Deployment {}</h2>\n",
+        if dep.live {
+            "(live)"
+        } else {
+            "(pinned &#8212; deterministic mode)"
+        }
+    ));
+    page.push_str(
+        "<table>\n<tr><th>Shed</th><th>Spilled runs</th>\
+         <th>Spilled traces</th></tr>\n",
+    );
+    page.push_str(&format!(
+        "<tr><td>{}</td><td>{}</td><td>{}</td></tr>\n",
+        dep.shed, dep.spilled_runs, dep.spilled_traces
+    ));
+    page.push_str("</table>\n");
+    page.push_str(
+        "<table>\n<tr><th>Cache layer</th><th>Hits</th>\
+         <th>Misses</th></tr>\n",
+    );
+    for line in &dep.cache {
+        page.push_str(&format!(
+            "<tr><td>{}</td><td>{}</td><td>{}</td></tr>\n",
+            escape_html(&line.layer),
+            line.hits,
+            line.misses
+        ));
+    }
+    page.push_str("</table>\n</section>\n");
+
+    page.push_str(&format!(
+        "<section id=\"apps\">\n<h2>Top {} of {} app(s) by \
+         impacted-user fraction</h2>\n",
+        model.apps.len(),
+        model.apps_total
+    ));
+    for app in &model.apps {
+        page.push_str(&format!(
+            "<section class=\"app\">\n<h2>{} <span class=\"muted\">\
+             epoch {}</span></h2>\n",
+            escape_html(&app.app),
+            app.epoch
+        ));
+        page.push_str(&format!(
+            "<p>{} impacted ({} of {} analyzed, {} submitted); {} \
+             manifestation point(s).</p>\n",
+            pct(app.impacted_fraction),
+            app.impacted_traces,
+            app.analyzed_traces,
+            app.total_traces,
+            app.manifestation_points
+        ));
+
+        let fractions: Vec<f64> =
+            app.trend.iter().map(|p| p.impacted_fraction).collect();
+        page.push_str(&format!(
+            "<p class=\"muted\">Impacted fraction by epoch: {}</p>\n",
+            sparkline(
+                &fractions,
+                &format!("impacted fraction trend for {}", app.app)
+            )
+        ));
+
+        if !app.events.is_empty() {
+            page.push_str(
+                "<table>\n<tr><th>Event</th><th>Impacted</th>\
+                 <th>Proximity</th><th>Detections</th>\
+                 <th>Peak amp (mW)</th><th>p50 (mW)</th>\
+                 <th>p90 (mW)</th></tr>\n",
+            );
+            for row in &app.events {
+                page.push_str(&format!(
+                    "<tr><td>{}</td><td>{}</td><td>{}</td>\
+                     <td>{}</td><td>{}</td><td>{}</td>\
+                     <td>{}</td></tr>\n",
+                    escape_html(&row.event),
+                    pct(row.impacted_fraction),
+                    row.proximity,
+                    row.detections,
+                    mw(row.peak_amplitude),
+                    mw(row.p50_mw),
+                    mw(row.p90_mw)
+                ));
+            }
+            page.push_str("</table>\n");
+        }
+
+        if !app.regressions.is_empty() {
+            page.push_str(
+                "<table>\n<tr><th>From</th><th>To</th>\
+                 <th>Verdict</th><th>Regressed events</th>\
+                 <th>Worst event</th></tr>\n",
+            );
+            for v in &app.regressions {
+                page.push_str(&format!(
+                    "<tr><td>{}</td><td>{}</td>\
+                     <td class=\"verdict-{}\">{}</td><td>{}</td>\
+                     <td>{}</td></tr>\n",
+                    escape_html(&v.from),
+                    escape_html(&v.to),
+                    escape_html(&v.verdict),
+                    escape_html(&v.verdict),
+                    v.regressed_events,
+                    match &v.top_event {
+                        Some(e) => escape_html(e),
+                        None => "&#8212;".to_string(),
+                    }
+                ));
+            }
+            page.push_str("</table>\n");
+        }
+        page.push_str("</section>\n");
+    }
+    page.push_str("</section>\n");
+
+    page.push_str(&format!(
+        "<footer class=\"muted\">energydx-report v{} &#183; \
+         deterministic artifact</footer>\n",
+        env!("CARGO_PKG_VERSION")
+    ));
+    page.push_str("</body>\n</html>\n");
+    page
+}
+
+/// Elements that never take a closing tag.
+const VOID_ELEMENTS: [&str; 6] = ["meta", "br", "hr", "img", "link", "input"];
+
+/// A strict well-formedness check for the renderer's output dialect:
+/// balanced tags, double-quoted attribute values free of raw `<` /
+/// `"`, entities of the form `&name;` / `&#digits;` only, and no raw
+/// `<`, `>` or `&` in text. Returns the first violation found.
+///
+/// This is deliberately stricter than HTML itself — it checks the
+/// invariants [`escape_html`] guarantees, so the adversarial-name
+/// proptest fails loudly on any escape gap.
+pub fn check_well_formed(html: &str) -> Result<(), String> {
+    let bytes: Vec<char> = html.chars().collect();
+    let mut i = 0usize;
+    let mut stack: Vec<String> = Vec::new();
+    let err = |at: usize, msg: &str| -> Result<(), String> {
+        Err(format!("offset {at}: {msg}"))
+    };
+    while i < bytes.len() {
+        match bytes[i] {
+            '<' => {
+                i += 1;
+                if i < bytes.len() && bytes[i] == '!' {
+                    // Directive (`<!DOCTYPE html>`): skip to `>`.
+                    while i < bytes.len() && bytes[i] != '>' {
+                        i += 1;
+                    }
+                    if i == bytes.len() {
+                        return err(i, "unterminated directive");
+                    }
+                    i += 1;
+                    continue;
+                }
+                let closing = i < bytes.len() && bytes[i] == '/';
+                if closing {
+                    i += 1;
+                }
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '-')
+                {
+                    i += 1;
+                }
+                if i == start {
+                    return err(start, "tag with no name");
+                }
+                let name: String = bytes[start..i].iter().collect();
+                if closing {
+                    while i < bytes.len() && bytes[i].is_whitespace() {
+                        i += 1;
+                    }
+                    if i == bytes.len() || bytes[i] != '>' {
+                        return err(i, "malformed closing tag");
+                    }
+                    i += 1;
+                    match stack.pop() {
+                        Some(open) if open == name => {}
+                        Some(open) => {
+                            return err(
+                                i,
+                                &format!("</{name}> closes <{open}>"),
+                            )
+                        }
+                        None => {
+                            return err(
+                                i,
+                                &format!("</{name}> with nothing open"),
+                            )
+                        }
+                    }
+                    continue;
+                }
+                // Attributes until `>` or `/>`.
+                let mut self_closing = false;
+                loop {
+                    while i < bytes.len() && bytes[i].is_whitespace() {
+                        i += 1;
+                    }
+                    if i == bytes.len() {
+                        return err(i, "unterminated tag");
+                    }
+                    if bytes[i] == '/' {
+                        if i + 1 < bytes.len() && bytes[i + 1] == '>' {
+                            self_closing = true;
+                            i += 2;
+                            break;
+                        }
+                        return err(i, "stray / in tag");
+                    }
+                    if bytes[i] == '>' {
+                        i += 1;
+                        break;
+                    }
+                    let astart = i;
+                    while i < bytes.len()
+                        && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '-')
+                    {
+                        i += 1;
+                    }
+                    if i == astart {
+                        return err(i, "bad attribute name");
+                    }
+                    if i < bytes.len() && bytes[i] == '=' {
+                        i += 1;
+                        if i == bytes.len() || bytes[i] != '"' {
+                            return err(i, "attribute value not quoted");
+                        }
+                        i += 1;
+                        while i < bytes.len()
+                            && bytes[i] != '"'
+                            && bytes[i] != '<'
+                        {
+                            if bytes[i] == '&' {
+                                check_entity(&bytes, &mut i)
+                                    .map_err(|m| format!("offset {i}: {m}"))?;
+                            } else {
+                                i += 1;
+                            }
+                        }
+                        if i == bytes.len() || bytes[i] != '"' {
+                            return err(i, "raw < or unterminated attribute");
+                        }
+                        i += 1;
+                    }
+                }
+                if !self_closing && !VOID_ELEMENTS.contains(&name.as_str()) {
+                    stack.push(name);
+                }
+            }
+            '>' => return err(i, "raw > in text"),
+            '&' => {
+                check_entity(&bytes, &mut i)
+                    .map_err(|m| format!("offset {i}: {m}"))?;
+            }
+            _ => i += 1,
+        }
+    }
+    if let Some(open) = stack.pop() {
+        return Err(format!("unclosed <{open}>"));
+    }
+    Ok(())
+}
+
+/// Validates `&name;` / `&#digits;` at `*i` (which points at `&`) and
+/// advances past it.
+fn check_entity(bytes: &[char], i: &mut usize) -> Result<(), String> {
+    let mut j = *i + 1;
+    let numeric = j < bytes.len() && bytes[j] == '#';
+    if numeric {
+        j += 1;
+    }
+    let body_start = j;
+    while j < bytes.len()
+        && (if numeric {
+            bytes[j].is_ascii_digit()
+        } else {
+            bytes[j].is_ascii_alphanumeric()
+        })
+    {
+        j += 1;
+    }
+    if j == body_start || j == bytes.len() || bytes[j] != ';' {
+        return Err("raw & (not an entity)".to_string());
+    }
+    *i = j + 1;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{build_model, DeploymentPanel};
+
+    #[test]
+    fn escape_covers_the_five_specials_and_controls() {
+        assert_eq!(
+            escape_html("<a href=\"x\">&'"),
+            "&lt;a href=&quot;x&quot;&gt;&amp;&#39;"
+        );
+        assert_eq!(escape_html("a\u{0007}b"), "a\u{FFFD}b");
+        assert_eq!(escape_html("tab\tok"), "tab\tok");
+    }
+
+    #[test]
+    fn checker_accepts_simple_documents() {
+        check_well_formed(
+            "<!DOCTYPE html>\n<html><body><p class=\"x\">hi&amp;</p>\
+             <br><svg><circle cx=\"1\" cy=\"2\" r=\"3\"/></svg>\
+             </body></html>",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn checker_rejects_unbalanced_and_raw_specials() {
+        assert!(check_well_formed("<p>hi").is_err());
+        assert!(check_well_formed("<p></div>").is_err());
+        assert!(check_well_formed("<p>a & b</p>").is_err());
+        assert!(check_well_formed("<p>a > b</p>").is_err());
+        assert!(check_well_formed("<p class=unquoted>x</p>").is_err());
+        assert!(check_well_formed("<p class=\"a<b\">x</p>").is_err());
+    }
+
+    #[test]
+    fn rendered_page_is_well_formed_and_script_free() {
+        let inputs = vec![
+            crate::tests::tiny_input("mail <script>alert(1)</script>", "Gps"),
+            crate::tests::tiny_input("nav\"app'", "Wifi&Scan"),
+        ];
+        let model =
+            build_model(&inputs, DeploymentPanel::pinned(), vec![1, 3], 10);
+        let html = render_html(&model);
+        check_well_formed(&html).unwrap();
+        assert!(!html.contains("<script"));
+        assert!(html.contains("Degraded: shard(s) 1, 3 unreachable"));
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let inputs = vec![crate::tests::tiny_input("app", "Gps")];
+        let model = build_model(
+            &inputs,
+            DeploymentPanel::pinned(),
+            vec![],
+            crate::DEFAULT_TOP_APPS,
+        );
+        assert_eq!(render_html(&model), render_html(&model));
+    }
+
+    #[test]
+    fn sparkline_uses_integer_coordinates_only() {
+        let svg = sparkline(&[0.0, 0.5, 1.0, 0.25], "t");
+        assert!(!svg.contains('.'), "float coordinate in {svg}");
+        check_well_formed(&svg).unwrap();
+    }
+}

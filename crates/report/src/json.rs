@@ -1,0 +1,177 @@
+//! The machine artifact: `report.json` rendered through the canonical
+//! core [`JsonWriter`](energydx::JsonWriter), so its float grammar,
+//! escaping, and layout match every other artifact in the repo.
+
+use energydx::JsonWriter;
+
+use crate::ReportModel;
+
+/// Renders the model as the canonical `report.json` document (with the
+/// repo's standard trailing newline). Pure function of the model.
+pub fn render_json(model: &ReportModel) -> String {
+    let mut w = JsonWriter::new();
+    w.obj(|w| {
+        w.key("schema");
+        w.string(crate::REPORT_SCHEMA);
+        w.key("degraded");
+        w.raw(if model.missing_shards.is_empty() {
+            "false"
+        } else {
+            "true"
+        });
+        w.key("missing_shards");
+        let shards: Vec<u64> =
+            model.missing_shards.iter().map(|&s| u64::from(s)).collect();
+        w.arr(&shards, |w, &s| w.u64(s));
+        w.key("top_n");
+        w.usize(model.top_n);
+        w.key("apps_total");
+        w.usize(model.apps_total);
+        w.key("apps");
+        w.arr(&model.apps, |w, app| {
+            w.obj(|w| {
+                w.key("app");
+                w.string(&app.app);
+                w.key("epoch");
+                w.u64(app.epoch);
+                w.key("traces");
+                w.obj(|w| {
+                    w.key("total");
+                    w.usize(app.total_traces);
+                    w.key("analyzed");
+                    w.usize(app.analyzed_traces);
+                    w.key("impacted");
+                    w.usize(app.impacted_traces);
+                    w.key("impacted_fraction");
+                    w.float(app.impacted_fraction);
+                    w.key("manifestation_points");
+                    w.usize(app.manifestation_points);
+                });
+                w.key("events");
+                w.arr(&app.events, |w, row| {
+                    w.obj(|w| {
+                        w.key("event");
+                        w.string(&row.event);
+                        w.key("impacted_fraction");
+                        w.float(row.impacted_fraction);
+                        w.key("proximity");
+                        w.usize(row.proximity);
+                        w.key("detections");
+                        w.usize(row.detections);
+                        w.key("peak_amplitude_mw");
+                        w.float(row.peak_amplitude);
+                        w.key("p50_mw");
+                        w.float(row.p50_mw);
+                        w.key("p90_mw");
+                        w.float(row.p90_mw);
+                    });
+                });
+                w.key("trend");
+                w.arr(&app.trend, |w, point| {
+                    w.obj(|w| {
+                        w.key("epoch");
+                        w.u64(point.epoch);
+                        w.key("traces");
+                        w.usize(point.traces);
+                        w.key("impacted_fraction");
+                        w.float(point.impacted_fraction);
+                        w.key("p90_mw");
+                        w.float(point.p90_mw);
+                    });
+                });
+                w.key("regressions");
+                w.arr(&app.regressions, |w, v| {
+                    w.obj(|w| {
+                        w.key("from");
+                        w.string(&v.from);
+                        w.key("to");
+                        w.string(&v.to);
+                        w.key("verdict");
+                        w.string(&v.verdict);
+                        w.key("regressed_events");
+                        w.usize(v.regressed_events);
+                        w.key("top_event");
+                        match &v.top_event {
+                            Some(e) => w.string(e),
+                            None => w.raw("null"),
+                        }
+                    });
+                });
+            });
+        });
+        w.key("ops");
+        w.obj(|w| {
+            w.key("apps");
+            w.usize(model.ops.apps);
+            w.key("epochs");
+            w.usize(model.ops.epochs);
+            w.key("accepted");
+            w.u64(model.ops.accepted);
+            w.key("clean");
+            w.u64(model.ops.clean);
+            w.key("recovered");
+            w.u64(model.ops.recovered);
+            w.key("quarantined");
+            w.u64(model.ops.quarantined);
+            w.key("quarantine_reasons");
+            w.arr(&model.ops.quarantine_reasons, |w, (reason, n)| {
+                w.obj(|w| {
+                    w.key("reason");
+                    w.string(reason);
+                    w.key("count");
+                    w.u64(*n);
+                });
+            });
+            w.key("deployment");
+            let dep = &model.ops.deployment;
+            w.obj(|w| {
+                w.key("live");
+                w.raw(if dep.live { "true" } else { "false" });
+                w.key("shed");
+                w.u64(dep.shed);
+                w.key("spilled_runs");
+                w.u64(dep.spilled_runs);
+                w.key("spilled_traces");
+                w.u64(dep.spilled_traces);
+                w.key("cache");
+                w.arr(&dep.cache, |w, line| {
+                    w.obj(|w| {
+                        w.key("layer");
+                        w.string(&line.layer);
+                        w.key("hits");
+                        w.u64(line.hits);
+                        w.key("misses");
+                        w.u64(line.misses);
+                    });
+                });
+            });
+        });
+    });
+    w.into_line()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{build_model, DeploymentPanel};
+
+    #[test]
+    fn json_is_deterministic_and_tags_degradation() {
+        let inputs = vec![crate::tests::tiny_input("app", "Gps")];
+        let model =
+            build_model(&inputs, DeploymentPanel::pinned(), vec![2], 10);
+        let a = render_json(&model);
+        assert_eq!(a, render_json(&model));
+        assert!(a.contains("\"degraded\": true"));
+        assert!(a.contains("\"missing_shards\": [\n    2\n  ]"));
+        assert!(a.ends_with('\n'));
+    }
+
+    #[test]
+    fn healthy_report_is_not_degraded() {
+        let model = build_model(&[], DeploymentPanel::pinned(), vec![], 10);
+        let json = render_json(&model);
+        assert!(json.contains("\"degraded\": false"));
+        assert!(json.contains("\"live\": false"));
+    }
+}

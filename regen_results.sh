@@ -11,7 +11,7 @@ for b in fig1_event_distance fig3_k9_power_trace tab2_k9_events tab3_fleet \
 done
 # Every checked-in budget file is regenerated from the same place the
 # CI gate reads it, so a budget and its gate can never drift apart.
-for b in hotpath ingest spill query cluster regress; do
+for b in hotpath ingest spill query cluster regress report; do
   echo "== BENCH_$b.json"
   cargo run -q --release -p energydx-bench --bin "$b" -- --smoke --write "BENCH_$b.json"
 done

@@ -13,7 +13,9 @@
 //! - [`energydx_workload`] — user simulation, fault injection, app fleet.
 //! - [`energydx_baselines`] — CheckAll, No-sleep Detection, eDelta.
 //! - [`energydx_fleetd`] — incremental fleet-analysis daemon.
+//! - [`energydx_obsv`] — metrics registry and Prometheus exposition.
 //! - [`energydx_regress`] — differential (release-to-release) diagnosis.
+//! - [`energydx_report`] — deterministic operator report (HTML + JSON).
 //! - [`energydx_segment`] — on-disk columnar segment format.
 
 pub mod fixtures;
@@ -23,8 +25,10 @@ pub use energydx_baselines;
 pub use energydx_dexir;
 pub use energydx_droidsim;
 pub use energydx_fleetd;
+pub use energydx_obsv;
 pub use energydx_powermodel;
 pub use energydx_regress;
+pub use energydx_report;
 pub use energydx_segment;
 pub use energydx_stats;
 pub use energydx_trace;

@@ -1687,3 +1687,257 @@ fn a_release_gate_survives_spill_compact_and_kill_dash_nine() {
     ops.push(VersionOp::Query);
     run_version_schedule(&ops, &pool, 0);
 }
+
+// ---------------------------------------------------------------------
+// The operator report: any interleaving of version-stamped uploads
+// with {spill, compact, checkpoint, kill -9 restart, report} under any
+// budget must render both artifacts — the static HTML page and
+// report.json — byte-identical to the batch surface
+// (`energydx report --bundles`) rebuilt from scratch over the same
+// accepted and quarantined uploads. Both sides run pinned: the daemon
+// under a deterministic registry (the in-process stand-in for
+// `ENERGYDX_DETERMINISTIC_TIME=1`) and the batch assembler with the
+// pinned deployment panel it always uses.
+// ---------------------------------------------------------------------
+
+use energydx_suite::energydx_fleetd::checkpoint::load_from_with;
+use energydx_suite::energydx_fleetd::convert::bundle_to_trace;
+use energydx_suite::energydx_fleetd::report::fleet_report;
+use energydx_suite::energydx_obsv::MetricsRegistry;
+use energydx_suite::energydx_report::{
+    build_model, render_html, render_json, BatchAssembler, DeploymentPanel,
+    DEFAULT_TOP_APPS,
+};
+use energydx_suite::energydx_trace::store::RejectReason;
+
+/// What the batch surface would assemble: every accepted upload's
+/// (version, bundle, recovered) triple in accept order plus every
+/// quarantine reason, tracked through the same prepare + dedup
+/// pipeline outside the state under test.
+#[derive(Debug, Clone, Default)]
+struct ReportModel {
+    accepted: Vec<(String, TraceBundle, bool)>,
+    quarantined: Vec<String>,
+    seen: BTreeSet<(String, u64)>,
+}
+
+impl ReportModel {
+    /// Returns whether the payload should be accepted.
+    fn apply(&mut self, payload: &[u8]) -> bool {
+        match prepare_wire(payload, &RepairPolicy::default()) {
+            PreparedUpload::Ready {
+                bundle,
+                repairs,
+                salvage,
+            } => {
+                if !self.seen.insert((bundle.user.clone(), bundle.session)) {
+                    self.quarantined.push(RejectReason::Duplicate.to_string());
+                    return false;
+                }
+                let recovered = !repairs.is_empty() || salvage.is_some();
+                self.accepted.push((
+                    bundle.app_version.clone(),
+                    bundle,
+                    recovered,
+                ));
+                true
+            }
+            PreparedUpload::Rejected(entry) => {
+                self.quarantined.push(entry.reason.to_string());
+                false
+            }
+        }
+    }
+
+    /// The batch reference from scratch: the exact assembler
+    /// `energydx report --bundles` drives, pinned deployment panel.
+    fn render(&self) -> (String, String) {
+        let inputs = if self.accepted.is_empty() && self.quarantined.is_empty()
+        {
+            // No submit ever happened, so the daemon never created the
+            // app entry: the reference is the empty-fleet report.
+            Vec::new()
+        } else {
+            let mut assembler = BatchAssembler::new(EnergyDx::default());
+            for (version, bundle, recovered) in &self.accepted {
+                assembler.accept(version, bundle_to_trace(bundle), *recovered);
+            }
+            for reason in &self.quarantined {
+                assembler.reject(reason);
+            }
+            vec![assembler.finish("app").expect("batch folds finish")]
+        };
+        let model = build_model(
+            &inputs,
+            DeploymentPanel::pinned(),
+            Vec::new(),
+            DEFAULT_TOP_APPS,
+        );
+        (render_html(&model), render_json(&model))
+    }
+}
+
+/// The daemon's rendered artifacts must equal the batch surface's,
+/// byte for byte — HTML and JSON both.
+fn assert_report_matches_batch(state: &FleetState, model: &ReportModel) {
+    let served =
+        fleet_report(state, 0, None).expect("a daemon renders its report");
+    let (html, json) = model.render();
+    assert_eq!(
+        served.html, html,
+        "daemon HTML diverged from the batch surface"
+    );
+    assert_eq!(
+        served.json, json,
+        "daemon report.json diverged from the batch surface"
+    );
+}
+
+/// One step of a report schedule.
+#[derive(Debug, Clone, Copy)]
+enum ReportOp {
+    /// Submit versioned payload `i`; the budget may spill it.
+    Upload(usize),
+    /// Evict everything: fold every release's resident deltas to disk.
+    Spill,
+    /// Collapse resident deltas into canonical per-release partials.
+    Compact,
+    /// Durable snapshot carrying the version split and accounting.
+    Checkpoint,
+    /// kill -9: discard the live state, reload from disk.
+    Restart,
+    /// Render both artifacts and compare to the batch surface.
+    Report,
+}
+
+/// Runs one schedule against a spilling, deterministically-registered
+/// [`FleetState`] under the given budget, checking acceptance against
+/// the model at every upload and both artifacts against the batch
+/// surface at every `Report` and at the end.
+fn run_report_schedule(
+    ops: &[ReportOp],
+    pool: &[(usize, Vec<u8>)],
+    mem_budget: usize,
+) {
+    let root = TempDir::new("report");
+    let state_dir = root.path().join("state");
+    let config = FleetConfig {
+        spill: Some(SpillConfig {
+            dir: root.path().join("spool"),
+            mem_budget,
+        }),
+        ..FleetConfig::default()
+    };
+    let registry = Arc::new(MetricsRegistry::deterministic());
+    let mut state =
+        FleetState::with_registry(config.clone(), Arc::clone(&registry));
+    let mut model = ReportModel::default();
+    let mut checkpointed: Option<ReportModel> = None;
+    for op in ops {
+        match *op {
+            ReportOp::Upload(i) => {
+                let (_, payload) = &pool[i % pool.len()];
+                let accepted = state.submit("app", payload).accepted();
+                assert_eq!(
+                    accepted,
+                    model.apply(payload),
+                    "daemon and model disagree on payload {i}"
+                );
+            }
+            ReportOp::Spill => {
+                state.spill_all();
+            }
+            ReportOp::Compact => {
+                state.compact();
+            }
+            ReportOp::Checkpoint => {
+                save_to(&state, &state_dir).expect("checkpoint writes");
+                checkpointed = Some(model.clone());
+            }
+            ReportOp::Restart => {
+                drop(state);
+                match load_from_with(
+                    &state_dir,
+                    config.clone(),
+                    Arc::clone(&registry),
+                )
+                .expect("a daemon checkpoint restores with its segments")
+                {
+                    Some(restored) => {
+                        state = restored;
+                        model = checkpointed
+                            .clone()
+                            .expect("a checkpoint file implies a snapshot");
+                    }
+                    None => {
+                        state = FleetState::with_registry(
+                            config.clone(),
+                            Arc::clone(&registry),
+                        );
+                        model = ReportModel::default();
+                    }
+                }
+            }
+            ReportOp::Report => {
+                assert_report_matches_batch(&state, &model);
+            }
+        }
+    }
+    assert_report_matches_batch(&state, &model);
+}
+
+fn report_ops() -> impl Strategy<Value = Vec<ReportOp>> {
+    let op = (0u8..16, 0usize..12).prop_map(|(kind, i)| match kind {
+        0..=6 => ReportOp::Upload(i),
+        7 | 8 => ReportOp::Spill,
+        9 => ReportOp::Compact,
+        10 | 11 => ReportOp::Checkpoint,
+        12 | 13 => ReportOp::Restart,
+        _ => ReportOp::Report,
+    });
+    prop::collection::vec(op, 0..24)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The operator-report headline property: **any** schedule of
+    /// version-stamped uploads (clean, damaged, duplicated), spills,
+    /// compactions, checkpoints, and kill -9 restarts under **any**
+    /// budget renders both artifacts byte-identical to the batch
+    /// surface rebuilt from scratch over the same accepted uploads.
+    #[test]
+    fn any_report_schedule_renders_the_batch_surface(
+        ops in report_ops(),
+        budget in prop_oneof![
+            Just(0usize),
+            256usize..8192,
+            Just(usize::MAX),
+        ],
+    ) {
+        run_report_schedule(&ops, &versioned_pool(), budget);
+    }
+}
+
+/// Fixed scenario, the acceptance bar for the report surface: a
+/// zero-budget daemon spills every versioned upload; the rendered
+/// artifacts hold cold, folded back from disk, across a checkpoint +
+/// kill -9 that loses the tail, and after the tail is re-driven
+/// (dedup absorbing the resends) and compacted.
+#[test]
+fn a_report_survives_spill_compact_and_kill_dash_nine() {
+    let pool = versioned_pool();
+    let mut ops: Vec<ReportOp> = Vec::new();
+    ops.extend((0..8).map(ReportOp::Upload));
+    ops.push(ReportOp::Report); // cold: every release folds fresh
+    ops.push(ReportOp::Spill);
+    ops.push(ReportOp::Report); // folded back from segments
+    ops.push(ReportOp::Checkpoint);
+    ops.extend((8..12).map(ReportOp::Upload)); // lost at the crash
+    ops.push(ReportOp::Restart); // kill -9, restore from disk
+    ops.push(ReportOp::Report); // == batch as of the checkpoint
+    ops.extend((6..12).map(ReportOp::Upload)); // re-drive incl. resends
+    ops.push(ReportOp::Compact);
+    ops.push(ReportOp::Report); // == full-fleet batch surface
+    run_report_schedule(&ops, &pool, 0);
+}

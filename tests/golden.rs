@@ -22,9 +22,11 @@ use energydx_suite::energydx_fleetd::fixture;
 use energydx_suite::energydx_fleetd::protocol::{Request, Response};
 use energydx_suite::energydx_fleetd::server::{FleetdHandle, ServerConfig};
 use energydx_suite::energydx_fleetd::{Dispatch, RetryBudget};
+use energydx_suite::energydx_obsv::MetricsRegistry;
 use energydx_suite::energydx_regress::{
     compare, regression_json, RegressConfig,
 };
+use energydx_suite::energydx_report;
 use energydx_suite::energydx_segment;
 use energydx_suite::energydx_workload::release_fleet;
 use energydx_suite::fixtures::{chaos_fleet, fig6_fleet, k9_fleet};
@@ -32,16 +34,27 @@ use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
 
 fn golden_path(name: &str) -> PathBuf {
+    golden_file(&format!("{name}.json"))
+}
+
+fn golden_file(file: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .join("tests/golden")
-        .join(format!("{name}.json"))
+        .join(file)
 }
 
 fn check_golden_bytes(name: &str, json: &str) {
-    let path = golden_path(name);
+    check_golden_file(&format!("{name}.json"), json);
+}
+
+/// Pins `text` to `tests/golden/<file>` byte for byte, honouring
+/// `UPDATE_GOLDEN` — the artifact-agnostic core of
+/// [`check_golden_bytes`], for goldens that are not JSON documents.
+fn check_golden_file(file: &str, text: &str) {
+    let path = golden_file(file);
     if std::env::var_os("UPDATE_GOLDEN").is_some() {
         std::fs::create_dir_all(path.parent().unwrap()).unwrap();
-        std::fs::write(&path, json).unwrap();
+        std::fs::write(&path, text).unwrap();
         return;
     }
     let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
@@ -52,8 +65,8 @@ fn check_golden_bytes(name: &str, json: &str) {
         )
     });
     assert!(
-        json == expected,
-        "{name} report drifted from {}; if the change is intentional, \
+        text == expected,
+        "{file} drifted from {}; if the change is intentional, \
          regenerate with `UPDATE_GOLDEN=1 cargo test --test golden` \
          and review the diff",
         path.display()
@@ -227,4 +240,76 @@ fn degraded_cluster_regressions_answer_matches_golden() {
         json.trim_end()
     );
     check_golden_bytes("regressions_degraded", &doc);
+}
+
+/// A degraded cluster's operator report, pinned byte for byte — both
+/// artifacts: a 3-worker cluster loses one worker to kill -9, and the
+/// cluster-wide report must carry the survivors' exact analytics while
+/// *naming* the missing shard in the HTML banner and the JSON
+/// `degraded` block. The coordinator renders under a deterministic
+/// registry (the in-process stand-in for
+/// `ENERGYDX_DETERMINISTIC_TIME=1`), so the deployment panel pins and
+/// every byte is a pure function of the script below.
+#[test]
+fn degraded_cluster_report_matches_golden() {
+    let slots: Vec<WorkerSlot> = (0..3)
+        .map(|_| {
+            let handle =
+                FleetdHandle::start(ServerConfig::default()).expect("worker");
+            Arc::new(Mutex::new(Some(Arc::new(handle))))
+        })
+        .collect();
+    let transports: Vec<Box<dyn WorkerTransport>> = slots
+        .iter()
+        .map(|slot| {
+            Box::new(InProcessTransport::new(Arc::clone(slot)))
+                as Box<dyn WorkerTransport>
+        })
+        .collect();
+    let config = CoordinatorConfig {
+        retry: RetryBudget {
+            max_attempts: 1,
+            base_backoff_ms: 0,
+            max_backoff_ms: 0,
+        },
+        ..CoordinatorConfig::default()
+    };
+    let coordinator = Coordinator::with_registry(
+        config,
+        transports,
+        Arc::new(MetricsRegistry::deterministic()),
+    )
+    .expect("cluster");
+    for i in 0..24u64 {
+        let version = if i % 2 == 0 { "1.9.0" } else { "2.0.0" };
+        let payload = fixture::payload_versioned(
+            &format!("u{:02}", i / 4),
+            i % 4,
+            version,
+        );
+        match coordinator.submit("app", payload) {
+            Response::Outcome { .. } => {}
+            other => panic!("unexpected submit response {other:?}"),
+        }
+    }
+    // kill -9 one worker: the report must degrade, not guess.
+    slots[1].lock().unwrap().take();
+    let (missing, html, json) =
+        match coordinator.handle_request(Request::Report { top: Some(8) }) {
+            Response::ReportArtifacts {
+                missing,
+                html,
+                json,
+            } => (missing, html, json),
+            other => panic!("expected report artifacts, got {other:?}"),
+        };
+    assert_eq!(missing, vec![1], "the lost shard must be named");
+    assert!(
+        html.contains("Degraded: shard(s) 1 unreachable"),
+        "the HTML banner must name the missing shard"
+    );
+    energydx_report::check_well_formed(&html)
+        .expect("the degraded page stays well-formed");
+    check_golden_file("report_degraded.html", &html);
+    check_golden_bytes("report_degraded", &json);
 }
